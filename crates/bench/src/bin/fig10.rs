@@ -1,0 +1,55 @@
+//! Fig. 10 — PowerPack component-power profile of a parallel FFT run: the
+//! per-component power trace (CPU / memory / disk / motherboard+NIC) over
+//! time, fluctuating above the idle-state baseline.
+//!
+//! The paper profiles HPCC's MPI_FFT; the equivalent workload here is the
+//! FT kernel on 4 ranks. Output is the CSV behind the figure plus summary
+//! statistics and the per-phase energy table.
+//!
+//! Usage: `cargo run --release -p bench --bin fig10 [--class S|W|A]`
+
+use bench::{ft_closure, world_g, ALPHA_FT};
+use mps::run;
+use npb::Class;
+use powerpack::{profile_csv, summary_table, Session};
+use simcluster::EnergyMeter;
+
+fn main() {
+    let class = match std::env::args().nth(2).as_deref() {
+        Some("S") => Class::S,
+        Some("A") => Class::A,
+        _ => Class::W,
+    };
+    let p = 4usize;
+    let w = world_g(2.8e9, ALPHA_FT);
+    println!("== Fig. 10: PowerPack profile of FT (class {class:?}, p = {p}) ==\n");
+
+    let report = run(&w, p, ft_closure(class));
+    let meter = EnergyMeter::new(w.cluster.node.clone(), w.f_hz);
+    let span = report.span();
+    let session = Session::new(meter).with_sample_interval(span / 400.0);
+
+    let logs = report.logs();
+    let profile = session.profile(&logs);
+    let markers: Vec<Vec<(String, f64)>> =
+        report.ranks.iter().map(|r| r.markers.clone()).collect();
+    let summary = session.measure(&logs, &markers);
+
+    println!("{}", summary_table(&summary));
+    println!(
+        "idle baseline: {:.1} W   peak: {:.1} W   mean: {:.1} W",
+        profile.idle_baseline_w(session.meter()),
+        profile.peak_w(),
+        profile.mean_w()
+    );
+    println!("\ncsv (t_s,cpu_w,mem_w,net_w,disk_w,other_w,total_w):");
+    let csv = profile_csv(&profile);
+    // Print a decimated trace (every 8th sample) to keep the log readable.
+    for (i, line) in csv.lines().enumerate() {
+        if i == 0 || i % 8 == 1 {
+            println!("{line}");
+        }
+    }
+    println!("\n(Expected: component power fluctuates over the idle line during");
+    println!(" compute/communication phases, like the paper's MPI_FFT trace.)");
+}

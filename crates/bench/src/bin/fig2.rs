@@ -1,0 +1,59 @@
+//! Fig. 2a/2b — measured performance efficiency and energy efficiency of
+//! FT and CG on SystemG as the processor count scales (p = 1…32).
+//!
+//! ```text
+//! perf_eff(p)   = T1 / (p · Tp)        (Grama isoefficiency view)
+//! energy_eff(p) = E1 / Ep              (the measured EE)
+//! ```
+//!
+//! Expected shape: both decay with p; FT decays smoothly; CG is
+//! non-monotonic (the paper's dip-and-recover near p = 16; here the
+//! analogous wiggle comes from the cache-capacity transition).
+//!
+//! Class B (default) keeps the CG matrix and FT grid larger than the
+//! aggregate cache across the whole sweep, as the paper's full-size runs
+//! were; class A runs much faster but lets CG turn superlinear past p = 8
+//! when the 27 MB matrix drops into aggregate L2.
+//!
+//! Usage: `cargo run --release -p bench --bin fig2 [--class A|B]`
+
+use bench::{cg_closure, ft_closure, world_g, ALPHA_CG, ALPHA_FT};
+use isoee::calibrate::measure_run;
+use npb::Class;
+
+fn main() {
+    let class = match std::env::args().nth(2).as_deref() {
+        Some("A") => Class::A,
+        Some("S") => Class::S,
+        Some("W") => Class::W,
+        _ => Class::B,
+    };
+    let ps = [1usize, 2, 4, 8, 16, 32];
+    println!("== Fig. 2: performance vs energy efficiency on SystemG (class {class:?}) ==\n");
+
+    for name in ["FT", "CG"] {
+        let alpha = if name == "FT" { ALPHA_FT } else { ALPHA_CG };
+        let w = world_g(2.8e9, alpha);
+        let seq = if name == "FT" {
+            measure_run(&w, 1, ft_closure(class))
+        } else {
+            measure_run(&w, 1, cg_closure(class))
+        };
+        println!("{name} (fig 2{}):", if name == "FT" { "a" } else { "b" });
+        println!("  p     perf-eff   energy-eff");
+        for &p in &ps {
+            let par = if p == 1 {
+                seq
+            } else if name == "FT" {
+                measure_run(&w, p, ft_closure(class))
+            } else {
+                measure_run(&w, p, cg_closure(class))
+            };
+            let perf_eff = seq.span_s / (p as f64 * par.span_s);
+            let energy_eff = seq.energy_j / par.energy_j;
+            println!("  {p:<4}  {perf_eff:>8.3}   {energy_eff:>8.3}");
+        }
+        println!();
+    }
+    println!("(Paper fig 2: both efficiencies decay with p; CG non-monotonic near p=16.)");
+}

@@ -1,0 +1,58 @@
+//! Fig. 3 — energy-model validation on the Dori cluster: actual (PowerPack-
+//! measured) vs model-predicted total energy for the NAS benchmark suite at
+//! p = 4, one bar pair per kernel.
+//!
+//! The paper reports > 95 % accuracy for every benchmark on Dori. Expected
+//! here: single-digit errors across EP, FT, CG, IS and MG.
+//!
+//! Usage: `cargo run --release -p bench --bin fig3 [--class A|W]`
+
+use bench::{
+    cg_closure, ep_closure, ft_closure, is_closure, mg_closure, world_dori, ALPHA_CG, ALPHA_EP,
+    ALPHA_FT, ALPHA_OTHER,
+};
+use isoee::calibrate::measured_machine_params;
+use isoee::validate::validate_kernel;
+use npb::Class;
+
+fn main() {
+    let class = match std::env::args().nth(2).as_deref() {
+        Some("W") => Class::W,
+        Some("S") => Class::S,
+        _ => Class::A,
+    };
+    let p = 4usize;
+    println!("== Fig. 3: energy model validation on Dori (class {class:?}, p = {p}) ==\n");
+    println!("benchmark   measured (J)   predicted (J)   error     accuracy");
+
+    let mut worst: f64 = 0.0;
+    let kernels: [(&str, f64); 5] = [
+        ("EP", ALPHA_EP),
+        ("FT", ALPHA_FT),
+        ("CG", ALPHA_CG),
+        ("IS", ALPHA_OTHER),
+        ("MG", ALPHA_OTHER),
+    ];
+    for (name, alpha) in kernels {
+        let w = world_dori(alpha);
+        let mach = measured_machine_params(&w);
+        let summary = match name {
+            "EP" => validate_kernel(&w, &mach, name, &[p], ep_closure(class)),
+            "FT" => validate_kernel(&w, &mach, name, &[p], ft_closure(class)),
+            "CG" => validate_kernel(&w, &mach, name, &[p], cg_closure(class)),
+            "IS" => validate_kernel(&w, &mach, name, &[p], is_closure(class)),
+            "MG" => validate_kernel(&w, &mach, name, &[p], mg_closure(class)),
+            _ => unreachable!(),
+        };
+        let pt = summary.points[0];
+        let err = pt.error_pct();
+        worst = worst.max(err.abs());
+        println!(
+            "  {name:<8}  {:>12.1}   {:>13.1}   {err:+6.2}%   {:5.1}%",
+            pt.measured_j,
+            pt.predicted_j,
+            100.0 - err.abs()
+        );
+    }
+    println!("\nworst-case accuracy: {:.1}%  (paper: 'over 95% for all benchmarks')", 100.0 - worst);
+}

@@ -1,0 +1,23 @@
+//! Fig. 5 — 3-D plot of `EE_FT(p, f)` at fixed workload: the model's
+//! energy-efficiency surface for FT over parallelism and DVFS frequency.
+//!
+//! Expected shape (paper §V.B.1): `p` dominates — EE collapses as the
+//! all-to-all's `p(p−1)` message-startup overhead grows — while `f` has
+//! almost no effect (FT is communication/memory bound).
+//!
+//! Usage: `cargo run --release -p bench --bin fig5`
+
+use bench::DVFS_G;
+use isoee::apps::FtModel;
+use isoee::{ee_surface_pf, MachineParams};
+
+fn main() {
+    let n = (1u64 << 20) as f64; // fixed workload (2^20 grid points)
+    let ps = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+    let ft = FtModel::system_g();
+    let mach = MachineParams::system_g(2.8e9);
+    println!("== Fig. 5: EE_FT(p, f) at n = {n} on SystemG ==\n");
+    let s = ee_surface_pf(&ft, &mach, n, &ps, &DVFS_G);
+    bench::print_surface(&s, "f (Hz)");
+    println!("\n(Expected: strong decline along p; nearly flat along f.)");
+}

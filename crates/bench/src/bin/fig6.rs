@@ -1,0 +1,21 @@
+//! Fig. 6 — 3-D plot of `EE_FT(p, n)` at fixed frequency f = 2.8 GHz.
+//!
+//! Expected shape (paper §V.B.1): `p` still dominates, and increasing the
+//! problem size `n` restores energy efficiency — the iso-energy-efficiency
+//! lever for FT.
+//!
+//! Usage: `cargo run --release -p bench --bin fig6`
+
+use isoee::apps::FtModel;
+use isoee::{ee_surface_pn, MachineParams};
+
+fn main() {
+    let ps = [1usize, 4, 16, 64, 256, 1024];
+    let ns: Vec<f64> = (16..=26).step_by(2).map(|k| (1u64 << k) as f64).collect();
+    let ft = FtModel::system_g();
+    let mach = MachineParams::system_g(2.8e9);
+    println!("== Fig. 6: EE_FT(p, n) at f = 2.8 GHz on SystemG ==\n");
+    let s = ee_surface_pn(&ft, &mach, &ps, &ns);
+    bench::print_surface(&s, "n (points)");
+    println!("\n(Expected: EE falls with p, rises with n.)");
+}

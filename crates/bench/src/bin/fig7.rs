@@ -1,0 +1,23 @@
+//! Fig. 7 — 3-D plot of `EE_EP(p, f)`.
+//!
+//! Expected shape (paper §V.B.2): flat and ≈ 1 everywhere — EP has almost
+//! no parallel overhead, so energy efficiency barely changes with either
+//! the level of parallelism or the DVFS state. (And per §V.B.6, scaling n
+//! cannot improve what is already ideal: E0 grows as fast as E1.)
+//!
+//! Usage: `cargo run --release -p bench --bin fig7`
+
+use bench::DVFS_G;
+use isoee::apps::EpModel;
+use isoee::{ee_surface_pf, MachineParams};
+
+fn main() {
+    let n = (1u64 << 22) as f64; // class-B pair count
+    let ps = [1usize, 2, 4, 8, 16, 32, 64, 128];
+    let ep = EpModel::system_g();
+    let mach = MachineParams::system_g(2.8e9);
+    println!("== Fig. 7: EE_EP(p, f) at n = {n} on SystemG ==\n");
+    let s = ee_surface_pf(&ep, &mach, n, &ps, &DVFS_G);
+    bench::print_surface(&s, "f (Hz)");
+    println!("\n(Expected: EE ≈ 1 for every (p, f) — near-ideal iso-energy-efficiency.)");
+}

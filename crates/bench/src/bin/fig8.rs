@@ -1,0 +1,21 @@
+//! Fig. 8 — 3-D plot of `EE_CG(p, n)` at fixed frequency f = 2.8 GHz.
+//!
+//! Expected shape (paper §V.B.3): energy efficiency decreases as `p`
+//! grows (replicated vector work + reduce/transpose communication) and
+//! increases with the workload size `n`.
+//!
+//! Usage: `cargo run --release -p bench --bin fig8`
+
+use isoee::apps::CgModel;
+use isoee::{ee_surface_pn, MachineParams};
+
+fn main() {
+    let ps = [1usize, 4, 16, 64, 256, 1024];
+    let ns: Vec<f64> = [9_375.0, 18_750.0, 37_500.0, 75_000.0, 150_000.0, 300_000.0].to_vec();
+    let cg = CgModel::system_g();
+    let mach = MachineParams::system_g(2.8e9);
+    println!("== Fig. 8: EE_CG(p, n) at f = 2.8 GHz on SystemG ==\n");
+    let s = ee_surface_pn(&cg, &mach, &ps, &ns);
+    bench::print_surface(&s, "n (rows)");
+    println!("\n(Expected: EE falls with p, rises with n.)");
+}

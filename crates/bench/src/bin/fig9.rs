@@ -1,0 +1,30 @@
+//! Fig. 9 — 3-D plot of `EE_CG(p, f)` at the paper's n = 75000 (class B).
+//!
+//! Expected shape (paper §V.B.3, the headline observation): EE declines
+//! with `p`, but — opposite to EP and FT — *increases with frequency*:
+//! E1 is memory-bound (f-independent) while the parallel overhead is
+//! replicated computation whose idle-energy share shrinks as f rises, so
+//! EEF = E0/E1 falls. "Users can scale the frequency up using DVFS to
+//! achieve better energy efficiency."
+//!
+//! Usage: `cargo run --release -p bench --bin fig9`
+
+use bench::DVFS_G;
+use isoee::apps::CgModel;
+use isoee::scaling::best_frequency;
+use isoee::{ee_surface_pf, MachineParams};
+
+fn main() {
+    let n = 75_000.0; // the paper's exact Fig.-9 workload (class B)
+    let ps = [1usize, 4, 16, 64, 256, 1024];
+    let cg = CgModel::system_g();
+    let mach = MachineParams::system_g(2.8e9);
+    println!("== Fig. 9: EE_CG(p, f) at n = {n} on SystemG ==\n");
+    let s = ee_surface_pf(&cg, &mach, n, &ps, &DVFS_G);
+    bench::print_surface(&s, "f (Hz)");
+    for &p in &[16usize, 64, 256] {
+        let (f, ee) = best_frequency(&cg, &mach, n, p, &DVFS_G);
+        println!("  best DVFS state at p={p}: {:.1} GHz (EE = {ee:.4})", f / 1e9);
+    }
+    println!("\n(Expected: EE falls with p and *rises* with f; best state = 2.8 GHz.)");
+}

@@ -1,0 +1,98 @@
+//! Shared experiment harness for the figure/table regeneration binaries and
+//! the Criterion benches.
+//!
+//! Centralizes the paper's experimental constants (per-application overlap
+//! factors, DVFS tables, class choices) so every figure uses the same
+//! configuration.
+
+use mps::{Ctx, World};
+use npb::{
+    cg_kernel, ep_kernel, ft_kernel, is_kernel, mg_kernel, CgConfig, Class, EpConfig, FtConfig,
+    IsConfig, MgConfig,
+};
+use simcluster::{dori, system_g};
+
+/// Per-application overlap factors measured in the paper (§V.B).
+pub const ALPHA_FT: f64 = 0.86;
+/// EP's overlap factor.
+pub const ALPHA_EP: f64 = 0.93;
+/// CG's overlap factor.
+pub const ALPHA_CG: f64 = 0.85;
+/// Overlap used for IS/MG (not reported in the paper; near FT's).
+pub const ALPHA_OTHER: f64 = 0.88;
+
+/// SystemG's DVFS states in Hz (ascending).
+pub const DVFS_G: [f64; 4] = [1.6e9, 2.0e9, 2.4e9, 2.8e9];
+
+/// A SystemG world at `f_hz` with overlap `alpha`.
+pub fn world_g(f_hz: f64, alpha: f64) -> World {
+    World::new(system_g(), f_hz).with_alpha(alpha)
+}
+
+/// A Dori world at its nominal 2.0 GHz with overlap `alpha`.
+pub fn world_dori(alpha: f64) -> World {
+    World::new(dori(), 2.0e9).with_alpha(alpha)
+}
+
+/// The FT kernel closure for `class`.
+pub fn ft_closure(class: Class) -> impl Fn(&mut Ctx) -> npb::FtResult + Sync {
+    let cfg = FtConfig::class(class);
+    move |ctx: &mut Ctx| ft_kernel(ctx, cfg)
+}
+
+/// The EP kernel closure for `class`.
+pub fn ep_closure(class: Class) -> impl Fn(&mut Ctx) -> npb::EpResult + Sync {
+    let cfg = EpConfig::class(class);
+    move |ctx: &mut Ctx| ep_kernel(ctx, cfg)
+}
+
+/// The CG kernel closure for `class`.
+pub fn cg_closure(class: Class) -> impl Fn(&mut Ctx) -> npb::CgResult + Sync {
+    let cfg = CgConfig::class(class);
+    move |ctx: &mut Ctx| cg_kernel(ctx, cfg)
+}
+
+/// The IS kernel closure for `class`.
+pub fn is_closure(class: Class) -> impl Fn(&mut Ctx) -> npb::IsResult + Sync {
+    let cfg = IsConfig::class(class);
+    move |ctx: &mut Ctx| is_kernel(ctx, cfg)
+}
+
+/// The MG kernel closure for `class`.
+pub fn mg_closure(class: Class) -> impl Fn(&mut Ctx) -> npb::MgResult + Sync {
+    let cfg = MgConfig::class(class);
+    move |ctx: &mut Ctx| mg_kernel(ctx, cfg)
+}
+
+/// Pretty-print a `(label, value)` table row.
+pub fn row(label: &str, value: impl std::fmt::Display) {
+    println!("  {label:<28} {value}");
+}
+
+/// Print an `EE` surface as an aligned grid plus a JSON line for plotting,
+/// with `y_label` naming the row axis (frequency or workload).
+pub fn print_surface(surface: &isoee::Surface, y_label: &str) {
+    print!("  {y_label:>12} |");
+    for x in &surface.xs {
+        print!(" p={x:<7}");
+    }
+    println!();
+    println!("  {:->12}-+{:-<1$}", "", surface.xs.len() * 10);
+    for (i, y) in surface.ys.iter().enumerate() {
+        if *y > 1e6 {
+            print!("  {:>12.3e} |", y);
+        } else {
+            print!("  {y:>12.0} |");
+        }
+        for j in 0..surface.xs.len() {
+            print!(" {:<8.4}", surface.at(i, j));
+        }
+        println!();
+    }
+    let json = serde_json::json!({
+        "xs_p": surface.xs,
+        "ys": surface.ys,
+        "ee": surface.values,
+    });
+    println!("  json: {json}");
+}

@@ -1,0 +1,222 @@
+//! The §IV.B calibration pipeline.
+//!
+//! * Machine parameters come from the microbenchmark suite (Perfmon CPI →
+//!   `tc`, `lat_mem_rd` plateau → `tm`, MPPTest fit → `ts`/`tw`, PowerPack
+//!   deltas → `ΔPc`/`ΔPm`/idle) — [`measured_machine_params`].
+//! * Application parameters come from instrumented runs: sequential
+//!   counters give `Wc`/`Wm`, the parallel-minus-sequential difference
+//!   gives `Woc`/`Wom`, and the parallel run's message counters give
+//!   `M`/`B` (the paper's Perfmon + TAU methodology) —
+//!   [`measure_app_params`].
+//! * The overlap factor `α` is measured as actual over theoretical time
+//!   (§VI.F) — [`measure_alpha`].
+
+use mps::{run, Counters, Ctx, RunReport, World};
+use simcluster::SegmentKind;
+
+use crate::params::{AppParams, MachineParams};
+
+/// One instrumented run's distilled measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunMeasurement {
+    /// Ranks used.
+    pub p: usize,
+    /// All-processor counter totals.
+    pub counters: Counters,
+    /// PowerPack-measured total energy, joules.
+    pub energy_j: f64,
+    /// Parallel span `Tp`, seconds.
+    pub span_s: f64,
+    /// Measured overlap factor of the run.
+    pub alpha: f64,
+}
+
+/// Run `kernel` on `p` ranks and distill the measurement.
+pub fn measure_run<R, F>(world: &World, p: usize, kernel: F) -> RunMeasurement
+where
+    R: Send,
+    F: Fn(&mut Ctx) -> R + Sync,
+{
+    let report = run(world, p, kernel);
+    distill(world, &report)
+}
+
+/// Distill an existing run report.
+pub fn distill<R>(world: &World, report: &RunReport<R>) -> RunMeasurement {
+    let counters = report.total_counters();
+    let energy = report.energy(world).total();
+    RunMeasurement {
+        p: report.ranks.len(),
+        counters,
+        energy_j: energy,
+        span_s: report.span(),
+        alpha: alpha_of(report),
+    }
+}
+
+/// Measured overlap factor: total *wall* time of work segments over total
+/// device-busy time (§VI.F's actual/theoretical ratio), aggregated across
+/// ranks. Waits are excluded on both sides.
+pub fn alpha_of<R>(report: &RunReport<R>) -> f64 {
+    let kinds = [
+        SegmentKind::Compute,
+        SegmentKind::Memory,
+        SegmentKind::Network,
+        SegmentKind::Io,
+    ];
+    let mut wall = 0.0;
+    let mut work = 0.0;
+    for rk in &report.ranks {
+        for k in kinds {
+            wall += rk.log.wall_time(k);
+            work += rk.log.work_time(k);
+        }
+    }
+    if work > 0.0 {
+        wall / work
+    } else {
+        1.0
+    }
+}
+
+/// Measure α for a kernel on `world` (convenience wrapper).
+pub fn measure_alpha<R, F>(world: &World, p: usize, kernel: F) -> f64
+where
+    R: Send,
+    F: Fn(&mut Ctx) -> R + Sync,
+{
+    alpha_of(&run(world, p, kernel))
+}
+
+/// Build the Table-2 vector for a specific `(kernel, p)` from a sequential
+/// baseline and a parallel run:
+///
+/// ```text
+/// Wc = Wc(1)          Woc = Wc(p) − Wc(1)
+/// Wm = Wm(1)          Wom = Wm(p) − Wm(1)
+/// M, B  from the parallel run      α from the sequential run
+/// ```
+pub fn app_params_from(seq: &RunMeasurement, par: &RunMeasurement) -> AppParams {
+    assert_eq!(seq.p, 1, "baseline must be sequential");
+    let a = AppParams {
+        alpha: seq.alpha,
+        wc: seq.counters.wc,
+        wm: seq.counters.wm,
+        woc: par.counters.wc - seq.counters.wc,
+        wom: par.counters.wm - seq.counters.wm,
+        messages: par.counters.messages,
+        bytes: par.counters.bytes,
+        t_io: seq.counters.io_s,
+    };
+    a.validate();
+    a
+}
+
+/// Measure the Table-2 vector for `kernel` at parallelism `p` (runs the
+/// sequential baseline too; for many `p` values, measure the baseline once
+/// and use [`app_params_from`]).
+pub fn measure_app_params<R, F>(world: &World, p: usize, kernel: F) -> AppParams
+where
+    R: Send,
+    F: Fn(&mut Ctx) -> R + Sync,
+{
+    let seq = measure_run(world, 1, &kernel);
+    let par = if p == 1 { seq } else { measure_run(world, p, &kernel) };
+    app_params_from(&seq, &par)
+}
+
+/// Derive the Table-1 machine vector by *measurement* (the paper's tool
+/// chain), not by reading the spec. `γ` and the NIC/disk deltas are taken
+/// from the specification — PowerPack derives γ by fitting `ΔPc` across
+/// DVFS states, which [`crate::params::MachineParams::at_frequency`] then
+/// reproduces exactly.
+pub fn measured_machine_params(world: &World) -> MachineParams {
+    let cpi = microbench::perfmon_cpi(world, 1e7);
+    let sweep = microbench::lat_mem_rd(world, 1 << 12, 1 << 28);
+    let tm = microbench::lmbench::tm_from_sweep(&sweep);
+    let hock = microbench::mpptest(world, &microbench::mpptest::default_sizes(), 2);
+    let pd = microbench::power_deltas(world);
+    let node = &world.cluster.node;
+    MachineParams {
+        tc: cpi.tc_s,
+        tm,
+        ts: hock.ts,
+        tw: hock.tw,
+        p_sys_idle: pd.idle_w,
+        delta_pc: pd.delta_cpu_w,
+        delta_pm: pd.delta_mem_w,
+        delta_pnic: node.nic.delta(),
+        delta_pio: node.disk.delta(),
+        f_hz: world.f_hz,
+        f_ref_hz: node.cpu.dvfs.nominal(),
+        gamma: node.cpu.delta.gamma,
+        cpi: cpi.cpi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcluster::system_g;
+
+    fn world() -> World {
+        World::new(system_g(), 2.8e9)
+    }
+
+    #[test]
+    fn measured_machine_params_match_spec_closely() {
+        let w = world();
+        let measured = measured_machine_params(&w);
+        let truth = MachineParams::from_spec(&w.cluster, 2.8e9);
+        let close = |a: f64, b: f64, tol: f64, what: &str| {
+            assert!((a - b).abs() / b.abs() < tol, "{what}: {a} vs {b}");
+        };
+        close(measured.tc, truth.tc, 1e-6, "tc");
+        close(measured.ts, truth.ts, 0.02, "ts");
+        close(measured.tw, truth.tw, 0.02, "tw");
+        close(measured.delta_pc, truth.delta_pc, 1e-3, "delta_pc");
+        close(measured.delta_pm, truth.delta_pm, 1e-3, "delta_pm");
+        assert_eq!(measured.p_sys_idle, truth.p_sys_idle);
+        // tm: the lat_mem_rd plateau slightly underestimates pure DRAM
+        // latency (blend includes the cached head of the staircase).
+        close(measured.tm, truth.tm, 0.05, "tm");
+    }
+
+    #[test]
+    fn measured_alpha_matches_configured_alpha() {
+        let w = world().with_alpha(0.83);
+        let a = measure_alpha(&w, 2, |ctx: &mut Ctx| {
+            ctx.compute(1e6);
+            ctx.mem_access(1e5, 1 << 26);
+            ctx.barrier();
+        });
+        assert!((a - 0.83).abs() < 1e-9, "alpha {a}");
+    }
+
+    #[test]
+    fn app_params_difference_logic() {
+        let w = world();
+        let kernel = |ctx: &mut Ctx| {
+            // Fixed per-rank work: parallel totals exceed sequential.
+            ctx.compute(1e6);
+            if ctx.size() > 1 {
+                ctx.barrier();
+            }
+        };
+        let seq = measure_run(&w, 1, kernel);
+        let par = measure_run(&w, 4, kernel);
+        let app = app_params_from(&seq, &par);
+        assert_eq!(app.wc, 1e6);
+        assert!((app.woc - 3e6).abs() < 1.0, "woc {}", app.woc);
+        assert!(app.messages > 0.0, "barrier messages counted");
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline must be sequential")]
+    fn app_params_rejects_parallel_baseline() {
+        let w = world();
+        let a = measure_run(&w, 2, |ctx: &mut Ctx| ctx.compute(1.0));
+        let b = measure_run(&w, 4, |ctx: &mut Ctx| ctx.compute(1.0));
+        app_params_from(&a, &b);
+    }
+}

@@ -1,0 +1,237 @@
+//! The analytical core: Eqs. 5–21 of the paper.
+//!
+//! Time model (Eqs. 5–6, 10): theoretical time is the sum of on-chip
+//! computation, off-chip memory, network and I/O components; actual time is
+//! the theoretical sum squeezed by the overlap factor `α`.
+//!
+//! Energy model (Eqs. 7–9, 13–15): every processor draws `P_sys_idle` for
+//! the whole (actual) execution, plus per-component active deltas for the
+//! full device-busy durations:
+//!
+//! ```text
+//! E1 = T1·P_sys_idle + Wc·tc·ΔPc + Wm·tm·ΔPm                       (Eq. 13)
+//! Ep = Tp·p·P_sys_idle + (Wc+Woc)·tc·ΔPc + (Wm+Wom)·tm·ΔPm
+//!      + (M·ts + B·tw)·ΔP_NIC                                      (Eq. 15/18)
+//! ```
+//!
+//! and from those `E0`, `EEF` and `EE` (Eqs. 16, 19, 21).
+
+use crate::params::{AppParams, MachineParams};
+
+/// Actual sequential execution time `T1 = α·(Wc·tc + Wm·tm + T_IO)`
+/// (Eqs. 5–6).
+pub fn t1(m: &MachineParams, a: &AppParams) -> f64 {
+    a.alpha * (a.wc * m.tc + a.wm * m.tm + a.t_io)
+}
+
+/// Total network time `M·ts + B·tw` across all processors (Eq. 17).
+pub fn t_net(m: &MachineParams, a: &AppParams) -> f64 {
+    a.messages * m.ts + a.bytes * m.tw
+}
+
+/// Actual per-processor parallel execution time (Eq. 10 with homogeneous
+/// workload distribution — the paper's §V.B.5 assumption):
+///
+/// ```text
+/// Tp = α·((Wc+Woc)·tc + (Wm+Wom)·tm + M·ts + B·tw + T_IO) / p
+/// ```
+pub fn tp(m: &MachineParams, a: &AppParams, p: usize) -> f64 {
+    assert!(p > 0, "need at least one processor");
+    a.alpha
+        * ((a.wc + a.woc) * m.tc + (a.wm + a.wom) * m.tm + t_net(m, a) + a.t_io)
+        / p as f64
+}
+
+/// Sequential energy `E1` (Eq. 13).
+pub fn e1(m: &MachineParams, a: &AppParams) -> f64 {
+    t1(m, a) * m.p_sys_idle
+        + a.wc * m.tc * m.delta_pc
+        + a.wm * m.tm * m.delta_pm
+        + a.t_io * m.delta_pio
+}
+
+/// Parallel energy `Ep` on `p` processors (Eqs. 14–15 with the network
+/// delta of Eq. 18).
+pub fn ep(m: &MachineParams, a: &AppParams, p: usize) -> f64 {
+    tp(m, a, p) * p as f64 * m.p_sys_idle
+        + (a.wc + a.woc) * m.tc * m.delta_pc
+        + (a.wm + a.wom) * m.tm * m.delta_pm
+        + t_net(m, a) * m.delta_pnic
+        + a.t_io * m.delta_pio
+}
+
+/// Parallel energy overhead `E0 = Ep − E1` (Eqs. 1, 16).
+pub fn e0(m: &MachineParams, a: &AppParams, p: usize) -> f64 {
+    ep(m, a, p) - e1(m, a)
+}
+
+/// Energy Efficiency Factor `EEF = E0 / E1` (Eqs. 3, 19).
+pub fn eef(m: &MachineParams, a: &AppParams, p: usize) -> f64 {
+    let base = e1(m, a);
+    assert!(base > 0.0, "sequential energy must be positive");
+    e0(m, a, p) / base
+}
+
+/// Iso-energy-efficiency `EE = 1 / (1 + EEF)` (Eqs. 2, 4, 21).
+///
+/// `EE = 1` is ideal. Values slightly above 1 are possible when the
+/// parallel overheads are negative (e.g. strong-scaling cache effects make
+/// `Wom < 0` by more than the communication costs add) — superlinear
+/// energy scaling, the energy analog of superlinear speedup.
+pub fn ee(m: &MachineParams, a: &AppParams, p: usize) -> f64 {
+    1.0 / (1.0 + eef(m, a, p))
+}
+
+/// The §V.B.5 observation: with an evenly divided workload, rewrite
+/// Eq. 16's overhead as a function of `p` and report the overhead energy
+/// `E0(p)` for a range of `p`, exposing its `Θ(p^k)` (k ≥ 1) growth when
+/// per-processor communication does not shrink with `p`.
+pub fn overhead_growth(
+    m: &MachineParams,
+    app_at: impl Fn(usize) -> AppParams,
+    ps: &[usize],
+) -> Vec<(usize, f64)> {
+    ps.iter().map(|&p| (p, e0(m, &app_at(p), p))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{AppParams, MachineParams};
+
+    fn mach() -> MachineParams {
+        MachineParams::system_g(2.8e9)
+    }
+
+    #[test]
+    fn ideal_app_has_ee_one_at_any_p() {
+        let m = mach();
+        let a = AppParams::ideal(1e9);
+        for p in [1usize, 2, 16, 1024] {
+            assert!((ee(&m, &a, p) - 1.0).abs() < 1e-12, "p={p}");
+            assert!((e0(&m, &a, p)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sequential_case_is_exactly_e1() {
+        let m = mach();
+        let mut a = AppParams::ideal(1e9);
+        a.wm = 1e7;
+        assert!((ep(&m, &a, 1) - e1(&m, &a)).abs() < 1e-9);
+        assert!((ee(&m, &a, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn communication_lowers_ee() {
+        let m = mach();
+        let mut a = AppParams::ideal(1e9);
+        a.messages = 1e5;
+        a.bytes = 1e9;
+        let e = ee(&m, &a, 8);
+        assert!(e < 1.0, "EE {e}");
+        assert!(e > 0.0);
+    }
+
+    #[test]
+    fn ee_decreases_monotonically_with_growing_overhead() {
+        let m = mach();
+        let mut prev = f64::INFINITY;
+        for k in 0..6 {
+            let mut a = AppParams::ideal(1e9);
+            a.woc = 1e7 * (k as f64) * (k as f64);
+            let e = ee(&m, &a, 16);
+            assert!(e <= prev + 1e-15);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn negative_wom_can_push_ee_above_one() {
+        // Superlinear energy scaling from strong-scaling cache effects.
+        let m = mach();
+        let mut a = AppParams::ideal(1e8);
+        a.wm = 1e8;
+        a.wom = -5e7; // half the off-chip traffic disappears in parallel
+        let e = ee(&m, &a, 8);
+        assert!(e > 1.0, "EE {e}");
+    }
+
+    #[test]
+    fn t1_matches_eq6() {
+        let m = mach();
+        let mut a = AppParams::ideal(1e9);
+        a.wm = 1e6;
+        a.alpha = 0.9;
+        let expect = 0.9 * (1e9 * m.tc + 1e6 * m.tm);
+        assert!((t1(&m, &a) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tp_at_p1_equals_t1_when_no_overheads() {
+        let m = mach();
+        let mut a = AppParams::ideal(5e8);
+        a.wm = 1e6;
+        assert!((tp(&m, &a, 1) - t1(&m, &a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn e1_matches_eq13_by_hand() {
+        let m = mach();
+        let mut a = AppParams::ideal(1e9);
+        a.wm = 2e6;
+        a.alpha = 0.85;
+        let t = 0.85 * (1e9 * m.tc + 2e6 * m.tm);
+        let expect = t * m.p_sys_idle + 1e9 * m.tc * m.delta_pc + 2e6 * m.tm * m.delta_pm;
+        assert!((e1(&m, &a) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_frequency_reduces_delta_but_stretches_idle() {
+        // The core DVFS tension the paper studies: at low f the CPU delta
+        // shrinks (∝ f^γ) but execution lengthens (tc ∝ 1/f), so idle-power
+        // energy grows. For compute-bound work with γ = 2 on SystemG, the
+        // idle term dominates and E1 *increases* at the lowest state.
+        let hi = mach();
+        let lo = hi.at_frequency(1.6e9);
+        let a = AppParams::ideal(1e10);
+        let e_hi = e1(&hi, &a);
+        let e_lo = e1(&lo, &a);
+        assert!(
+            e_lo > e_hi,
+            "idle-dominated energy must grow at low f: {e_lo} vs {e_hi}"
+        );
+    }
+
+    #[test]
+    fn overhead_growth_is_superlinear_for_alltoall_like_m() {
+        let m = mach();
+        let pts = overhead_growth(
+            &m,
+            |p| {
+                let mut a = AppParams::ideal(1e9);
+                // All-to-all startup costs: M = p(p−1).
+                a.messages = (p * (p - 1)) as f64;
+                a
+            },
+            &[2, 4, 8, 16, 32],
+        );
+        // E0 should grow faster than linearly in p.
+        let (p_a, e_a) = pts[1]; // p=4
+        let (p_b, e_b) = pts[4]; // p=32
+        let growth = e_b / e_a;
+        let linear = p_b as f64 / p_a as f64;
+        assert!(growth > linear, "E0 growth {growth} vs linear {linear}");
+    }
+
+    #[test]
+    fn eef_and_ee_are_consistent() {
+        let m = mach();
+        let mut a = AppParams::ideal(1e9);
+        a.messages = 1e4;
+        a.bytes = 1e8;
+        let f = eef(&m, &a, 8);
+        let e = ee(&m, &a, 8);
+        assert!((e - 1.0 / (1.0 + f)).abs() < 1e-15);
+    }
+}

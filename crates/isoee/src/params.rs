@@ -1,0 +1,249 @@
+//! The model's parameter vectors — the paper's Tables 1 and 2.
+//!
+//! **Machine-dependent** (Table 1), a function of frequency and bandwidth:
+//!
+//! ```text
+//! Mach(f, BW) = (tc, tm, ts, tw, ΔPc, ΔPm, ΔP_NIC, ΔP_IO, P_sys_idle)
+//! ```
+//!
+//! with `tc = CPI / f` and `ΔPc(f) = ΔPc_ref · (f / f_ref)^γ` (Eq. 20,
+//! γ ≥ 1; γ = 2 on SystemG).
+//!
+//! **Application-dependent** (Table 2), a function of workload and
+//! parallelism:
+//!
+//! ```text
+//! Appl(n, p) = (α, Wc, Wm, Woc, Wom, M, B)
+//! ```
+//!
+//! where `Wc`/`Wm` are the sequential on-chip/off-chip workloads, `Woc`/
+//! `Wom` the parallelization overheads (totals across all processors;
+//! `Wom` is frequently *negative* under strong scaling — shrinking per-rank
+//! working sets genuinely reduce off-chip traffic), and `M`/`B` the message
+//! and byte totals of Eq. 17.
+
+use serde::{Deserialize, Serialize};
+use simcluster::ClusterSpec;
+
+/// Machine-dependent parameters (Table 1) at a specific DVFS state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineParams {
+    /// Average time per on-chip instruction, `tc = CPI / f` (seconds).
+    pub tc: f64,
+    /// Average off-chip (DRAM) access latency `tm` (seconds).
+    pub tm: f64,
+    /// Message startup time `ts` (seconds).
+    pub ts: f64,
+    /// Per-byte transmission time `tw` (seconds; Table 1's 8-bit word).
+    pub tw: f64,
+    /// Per-processor system idle power `P_sys_idle` (watts).
+    pub p_sys_idle: f64,
+    /// CPU active delta `ΔPc` at this frequency (watts).
+    pub delta_pc: f64,
+    /// Memory active delta `ΔPm` (watts).
+    pub delta_pm: f64,
+    /// NIC active delta (watts; the network term of Eq. 18).
+    pub delta_pnic: f64,
+    /// Disk active delta `ΔP_IO` (watts; ≈ unused for NPB).
+    pub delta_pio: f64,
+    /// The frequency these parameters describe (Hz).
+    pub f_hz: f64,
+    /// Reference (nominal) frequency for the power law (Hz).
+    pub f_ref_hz: f64,
+    /// Power-law exponent γ (Eq. 20).
+    pub gamma: f64,
+    /// Cycles per instruction (so `tc` can be re-derived at any `f`).
+    pub cpi: f64,
+}
+
+impl MachineParams {
+    /// Derive the vector directly from a cluster specification — the
+    /// "ground truth" the calibration pipeline should recover.
+    pub fn from_spec(spec: &ClusterSpec, f_hz: f64) -> Self {
+        spec.validate();
+        let node = &spec.node;
+        let f_ref = node.cpu.dvfs.nominal();
+        Self {
+            tc: node.cpu.tc(f_hz),
+            tm: node.memory.dram_latency_s,
+            ts: spec.link.startup_s,
+            tw: spec.link.per_byte_s,
+            p_sys_idle: node.system_idle_w(),
+            delta_pc: node.cpu.delta_power(f_hz),
+            delta_pm: node.memory.power.delta(),
+            delta_pnic: node.nic.delta(),
+            delta_pio: node.disk.delta(),
+            f_hz,
+            f_ref_hz: f_ref,
+            gamma: node.cpu.delta.gamma,
+            cpi: node.cpu.base_cpi,
+        }
+    }
+
+    /// The SystemG vector at frequency `f_hz` (panics off the DVFS table).
+    pub fn system_g(f_hz: f64) -> Self {
+        let spec = simcluster::system_g();
+        assert!(
+            spec.node.cpu.dvfs.contains(f_hz),
+            "{f_hz} Hz is not a SystemG DVFS state"
+        );
+        Self::from_spec(&spec, f_hz)
+    }
+
+    /// The Dori vector at frequency `f_hz`.
+    pub fn dori(f_hz: f64) -> Self {
+        let spec = simcluster::dori();
+        assert!(
+            spec.node.cpu.dvfs.contains(f_hz),
+            "{f_hz} Hz is not a Dori DVFS state"
+        );
+        Self::from_spec(&spec, f_hz)
+    }
+
+    /// Re-evaluate the frequency-dependent entries at a new DVFS state
+    /// (Eq. 20): `tc = CPI/f`, `ΔPc ∝ f^γ`; memory/network latencies and
+    /// powers are frequency-independent.
+    pub fn at_frequency(&self, f_hz: f64) -> Self {
+        assert!(f_hz.is_finite() && f_hz > 0.0, "invalid frequency {f_hz}");
+        let mut m = *self;
+        m.tc = self.cpi / f_hz;
+        m.delta_pc = self.delta_pc * (f_hz / self.f_hz).powf(self.gamma);
+        m.f_hz = f_hz;
+        m
+    }
+}
+
+/// Application-dependent parameters (Table 2) at a specific `(n, p)`.
+///
+/// All workload fields are **totals across all processors** (the sums of
+/// Eqs. 15–16), not per-processor values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AppParams {
+    /// Overlap factor `α ∈ (0, 1]` (§VI.F).
+    pub alpha: f64,
+    /// Sequential on-chip workload `Wc` (instructions).
+    pub wc: f64,
+    /// Sequential off-chip workload `Wm` (DRAM accesses).
+    pub wm: f64,
+    /// Parallel computation overhead `Woc` (instructions; total).
+    pub woc: f64,
+    /// Parallel memory overhead `Wom` (accesses; total, may be negative).
+    pub wom: f64,
+    /// Total messages `M`.
+    pub messages: f64,
+    /// Total bytes `B`.
+    pub bytes: f64,
+    /// Flat sequential I/O time `T_IO` (seconds; ≈ 0 for NPB).
+    pub t_io: f64,
+}
+
+impl AppParams {
+    /// A pure-compute workload with no overheads — the ideal iso-energy-
+    /// efficient application (useful as a fixture and in property tests).
+    pub fn ideal(wc: f64) -> Self {
+        Self {
+            alpha: 1.0,
+            wc,
+            wm: 0.0,
+            woc: 0.0,
+            wom: 0.0,
+            messages: 0.0,
+            bytes: 0.0,
+            t_io: 0.0,
+        }
+    }
+
+    /// Validate physical sanity: workloads non-negative (overheads may be
+    /// negative but must not exceed the base workload), α in (0, 1].
+    ///
+    /// # Panics
+    /// Panics when a constraint is violated.
+    pub fn validate(&self) {
+        assert!(
+            self.alpha > 0.0 && self.alpha <= 1.0,
+            "alpha must be in (0,1], got {}",
+            self.alpha
+        );
+        assert!(self.wc >= 0.0 && self.wm >= 0.0, "workloads must be non-negative");
+        assert!(
+            self.wc + self.woc >= 0.0,
+            "total parallel compute workload must stay non-negative"
+        );
+        assert!(
+            self.wm + self.wom >= 0.0,
+            "total parallel memory workload must stay non-negative"
+        );
+        assert!(
+            self.messages >= 0.0 && self.bytes >= 0.0 && self.t_io >= 0.0,
+            "counts must be non-negative"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_spec_matches_cluster_description() {
+        let spec = simcluster::system_g();
+        let m = MachineParams::from_spec(&spec, 2.8e9);
+        assert!((m.tc - 0.9 / 2.8e9).abs() < 1e-24);
+        assert_eq!(m.ts, spec.link.startup_s);
+        assert_eq!(m.tw, spec.link.per_byte_s);
+        assert_eq!(m.p_sys_idle, spec.node.system_idle_w());
+        assert_eq!(m.gamma, 2.0);
+    }
+
+    #[test]
+    fn at_frequency_rescales_tc_and_delta_pc_only() {
+        let m = MachineParams::system_g(2.8e9);
+        let lo = m.at_frequency(1.4e9);
+        assert!((lo.tc - 2.0 * m.tc).abs() < 1e-20);
+        // γ = 2: (1.4/2.8)² = 0.25.
+        assert!((lo.delta_pc - 0.25 * m.delta_pc).abs() < 1e-9);
+        assert_eq!(lo.tm, m.tm);
+        assert_eq!(lo.ts, m.ts);
+        assert_eq!(lo.tw, m.tw);
+        assert_eq!(lo.delta_pm, m.delta_pm);
+        assert_eq!(lo.p_sys_idle, m.p_sys_idle);
+    }
+
+    #[test]
+    fn at_frequency_is_consistent_with_from_spec() {
+        let spec = simcluster::system_g();
+        let hi = MachineParams::from_spec(&spec, 2.8e9);
+        let direct = MachineParams::from_spec(&spec, 1.6e9);
+        let derived = hi.at_frequency(1.6e9);
+        assert!((direct.tc - derived.tc).abs() < 1e-20);
+        assert!((direct.delta_pc - derived.delta_pc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ideal_app_validates() {
+        AppParams::ideal(1e9).validate();
+    }
+
+    #[test]
+    fn negative_wom_is_allowed_within_bounds() {
+        let mut a = AppParams::ideal(1e9);
+        a.wm = 100.0;
+        a.wom = -40.0;
+        a.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "stay non-negative")]
+    fn wom_cannot_exceed_wm() {
+        let mut a = AppParams::ideal(1e9);
+        a.wm = 100.0;
+        a.wom = -140.0;
+        a.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "not a SystemG DVFS state")]
+    fn system_g_rejects_off_table_frequency() {
+        MachineParams::system_g(3.0e9);
+    }
+}

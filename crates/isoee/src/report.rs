@@ -1,0 +1,130 @@
+//! Text rendering of model objects: parameter tables (in the layout of the
+//! paper's Tables 1–2), validation summaries (Figs. 3–4), and EE surfaces
+//! (Figs. 5–9) — so library users can inspect what the model is doing
+//! without writing formatting code.
+
+use crate::params::{AppParams, MachineParams};
+use crate::scaling::Surface;
+use crate::validate::ValidationSummary;
+
+/// Render a machine vector as the paper's Table 1.
+pub fn machine_table(m: &MachineParams) -> String {
+    let mut out = String::new();
+    out.push_str("machine-dependent parameters (Table 1)\n");
+    out.push_str(&format!("  f            {:>12.3e}  Hz (gamma = {})\n", m.f_hz, m.gamma));
+    out.push_str(&format!("  tc = CPI/f   {:>12.3e}  s/instr (CPI {:.3})\n", m.tc, m.cpi));
+    out.push_str(&format!("  tm           {:>12.3e}  s/access\n", m.tm));
+    out.push_str(&format!("  ts           {:>12.3e}  s/message\n", m.ts));
+    out.push_str(&format!("  tw           {:>12.3e}  s/byte\n", m.tw));
+    out.push_str(&format!("  P_sys_idle   {:>12.3}  W/processor\n", m.p_sys_idle));
+    out.push_str(&format!("  dPc          {:>12.3}  W\n", m.delta_pc));
+    out.push_str(&format!("  dPm          {:>12.3}  W\n", m.delta_pm));
+    out.push_str(&format!("  dP_nic       {:>12.3}  W\n", m.delta_pnic));
+    out.push_str(&format!("  dP_io        {:>12.3}  W\n", m.delta_pio));
+    out
+}
+
+/// Render an application vector as the paper's Table 2.
+pub fn app_table(a: &AppParams) -> String {
+    let mut out = String::new();
+    out.push_str("application-dependent parameters (Table 2)\n");
+    out.push_str(&format!("  alpha        {:>12.3}\n", a.alpha));
+    out.push_str(&format!("  Wc           {:>12.3e}  instructions\n", a.wc));
+    out.push_str(&format!("  Wm           {:>12.3e}  off-chip accesses\n", a.wm));
+    out.push_str(&format!("  Woc          {:>+12.3e}  instructions\n", a.woc));
+    out.push_str(&format!("  Wom          {:>+12.3e}  accesses\n", a.wom));
+    out.push_str(&format!("  M            {:>12.3e}  messages\n", a.messages));
+    out.push_str(&format!("  B            {:>12.3e}  bytes\n", a.bytes));
+    out.push_str(&format!("  T_IO         {:>12.3e}  s\n", a.t_io));
+    out
+}
+
+/// Render a validation summary as one group of the paper's Fig. 4.
+pub fn validation_table(s: &ValidationSummary) -> String {
+    let mut out = format!("{}: model vs measurement\n", s.name);
+    out.push_str("  p      predicted (J)   measured (J)    error\n");
+    for pt in &s.points {
+        out.push_str(&format!(
+            "  {:<5}  {:>13.2}  {:>13.2}  {:>+7.2}%\n",
+            pt.p,
+            pt.predicted_j,
+            pt.measured_j,
+            pt.error_pct()
+        ));
+    }
+    out.push_str(&format!(
+        "  mean |error| = {:.2}%   max |error| = {:.2}%\n",
+        s.mean_abs_error_pct(),
+        s.max_abs_error_pct()
+    ));
+    out
+}
+
+/// Render an EE surface as an aligned grid (`y_label` names the row axis).
+pub fn surface_table(s: &Surface, y_label: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("  {y_label:>12} |"));
+    for x in &s.xs {
+        out.push_str(&format!(" p={x:<7}"));
+    }
+    out.push('\n');
+    for (i, y) in s.ys.iter().enumerate() {
+        if *y > 1e6 {
+            out.push_str(&format!("  {y:>12.3e} |"));
+        } else {
+            out.push_str(&format!("  {y:>12.0} |"));
+        }
+        for j in 0..s.xs.len() {
+            out.push_str(&format!(" {:<8.4}", s.at(i, j)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{AppModel, FtModel};
+    use crate::scaling::ee_surface_pf;
+    use crate::validate::{ValidationPoint, ValidationSummary};
+
+    #[test]
+    fn machine_table_mentions_all_parameters() {
+        let t = machine_table(&MachineParams::system_g(2.8e9));
+        for needle in ["tc", "tm", "ts", "tw", "P_sys_idle", "dPc", "dPm", "gamma"] {
+            assert!(t.contains(needle), "missing {needle}:\n{t}");
+        }
+    }
+
+    #[test]
+    fn app_table_shows_signed_overheads() {
+        let a = FtModel::system_g().app_params(1e6, 16);
+        let t = app_table(&a);
+        assert!(t.contains("Wom"));
+        assert!(t.contains('-'), "negative Wom should render signed:\n{t}");
+    }
+
+    #[test]
+    fn validation_table_includes_statistics() {
+        let s = ValidationSummary {
+            name: "FT".into(),
+            points: vec![ValidationPoint { p: 4, predicted_j: 95.0, measured_j: 100.0 }],
+        };
+        let t = validation_table(&s);
+        assert!(t.contains("FT"));
+        assert!(t.contains("-5.00%"));
+        assert!(t.contains("mean |error| = 5.00%"));
+    }
+
+    #[test]
+    fn surface_table_has_rows_and_columns() {
+        let ft = FtModel::system_g();
+        let m = MachineParams::system_g(2.8e9);
+        let s = ee_surface_pf(&ft, &m, 1e6, &[1, 16], &[1.6e9, 2.8e9]);
+        let t = surface_table(&s, "f (Hz)");
+        assert_eq!(t.lines().count(), 3);
+        assert!(t.contains("p=1"));
+        assert!(t.contains("p=16"));
+    }
+}

@@ -1,0 +1,270 @@
+//! Scalability analysis: the paper's §V.B decision-making use cases.
+//!
+//! * EE surfaces over `(p, f)` and `(p, n)` — the data behind Figs. 5–9.
+//! * The iso-energy-efficiency *contour*: the workload `n(p)` that holds
+//!   `EE` at a target as the system scales (the energy analog of Grama's
+//!   isoefficiency function).
+//! * A DVFS advisor: the frequency that maximizes `EE` at a given `(n, p)`.
+
+use crate::apps::AppModel;
+use crate::model;
+use crate::params::MachineParams;
+
+/// A rectangular sweep of `EE` values: `values[i][j]` is `EE` at
+/// `ys[i]` × `xs[j]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Surface {
+    /// Row axis (frequency in Hz, or workload n).
+    pub ys: Vec<f64>,
+    /// Column axis (processor counts).
+    pub xs: Vec<f64>,
+    /// `EE` values, `values[y][x]`.
+    pub values: Vec<Vec<f64>>,
+}
+
+impl Surface {
+    /// Look up the value at row `i`, column `j`.
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.values[i][j]
+    }
+
+    /// Minimum EE in the surface.
+    pub fn min(&self) -> f64 {
+        self.values
+            .iter()
+            .flatten()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum EE in the surface.
+    pub fn max(&self) -> f64 {
+        self.values
+            .iter()
+            .flatten()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// `EE(p, f)` at fixed workload `n` (Figs. 5, 7, 9).
+///
+/// `base` supplies the frequency-independent machine parameters; each row
+/// re-evaluates it at one of `fs` via Eq. 20.
+pub fn ee_surface_pf(
+    app: &dyn AppModel,
+    base: &MachineParams,
+    n: f64,
+    ps: &[usize],
+    fs: &[f64],
+) -> Surface {
+    let values = fs
+        .iter()
+        .map(|&f| {
+            let mach = base.at_frequency(f);
+            ps.iter()
+                .map(|&p| model::ee(&mach, &app.app_params(n, p), p))
+                .collect()
+        })
+        .collect();
+    Surface {
+        ys: fs.to_vec(),
+        xs: ps.iter().map(|&p| p as f64).collect(),
+        values,
+    }
+}
+
+/// `EE(p, n)` at the fixed frequency of `mach` (Figs. 6, 8).
+pub fn ee_surface_pn(
+    app: &dyn AppModel,
+    mach: &MachineParams,
+    ps: &[usize],
+    ns: &[f64],
+) -> Surface {
+    let values = ns
+        .iter()
+        .map(|&n| {
+            ps.iter()
+                .map(|&p| model::ee(&mach.at_frequency(mach.f_hz), &app.app_params(n, p), p))
+                .collect()
+        })
+        .collect();
+    Surface {
+        ys: ns.to_vec(),
+        xs: ps.iter().map(|&p| p as f64).collect(),
+        values,
+    }
+}
+
+/// The iso-energy-efficiency workload: the smallest `n ∈ [n_lo, n_hi]` with
+/// `EE(n, p) ≥ target`, found by bisection (EE is monotone non-decreasing
+/// in `n` for overhead-dominated applications like FT and CG).
+///
+/// Returns `None` if even `n_hi` cannot reach the target.
+pub fn iso_ee_workload(
+    app: &dyn AppModel,
+    mach: &MachineParams,
+    p: usize,
+    target: f64,
+    n_lo: f64,
+    n_hi: f64,
+) -> Option<f64> {
+    assert!(n_lo > 1.0 && n_hi > n_lo, "invalid bracket");
+    assert!(target > 0.0 && target < 1.0, "target EE must be in (0,1)");
+    let ee_at = |n: f64| model::ee(mach, &app.app_params(n, p), p);
+    if ee_at(n_hi) < target {
+        return None;
+    }
+    if ee_at(n_lo) >= target {
+        return Some(n_lo);
+    }
+    let (mut lo, mut hi) = (n_lo, n_hi);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if ee_at(mid) >= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if (hi - lo) / hi < 1e-9 {
+            break;
+        }
+    }
+    Some(hi)
+}
+
+/// The DVFS state in `freqs` maximizing `EE` at `(n, p)`; returns
+/// `(best_f, best_ee)`.
+pub fn best_frequency(
+    app: &dyn AppModel,
+    base: &MachineParams,
+    n: f64,
+    p: usize,
+    freqs: &[f64],
+) -> (f64, f64) {
+    assert!(!freqs.is_empty(), "need at least one frequency");
+    let a = app.app_params(n, p);
+    freqs
+        .iter()
+        .map(|&f| (f, model::ee(&base.at_frequency(f), &a, p)))
+        .max_by(|x, y| x.1.partial_cmp(&y.1).expect("finite EE"))
+        .expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{CgModel, EpModel, FtModel};
+
+    fn mach() -> MachineParams {
+        MachineParams::system_g(2.8e9)
+    }
+
+    const DVFS: [f64; 4] = [1.6e9, 2.0e9, 2.4e9, 2.8e9];
+
+    #[test]
+    fn ft_surface_shape_matches_fig5() {
+        let ft = FtModel::system_g();
+        let ps = [1usize, 4, 16, 64, 256, 1024];
+        let s = ee_surface_pf(&ft, &mach(), (1u64 << 20) as f64, &ps, &DVFS);
+        // Declines along p at every frequency (small cache ripple allowed).
+        for row in &s.values {
+            for w in row.windows(2) {
+                assert!(w[1] <= w[0] + 0.01, "EE_FT must decline with p: {row:?}");
+            }
+            assert!(
+                row[0] - row[ps.len() - 1] > 0.25,
+                "collapse by p=1024: {row:?}"
+            );
+        }
+        // Nearly flat along f at every p.
+        for j in 0..ps.len() {
+            let col: Vec<f64> = (0..DVFS.len()).map(|i| s.at(i, j)).collect();
+            let spread = col.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - col.iter().cloned().fold(f64::INFINITY, f64::min);
+            assert!(spread < 0.15, "EE_FT spread over f too large: {col:?}");
+        }
+    }
+
+    #[test]
+    fn ep_surface_is_flat_near_one() {
+        let ep = EpModel::system_g();
+        let s = ee_surface_pf(&ep, &mach(), 4e6, &[1, 8, 64, 128], &DVFS);
+        assert!(s.min() > 0.97, "Fig. 7: EE_EP ≈ 1 everywhere, min {}", s.min());
+        assert!(s.max() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn cg_surface_rises_with_f() {
+        let cg = CgModel::system_g();
+        let ps = [4usize, 16, 64];
+        let s = ee_surface_pf(&cg, &mach(), 75_000.0, &ps, &DVFS);
+        for j in 0..ps.len() {
+            assert!(
+                s.at(DVFS.len() - 1, j) > s.at(0, j),
+                "Fig. 9: EE_CG must rise with f at p={}",
+                ps[j]
+            );
+        }
+    }
+
+    #[test]
+    fn pn_surfaces_rise_with_n() {
+        let m = mach();
+        let ns = [5e5, 2e6, 8e6, 3.2e7];
+        let ft = FtModel::system_g();
+        let s = ee_surface_pn(&ft, &m, &[64], &ns);
+        for i in 1..ns.len() {
+            assert!(
+                s.at(i, 0) >= s.at(i - 1, 0) - 1e-9,
+                "Fig. 6: EE_FT must rise with n"
+            );
+        }
+    }
+
+    #[test]
+    fn iso_ee_contour_grows_with_p() {
+        // The iso-energy-efficiency function: holding EE = 0.7 as p grows
+        // requires growing n (and how fast it grows is the scalability
+        // metric, as in performance isoefficiency).
+        let ft = FtModel::system_g();
+        let m = mach();
+        let mut prev = 0.0;
+        for p in [32usize, 128, 512] {
+            let n = iso_ee_workload(&ft, &m, p, 0.7, 1e3, 1e12)
+                .expect("target reachable");
+            assert!(n > prev, "n({p}) = {n} must grow");
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn iso_ee_returns_none_when_unreachable() {
+        let ft = FtModel::system_g();
+        let m = mach();
+        // EE = 0.999 at p=1024 requires astronomically large n.
+        let r = iso_ee_workload(&ft, &m, 1024, 0.999, 1e4, 1e7);
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn best_frequency_for_cg_is_the_top_state() {
+        let cg = CgModel::system_g();
+        let (f, ee) = best_frequency(&cg, &mach(), 75_000.0, 64, &DVFS);
+        assert_eq!(f, 2.8e9, "Fig. 9: scale frequency up for CG");
+        assert!(ee > 0.0);
+    }
+
+    #[test]
+    fn bisection_result_actually_achieves_target() {
+        let cg = CgModel::system_g();
+        let m = mach();
+        let target = 0.95;
+        let n = iso_ee_workload(&cg, &m, 64, target, 1e3, 1e9).expect("reachable");
+        let ee = model::ee(&m, &cg.app_params(n, 64), 64);
+        assert!(ee >= target - 1e-6, "EE({n}) = {ee} < {target}");
+        // And just below n the target fails (minimality up to tolerance).
+        let ee_below = model::ee(&m, &cg.app_params(n * 0.98, 64), 64);
+        assert!(ee_below <= target + 1e-3);
+    }
+}

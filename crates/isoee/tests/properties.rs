@@ -1,0 +1,166 @@
+//! Property-based tests for the analytical model: structural invariants of
+//! Eqs. 1–21 over random parameter vectors.
+
+use isoee::apps::{AppModel, CgModel, EpModel, FtModel};
+use isoee::scaling::iso_ee_workload;
+use isoee::{model, AppParams, MachineParams};
+use proptest::prelude::*;
+
+fn arb_app() -> impl Strategy<Value = AppParams> {
+    (
+        0.5f64..=1.0,          // alpha
+        1e6f64..1e12,          // wc
+        0.0f64..1e10,          // wm
+        0.0f64..1e10,          // woc
+        -0.5f64..1.0,          // wom as a fraction of wm
+        0.0f64..1e7,           // messages
+        0.0f64..1e11,          // bytes
+    )
+        .prop_map(|(alpha, wc, wm, woc, wom_frac, messages, bytes)| AppParams {
+            alpha,
+            wc,
+            wm,
+            woc,
+            wom: wom_frac * wm,
+            messages,
+            bytes,
+            t_io: 0.0,
+        })
+}
+
+fn mach() -> MachineParams {
+    MachineParams::system_g(2.8e9)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn energies_are_positive_and_consistent(a in arb_app(), p in 1usize..2048) {
+        let m = mach();
+        let e1 = model::e1(&m, &a);
+        let ep = model::ep(&m, &a, p);
+        prop_assert!(e1 > 0.0);
+        prop_assert!(ep > 0.0);
+        // Definitional identities (Eqs. 1, 19, 21).
+        let e0 = model::e0(&m, &a, p);
+        prop_assert!((e0 - (ep - e1)).abs() <= 1e-9 * ep.abs().max(1.0));
+        let eef = model::eef(&m, &a, p);
+        prop_assert!((eef - e0 / e1).abs() <= 1e-12 * eef.abs().max(1.0));
+        let ee = model::ee(&m, &a, p);
+        prop_assert!((ee - 1.0 / (1.0 + eef)).abs() <= 1e-12);
+    }
+
+    #[test]
+    fn zero_overhead_app_is_ideal(
+        alpha in 0.5f64..=1.0,
+        wc in 1e6f64..1e12,
+        wm in 0.0f64..1e10,
+        p in 1usize..2048,
+    ) {
+        let m = mach();
+        let a = AppParams {
+            alpha, wc, wm,
+            woc: 0.0, wom: 0.0, messages: 0.0, bytes: 0.0, t_io: 0.0,
+        };
+        prop_assert!((model::ee(&m, &a, p) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ee_monotone_decreasing_in_each_overhead(a in arb_app(), p in 2usize..1024) {
+        let m = mach();
+        let base = model::ee(&m, &a, p);
+        for bump in [
+            AppParams { woc: a.woc + 1e9, ..a },
+            AppParams { wom: a.wom + 1e8, ..a },
+            AppParams { messages: a.messages + 1e5, ..a },
+            AppParams { bytes: a.bytes + 1e10, ..a },
+        ] {
+            let e = model::ee(&m, &bump, p);
+            prop_assert!(e <= base + 1e-12, "overhead bump raised EE: {e} > {base}");
+        }
+    }
+
+    #[test]
+    fn tp_scales_inversely_with_p_for_fixed_totals(a in arb_app(), p in 1usize..1024) {
+        let m = mach();
+        let t1 = model::tp(&m, &a, p);
+        let t2 = model::tp(&m, &a, 2 * p);
+        prop_assert!((t1 / t2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn at_frequency_roundtrips(f_pick in 0usize..4, a in arb_app(), p in 1usize..256) {
+        let fs = [1.6e9, 2.0e9, 2.4e9, 2.8e9];
+        let m = mach();
+        let there = m.at_frequency(fs[f_pick]);
+        let back = there.at_frequency(2.8e9);
+        prop_assert!((back.tc - m.tc).abs() < 1e-20);
+        prop_assert!((back.delta_pc - m.delta_pc).abs() < 1e-9);
+        // EE computed after a frequency round trip is unchanged.
+        let e0 = model::ee(&m, &a, p);
+        let e1 = model::ee(&back, &a, p);
+        prop_assert!((e0 - e1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn app_models_produce_valid_params(
+        n_ft in 1e4f64..1e9,
+        n_cg in 2e3f64..1e7,
+        lg_p in 0u32..11,
+    ) {
+        let p = 1usize << lg_p;
+        for a in [
+            FtModel::system_g().app_params(n_ft, p),
+            EpModel::system_g().app_params(n_ft, p),
+            CgModel::system_g().app_params(n_cg, p),
+        ] {
+            a.validate(); // panics on violation
+            prop_assert!(a.wc > 0.0);
+            prop_assert!(a.wm + a.wom >= 0.0);
+            let ee = model::ee(&mach(), &a, p);
+            prop_assert!(ee.is_finite() && ee > 0.0 && ee < 1.5, "EE {ee}");
+        }
+    }
+
+    #[test]
+    fn ee_of_app_models_monotone_in_n_at_scale(
+        lg_p in 4u32..10,
+        n_lo in 1e5f64..1e7,
+    ) {
+        // Figs. 6/8: for FT and CG at p >= 16, more workload never hurts.
+        let p = 1usize << lg_p;
+        let m = mach();
+        let n_hi = n_lo * 4.0;
+        let ft = FtModel::system_g();
+        prop_assert!(
+            model::ee(&m, &ft.app_params(n_hi, p), p)
+                >= model::ee(&m, &ft.app_params(n_lo, p), p) - 1e-9
+        );
+        let cg = CgModel::system_g();
+        let n_cg_lo = (n_lo / 100.0).max(2e3);
+        prop_assert!(
+            model::ee(&m, &cg.app_params(n_cg_lo * 4.0, p), p)
+                >= model::ee(&m, &cg.app_params(n_cg_lo, p), p) - 1e-9
+        );
+    }
+}
+
+proptest! {
+    // The bisection runs ~200 model evaluations per case.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn iso_ee_bisection_is_sound(
+        lg_p in 3u32..10,
+        target in 0.3f64..0.95,
+    ) {
+        let p = 1usize << lg_p;
+        let m = mach();
+        let ft = FtModel::system_g();
+        if let Some(n) = iso_ee_workload(&ft, &m, p, target, 1e3, 1e13) {
+            let ee = model::ee(&m, &ft.app_params(n, p), p);
+            prop_assert!(ee >= target - 1e-6, "EE({n}) = {ee} < {target}");
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Ordinary least-squares line fitting.
+
+/// Result of fitting `y = intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Intercept (e.g. the Hockney `ts`).
+    pub intercept: f64,
+    /// Slope (e.g. the Hockney `tw`).
+    pub slope: f64,
+    /// Coefficient of determination `R²`.
+    pub r_squared: f64,
+}
+
+/// Least-squares fit of a line through `(x, y)` points.
+///
+/// # Panics
+/// Panics with fewer than two points or zero x-variance.
+pub fn fit_line(points: &[(f64, f64)]) -> LineFit {
+    assert!(points.len() >= 2, "need at least two points to fit a line");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let mx = sx / n;
+    let my = sy / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum();
+    let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    assert!(sxx > 0.0, "x values are all identical; cannot fit a slope");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - my) * (p.1 - my)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| {
+            let e = p.1 - (intercept + slope * p.0);
+            e * e
+        })
+        .sum();
+    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    LineFit { intercept, slope, r_squared }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovers_parameters() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let f = fit_line(&pts);
+        assert!((f.intercept - 3.0).abs() < 1e-12);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_fits_approximately() {
+        let pts: Vec<(f64, f64)> = (0..100)
+            .map(|i| {
+                let x = i as f64;
+                // Deterministic "noise".
+                let noise = ((i * 2654435761u64 as usize) % 100) as f64 / 100.0 - 0.5;
+                (x, 1.0 + 0.5 * x + noise)
+            })
+            .collect();
+        let f = fit_line(&pts);
+        assert!((f.slope - 0.5).abs() < 0.01, "slope {}", f.slope);
+        assert!(f.r_squared > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn single_point_rejected() {
+        fit_line(&[(1.0, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn vertical_data_rejected() {
+        fit_line(&[(1.0, 2.0), (1.0, 3.0)]);
+    }
+}

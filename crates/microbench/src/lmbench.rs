@@ -1,0 +1,109 @@
+//! LMbench `lat_mem_rd` analog: the memory-latency staircase.
+//!
+//! The paper estimates `tm` (average memory access latency) with LMbench's
+//! pointer-chase benchmark. This analog issues dependent memory accesses
+//! against increasing working-set sizes and reports the observed latency per
+//! access — reproducing the classic L1/L2/DRAM staircase of the simulated
+//! cache hierarchy. The model's flat `tm` is read off the DRAM plateau, as
+//! the paper does.
+
+use mps::{run, World};
+
+/// One point of the latency sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemLatencyPoint {
+    /// Working-set size in bytes.
+    pub working_set_bytes: u64,
+    /// Observed latency per access, seconds.
+    pub latency_s: f64,
+}
+
+/// Sweep working sets from `min_bytes` to `max_bytes` (doubling each step)
+/// and measure the per-access latency at each size.
+pub fn lat_mem_rd(world: &World, min_bytes: u64, max_bytes: u64) -> Vec<MemLatencyPoint> {
+    assert!(min_bytes > 0 && max_bytes >= min_bytes, "invalid sweep range");
+    let w = world.clone().with_alpha(1.0);
+    let accesses = 1e6;
+    let mut out = Vec::new();
+    let mut ws = min_bytes;
+    while ws <= max_bytes {
+        let report = run(&w, 1, |ctx| ctx.mem_access(accesses, ws));
+        out.push(MemLatencyPoint {
+            working_set_bytes: ws,
+            latency_s: report.span() / accesses,
+        });
+        ws = ws.saturating_mul(2);
+    }
+    out
+}
+
+/// The `tm` plateau: the latency at the largest measured working set.
+pub fn tm_from_sweep(sweep: &[MemLatencyPoint]) -> f64 {
+    sweep
+        .last()
+        .expect("sweep must not be empty")
+        .latency_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcluster::system_g;
+
+    fn sweep() -> Vec<MemLatencyPoint> {
+        let w = World::new(system_g(), 2.8e9);
+        lat_mem_rd(&w, 1 << 10, 1 << 28)
+    }
+
+    #[test]
+    fn staircase_is_monotone_non_decreasing() {
+        let s = sweep();
+        for w in s.windows(2) {
+            assert!(
+                w[1].latency_s >= w[0].latency_s - 1e-18,
+                "latency staircase must be monotone: {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_working_sets_hit_cache() {
+        let s = sweep();
+        let l1 = s[0].latency_s;
+        let dram = s.last().unwrap().latency_s;
+        assert!(dram / l1 > 10.0, "cache/DRAM contrast too small: {l1} vs {dram}");
+    }
+
+    #[test]
+    fn plateau_matches_configured_memory_model() {
+        let w = World::new(system_g(), 2.8e9);
+        let s = lat_mem_rd(&w, 1 << 10, 1 << 28);
+        let tm = tm_from_sweep(&s);
+        let expect = w
+            .cluster
+            .node
+            .memory
+            .latency_for_working_set(1 << 28);
+        assert!(
+            (tm - expect).abs() / expect < 1e-9,
+            "measured {tm} vs configured {expect}"
+        );
+    }
+
+    #[test]
+    fn staircase_has_visible_knee_at_l2_boundary() {
+        let s = sweep();
+        // Find points below and above the 6 MB L2 of SystemG.
+        let below = s
+            .iter()
+            .find(|p| p.working_set_bytes == 1 << 22)
+            .unwrap()
+            .latency_s; // 4 MB: fits L2
+        let above = s
+            .iter()
+            .find(|p| p.working_set_bytes == 1 << 25)
+            .unwrap()
+            .latency_s; // 32 MB: spills
+        assert!(above > below * 2.0, "no knee: {below} vs {above}");
+    }
+}

@@ -1,0 +1,108 @@
+//! MPPTest analog: measure the Hockney parameters `ts` and `tw`.
+//!
+//! The paper obtains the startup and per-byte costs of both interconnects
+//! (InfiniBand on SystemG, Ethernet on Dori) with MPPTest ping-pong runs.
+//! This analog bounces messages of increasing size between two simulated
+//! ranks and least-squares fits one-way time against message size.
+
+use mps::{run, World};
+
+use crate::fit::{fit_line, LineFit};
+
+/// Fitted Hockney parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HockneyFit {
+    /// Startup time `ts`, seconds.
+    pub ts: f64,
+    /// Per-byte time `tw`, seconds/byte.
+    pub tw: f64,
+    /// Fit quality.
+    pub r_squared: f64,
+    /// The raw `(bytes, one-way seconds)` measurements.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Ping-pong sweep over `sizes` (bytes, each a multiple of 8), `reps`
+/// round trips per size.
+pub fn mpptest(world: &World, sizes: &[u64], reps: usize) -> HockneyFit {
+    assert!(sizes.len() >= 2, "need at least two message sizes to fit");
+    assert!(reps > 0, "need at least one repetition");
+    let w = world.clone().with_alpha(1.0);
+    let mut points = Vec::with_capacity(sizes.len());
+    for &bytes in sizes {
+        assert!(bytes % 8 == 0, "sizes must be multiples of 8 bytes");
+        let words = (bytes / 8) as usize;
+        let report = run(&w, 2, move |ctx| {
+            let payload = vec![0u64; words];
+            for r in 0..reps as u64 {
+                if ctx.rank() == 0 {
+                    ctx.send(1, r, payload.clone());
+                    let _ = ctx.recv::<u64>(1, r);
+                } else {
+                    let echo = ctx.recv::<u64>(0, r);
+                    ctx.send(0, r, echo);
+                }
+            }
+        });
+        // Rank 0's finish time is `reps` round trips; one-way = rt / 2.
+        let one_way = report.ranks[0].finish_s / (2.0 * reps as f64);
+        points.push((bytes as f64, one_way));
+    }
+    let LineFit { intercept, slope, r_squared } = fit_line(&points);
+    HockneyFit { ts: intercept, tw: slope, r_squared, points }
+}
+
+/// The standard MPPTest sweep: 0.5 KiB to 512 KiB.
+pub fn default_sizes() -> Vec<u64> {
+    (0..11).map(|i| 512u64 << i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcluster::{dori, system_g};
+
+    #[test]
+    fn recovers_infiniband_parameters() {
+        let w = World::new(system_g(), 2.8e9);
+        let fit = mpptest(&w, &default_sizes(), 3);
+        let link = &w.cluster.link;
+        assert!(
+            (fit.ts - link.startup_s).abs() / link.startup_s < 0.02,
+            "ts {} vs {}",
+            fit.ts,
+            link.startup_s
+        );
+        assert!(
+            (fit.tw - link.per_byte_s).abs() / link.per_byte_s < 0.02,
+            "tw {} vs {}",
+            fit.tw,
+            link.per_byte_s
+        );
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn recovers_ethernet_parameters() {
+        let w = World::new(dori(), 2.0e9);
+        let fit = mpptest(&w, &default_sizes(), 3);
+        let link = &w.cluster.link;
+        assert!((fit.ts - link.startup_s).abs() / link.startup_s < 0.02);
+        assert!((fit.tw - link.per_byte_s).abs() / link.per_byte_s < 0.02);
+    }
+
+    #[test]
+    fn ethernet_slower_than_infiniband() {
+        let g = mpptest(&World::new(system_g(), 2.8e9), &default_sizes(), 2);
+        let d = mpptest(&World::new(dori(), 2.0e9), &default_sizes(), 2);
+        assert!(d.ts > g.ts * 5.0);
+        assert!(d.tw > g.tw * 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiples of 8")]
+    fn odd_sizes_rejected() {
+        let w = World::new(system_g(), 2.8e9);
+        mpptest(&w, &[100, 200], 1);
+    }
+}

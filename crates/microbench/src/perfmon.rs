@@ -1,0 +1,79 @@
+//! Perfmon analog: measure the average time per on-chip instruction.
+//!
+//! The paper builds "a tool using the Perfmon API from UT-Knoxville to
+//! automatically measure the average tc (time per on-chip computation
+//! instruction), derived as CPI/f". Here the tool runs a pure-compute
+//! microkernel on one simulated rank and divides observed wall time by the
+//! instruction count — exactly what the hardware-counter version does.
+
+use mps::{run, World};
+
+/// Measured instruction-rate parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpiMeasurement {
+    /// Average seconds per on-chip instruction (`tc`, Table 1).
+    pub tc_s: f64,
+    /// Cycles per instruction at the measured frequency (`tc · f`).
+    pub cpi: f64,
+    /// Frequency the measurement ran at, Hz.
+    pub f_hz: f64,
+    /// Instructions retired by the microkernel.
+    pub instructions: f64,
+}
+
+/// Measure `tc` and CPI on `world` with an `instructions`-long kernel.
+///
+/// The overlap factor is forced to 1 for the measurement (the paper
+/// calibrates α separately, §VI.F).
+pub fn perfmon_cpi(world: &World, instructions: f64) -> CpiMeasurement {
+    assert!(instructions > 0.0, "need a positive instruction count");
+    let w = world.clone().with_alpha(1.0);
+    let report = run(&w, 1, |ctx| ctx.compute(instructions));
+    let tc = report.span() / instructions;
+    CpiMeasurement { tc_s: tc, cpi: tc * w.f_hz, f_hz: w.f_hz, instructions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcluster::{dori, system_g};
+
+    #[test]
+    fn recovers_configured_cpi_on_system_g() {
+        let w = World::new(system_g(), 2.8e9);
+        let m = perfmon_cpi(&w, 1e7);
+        let expect = w.cluster.node.cpu.base_cpi;
+        assert!(
+            (m.cpi - expect).abs() / expect < 1e-9,
+            "measured CPI {} vs configured {expect}",
+            m.cpi
+        );
+    }
+
+    #[test]
+    fn recovers_configured_cpi_on_dori() {
+        let w = World::new(dori(), 2.0e9);
+        let m = perfmon_cpi(&w, 1e6);
+        let expect = w.cluster.node.cpu.base_cpi;
+        assert!((m.cpi - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn tc_scales_inversely_with_frequency() {
+        let hi = perfmon_cpi(&World::new(system_g(), 2.8e9), 1e6);
+        let lo = perfmon_cpi(&World::new(system_g(), 1.6e9), 1e6);
+        let ratio = lo.tc_s / hi.tc_s;
+        assert!((ratio - 2.8 / 1.6).abs() < 1e-9, "ratio {ratio}");
+        // CPI itself is frequency-independent.
+        assert!((lo.cpi - hi.cpi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_ignores_world_alpha() {
+        let base = World::new(system_g(), 2.8e9);
+        let squeezed = base.clone().with_alpha(0.7);
+        let a = perfmon_cpi(&base, 1e6);
+        let b = perfmon_cpi(&squeezed, 1e6);
+        assert!((a.tc_s - b.tc_s).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,99 @@
+//! PowerPack-style differential power calibration.
+//!
+//! The paper reads `ΔPc`, `ΔPm`, and the idle powers directly from
+//! PowerPack's component channels. The equivalent here: run a single-
+//! component microkernel, divide the energy *above idle* by the component's
+//! busy time. Because the measurement path goes through the same energy
+//! meter the experiments use, recovering the configured deltas validates
+//! the whole power-accounting chain.
+
+use mps::{run, World};
+use simcluster::EnergyMeter;
+
+/// Measured component power deltas and the idle baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerDeltas {
+    /// CPU active delta at the measured frequency, watts.
+    pub delta_cpu_w: f64,
+    /// Memory active delta, watts.
+    pub delta_mem_w: f64,
+    /// Per-core system idle power, watts.
+    pub idle_w: f64,
+    /// Frequency of the measurement, Hz.
+    pub f_hz: f64,
+}
+
+/// Measure `ΔPc`, `ΔPm` and the idle baseline on `world`.
+///
+/// Like PowerPack's per-component channels, each delta is read from that
+/// component's own energy stream: energy above the component's idle share,
+/// divided by the component's busy time.
+pub fn power_deltas(world: &World) -> PowerDeltas {
+    use simcluster::SegmentKind;
+    let w = world.clone().with_alpha(1.0);
+    let meter = EnergyMeter::new(w.cluster.node.clone(), w.f_hz);
+    let idle = w.cluster.node.system_idle_w();
+
+    // CPU kernel.
+    let rep = run(&w, 1, |ctx| ctx.compute(1e7));
+    let span = rep.span();
+    let e = rep.energy(&w);
+    let busy = rep.ranks[0].log.work_time(SegmentKind::Compute);
+    let delta_cpu = (e.cpu_j - w.cluster.node.cpu.idle_w * span) / busy;
+
+    // Memory kernel: a DRAM-resident working set (the cache-hit share lands
+    // on the CPU channel and does not pollute the memory channel).
+    let rep = run(&w, 1, |ctx| ctx.mem_access(1e6, 1 << 28));
+    let span = rep.span();
+    let e = rep.energy(&w);
+    let busy = rep.ranks[0].log.work_time(SegmentKind::Memory);
+    let delta_mem = (e.memory_j - w.cluster.node.memory.power.idle_w * span) / busy;
+
+    let _ = meter;
+    PowerDeltas { delta_cpu_w: delta_cpu, delta_mem_w: delta_mem, idle_w: idle, f_hz: w.f_hz }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcluster::system_g;
+
+    #[test]
+    fn recovers_configured_cpu_delta() {
+        let w = World::new(system_g(), 2.8e9);
+        let d = power_deltas(&w);
+        let expect = w.cluster.node.cpu.delta_power(2.8e9);
+        assert!(
+            (d.delta_cpu_w - expect).abs() / expect < 1e-6,
+            "ΔPc {} vs {}",
+            d.delta_cpu_w,
+            expect
+        );
+    }
+
+    #[test]
+    fn recovers_configured_memory_delta() {
+        let w = World::new(system_g(), 2.8e9);
+        let d = power_deltas(&w);
+        let expect = w.cluster.node.memory.power.delta();
+        assert!((d.delta_mem_w - expect).abs() / expect < 1e-6);
+    }
+
+    #[test]
+    fn cpu_delta_follows_the_f_gamma_law() {
+        let hi = power_deltas(&World::new(system_g(), 2.8e9));
+        let lo = power_deltas(&World::new(system_g(), 1.6e9));
+        // γ = 2 on SystemG: ΔPc(1.6) / ΔPc(2.8) = (1.6/2.8)².
+        let ratio = lo.delta_cpu_w / hi.delta_cpu_w;
+        assert!((ratio - (1.6f64 / 2.8).powi(2)).abs() < 1e-6, "ratio {ratio}");
+        // Memory delta is frequency-independent.
+        assert!((lo.delta_mem_w - hi.delta_mem_w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_matches_node_spec() {
+        let w = World::new(system_g(), 2.8e9);
+        let d = power_deltas(&w);
+        assert_eq!(d.idle_w, w.cluster.node.system_idle_w());
+    }
+}

@@ -1,0 +1,304 @@
+//! Per-rank execution context: work charging and point-to-point messaging.
+
+use std::collections::VecDeque;
+
+use crossbeam::channel::{Receiver, Sender};
+use netsim::Hockney;
+use simcluster::{Segment, SegmentKind, SegmentLog, VirtualClock};
+
+use crate::envelope::{Envelope, INTERNAL_TAG_BASE};
+use crate::stats::Counters;
+use crate::world::World;
+
+/// The handle a rank's program uses to charge work and communicate.
+///
+/// Created by [`crate::run`]; one per rank, owned by the rank's thread.
+pub struct Ctx<'w> {
+    pub(crate) rank: usize,
+    pub(crate) size: usize,
+    pub(crate) world: &'w World,
+    pub(crate) clock: VirtualClock,
+    pub(crate) counters: Counters,
+    pub(crate) log: SegmentLog,
+    pub(crate) senders: Vec<Sender<Envelope>>,
+    pub(crate) receivers: Vec<Receiver<Envelope>>,
+    pub(crate) pending: Vec<VecDeque<Envelope>>,
+    pub(crate) coll_seq: u64,
+    pub(crate) markers: Vec<(String, f64)>,
+    pub(crate) hockney: Hockney,
+}
+
+impl<'w> Ctx<'w> {
+    /// This rank's id, `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the run.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// The world this rank runs in.
+    pub fn world(&self) -> &World {
+        self.world
+    }
+
+    /// Counters accumulated so far.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    // ------------------------------------------------------------------
+    // Work charging
+    // ------------------------------------------------------------------
+
+    /// Charge `instructions` of on-chip computation (`Wc`): the CPU is busy
+    /// for `instructions × tc` with `tc = CPI / f`; wall time is squeezed by
+    /// the overlap factor.
+    pub fn compute(&mut self, instructions: f64) {
+        assert!(
+            instructions.is_finite() && instructions >= 0.0,
+            "instruction count must be non-negative, got {instructions}"
+        );
+        if instructions == 0.0 {
+            return;
+        }
+        self.counters.wc += instructions;
+        let dur = instructions * self.world.tc();
+        self.charge(SegmentKind::Compute, dur);
+    }
+
+    /// Charge `accesses` memory accesses against a working set of
+    /// `working_set_bytes`.
+    ///
+    /// The cache model splits the accesses: the on-chip (cache-hit) share is
+    /// compute time — the paper's Table 1 defines `tc` as *including on-chip
+    /// caches and registers* — and is counted into `Wc` in instruction
+    /// equivalents; only the DRAM share is charged as memory time and
+    /// counted into `Wm` (that is what Perfmon's off-chip counters see).
+    /// Cache latencies are core-clocked, so the on-chip time scales with
+    /// `f_nominal / f` under DVFS; DRAM latency does not.
+    ///
+    /// This is where the simulator is richer than the model's flat `tm`,
+    /// and why strong scaling (smaller per-rank working sets) yields the
+    /// *negative* parallel memory overheads the paper fits for FT and CG.
+    pub fn mem_access(&mut self, accesses: f64, working_set_bytes: u64) {
+        assert!(
+            accesses.is_finite() && accesses >= 0.0,
+            "access count must be non-negative, got {accesses}"
+        );
+        if accesses == 0.0 {
+            return;
+        }
+        let node = &self.world.cluster.node;
+        // Compact rank placement: ranks fill nodes core by core, so up to
+        // `cores()` ranks contend for the node's shared cache levels.
+        let co_resident = self.size.min(node.cores());
+        let prof = node
+            .memory
+            .access_profile_concurrent(working_set_bytes, co_resident);
+
+        // Off-chip share: memory workload at flat DRAM latency.
+        let dram_accesses = accesses * prof.dram_fraction;
+        if dram_accesses > 0.0 {
+            self.counters.wm += dram_accesses;
+            self.charge(SegmentKind::Memory, dram_accesses * node.memory.dram_latency_s);
+        }
+
+        // On-chip share: compute time, slowed by DVFS like the core.
+        let f_scale = node.cpu.dvfs.nominal() / self.world.f_hz;
+        let on_chip_s = accesses * prof.on_chip_s_per_access * f_scale;
+        if on_chip_s > 0.0 {
+            self.counters.wc += on_chip_s / self.world.tc();
+            self.charge(SegmentKind::Compute, on_chip_s);
+        }
+    }
+
+    /// Charge a *streaming* sweep that touches `element_touches` 8-byte-ish
+    /// elements of a `working_set_bytes` working set.
+    ///
+    /// Streaming sweeps (vector updates, FFT passes, CSR traversal) move
+    /// whole 64-byte cache lines and enjoy hardware prefetch, so the
+    /// *countable* off-chip accesses — what Perfmon's miss counters see and
+    /// what the model's `Wm` means — are ≈ 1/8 of the element touches.
+    /// Random-access workloads should use [`Ctx::mem_access`] instead.
+    pub fn mem_stream(&mut self, element_touches: f64, working_set_bytes: u64) {
+        const LINE_ELEMS: f64 = 8.0; // 64-byte lines / 8-byte elements
+        self.mem_access(element_touches / LINE_ELEMS, working_set_bytes);
+    }
+
+    /// Charge `seconds` of flat local I/O (the paper's `T_IO`; NPB charges
+    /// essentially none).
+    pub fn io(&mut self, seconds: f64) {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "I/O time must be non-negative, got {seconds}"
+        );
+        if seconds == 0.0 {
+            return;
+        }
+        self.counters.io_s += seconds;
+        self.charge(SegmentKind::Io, seconds);
+    }
+
+    /// Record a named phase marker at the current virtual time (consumed by
+    /// the PowerPack analog for per-phase energy breakdowns).
+    pub fn phase(&mut self, name: &str) {
+        self.markers.push((name.to_string(), self.clock.now()));
+    }
+
+    /// Push a device-busy segment of `work_s` seconds, advancing the wall
+    /// clock by `α · work_s`.
+    fn charge(&mut self, kind: SegmentKind, work_s: f64) {
+        let wall = self.world.alpha * work_s;
+        self.log.push(Segment {
+            kind,
+            start_s: self.clock.now(),
+            wall_s: wall,
+            work_s,
+        });
+        self.clock.advance(wall);
+    }
+
+    /// Push a wait (idle) segment of `dur` wall seconds.
+    fn log_wait(&mut self, dur: f64) {
+        if dur <= 0.0 {
+            return;
+        }
+        self.log.push(Segment {
+            kind: SegmentKind::Wait,
+            start_s: self.clock.now() - dur, // clock already advanced by caller
+            wall_s: dur,
+            work_s: 0.0,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point messaging
+    // ------------------------------------------------------------------
+
+    /// Send `data` to rank `to` with a user `tag`.
+    ///
+    /// Eager semantics: returns after the NIC-busy time; the payload arrives
+    /// at the receiver `ts + tw·bytes` after the send started.
+    ///
+    /// # Panics
+    /// Panics on self-sends, out-of-range ranks, or tags ≥ 2³² (reserved
+    /// for internal collectives).
+    pub fn send<T: Send + 'static>(&mut self, to: usize, tag: u64, data: Vec<T>) {
+        assert!(tag < INTERNAL_TAG_BASE, "user tags must be < 2^32");
+        self.send_raw(to, tag, data, 2);
+    }
+
+    /// Receive the next message from rank `from` carrying `tag`.
+    ///
+    /// Blocks (in host time) until the message exists; in virtual time the
+    /// rank waits — and logs an idle `Wait` segment — only if the arrival
+    /// time is in its future.
+    ///
+    /// # Panics
+    /// Panics if the payload's element type does not match `T`.
+    pub fn recv<T: Send + 'static>(&mut self, from: usize, tag: u64) -> Vec<T> {
+        assert!(tag < INTERNAL_TAG_BASE, "user tags must be < 2^32");
+        self.recv_raw(from, tag)
+    }
+
+    /// Exchange with a partner: send `data`, then receive the partner's
+    /// message with the same tag. Deadlock-free (sends never block).
+    pub fn exchange<T: Send + 'static>(
+        &mut self,
+        partner: usize,
+        tag: u64,
+        data: Vec<T>,
+    ) -> Vec<T> {
+        assert!(tag < INTERNAL_TAG_BASE, "user tags must be < 2^32");
+        self.exchange_raw(partner, tag, data, 2)
+    }
+
+    pub(crate) fn exchange_raw<T: Send + 'static>(
+        &mut self,
+        partner: usize,
+        tag: u64,
+        data: Vec<T>,
+        concurrency: usize,
+    ) -> Vec<T> {
+        self.send_raw(partner, tag, data, concurrency);
+        self.recv_raw(partner, tag)
+    }
+
+    pub(crate) fn send_raw<T: Send + 'static>(
+        &mut self,
+        to: usize,
+        tag: u64,
+        data: Vec<T>,
+        concurrency: usize,
+    ) {
+        assert!(to < self.size, "send to rank {to} of {}", self.size);
+        assert!(to != self.rank, "self-sends are not allowed (rank {to})");
+        let bytes = (std::mem::size_of::<T>() * data.len()) as u64;
+        let h = self.world.contention.effective(&self.hockney, concurrency);
+        let t_net = h.p2p(bytes);
+        let start = self.clock.now();
+        self.counters.messages += 1.0;
+        self.counters.bytes += bytes as f64;
+        self.charge(SegmentKind::Network, t_net);
+        let env = Envelope {
+            tag,
+            arrival_s: start + t_net, // full link time, not overlap-squeezed
+            bytes,
+            payload: Box::new(data),
+        };
+        self.senders[to]
+            .send(env)
+            .expect("receiver rank hung up — did a rank panic?");
+    }
+
+    pub(crate) fn recv_raw<T: Send + 'static>(&mut self, from: usize, tag: u64) -> Vec<T> {
+        assert!(from < self.size, "recv from rank {from} of {}", self.size);
+        assert!(from != self.rank, "self-receives are not allowed");
+        let env = self.take_envelope(from, tag);
+        let waited = self.clock.advance_to(env.arrival_s);
+        self.log_wait(waited);
+        *env
+            .payload
+            .downcast::<Vec<T>>()
+            .unwrap_or_else(|_| {
+                panic!(
+                    "rank {}: type mismatch receiving tag {tag} from rank {from} \
+                     ({} bytes)",
+                    self.rank, env.bytes
+                )
+            })
+    }
+
+    /// Pull the first envelope from `from` matching `tag`, buffering any
+    /// earlier non-matching messages.
+    fn take_envelope(&mut self, from: usize, tag: u64) -> Envelope {
+        if let Some(pos) = self.pending[from].iter().position(|e| e.tag == tag) {
+            return self.pending[from].remove(pos).expect("position exists");
+        }
+        loop {
+            let env = self.receivers[from]
+                .recv()
+                .expect("sender rank hung up — did a rank panic?");
+            if env.tag == tag {
+                return env;
+            }
+            self.pending[from].push_back(env);
+        }
+    }
+
+    /// Next internal-collective sequence number (same on every rank because
+    /// collectives execute in program order).
+    pub(crate) fn next_coll_seq(&mut self) -> u64 {
+        let s = self.coll_seq;
+        self.coll_seq += 1;
+        s
+    }
+}

@@ -1,0 +1,160 @@
+//! Spawn and join simulated ranks; collect the run report.
+
+use std::collections::VecDeque;
+
+use crossbeam::channel::unbounded;
+use simcluster::{ComponentEnergy, EnergyMeter, SegmentLog, VirtualClock};
+
+use crate::ctx::Ctx;
+use crate::envelope::Envelope;
+use crate::stats::Counters;
+use crate::world::World;
+
+/// What one rank produced.
+#[derive(Debug, Clone)]
+pub struct RankOutcome<R> {
+    /// The rank id.
+    pub rank: usize,
+    /// The program's return value.
+    pub result: R,
+    /// Workload counters (`Wc`, `Wm`, `M`, `B`, `T_IO`).
+    pub stats: Counters,
+    /// Typed activity log for energy metering and power profiling.
+    pub log: SegmentLog,
+    /// Virtual finish time of the rank, seconds.
+    pub finish_s: f64,
+    /// Phase markers `(name, virtual time)` recorded via [`Ctx::phase`].
+    pub markers: Vec<(String, f64)>,
+}
+
+/// The result of a parallel run.
+#[derive(Debug, Clone)]
+pub struct RunReport<R> {
+    /// Per-rank outcomes, indexed by rank.
+    pub ranks: Vec<RankOutcome<R>>,
+    /// The frequency the run used, Hz.
+    pub f_hz: f64,
+}
+
+impl<R> RunReport<R> {
+    /// The parallel span `Tp`: the latest rank finish time.
+    pub fn span(&self) -> f64 {
+        self.ranks.iter().map(|r| r.finish_s).fold(0.0, f64::max)
+    }
+
+    /// All-processor counter totals (the sums in the paper's Eqs. 15–16).
+    pub fn total_counters(&self) -> Counters {
+        Counters::total(self.ranks.iter().map(|r| &r.stats))
+    }
+
+    /// Borrow the per-rank activity logs.
+    pub fn logs(&self) -> Vec<&SegmentLog> {
+        self.ranks.iter().map(|r| &r.log).collect()
+    }
+
+    /// Measure the run's total energy on `world`'s node type — the
+    /// simulator-side `Ep` the analytical model is validated against.
+    pub fn energy(&self, world: &World) -> ComponentEnergy {
+        let meter = EnergyMeter::new(world.cluster.node.clone(), self.f_hz);
+        let logs: Vec<SegmentLog> = self.ranks.iter().map(|r| r.log.clone()).collect();
+        meter.run_energy(&logs).0
+    }
+}
+
+/// Run `program` on `p` simulated ranks over `world`.
+///
+/// Each rank executes `program(&mut ctx)` on its own thread with its own
+/// virtual clock; the function returns when all ranks finish. Panics in any
+/// rank propagate (the run aborts loudly rather than deadlocking).
+///
+/// # Panics
+/// Panics if `p == 0` or `p` exceeds the cluster's total cores.
+pub fn run<R, F>(world: &World, p: usize, program: F) -> RunReport<R>
+where
+    R: Send,
+    F: Fn(&mut Ctx) -> R + Sync,
+{
+    assert!(p > 0, "need at least one rank");
+    assert!(
+        p <= world.cluster.total_cores(),
+        "{p} ranks exceed {}'s {} cores",
+        world.cluster.name,
+        world.cluster.total_cores()
+    );
+
+    // One unbounded channel per ordered rank pair: txs[s][d] sends s -> d,
+    // rxs[d][s] receives s -> d.
+    let mut txs: Vec<Vec<crossbeam::channel::Sender<Envelope>>> =
+        (0..p).map(|_| Vec::with_capacity(p)).collect();
+    let mut rxs: Vec<Vec<Option<crossbeam::channel::Receiver<Envelope>>>> =
+        (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+    for s in 0..p {
+        for d in 0..p {
+            let (tx, rx) = unbounded::<Envelope>();
+            txs[s].push(tx);
+            rxs[d][s] = Some(rx);
+        }
+    }
+
+    let hockney = world.hockney();
+    let program = &program;
+
+    let mut outcomes: Vec<Option<RankOutcome<R>>> = (0..p).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for (rank, rx_row) in rxs.into_iter().enumerate() {
+            // Senders for this rank: the tx of channel rank -> d for each d.
+            let my_senders: Vec<_> = (0..p).map(|d| txs[rank][d].clone()).collect();
+            let receivers: Vec<_> = rx_row
+                .into_iter()
+                .map(|r| r.expect("every pair wired"))
+                .collect();
+            let handle = scope.spawn(move |_| {
+                let mut ctx = Ctx {
+                    rank,
+                    size: p,
+                    world,
+                    clock: VirtualClock::new(),
+                    counters: Counters::default(),
+                    log: SegmentLog::new(rank),
+                    senders: my_senders,
+                    receivers,
+                    pending: (0..p).map(|_| VecDeque::new()).collect(),
+                    coll_seq: 0,
+                    markers: Vec::new(),
+                    hockney,
+                };
+                let result = program(&mut ctx);
+                let mut log = ctx.log;
+                log.coalesce();
+                RankOutcome {
+                    rank,
+                    result,
+                    stats: ctx.counters,
+                    log,
+                    finish_s: ctx.clock.now(),
+                    markers: ctx.markers,
+                }
+            });
+            handles.push(handle);
+        }
+        // Drop the original senders: each rank now holds the only clones of
+        // its outgoing channels, so a panicking rank disconnects its peers
+        // (turning would-be deadlocks into loud panics).
+        drop(txs);
+        for handle in handles {
+            let outcome = handle.join().expect("rank panicked");
+            let slot = outcome.rank;
+            outcomes[slot] = Some(outcome);
+        }
+    })
+    .expect("simulation scope panicked");
+
+    RunReport {
+        ranks: outcomes
+            .into_iter()
+            .map(|o| o.expect("every rank reported"))
+            .collect(),
+        f_hz: world.f_hz,
+    }
+}

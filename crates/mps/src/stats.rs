@@ -1,0 +1,76 @@
+//! Per-rank workload counters — the quantities the paper measures with
+//! Perfmon (on/off-chip workloads) and TAU/PMPI (message and byte counts).
+
+use std::ops::AddAssign;
+
+/// Counters accumulated by one rank during a run.
+///
+/// These are the raw inputs to the application-dependent parameter vector
+/// `Appl(p, n) = (α, Wc, Wm, Woc, Wom, M, B)` of the paper's Table 2: the
+/// calibration pipeline (`isoee::calibrate`) derives the overhead terms by
+/// differencing parallel and sequential counter totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Counters {
+    /// On-chip computation workload `Wc` (instructions).
+    pub wc: f64,
+    /// Off-chip memory access workload `Wm` (accesses).
+    pub wm: f64,
+    /// Messages sent `M`.
+    pub messages: f64,
+    /// Bytes sent `B`.
+    pub bytes: f64,
+    /// Flat I/O time charged (seconds; the paper's `T_IO`, ≈ 0 for NPB).
+    pub io_s: f64,
+}
+
+impl AddAssign<&Counters> for Counters {
+    fn add_assign(&mut self, rhs: &Counters) {
+        self.wc += rhs.wc;
+        self.wm += rhs.wm;
+        self.messages += rhs.messages;
+        self.bytes += rhs.bytes;
+        self.io_s += rhs.io_s;
+    }
+}
+
+impl Counters {
+    /// Sum of a slice of counters (the paper's "all-processor" totals in
+    /// Eqs. 15–16).
+    pub fn total<'a>(items: impl IntoIterator<Item = &'a Counters>) -> Counters {
+        let mut out = Counters::default();
+        for c in items {
+            out += c;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_accumulates_all_fields() {
+        let mut a = Counters { wc: 1.0, wm: 2.0, messages: 3.0, bytes: 4.0, io_s: 5.0 };
+        let b = Counters { wc: 10.0, wm: 20.0, messages: 30.0, bytes: 40.0, io_s: 50.0 };
+        a += &b;
+        assert_eq!(a, Counters { wc: 11.0, wm: 22.0, messages: 33.0, bytes: 44.0, io_s: 55.0 });
+    }
+
+    #[test]
+    fn total_over_slice() {
+        let xs = vec![
+            Counters { wc: 1.0, ..Default::default() },
+            Counters { wc: 2.0, messages: 1.0, ..Default::default() },
+        ];
+        let t = Counters::total(&xs);
+        assert_eq!(t.wc, 3.0);
+        assert_eq!(t.messages, 1.0);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let c = Counters::default();
+        assert_eq!(c.wc + c.wm + c.messages + c.bytes + c.io_s, 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Run configuration: cluster, DVFS state, overlap factor, contention.
+
+use netsim::{ContentionModel, Hockney};
+use simcluster::ClusterSpec;
+
+/// Everything a simulated run needs to know about its environment.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// The machine the ranks run on.
+    pub cluster: ClusterSpec,
+    /// DVFS frequency every core runs at, in Hz.
+    pub f_hz: f64,
+    /// Overlap factor `α ∈ (0, 1]` (paper §VI.F): wall time of work segments
+    /// is `α ×` their device-busy time. `1.0` means no overlap.
+    pub alpha: f64,
+    /// Link contention model applied during communication.
+    pub contention: ContentionModel,
+}
+
+impl World {
+    /// A world at frequency `f_hz` with no overlap and mild contention
+    /// (knee at one node's worth of cores, slope 0.15 — enough to make the
+    /// "measurement" diverge from the contention-free analytical model the
+    /// way real fabrics do).
+    ///
+    /// # Panics
+    /// Panics if `f_hz` is not one of the cluster's DVFS states.
+    pub fn new(cluster: ClusterSpec, f_hz: f64) -> Self {
+        cluster.validate();
+        assert!(
+            cluster.node.cpu.dvfs.contains(f_hz),
+            "{} Hz is not a DVFS state of {}",
+            f_hz,
+            cluster.name
+        );
+        let knee = cluster.node.cores().max(1);
+        Self {
+            cluster,
+            f_hz,
+            alpha: 1.0,
+            contention: ContentionModel::new(knee, 0.15),
+        }
+    }
+
+    /// Set the overlap factor `α`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < alpha <= 1`.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        assert!(
+            alpha.is_finite() && alpha > 0.0 && alpha <= 1.0,
+            "overlap factor must be in (0, 1], got {alpha}"
+        );
+        self.alpha = alpha;
+        self
+    }
+
+    /// Replace the contention model (use [`ContentionModel::none`] to get
+    /// pure Hockney behaviour).
+    pub fn with_contention(mut self, contention: ContentionModel) -> Self {
+        self.contention = contention;
+        self
+    }
+
+    /// The base (contention-free) Hockney parameters of the cluster's link.
+    pub fn hockney(&self) -> Hockney {
+        Hockney::new(self.cluster.link.startup_s, self.cluster.link.per_byte_s)
+    }
+
+    /// Average time per on-chip instruction at this world's frequency.
+    pub fn tc(&self) -> f64 {
+        self.cluster.node.cpu.tc(self.f_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcluster::{dori, system_g};
+
+    #[test]
+    fn world_accepts_valid_dvfs_state() {
+        let w = World::new(system_g(), 2.4e9);
+        assert_eq!(w.f_hz, 2.4e9);
+        assert_eq!(w.alpha, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a DVFS state")]
+    fn world_rejects_off_table_frequency() {
+        World::new(system_g(), 3.1e9);
+    }
+
+    #[test]
+    fn alpha_builder_validates() {
+        let w = World::new(dori(), 2.0e9).with_alpha(0.85);
+        assert_eq!(w.alpha, 0.85);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap factor")]
+    fn alpha_above_one_rejected() {
+        World::new(dori(), 2.0e9).with_alpha(1.5);
+    }
+
+    #[test]
+    fn hockney_matches_link() {
+        let w = World::new(system_g(), 2.8e9);
+        let h = w.hockney();
+        assert_eq!(h.ts, w.cluster.link.startup_s);
+        assert_eq!(h.tw, w.cluster.link.per_byte_s);
+    }
+
+    #[test]
+    fn tc_respects_frequency() {
+        let hi = World::new(system_g(), 2.8e9);
+        let lo = World::new(system_g(), 1.6e9);
+        assert!(lo.tc() > hi.tc());
+    }
+}

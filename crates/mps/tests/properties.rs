@@ -1,0 +1,180 @@
+//! Property-based tests for the message-passing runtime: collective
+//! correctness for arbitrary rank counts and payloads, timing invariants,
+//! and counter accounting.
+
+use mps::{run, ReduceOp, World};
+use proptest::prelude::*;
+use simcluster::{system_g, SegmentKind};
+
+fn world() -> World {
+    World::new(system_g(), 2.8e9)
+}
+
+proptest! {
+    // Each case spawns threads; keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn allreduce_sum_equals_sequential_reduction(
+        p in 1usize..10,
+        data in proptest::collection::vec(-1e6f64..1e6, 1..8),
+    ) {
+        let w = world();
+        let data_ref = &data;
+        let r = run(&w, p, move |ctx| {
+            // Rank-dependent input: element i scaled by (rank+1).
+            let mine: Vec<f64> =
+                data_ref.iter().map(|x| x * (ctx.rank() + 1) as f64).collect();
+            ctx.allreduce_sum(&mine)
+        });
+        let scale: f64 = (1..=p).map(|r| r as f64).sum();
+        for rk in &r.ranks {
+            for (got, x) in rk.result.iter().zip(&data) {
+                let want = x * scale;
+                prop_assert!(
+                    (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+                    "p={p} got {got} want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_max_and_min_agree_with_iterator(
+        p in 2usize..9,
+        seed in 0u64..1000,
+    ) {
+        let w = world();
+        let r = run(&w, p, move |ctx| {
+            let x = [((ctx.rank() as u64 * 2654435761 + seed) % 1000) as f64];
+            (
+                ctx.allreduce(&x, ReduceOp::Max)[0],
+                ctx.allreduce(&x, ReduceOp::Min)[0],
+            )
+        });
+        let vals: Vec<f64> = (0..p)
+            .map(|rk| ((rk as u64 * 2654435761 + seed) % 1000) as f64)
+            .collect();
+        let want_max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let want_min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        for rk in &r.ranks {
+            prop_assert_eq!(rk.result, (want_max, want_min));
+        }
+    }
+
+    #[test]
+    fn alltoall_is_an_exact_transpose(p in 1usize..9, tag in 0u32..100) {
+        let w = world();
+        let r = run(&w, p, move |ctx| {
+            let chunks: Vec<Vec<u64>> = (0..ctx.size())
+                .map(|d| vec![(ctx.rank() as u64) << 32 | d as u64 | (tag as u64) << 16])
+                .collect();
+            ctx.alltoall(chunks)
+        });
+        for rk in &r.ranks {
+            for (s, chunk) in rk.result.iter().enumerate() {
+                let want = (s as u64) << 32 | rk.rank as u64 | (tag as u64) << 16;
+                prop_assert_eq!(chunk[0], want);
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_preserves_every_contribution(
+        p in 1usize..9,
+        len in 1usize..16,
+    ) {
+        let w = world();
+        let r = run(&w, p, move |ctx| {
+            ctx.allgather(vec![ctx.rank() as u32; len])
+        });
+        for rk in &r.ranks {
+            prop_assert_eq!(rk.result.len(), p);
+            for (s, chunk) in rk.result.iter().enumerate() {
+                prop_assert_eq!(chunk.len(), len);
+                prop_assert!(chunk.iter().all(|&v| v == s as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_from_every_root(p in 1usize..8, root_pick in 0usize..8, val in any::<u32>()) {
+        let root = root_pick % p;
+        let w = world();
+        let r = run(&w, p, move |ctx| {
+            let data = if ctx.rank() == root { vec![val; 3] } else { vec![] };
+            ctx.bcast(root, data)
+        });
+        for rk in &r.ranks {
+            prop_assert_eq!(&rk.result, &vec![val; 3]);
+        }
+    }
+
+    #[test]
+    fn clocks_never_go_backward_and_finish_covers_work(
+        p in 1usize..6,
+        instr in 1e3f64..1e7,
+    ) {
+        let w = world();
+        let r = run(&w, p, move |ctx| {
+            ctx.compute(instr);
+            ctx.barrier();
+            ctx.now()
+        });
+        let tc = w.tc();
+        for rk in &r.ranks {
+            prop_assert!(rk.finish_s >= instr * tc * 0.999);
+            prop_assert!(rk.result <= rk.finish_s + 1e-15);
+            // Log end equals the rank's clock.
+            prop_assert!((rk.log.end_s() - rk.finish_s).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn counters_match_segment_times(p in 1usize..5, instr in 1e4f64..1e6) {
+        let w = world();
+        let r = run(&w, p, move |ctx| {
+            ctx.compute(instr);
+            ctx.mem_access(1e4, 1 << 28);
+        });
+        let tc = w.tc();
+        for rk in &r.ranks {
+            // Compute work time = (charged wc) · tc exactly (no comm here).
+            let wc_time = rk.log.work_time(SegmentKind::Compute);
+            prop_assert!((wc_time - rk.stats.wc * tc).abs() <= 1e-9 * wc_time.max(1e-12));
+            // Memory work time = wm · dram latency.
+            let wm_time = rk.log.work_time(SegmentKind::Memory);
+            let dram = w.cluster.node.memory.dram_latency_s;
+            prop_assert!((wm_time - rk.stats.wm * dram).abs() <= 1e-9 * wm_time.max(1e-12));
+        }
+    }
+
+    #[test]
+    fn message_bytes_count_payload_exactly(p in 2usize..6, words in 1usize..512) {
+        let w = world();
+        let r = run(&w, p, move |ctx| {
+            if ctx.rank() == 0 {
+                for d in 1..ctx.size() {
+                    ctx.send(d, 0, vec![0u64; words]);
+                }
+            } else {
+                let _ = ctx.recv::<u64>(0, 0);
+            }
+        });
+        let c = r.total_counters();
+        prop_assert_eq!(c.messages, (p - 1) as f64);
+        prop_assert_eq!(c.bytes, ((p - 1) * words * 8) as f64);
+    }
+
+    #[test]
+    fn alpha_scales_span_linearly_for_pure_compute(
+        alpha in 0.5f64..1.0,
+        instr in 1e5f64..1e7,
+    ) {
+        let base = world();
+        let squeezed = world().with_alpha(alpha);
+        let t_base = run(&base, 1, move |ctx| ctx.compute(instr)).span();
+        let t_sq = run(&squeezed, 1, move |ctx| ctx.compute(instr)).span();
+        prop_assert!((t_sq / t_base - alpha).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,184 @@
+//! Closed-form time models for MPI collective algorithms.
+//!
+//! These are the textbook costs (Thakur, "Improving the performance of
+//! collective operations in MPICH" — the paper's [33]) that MPICH/MVAPICH of
+//! the paper's era used, expressed over the Hockney parameters. The `mps`
+//! runtime implements the same algorithms message by message; these closed
+//! forms are what the *analytical model* uses, so any difference between the
+//! two (e.g. synchronization skew) shows up as model error — exactly as it
+//! does on real hardware.
+//!
+//! All sizes are bytes of *per-process* payload as seen by the caller of the
+//! corresponding MPI routine.
+
+use crate::hockney::Hockney;
+
+fn log2_ceil(p: usize) -> u32 {
+    assert!(p > 0);
+    usize::BITS - (p - 1).leading_zeros()
+}
+
+/// Pairwise-exchange all-to-all among `p` processes, each contributing
+/// `bytes_per_pair` bytes *to every other process*:
+///
+/// ```text
+/// T = (p − 1) · (ts + tw · m)
+/// ```
+///
+/// This is the form the paper quotes for FT's `MPI_Alltoall`
+/// ("Pairwise exchange/Hockney model", §V.B.1).
+pub fn alltoall_pairwise_time(h: &Hockney, p: usize, bytes_per_pair: u64) -> f64 {
+    assert!(p > 0, "need at least one process");
+    if p == 1 {
+        return 0.0;
+    }
+    (p as f64 - 1.0) * h.p2p(bytes_per_pair)
+}
+
+/// Recursive-doubling allreduce of a `bytes`-byte vector among `p`
+/// processes (power-of-two steps; non-powers pay one extra step):
+///
+/// ```text
+/// T = ceil(log2 p) · (ts + tw · m)
+/// ```
+pub fn allreduce_recursive_doubling_time(h: &Hockney, p: usize, bytes: u64) -> f64 {
+    assert!(p > 0, "need at least one process");
+    if p == 1 {
+        return 0.0;
+    }
+    log2_ceil(p) as f64 * h.p2p(bytes)
+}
+
+/// Binomial-tree broadcast of `bytes` bytes: `ceil(log2 p) · (ts + tw·m)`.
+pub fn bcast_binomial_time(h: &Hockney, p: usize, bytes: u64) -> f64 {
+    assert!(p > 0, "need at least one process");
+    if p == 1 {
+        return 0.0;
+    }
+    log2_ceil(p) as f64 * h.p2p(bytes)
+}
+
+/// Binomial-tree reduce of `bytes` bytes: same shape as broadcast.
+pub fn reduce_binomial_time(h: &Hockney, p: usize, bytes: u64) -> f64 {
+    bcast_binomial_time(h, p, bytes)
+}
+
+/// Ring allgather where each process contributes `bytes_per_rank`:
+/// `(p − 1) · (ts + tw · m)`.
+pub fn allgather_ring_time(h: &Hockney, p: usize, bytes_per_rank: u64) -> f64 {
+    assert!(p > 0, "need at least one process");
+    if p == 1 {
+        return 0.0;
+    }
+    (p as f64 - 1.0) * h.p2p(bytes_per_rank)
+}
+
+/// Dissemination barrier: `ceil(log2 p)` zero-payload rounds.
+pub fn barrier_dissemination_time(h: &Hockney, p: usize) -> f64 {
+    assert!(p > 0, "need at least one process");
+    if p == 1 {
+        return 0.0;
+    }
+    log2_ceil(p) as f64 * h.p2p(0)
+}
+
+/// Message/byte *counts* contributed per process by each collective — the
+/// quantities the paper's `M` and `B` application parameters accumulate
+/// (measured there with TAU/PMPI).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectiveCounts {
+    /// Messages sent by one process.
+    pub messages: f64,
+    /// Bytes sent by one process.
+    pub bytes: f64,
+}
+
+/// Per-process send counts of a pairwise-exchange all-to-all.
+pub fn alltoall_pairwise_counts(p: usize, bytes_per_pair: u64) -> CollectiveCounts {
+    if p <= 1 {
+        return CollectiveCounts { messages: 0.0, bytes: 0.0 };
+    }
+    CollectiveCounts {
+        messages: (p - 1) as f64,
+        bytes: (p - 1) as f64 * bytes_per_pair as f64,
+    }
+}
+
+/// Per-process send counts of a recursive-doubling allreduce.
+pub fn allreduce_recursive_doubling_counts(p: usize, bytes: u64) -> CollectiveCounts {
+    if p <= 1 {
+        return CollectiveCounts { messages: 0.0, bytes: 0.0 };
+    }
+    let rounds = log2_ceil(p) as f64;
+    CollectiveCounts { messages: rounds, bytes: rounds * bytes as f64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h() -> Hockney {
+        Hockney::new(1e-5, 1e-9)
+    }
+
+    #[test]
+    fn single_process_collectives_are_free() {
+        let h = h();
+        assert_eq!(alltoall_pairwise_time(&h, 1, 1024), 0.0);
+        assert_eq!(allreduce_recursive_doubling_time(&h, 1, 1024), 0.0);
+        assert_eq!(bcast_binomial_time(&h, 1, 1024), 0.0);
+        assert_eq!(allgather_ring_time(&h, 1, 1024), 0.0);
+        assert_eq!(barrier_dissemination_time(&h, 1), 0.0);
+    }
+
+    #[test]
+    fn alltoall_matches_paper_formula() {
+        let h = h();
+        // (p-1)(ts + tw m) for p=8, m=4096
+        let expect = 7.0 * (1e-5 + 1e-9 * 4096.0);
+        assert!((alltoall_pairwise_time(&h, 8, 4096) - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn allreduce_is_logarithmic() {
+        let h = h();
+        let t8 = allreduce_recursive_doubling_time(&h, 8, 64);
+        let t64 = allreduce_recursive_doubling_time(&h, 64, 64);
+        assert!((t64 / t8 - 2.0).abs() < 1e-12, "log2(64)/log2(8) = 2");
+    }
+
+    #[test]
+    fn non_power_of_two_rounds_up() {
+        let h = h();
+        let t9 = allreduce_recursive_doubling_time(&h, 9, 64);
+        let t16 = allreduce_recursive_doubling_time(&h, 16, 64);
+        assert!((t9 - t16).abs() < 1e-15, "9 procs pay ceil(log2 9) = 4 rounds");
+    }
+
+    #[test]
+    fn barrier_carries_no_payload() {
+        let h = h();
+        let t = barrier_dissemination_time(&h, 16);
+        assert!((t - 4.0 * h.ts).abs() < 1e-15);
+    }
+
+    #[test]
+    fn counts_match_times() {
+        let h = h();
+        let c = alltoall_pairwise_counts(8, 4096);
+        let t = alltoall_pairwise_time(&h, 8, 4096);
+        assert!((h.aggregate(c.messages, c.bytes) - t).abs() < 1e-15);
+        let c = allreduce_recursive_doubling_counts(32, 256);
+        let t = allreduce_recursive_doubling_time(&h, 32, 256);
+        assert!((h.aggregate(c.messages, c.bytes) - t).abs() < 1e-15);
+    }
+
+    #[test]
+    fn log2_ceil_cases() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(8), 3);
+        assert_eq!(log2_ceil(9), 4);
+    }
+}

@@ -1,0 +1,115 @@
+//! A simple link-contention model.
+//!
+//! The analytical model assumes contention-free Hockney links. Real fabrics
+//! (and our simulator) are not: when many processes drive the network
+//! simultaneously — FT's all-to-all being the canonical case — effective
+//! per-byte time inflates. We model this with a mild concurrency penalty:
+//!
+//! ```text
+//! tw_eff(c) = tw · (1 + κ · max(0, c − c₀) / c₀)
+//! ```
+//!
+//! where `c` is the number of concurrently communicating processes, `c₀` the
+//! contention-free concurrency the fabric sustains (ports per switch tier),
+//! and `κ` a small slope. With `κ = 0` the model degrades to pure Hockney.
+//!
+//! This is intentionally crude — its purpose is not fidelity to a particular
+//! switch, but to make the simulated "measurement" diverge from the
+//! analytical prediction the way real systems do (paper Fig. 4's 5–8 %
+//! errors), and to do so more strongly for communication-heavy codes (FT)
+//! than compute-bound ones (EP).
+
+use serde::{Deserialize, Serialize};
+
+use crate::hockney::Hockney;
+
+/// Concurrency-dependent bandwidth inflation over a base Hockney model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContentionModel {
+    /// Contention-free concurrency (e.g. non-blocking switch ports).
+    pub free_concurrency: usize,
+    /// Inflation slope `κ` per `free_concurrency` extra talkers.
+    pub kappa: f64,
+}
+
+impl ContentionModel {
+    /// A model with the given knee and slope.
+    ///
+    /// # Panics
+    /// Panics if `free_concurrency == 0` or `kappa < 0`.
+    pub fn new(free_concurrency: usize, kappa: f64) -> Self {
+        assert!(free_concurrency > 0, "free concurrency must be positive");
+        assert!(kappa.is_finite() && kappa >= 0.0, "kappa must be non-negative");
+        Self { free_concurrency, kappa }
+    }
+
+    /// A contention-free model (pure Hockney behaviour).
+    pub fn none() -> Self {
+        Self { free_concurrency: 1, kappa: 0.0 }
+    }
+
+    /// The effective Hockney parameters when `concurrency` processes
+    /// communicate at once.
+    pub fn effective(&self, base: &Hockney, concurrency: usize) -> Hockney {
+        let c = concurrency.max(1) as f64;
+        let c0 = self.free_concurrency as f64;
+        let over = (c - c0).max(0.0) / c0;
+        Hockney { ts: base.ts, tw: base.tw * (1.0 + self.kappa * over) }
+    }
+
+    /// Inflation factor applied to `tw` at a given concurrency.
+    pub fn inflation(&self, concurrency: usize) -> f64 {
+        let c = concurrency.max(1) as f64;
+        let c0 = self.free_concurrency as f64;
+        1.0 + self.kappa * ((c - c0).max(0.0) / c0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_identity() {
+        let base = Hockney::new(1e-6, 1e-9);
+        let m = ContentionModel::none();
+        for c in [1, 2, 64, 4096] {
+            let e = m.effective(&base, c);
+            assert_eq!(e, base, "concurrency {c}");
+        }
+    }
+
+    #[test]
+    fn below_knee_no_inflation() {
+        let m = ContentionModel::new(16, 0.5);
+        assert_eq!(m.inflation(1), 1.0);
+        assert_eq!(m.inflation(16), 1.0);
+    }
+
+    #[test]
+    fn above_knee_inflates_linearly() {
+        let m = ContentionModel::new(16, 0.5);
+        assert!((m.inflation(32) - 1.5).abs() < 1e-12);
+        assert!((m.inflation(48) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn startup_unaffected_by_contention() {
+        let base = Hockney::new(1e-6, 1e-9);
+        let m = ContentionModel::new(4, 1.0);
+        let e = m.effective(&base, 100);
+        assert_eq!(e.ts, base.ts);
+        assert!(e.tw > base.tw);
+    }
+
+    #[test]
+    fn inflation_monotone_in_concurrency() {
+        let m = ContentionModel::new(8, 0.3);
+        let mut prev = 0.0;
+        for c in 1..200 {
+            let i = m.inflation(c);
+            assert!(i >= prev);
+            prev = i;
+        }
+    }
+}

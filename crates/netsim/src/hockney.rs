@@ -1,0 +1,102 @@
+//! The Hockney point-to-point communication model.
+//!
+//! A message of `m` bytes between two processes costs
+//!
+//! ```text
+//! t(m) = ts + tw · m
+//! ```
+//!
+//! where `ts` is the startup (latency) term and `tw` the per-byte
+//! (1/bandwidth) term. This is the model the paper measures with MPPTest
+//! (Table 1's `t_s`/`t_w`) and uses for its network-time term
+//! `Σ T_net = M·ts + B·tw` (Eq. 17) and the FT pairwise-exchange analysis.
+
+use serde::{Deserialize, Serialize};
+
+/// Hockney model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Hockney {
+    /// Startup time `ts` per message, seconds.
+    pub ts: f64,
+    /// Per-byte time `tw`, seconds/byte.
+    pub tw: f64,
+}
+
+impl Hockney {
+    /// Construct a model; panics on non-positive parameters.
+    pub fn new(ts: f64, tw: f64) -> Self {
+        assert!(ts.is_finite() && ts > 0.0, "ts must be positive, got {ts}");
+        assert!(tw.is_finite() && tw > 0.0, "tw must be positive, got {tw}");
+        Self { ts, tw }
+    }
+
+    /// Time to move one `bytes`-byte message point to point.
+    pub fn p2p(&self, bytes: u64) -> f64 {
+        self.ts + self.tw * bytes as f64
+    }
+
+    /// Aggregate network time for `messages` messages carrying `bytes` total
+    /// payload — the paper's Eq. 17: `M·ts + B·tw`.
+    pub fn aggregate(&self, messages: f64, bytes: f64) -> f64 {
+        assert!(messages >= 0.0 && bytes >= 0.0, "counts must be non-negative");
+        messages * self.ts + bytes * self.tw
+    }
+
+    /// The message size at which bandwidth cost equals startup cost
+    /// (`n_1/2` in Hockney's terminology): `ts / tw` bytes.
+    pub fn half_power_point(&self) -> f64 {
+        self.ts / self.tw
+    }
+
+    /// Asymptotic bandwidth in bytes/second.
+    pub fn bandwidth(&self) -> f64 {
+        1.0 / self.tw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ib() -> Hockney {
+        Hockney::new(2.6e-6, 3.3e-10)
+    }
+
+    #[test]
+    fn zero_byte_message_costs_startup() {
+        assert_eq!(ib().p2p(0), 2.6e-6);
+    }
+
+    #[test]
+    fn p2p_is_affine() {
+        let h = ib();
+        let t = h.p2p(1_000_000);
+        assert!((t - (2.6e-6 + 1e6 * 3.3e-10)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn aggregate_matches_eq17() {
+        let h = ib();
+        let t = h.aggregate(100.0, 1e6);
+        assert!((t - (100.0 * h.ts + 1e6 * h.tw)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn half_power_point_balances_terms() {
+        let h = ib();
+        let n = h.half_power_point();
+        assert!((h.ts - h.tw * n).abs() < 1e-18);
+    }
+
+    #[test]
+    fn bandwidth_is_reciprocal_tw() {
+        let h = ib();
+        assert!((h.bandwidth() - 1.0 / 3.3e-10).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ts must be positive")]
+    fn zero_ts_rejected() {
+        Hockney::new(0.0, 1e-9);
+    }
+}

@@ -1,0 +1,305 @@
+//! Shared NPB infrastructure: the `randlc` generator, problem classes, and
+//! processor-grid helpers.
+
+/// NPB's linear congruential generator: `x_{k+1} = a·x_k mod 2^46`, with
+/// `a = 5^13` and default seed `271828183`. Returns uniforms in `(0, 1)`.
+///
+/// The original is implemented in double-precision tricks; we use exact
+/// 128-bit integer arithmetic, which produces the identical sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Randlc {
+    x: u64,
+}
+
+/// Modulus 2^46.
+const M46: u64 = 1 << 46;
+/// NPB multiplier a = 5^13.
+pub const RANDLC_A: u64 = 1_220_703_125;
+/// NPB default seed.
+pub const RANDLC_SEED: u64 = 271_828_183;
+
+impl Randlc {
+    /// Start the sequence at `seed` (must be odd and < 2^46, as in NPB).
+    pub fn new(seed: u64) -> Self {
+        assert!(seed < M46, "seed must be < 2^46");
+        assert!(seed % 2 == 1, "NPB randlc seeds are odd");
+        Self { x: seed }
+    }
+
+    /// The canonical NPB generator.
+    pub fn nas_default() -> Self {
+        Self::new(RANDLC_SEED)
+    }
+
+    /// Next uniform deviate in `(0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.x = mul_mod46(self.x, RANDLC_A);
+        self.x as f64 / M46 as f64
+    }
+
+    /// Current raw state.
+    pub fn state(&self) -> u64 {
+        self.x
+    }
+
+    /// Jump the generator forward by `k` steps in `O(log k)` — NPB's
+    /// `a^k mod 2^46` trick, used to give each rank an independent,
+    /// reproducible block of the global sequence.
+    pub fn skip(&mut self, k: u64) {
+        let ak = pow_mod46(RANDLC_A, k);
+        self.x = mul_mod46(self.x, ak);
+    }
+
+    /// A generator positioned `k` steps after this one.
+    pub fn at_offset(&self, k: u64) -> Self {
+        let mut g = *self;
+        g.skip(k);
+        g
+    }
+}
+
+fn mul_mod46(a: u64, b: u64) -> u64 {
+    ((a as u128 * b as u128) % M46 as u128) as u64
+}
+
+fn pow_mod46(mut base: u64, mut exp: u64) -> u64 {
+    let mut acc: u64 = 1;
+    base %= M46;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod46(acc, base);
+        }
+        base = mul_mod46(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Scaled-down NPB problem classes (see crate docs for why they are scaled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class {
+    /// Sample size for quick tests.
+    S,
+    /// Workstation size.
+    W,
+    /// Small production size.
+    A,
+    /// The paper's evaluation size.
+    B,
+}
+
+impl Class {
+    /// EP: number of Gaussian pairs to generate.
+    pub fn ep_pairs(self) -> u64 {
+        match self {
+            Class::S => 1 << 16,
+            Class::W => 1 << 18,
+            Class::A => 1 << 20,
+            Class::B => 1 << 22,
+        }
+    }
+
+    /// FT: grid dimensions `(nx, ny, nz)` and iteration count.
+    ///
+    /// Class B is sized so the sequential grid (256·256·128 complex values
+    /// = 128 MiB) dwarfs even many ranks' worth of shared L2 — FT's "large
+    /// memory footprint" from the paper. Smaller grids would let strong
+    /// scaling drop the whole problem into aggregate cache, a regime the
+    /// paper's full-size runs never enter.
+    pub fn ft_grid(self) -> (usize, usize, usize, usize) {
+        match self {
+            Class::S => (16, 16, 16, 4),
+            Class::W => (32, 32, 16, 4),
+            Class::A => (64, 64, 32, 6),
+            Class::B => (256, 256, 128, 6),
+        }
+    }
+
+    /// CG: `(n, nonzer, outer iterations, lambda shift)`.
+    pub fn cg_size(self) -> (usize, usize, usize, f64) {
+        match self {
+            Class::S => (1_400, 7, 8, 10.0),
+            Class::W => (7_000, 8, 8, 12.0),
+            Class::A => (14_000, 11, 6, 20.0),
+            Class::B => (75_000, 13, 4, 60.0),
+        }
+    }
+
+    /// CG: generator-pattern entries per matrix row. `A = B + Bᵀ + D` gets
+    /// ~2× this many non-zeros per row. Class B's ~360/row yields a ~27M-
+    /// non-zero, ~320 MB matrix — like real NPB class B (54M nnz), far too
+    /// big for aggregate cache at any `p ≤ 64`, so strong scaling cannot
+    /// fake superlinear energy efficiency.
+    pub fn cg_pattern(self) -> usize {
+        match self {
+            Class::S => 28,
+            Class::W => 48,
+            Class::A => 80,
+            Class::B => 180,
+        }
+    }
+
+    /// IS: `(number of keys, key range)`.
+    pub fn is_size(self) -> (u64, u64) {
+        match self {
+            Class::S => (1 << 14, 1 << 11),
+            Class::W => (1 << 16, 1 << 13),
+            Class::A => (1 << 18, 1 << 15),
+            Class::B => (1 << 20, 1 << 17),
+        }
+    }
+
+    /// MG: `(cubic grid edge, V-cycles)`.
+    pub fn mg_size(self) -> (usize, usize) {
+        match self {
+            Class::S => (16, 4),
+            Class::W => (32, 4),
+            Class::A => (32, 6),
+            Class::B => (64, 8),
+        }
+    }
+}
+
+/// The kernels of the suite, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelName {
+    /// Embarrassingly parallel.
+    Ep,
+    /// 3-D FFT PDE solver.
+    Ft,
+    /// Conjugate gradient.
+    Cg,
+    /// Integer sort.
+    Is,
+    /// Multigrid.
+    Mg,
+}
+
+impl KernelName {
+    /// Short uppercase name as used in the paper's figures.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelName::Ep => "EP",
+            KernelName::Ft => "FT",
+            KernelName::Cg => "CG",
+            KernelName::Is => "IS",
+            KernelName::Mg => "MG",
+        }
+    }
+
+    /// All kernels in suite order.
+    pub const ALL: [KernelName; 5] = [
+        KernelName::Ep,
+        KernelName::Ft,
+        KernelName::Cg,
+        KernelName::Is,
+        KernelName::Mg,
+    ];
+}
+
+/// Factor a power-of-two process count into the NPB CG processor grid:
+/// `nprow × npcol` with `npcol ∈ {nprow, 2·nprow}` (NPB's `npcols >= nprows`
+/// convention).
+///
+/// # Panics
+/// Panics unless `p` is a power of two.
+pub fn cg_proc_grid(p: usize) -> (usize, usize) {
+    assert!(p.is_power_of_two(), "CG requires a power-of-two rank count, got {p}");
+    let lg = p.trailing_zeros();
+    let nprow = 1usize << (lg / 2);
+    let npcol = p / nprow;
+    debug_assert!(npcol == nprow || npcol == 2 * nprow);
+    (nprow, npcol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn randlc_produces_uniforms_in_unit_interval() {
+        let mut g = Randlc::nas_default();
+        for _ in 0..10_000 {
+            let u = g.next_f64();
+            assert!(u > 0.0 && u < 1.0);
+        }
+    }
+
+    #[test]
+    fn randlc_mean_is_about_half() {
+        let mut g = Randlc::nas_default();
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| g.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn skip_matches_stepping() {
+        let mut a = Randlc::nas_default();
+        let mut b = Randlc::nas_default();
+        for _ in 0..1000 {
+            a.next_f64();
+        }
+        b.skip(1000);
+        assert_eq!(a.state(), b.state());
+        assert_eq!(a.next_f64(), b.next_f64());
+    }
+
+    #[test]
+    fn at_offset_is_pure() {
+        let g = Randlc::nas_default();
+        let g1 = g.at_offset(500);
+        let g2 = g.at_offset(500);
+        assert_eq!(g1.state(), g2.state());
+        assert_ne!(g.state(), g1.state());
+    }
+
+    #[test]
+    fn disjoint_blocks_are_disjoint() {
+        // Two ranks taking blocks [0, 1000) and [1000, 2000) of the sequence
+        // together reproduce a single sequential scan.
+        let base = Randlc::nas_default();
+        let mut seq = base;
+        let mut all = Vec::new();
+        for _ in 0..2000 {
+            all.push(seq.next_f64());
+        }
+        let mut r0 = base.at_offset(0);
+        let mut r1 = base.at_offset(1000);
+        let blocked: Vec<f64> = (0..1000)
+            .map(|_| r0.next_f64())
+            .chain((0..1000).map(|_| r1.next_f64()))
+            .collect();
+        assert_eq!(all, blocked);
+    }
+
+    #[test]
+    fn classes_scale_monotonically() {
+        assert!(Class::S.ep_pairs() < Class::W.ep_pairs());
+        assert!(Class::W.ep_pairs() < Class::A.ep_pairs());
+        assert!(Class::A.ep_pairs() < Class::B.ep_pairs());
+        let (n_s, ..) = Class::S.cg_size();
+        let (n_b, ..) = Class::B.cg_size();
+        assert!(n_b > n_s);
+        // The paper's Fig. 9 uses n = 75000 — class B CG.
+        assert_eq!(Class::B.cg_size().0, 75_000);
+    }
+
+    #[test]
+    fn proc_grid_shapes() {
+        assert_eq!(cg_proc_grid(1), (1, 1));
+        assert_eq!(cg_proc_grid(2), (1, 2));
+        assert_eq!(cg_proc_grid(4), (2, 2));
+        assert_eq!(cg_proc_grid(8), (2, 4));
+        assert_eq!(cg_proc_grid(16), (4, 4));
+        assert_eq!(cg_proc_grid(32), (4, 8));
+        assert_eq!(cg_proc_grid(64), (8, 8));
+        assert_eq!(cg_proc_grid(128), (8, 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn proc_grid_rejects_non_power() {
+        cg_proc_grid(6);
+    }
+}

@@ -1,0 +1,206 @@
+//! EP — the NPB "embarrassingly parallel" kernel.
+//!
+//! Generates pairs of Gaussian random deviates with the Marsaglia polar
+//! method over NPB's `randlc` stream, tallies them into annuli, and reduces
+//! the sums. The paper uses EP as the near-ideal iso-energy-efficiency
+//! reference: essentially no parallel overhead, so `EE ≈ 1` for every
+//! `(p, f)` (its Fig. 7).
+//!
+//! Each rank takes a disjoint block of the *global* random sequence via the
+//! generator's `O(log k)` jump-ahead, exactly as NPB does, so results are
+//! independent of `p` up to floating-point summation order.
+
+use mps::Ctx;
+
+use crate::common::{Class, Randlc};
+
+/// Average on-chip instructions charged per generated pair: two `randlc`
+/// draws, the rejection test, and (for the ~π/4 accepted fraction) a
+/// log/sqrt pair. Matches the order of magnitude of the paper's measured
+/// `Wc = 109.4·n` for EP.
+pub const INSTR_PER_PAIR: f64 = 62.0;
+/// Off-chip accesses per pair: the annulus table and accumulators live in
+/// L1, so off-chip traffic is tiny.
+pub const MEM_PER_PAIR: f64 = 0.25;
+/// Batch size for charging (keeps host overhead negligible).
+const BATCH: u64 = 1 << 14;
+
+/// EP configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EpConfig {
+    /// Number of uniform pairs to generate (the model's `n`).
+    pub pairs: u64,
+    /// `randlc` seed.
+    pub seed: u64,
+}
+
+impl EpConfig {
+    /// The scaled NPB class sizes.
+    pub fn class(c: Class) -> Self {
+        Self { pairs: c.ep_pairs(), seed: crate::common::RANDLC_SEED }
+    }
+}
+
+/// EP output (reduced across ranks; identical on every rank).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpResult {
+    /// Gaussian deviates accepted (Marsaglia acceptance ≈ π/4 of pairs).
+    pub accepted: f64,
+    /// Sum of the X deviates.
+    pub sx: f64,
+    /// Sum of the Y deviates.
+    pub sy: f64,
+    /// Annulus counts `l = floor(max(|X|, |Y|))`, `l < 10`.
+    pub counts: [f64; 10],
+    /// Statistical self-verification (means near zero, counts consistent).
+    pub verified: bool,
+}
+
+/// Run EP on the calling rank. All ranks must call with the same config.
+pub fn ep_kernel(ctx: &mut Ctx, cfg: EpConfig) -> EpResult {
+    let p = ctx.size() as u64;
+    let rank = ctx.rank() as u64;
+    // Contiguous block of pairs for this rank (remainder to the low ranks).
+    let base_share = cfg.pairs / p;
+    let extra = cfg.pairs % p;
+    let my_pairs = base_share + if rank < extra { 1 } else { 0 };
+    let my_start = rank * base_share + rank.min(extra);
+
+    ctx.phase("ep:generate");
+    // Two uniforms per pair: jump to 2 × my_start draws into the stream.
+    let mut gen = Randlc::new(cfg.seed).at_offset(2 * my_start);
+
+    let mut sx = 0.0f64;
+    let mut sy = 0.0f64;
+    let mut counts = [0.0f64; 10];
+    let mut accepted = 0.0f64;
+
+    let mut remaining = my_pairs;
+    while remaining > 0 {
+        let batch = remaining.min(BATCH);
+        for _ in 0..batch {
+            let x = 2.0 * gen.next_f64() - 1.0;
+            let y = 2.0 * gen.next_f64() - 1.0;
+            let t = x * x + y * y;
+            if t <= 1.0 && t > 0.0 {
+                let t2 = (-2.0 * t.ln() / t).sqrt();
+                let gx = x * t2;
+                let gy = y * t2;
+                sx += gx;
+                sy += gy;
+                let l = gx.abs().max(gy.abs()) as usize;
+                if l < 10 {
+                    counts[l] += 1.0;
+                }
+                accepted += 1.0;
+            }
+        }
+        ctx.compute(batch as f64 * INSTR_PER_PAIR);
+        ctx.mem_access(batch as f64 * MEM_PER_PAIR, 4096);
+        remaining -= batch;
+    }
+
+    ctx.phase("ep:reduce");
+    // One 12-element allreduce: [accepted, sx, sy, counts×10].
+    let mut local = vec![accepted, sx, sy];
+    local.extend_from_slice(&counts);
+    let global = ctx.allreduce_sum(&local);
+
+    let accepted = global[0];
+    let sx = global[1];
+    let sy = global[2];
+    let mut counts = [0.0f64; 10];
+    counts.copy_from_slice(&global[3..13]);
+
+    let count_sum: f64 = counts.iter().sum();
+    let mean_x = sx / accepted.max(1.0);
+    let mean_y = sy / accepted.max(1.0);
+    let acceptance = accepted / cfg.pairs as f64;
+    let verified = accepted > 0.0
+        && (count_sum - accepted).abs() < 0.5
+        && mean_x.abs() < 0.02
+        && mean_y.abs() < 0.02
+        && (acceptance - std::f64::consts::FRAC_PI_4).abs() < 0.02
+        && counts[0] > counts[1]
+        && counts[1] > counts[2];
+
+    EpResult { accepted, sx, sy, counts, verified }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps::{run, World};
+    use simcluster::system_g;
+
+    fn world() -> World {
+        World::new(system_g(), 2.8e9)
+    }
+
+    #[test]
+    fn ep_verifies_on_one_rank() {
+        let w = world();
+        let cfg = EpConfig { pairs: 1 << 16, seed: crate::common::RANDLC_SEED };
+        let r = run(&w, 1, |ctx| ep_kernel(ctx, cfg));
+        assert!(r.ranks[0].result.verified, "{:?}", r.ranks[0].result);
+    }
+
+    #[test]
+    fn ep_result_independent_of_rank_count() {
+        let cfg = EpConfig { pairs: 1 << 15, seed: crate::common::RANDLC_SEED };
+        let w = world();
+        let r1 = run(&w, 1, |ctx| ep_kernel(ctx, cfg));
+        let r4 = run(&w, 4, |ctx| ep_kernel(ctx, cfg));
+        let r5 = run(&w, 5, |ctx| ep_kernel(ctx, cfg));
+        let a = &r1.ranks[0].result;
+        for r in [&r4, &r5] {
+            for rk in &r.ranks {
+                let b = &rk.result;
+                assert_eq!(a.accepted, b.accepted);
+                assert!((a.sx - b.sx).abs() < 1e-6, "{} vs {}", a.sx, b.sx);
+                assert!((a.sy - b.sy).abs() < 1e-6);
+                for (x, y) in a.counts.iter().zip(&b.counts) {
+                    assert_eq!(x, y);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ep_scales_near_ideally() {
+        // The defining property of EP: span(p) ≈ span(1)/p.
+        let cfg = EpConfig { pairs: 1 << 16, seed: crate::common::RANDLC_SEED };
+        let w = world();
+        let t1 = run(&w, 1, |ctx| ep_kernel(ctx, cfg)).span();
+        let t8 = run(&w, 8, |ctx| ep_kernel(ctx, cfg)).span();
+        let speedup = t1 / t8;
+        assert!(
+            speedup > 7.5 && speedup <= 8.02,
+            "EP speedup at p=8 should be near-ideal, got {speedup}"
+        );
+    }
+
+    #[test]
+    fn ep_counters_proportional_to_pairs() {
+        let w = world();
+        let small = EpConfig { pairs: 1 << 14, seed: crate::common::RANDLC_SEED };
+        let large = EpConfig { pairs: 1 << 16, seed: crate::common::RANDLC_SEED };
+        let cs = run(&w, 1, |ctx| ep_kernel(ctx, small)).total_counters();
+        let cl = run(&w, 1, |ctx| ep_kernel(ctx, large)).total_counters();
+        assert!((cl.wc / cs.wc - 4.0).abs() < 0.01);
+        // EP's tiny tables live in cache, so its countable off-chip
+        // workload is essentially zero — the paper's near-zero Wm for EP.
+        assert_eq!(cs.wm, 0.0);
+        assert_eq!(cl.wm, 0.0);
+    }
+
+    #[test]
+    fn ep_communication_is_negligible() {
+        let w = world();
+        let cfg = EpConfig::class(Class::S);
+        let r = run(&w, 8, |ctx| ep_kernel(ctx, cfg));
+        let c = r.total_counters();
+        // A handful of small allreduce messages, nothing more.
+        assert!(c.bytes < 64.0 * 1024.0, "EP moved {} bytes", c.bytes);
+    }
+}

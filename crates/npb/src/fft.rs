@@ -1,0 +1,205 @@
+//! Iterative radix-2 complex FFT — the local computational core of the FT
+//! kernel.
+//!
+//! A standard in-place decimation-in-time Cooley–Tukey transform with
+//! bit-reversal permutation and precomputed twiddle tables. Only
+//! power-of-two lengths are supported, which is all NPB FT grids need.
+
+use crate::num::C64;
+use std::f64::consts::PI;
+
+/// Transform direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Forward transform, `e^{-2πi k n / N}` kernel.
+    Forward,
+    /// Inverse transform (unnormalized; divide by `N` to invert exactly).
+    Inverse,
+}
+
+/// Precomputed twiddle factors for FFTs of a fixed power-of-two length.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// Forward twiddles `e^{-2πi j / n}` for `j < n/2`.
+    twiddles: Vec<C64>,
+    /// Bit-reversal permutation.
+    rev: Vec<u32>,
+}
+
+impl FftPlan {
+    /// Build a plan for length `n`.
+    ///
+    /// # Panics
+    /// Panics unless `n` is a power of two ≥ 1.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+        let twiddles = (0..n / 2)
+            .map(|j| C64::cis(-2.0 * PI * j as f64 / n as f64))
+            .collect();
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits.max(1)) as u32)
+            .collect::<Vec<_>>();
+        // For n == 1, bits == 0; the shift above would be wrong, so patch:
+        let rev = if n == 1 { vec![0] } else { rev };
+        Self { n, twiddles, rev }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan is for the trivial length-1 transform.
+    pub fn is_empty(&self) -> bool {
+        self.n == 1
+    }
+
+    /// In-place transform of `data` (must have the plan's length).
+    pub fn transform(&self, data: &mut [C64], dir: Direction) {
+        assert_eq!(data.len(), self.n, "buffer length must match plan");
+        let n = self.n;
+        if n <= 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Butterfly passes.
+        let mut len = 2usize;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let tw = match dir {
+                        Direction::Forward => self.twiddles[k * stride],
+                        Direction::Inverse => self.twiddles[k * stride].conj(),
+                    };
+                    let a = data[start + k];
+                    let b = data[start + k + half] * tw;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+            len <<= 1;
+        }
+    }
+
+    /// The standard flop count of one transform: `5·n·log2(n)` — used by the
+    /// FT kernel to charge on-chip work.
+    pub fn flops(&self) -> f64 {
+        if self.n <= 1 {
+            return 0.0;
+        }
+        5.0 * self.n as f64 * (self.n as f64).log2()
+    }
+}
+
+/// Naive `O(n²)` DFT, used only by tests as the correctness oracle.
+pub fn dft_reference(data: &[C64], dir: Direction) -> Vec<C64> {
+    let n = data.len();
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    (0..n)
+        .map(|k| {
+            let mut acc = C64::ZERO;
+            for (j, &x) in data.iter().enumerate() {
+                acc += x * C64::cis(sign * 2.0 * PI * (k * j) as f64 / n as f64);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &[C64], b: &[C64], tol: f64) -> bool {
+        a.iter()
+            .zip(b)
+            .all(|(x, y)| (*x - *y).abs() <= tol * (1.0 + y.abs()))
+    }
+
+    #[test]
+    fn matches_reference_dft() {
+        for n in [1usize, 2, 4, 8, 16, 64] {
+            let plan = FftPlan::new(n);
+            let input: Vec<C64> = (0..n)
+                .map(|i| C64::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+                .collect();
+            let mut fast = input.clone();
+            plan.transform(&mut fast, Direction::Forward);
+            let slow = dft_reference(&input, Direction::Forward);
+            assert!(close(&fast, &slow, 1e-10), "n={n}");
+        }
+    }
+
+    #[test]
+    fn inverse_recovers_input() {
+        let n = 128;
+        let plan = FftPlan::new(n);
+        let input: Vec<C64> = (0..n)
+            .map(|i| C64::new((i as f64).sqrt(), (i as f64 * 0.1).sin()))
+            .collect();
+        let mut buf = input.clone();
+        plan.transform(&mut buf, Direction::Forward);
+        plan.transform(&mut buf, Direction::Inverse);
+        let scaled: Vec<C64> = buf.iter().map(|z| z.scale(1.0 / n as f64)).collect();
+        assert!(close(&scaled, &input, 1e-12));
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let n = 256;
+        let plan = FftPlan::new(n);
+        let input: Vec<C64> = (0..n)
+            .map(|i| C64::new((i as f64 * 0.31).cos(), (i as f64 * 0.17).sin()))
+            .collect();
+        let time_energy: f64 = input.iter().map(|z| z.norm_sqr()).sum();
+        let mut buf = input;
+        plan.transform(&mut buf, Direction::Forward);
+        let freq_energy: f64 = buf.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-12);
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let n = 32;
+        let plan = FftPlan::new(n);
+        let mut buf = vec![C64::ZERO; n];
+        buf[0] = C64::ONE;
+        plan.transform(&mut buf, Direction::Forward);
+        for z in &buf {
+            assert!((z.re - 1.0).abs() < 1e-12 && z.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let plan = FftPlan::new(1);
+        let mut buf = vec![C64::new(3.0, 4.0)];
+        plan.transform(&mut buf, Direction::Forward);
+        assert_eq!(buf[0], C64::new(3.0, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        FftPlan::new(12);
+    }
+
+    #[test]
+    fn flops_formula() {
+        let plan = FftPlan::new(1024);
+        assert_eq!(plan.flops(), 5.0 * 1024.0 * 10.0);
+    }
+}

@@ -1,0 +1,509 @@
+//! FT — the NPB 3-D FFT PDE solver kernel.
+//!
+//! Solves `∂u/∂t = α ∇²u` spectrally: one forward 3-D FFT, then per
+//! iteration an element-wise evolution in frequency space followed by an
+//! inverse 3-D FFT and a checksum. The distributed transpose between the
+//! (x, y)-local and z-local stages is an **all-to-all** — the pairwise
+//! exchange whose `(p−1)(ts + tw·m)` cost the paper models with the
+//! Hockney form (§V.B.1). FT is the paper's communication-bound case:
+//! its energy efficiency collapses as `p` grows and barely notices `f`
+//! (Figs. 5–6).
+//!
+//! Decomposition is by z-slabs (forward layout) and x-slabs (transposed
+//! layout) with block ranges that tolerate `p` larger than the slab count
+//! (surplus ranks hold no planes but still participate in the collectives —
+//! the realistic load-imbalance regime at extreme scale).
+
+use mps::Ctx;
+
+use crate::common::Class;
+use crate::fft::{Direction, FftPlan};
+use crate::num::C64;
+
+/// Diffusivity constant in the exponent (NPB uses `1e-6`).
+const ALPHA_DIFF: f64 = 1.0e-6;
+/// Instructions charged per point of the element-wise evolve (complex
+/// multiply + exponential).
+const EVOLVE_INSTR_PER_PT: f64 = 22.0;
+/// Instructions per flop of FFT butterfly work.
+const FFT_INSTR_PER_FLOP: f64 = 1.0;
+
+/// FT configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FtConfig {
+    /// Grid size in x (power of two).
+    pub nx: usize,
+    /// Grid size in y (power of two).
+    pub ny: usize,
+    /// Grid size in z (power of two).
+    pub nz: usize,
+    /// Number of evolve/inverse-FFT iterations.
+    pub niter: usize,
+}
+
+impl FtConfig {
+    /// The scaled NPB class sizes.
+    pub fn class(c: Class) -> Self {
+        let (nx, ny, nz, niter) = c.ft_grid();
+        Self { nx, ny, nz, niter }
+    }
+
+    /// Total grid points (the model's `n`).
+    pub fn n(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+}
+
+/// FT output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FtResult {
+    /// Checksum after each iteration (identical on every rank).
+    pub checksums: Vec<C64>,
+    /// Self-verification: checksums finite, spectral energy decays under
+    /// diffusion.
+    pub verified: bool,
+}
+
+/// Block distribution of `total` items over `parts` ranks: returns
+/// `(start, len)` for `idx`, spreading the remainder over the low ranks.
+fn block_range(total: usize, parts: usize, idx: usize) -> (usize, usize) {
+    let base = total / parts;
+    let extra = total % parts;
+    let len = base + usize::from(idx < extra);
+    let start = idx * base + idx.min(extra);
+    (start, len)
+}
+
+/// Deterministic initial condition for plane `z`, independent of `p`:
+/// a fixed smooth field plus plane-seeded pseudo-noise.
+fn init_plane(nx: usize, ny: usize, z: usize, out: &mut [C64]) {
+    debug_assert_eq!(out.len(), nx * ny);
+    for y in 0..ny {
+        for x in 0..nx {
+            // Cheap splitmix-style hash of the global index for noise.
+            let mut h = (x as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((y as u64) << 20)
+                .wrapping_add((z as u64) << 40);
+            h ^= h >> 30;
+            h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h ^= h >> 27;
+            let noise = (h >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+            let smooth = ((x as f64 * 0.3).sin() + (y as f64 * 0.2).cos()
+                + (z as f64 * 0.1).sin())
+                / 3.0;
+            out[y * nx + x] = C64::new(smooth + 0.1 * noise, 0.05 * noise);
+        }
+    }
+}
+
+/// Wrapped frequency index: `i` for `i <= n/2`, else `i − n`.
+fn wrapped(i: usize, n: usize) -> f64 {
+    if i <= n / 2 {
+        i as f64
+    } else {
+        i as f64 - n as f64
+    }
+}
+
+/// Run FT on the calling rank. All ranks must call with the same config.
+pub fn ft_kernel(ctx: &mut Ctx, cfg: FtConfig) -> FtResult {
+    let p = ctx.size();
+    let rank = ctx.rank();
+    let (nx, ny, nz) = (cfg.nx, cfg.ny, cfg.nz);
+    assert!(
+        nx.is_power_of_two() && ny.is_power_of_two() && nz.is_power_of_two(),
+        "FT grid must be powers of two"
+    );
+    let (z0, my_nz) = block_range(nz, p, rank);
+    let (x0, my_nx) = block_range(nx, p, rank);
+    let slab_bytes = (nx * ny * my_nz.max(1) * 16) as u64;
+
+    let plan_x = FftPlan::new(nx);
+    let plan_y = FftPlan::new(ny);
+    let plan_z = FftPlan::new(nz);
+
+    // ------------------------------------------------------------------
+    // Initialize u in forward layout: [z_local][y][x], x contiguous.
+    // ------------------------------------------------------------------
+    ctx.phase("ft:init");
+    let mut u = vec![C64::ZERO; nx * ny * my_nz];
+    for zl in 0..my_nz {
+        let z = z0 + zl;
+        init_plane(nx, ny, z, &mut u[zl * nx * ny..(zl + 1) * nx * ny]);
+    }
+    ctx.compute((nx * ny * my_nz) as f64 * 12.0);
+    ctx.mem_stream((nx * ny * my_nz) as f64, slab_bytes);
+
+    // ------------------------------------------------------------------
+    // Forward 3-D FFT: x-FFTs, y-FFTs (local), transpose, z-FFTs.
+    // ------------------------------------------------------------------
+    ctx.phase("ft:forward");
+    fft_xy(ctx, &mut u, nx, ny, my_nz, &plan_x, &plan_y, Direction::Forward, slab_bytes);
+    // Transposed layout: [x_local][y][z], z contiguous.
+    let mut ut = transpose_forward(ctx, &u, &cfg, z0, my_nz, my_nx);
+    drop(u);
+    fft_z(ctx, &mut ut, ny, nz, my_nx, &plan_z, Direction::Forward, slab_bytes);
+
+    // Spectral energy for verification (Parseval-style decay check).
+    let energy0 = spectral_energy(ctx, &ut, &cfg);
+
+    // ------------------------------------------------------------------
+    // Iterations: evolve in frequency space, inverse FFT, checksum.
+    // ------------------------------------------------------------------
+    let mut checksums = Vec::with_capacity(cfg.niter);
+    let mut energy_last = energy0;
+    let mut energies_ok = true;
+    for t in 1..=cfg.niter {
+        ctx.phase("ft:evolve");
+        let mut w = ut.clone();
+        evolve(ctx, &mut w, &cfg, x0, my_nx, t, slab_bytes);
+
+        let e = spectral_energy(ctx, &w, &cfg);
+        if e > energy_last * (1.0 + 1e-9) {
+            energies_ok = false; // diffusion must not create energy
+        }
+        energy_last = e;
+
+        ctx.phase("ft:inverse");
+        fft_z(ctx, &mut w, ny, nz, my_nx, &plan_z, Direction::Inverse, slab_bytes);
+        let mut v = transpose_inverse(ctx, &w, &cfg, z0, my_nz, my_nx);
+        drop(w);
+        fft_xy(ctx, &mut v, nx, ny, my_nz, &plan_x, &plan_y, Direction::Inverse, slab_bytes);
+        // Normalize the inverse.
+        let scale = 1.0 / cfg.n() as f64;
+        for zv in v.iter_mut() {
+            *zv = zv.scale(scale);
+        }
+        ctx.compute(v.len() as f64 * 2.0);
+        ctx.mem_stream(v.len() as f64 * 2.0, slab_bytes);
+
+        ctx.phase("ft:checksum");
+        checksums.push(checksum(ctx, &v, &cfg, z0, my_nz));
+    }
+
+    let finite = checksums
+        .iter()
+        .all(|c| c.re.is_finite() && c.im.is_finite() && c.abs() > 0.0);
+    FtResult { checksums, verified: finite && energies_ok }
+}
+
+/// Local x-direction then y-direction FFTs over the z-slab layout.
+#[allow(clippy::too_many_arguments)]
+fn fft_xy(
+    ctx: &mut Ctx,
+    u: &mut [C64],
+    nx: usize,
+    ny: usize,
+    my_nz: usize,
+    plan_x: &FftPlan,
+    plan_y: &FftPlan,
+    dir: Direction,
+    ws: u64,
+) {
+    // x FFTs: contiguous rows.
+    for zl in 0..my_nz {
+        for y in 0..ny {
+            let off = (zl * ny + y) * nx;
+            plan_x.transform(&mut u[off..off + nx], dir);
+        }
+    }
+    ctx.compute((ny * my_nz) as f64 * plan_x.flops() * FFT_INSTR_PER_FLOP);
+    ctx.mem_stream((nx * ny * my_nz) as f64 * 2.0, ws);
+
+    // y FFTs: strided; gather into scratch.
+    let mut scratch = vec![C64::ZERO; ny];
+    for zl in 0..my_nz {
+        for x in 0..nx {
+            for y in 0..ny {
+                scratch[y] = u[(zl * ny + y) * nx + x];
+            }
+            plan_y.transform(&mut scratch, dir);
+            for y in 0..ny {
+                u[(zl * ny + y) * nx + x] = scratch[y];
+            }
+        }
+    }
+    ctx.compute((nx * my_nz) as f64 * plan_y.flops() * FFT_INSTR_PER_FLOP);
+    // Strided sweep costs double the streaming traffic.
+    ctx.mem_stream((nx * ny * my_nz) as f64 * 4.0, ws);
+}
+
+/// z-direction FFTs over the transposed layout `[x_local][y][z]`.
+fn fft_z(
+    ctx: &mut Ctx,
+    ut: &mut [C64],
+    ny: usize,
+    nz: usize,
+    my_nx: usize,
+    plan_z: &FftPlan,
+    dir: Direction,
+    ws: u64,
+) {
+    for xl in 0..my_nx {
+        for y in 0..ny {
+            let off = (xl * ny + y) * nz;
+            plan_z.transform(&mut ut[off..off + nz], dir);
+        }
+    }
+    ctx.compute((my_nx * ny) as f64 * plan_z.flops() * FFT_INSTR_PER_FLOP);
+    ctx.mem_stream((my_nx * ny * nz) as f64 * 2.0, ws);
+}
+
+/// All-to-all from z-slabs `[z_local][y][x]` to x-slabs `[x_local][y][z]`.
+fn transpose_forward(
+    ctx: &mut Ctx,
+    u: &[C64],
+    cfg: &FtConfig,
+    z0: usize,
+    my_nz: usize,
+    my_nx: usize,
+) -> Vec<C64> {
+    let p = ctx.size();
+    let (nx, ny, nz) = (cfg.nx, cfg.ny, cfg.nz);
+    let ws = (u.len().max(1) * 16) as u64;
+
+    // Pack: chunk for rank d = my z-planes restricted to d's x-range,
+    // ordered (z_local, y, x_local_d).
+    let mut chunks: Vec<Vec<C64>> = Vec::with_capacity(p);
+    for d in 0..p {
+        let (dx0, dnx) = block_range(nx, p, d);
+        let mut chunk = Vec::with_capacity(my_nz * ny * dnx);
+        for zl in 0..my_nz {
+            for y in 0..ny {
+                let row = (zl * ny + y) * nx;
+                chunk.extend_from_slice(&u[row + dx0..row + dx0 + dnx]);
+            }
+        }
+        chunks.push(chunk);
+    }
+    ctx.mem_stream((nx * ny * my_nz) as f64 * 2.0, ws);
+
+    ctx.phase("ft:alltoall");
+    let received = ctx.alltoall(chunks);
+
+    // Unpack into [x_local][y][z].
+    let mut ut = vec![C64::ZERO; my_nx * ny * nz];
+    for (s, chunk) in received.iter().enumerate() {
+        let (sz0, snz) = block_range(nz, p, s);
+        debug_assert_eq!(chunk.len(), snz * ny * my_nx);
+        let mut it = chunk.iter();
+        for zl in 0..snz {
+            let z = sz0 + zl;
+            for y in 0..ny {
+                for xl in 0..my_nx {
+                    ut[(xl * ny + y) * nz + z] = *it.next().expect("chunk sized");
+                }
+            }
+        }
+    }
+    let _ = z0;
+    ctx.mem_stream((my_nx * ny * nz) as f64 * 2.0, (ut.len().max(1) * 16) as u64);
+    ut
+}
+
+/// All-to-all back from x-slabs to z-slabs.
+fn transpose_inverse(
+    ctx: &mut Ctx,
+    ut: &[C64],
+    cfg: &FtConfig,
+    z0: usize,
+    my_nz: usize,
+    my_nx: usize,
+) -> Vec<C64> {
+    let p = ctx.size();
+    let (nx, ny, nz) = (cfg.nx, cfg.ny, cfg.nz);
+    let ws = (ut.len().max(1) * 16) as u64;
+
+    // Pack: chunk for rank d = my x-columns restricted to d's z-range,
+    // ordered (z_local_d, y, x_local) so the receiver can unpack rows.
+    let mut chunks: Vec<Vec<C64>> = Vec::with_capacity(p);
+    for d in 0..p {
+        let (dz0, dnz) = block_range(nz, p, d);
+        let mut chunk = Vec::with_capacity(dnz * ny * my_nx);
+        for zl in 0..dnz {
+            let z = dz0 + zl;
+            for y in 0..ny {
+                for xl in 0..my_nx {
+                    chunk.push(ut[(xl * ny + y) * nz + z]);
+                }
+            }
+        }
+        chunks.push(chunk);
+    }
+    ctx.mem_stream((my_nx * ny * nz) as f64 * 2.0, ws);
+
+    ctx.phase("ft:alltoall");
+    let received = ctx.alltoall(chunks);
+
+    // Unpack into [z_local][y][x].
+    let mut u = vec![C64::ZERO; nx * ny * my_nz];
+    for (s, chunk) in received.iter().enumerate() {
+        let (sx0, snx) = block_range(nx, p, s);
+        debug_assert_eq!(chunk.len(), my_nz * ny * snx);
+        let mut it = chunk.iter();
+        for zl in 0..my_nz {
+            for y in 0..ny {
+                let row = (zl * ny + y) * nx;
+                for xo in 0..snx {
+                    u[row + sx0 + xo] = *it.next().expect("chunk sized");
+                }
+            }
+        }
+    }
+    let _ = z0;
+    ctx.mem_stream((nx * ny * my_nz) as f64 * 2.0, (u.len().max(1) * 16) as u64);
+    u
+}
+
+/// Element-wise evolution in frequency space at time step `t`.
+fn evolve(ctx: &mut Ctx, ut: &mut [C64], cfg: &FtConfig, x0: usize, my_nx: usize, t: usize, ws: u64) {
+    let (nx, ny, nz) = (cfg.nx, cfg.ny, cfg.nz);
+    let tau = -4.0 * std::f64::consts::PI * std::f64::consts::PI * ALPHA_DIFF * t as f64;
+    for xl in 0..my_nx {
+        let kx = wrapped(x0 + xl, nx);
+        for y in 0..ny {
+            let ky = wrapped(y, ny);
+            let base = (xl * ny + y) * nz;
+            for z in 0..nz {
+                let kz = wrapped(z, nz);
+                let factor = (tau * (kx * kx + ky * ky + kz * kz)).exp();
+                ut[base + z] = ut[base + z].scale(factor);
+            }
+        }
+    }
+    ctx.compute((my_nx * ny * nz) as f64 * EVOLVE_INSTR_PER_PT);
+    ctx.mem_stream((my_nx * ny * nz) as f64 * 2.0, ws);
+}
+
+/// Total spectral energy `Σ|ũ|² / n` (an allreduce; used for verification).
+fn spectral_energy(ctx: &mut Ctx, ut: &[C64], cfg: &FtConfig) -> f64 {
+    let local: f64 = ut.iter().map(|z| z.norm_sqr()).sum();
+    ctx.compute(ut.len() as f64 * 3.0);
+    ctx.allreduce_scalar(local) / cfg.n() as f64
+}
+
+/// NPB-style checksum: 1024 strided samples of the physical-space field.
+fn checksum(ctx: &mut Ctx, u: &[C64], cfg: &FtConfig, z0: usize, my_nz: usize) -> C64 {
+    let (nx, ny, nz) = (cfg.nx, cfg.ny, cfg.nz);
+    let mut local = C64::ZERO;
+    for j in 1..=1024usize {
+        let q = (5 * j) % nx;
+        let r = (3 * j) % ny;
+        let s = j % nz;
+        if s >= z0 && s < z0 + my_nz {
+            local += u[((s - z0) * ny + r) * nx + q];
+        }
+    }
+    ctx.compute(1024.0 * 6.0);
+    let g = ctx.allreduce_sum(&[local.re, local.im]);
+    C64::new(g[0], g[1]).scale(1.0 / cfg.n() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps::{run, World};
+    use simcluster::system_g;
+
+    fn world() -> World {
+        World::new(system_g(), 2.8e9)
+    }
+
+    #[test]
+    fn block_range_covers_exactly() {
+        for total in [7usize, 16, 32] {
+            for parts in [1usize, 3, 4, 16, 40] {
+                let mut covered = 0;
+                let mut next = 0;
+                for i in 0..parts {
+                    let (s, l) = block_range(total, parts, i);
+                    assert_eq!(s, next);
+                    next += l;
+                    covered += l;
+                }
+                assert_eq!(covered, total, "total={total} parts={parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn ft_verifies_on_one_rank() {
+        let w = world();
+        let cfg = FtConfig::class(Class::S);
+        let r = run(&w, 1, |ctx| ft_kernel(ctx, cfg));
+        let res = &r.ranks[0].result;
+        assert!(res.verified, "{res:?}");
+        assert_eq!(res.checksums.len(), cfg.niter);
+    }
+
+    #[test]
+    fn ft_checksums_independent_of_rank_count() {
+        let cfg = FtConfig { nx: 16, ny: 16, nz: 8, niter: 3 };
+        let w = world();
+        let r1 = run(&w, 1, |ctx| ft_kernel(ctx, cfg));
+        let r4 = run(&w, 4, |ctx| ft_kernel(ctx, cfg));
+        let r3 = run(&w, 3, |ctx| ft_kernel(ctx, cfg));
+        let a = &r1.ranks[0].result.checksums;
+        for r in [&r4, &r3] {
+            for rk in &r.ranks {
+                let b = &rk.result.checksums;
+                for (x, y) in a.iter().zip(b) {
+                    assert!(
+                        (*x - *y).abs() < 1e-9,
+                        "checksum mismatch {x:?} vs {y:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ft_runs_with_more_ranks_than_planes() {
+        // nz = 8 but p = 12: surplus ranks hold no planes yet participate.
+        let cfg = FtConfig { nx: 16, ny: 8, nz: 8, niter: 2 };
+        let w = world();
+        let r1 = run(&w, 1, |ctx| ft_kernel(ctx, cfg));
+        let r12 = run(&w, 12, |ctx| ft_kernel(ctx, cfg));
+        let a = &r1.ranks[0].result.checksums;
+        let b = &r12.ranks[0].result.checksums;
+        for (x, y) in a.iter().zip(b) {
+            assert!((*x - *y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ft_is_communication_heavy() {
+        let w = world();
+        let cfg = FtConfig::class(Class::S);
+        let r = run(&w, 8, |ctx| ft_kernel(ctx, cfg));
+        let c = r.total_counters();
+        // niter inverse transposes + 1 forward, each moving ~the whole grid.
+        let grid_bytes = (cfg.n() * 16) as f64;
+        assert!(
+            c.bytes > grid_bytes * cfg.niter as f64 * 0.5,
+            "FT moved only {} bytes for a {} byte grid",
+            c.bytes,
+            grid_bytes
+        );
+    }
+
+    #[test]
+    fn ft_message_counts_match_pairwise_exchange() {
+        let w = world();
+        let cfg = FtConfig { nx: 16, ny: 16, nz: 8, niter: 2 };
+        let p = 4;
+        let r = run(&w, p, |ctx| ft_kernel(ctx, cfg));
+        // Each rank: (1 forward + niter inverse) alltoalls × (p-1) messages,
+        // plus the small allreduces (energy + checksums).
+        let alltoall_msgs = (1 + cfg.niter) as f64 * (p - 1) as f64;
+        for rk in &r.ranks {
+            assert!(
+                rk.stats.messages >= alltoall_msgs,
+                "rank {} sent {} messages, expected >= {alltoall_msgs}",
+                rk.rank,
+                rk.stats.messages
+            );
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! IS — the NPB integer sort kernel.
+//!
+//! Bucket sort of uniformly distributed integer keys: each rank generates
+//! its share of the global key sequence from the `randlc` stream, histograms
+//! them into per-rank ranges, redistributes with an all-to-all-v, and
+//! counting-sorts locally. Verification checks global sortedness across rank
+//! boundaries (one neighbour exchange) plus key conservation.
+
+use mps::Ctx;
+
+use crate::common::{Class, Randlc};
+
+/// Instructions per key for generation + histogramming.
+const GEN_INSTR_PER_KEY: f64 = 18.0;
+/// Instructions per key for the counting sort.
+const SORT_INSTR_PER_KEY: f64 = 8.0;
+/// Off-chip accesses per key per pass.
+const MEM_PER_KEY: f64 = 2.0;
+
+/// IS configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct IsConfig {
+    /// Total number of keys (the model's `n`).
+    pub keys: u64,
+    /// Keys are uniform in `[0, key_range)`.
+    pub key_range: u64,
+    /// Ranking repetitions (NPB performs 10 rankings; scaled default 4).
+    pub reps: usize,
+    /// `randlc` seed.
+    pub seed: u64,
+}
+
+impl IsConfig {
+    /// The scaled NPB class sizes.
+    pub fn class(c: Class) -> Self {
+        let (keys, key_range) = c.is_size();
+        Self { keys, key_range, reps: 4, seed: crate::common::RANDLC_SEED }
+    }
+}
+
+/// IS output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsResult {
+    /// Keys held by this rank after redistribution.
+    pub local_count: u64,
+    /// Global key conservation + sortedness verification.
+    pub verified: bool,
+}
+
+/// Run IS on the calling rank. All ranks must call with the same config.
+pub fn is_kernel(ctx: &mut Ctx, cfg: IsConfig) -> IsResult {
+    let p = ctx.size() as u64;
+    let rank = ctx.rank() as u64;
+    let base = cfg.keys / p;
+    let extra = cfg.keys % p;
+    let my_keys = base + u64::from(rank < extra);
+    let my_start = rank * base + rank.min(extra);
+
+    // Bucket b owns keys in [b·key_range/p, (b+1)·key_range/p).
+    let bucket_of = |k: u64| -> usize { ((k as u128 * p as u128) / cfg.key_range as u128) as usize };
+
+    let mut sorted_keys: Vec<u32> = Vec::new();
+    let mut verified = true;
+
+    for _rep in 0..cfg.reps.max(1) {
+        ctx.phase("is:generate");
+        let mut gen = Randlc::new(cfg.seed).at_offset(my_start);
+        let mut buckets: Vec<Vec<u32>> = (0..p as usize).map(|_| Vec::new()).collect();
+        for _ in 0..my_keys {
+            let k = (gen.next_f64() * cfg.key_range as f64) as u64;
+            let k = k.min(cfg.key_range - 1);
+            buckets[bucket_of(k).min(p as usize - 1)].push(k as u32);
+        }
+        ctx.compute(my_keys as f64 * GEN_INSTR_PER_KEY);
+        ctx.mem_stream(my_keys as f64 * MEM_PER_KEY, my_keys * 4);
+
+        ctx.phase("is:exchange");
+        let received = ctx.alltoall(buckets);
+
+        ctx.phase("is:sort");
+        let mine: Vec<u32> = received.into_iter().flatten().collect();
+        // Counting sort over my bucket's key sub-range. The range must be
+        // the exact preimage of `bucket_of`: bucket r owns keys with
+        // `r·kr ≤ k·p < (r+1)·kr`, i.e. `k ∈ [ceil(r·kr/p), ceil((r+1)·kr/p))`.
+        let lo = (rank as u128 * cfg.key_range as u128).div_ceil(p as u128) as u64;
+        let hi = ((rank + 1) as u128 * cfg.key_range as u128).div_ceil(p as u128) as u64;
+        let width = (hi - lo) as usize;
+        let mut counts = vec![0u32; width.max(1)];
+        for &k in &mine {
+            let k = k as u64;
+            assert!(k >= lo && k < hi, "misrouted key {k} not in [{lo},{hi})");
+            counts[(k - lo) as usize] += 1;
+        }
+        sorted_keys = Vec::with_capacity(mine.len());
+        for (off, &c) in counts.iter().enumerate() {
+            for _ in 0..c {
+                sorted_keys.push((lo + off as u64) as u32);
+            }
+        }
+        ctx.compute(mine.len() as f64 * SORT_INSTR_PER_KEY + width as f64);
+        ctx.mem_stream(
+            mine.len() as f64 * MEM_PER_KEY + width as f64,
+            (mine.len() * 4 + width * 4) as u64,
+        );
+
+        ctx.phase("is:verify");
+        // Local sortedness.
+        let locally_sorted = sorted_keys.windows(2).all(|w| w[0] <= w[1]);
+        // Boundary order with the next rank: my max <= their min.
+        let my_max = sorted_keys.last().copied().unwrap_or(0) as f64;
+        let my_min = sorted_keys.first().copied().unwrap_or(u32::MAX) as f64;
+        let maxes = ctx.allgather(vec![my_max]);
+        let mins = ctx.allgather(vec![my_min]);
+        let boundaries_ok = (0..p as usize - 1).all(|i| {
+            let max_i = maxes[i][0];
+            let min_next = mins[i + 1][0];
+            // Empty buckets encode max=0/min=MAX and never violate order.
+            max_i <= min_next || max_i == 0.0
+        });
+        // Key conservation.
+        let total = ctx.allreduce_scalar(sorted_keys.len() as f64);
+        verified = verified
+            && locally_sorted
+            && boundaries_ok
+            && (total - cfg.keys as f64).abs() < 0.5;
+    }
+
+    IsResult { local_count: sorted_keys.len() as u64, verified }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps::{run, World};
+    use simcluster::system_g;
+
+    fn world() -> World {
+        World::new(system_g(), 2.8e9)
+    }
+
+    #[test]
+    fn is_verifies_across_rank_counts() {
+        let cfg = IsConfig {
+            keys: 1 << 14,
+            key_range: 1 << 11,
+            reps: 2,
+            seed: crate::common::RANDLC_SEED,
+        };
+        for p in [1usize, 2, 4, 6, 8] {
+            let w = world();
+            let r = run(&w, p, |ctx| is_kernel(ctx, cfg));
+            for rk in &r.ranks {
+                assert!(rk.result.verified, "p={p} rank={}", rk.rank);
+            }
+            let total: u64 = r.ranks.iter().map(|rk| rk.result.local_count).sum();
+            assert_eq!(total, cfg.keys, "p={p}");
+        }
+    }
+
+    #[test]
+    fn is_buckets_are_roughly_balanced() {
+        let cfg = IsConfig::class(Class::S);
+        let w = world();
+        let p = 8;
+        let r = run(&w, p, |ctx| is_kernel(ctx, cfg));
+        let expect = cfg.keys as f64 / p as f64;
+        for rk in &r.ranks {
+            let ratio = rk.result.local_count as f64 / expect;
+            assert!(
+                (0.8..1.2).contains(&ratio),
+                "rank {} holds {}x the fair share",
+                rk.rank,
+                ratio
+            );
+        }
+    }
+
+    #[test]
+    fn is_moves_bulk_data() {
+        let cfg = IsConfig::class(Class::S);
+        let w = world();
+        let r = run(&w, 4, |ctx| is_kernel(ctx, cfg));
+        let c = r.total_counters();
+        // Each repetition redistributes ~3/4 of all keys (uniform keys, 4 ranks).
+        let expect = cfg.reps as f64 * cfg.keys as f64 * 4.0 * 0.5;
+        assert!(c.bytes > expect, "IS moved {} bytes, expected > {expect}", c.bytes);
+    }
+}

@@ -1,0 +1,39 @@
+//! # npb — NAS Parallel Benchmark kernels over the `mps` substrate
+//!
+//! Rust re-implementations of the NPB kernels the paper evaluates —
+//! **EP** (embarrassingly parallel Gaussian deviates), **FT** (3-D FFT PDE
+//! solver) and **CG** (conjugate gradient) — plus **IS** (integer sort) and
+//! **MG** (multigrid), which round out the "NAS benchmark suites" axis of
+//! the paper's Dori validation figure (Fig. 3).
+//!
+//! The kernels compute *real* numerics (actual FFTs, actual CG iterations on
+//! an actual sparse matrix, actual Marsaglia-polar deviates driven by NPB's
+//! `randlc` generator) while charging virtual time and workload counters
+//! through [`mps::Ctx`]. Communication uses the same collective algorithms
+//! 2010-era MPI used (pairwise-exchange all-to-all for FT's transpose, the
+//! 2-D processor-grid reduce/transpose scheme for CG), so the measured
+//! `M`/`B` counts scale the way the paper's TAU measurements did.
+//!
+//! Problem sizes are *scaled-down* NPB classes (see [`common::Class`]): the
+//! real class B (e.g. FT's 512×256×256 grid) would be needlessly slow on a
+//! host thread simulator, and the iso-energy-efficiency model cares only
+//! about how workload scales with `n` and `p`, which the scaled classes
+//! preserve.
+
+pub mod cg;
+pub mod common;
+pub mod ep;
+pub mod fft;
+pub mod ft;
+pub mod is;
+pub mod mg;
+pub mod num;
+pub mod sparse;
+
+pub use cg::{cg_kernel, CgConfig, CgResult};
+pub use common::{Class, KernelName};
+pub use ep::{ep_kernel, EpConfig, EpResult};
+pub use ft::{ft_kernel, FtConfig, FtResult};
+pub use is::{is_kernel, IsConfig, IsResult};
+pub use mg::{mg_kernel, MgConfig, MgResult};
+pub use num::C64;

@@ -1,0 +1,134 @@
+//! Minimal complex arithmetic for the FT kernel.
+//!
+//! A tiny `f64` complex type rather than an external crate: the FFT only
+//! needs add/sub/mul and a few constructors, and keeping it local keeps the
+//! workspace dependency-light (DESIGN.md §5).
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A double-precision complex number.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Construct from real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Zero.
+    pub const ZERO: C64 = C64::new(0.0, 0.0);
+
+    /// One.
+    pub const ONE: C64 = C64::new(1.0, 0.0);
+
+    /// `e^{iθ}` — the twiddle-factor constructor.
+    pub fn cis(theta: f64) -> Self {
+        Self { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude `|z|²`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scale by a real factor.
+    pub fn scale(self, s: f64) -> Self {
+        Self { re: self.re * s, im: self.im * s }
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for C64 {
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(-3.0, 0.5);
+        assert_eq!(a + b, C64::new(-2.0, 2.5));
+        assert_eq!(a - b, C64::new(4.0, 1.5));
+        // (1+2i)(-3+0.5i) = -3 + 0.5i - 6i + i² = -4 - 5.5i
+        assert_eq!(a * b, C64::new(-4.0, -5.5));
+        assert_eq!(-a, C64::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn cis_unit_circle() {
+        let z = C64::cis(PI / 2.0);
+        assert!((z.re).abs() < 1e-15);
+        assert!((z.im - 1.0).abs() < 1e-15);
+        assert!((C64::cis(1.234).abs() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let z = C64::new(3.0, 4.0);
+        assert_eq!(z.conj(), C64::new(3.0, -4.0));
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.abs(), 5.0);
+        // z · conj(z) = |z|²
+        let p = z * z.conj();
+        assert!((p.re - 25.0).abs() < 1e-12 && p.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_is_real_multiplication() {
+        let z = C64::new(2.0, -6.0).scale(0.5);
+        assert_eq!(z, C64::new(1.0, -3.0));
+    }
+}

@@ -1,0 +1,207 @@
+//! Property-based tests for the NPB numerics: FFT against the DFT oracle,
+//! `randlc` stream algebra, sparse-matrix structure, kernel determinism.
+
+use npb::common::Randlc;
+use npb::fft::{dft_reference, Direction, FftPlan};
+use npb::num::C64;
+use npb::sparse::{assemble_block, assemble_block_padded, row_pattern};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fft_matches_dft_on_random_input(
+        log_n in 1u32..8,
+        res in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 128),
+    ) {
+        let n = 1usize << log_n;
+        let input: Vec<C64> = res[..n].iter().map(|&(re, im)| C64::new(re, im)).collect();
+        let plan = FftPlan::new(n);
+        let mut fast = input.clone();
+        plan.transform(&mut fast, Direction::Forward);
+        let slow = dft_reference(&input, Direction::Forward);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((*a - *b).abs() < 1e-9 * (1.0 + b.abs()), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip_is_identity(
+        log_n in 1u32..9,
+        res in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 256),
+    ) {
+        let n = 1usize << log_n;
+        let input: Vec<C64> = res[..n].iter().map(|&(re, im)| C64::new(re, im)).collect();
+        let plan = FftPlan::new(n);
+        let mut buf = input.clone();
+        plan.transform(&mut buf, Direction::Forward);
+        plan.transform(&mut buf, Direction::Inverse);
+        for (a, b) in buf.iter().zip(&input) {
+            let scaled = a.scale(1.0 / n as f64);
+            prop_assert!((scaled - *b).abs() < 1e-9 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn fft_is_linear(
+        log_n in 1u32..7,
+        s in -5.0f64..5.0,
+        res in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 128),
+    ) {
+        let n = 1usize << log_n;
+        let x: Vec<C64> = res[..n].iter().map(|&(re, im)| C64::new(re, im)).collect();
+        let y: Vec<C64> = res[64 - n / 2..64 + n / 2]
+            .iter()
+            .map(|&(re, im)| C64::new(im, re))
+            .collect();
+        let plan = FftPlan::new(n);
+        // F(s·x + y) == s·F(x) + F(y)
+        let mut lhs: Vec<C64> = x
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| a.scale(s) + *b)
+            .collect();
+        plan.transform(&mut lhs, Direction::Forward);
+        let mut fx = x.clone();
+        let mut fy = y.clone();
+        plan.transform(&mut fx, Direction::Forward);
+        plan.transform(&mut fy, Direction::Forward);
+        for ((l, a), b) in lhs.iter().zip(&fx).zip(&fy) {
+            let rhs = a.scale(s) + *b;
+            prop_assert!((*l - rhs).abs() < 1e-8 * (1.0 + rhs.abs()));
+        }
+    }
+
+    #[test]
+    fn randlc_skip_is_homomorphic(a in 0u64..100_000, b in 0u64..100_000) {
+        // skip(a) then skip(b) == skip(a + b).
+        let base = Randlc::nas_default();
+        let two_step = base.at_offset(a).at_offset(b);
+        let one_step = base.at_offset(a + b);
+        prop_assert_eq!(two_step.state(), one_step.state());
+    }
+
+    #[test]
+    fn randlc_uniforms_lie_in_open_unit_interval(skip in 0u64..1_000_000) {
+        let mut g = Randlc::nas_default().at_offset(skip);
+        for _ in 0..100 {
+            let u = g.next_f64();
+            prop_assert!(u > 0.0 && u < 1.0);
+        }
+    }
+
+    #[test]
+    fn row_pattern_is_valid_for_any_row(
+        n in 10usize..10_000,
+        pattern in 1usize..32,
+        row_frac in 0.0f64..1.0,
+    ) {
+        let row = ((n as f64 - 1.0) * row_frac) as usize;
+        let entries = row_pattern(12345, n, pattern.min(n - 1), row);
+        let mut cols: Vec<usize> = entries.iter().map(|e| e.0).collect();
+        cols.sort_unstable();
+        let before = cols.len();
+        cols.dedup();
+        prop_assert_eq!(cols.len(), before, "duplicate columns");
+        for &(c, v) in &entries {
+            prop_assert!(c < n && c != row);
+            prop_assert!(v.abs() <= 1.0, "value {v} out of scaled range");
+        }
+    }
+
+    #[test]
+    fn sparse_blocks_tile_like_the_full_matrix(
+        seed_pick in 0u64..50,
+        nonzer in 1usize..8,
+    ) {
+        let seed = 2 * seed_pick + 1; // odd
+        let n = 64;
+        let full = assemble_block(seed, n, nonzer, 0, n, 0, n);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+        let mut y_full = vec![0.0; n];
+        full.spmv(&x, &mut y_full);
+
+        let h = n / 2;
+        let mut y_blocks = vec![0.0; n];
+        for bi in 0..2 {
+            for bj in 0..2 {
+                let blk = assemble_block(seed, n, nonzer, bi * h, h, bj * h, h);
+                let mut y = vec![0.0; h];
+                blk.spmv(&x[bj * h..(bj + 1) * h], &mut y);
+                for (i, v) in y.into_iter().enumerate() {
+                    y_blocks[bi * h + i] += v;
+                }
+            }
+        }
+        for (a, b) in y_full.iter().zip(&y_blocks) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn padded_matrix_decouples_from_true_system(
+        nonzer in 1usize..6,
+        extra_pick in 1usize..5,
+    ) {
+        // SpMV over the padded matrix restricted to true rows must equal
+        // the unpadded SpMV (padding must never couple in).
+        let n_true = 40;
+        let n_pad = n_true + extra_pick * 8;
+        let seed = 314_159_265;
+        let plain = assemble_block(seed, n_true, nonzer, 0, n_true, 0, n_true);
+        let padded = assemble_block_padded(seed, n_true, n_pad, nonzer, 0, n_pad, 0, n_pad);
+
+        let mut x = vec![0.0f64; n_pad];
+        for (i, xi) in x.iter_mut().enumerate().take(n_true) {
+            *xi = ((i * 13) % 7) as f64 - 3.0;
+        }
+        let mut y_pad = vec![0.0; n_pad];
+        padded.spmv(&x, &mut y_pad);
+        let mut y_plain = vec![0.0; n_true];
+        plain.spmv(&x[..n_true], &mut y_plain);
+        for i in 0..n_true {
+            prop_assert!((y_pad[i] - y_plain[i]).abs() < 1e-10);
+        }
+    }
+}
+
+mod kernel_determinism {
+    use mps::{run, World};
+    use npb::{ep_kernel, is_kernel, EpConfig, IsConfig};
+    use proptest::prelude::*;
+    use simcluster::system_g;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn ep_identical_across_rank_counts(p in 1usize..7) {
+            let w = World::new(system_g(), 2.8e9);
+            let cfg = EpConfig { pairs: 1 << 12, seed: npb::common::RANDLC_SEED };
+            let base = run(&w, 1, move |ctx| ep_kernel(ctx, cfg));
+            let par = run(&w, p, move |ctx| ep_kernel(ctx, cfg));
+            let a = &base.ranks[0].result;
+            let b = &par.ranks[0].result;
+            prop_assert_eq!(a.accepted, b.accepted);
+            prop_assert!((a.sx - b.sx).abs() < 1e-7);
+        }
+
+        #[test]
+        fn is_conserves_keys_for_any_p(p in 1usize..7) {
+            let w = World::new(system_g(), 2.8e9);
+            let cfg = IsConfig {
+                keys: 1 << 12,
+                key_range: 1 << 10,
+                reps: 1,
+                seed: npb::common::RANDLC_SEED,
+            };
+            let r = run(&w, p, move |ctx| is_kernel(ctx, cfg));
+            let total: u64 = r.ranks.iter().map(|rk| rk.result.local_count).sum();
+            prop_assert_eq!(total, cfg.keys);
+            for rk in &r.ranks {
+                prop_assert!(rk.result.verified);
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Sampled power traces.
+
+use serde::{Deserialize, Serialize};
+use simcluster::{EnergyMeter, SegmentLog};
+
+/// One sample of system power, decomposed per component (watts).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerSample {
+    /// Virtual time of the sample, seconds.
+    pub t_s: f64,
+    /// CPU power across all sampled ranks.
+    pub cpu_w: f64,
+    /// Memory power.
+    pub mem_w: f64,
+    /// NIC power.
+    pub net_w: f64,
+    /// Disk power.
+    pub disk_w: f64,
+    /// Motherboard/fans/PSU power.
+    pub other_w: f64,
+}
+
+impl PowerSample {
+    /// Total system power at this sample.
+    pub fn total_w(&self) -> f64 {
+        self.cpu_w + self.mem_w + self.net_w + self.disk_w + self.other_w
+    }
+}
+
+/// A sampled power trace of a parallel run — the paper's Fig. 10 object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerProfile {
+    /// Samples in time order, evenly spaced.
+    pub samples: Vec<PowerSample>,
+    /// Sampling interval, seconds.
+    pub dt_s: f64,
+    /// Number of ranks aggregated into the trace.
+    pub ranks: usize,
+}
+
+impl PowerProfile {
+    /// Sample the aggregate power of `logs` every `dt_s` seconds from 0 to
+    /// the latest log end (inclusive of one trailing idle sample).
+    ///
+    /// # Panics
+    /// Panics if `dt_s <= 0` or `logs` is empty.
+    pub fn sample(meter: &EnergyMeter, logs: &[&SegmentLog], dt_s: f64) -> Self {
+        assert!(dt_s > 0.0 && dt_s.is_finite(), "invalid sample interval {dt_s}");
+        assert!(!logs.is_empty(), "no rank logs to sample");
+        let span = logs.iter().map(|l| l.end_s()).fold(0.0, f64::max);
+        let steps = (span / dt_s).ceil() as usize + 1;
+        let mut samples = Vec::with_capacity(steps);
+        for k in 0..steps {
+            let t = k as f64 * dt_s;
+            let mut acc = [0.0f64; 5];
+            for log in logs {
+                let p = meter.power_at(log, t);
+                for (a, v) in acc.iter_mut().zip(p) {
+                    *a += v;
+                }
+            }
+            samples.push(PowerSample {
+                t_s: t,
+                cpu_w: acc[0],
+                mem_w: acc[1],
+                net_w: acc[2],
+                disk_w: acc[3],
+                other_w: acc[4],
+            });
+        }
+        Self { samples, dt_s, ranks: logs.len() }
+    }
+
+    /// Trapezoidal energy integral of the trace, joules.
+    pub fn energy_j(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let mut e = 0.0;
+        for w in self.samples.windows(2) {
+            e += 0.5 * (w[0].total_w() + w[1].total_w()) * self.dt_s;
+        }
+        e
+    }
+
+    /// Peak total power in the trace, watts.
+    pub fn peak_w(&self) -> f64 {
+        self.samples.iter().map(PowerSample::total_w).fold(0.0, f64::max)
+    }
+
+    /// Mean total power, watts.
+    pub fn mean_w(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(PowerSample::total_w).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// The idle baseline (system idle power × ranks) the trace fluctuates
+    /// over — the dashed line in the paper's Fig. 10.
+    pub fn idle_baseline_w(&self, meter: &EnergyMeter) -> f64 {
+        meter.node().system_idle_w() * self.ranks as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcluster::{system_g, Segment, SegmentKind};
+
+    fn meter() -> EnergyMeter {
+        EnergyMeter::new(system_g().node, 2.8e9)
+    }
+
+    fn busy_log(dur: f64) -> SegmentLog {
+        let mut log = SegmentLog::new(0);
+        log.push(Segment {
+            kind: SegmentKind::Compute,
+            start_s: 0.0,
+            wall_s: dur,
+            work_s: dur,
+        });
+        log
+    }
+
+    #[test]
+    fn samples_cover_the_span() {
+        let m = meter();
+        let log = busy_log(1.0);
+        let prof = PowerProfile::sample(&m, &[&log], 0.01);
+        assert!(prof.samples.len() >= 100);
+        assert_eq!(prof.samples[0].t_s, 0.0);
+    }
+
+    #[test]
+    fn trace_integral_matches_meter_energy() {
+        let m = meter();
+        let log = busy_log(2.0);
+        let e_meter = m.rank_energy(&log, 2.0).total();
+        let prof = PowerProfile::sample(&m, &[&log], 1e-3);
+        let e_trace = prof.energy_j();
+        assert!(
+            (e_trace - e_meter).abs() / e_meter < 5e-3,
+            "trace {e_trace} vs meter {e_meter}"
+        );
+    }
+
+    #[test]
+    fn power_fluctuates_over_idle_baseline() {
+        let m = meter();
+        let mut log = SegmentLog::new(0);
+        log.push(Segment { kind: SegmentKind::Compute, start_s: 0.0, wall_s: 1.0, work_s: 1.0 });
+        log.push(Segment { kind: SegmentKind::Wait, start_s: 1.0, wall_s: 1.0, work_s: 0.0 });
+        let prof = PowerProfile::sample(&m, &[&log], 0.05);
+        let idle = prof.idle_baseline_w(&m);
+        assert!(prof.peak_w() > idle);
+        // During the wait the trace returns to baseline.
+        let late = prof
+            .samples
+            .iter()
+            .find(|s| s.t_s > 1.5)
+            .expect("late sample");
+        assert!((late.total_w() - idle).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiple_ranks_aggregate() {
+        let m = meter();
+        let a = busy_log(1.0);
+        let mut b = busy_log(1.0);
+        b.rank = 1;
+        let single = PowerProfile::sample(&m, &[&a], 0.1);
+        let double = PowerProfile::sample(&m, &[&a, &b], 0.1);
+        assert!((double.samples[1].total_w() - 2.0 * single.samples[1].total_w()).abs() < 1e-9);
+        assert_eq!(double.ranks, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sample interval")]
+    fn zero_interval_rejected() {
+        let m = meter();
+        let log = busy_log(1.0);
+        PowerProfile::sample(&m, &[&log], 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Text and CSV rendering of profiles and energy summaries.
+
+use crate::profile::PowerProfile;
+use crate::session::SessionReport;
+
+/// Render a power profile as CSV with a header row — the raw data behind a
+/// Fig.-10-style plot.
+pub fn profile_csv(profile: &PowerProfile) -> String {
+    let mut out = String::with_capacity(profile.samples.len() * 48 + 64);
+    out.push_str("t_s,cpu_w,mem_w,net_w,disk_w,other_w,total_w\n");
+    for s in &profile.samples {
+        out.push_str(&format!(
+            "{:.6},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}\n",
+            s.t_s,
+            s.cpu_w,
+            s.mem_w,
+            s.net_w,
+            s.disk_w,
+            s.other_w,
+            s.total_w()
+        ));
+    }
+    out
+}
+
+/// Render a session report as an aligned text table.
+pub fn summary_table(report: &SessionReport) -> String {
+    let e = &report.energy;
+    let total = e.total();
+    let pct = |x: f64| if total > 0.0 { 100.0 * x / total } else { 0.0 };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "span: {:.4} s   mean power: {:.1} W   total energy: {:.1} J\n",
+        report.span_s, report.mean_power_w, total
+    ));
+    out.push_str("component   energy (J)      share\n");
+    out.push_str(&format!("  cpu       {:>10.1}    {:>5.1}%\n", e.cpu_j, pct(e.cpu_j)));
+    out.push_str(&format!("  memory    {:>10.1}    {:>5.1}%\n", e.memory_j, pct(e.memory_j)));
+    out.push_str(&format!("  network   {:>10.1}    {:>5.1}%\n", e.network_j, pct(e.network_j)));
+    out.push_str(&format!("  disk      {:>10.1}    {:>5.1}%\n", e.disk_j, pct(e.disk_j)));
+    out.push_str(&format!("  other     {:>10.1}    {:>5.1}%\n", e.other_j, pct(e.other_j)));
+    if !report.phases.is_empty() {
+        out.push_str("phase                start (s)    end (s)   energy (J)\n");
+        for p in &report.phases {
+            out.push_str(&format!(
+                "  {:<18} {:>9.4}  {:>9.4}   {:>10.1}\n",
+                p.name, p.start_s, p.end_s, p.energy_j
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::PowerSample;
+    use crate::session::PhaseEnergy;
+    use simcluster::ComponentEnergy;
+
+    fn sample_profile() -> PowerProfile {
+        PowerProfile {
+            samples: vec![
+                PowerSample { t_s: 0.0, cpu_w: 10.0, mem_w: 3.0, net_w: 1.0, disk_w: 1.0, other_w: 5.0 },
+                PowerSample { t_s: 0.1, cpu_w: 22.0, mem_w: 3.0, net_w: 1.0, disk_w: 1.0, other_w: 5.0 },
+            ],
+            dt_s: 0.1,
+            ranks: 1,
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = profile_csv(&sample_profile());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("t_s,"));
+        assert!(lines[1].starts_with("0.000000,10.000"));
+        // Total column = sum of components.
+        assert!(lines[1].ends_with(",20.000"));
+    }
+
+    #[test]
+    fn summary_mentions_all_components_and_phases() {
+        let rep = SessionReport {
+            energy: ComponentEnergy {
+                cpu_j: 50.0,
+                memory_j: 20.0,
+                network_j: 5.0,
+                disk_j: 5.0,
+                other_j: 20.0,
+            },
+            span_s: 1.0,
+            mean_power_w: 100.0,
+            phases: vec![PhaseEnergy {
+                name: "solve".into(),
+                start_s: 0.0,
+                end_s: 1.0,
+                energy_j: 100.0,
+            }],
+        };
+        let txt = summary_table(&rep);
+        for needle in ["cpu", "memory", "network", "disk", "other", "solve", "100.0 J"] {
+            assert!(txt.contains(needle), "missing {needle} in:\n{txt}");
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Virtual time.
+//!
+//! All time in the simulator is *virtual*: a per-rank `f64` clock measured in
+//! seconds, advanced explicitly by work charges and message arrivals. Nothing
+//! here depends on wall-clock time, so simulated experiments are exactly
+//! reproducible.
+
+/// A per-rank virtual clock, in seconds since the start of the run.
+///
+/// The clock only moves forward. [`VirtualClock::advance`] moves it by a
+/// non-negative delta; [`VirtualClock::advance_to`] jumps it forward to an
+/// absolute time (used when a message arrival forces a wait) and returns the
+/// waited duration.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct VirtualClock {
+    now: f64,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self { now: 0.0 }
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advance the clock by `dt` seconds.
+    ///
+    /// # Panics
+    /// Panics if `dt` is negative or not finite — a negative charge is always
+    /// a bug in the caller's cost model.
+    pub fn advance(&mut self, dt: f64) {
+        assert!(
+            dt.is_finite() && dt >= 0.0,
+            "virtual clock advanced by invalid dt={dt}"
+        );
+        self.now += dt;
+    }
+
+    /// Jump the clock forward to absolute time `t` if `t` is in the future.
+    ///
+    /// Returns the duration waited (zero when `t` is in the past, i.e. the
+    /// awaited event already happened).
+    pub fn advance_to(&mut self, t: f64) -> f64 {
+        assert!(t.is_finite(), "virtual clock target must be finite");
+        if t > self.now {
+            let waited = t - self.now;
+            self.now = t;
+            waited
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(VirtualClock::new().now(), 0.0);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let mut c = VirtualClock::new();
+        c.advance(1.5);
+        c.advance(0.25);
+        assert!((c.now() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advance_by_zero_is_noop() {
+        let mut c = VirtualClock::new();
+        c.advance(1.0);
+        c.advance(0.0);
+        assert_eq!(c.now(), 1.0);
+    }
+
+    #[test]
+    fn advance_to_future_reports_wait() {
+        let mut c = VirtualClock::new();
+        c.advance(2.0);
+        let waited = c.advance_to(5.0);
+        assert!((waited - 3.0).abs() < 1e-12);
+        assert_eq!(c.now(), 5.0);
+    }
+
+    #[test]
+    fn advance_to_past_is_noop() {
+        let mut c = VirtualClock::new();
+        c.advance(2.0);
+        let waited = c.advance_to(1.0);
+        assert_eq!(waited, 0.0);
+        assert_eq!(c.now(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid dt")]
+    fn negative_advance_panics() {
+        VirtualClock::new().advance(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid dt")]
+    fn nan_advance_panics() {
+        VirtualClock::new().advance(f64::NAN);
+    }
+}

@@ -1,0 +1,205 @@
+//! Typed state-interval logs.
+//!
+//! Every simulated rank records what its hardware was doing as a sequence of
+//! [`Segment`]s. The energy meter ([`crate::energy`]) integrates component
+//! power over these, and the PowerPack analog samples them into power traces
+//! (paper Fig. 10).
+//!
+//! ## Overlap (the paper's `α`, §VI.F)
+//!
+//! The paper models computation/memory/network overlap with a single factor
+//! `α ∈ (0, 1]`: actual wall time is `α ×` the sum of theoretical component
+//! times (Eq. 6), while each component is still busy for its full theoretical
+//! time (the energy deltas in Eqs. 13/15 are *not* scaled by `α`). Segments
+//! therefore carry both a **wall** duration (squeezed by overlap; advances
+//! the clock) and a **work** duration (device-busy time; accrues delta
+//! energy). For waits the work duration is zero.
+
+use serde::{Deserialize, Serialize};
+
+/// Which component a segment keeps busy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SegmentKind {
+    /// On-chip computation (drives `ΔP_c`).
+    Compute,
+    /// Off-chip memory access (drives `ΔP_m`).
+    Memory,
+    /// Network send/receive (drives the NIC delta).
+    Network,
+    /// Disk/local I/O (drives `ΔP_IO`; unused by NPB, kept for completeness).
+    Io,
+    /// Blocked on a message or barrier: no component delta, idle power only.
+    Wait,
+}
+
+impl SegmentKind {
+    /// All kinds, for iteration in reports.
+    pub const ALL: [SegmentKind; 5] = [
+        SegmentKind::Compute,
+        SegmentKind::Memory,
+        SegmentKind::Network,
+        SegmentKind::Io,
+        SegmentKind::Wait,
+    ];
+}
+
+/// One contiguous interval of a rank's activity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// What the rank was doing.
+    pub kind: SegmentKind,
+    /// Virtual wall-clock start, seconds.
+    pub start_s: f64,
+    /// Wall duration (after overlap squeezing), seconds.
+    pub wall_s: f64,
+    /// Device-busy duration (before overlap squeezing), seconds.
+    /// Zero for [`SegmentKind::Wait`].
+    pub work_s: f64,
+}
+
+impl Segment {
+    /// Wall-clock end of the segment.
+    pub fn end_s(&self) -> f64 {
+        self.start_s + self.wall_s
+    }
+}
+
+/// The full activity log of one rank.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SegmentLog {
+    /// Rank that produced the log.
+    pub rank: usize,
+    /// Segments in wall-clock order.
+    pub segments: Vec<Segment>,
+}
+
+impl SegmentLog {
+    /// An empty log for `rank`.
+    pub fn new(rank: usize) -> Self {
+        Self { rank, segments: Vec::new() }
+    }
+
+    /// Append a segment, checking monotonicity and validity.
+    ///
+    /// # Panics
+    /// Panics if the segment starts before the previous one ends (beyond
+    /// floating tolerance) or has negative durations.
+    pub fn push(&mut self, seg: Segment) {
+        assert!(
+            seg.wall_s >= 0.0 && seg.work_s >= 0.0,
+            "segment durations must be non-negative: {seg:?}"
+        );
+        if let Some(prev) = self.segments.last() {
+            assert!(
+                seg.start_s >= prev.end_s() - 1e-9 * prev.end_s().abs().max(1.0),
+                "segments must be in wall order: prev ends {prev:?}, next {seg:?}"
+            );
+        }
+        if matches!(seg.kind, SegmentKind::Wait) {
+            assert!(seg.work_s == 0.0, "wait segments carry no device work");
+        }
+        self.segments.push(seg);
+    }
+
+    /// Wall-clock time of the last segment's end (the rank's finish time).
+    pub fn end_s(&self) -> f64 {
+        self.segments.last().map(Segment::end_s).unwrap_or(0.0)
+    }
+
+    /// Total device-busy (work) time of a given kind.
+    pub fn work_time(&self, kind: SegmentKind) -> f64 {
+        self.segments
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.work_s)
+            .sum()
+    }
+
+    /// Total wall time spent in a given kind.
+    pub fn wall_time(&self, kind: SegmentKind) -> f64 {
+        self.segments
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.wall_s)
+            .sum()
+    }
+
+    /// Merge adjacent segments of the same kind (keeps logs compact for
+    /// long runs; preserves total wall and work durations exactly).
+    pub fn coalesce(&mut self) {
+        let mut out: Vec<Segment> = Vec::with_capacity(self.segments.len());
+        for seg in self.segments.drain(..) {
+            match out.last_mut() {
+                Some(last)
+                    if last.kind == seg.kind
+                        && (seg.start_s - last.end_s()).abs()
+                            <= 1e-9 * last.end_s().abs().max(1.0) =>
+                {
+                    last.wall_s += seg.wall_s;
+                    last.work_s += seg.work_s;
+                }
+                _ => out.push(seg),
+            }
+        }
+        self.segments = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(kind: SegmentKind, start: f64, wall: f64, work: f64) -> Segment {
+        Segment { kind, start_s: start, wall_s: wall, work_s: work }
+    }
+
+    #[test]
+    fn push_and_totals() {
+        let mut log = SegmentLog::new(0);
+        log.push(seg(SegmentKind::Compute, 0.0, 0.8, 1.0));
+        log.push(seg(SegmentKind::Memory, 0.8, 0.4, 0.5));
+        log.push(seg(SegmentKind::Wait, 1.2, 0.3, 0.0));
+        assert!((log.end_s() - 1.5).abs() < 1e-12);
+        assert_eq!(log.work_time(SegmentKind::Compute), 1.0);
+        assert_eq!(log.wall_time(SegmentKind::Compute), 0.8);
+        assert_eq!(log.work_time(SegmentKind::Wait), 0.0);
+        assert_eq!(log.wall_time(SegmentKind::Wait), 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "wall order")]
+    fn out_of_order_push_panics() {
+        let mut log = SegmentLog::new(0);
+        log.push(seg(SegmentKind::Compute, 0.0, 1.0, 1.0));
+        log.push(seg(SegmentKind::Compute, 0.5, 1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no device work")]
+    fn wait_with_work_panics() {
+        let mut log = SegmentLog::new(0);
+        log.push(seg(SegmentKind::Wait, 0.0, 1.0, 0.5));
+    }
+
+    #[test]
+    fn coalesce_merges_adjacent_same_kind() {
+        let mut log = SegmentLog::new(0);
+        log.push(seg(SegmentKind::Compute, 0.0, 0.5, 0.6));
+        log.push(seg(SegmentKind::Compute, 0.5, 0.5, 0.6));
+        log.push(seg(SegmentKind::Memory, 1.0, 0.2, 0.2));
+        let (wc, wm) = (
+            log.work_time(SegmentKind::Compute),
+            log.work_time(SegmentKind::Memory),
+        );
+        log.coalesce();
+        assert_eq!(log.segments.len(), 2);
+        assert!((log.work_time(SegmentKind::Compute) - wc).abs() < 1e-12);
+        assert!((log.work_time(SegmentKind::Memory) - wm).abs() < 1e-12);
+        assert!((log.end_s() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_log_ends_at_zero() {
+        assert_eq!(SegmentLog::new(3).end_s(), 0.0);
+    }
+}

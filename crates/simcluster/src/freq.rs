@@ -1,0 +1,133 @@
+//! DVFS frequency tables.
+//!
+//! Power-scalable clusters expose a discrete set of processor frequencies
+//! (P-states). The paper's SystemG nodes run 2.8 GHz Xeons with DVFS enabled;
+//! the scalability studies sweep `f` over the available states (Figs. 5, 7,
+//! 9). [`DvfsTable`] holds the ascending list of states and answers the
+//! queries the model and the simulator need.
+
+use serde::{Deserialize, Serialize};
+
+/// A discrete table of DVFS frequency states, in Hz, sorted ascending.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DvfsTable {
+    levels: Vec<f64>,
+}
+
+impl DvfsTable {
+    /// Build a table from a list of frequencies in Hz.
+    ///
+    /// Duplicates are removed and the list is sorted ascending.
+    ///
+    /// # Panics
+    /// Panics if the list is empty or contains a non-positive/non-finite
+    /// frequency.
+    pub fn new(mut levels: Vec<f64>) -> Self {
+        assert!(!levels.is_empty(), "DVFS table must have at least one state");
+        for &f in &levels {
+            assert!(f.is_finite() && f > 0.0, "invalid DVFS frequency {f} Hz");
+        }
+        levels.sort_by(|a, b| a.partial_cmp(b).expect("finite frequencies"));
+        levels.dedup();
+        Self { levels }
+    }
+
+    /// Convenience constructor from GHz values.
+    pub fn from_ghz(ghz: &[f64]) -> Self {
+        Self::new(ghz.iter().map(|g| g * 1e9).collect())
+    }
+
+    /// All states, ascending, in Hz.
+    pub fn levels(&self) -> &[f64] {
+        &self.levels
+    }
+
+    /// The highest (nominal) frequency in Hz.
+    pub fn nominal(&self) -> f64 {
+        *self.levels.last().expect("non-empty")
+    }
+
+    /// The lowest frequency in Hz.
+    pub fn min(&self) -> f64 {
+        self.levels[0]
+    }
+
+    /// Number of P-states.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// The state closest to `f` Hz (ties resolve to the lower state).
+    pub fn nearest(&self, f: f64) -> f64 {
+        assert!(f.is_finite() && f > 0.0, "invalid target frequency {f} Hz");
+        *self
+            .levels
+            .iter()
+            .min_by(|a, b| {
+                let da = (*a - f).abs();
+                let db = (*b - f).abs();
+                da.partial_cmp(&db).expect("finite")
+            })
+            .expect("non-empty")
+    }
+
+    /// True when `f` is (within floating tolerance) one of the states.
+    pub fn contains(&self, f: f64) -> bool {
+        self.levels.iter().any(|&l| (l - f).abs() <= 1e-6 * l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> DvfsTable {
+        DvfsTable::from_ghz(&[2.8, 1.6, 2.0, 2.4])
+    }
+
+    #[test]
+    fn sorted_ascending_and_deduped() {
+        let t = DvfsTable::from_ghz(&[2.8, 2.8, 1.6]);
+        assert_eq!(t.levels(), &[1.6e9, 2.8e9]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn nominal_is_max_and_min_is_min() {
+        let t = table();
+        assert_eq!(t.nominal(), 2.8e9);
+        assert_eq!(t.min(), 1.6e9);
+    }
+
+    #[test]
+    fn nearest_picks_closest_state() {
+        let t = table();
+        assert_eq!(t.nearest(2.75e9), 2.8e9);
+        assert_eq!(t.nearest(1.0e9), 1.6e9);
+        assert_eq!(t.nearest(2.19e9), 2.0e9);
+    }
+
+    #[test]
+    fn contains_matches_states_only() {
+        let t = table();
+        assert!(t.contains(2.4e9));
+        assert!(!t.contains(2.5e9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn empty_table_panics() {
+        DvfsTable::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DVFS frequency")]
+    fn nonpositive_frequency_panics() {
+        DvfsTable::new(vec![0.0]);
+    }
+}

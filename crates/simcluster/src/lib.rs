@@ -1,0 +1,49 @@
+//! # simcluster — a power-aware cluster simulator
+//!
+//! This crate is the hardware substrate for the iso-energy-efficiency
+//! reproduction. It stands in for the two real clusters used in the paper
+//! (Virginia Tech's *SystemG* and the *Dori* Opteron cluster): it describes
+//! machines in exactly the terms the analytical model consumes — per-core
+//! computation latency `tc = CPI / f`, memory access latency `tm`, network
+//! startup/per-byte costs `ts`/`tw`, and per-component running/idle power
+//! with DVFS scaling `ΔP(f) ∝ f^γ` — and it accounts virtual time and energy
+//! for simulated program runs.
+//!
+//! The simulator is deliberately *richer* than the analytical model:
+//! memory latency depends on the working-set size through a cache hierarchy,
+//! waits caused by load imbalance are tracked separately from useful work,
+//! and energy is integrated per component from an interval log rather than
+//! computed from closed forms. The gap between the two is what produces the
+//! few-percent prediction errors the paper reports.
+//!
+//! ## Layout
+//!
+//! * [`freq`] — DVFS frequency tables.
+//! * [`power`] — component power states and the `f^γ` power law (Eq. 20).
+//! * [`cpu`] — CPU specification (`tc = CPI / f`, Table 1).
+//! * [`memory`] — cache hierarchy and working-set dependent latency.
+//! * [`node`] — per-core node composition.
+//! * [`machine`] — cluster presets ([`machine::system_g`], [`machine::dori`]).
+//! * [`clock`] — virtual time.
+//! * [`events`] — typed state-interval logs (compute/memory/network/wait).
+//! * [`energy`] — per-component energy integration over interval logs.
+
+pub mod clock;
+pub mod cpu;
+pub mod energy;
+pub mod events;
+pub mod freq;
+pub mod machine;
+pub mod memory;
+pub mod node;
+pub mod power;
+
+pub use clock::VirtualClock;
+pub use cpu::CpuSpec;
+pub use energy::{ComponentEnergy, EnergyMeter};
+pub use events::{Segment, SegmentKind, SegmentLog};
+pub use freq::DvfsTable;
+pub use machine::{dori, system_g, ClusterSpec, LinkSpec};
+pub use memory::{AccessProfile, CacheLevel, MemorySpec};
+pub use node::NodeSpec;
+pub use power::{ComponentPower, PowerLaw};

@@ -1,0 +1,219 @@
+//! Cluster descriptions and the two testbed presets from the paper.
+//!
+//! * **SystemG** — 325 Mac Pro nodes, each with two 4-core 2.8 GHz Intel
+//!   Xeons, 8 GB RAM, 6 MB L2 per core pair, Mellanox 40 Gb/s InfiniBand,
+//!   DVFS-enabled (the paper's §IV.A). `γ = 2` per the paper's §V.B.4.
+//! * **Dori** — 8 nodes of dual dual-core AMD Opterons, 6 GB RAM, 1 MB
+//!   per-core cache, 1 Gb/s Ethernet.
+//!
+//! Power figures are *per core* (see [`crate::node::NodeSpec`]) and were
+//! chosen to be plausible for the 2010-era hardware (Mac Pro node idle
+//! ≈ 170 W, loaded ≈ 330 W; Opteron node idle ≈ 140 W, loaded ≈ 230 W).
+//! They are substitutes for the paper's PowerPack wall measurements — the
+//! reproduction preserves model *structure and shape*, not the testbed's
+//! absolute joules (see DESIGN.md §2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::cpu::CpuSpec;
+use crate::freq::DvfsTable;
+use crate::memory::{CacheLevel, MemorySpec};
+use crate::node::NodeSpec;
+use crate::power::{ComponentPower, PowerLaw};
+
+/// Point-to-point interconnect cost parameters (the Hockney model inputs
+/// measured by MPPTest in the paper: `ts` startup, `tw` per-byte).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Message startup latency `ts`, in seconds.
+    pub startup_s: f64,
+    /// Per-byte transmission time `tw`, in seconds (Table 1 defines `tw` per
+    /// 8-bit word, i.e. per byte).
+    pub per_byte_s: f64,
+    /// Human-readable name of the fabric (e.g. "InfiniBand 40Gb/s").
+    pub name: &'static str,
+}
+
+impl LinkSpec {
+    /// Hockney transfer time for an `n`-byte message: `ts + tw·n`.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.startup_s + self.per_byte_s * bytes as f64
+    }
+
+    /// Effective asymptotic bandwidth in bytes/second (`1 / tw`).
+    pub fn bandwidth(&self) -> f64 {
+        1.0 / self.per_byte_s
+    }
+}
+
+/// A homogeneous cluster: `nodes` identical [`NodeSpec`]s joined by `link`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Cluster name for reports.
+    pub name: &'static str,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Per-node description.
+    pub node: NodeSpec,
+    /// Interconnect parameters.
+    pub link: LinkSpec,
+}
+
+impl ClusterSpec {
+    /// Total cores in the cluster.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.node.cores()
+    }
+
+    /// Validate the whole description.
+    ///
+    /// # Panics
+    /// Panics on an inconsistent node or a cluster with zero nodes.
+    pub fn validate(&self) {
+        assert!(self.nodes > 0, "cluster must have at least one node");
+        self.node.validate();
+        assert!(
+            self.link.startup_s > 0.0 && self.link.per_byte_s > 0.0,
+            "link parameters must be positive"
+        );
+    }
+}
+
+/// The SystemG preset (see module docs).
+pub fn system_g() -> ClusterSpec {
+    let dvfs = DvfsTable::from_ghz(&[1.6, 2.0, 2.4, 2.8]);
+    let cpu = CpuSpec::new(
+        0.9, // effective CPI of a typical mixed workload on the 2.8 GHz Xeon
+        dvfs,
+        10.0,                             // per-core idle share
+        PowerLaw::new(12.5, 2.8e9, 2.0),  // γ = 2 on SystemG (paper §V.B.4)
+    );
+    let memory = MemorySpec::new(
+        vec![
+            CacheLevel::new(32 * 1024, 1.4e-9), // L1d, ~4 cycles, private
+            // Harpertown-style 6 MB L2, shared by each core pair.
+            CacheLevel::shared(6 * 1024 * 1024, 5.3e-9, 2),
+        ],
+        1.05e-7, // lat_mem_rd plateau ≈ 105 ns
+        ComponentPower::new(7.5, 3.75),
+    );
+    let node = NodeSpec {
+        sockets: 2,
+        cores_per_socket: 4,
+        ram_bytes: 8 << 30,
+        cpu,
+        memory,
+        nic: ComponentPower::new(2.25, 1.25), // IB HCA share
+        disk: ComponentPower::new(1.5, 1.0),
+        other_w: 5.25, // motherboard, fans, PSU loss / 8 cores
+    };
+    ClusterSpec {
+        name: "SystemG",
+        nodes: 325,
+        node,
+        link: LinkSpec {
+            // MPPTest-style fits for 40 Gb/s InfiniBand (MVAPICH-era):
+            // ~2.6 us startup, ~3.0 GB/s effective per-byte bandwidth.
+            startup_s: 2.6e-6,
+            per_byte_s: 3.3e-10,
+            name: "InfiniBand 40Gb/s",
+        },
+    }
+}
+
+/// The Dori preset (see module docs).
+pub fn dori() -> ClusterSpec {
+    let dvfs = DvfsTable::from_ghz(&[1.0, 1.8, 2.0]);
+    let cpu = CpuSpec::new(
+        1.1, // Opteron-era effective CPI
+        dvfs,
+        12.0,
+        PowerLaw::new(14.0, 2.0e9, 1.8),
+    );
+    let memory = MemorySpec::new(
+        vec![
+            CacheLevel::new(64 * 1024, 1.5e-9),
+            CacheLevel::new(1024 * 1024, 6.0e-9), // 1 MB per-core L2
+        ],
+        1.35e-7,
+        ComponentPower::new(9.0, 4.5),
+    );
+    let node = NodeSpec {
+        sockets: 2,
+        cores_per_socket: 2,
+        ram_bytes: 6 << 30,
+        cpu,
+        memory,
+        nic: ComponentPower::new(1.5, 1.0),
+        disk: ComponentPower::new(3.0, 2.0),
+        other_w: 12.0, // fewer cores share the motherboard/fans
+    };
+    ClusterSpec {
+        name: "Dori",
+        nodes: 8,
+        node,
+        link: LinkSpec {
+            // 1 GbE over a commodity switch: ~45 us startup, ~110 MB/s.
+            startup_s: 4.5e-5,
+            per_byte_s: 9.0e-9,
+            name: "Gigabit Ethernet",
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        system_g().validate();
+        dori().validate();
+    }
+
+    #[test]
+    fn system_g_matches_paper_description() {
+        let g = system_g();
+        assert_eq!(g.nodes, 325);
+        assert_eq!(g.node.cores(), 8);
+        assert_eq!(g.total_cores(), 2600);
+        assert!(g.node.cpu.dvfs.contains(2.8e9));
+        assert_eq!(g.node.cpu.delta.gamma, 2.0);
+    }
+
+    #[test]
+    fn dori_matches_paper_description() {
+        let d = dori();
+        assert_eq!(d.nodes, 8);
+        assert_eq!(d.node.cores(), 4);
+        assert_eq!(d.total_cores(), 32);
+    }
+
+    #[test]
+    fn infiniband_much_faster_than_ethernet() {
+        let g = system_g();
+        let d = dori();
+        assert!(g.link.startup_s < d.link.startup_s / 5.0);
+        assert!(g.link.bandwidth() > d.link.bandwidth() * 10.0);
+    }
+
+    #[test]
+    fn transfer_time_is_affine_in_bytes() {
+        let l = system_g().link;
+        let t0 = l.transfer_time(0);
+        let t1 = l.transfer_time(1_000_000);
+        assert!((t0 - l.startup_s).abs() < 1e-18);
+        assert!((t1 - (l.startup_s + 1e6 * l.per_byte_s)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn node_idle_power_is_plausible() {
+        // SystemG Mac Pro node: 8 cores x per-core idle share ≈ 170 W.
+        let g = system_g();
+        let node_idle = g.node.system_idle_w() * g.node.cores() as f64;
+        assert!(
+            (150.0..200.0).contains(&node_idle),
+            "SystemG node idle {node_idle} W out of plausible range"
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Node composition: cores, memory, and the non-scaling components
+//! (NIC, disk, motherboard/fans) of the paper's Table 1.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cpu::CpuSpec;
+use crate::memory::MemorySpec;
+use crate::power::ComponentPower;
+
+/// A compute node, described *per core* on the power side.
+///
+/// The paper's model attributes system idle power to each of the `p`
+/// processors (Eq. 15 carries a factor `p · P_sys_idle`), so the natural unit
+/// here is one core's share of node power. [`NodeSpec::cores`] says how many
+/// such shares one physical node provides; cluster presets give the per-node
+/// wall figures divided through.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Number of sockets per node.
+    pub sockets: usize,
+    /// Cores per socket.
+    pub cores_per_socket: usize,
+    /// RAM per node in bytes.
+    pub ram_bytes: u64,
+    /// Per-core CPU description.
+    pub cpu: CpuSpec,
+    /// Per-core share of the memory subsystem.
+    pub memory: MemorySpec,
+    /// Per-core share of NIC power.
+    pub nic: ComponentPower,
+    /// Per-core share of disk power (the paper's `P_IO`; NPB exercises ~no disk).
+    pub disk: ComponentPower,
+    /// Per-core share of everything else: motherboard, fans, PSU loss
+    /// (the paper's `P_other`; constant, no running/idle split).
+    pub other_w: f64,
+}
+
+impl NodeSpec {
+    /// Total cores per node.
+    pub fn cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Per-core system idle power (Table 1's `P_system_idle`): the sum of
+    /// every component's idle level plus the constant `P_other`.
+    pub fn system_idle_w(&self) -> f64 {
+        self.cpu.idle_w + self.memory.power.idle_w + self.nic.idle_w + self.disk.idle_w
+            + self.other_w
+    }
+
+    /// Validate internal consistency (positive core counts, finite powers).
+    ///
+    /// # Panics
+    /// Panics if the node has zero cores or non-finite `other_w`.
+    pub fn validate(&self) {
+        assert!(self.cores() > 0, "node must have at least one core");
+        assert!(
+            self.other_w.is_finite() && self.other_w >= 0.0,
+            "other power must be non-negative"
+        );
+        assert!(self.ram_bytes > 0, "node must have RAM");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freq::DvfsTable;
+    use crate::memory::CacheLevel;
+    use crate::power::PowerLaw;
+
+    fn node() -> NodeSpec {
+        NodeSpec {
+            sockets: 2,
+            cores_per_socket: 4,
+            ram_bytes: 8 << 30,
+            cpu: CpuSpec::new(
+                0.9,
+                DvfsTable::from_ghz(&[2.0, 2.8]),
+                10.0,
+                PowerLaw::new(12.5, 2.8e9, 2.0),
+            ),
+            memory: MemorySpec::new(
+                vec![CacheLevel::new(6 << 20, 5e-9)],
+                1e-7,
+                ComponentPower::new(7.0, 3.5),
+            ),
+            nic: ComponentPower::new(2.0, 1.0),
+            disk: ComponentPower::new(2.0, 1.0),
+            other_w: 7.0,
+        }
+    }
+
+    #[test]
+    fn cores_multiplies_sockets() {
+        assert_eq!(node().cores(), 8);
+    }
+
+    #[test]
+    fn system_idle_sums_components() {
+        let n = node();
+        assert!((n.system_idle_w() - (10.0 + 3.5 + 1.0 + 1.0 + 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_accepts_good_node() {
+        node().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_core_node_rejected() {
+        let mut n = node();
+        n.sockets = 0;
+        n.validate();
+    }
+}

@@ -1,0 +1,137 @@
+//! Component power states and the `P ∝ f^γ` scaling law (paper Eq. 20).
+//!
+//! The paper's energy model (Eqs. 7–9) splits every component's power into an
+//! *idle* level drawn for the whole execution and a *delta* drawn only while
+//! the component is actively working:
+//!
+//! ```text
+//! E_c = P_c_idle · T  +  ΔP_c · T_c_active        (per component)
+//! ```
+//!
+//! Following Kim et al. (the paper's [6, 34]), the active delta of a
+//! frequency-scaled component follows `ΔP(f) = ΔP_ref · (f / f_ref)^γ` with
+//! `γ ≥ 1` (the paper sets `γ = 2` on SystemG). Idle power is treated as
+//! frequency-independent (dominated by leakage and uncore).
+
+use serde::{Deserialize, Serialize};
+
+/// Power-vs-frequency law for a DVFS-scaled component: `ΔP(f) = ΔP_ref · (f/f_ref)^γ`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerLaw {
+    /// Active (delta over idle) power at the reference frequency, in watts.
+    pub delta_ref_w: f64,
+    /// Reference frequency in Hz (normally the nominal DVFS state).
+    pub f_ref_hz: f64,
+    /// Exponent `γ ≥ 1` (paper Eq. 20; `γ = 2` on SystemG).
+    pub gamma: f64,
+}
+
+impl PowerLaw {
+    /// Construct a power law, validating its parameters.
+    ///
+    /// # Panics
+    /// Panics if `delta_ref_w < 0`, `f_ref_hz <= 0` or `gamma < 1`.
+    pub fn new(delta_ref_w: f64, f_ref_hz: f64, gamma: f64) -> Self {
+        assert!(
+            delta_ref_w.is_finite() && delta_ref_w >= 0.0,
+            "delta power must be non-negative, got {delta_ref_w} W"
+        );
+        assert!(
+            f_ref_hz.is_finite() && f_ref_hz > 0.0,
+            "reference frequency must be positive, got {f_ref_hz} Hz"
+        );
+        assert!(
+            gamma.is_finite() && gamma >= 1.0,
+            "gamma must be >= 1 (paper Eq. 20), got {gamma}"
+        );
+        Self { delta_ref_w, f_ref_hz, gamma }
+    }
+
+    /// Active delta power at frequency `f_hz`, in watts.
+    pub fn delta_at(&self, f_hz: f64) -> f64 {
+        assert!(f_hz.is_finite() && f_hz > 0.0, "invalid frequency {f_hz} Hz");
+        self.delta_ref_w * (f_hz / self.f_ref_hz).powf(self.gamma)
+    }
+}
+
+/// The running/idle power pair of a non-DVFS component (Table 1:
+/// `P_m` / `P_m_idle`, `P_IO` / `P_IO_idle`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComponentPower {
+    /// Average power while actively working, in watts.
+    pub running_w: f64,
+    /// Average power while idle, in watts.
+    pub idle_w: f64,
+}
+
+impl ComponentPower {
+    /// Construct a running/idle pair.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= idle_w <= running_w`.
+    pub fn new(running_w: f64, idle_w: f64) -> Self {
+        assert!(
+            idle_w.is_finite() && idle_w >= 0.0,
+            "idle power must be non-negative, got {idle_w} W"
+        );
+        assert!(
+            running_w.is_finite() && running_w >= idle_w,
+            "running power ({running_w} W) must be >= idle power ({idle_w} W)"
+        );
+        Self { running_w, idle_w }
+    }
+
+    /// The active delta `ΔP = P_running − P_idle` (Table 1).
+    pub fn delta(&self) -> f64 {
+        self.running_w - self.idle_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_at_reference_is_reference() {
+        let law = PowerLaw::new(12.5, 2.8e9, 2.0);
+        assert!((law.delta_at(2.8e9) - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_scales_quadratically_for_gamma_two() {
+        let law = PowerLaw::new(10.0, 2.0e9, 2.0);
+        // Half the frequency -> a quarter of the delta power.
+        assert!((law.delta_at(1.0e9) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_one_is_linear() {
+        let law = PowerLaw::new(10.0, 2.0e9, 1.0);
+        assert!((law.delta_at(1.0e9) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be >= 1")]
+    fn gamma_below_one_panics() {
+        PowerLaw::new(10.0, 2.0e9, 0.5);
+    }
+
+    #[test]
+    fn component_power_delta() {
+        let p = ComponentPower::new(30.0, 15.0);
+        assert_eq!(p.delta(), 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= idle power")]
+    fn running_below_idle_panics() {
+        ComponentPower::new(10.0, 15.0);
+    }
+
+    #[test]
+    fn zero_delta_component_is_allowed() {
+        // Components that never change state (e.g. motherboard) have ΔP = 0.
+        let p = ComponentPower::new(25.0, 25.0);
+        assert_eq!(p.delta(), 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the simulator substrate: cache-profile
+//! invariants, power-law monotonicity, energy accounting conservation.
+
+use proptest::prelude::*;
+use simcluster::{
+    system_g, CacheLevel, ComponentPower, EnergyMeter, MemorySpec, PowerLaw, Segment,
+    SegmentKind, SegmentLog,
+};
+
+fn arb_memory() -> impl Strategy<Value = MemorySpec> {
+    // L1 32..128 KiB, L2 1..16 MiB, DRAM 60..200 ns.
+    (
+        32u64..128,
+        1u64..16,
+        60.0f64..200.0,
+        1u32..=4,
+    )
+        .prop_map(|(l1_kb, l2_mb, dram_ns, shared)| {
+            MemorySpec::new(
+                vec![
+                    CacheLevel::new(l1_kb * 1024, 1.5e-9),
+                    CacheLevel::shared(l2_mb * 1024 * 1024, 6.0e-9, shared),
+                ],
+                dram_ns * 1e-9,
+                ComponentPower::new(8.0, 4.0),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn dram_fraction_is_a_fraction(mem in arb_memory(), ws in 1u64..(1 << 34), co in 1usize..64) {
+        let p = mem.access_profile_concurrent(ws, co);
+        prop_assert!((0.0..=1.0).contains(&p.dram_fraction));
+        prop_assert!(p.on_chip_s_per_access >= 0.0);
+    }
+
+    #[test]
+    fn latency_bounded_by_fastest_and_slowest(mem in arb_memory(), ws in 1u64..(1 << 34)) {
+        let lat = mem.latency_for_working_set(ws);
+        let fastest = mem.levels[0].latency_s;
+        prop_assert!(lat >= fastest - 1e-18, "lat {lat} < L1 {fastest}");
+        prop_assert!(lat <= mem.dram_latency_s + 1e-18, "lat {lat} > DRAM");
+    }
+
+    #[test]
+    fn latency_monotone_in_working_set(mem in arb_memory(), ws in 1u64..(1 << 32)) {
+        let a = mem.latency_for_working_set(ws);
+        let b = mem.latency_for_working_set(ws.saturating_mul(2));
+        prop_assert!(b >= a - 1e-18, "{b} < {a} at ws {ws}");
+    }
+
+    #[test]
+    fn more_co_residents_never_reduce_dram_traffic(
+        mem in arb_memory(),
+        ws in 1u64..(1 << 30),
+        co in 1usize..32,
+    ) {
+        let solo = mem.access_profile_concurrent(ws, co);
+        let crowded = mem.access_profile_concurrent(ws, co * 2);
+        prop_assert!(crowded.dram_fraction >= solo.dram_fraction - 1e-12);
+    }
+
+    #[test]
+    fn power_law_monotone_in_frequency(
+        delta in 1.0f64..100.0,
+        gamma in 1.0f64..3.0,
+        f1 in 0.5e9f64..4.0e9,
+        f2 in 0.5e9f64..4.0e9,
+    ) {
+        let law = PowerLaw::new(delta, 2.8e9, gamma);
+        if f1 <= f2 {
+            prop_assert!(law.delta_at(f1) <= law.delta_at(f2) + 1e-12);
+        } else {
+            prop_assert!(law.delta_at(f1) >= law.delta_at(f2) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn energy_is_nonnegative_and_superidle(
+        durs in proptest::collection::vec((0usize..5, 1e-6f64..1.0), 1..20),
+    ) {
+        // Build a wall-ordered log of random segments.
+        let mut log = SegmentLog::new(0);
+        let mut t = 0.0;
+        for (kind_idx, dur) in durs {
+            let kind = SegmentKind::ALL[kind_idx];
+            let work = if kind == SegmentKind::Wait { 0.0 } else { dur };
+            log.push(Segment { kind, start_s: t, wall_s: dur, work_s: work });
+            t += dur;
+        }
+        let meter = EnergyMeter::new(system_g().node, 2.8e9);
+        let e = meter.rank_energy(&log, t);
+        let idle_floor = meter.node().system_idle_w() * t;
+        prop_assert!(e.total() >= idle_floor - 1e-9, "{} < {}", e.total(), idle_floor);
+        prop_assert!(e.cpu_j >= 0.0 && e.memory_j >= 0.0 && e.network_j >= 0.0);
+    }
+
+    #[test]
+    fn coalesce_preserves_totals(
+        durs in proptest::collection::vec((0usize..5, 1e-6f64..0.1), 1..30),
+    ) {
+        let mut log = SegmentLog::new(0);
+        let mut t = 0.0;
+        for (kind_idx, dur) in durs {
+            let kind = SegmentKind::ALL[kind_idx];
+            let work = if kind == SegmentKind::Wait { 0.0 } else { dur * 1.2 };
+            log.push(Segment { kind, start_s: t, wall_s: dur, work_s: work });
+            t += dur;
+        }
+        let before: Vec<(f64, f64)> = SegmentKind::ALL
+            .iter()
+            .map(|&k| (log.wall_time(k), log.work_time(k)))
+            .collect();
+        let end_before = log.end_s();
+        log.coalesce();
+        let after: Vec<(f64, f64)> = SegmentKind::ALL
+            .iter()
+            .map(|&k| (log.wall_time(k), log.work_time(k)))
+            .collect();
+        for ((wb, kb), (wa, ka)) in before.iter().zip(&after) {
+            prop_assert!((wb - wa).abs() < 1e-9);
+            prop_assert!((kb - ka).abs() < 1e-9);
+        }
+        prop_assert!((log.end_s() - end_before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_samples_match_idle_outside_activity(
+        gap in 0.1f64..10.0,
+        dur in 0.01f64..1.0,
+    ) {
+        let mut log = SegmentLog::new(0);
+        log.push(Segment {
+            kind: SegmentKind::Compute,
+            start_s: gap,
+            wall_s: dur,
+            work_s: dur,
+        });
+        let meter = EnergyMeter::new(system_g().node, 2.8e9);
+        let before: f64 = meter.power_at(&log, gap * 0.5).iter().sum();
+        prop_assert!((before - meter.node().system_idle_w()).abs() < 1e-9);
+        let during: f64 = meter.power_at(&log, gap + dur * 0.5).iter().sum();
+        prop_assert!(during > before);
+    }
+}

@@ -1,0 +1,43 @@
+//! Capacity planning with iso-energy-efficiency contours: how fast must
+//! the workload grow to hold energy efficiency constant as the machine
+//! scales? This is the energy analog of Grama's isoefficiency function —
+//! the quantity that makes "is this application worth scaling to the full
+//! machine?" a calculation instead of a guess.
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use iso_energy_efficiency::isoee::apps::{AppModel, CgModel, FtModel};
+use iso_energy_efficiency::isoee::scaling::iso_ee_workload;
+use iso_energy_efficiency::isoee::MachineParams;
+
+fn contour(name: &str, app: &dyn AppModel, target: f64, unit: &str) {
+    let mach = MachineParams::system_g(2.8e9);
+    println!("--- {name}: workload needed to hold EE >= {target} ---");
+    println!("  p       n({unit})         growth vs p=16");
+    let mut base: Option<f64> = None;
+    for p in [16usize, 64, 256, 1024] {
+        match iso_ee_workload(app, &mach, p, target, 1e3, 1e13) {
+            Some(n) => {
+                let b = *base.get_or_insert(n);
+                println!("  {p:<6}  {n:<14.3e}  {:>6.1}x", n / b);
+            }
+            None => println!("  {p:<6}  unreachable below n = 1e13"),
+        }
+    }
+    println!();
+}
+
+fn main() {
+    println!("== Iso-energy-efficiency capacity planning (SystemG) ==\n");
+    contour("FT (EE = 0.90)", &FtModel::system_g(), 0.90, "grid points");
+    contour("FT (EE = 0.70)", &FtModel::system_g(), 0.70, "grid points");
+    contour("CG (EE = 0.95)", &CgModel::system_g(), 0.95, "matrix rows");
+    println!(
+        "Interpretation: FT's quadratic message overhead forces steep but\n\
+         *finite* workload growth — efficiency is always recoverable by\n\
+         growing n. CG is different: its replicated vector work grows\n\
+         proportionally to n, so past a parallelism threshold NO workload\n\
+         size reaches the target — its iso-energy-efficiency is bounded.\n\
+         That distinction is exactly what the contour function quantifies."
+    );
+}

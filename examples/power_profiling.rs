@@ -1,0 +1,49 @@
+//! PowerPack-style power profiling of a simulated parallel run: component-
+//! level power traces synchronized with application phases, per-phase
+//! energy, and the idle-baseline decomposition of the paper's Fig. 10.
+//!
+//! Run with: `cargo run --release --example power_profiling`
+
+use iso_energy_efficiency::mps::{run, World};
+use iso_energy_efficiency::npb::{ft_kernel, Class, FtConfig};
+use iso_energy_efficiency::powerpack::{summary_table, Session};
+use iso_energy_efficiency::simcluster::{system_g, EnergyMeter};
+
+fn main() {
+    let world = World::new(system_g(), 2.8e9).with_alpha(0.86);
+    let p = 4;
+    let cfg = FtConfig::class(Class::W);
+
+    println!("running FT class W on {p} simulated ranks...");
+    let report = run(&world, p, move |ctx| ft_kernel(ctx, cfg));
+
+    let meter = EnergyMeter::new(world.cluster.node.clone(), world.f_hz);
+    let session = Session::new(meter).with_sample_interval(report.span() / 200.0);
+
+    let logs = report.logs();
+    let markers: Vec<_> = report.ranks.iter().map(|r| r.markers.clone()).collect();
+    let summary = session.measure(&logs, &markers);
+    println!("\n{}", summary_table(&summary));
+
+    let profile = session.profile(&logs);
+    let idle = profile.idle_baseline_w(session.meter());
+    println!("trace: {} samples at {:.2e} s", profile.samples.len(), profile.dt_s);
+    println!("idle baseline {idle:.1} W | peak {:.1} W | mean {:.1} W", profile.peak_w(), profile.mean_w());
+
+    // A tiny ASCII rendition of the total-power trace (the Fig.-10 shape).
+    println!("\ntotal system power over time (each column = 1/60th of the run):");
+    let cols = 60usize;
+    let peak = profile.peak_w();
+    for level in (1..=8).rev() {
+        let threshold = idle + (peak - idle) * level as f64 / 8.0;
+        let mut line = String::with_capacity(cols);
+        for c in 0..cols {
+            let idx = c * (profile.samples.len() - 1) / (cols - 1);
+            let w = profile.samples[idx].total_w();
+            line.push(if w >= threshold { '#' } else { ' ' });
+        }
+        println!("  {threshold:7.1} W |{line}");
+    }
+    println!("  {idle:7.1} W +{}", "-".repeat(cols));
+    println!("            (idle baseline)");
+}

@@ -1,0 +1,49 @@
+//! Quickstart: evaluate iso-energy-efficiency for an application model,
+//! and validate a prediction against a simulated measurement.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use iso_energy_efficiency::isoee::apps::{AppModel, FtModel};
+use iso_energy_efficiency::isoee::{model, MachineParams};
+use iso_energy_efficiency::mps::{run, World};
+use iso_energy_efficiency::npb::{ft_kernel, Class, FtConfig};
+use iso_energy_efficiency::simcluster::system_g;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Analytical: how efficient is FT as SystemG scales?
+    // ------------------------------------------------------------------
+    let mach = MachineParams::system_g(2.8e9);
+    let ft = FtModel::system_g();
+    let n = (1u64 << 20) as f64;
+
+    println!("iso-energy-efficiency of FT on SystemG (n = {n}):");
+    println!("  p      EEF        EE");
+    for p in [1usize, 4, 16, 64, 256, 1024] {
+        let app = ft.app_params(n, p);
+        println!(
+            "  {p:<5}  {:+8.4}  {:8.4}",
+            model::eef(&mach, &app, p),
+            model::ee(&mach, &app, p)
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Simulated measurement: run the actual FT kernel on the simulated
+    //    cluster and compare measured energy with the model's prediction.
+    // ------------------------------------------------------------------
+    let world = World::new(system_g(), 2.8e9).with_alpha(0.86);
+    let cfg = FtConfig::class(Class::S);
+    let p = 8;
+    let report = run(&world, p, move |ctx| ft_kernel(ctx, cfg));
+    let measured = report.energy(&world).total();
+    let span = report.span();
+
+    println!("\nsimulated FT class S on {p} ranks:");
+    println!("  virtual span    {span:.6} s");
+    println!("  measured energy {measured:.3} J");
+    println!(
+        "  verified        {}",
+        report.ranks[0].result.verified
+    );
+}

@@ -1,0 +1,60 @@
+//! The paper's §V.B scalability study, end to end: build the three
+//! application models, sweep parallelism/frequency/workload, and print the
+//! per-application tuning advice the iso-energy-efficiency model supports.
+//!
+//! Run with: `cargo run --release --example scaling_study`
+
+use iso_energy_efficiency::isoee::apps::{AppModel, CgModel, EpModel, FtModel};
+use iso_energy_efficiency::isoee::scaling::{best_frequency, ee_surface_pf};
+use iso_energy_efficiency::isoee::{model, MachineParams};
+
+const DVFS: [f64; 4] = [1.6e9, 2.0e9, 2.4e9, 2.8e9];
+
+fn study(name: &str, app: &dyn AppModel, n: f64) {
+    let mach = MachineParams::system_g(2.8e9);
+    let ps = [1usize, 4, 16, 64, 256];
+
+    println!("--- {name} (n = {n}) ---");
+    let surface = ee_surface_pf(app, &mach, n, &ps, &DVFS);
+    print!("  EE by p at 2.8 GHz: ");
+    for (j, p) in ps.iter().enumerate() {
+        print!("p={p}:{:.3}  ", surface.at(DVFS.len() - 1, j));
+    }
+    println!();
+
+    // Sensitivity of EE to frequency at p = 64.
+    let a = app.app_params(n, 64);
+    let ee_lo = model::ee(&mach.at_frequency(1.6e9), &a, 64);
+    let ee_hi = model::ee(&mach, &a, 64);
+    let sensitivity = ee_hi - ee_lo;
+    let (best_f, best_ee) = best_frequency(app, &mach, n, 64, &DVFS);
+    println!(
+        "  frequency sensitivity at p=64: EE(2.8) − EE(1.6) = {sensitivity:+.4}; \
+         best state {:.1} GHz (EE {best_ee:.3})",
+        best_f / 1e9
+    );
+
+    // Advice, in the paper's terms.
+    let drop = surface.at(DVFS.len() - 1, 0) - surface.at(DVFS.len() - 1, ps.len() - 1);
+    if drop < 0.05 {
+        println!("  advice: near-ideal iso-energy-efficiency; scale p freely (EP-like).");
+    } else if sensitivity.abs() < 0.005 {
+        println!(
+            "  advice: efficiency is communication-bound; frequency won't help — \
+             grow n with p (FT-like)."
+        );
+    } else {
+        println!(
+            "  advice: overhead is computational; run at the top DVFS state and \
+             grow n with p (CG-like)."
+        );
+    }
+    println!();
+}
+
+fn main() {
+    println!("== Iso-energy-efficiency scalability study (SystemG) ==\n");
+    study("EP", &EpModel::system_g(), (1u64 << 22) as f64);
+    study("FT", &FtModel::system_g(), (1u64 << 20) as f64);
+    study("CG", &CgModel::system_g(), 75_000.0);
+}

@@ -1,0 +1,25 @@
+//! # iso-energy-efficiency
+//!
+//! Facade crate for the reproduction of *Song, Su, Ge, Vishnu, Cameron —
+//! "Iso-energy-efficiency: An approach to power-constrained parallel
+//! computation" (IPDPS 2011)*.
+//!
+//! Re-exports every workspace crate so downstream users and the examples can
+//! depend on a single package:
+//!
+//! * [`isoee`] — the analytical iso-energy-efficiency model (the paper's
+//!   contribution): `EEF`, `EE`, application models, scalability analysis.
+//! * [`simcluster`] — the power-aware cluster simulator (SystemG / Dori).
+//! * [`mps`] — the message-passing substrate the benchmarks run on.
+//! * [`npb`] — NAS Parallel Benchmark kernels (EP, FT, CG, IS, MG).
+//! * [`powerpack`] — PowerPack-style power profiling.
+//! * [`microbench`] — Perfmon / LMbench / MPPTest calibration analogs.
+//! * [`netsim`] — interconnect and collective time models.
+
+pub use isoee;
+pub use microbench;
+pub use mps;
+pub use netsim;
+pub use npb;
+pub use powerpack;
+pub use simcluster;

@@ -1,0 +1,281 @@
+//! End-to-end integration tests spanning every crate: calibrate machine
+//! parameters from microbenchmarks, run NPB kernels on the simulated
+//! cluster, measure energy with the PowerPack analog, predict it with the
+//! iso-energy-efficiency model, and check the prediction quality and the
+//! paper's qualitative claims.
+//!
+//! These use scaled-down classes (S/W) so the whole file runs in seconds in
+//! debug mode; the full class-B experiments live in the bench binaries.
+
+use isoee::apps::{AppModel, CgModel, EpModel, FtModel};
+use isoee::calibrate::{measure_run, measured_machine_params};
+use isoee::validate::validate_kernel;
+use isoee::{model, MachineParams};
+use mps::{run, World};
+use npb::{cg_kernel, ep_kernel, ft_kernel, CgConfig, Class, EpConfig, FtConfig};
+use powerpack::Session;
+use simcluster::{system_g, EnergyMeter};
+
+fn world(alpha: f64) -> World {
+    World::new(system_g(), 2.8e9).with_alpha(alpha)
+}
+
+#[test]
+fn calibration_pipeline_recovers_machine_vector() {
+    let w = world(1.0);
+    let measured = measured_machine_params(&w);
+    let truth = MachineParams::from_spec(&w.cluster, 2.8e9);
+    assert!((measured.tc - truth.tc).abs() / truth.tc < 1e-6);
+    assert!((measured.ts - truth.ts).abs() / truth.ts < 0.02);
+    assert!((measured.tw - truth.tw).abs() / truth.tw < 0.02);
+    assert!((measured.tm - truth.tm).abs() / truth.tm < 0.05);
+    assert!((measured.delta_pc - truth.delta_pc).abs() / truth.delta_pc < 1e-3);
+}
+
+#[test]
+fn model_predicts_ep_energy_within_two_percent() {
+    // EP is the cleanest case: balanced, no communication to speak of.
+    let w = world(0.93);
+    let mach = measured_machine_params(&w);
+    let cfg = EpConfig::class(Class::S);
+    let summary = validate_kernel(&w, &mach, "EP", &[1, 2, 4, 8], move |ctx| {
+        ep_kernel(ctx, cfg)
+    });
+    assert!(
+        summary.mean_abs_error_pct() < 2.0,
+        "EP mean error {}%",
+        summary.mean_abs_error_pct()
+    );
+}
+
+#[test]
+fn model_predicts_ft_energy_within_ten_percent() {
+    let w = world(0.86);
+    let mach = measured_machine_params(&w);
+    let cfg = FtConfig::class(Class::W);
+    let summary = validate_kernel(&w, &mach, "FT", &[1, 2, 4, 8], move |ctx| {
+        ft_kernel(ctx, cfg)
+    });
+    assert!(
+        summary.mean_abs_error_pct() < 10.0,
+        "FT mean error {}%",
+        summary.mean_abs_error_pct()
+    );
+}
+
+#[test]
+fn model_predicts_cg_energy_within_fifteen_percent() {
+    // The paper's hardest case (8.31% there, blamed on the memory model).
+    // Class A rather than S: at toy sizes fixed startup costs dominate and
+    // relative errors blow up, which is noise rather than signal.
+    let w = world(0.85);
+    let mach = measured_machine_params(&w);
+    let cfg = CgConfig::class(Class::A);
+    let summary = validate_kernel(&w, &mach, "CG", &[1, 2, 4, 8], move |ctx| {
+        cg_kernel(ctx, cfg)
+    });
+    assert!(
+        summary.mean_abs_error_pct() < 15.0,
+        "CG mean error {}%",
+        summary.mean_abs_error_pct()
+    );
+}
+
+#[test]
+fn model_underestimates_are_the_common_error_mode() {
+    // The analytical model ignores waits and contention, so when it errs it
+    // should usually err low — checked for FT where both effects bite.
+    let w = world(0.86);
+    let mach = measured_machine_params(&w);
+    let cfg = FtConfig::class(Class::S);
+    let summary = validate_kernel(&w, &mach, "FT", &[4, 8, 16], move |ctx| {
+        ft_kernel(ctx, cfg)
+    });
+    let low = summary
+        .points
+        .iter()
+        .filter(|pt| pt.predicted_j <= pt.measured_j)
+        .count();
+    assert!(low >= 2, "expected mostly underestimates: {:?}", summary.points);
+}
+
+#[test]
+fn powerpack_energy_matches_meter_energy() {
+    // The profiling path (sampled trace) and the accounting path (interval
+    // integration) must agree on total energy.
+    let w = world(0.93);
+    let cfg = EpConfig::class(Class::S);
+    let report = run(&w, 4, move |ctx| ep_kernel(ctx, cfg));
+    let direct = report.energy(&w).total();
+
+    let meter = EnergyMeter::new(w.cluster.node.clone(), w.f_hz);
+    let session = Session::new(meter).with_sample_interval(report.span() / 2000.0);
+    let profile = session.profile(&report.logs());
+    let sampled = profile.energy_j();
+    assert!(
+        (sampled - direct).abs() / direct < 0.01,
+        "sampled {sampled} vs direct {direct}"
+    );
+}
+
+#[test]
+fn measured_ee_and_model_ee_agree_for_ep() {
+    // Measured EE = E1/Ep from simulation; model EE from the closed form.
+    let w = world(0.93);
+    let cfg = EpConfig::class(Class::S);
+    let p = 8;
+    let seq = measure_run(&w, 1, move |ctx| ep_kernel(ctx, cfg));
+    let par = measure_run(&w, p, move |ctx| ep_kernel(ctx, cfg));
+    let measured_ee = seq.energy_j / par.energy_j;
+
+    let mach = MachineParams::system_g(2.8e9);
+    let model_ee = model::ee(
+        &mach,
+        &EpModel::system_g().app_params(cfg.pairs as f64, p),
+        p,
+    );
+    assert!(
+        (measured_ee - model_ee).abs() < 0.05,
+        "measured {measured_ee} vs model {model_ee}"
+    );
+}
+
+#[test]
+fn paper_qualitative_claims_hold_in_the_model() {
+    let mach = MachineParams::system_g(2.8e9);
+    let ft = FtModel::system_g();
+    let ep = EpModel::system_g();
+    let cg = CgModel::system_g();
+
+    // §V.B.1: FT's EE collapses with p, indifferent to f.
+    let n_ft = (1u64 << 20) as f64;
+    let ft_4: f64 = model::ee(&mach, &ft.app_params(n_ft, 4), 4);
+    let ft_1024: f64 = model::ee(&mach, &ft.app_params(n_ft, 1024), 1024);
+    assert!(ft_4 - ft_1024 > 0.5);
+
+    // §V.B.2: EP near-ideal everywhere.
+    for p in [2usize, 32, 128] {
+        let e = model::ee(&mach, &ep.app_params(4e6, p), p);
+        assert!(e > 0.97, "EE_EP({p}) = {e}");
+    }
+
+    // §V.B.3: CG prefers the highest frequency.
+    let a = cg.app_params(75_000.0, 64);
+    let lo = model::ee(&mach.at_frequency(1.6e9), &a, 64);
+    let hi = model::ee(&mach, &a, 64);
+    assert!(hi > lo);
+
+    // §V.B.6: problem size restores efficiency for FT and CG.
+    assert!(
+        model::ee(&mach, &ft.app_params(n_ft * 16.0, 256), 256)
+            > model::ee(&mach, &ft.app_params(n_ft, 256), 256)
+    );
+    assert!(
+        model::ee(&mach, &cg.app_params(300_000.0, 256), 256)
+            > model::ee(&mach, &cg.app_params(18_750.0, 256), 256)
+    );
+}
+
+#[test]
+fn strong_scaling_changes_countable_memory_workload() {
+    // The cross-crate version of the paper's negative-Wom observation:
+    // per-rank working sets shrink with p, so the simulator's counted
+    // off-chip accesses genuinely change between p = 1 and p = 8.
+    let w = world(0.86);
+    let cfg = FtConfig::class(Class::B);
+    let seq = measure_run(&w, 1, move |ctx| ft_kernel(ctx, cfg));
+    let par = measure_run(&w, 4, move |ctx| ft_kernel(ctx, cfg));
+    assert!(
+        par.counters.wm < seq.counters.wm,
+        "FT Wom should be negative: {} vs {}",
+        par.counters.wm,
+        seq.counters.wm
+    );
+}
+
+#[test]
+fn model_stays_accurate_across_dvfs_states() {
+    // A validation dimension beyond the paper's: re-derive the machine
+    // vector at every DVFS state and check the prediction holds — i.e.
+    // Eq. 20's f-scaling composes correctly with Eqs. 13/15.
+    let cfg = FtConfig::class(Class::W);
+    for f in [1.6e9, 2.0e9, 2.4e9, 2.8e9] {
+        let w = World::new(system_g(), f).with_alpha(0.86);
+        let mach = measured_machine_params(&w);
+        let summary = validate_kernel(&w, &mach, "FT", &[1, 4], move |ctx| {
+            ft_kernel(ctx, cfg)
+        });
+        assert!(
+            summary.mean_abs_error_pct() < 10.0,
+            "f = {f}: mean error {}%",
+            summary.mean_abs_error_pct()
+        );
+    }
+}
+
+#[test]
+fn hetero_extension_agrees_with_homogeneous_model_on_uniform_pools() {
+    // Cross-checks the future-work extension against the core model using
+    // app parameters measured from a real kernel run.
+    let w = world(0.93);
+    let cfg = EpConfig::class(Class::S);
+    let p = 8;
+    let seq = measure_run(&w, 1, move |ctx| ep_kernel(ctx, cfg));
+    let par = measure_run(&w, p, move |ctx| ep_kernel(ctx, cfg));
+    let app = isoee::calibrate::app_params_from(&seq, &par);
+
+    let mach = MachineParams::system_g(2.8e9);
+    let pool = [isoee::ProcClass { mach, count: p }];
+    let h = isoee::hetero::evaluate(&pool, &app, isoee::Split::TimeBalanced);
+    let homog = model::ee(&mach, &app, p);
+    assert!(
+        (h.ee - homog).abs() < 1e-9,
+        "hetero {} vs homogeneous {homog}",
+        h.ee
+    );
+}
+
+#[test]
+fn both_contours_grow_with_p_but_measure_different_things() {
+    // The performance-isoefficiency contour (Grama) and the iso-EE contour
+    // both demand workload growth as p scales — but they are *not* the
+    // same function: the energy one weighs overhead time by idle power and
+    // component deltas, so the two diverge (here EE is slightly easier to
+    // hold for FT because network overhead burns only a small NIC delta,
+    // while the sequential baseline burns the large CPU/memory deltas).
+    let mach = MachineParams::system_g(2.8e9);
+    let ft = FtModel::system_g();
+    let mut prev_eta = 0.0;
+    let mut prev_ee = 0.0;
+    for p in [64usize, 256, 1024] {
+        let n_eta = isoee::baselines::iso_efficiency_workload(&ft, &mach, p, 0.8, 1e3, 1e12)
+            .expect("eta target reachable");
+        let n_ee = isoee::scaling::iso_ee_workload(&ft, &mach, p, 0.8, 1e3, 1e12)
+            .expect("EE target reachable");
+        assert!(n_eta > prev_eta, "eta contour must grow: {n_eta} at p={p}");
+        assert!(n_ee > prev_ee, "EE contour must grow: {n_ee} at p={p}");
+        let ratio = n_ee / n_eta;
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "contours should stay commensurate, ratio {ratio} at p={p}"
+        );
+        prev_eta = n_eta;
+        prev_ee = n_ee;
+    }
+}
+
+#[test]
+fn dvfs_tradeoff_is_visible_in_measured_energy() {
+    // Measured (not modeled): running EP at a lower DVFS state stretches
+    // wall time; with SystemG's idle-heavy power envelope, total energy
+    // goes *up* — the race-to-idle regime the model's Eq. 20 captures.
+    let cfg = EpConfig::class(Class::S);
+    let hi = World::new(system_g(), 2.8e9).with_alpha(0.93);
+    let lo = World::new(system_g(), 1.6e9).with_alpha(0.93);
+    let e_hi = run(&hi, 2, move |ctx| ep_kernel(ctx, cfg)).energy(&hi).total();
+    let e_lo = run(&lo, 2, move |ctx| ep_kernel(ctx, cfg)).energy(&lo).total();
+    assert!(
+        e_lo > e_hi,
+        "idle-dominated: energy at 1.6 GHz ({e_lo} J) should exceed 2.8 GHz ({e_hi} J)"
+    );
+}
