@@ -1,0 +1,131 @@
+//! The MPS communication-graph checker.
+//!
+//! Consumes the per-rank [`CommLog`]s of a completed [`RunReport`] — or the
+//! partial traces and wait-for chain of a [`DeadlockInfo`] — and reports:
+//!
+//! * **Deadlock cycles / stuck chains** straight from the runtime's wait-for
+//!   verdict, re-labelled as findings.
+//! * **Tag mismatches**: a blocked receive whose peer actually sent a
+//!   message under a different tag (the classic mistyped-constant bug).
+//! * **Unconsumed messages**: sends that no receive ever matched.
+//! * **Message races**: two sends to the same destination with the same tag
+//!   whose vector clocks are incomparable, so delivery order depends on the
+//!   scheduler. With source-addressed receives these are benign for
+//!   correctness but still mark nondeterministic arrival interleavings.
+
+use mps::{CommLog, CommOp, DeadlockInfo, RunError, RunReport};
+
+use crate::Finding;
+
+/// Analyze the traces of a *completed* run: unconsumed messages and message
+/// races. A clean report returns an empty list.
+pub fn check_report<R>(report: &RunReport<R>) -> Vec<Finding> {
+    check_comm_logs(&report.comm_logs())
+}
+
+/// Analyze a bare set of per-rank communication logs — the log-level entry
+/// point behind [`check_report`], usable on synthetic or replayed traces.
+#[must_use]
+pub fn check_comm_logs(logs: &[&CommLog]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    unconsumed_findings(logs, &mut findings);
+    race_findings(logs, &mut findings);
+    findings
+}
+
+/// Analyze a deadlocked run: the offending cycle or stuck chain, plus any
+/// tag mismatch that explains it, plus everything [`check_report`] finds in
+/// the partial traces.
+#[must_use]
+pub fn check_deadlock(info: &DeadlockInfo) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if info.cyclic {
+        findings.push(Finding::DeadlockCycle {
+            edges: info.edges.clone(),
+        });
+    } else {
+        findings.push(Finding::StuckOnFinished {
+            edges: info.edges.clone(),
+        });
+    }
+    // A blocked edge whose awaited peer *did* send something — under a
+    // different tag — is a tag mismatch, the likeliest root cause.
+    for edge in &info.edges {
+        let Some(log) = info.comm.iter().find(|l| l.rank == edge.from_rank) else {
+            continue;
+        };
+        for &(source, tag, _bytes) in &log.unconsumed {
+            if source == edge.on_rank && tag != edge.tag {
+                findings.push(Finding::TagMismatch {
+                    sender: source,
+                    receiver: edge.from_rank,
+                    sent_tag: tag,
+                    expected_tag: edge.tag,
+                });
+            }
+        }
+    }
+    let logs: Vec<&CommLog> = info.comm.iter().collect();
+    race_findings(&logs, &mut findings);
+    findings
+}
+
+/// Analyze either outcome of [`mps::try_run`]: a completed report goes
+/// through [`check_report`], a deadlock through [`check_deadlock`].
+pub fn check_run<R>(result: &Result<RunReport<R>, RunError>) -> Vec<Finding> {
+    match result {
+        Ok(report) => check_report(report),
+        Err(RunError::Deadlock(info)) => check_deadlock(info),
+    }
+}
+
+fn unconsumed_findings(logs: &[&CommLog], findings: &mut Vec<Finding>) {
+    for log in logs {
+        for &(source, tag, bytes) in &log.unconsumed {
+            findings.push(Finding::UnconsumedMessage {
+                sender: source,
+                receiver: log.rank,
+                tag,
+                bytes,
+            });
+        }
+    }
+}
+
+/// Find pairs of concurrent sends targeting the same `(destination, tag)`.
+/// Only user-level tags are considered: internal collective tags are
+/// sequence-numbered by construction and cannot race.
+fn race_findings(logs: &[&CommLog], findings: &mut Vec<Finding>) {
+    // (dst, tag) -> [(sender, event)]
+    let mut by_target: std::collections::BTreeMap<(usize, u64), Vec<(usize, &mps::CommEvent)>> =
+        std::collections::BTreeMap::new();
+    for log in logs {
+        for event in log.sends() {
+            let CommOp::Send { to } = event.op else {
+                continue;
+            };
+            if event.tag < mps::USER_TAG_LIMIT {
+                by_target
+                    .entry((to, event.tag))
+                    .or_default()
+                    .push((log.rank, event));
+            }
+        }
+    }
+    for ((dst, tag), sends) in by_target {
+        for (i, (rank_a, ev_a)) in sends.iter().enumerate() {
+            for (rank_b, ev_b) in &sends[i + 1..] {
+                if rank_a != rank_b && ev_a.concurrent_with(ev_b) {
+                    findings.push(Finding::MessageRace {
+                        senders: (*rank_a.min(rank_b), *rank_a.max(rank_b)),
+                        receiver: dst,
+                        tag,
+                    });
+                }
+            }
+        }
+    }
+    // A racing pair may exchange many messages; one finding per pair+target
+    // is enough to act on.
+    findings.dedup();
+}

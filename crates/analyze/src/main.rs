@@ -1,0 +1,116 @@
+//! Workspace analysis gate: `cargo run -p analyze`.
+//!
+//! Runs three passes and exits non-zero if any *unexpected* finding
+//! surfaces:
+//!
+//! 1. Model invariants over both machine vectors (System G, Dori) crossed
+//!    with the NPB application models at several `(n, p, f)` points.
+//! 2. Communication-trace checks over a clean mps program (must be quiet).
+//! 3. A seeded deadlock, to prove the detector actually fires (expected
+//!    findings, clearly labelled).
+
+use analyze::{check_deadlock, check_model, check_report, Finding};
+use isoee::apps::{AppModel, CgModel, EpModel, FtModel};
+use isoee::MachineParams;
+use mps::{try_run, RunError, World};
+use simcluster::{dori, system_g};
+
+fn main() {
+    let mut unexpected = 0usize;
+
+    unexpected += model_pass();
+    unexpected += clean_comm_pass();
+    let fired = seeded_deadlock_pass();
+
+    if !fired {
+        eprintln!("analyze: seeded deadlock was NOT detected — checker is broken");
+        unexpected += 1;
+    }
+    if unexpected > 0 {
+        eprintln!("analyze: {unexpected} unexpected finding(s)");
+        std::process::exit(1);
+    }
+    println!("analyze: all passes clean");
+}
+
+/// Invariant checks for every machine × app × (n, p) point. Returns the
+/// number of findings (all unexpected: these inputs are sane).
+fn model_pass() -> usize {
+    let machines = [
+        ("System G @2.8GHz", MachineParams::system_g(2.8e9)),
+        ("System G @2.0GHz", MachineParams::system_g(2.0e9)),
+        ("Dori @2.0GHz", MachineParams::dori(2.0e9)),
+    ];
+    let apps: [Box<dyn AppModel>; 3] = [
+        Box::new(FtModel::system_g()),
+        Box::new(EpModel::system_g()),
+        Box::new(CgModel::system_g()),
+    ];
+    let mut count = 0;
+    let mut points = 0;
+    for (mname, m) in &machines {
+        for app in &apps {
+            for n in [(1u64 << 16) as f64, (1u64 << 20) as f64] {
+                for p in [1usize, 4, 16, 64] {
+                    let a = app.app_params(n, p);
+                    points += 1;
+                    for finding in check_model(m, &a, p) {
+                        eprintln!(
+                            "analyze[model {mname}/{} n={n} p={p}]: {finding}",
+                            app.name()
+                        );
+                        count += 1;
+                    }
+                }
+            }
+        }
+    }
+    println!("model pass: {points} (machine, app, n, p) points checked");
+    count
+}
+
+/// A correct 4-rank program (point-to-point ring + allreduce) must produce
+/// zero findings. Returns the number of findings.
+fn clean_comm_pass() -> usize {
+    let world = World::new(system_g(), 2.8e9);
+    let report = mps::run(&world, 4, |ctx| {
+        let right = (ctx.rank() + 1) % ctx.size();
+        let left = (ctx.rank() + ctx.size() - 1) % ctx.size();
+        ctx.send(right, 1, vec![ctx.rank() as u64]);
+        let from_left = ctx.recv::<u64>(left, 1);
+        ctx.compute(1e5);
+        ctx.allreduce_sum(&[from_left[0] as f64]);
+    });
+    let findings = check_report(&report);
+    for finding in &findings {
+        eprintln!("analyze[clean ring]: {finding}");
+    }
+    println!(
+        "comm pass: clean 4-rank ring checked ({} findings)",
+        findings.len()
+    );
+    findings.len()
+}
+
+/// Seed a 2-rank cross deadlock (both ranks receive before sending) and
+/// verify the checker reports the cycle. Returns true iff it fired.
+fn seeded_deadlock_pass() -> bool {
+    let world = World::new(dori(), 2.0e9);
+    let result = try_run(&world, 2, |ctx| {
+        let peer = 1 - ctx.rank();
+        // Deliberate bug: recv-before-send on both ranks.
+        let _ = ctx.recv::<u64>(peer, 7);
+        ctx.send(peer, 7, vec![0u64]);
+    });
+    let Err(RunError::Deadlock(info)) = &result else {
+        eprintln!("analyze[seeded deadlock]: program unexpectedly completed");
+        return false;
+    };
+    let findings = check_deadlock(info);
+    for finding in &findings {
+        println!("seeded deadlock (expected): {finding}");
+    }
+    findings
+        .iter()
+        .any(|f| matches!(f, Finding::DeadlockCycle { .. }))
+}

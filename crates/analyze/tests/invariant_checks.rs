@@ -1,0 +1,146 @@
+//! Invariant-pass tests: seeded unit-inconsistent parameter vectors must be
+//! detected, sane vectors must be quiet, and the model-level checks must
+//! hold over random non-negative application vectors.
+
+use analyze::{check_app, check_machine, check_model, Finding};
+use isoee::{AppParams, MachineParams};
+use proptest::prelude::*;
+use simcluster::units::Seconds;
+
+fn mach() -> MachineParams {
+    MachineParams::system_g(2.8e9)
+}
+
+fn names(findings: &[Finding]) -> Vec<&'static str> {
+    findings
+        .iter()
+        .filter_map(|f| match f {
+            Finding::InvalidParameter { name, .. } => Some(*name),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn sane_machine_vectors_are_quiet() {
+    for m in [
+        MachineParams::system_g(2.8e9),
+        MachineParams::system_g(1.6e9),
+        MachineParams::dori(2.0e9),
+    ] {
+        let findings = check_machine(&m);
+        assert!(findings.is_empty(), "false positives: {findings:?}");
+    }
+}
+
+#[test]
+fn negative_latency_is_detected() {
+    // The seeded unit-inconsistent vector: a negative compute latency.
+    let mut m = mach();
+    m.tc = Seconds::new(-1.0e-10);
+    assert_eq!(names(&check_machine(&m)), vec!["tc"]);
+}
+
+#[test]
+fn nan_power_is_detected() {
+    let mut m = mach();
+    m.delta_pm = simcluster::units::Watts::new(f64::NAN);
+    assert_eq!(names(&check_machine(&m)), vec!["dPm"]);
+}
+
+#[test]
+fn sublinear_gamma_is_detected() {
+    let mut m = mach();
+    m.gamma = 0.5;
+    assert_eq!(names(&check_machine(&m)), vec!["gamma"]);
+}
+
+#[test]
+fn frequency_law_violation_is_detected() {
+    // tc assembled in nanoseconds against f in Hz: every field is positive
+    // and finite, but tc != CPI / f by nine orders of magnitude.
+    let mut m = mach();
+    m.tc = Seconds::new(m.tc.raw() * 1e9);
+    let findings = check_machine(&m);
+    assert!(
+        findings.iter().any(|f| matches!(
+            f,
+            Finding::BrokenInvariant {
+                invariant: "tc == CPI / f",
+                ..
+            }
+        )),
+        "unit-inconsistent tc not flagged: {findings:?}"
+    );
+}
+
+#[test]
+fn invalid_app_vectors_are_detected() {
+    let good = AppParams::from_raw(0.9, 1e9, 1e8, 1e7, 0.0, 1e3, 1e6, 0.0);
+    assert!(check_app(&good).is_empty());
+
+    let bad_alpha = AppParams { alpha: 1.5, ..good };
+    assert_eq!(names(&check_app(&bad_alpha)), vec!["alpha"]);
+
+    // An overhead more negative than the sequential workload it relieves.
+    let bad_wom = AppParams::from_raw(0.9, 1e9, 1e8, 0.0, -2e8, 0.0, 0.0, 0.0);
+    assert_eq!(names(&check_app(&bad_wom)), vec!["Wom"]);
+
+    let bad_io = AppParams::from_raw(0.9, 1e9, 1e8, 0.0, 0.0, 0.0, 0.0, -1.0);
+    assert_eq!(names(&check_app(&bad_io)), vec!["T_IO"]);
+}
+
+#[test]
+fn model_check_reports_parameter_findings_first() {
+    let mut m = mach();
+    m.tm = Seconds::new(f64::INFINITY);
+    let a = AppParams::from_raw(0.9, 1e9, 1e8, 0.0, 0.0, 0.0, 0.0, 0.0);
+    let findings = check_model(&m, &a, 16);
+    assert_eq!(names(&findings), vec!["tm"]);
+    // The model itself is never evaluated on an insane vector.
+    assert!(!findings
+        .iter()
+        .any(|f| matches!(f, Finding::BrokenInvariant { .. })));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Over random *non-negative* application vectors the model's structural
+    /// invariants hold, so the analyzer stays quiet.
+    #[test]
+    fn model_invariants_hold_on_random_apps(
+        alpha in 0.5f64..=1.0,
+        wc in 1e6f64..1e12,
+        wm in 0.0f64..1e10,
+        woc in 0.0f64..1e10,
+        wom in 0.0f64..1e9,
+        messages in 0.0f64..1e7,
+        bytes in 0.0f64..1e11,
+        p in 1usize..2048,
+    ) {
+        let a = AppParams::from_raw(alpha, wc, wm, woc, wom, messages, bytes, 0.0);
+        let findings = check_model(&mach(), &a, p);
+        prop_assert!(findings.is_empty(), "spurious findings: {findings:?}");
+    }
+
+    /// Seeding any single non-finite machine field must always produce at
+    /// least one finding.
+    #[test]
+    fn any_nan_machine_field_is_caught(field in 0usize..9) {
+        let mut m = mach();
+        let nan = f64::NAN;
+        match field {
+            0 => m.tc = Seconds::new(nan),
+            1 => m.tm = Seconds::new(nan),
+            2 => m.ts = Seconds::new(nan),
+            3 => m.tw = Seconds::new(nan),
+            4 => m.p_sys_idle = simcluster::units::Watts::new(nan),
+            5 => m.delta_pc = simcluster::units::Watts::new(nan),
+            6 => m.delta_pm = simcluster::units::Watts::new(nan),
+            7 => m.delta_pnic = simcluster::units::Watts::new(nan),
+            _ => m.delta_pio = simcluster::units::Watts::new(nan),
+        }
+        prop_assert!(!check_machine(&m).is_empty());
+    }
+}

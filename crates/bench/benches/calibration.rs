@@ -1,37 +1,25 @@
-//! Criterion benches for the calibration pipeline: how quickly the machine
+//! Timing benches for the calibration pipeline: how quickly the machine
 //! vector can be (re)derived — relevant when the model is recalibrated per
 //! DVFS state or after hardware changes.
+//!
+//! Run with `cargo bench -p bench --bench calibration`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use bench::time_case;
 use mps::World;
 use simcluster::system_g;
 
-fn world() -> World {
-    World::new(system_g(), 2.8e9)
-}
+fn main() {
+    let w = World::new(system_g(), 2.8e9);
 
-fn bench_tools(c: &mut Criterion) {
-    let w = world();
-    let mut g = c.benchmark_group("calibration");
-    g.sample_size(10);
-    g.bench_function("perfmon_cpi", |b| {
-        b.iter(|| black_box(microbench::perfmon_cpi(&w, 1e6)))
+    println!("calibration:");
+    time_case("perfmon_cpi", 10, || microbench::perfmon_cpi(&w, 1e6));
+    time_case("lat_mem_rd_sweep", 10, || {
+        microbench::lat_mem_rd(&w, 1 << 12, 1 << 26)
     });
-    g.bench_function("lat_mem_rd_sweep", |b| {
-        b.iter(|| black_box(microbench::lat_mem_rd(&w, 1 << 12, 1 << 26)))
+    let sizes: Vec<u64> = (0..6).map(|i| 1024u64 << i).collect();
+    time_case("mpptest_fit", 10, || microbench::mpptest(&w, &sizes, 1));
+    time_case("power_deltas", 10, || microbench::power_deltas(&w));
+    time_case("full_machine_vector", 10, || {
+        isoee::calibrate::measured_machine_params(&w)
     });
-    g.bench_function("mpptest_fit", |b| {
-        let sizes: Vec<u64> = (0..6).map(|i| 1024u64 << i).collect();
-        b.iter(|| black_box(microbench::mpptest(&w, &sizes, 1)))
-    });
-    g.bench_function("power_deltas", |b| {
-        b.iter(|| black_box(microbench::power_deltas(&w)))
-    });
-    g.bench_function("full_machine_vector", |b| {
-        b.iter(|| black_box(isoee::calibrate::measured_machine_params(&w)))
-    });
-    g.finish();
 }
-
-criterion_group!(benches, bench_tools);
-criterion_main!(benches);

@@ -1,62 +1,48 @@
-//! Criterion benches for the mps collectives (host cost of the simulated
+//! Timing benches for the mps collectives (host cost of the simulated
 //! communication layer, which bounds experiment turnaround).
+//!
+//! Run with `cargo bench -p bench --bench collectives`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use bench::time_case;
 use mps::{run, World};
 use simcluster::system_g;
+use std::hint::black_box;
 
-fn world() -> World {
-    World::new(system_g(), 2.8e9)
-}
+fn main() {
+    let w = World::new(system_g(), 2.8e9);
 
-fn bench_collectives(c: &mut Criterion) {
-    let w = world();
-    let mut g = c.benchmark_group("collectives");
-    g.sample_size(10);
+    println!("collectives:");
     for p in [4usize, 16] {
-        g.bench_function(format!("barrier/p{p}"), |b| {
-            b.iter(|| run(&w, p, |ctx| ctx.barrier()))
+        #[allow(clippy::redundant_closure_for_method_calls)] // HRTB: `Ctx::barrier` won't coerce
+        time_case(&format!("barrier/p{p}"), 10, || {
+            run(&w, p, |ctx| ctx.barrier())
         });
-        g.bench_function(format!("allreduce_1k/p{p}"), |b| {
-            b.iter(|| {
-                run(&w, p, |ctx| {
-                    let x = vec![1.0f64; 128];
-                    black_box(ctx.allreduce_sum(&x))
-                })
+        time_case(&format!("allreduce_1k/p{p}"), 10, || {
+            run(&w, p, |ctx| {
+                let x = vec![1.0f64; 128];
+                black_box(ctx.allreduce_sum(&x))
             })
         });
-        g.bench_function(format!("alltoall_64k/p{p}"), |b| {
-            b.iter(|| {
-                run(&w, p, |ctx| {
-                    let chunks: Vec<Vec<f64>> =
-                        (0..ctx.size()).map(|_| vec![0.0f64; 8192 / ctx.size()]).collect();
-                    black_box(ctx.alltoall(chunks))
-                })
+        time_case(&format!("alltoall_64k/p{p}"), 10, || {
+            run(&w, p, |ctx| {
+                let chunks: Vec<Vec<f64>> = (0..ctx.size())
+                    .map(|_| vec![0.0f64; 8192 / ctx.size()])
+                    .collect();
+                black_box(ctx.alltoall(chunks))
             })
         });
     }
-    g.finish();
-}
 
-fn bench_p2p(c: &mut Criterion) {
-    let w = world();
-    let mut g = c.benchmark_group("p2p");
-    g.sample_size(10);
-    g.bench_function("pingpong_4k", |b| {
-        b.iter(|| {
-            run(&w, 2, |ctx| {
-                if ctx.rank() == 0 {
-                    ctx.send(1, 0, vec![0u64; 512]);
-                    black_box(ctx.recv::<u64>(1, 1));
-                } else {
-                    let d = ctx.recv::<u64>(0, 0);
-                    ctx.send(0, 1, d);
-                }
-            })
+    println!("p2p:");
+    time_case("pingpong_4k", 10, || {
+        run(&w, 2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 0, vec![0u64; 512]);
+                black_box(ctx.recv::<u64>(1, 1));
+            } else {
+                let d = ctx.recv::<u64>(0, 0);
+                ctx.send(0, 1, d);
+            }
         })
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_collectives, bench_p2p);
-criterion_main!(benches);

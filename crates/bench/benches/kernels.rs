@@ -1,7 +1,9 @@
-//! Criterion benches for the NPB kernel implementations over the simulated
+//! Timing benches for the NPB kernel implementations over the simulated
 //! message-passing substrate (class S so each iteration is milliseconds).
+//!
+//! Run with `cargo bench -p bench --bench kernels`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use bench::time_case;
 use mps::{run, World};
 use npb::{cg_kernel, ep_kernel, ft_kernel, is_kernel, mg_kernel};
 use npb::{CgConfig, Class, EpConfig, FtConfig, IsConfig, MgConfig};
@@ -11,47 +13,24 @@ fn world() -> World {
     World::new(system_g(), 2.8e9)
 }
 
-fn bench_kernels_seq(c: &mut Criterion) {
+fn main() {
     let w = world();
-    let mut g = c.benchmark_group("kernels/p1");
-    g.sample_size(10);
-    g.bench_function("ep_s", |b| {
-        let cfg = EpConfig::class(Class::S);
-        b.iter(|| black_box(run(&w, 1, move |ctx| ep_kernel(ctx, cfg))))
-    });
-    g.bench_function("ft_s", |b| {
-        let cfg = FtConfig::class(Class::S);
-        b.iter(|| black_box(run(&w, 1, move |ctx| ft_kernel(ctx, cfg))))
-    });
-    g.bench_function("cg_s", |b| {
-        let cfg = CgConfig::class(Class::S);
-        b.iter(|| black_box(run(&w, 1, move |ctx| cg_kernel(ctx, cfg))))
-    });
-    g.bench_function("is_s", |b| {
-        let cfg = IsConfig::class(Class::S);
-        b.iter(|| black_box(run(&w, 1, move |ctx| is_kernel(ctx, cfg))))
-    });
-    g.bench_function("mg_s", |b| {
-        let cfg = MgConfig::class(Class::S);
-        b.iter(|| black_box(run(&w, 1, move |ctx| mg_kernel(ctx, cfg))))
-    });
-    g.finish();
-}
 
-fn bench_kernels_parallel(c: &mut Criterion) {
-    let w = world();
-    let mut g = c.benchmark_group("kernels/p4");
-    g.sample_size(10);
-    g.bench_function("ft_s", |b| {
-        let cfg = FtConfig::class(Class::S);
-        b.iter(|| black_box(run(&w, 4, move |ctx| ft_kernel(ctx, cfg))))
-    });
-    g.bench_function("cg_s", |b| {
-        let cfg = CgConfig::class(Class::S);
-        b.iter(|| black_box(run(&w, 4, move |ctx| cg_kernel(ctx, cfg))))
-    });
-    g.finish();
-}
+    println!("kernels/p1:");
+    let cfg = EpConfig::class(Class::S);
+    time_case("ep_s", 10, || run(&w, 1, move |ctx| ep_kernel(ctx, cfg)));
+    let cfg = FtConfig::class(Class::S);
+    time_case("ft_s", 10, || run(&w, 1, move |ctx| ft_kernel(ctx, cfg)));
+    let cfg = CgConfig::class(Class::S);
+    time_case("cg_s", 10, || run(&w, 1, move |ctx| cg_kernel(ctx, cfg)));
+    let cfg = IsConfig::class(Class::S);
+    time_case("is_s", 10, || run(&w, 1, move |ctx| is_kernel(ctx, cfg)));
+    let cfg = MgConfig::class(Class::S);
+    time_case("mg_s", 10, || run(&w, 1, move |ctx| mg_kernel(ctx, cfg)));
 
-criterion_group!(benches, bench_kernels_seq, bench_kernels_parallel);
-criterion_main!(benches);
+    println!("kernels/p4:");
+    let cfg = FtConfig::class(Class::S);
+    time_case("ft_s", 10, || run(&w, 4, move |ctx| ft_kernel(ctx, cfg)));
+    let cfg = CgConfig::class(Class::S);
+    time_case("cg_s", 10, || run(&w, 4, move |ctx| cg_kernel(ctx, cfg)));
+}

@@ -1,57 +1,46 @@
-//! Criterion benches for the analytical model itself: single-point EE
+//! Timing benches for the analytical model itself: single-point EE
 //! evaluation, full figure-scale surface sweeps, and the iso-EE bisection.
 //! These quantify the cost of using the model inside a scheduler's inner
 //! loop (the paper's "policy module" motivation).
+//!
+//! Run with `cargo bench -p bench --bench model_eval`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use bench::time_case;
 use isoee::apps::{AppModel, CgModel, EpModel, FtModel};
 use isoee::scaling::{ee_surface_pf, iso_ee_workload};
 use isoee::{model, MachineParams};
+use std::hint::black_box;
 
-fn bench_point_evaluation(c: &mut Criterion) {
+fn main() {
     let mach = MachineParams::system_g(2.8e9);
     let ft = FtModel::system_g();
-    let mut g = c.benchmark_group("model/point");
-    g.bench_function("ft_app_params", |b| {
-        b.iter(|| black_box(ft.app_params(black_box(1e6), black_box(64))))
+
+    println!("model/point:");
+    time_case("ft_app_params", 1000, || {
+        ft.app_params(black_box(1e6), black_box(64))
     });
     let app = ft.app_params(1e6, 64);
-    g.bench_function("ee", |b| {
-        b.iter(|| black_box(model::ee(&mach, black_box(&app), 64)))
-    });
-    g.bench_function("at_frequency", |b| {
-        b.iter(|| black_box(mach.at_frequency(black_box(2.0e9))))
-    });
-    g.finish();
-}
+    time_case("ee", 1000, || model::ee(&mach, black_box(&app), 64));
+    time_case("at_frequency", 1000, || mach.at_frequency(black_box(2.0e9)));
 
-fn bench_surfaces(c: &mut Criterion) {
-    let mach = MachineParams::system_g(2.8e9);
+    println!("model/surface:");
     let fs = [1.6e9, 2.0e9, 2.4e9, 2.8e9];
     let ps: Vec<usize> = (0..11).map(|k| 1usize << k).collect();
-    let mut g = c.benchmark_group("model/surface");
-    g.bench_function("fig5_ft_pf", |b| {
+    time_case("fig5_ft_pf", 100, || {
         let ft = FtModel::system_g();
-        b.iter(|| black_box(ee_surface_pf(&ft, &mach, 1e6, &ps, &fs)))
+        ee_surface_pf(&ft, &mach, 1e6, &ps, &fs)
     });
-    g.bench_function("fig7_ep_pf", |b| {
+    time_case("fig7_ep_pf", 100, || {
         let ep = EpModel::system_g();
-        b.iter(|| black_box(ee_surface_pf(&ep, &mach, 4e6, &ps[..8], &fs)))
+        ee_surface_pf(&ep, &mach, 4e6, &ps[..8], &fs)
     });
-    g.bench_function("fig9_cg_pf", |b| {
+    time_case("fig9_cg_pf", 100, || {
         let cg = CgModel::system_g();
-        b.iter(|| black_box(ee_surface_pf(&cg, &mach, 75_000.0, &ps, &fs)))
+        ee_surface_pf(&cg, &mach, 75_000.0, &ps, &fs)
     });
-    g.finish();
-}
 
-fn bench_contour(c: &mut Criterion) {
-    let mach = MachineParams::system_g(2.8e9);
-    let ft = FtModel::system_g();
-    c.bench_function("model/iso_ee_bisection", |b| {
-        b.iter(|| black_box(iso_ee_workload(&ft, &mach, 256, 0.8, 1e3, 1e12)))
+    println!("model/contour:");
+    time_case("iso_ee_bisection", 100, || {
+        iso_ee_workload(&ft, &mach, 256, 0.8, 1e3, 1e12)
     });
 }
-
-criterion_group!(benches, bench_point_evaluation, bench_surfaces, bench_contour);
-criterion_main!(benches);

@@ -38,7 +38,7 @@ fn main() {
         let pts = overhead_growth(&mach, |p| model.app_params(n, p), &ps);
         print!("  {name}: ");
         for (p, e) in &pts {
-            print!("E0({p})={e:.2}J  ");
+            print!("E0({p})={:.2} J  ", e.raw());
         }
         // Growth exponent between the last two decades.
         let k = ((pts[4].1 / pts[2].1).abs().ln()) / ((1024.0f64 / 64.0).ln());
@@ -53,7 +53,10 @@ fn main() {
     let t_free = run(&base, 16, ft_closure(Class::A)).span();
     let t_cong = run(&congested, 16, ft_closure(Class::A)).span();
     println!("  contention-free span : {t_free:.4} s");
-    println!("  with contention      : {t_cong:.4} s  (+{:.2}%)", 100.0 * (t_cong / t_free - 1.0));
+    println!(
+        "  with contention      : {t_cong:.4} s  (+{:.2}%)",
+        100.0 * (t_cong / t_free - 1.0)
+    );
     println!("  (the analytical model is contention-free; this gap feeds Fig. 4's errors)");
 
     // ------------------------------------------------------------------
@@ -62,7 +65,10 @@ fn main() {
         let w = world_g(2.8e9, 1.0).with_alpha(alpha);
         let r = run(&w, 4, ft_closure(Class::A));
         let e = r.energy(&w).total();
-        println!("  alpha = {alpha:<5}  span = {:.4} s   energy = {e:.1} J", r.span());
+        println!(
+            "  alpha = {alpha:<5}  span = {:.4} s   energy = {e:.1} J",
+            r.span()
+        );
     }
     println!("  (wall time scales with α; device-busy delta energy does not — Eq. 13)");
 
@@ -71,7 +77,10 @@ fn main() {
     let w = world_g(2.8e9, ALPHA_CG);
     let seq = measure_run(&w, 1, cg_closure(Class::A));
     let par = measure_run(&w, 8, cg_closure(Class::A));
-    println!("  Wm(p=1) = {:.3e}   Wm(p=8) = {:.3e}", seq.counters.wm, par.counters.wm);
+    println!(
+        "  Wm(p=1) = {:.3e}   Wm(p=8) = {:.3e}",
+        seq.counters.wm, par.counters.wm
+    );
     println!(
         "  Wom = {:+.3e}  ({:+.1}% of Wm — strong scaling changes countable off-chip traffic)",
         par.counters.wm - seq.counters.wm,

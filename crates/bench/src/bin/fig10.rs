@@ -31,16 +31,15 @@ fn main() {
 
     let logs = report.logs();
     let profile = session.profile(&logs);
-    let markers: Vec<Vec<(String, f64)>> =
-        report.ranks.iter().map(|r| r.markers.clone()).collect();
+    let markers: Vec<Vec<(String, f64)>> = report.ranks.iter().map(|r| r.markers.clone()).collect();
     let summary = session.measure(&logs, &markers);
 
     println!("{}", summary_table(&summary));
     println!(
         "idle baseline: {:.1} W   peak: {:.1} W   mean: {:.1} W",
-        profile.idle_baseline_w(session.meter()),
-        profile.peak_w(),
-        profile.mean_w()
+        profile.idle_baseline_w(session.meter()).raw(),
+        profile.peak_w().raw(),
+        profile.mean_w().raw()
     );
     println!("\ncsv (t_s,cpu_w,mem_w,net_w,disk_w,other_w,total_w):");
     let csv = profile_csv(&profile);

@@ -54,5 +54,8 @@ fn main() {
             100.0 - err.abs()
         );
     }
-    println!("\nworst-case accuracy: {:.1}%  (paper: 'over 95% for all benchmarks')", 100.0 - worst);
+    println!(
+        "\nworst-case accuracy: {:.1}%  (paper: 'over 95% for all benchmarks')",
+        100.0 - worst
+    );
 }

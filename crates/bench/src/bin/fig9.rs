@@ -24,7 +24,10 @@ fn main() {
     bench::print_surface(&s, "f (Hz)");
     for &p in &[16usize, 64, 256] {
         let (f, ee) = best_frequency(&cg, &mach, n, p, &DVFS_G);
-        println!("  best DVFS state at p={p}: {:.1} GHz (EE = {ee:.4})", f / 1e9);
+        println!(
+            "  best DVFS state at p={p}: {:.1} GHz (EE = {ee:.4})",
+            f / 1e9
+        );
     }
     println!("\n(Expected: EE falls with p and *rises* with f; best state = 2.8 GHz.)");
 }

@@ -16,14 +16,19 @@ fn show(name: &str, world: &World) {
     println!("{name} @ {:.1} GHz", world.f_hz / 1e9);
     println!("  parameter        measured        spec            unit");
     let rows: [(&str, f64, f64, &str); 9] = [
-        ("tc", measured.tc, spec.tc, "s/instr"),
+        ("tc", measured.tc.raw(), spec.tc.raw(), "s/instr"),
         ("cpi", measured.cpi, spec.cpi, "cycles"),
-        ("tm", measured.tm, spec.tm, "s/access"),
-        ("ts", measured.ts, spec.ts, "s/message"),
-        ("tw", measured.tw, spec.tw, "s/byte"),
-        ("P_sys_idle", measured.p_sys_idle, spec.p_sys_idle, "W/core"),
-        ("dPc", measured.delta_pc, spec.delta_pc, "W"),
-        ("dPm", measured.delta_pm, spec.delta_pm, "W"),
+        ("tm", measured.tm.raw(), spec.tm.raw(), "s/access"),
+        ("ts", measured.ts.raw(), spec.ts.raw(), "s/message"),
+        ("tw", measured.tw.raw(), spec.tw.raw(), "s/byte"),
+        (
+            "P_sys_idle",
+            measured.p_sys_idle.raw(),
+            spec.p_sys_idle.raw(),
+            "W/core",
+        ),
+        ("dPc", measured.delta_pc.raw(), spec.delta_pc.raw(), "W"),
+        ("dPm", measured.delta_pm.raw(), spec.delta_pm.raw(), "W"),
         ("gamma", measured.gamma, spec.gamma, "-"),
     ];
     for (label, m, s, unit) in rows {

@@ -35,7 +35,10 @@ fn main() {
     bench::row("alpha (configured)", ALPHA_FT);
     bench::row("wc_nlogn", format!("{a_coef:.4}"));
     bench::row("wc_lin", format!("{b_coef:.4}"));
-    bench::row("wm_lin (= Wm/n at class B)", format!("{:.4}", seq_b.counters.wm / n_b));
+    bench::row(
+        "wm_lin (= Wm/n at class B)",
+        format!("{:.4}", seq_b.counters.wm / n_b),
+    );
 
     // Overhead coefficients are fitted in the pre-relief regime (p <= 16):
     // beyond it the scaled-down footprint falls into aggregate cache, a
@@ -48,16 +51,25 @@ fn main() {
         let app = app_params_from(&seq_b, &par);
         let basis = n_b * (1.0 - 1.0 / p as f64);
         if fit_ps.contains(&p) {
-            woc_acc += app.woc / basis;
-            wom_acc += app.wom / basis;
+            woc_acc += app.woc.raw() / basis;
+            wom_acc += app.wom.raw() / basis;
         }
         println!(
             "    p={p:<3} Woc={:+.3e}  Wom={:+.3e}  M={:.0}  B={:.3e}",
-            app.woc, app.wom, app.messages, app.bytes
+            app.woc.raw(),
+            app.wom.raw(),
+            app.messages.raw(),
+            app.bytes.raw()
         );
     }
-    bench::row("woc_coeff (fit, p<=16)", format!("{:.4}", woc_acc / fit_ps.len() as f64));
-    bench::row("wom_coeff (fit, p<=16)", format!("{:.4}", wom_acc / fit_ps.len() as f64));
+    bench::row(
+        "woc_coeff (fit, p<=16)",
+        format!("{:.4}", woc_acc / fit_ps.len() as f64),
+    );
+    bench::row(
+        "wom_coeff (fit, p<=16)",
+        format!("{:.4}", wom_acc / fit_ps.len() as f64),
+    );
 
     // ------------------------------------------------------------------
     // EP
@@ -73,13 +85,18 @@ fn main() {
     for &p in &ps {
         let par = measure_run(&w, p, ep_closure(Class::B));
         let app = app_params_from(&seq, &par);
-        woc_per_msg += app.woc / app.messages.max(1.0);
+        woc_per_msg += app.woc.raw() / app.messages.raw().max(1.0);
         println!(
             "    p={p:<3} Woc={:+.3e}  M={:.0}  B={:.0}",
-            app.woc, app.messages, app.bytes
+            app.woc.raw(),
+            app.messages.raw(),
+            app.bytes.raw()
         );
     }
-    bench::row("woc_round (fit)", format!("{:.4}", woc_per_msg / ps.len() as f64));
+    bench::row(
+        "woc_round (fit)",
+        format!("{:.4}", woc_per_msg / ps.len() as f64),
+    );
 
     // ------------------------------------------------------------------
     // CG
@@ -103,15 +120,18 @@ fn main() {
         let app = app_params_from(&seq, &par);
         let (_, npcol) = cg_proc_grid(p);
         if npcol > 1 {
-            woc_acc += app.woc / (n_cg * (npcol as f64 - 1.0));
+            woc_acc += app.woc.raw() / (n_cg * (npcol as f64 - 1.0));
             woc_cnt += 1.0;
         }
         if p == 4 {
-            wom_p4 = app.wom / (n_cg * (1.0 - 1.0 / (p as f64).sqrt()));
+            wom_p4 = app.wom.raw() / (n_cg * (1.0 - 1.0 / (p as f64).sqrt()));
         }
         println!(
             "    p={p:<3} Woc={:+.3e}  Wom={:+.3e}  M={:.0}  B={:.3e}",
-            app.woc, app.wom, app.messages, app.bytes
+            app.woc.raw(),
+            app.wom.raw(),
+            app.messages.raw(),
+            app.bytes.raw()
         );
     }
     bench::row("woc_repl (fit)", format!("{:.4}", woc_acc / woc_cnt));

@@ -1,9 +1,10 @@
 //! Shared experiment harness for the figure/table regeneration binaries and
-//! the Criterion benches.
+//! the timing benches.
 //!
 //! Centralizes the paper's experimental constants (per-application overlap
 //! factors, DVFS tables, class choices) so every figure uses the same
-//! configuration.
+//! configuration, plus a dependency-free timing harness for the `benches/`
+//! entry points.
 
 use mps::{Ctx, World};
 use npb::{
@@ -89,10 +90,42 @@ pub fn print_surface(surface: &isoee::Surface, y_label: &str) {
         }
         println!();
     }
-    let json = serde_json::json!({
-        "xs_p": surface.xs,
-        "ys": surface.ys,
-        "ee": surface.values,
-    });
-    println!("  json: {json}");
+    // Hand-rolled JSON line (the harness keeps zero external dependencies).
+    let nums = |v: &[f64]| {
+        v.iter()
+            .map(|x| format!("{x}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let rows = surface
+        .values
+        .iter()
+        .map(|row| format!("[{}]", nums(row)))
+        .collect::<Vec<_>>()
+        .join(",");
+    println!(
+        "  json: {{\"xs_p\":[{}],\"ys\":[{}],\"ee\":[{}]}}",
+        nums(&surface.xs),
+        nums(&surface.ys),
+        rows
+    );
+}
+
+/// Time `f` over `iters` iterations (after one warm-up) and print mean and
+/// minimum wall time per iteration — a dependency-free stand-in for an
+/// external benchmark harness.
+pub fn time_case<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    assert!(iters > 0, "need at least one iteration");
+    let _ = std::hint::black_box(f());
+    let mut total = std::time::Duration::ZERO;
+    let mut min = std::time::Duration::MAX;
+    for _ in 0..iters {
+        let t0 = std::time::Instant::now();
+        let _ = std::hint::black_box(f());
+        let dt = t0.elapsed();
+        total += dt;
+        min = min.min(dt);
+    }
+    let mean = total / iters;
+    println!("  {name:<28} mean {mean:>12.3?}   min {min:>12.3?}   ({iters} iters)");
 }

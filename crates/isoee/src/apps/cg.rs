@@ -78,7 +78,11 @@ impl AppModel for CgModel {
         let spmvs = 26.0 * self.niter;
         let dots = 54.0 * self.niter;
         // Transpose exchange: p − (self partners) messages of 8·n/npcol.
-        let self_partners = if npcol == nprow { nprow_f } else { 2.0 * nprow_f };
+        let self_partners = if npcol == nprow {
+            nprow_f
+        } else {
+            2.0 * nprow_f
+        };
         let m_tr = spmvs * (pf - self_partners);
         let b_tr = m_tr * 8.0 * n / npcol_f;
         // Row allreduce: p·log2(npcol) messages of 8·n/nprow.
@@ -94,16 +98,16 @@ impl AppModel for CgModel {
         let woc = self.woc_repl * n * (npcol_f - 1.0);
         let wom = (self.wom_coeff * n * (1.0 - 1.0 / pf.sqrt())).max(-wm);
 
-        let a = AppParams {
-            alpha: self.alpha,
+        let a = AppParams::from_raw(
+            self.alpha,
             wc,
             wm,
             woc,
             wom,
-            messages: m_tr + m_rr + m_dot,
-            bytes: b_tr + b_rr + b_dot,
-            t_io: 0.0,
-        };
+            m_tr + m_rr + m_dot,
+            b_tr + b_rr + b_dot,
+            0.0,
+        );
         a.validate();
         a
     }
@@ -125,13 +129,17 @@ mod tests {
         let cg = CgModel::system_g();
         let mut prev = f64::INFINITY;
         for p in [1usize, 4, 16, 64, 256, 1024] {
-            let e = model::ee(&m, &cg.app_params(N_B, p), p);
-            assert!(e < prev + 0.005, "EE must decline: p={p} ee={e} prev={prev}");
+            let e = model::ee(&m, &cg.app_params(N_B, p), p).expect("baseline energy is positive");
+            assert!(
+                e < prev + 0.005,
+                "EE must decline: p={p} ee={e} prev={prev}"
+            );
             prev = e;
         }
         // And the decline is substantive by p = 1024.
-        let e1 = model::ee(&m, &cg.app_params(N_B, 1), 1);
-        let e1024 = model::ee(&m, &cg.app_params(N_B, 1024), 1024);
+        let e1 = model::ee(&m, &cg.app_params(N_B, 1), 1).expect("baseline energy is positive");
+        let e1024 =
+            model::ee(&m, &cg.app_params(N_B, 1024), 1024).expect("baseline energy is positive");
         assert!(e1 - e1024 > 0.05, "{e1} vs {e1024}");
     }
 
@@ -143,8 +151,9 @@ mod tests {
         let base = MachineParams::system_g(2.8e9);
         for p in [16usize, 64, 256] {
             let a = cg.app_params(N_B, p);
-            let lo = model::ee(&base.at_frequency(1.6e9), &a, p);
-            let hi = model::ee(&base, &a, p);
+            let lo =
+                model::ee(&base.at_frequency(1.6e9), &a, p).expect("baseline energy is positive");
+            let hi = model::ee(&base, &a, p).expect("baseline energy is positive");
             assert!(
                 hi > lo,
                 "EE_CG must rise with f at p={p}: {lo} (1.6 GHz) vs {hi} (2.8 GHz)"
@@ -158,8 +167,10 @@ mod tests {
         let m = MachineParams::system_g(2.8e9);
         let cg = CgModel::system_g();
         let p = 64;
-        let small = model::ee(&m, &cg.app_params(7_500.0, p), p);
-        let large = model::ee(&m, &cg.app_params(300_000.0, p), p);
+        let small =
+            model::ee(&m, &cg.app_params(7_500.0, p), p).expect("baseline energy is positive");
+        let large =
+            model::ee(&m, &cg.app_params(300_000.0, p), p).expect("baseline energy is positive");
         assert!(large > small, "{large} vs {small}");
     }
 
@@ -179,16 +190,20 @@ mod tests {
         // messages, ≈1.9e8 bytes at class-B (n_pad = 75776).
         let cg = CgModel::system_g();
         let a = cg.app_params(75_776.0, 4);
-        assert_eq!(a.messages, 2352.0);
-        assert!((a.bytes - 1.892e8).abs() / 1.892e8 < 0.01, "{}", a.bytes);
+        assert_eq!(a.messages.raw(), 2352.0);
+        assert!(
+            (a.bytes.raw() - 1.892e8).abs() / 1.892e8 < 0.01,
+            "{}",
+            a.bytes
+        );
     }
 
     #[test]
     fn wom_negative_and_bounded() {
         let cg = CgModel::system_g();
         let a = cg.app_params(N_B, 64);
-        assert!(a.wom < 0.0);
-        assert!(a.wm + a.wom >= 0.0);
+        assert!(a.wom.raw() < 0.0);
+        assert!((a.wm + a.wom).raw() >= 0.0);
     }
 
     #[test]

@@ -93,16 +93,16 @@ impl AppModel for FtModel {
         let woc = (self.woc_coeff * n * scale_frac).max(-wc * 0.95);
         let wom = (self.wom_coeff * n * scale_frac).max(-wm);
 
-        let a = AppParams {
-            alpha: self.alpha,
+        let a = AppParams::from_raw(
+            self.alpha,
             wc,
             wm,
             woc,
             wom,
-            messages: m_a2a + m_red,
-            bytes: b_a2a + b_red,
-            t_io: 0.0,
-        };
+            m_a2a + m_red,
+            b_a2a + b_red,
+            0.0,
+        );
         a.validate();
         a
     }
@@ -123,8 +123,10 @@ mod tests {
         // Fig. 5's dominant axis: p.
         let m = MachineParams::system_g(2.8e9);
         let ft = FtModel::system_g();
-        let ee_small: f64 = model::ee(&m, &ft.app_params(N, 4), 4);
-        let ee_large: f64 = model::ee(&m, &ft.app_params(N, 512), 512);
+        let ee_small: f64 =
+            model::ee(&m, &ft.app_params(N, 4), 4).expect("baseline energy is positive");
+        let ee_large: f64 =
+            model::ee(&m, &ft.app_params(N, 512), 512).expect("baseline energy is positive");
         assert!(ee_small > ee_large + 0.2, "{ee_small} vs {ee_large}");
         assert!(ee_large > 0.0);
     }
@@ -136,7 +138,7 @@ mod tests {
         let ft = FtModel::system_g();
         let mut prev = f64::INFINITY;
         for p in [1usize, 4, 16, 64, 256, 1024] {
-            let e = model::ee(&m, &ft.app_params(N, p), p);
+            let e = model::ee(&m, &ft.app_params(N, p), p).expect("baseline energy is positive");
             assert!(e <= prev + 0.01, "p={p}: {e} vs prev {prev}");
             prev = e;
         }
@@ -149,8 +151,9 @@ mod tests {
         let base = MachineParams::system_g(2.8e9);
         for p in [16usize, 64, 256] {
             let a = ft.app_params(N, p);
-            let hi = model::ee(&base, &a, p);
-            let lo = model::ee(&base.at_frequency(1.6e9), &a, p);
+            let hi = model::ee(&base, &a, p).expect("baseline energy is positive");
+            let lo =
+                model::ee(&base.at_frequency(1.6e9), &a, p).expect("baseline energy is positive");
             assert!(
                 (hi - lo).abs() < 0.12,
                 "EE_FT should be nearly flat in f at p={p}: {hi} vs {lo}"
@@ -164,8 +167,10 @@ mod tests {
         let m = MachineParams::system_g(2.8e9);
         let ft = FtModel::system_g();
         let p = 256;
-        let small = model::ee(&m, &ft.app_params(N / 8.0, p), p);
-        let large = model::ee(&m, &ft.app_params(N * 8.0, p), p);
+        let small =
+            model::ee(&m, &ft.app_params(N / 8.0, p), p).expect("baseline energy is positive");
+        let large =
+            model::ee(&m, &ft.app_params(N * 8.0, p), p).expect("baseline energy is positive");
         assert!(large > small, "{large} vs {small}");
     }
 
@@ -192,8 +197,8 @@ mod tests {
     fn wom_is_negative_in_parallel() {
         let ft = FtModel::system_g();
         let a = ft.app_params(N, 16);
-        assert!(a.wom < 0.0);
-        assert!(a.wm + a.wom >= 0.0);
+        assert!(a.wom.raw() < 0.0);
+        assert!((a.wm + a.wom).raw() >= 0.0);
     }
 
     #[test]
@@ -203,6 +208,6 @@ mod tests {
         // (7 transposes × 4·3 pairwise sends + 13 reductions × 8 sends).
         let ft = FtModel::system_g();
         let a = ft.app_params((8u64 << 20) as f64, 4);
-        assert_eq!(a.messages, 84.0 + 104.0);
+        assert_eq!(a.messages.raw(), 84.0 + 104.0);
     }
 }

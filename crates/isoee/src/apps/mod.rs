@@ -44,7 +44,7 @@ pub(crate) fn allreduce_counts(p: usize, payload_bytes: f64) -> (f64, f64) {
     }
     let m0 = 1usize << (usize::BITS - 1 - p.leading_zeros());
     let r = p - m0;
-    let rounds = m0.trailing_zeros() as f64;
+    let rounds = f64::from(m0.trailing_zeros());
     // Doubling exchanges: every rank < m0 sends `rounds` messages; folded
     // ranks add one send in and one result back.
     let messages = m0 as f64 * rounds + 2.0 * r as f64;

@@ -156,15 +156,16 @@ mod tests {
         let s_lo = power_aware_speedup(&m, &a, 64, 1.6e9);
         assert!(s_hi > s_lo, "speedup always prefers high f");
         // EE agrees for CG...
-        let ee_hi = model::ee(&m, &a, 64);
-        let ee_lo = model::ee(&m.at_frequency(1.6e9), &a, 64);
+        let ee_hi = model::ee(&m, &a, 64).expect("baseline energy is positive");
+        let ee_lo = model::ee(&m.at_frequency(1.6e9), &a, 64).expect("baseline energy is positive");
         assert!(ee_hi > ee_lo);
         // ...but the baseline would say the same for EP, where EE (barely)
         // disagrees — the energy dimension the baseline lacks.
         let ep = crate::apps::EpModel::system_g();
         let ae = ep.app_params(4e6, 64);
-        let ee_ep_hi = model::ee(&m, &ae, 64);
-        let ee_ep_lo = model::ee(&m.at_frequency(1.6e9), &ae, 64);
+        let ee_ep_hi = model::ee(&m, &ae, 64).expect("baseline energy is positive");
+        let ee_ep_lo =
+            model::ee(&m.at_frequency(1.6e9), &ae, 64).expect("baseline energy is positive");
         assert!(ee_ep_lo >= ee_ep_hi, "EP's EE does not reward high f");
     }
 }

@@ -12,6 +12,7 @@
 //!   (§VI.F) — [`measure_alpha`].
 
 use mps::{run, Counters, Ctx, RunReport, World};
+use simcluster::units::{Joules, Seconds};
 use simcluster::SegmentKind;
 
 use crate::params::{AppParams, MachineParams};
@@ -23,8 +24,8 @@ pub struct RunMeasurement {
     pub p: usize,
     /// All-processor counter totals.
     pub counters: Counters,
-    /// PowerPack-measured total energy, joules.
-    pub energy_j: f64,
+    /// PowerPack-measured total energy.
+    pub energy_j: Joules,
     /// Parallel span `Tp`, seconds.
     pub span_s: f64,
     /// Measured overlap factor of the run.
@@ -98,16 +99,16 @@ where
 /// ```
 pub fn app_params_from(seq: &RunMeasurement, par: &RunMeasurement) -> AppParams {
     assert_eq!(seq.p, 1, "baseline must be sequential");
-    let a = AppParams {
-        alpha: seq.alpha,
-        wc: seq.counters.wc,
-        wm: seq.counters.wm,
-        woc: par.counters.wc - seq.counters.wc,
-        wom: par.counters.wm - seq.counters.wm,
-        messages: par.counters.messages,
-        bytes: par.counters.bytes,
-        t_io: seq.counters.io_s,
-    };
+    let a = AppParams::from_raw(
+        seq.alpha,
+        seq.counters.wc,
+        seq.counters.wm,
+        par.counters.wc - seq.counters.wc,
+        par.counters.wm - seq.counters.wm,
+        par.counters.messages,
+        par.counters.bytes,
+        seq.counters.io_s,
+    );
     a.validate();
     a
 }
@@ -121,7 +122,11 @@ where
     F: Fn(&mut Ctx) -> R + Sync,
 {
     let seq = measure_run(world, 1, &kernel);
-    let par = if p == 1 { seq } else { measure_run(world, p, &kernel) };
+    let par = if p == 1 {
+        seq
+    } else {
+        measure_run(world, p, &kernel)
+    };
     app_params_from(&seq, &par)
 }
 
@@ -138,10 +143,10 @@ pub fn measured_machine_params(world: &World) -> MachineParams {
     let pd = microbench::power_deltas(world);
     let node = &world.cluster.node;
     MachineParams {
-        tc: cpi.tc_s,
-        tm,
-        ts: hock.ts,
-        tw: hock.tw,
+        tc: Seconds::new(cpi.tc_s),
+        tm: Seconds::new(tm),
+        ts: Seconds::new(hock.ts),
+        tw: Seconds::new(hock.tw),
         p_sys_idle: pd.idle_w,
         delta_pc: pd.delta_cpu_w,
         delta_pm: pd.delta_mem_w,
@@ -158,6 +163,7 @@ pub fn measured_machine_params(world: &World) -> MachineParams {
 mod tests {
     use super::*;
     use simcluster::system_g;
+    use simcluster::units::Messages;
 
     fn world() -> World {
         World::new(system_g(), 2.8e9)
@@ -171,15 +177,25 @@ mod tests {
         let close = |a: f64, b: f64, tol: f64, what: &str| {
             assert!((a - b).abs() / b.abs() < tol, "{what}: {a} vs {b}");
         };
-        close(measured.tc, truth.tc, 1e-6, "tc");
-        close(measured.ts, truth.ts, 0.02, "ts");
-        close(measured.tw, truth.tw, 0.02, "tw");
-        close(measured.delta_pc, truth.delta_pc, 1e-3, "delta_pc");
-        close(measured.delta_pm, truth.delta_pm, 1e-3, "delta_pm");
+        close(measured.tc.raw(), truth.tc.raw(), 1e-6, "tc");
+        close(measured.ts.raw(), truth.ts.raw(), 0.02, "ts");
+        close(measured.tw.raw(), truth.tw.raw(), 0.02, "tw");
+        close(
+            measured.delta_pc.raw(),
+            truth.delta_pc.raw(),
+            1e-3,
+            "delta_pc",
+        );
+        close(
+            measured.delta_pm.raw(),
+            truth.delta_pm.raw(),
+            1e-3,
+            "delta_pm",
+        );
         assert_eq!(measured.p_sys_idle, truth.p_sys_idle);
         // tm: the lat_mem_rd plateau slightly underestimates pure DRAM
         // latency (blend includes the cached head of the staircase).
-        close(measured.tm, truth.tm, 0.05, "tm");
+        close(measured.tm.raw(), truth.tm.raw(), 0.05, "tm");
     }
 
     #[test]
@@ -206,9 +222,9 @@ mod tests {
         let seq = measure_run(&w, 1, kernel);
         let par = measure_run(&w, 4, kernel);
         let app = app_params_from(&seq, &par);
-        assert_eq!(app.wc, 1e6);
-        assert!((app.woc - 3e6).abs() < 1.0, "woc {}", app.woc);
-        assert!(app.messages > 0.0, "barrier messages counted");
+        assert_eq!(app.wc.raw(), 1e6);
+        assert!((app.woc.raw() - 3e6).abs() < 1.0, "woc {}", app.woc);
+        assert!(app.messages > Messages::ZERO, "barrier messages counted");
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 use crate::model;
 use crate::params::{AppParams, MachineParams};
+use simcluster::units::{Joules, Seconds};
 
 /// One processor class in the pool.
 #[derive(Debug, Clone, Copy)]
@@ -41,17 +42,17 @@ pub enum Split {
 /// The heterogeneous evaluation result.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HeteroResult {
-    /// Parallel span: the latest class finish time (seconds).
-    pub tp: f64,
-    /// Total energy across all classes (joules).
-    pub ep: f64,
+    /// Parallel span: the latest class finish time.
+    pub tp: Seconds,
+    /// Total energy across all classes.
+    pub ep: Joules,
     /// Iso-energy-efficiency vs the fastest class's sequential run.
     pub ee: f64,
 }
 
 /// Per-processor busy time per unit of workload share for a class —
 /// the weight used by the time-balanced split.
-fn unit_time(mach: &MachineParams, a: &AppParams) -> f64 {
+fn unit_time(mach: &MachineParams, a: &AppParams) -> Seconds {
     // Time to process the whole (wc+woc, wm+wom) totals on one processor.
     a.alpha * ((a.wc + a.woc) * mach.tc + (a.wm + a.wom) * mach.tm)
 }
@@ -78,7 +79,7 @@ pub fn evaluate(classes: &[ProcClass], a: &AppParams, split: Split) -> HeteroRes
         Split::TimeBalanced => {
             let speeds: Vec<f64> = classes
                 .iter()
-                .map(|c| c.count as f64 / unit_time(&c.mach, a))
+                .map(|c| c.count as f64 / unit_time(&c.mach, a).raw())
                 .collect();
             let total: f64 = speeds.iter().sum();
             speeds.iter().map(|s| s / total).collect()
@@ -86,23 +87,29 @@ pub fn evaluate(classes: &[ProcClass], a: &AppParams, split: Split) -> HeteroRes
     };
 
     // Network time, charged on the slowest link present.
-    let worst_ts = classes.iter().map(|c| c.mach.ts).fold(0.0, f64::max);
-    let worst_tw = classes.iter().map(|c| c.mach.tw).fold(0.0, f64::max);
+    let worst_ts = classes
+        .iter()
+        .map(|c| c.mach.ts)
+        .fold(Seconds::ZERO, Seconds::max);
+    let worst_tw = classes
+        .iter()
+        .map(|c| c.mach.tw)
+        .fold(Seconds::ZERO, Seconds::max);
     let t_net_total = a.messages * worst_ts + a.bytes * worst_tw;
 
     // Per-class spans and energies.
-    let mut tp: f64 = 0.0;
-    let mut ep = 0.0;
-    for (class, share) in classes.iter().zip(&shares) {
+    let mut tp = Seconds::ZERO;
+    let mut ep = Joules::ZERO;
+    for (class, &share) in classes.iter().zip(&shares) {
         let m = &class.mach;
         let pc = class.count as f64;
         let busy = unit_time(m, a) * share / pc;
-        let net = a.alpha * t_net_total * share / pc;
+        let net = a.alpha * (t_net_total * share / pc);
         tp = tp.max(busy + net);
         // Active deltas for this class's share.
-        ep += (a.wc + a.woc) * share * m.tc * m.delta_pc
-            + (a.wm + a.wom) * share * m.tm * m.delta_pm
-            + t_net_total * share * m.delta_pnic;
+        ep += ((a.wc + a.woc) * share) * m.tc * m.delta_pc
+            + ((a.wm + a.wom) * share) * m.tm * m.delta_pm
+            + (t_net_total * share) * m.delta_pnic;
     }
     // Every processor idles (or works) for the full span.
     for class in classes {
@@ -113,7 +120,7 @@ pub fn evaluate(classes: &[ProcClass], a: &AppParams, split: Split) -> HeteroRes
     let e1 = classes
         .iter()
         .map(|c| model::e1(&c.mach, a))
-        .fold(f64::INFINITY, f64::min);
+        .fold(Joules::new(f64::INFINITY), Joules::min);
     let ee = e1 / ep;
     HeteroResult { tp, ep, ee }
 }
@@ -123,16 +130,22 @@ mod tests {
     use super::*;
 
     fn g_class(count: usize) -> ProcClass {
-        ProcClass { mach: MachineParams::system_g(2.8e9), count }
+        ProcClass {
+            mach: MachineParams::system_g(2.8e9),
+            count,
+        }
     }
 
     fn dori_class(count: usize) -> ProcClass {
-        ProcClass { mach: MachineParams::dori(2.0e9), count }
+        ProcClass {
+            mach: MachineParams::dori(2.0e9),
+            count,
+        }
     }
 
     fn app() -> AppParams {
         let mut a = AppParams::ideal(1e11);
-        a.wm = 1e8;
+        a.wm = simcluster::units::Accesses::new(1e8);
         a
     }
 
@@ -142,14 +155,14 @@ mod tests {
         let classes = [g_class(16)];
         let h = evaluate(&classes, &a, Split::TimeBalanced);
         let m = MachineParams::system_g(2.8e9);
-        let ee_homog = model::ee(&m, &a, 16);
+        let ee_homog = model::ee(&m, &a, 16).expect("baseline energy is positive");
         assert!(
             (h.ee - ee_homog).abs() < 1e-9,
             "hetero {} vs homogeneous {}",
             h.ee,
             ee_homog
         );
-        assert!((h.tp - model::tp(&m, &a, 16)).abs() < 1e-12);
+        assert!((h.tp - model::tp(&m, &a, 16)).abs() < Seconds::new(1e-12));
     }
 
     #[test]

@@ -44,7 +44,7 @@
 //! let mach = MachineParams::system_g(2.8e9);
 //! let ep = EpModel::system_g();
 //! let app = ep.app_params(1_000_000.0, 64);
-//! let ee = model::ee(&mach, &app, 64);
+//! let ee = model::ee(&mach, &app, 64).expect("baseline energy is positive");
 //! assert!(ee > 0.95); // EP is near-ideally iso-energy-efficient
 //! ```
 
@@ -60,9 +60,9 @@ pub mod validate;
 
 pub use apps::{AppModel, CgModel, EpModel, FtModel};
 pub use baselines::{performance_efficiency, power_aware_speedup};
-pub use hetero::{HeteroResult, ProcClass, Split};
 pub use calibrate::{measure_alpha, measure_app_params, measured_machine_params};
-pub use model::{e0, e1, ee, eef, ep, t1, tp};
+pub use hetero::{HeteroResult, ProcClass, Split};
+pub use model::{e0, e1, ee, eef, ep, t1, tp, ModelError};
 pub use params::{AppParams, MachineParams};
 pub use scaling::{best_frequency, ee_surface_pf, ee_surface_pn, iso_ee_workload, Surface};
 pub use validate::{validate_kernel, ValidationPoint, ValidationSummary};

@@ -14,18 +14,55 @@
 //!      + (M·ts + B·tw)·ΔP_NIC                                      (Eq. 15/18)
 //! ```
 //!
-//! and from those `E0`, `EEF` and `EE` (Eqs. 16, 19, 21).
+//! and from those `E0`, `EEF` and `EE` (Eqs. 16, 19, 21). Every term is
+//! assembled through the dimensional algebra of [`simcluster::units`]
+//! (`tally × latency → Seconds`, `Seconds × Watts → Joules`), so a
+//! unit-mixing mistake in a formula is a compile error rather than a wrong
+//! curve.
+
+use std::error::Error;
+use std::fmt;
+
+use simcluster::units::{Joules, Seconds};
 
 use crate::params::{AppParams, MachineParams};
 
+/// A parameter set the ratio model cannot evaluate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ModelError {
+    /// The sequential baseline energy `E1` came out non-positive or
+    /// non-finite, so the ratios `EEF = E0/E1` and `EE = 1/(1+EEF)` are
+    /// undefined (an all-zero workload, or a non-finite parameter).
+    DegenerateBaseline {
+        /// The offending `E1` value.
+        e1: Joules,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DegenerateBaseline { e1 } => write!(
+                f,
+                "sequential baseline energy E1 = {e1} is not positive and finite; \
+                 EEF = E0/E1 is undefined for this parameter set"
+            ),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
 /// Actual sequential execution time `T1 = α·(Wc·tc + Wm·tm + T_IO)`
 /// (Eqs. 5–6).
-pub fn t1(m: &MachineParams, a: &AppParams) -> f64 {
+#[must_use]
+pub fn t1(m: &MachineParams, a: &AppParams) -> Seconds {
     a.alpha * (a.wc * m.tc + a.wm * m.tm + a.t_io)
 }
 
 /// Total network time `M·ts + B·tw` across all processors (Eq. 17).
-pub fn t_net(m: &MachineParams, a: &AppParams) -> f64 {
+#[must_use]
+pub fn t_net(m: &MachineParams, a: &AppParams) -> Seconds {
     a.messages * m.ts + a.bytes * m.tw
 }
 
@@ -35,15 +72,18 @@ pub fn t_net(m: &MachineParams, a: &AppParams) -> f64 {
 /// ```text
 /// Tp = α·((Wc+Woc)·tc + (Wm+Wom)·tm + M·ts + B·tw + T_IO) / p
 /// ```
-pub fn tp(m: &MachineParams, a: &AppParams, p: usize) -> f64 {
+///
+/// # Panics
+/// Panics when `p == 0`.
+#[must_use]
+pub fn tp(m: &MachineParams, a: &AppParams, p: usize) -> Seconds {
     assert!(p > 0, "need at least one processor");
-    a.alpha
-        * ((a.wc + a.woc) * m.tc + (a.wm + a.wom) * m.tm + t_net(m, a) + a.t_io)
-        / p as f64
+    a.alpha * ((a.wc + a.woc) * m.tc + (a.wm + a.wom) * m.tm + t_net(m, a) + a.t_io) / p as f64
 }
 
 /// Sequential energy `E1` (Eq. 13).
-pub fn e1(m: &MachineParams, a: &AppParams) -> f64 {
+#[must_use]
+pub fn e1(m: &MachineParams, a: &AppParams) -> Joules {
     t1(m, a) * m.p_sys_idle
         + a.wc * m.tc * m.delta_pc
         + a.wm * m.tm * m.delta_pm
@@ -52,7 +92,11 @@ pub fn e1(m: &MachineParams, a: &AppParams) -> f64 {
 
 /// Parallel energy `Ep` on `p` processors (Eqs. 14–15 with the network
 /// delta of Eq. 18).
-pub fn ep(m: &MachineParams, a: &AppParams, p: usize) -> f64 {
+///
+/// # Panics
+/// Panics when `p == 0`.
+#[must_use]
+pub fn ep(m: &MachineParams, a: &AppParams, p: usize) -> Joules {
     tp(m, a, p) * p as f64 * m.p_sys_idle
         + (a.wc + a.woc) * m.tc * m.delta_pc
         + (a.wm + a.wom) * m.tm * m.delta_pm
@@ -61,15 +105,29 @@ pub fn ep(m: &MachineParams, a: &AppParams, p: usize) -> f64 {
 }
 
 /// Parallel energy overhead `E0 = Ep − E1` (Eqs. 1, 16).
-pub fn e0(m: &MachineParams, a: &AppParams, p: usize) -> f64 {
+///
+/// # Panics
+/// Panics when `p == 0`.
+#[must_use]
+pub fn e0(m: &MachineParams, a: &AppParams, p: usize) -> Joules {
     ep(m, a, p) - e1(m, a)
 }
 
 /// Energy Efficiency Factor `EEF = E0 / E1` (Eqs. 3, 19).
-pub fn eef(m: &MachineParams, a: &AppParams, p: usize) -> f64 {
+///
+/// # Errors
+/// Returns [`ModelError::DegenerateBaseline`] when `E1` is non-positive or
+/// non-finite — the ratio is undefined there, and a panic would turn a bad
+/// calibration input into an abort deep inside the model.
+///
+/// # Panics
+/// Panics when `p == 0`.
+pub fn eef(m: &MachineParams, a: &AppParams, p: usize) -> Result<f64, ModelError> {
     let base = e1(m, a);
-    assert!(base > 0.0, "sequential energy must be positive");
-    e0(m, a, p) / base
+    if !(base.is_finite() && base > Joules::ZERO) {
+        return Err(ModelError::DegenerateBaseline { e1: base });
+    }
+    Ok(e0(m, a, p) / base)
 }
 
 /// Iso-energy-efficiency `EE = 1 / (1 + EEF)` (Eqs. 2, 4, 21).
@@ -78,8 +136,15 @@ pub fn eef(m: &MachineParams, a: &AppParams, p: usize) -> f64 {
 /// parallel overheads are negative (e.g. strong-scaling cache effects make
 /// `Wom < 0` by more than the communication costs add) — superlinear
 /// energy scaling, the energy analog of superlinear speedup.
-pub fn ee(m: &MachineParams, a: &AppParams, p: usize) -> f64 {
-    1.0 / (1.0 + eef(m, a, p))
+///
+/// # Errors
+/// Returns [`ModelError::DegenerateBaseline`] when the sequential baseline
+/// energy is non-positive or non-finite (see [`eef`]).
+///
+/// # Panics
+/// Panics when `p == 0`.
+pub fn ee(m: &MachineParams, a: &AppParams, p: usize) -> Result<f64, ModelError> {
+    Ok(1.0 / (1.0 + eef(m, a, p)?))
 }
 
 /// The §V.B.5 observation: with an evenly divided workload, rewrite
@@ -90,7 +155,7 @@ pub fn overhead_growth(
     m: &MachineParams,
     app_at: impl Fn(usize) -> AppParams,
     ps: &[usize],
-) -> Vec<(usize, f64)> {
+) -> Vec<(usize, Joules)> {
     ps.iter().map(|&p| (p, e0(m, &app_at(p), p))).collect()
 }
 
@@ -98,9 +163,14 @@ pub fn overhead_growth(
 mod tests {
     use super::*;
     use crate::params::{AppParams, MachineParams};
+    use simcluster::units::{Accesses, Bytes, Instructions, Messages};
 
     fn mach() -> MachineParams {
         MachineParams::system_g(2.8e9)
+    }
+
+    fn ee_ok(m: &MachineParams, a: &AppParams, p: usize) -> f64 {
+        ee(m, a, p).expect("baseline energy is positive")
     }
 
     #[test]
@@ -108,8 +178,8 @@ mod tests {
         let m = mach();
         let a = AppParams::ideal(1e9);
         for p in [1usize, 2, 16, 1024] {
-            assert!((ee(&m, &a, p) - 1.0).abs() < 1e-12, "p={p}");
-            assert!((e0(&m, &a, p)).abs() < 1e-6);
+            assert!((ee_ok(&m, &a, p) - 1.0).abs() < 1e-12, "p={p}");
+            assert!(e0(&m, &a, p).abs() < Joules::new(1e-6));
         }
     }
 
@@ -117,18 +187,18 @@ mod tests {
     fn sequential_case_is_exactly_e1() {
         let m = mach();
         let mut a = AppParams::ideal(1e9);
-        a.wm = 1e7;
-        assert!((ep(&m, &a, 1) - e1(&m, &a)).abs() < 1e-9);
-        assert!((ee(&m, &a, 1) - 1.0).abs() < 1e-12);
+        a.wm = Accesses::new(1e7);
+        assert!((ep(&m, &a, 1) - e1(&m, &a)).abs() < Joules::new(1e-9));
+        assert!((ee_ok(&m, &a, 1) - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn communication_lowers_ee() {
         let m = mach();
         let mut a = AppParams::ideal(1e9);
-        a.messages = 1e5;
-        a.bytes = 1e9;
-        let e = ee(&m, &a, 8);
+        a.messages = Messages::new(1e5);
+        a.bytes = Bytes::new(1e9);
+        let e = ee_ok(&m, &a, 8);
         assert!(e < 1.0, "EE {e}");
         assert!(e > 0.0);
     }
@@ -139,8 +209,8 @@ mod tests {
         let mut prev = f64::INFINITY;
         for k in 0..6 {
             let mut a = AppParams::ideal(1e9);
-            a.woc = 1e7 * (k as f64) * (k as f64);
-            let e = ee(&m, &a, 16);
+            a.woc = Instructions::new(1e7 * f64::from(k) * f64::from(k));
+            let e = ee_ok(&m, &a, 16);
             assert!(e <= prev + 1e-15);
             prev = e;
         }
@@ -151,9 +221,9 @@ mod tests {
         // Superlinear energy scaling from strong-scaling cache effects.
         let m = mach();
         let mut a = AppParams::ideal(1e8);
-        a.wm = 1e8;
-        a.wom = -5e7; // half the off-chip traffic disappears in parallel
-        let e = ee(&m, &a, 8);
+        a.wm = Accesses::new(1e8);
+        a.wom = Accesses::new(-5e7); // half the off-chip traffic disappears
+        let e = ee_ok(&m, &a, 8);
         assert!(e > 1.0, "EE {e}");
     }
 
@@ -161,29 +231,31 @@ mod tests {
     fn t1_matches_eq6() {
         let m = mach();
         let mut a = AppParams::ideal(1e9);
-        a.wm = 1e6;
+        a.wm = Accesses::new(1e6);
         a.alpha = 0.9;
-        let expect = 0.9 * (1e9 * m.tc + 1e6 * m.tm);
-        assert!((t1(&m, &a) - expect).abs() < 1e-12);
+        let expect = 0.9 * (1e9 * m.tc.raw() + 1e6 * m.tm.raw());
+        assert!((t1(&m, &a).raw() - expect).abs() < 1e-12);
     }
 
     #[test]
     fn tp_at_p1_equals_t1_when_no_overheads() {
         let m = mach();
         let mut a = AppParams::ideal(5e8);
-        a.wm = 1e6;
-        assert!((tp(&m, &a, 1) - t1(&m, &a)).abs() < 1e-15);
+        a.wm = Accesses::new(1e6);
+        assert!((tp(&m, &a, 1) - t1(&m, &a)).abs() < Seconds::new(1e-15));
     }
 
     #[test]
     fn e1_matches_eq13_by_hand() {
         let m = mach();
         let mut a = AppParams::ideal(1e9);
-        a.wm = 2e6;
+        a.wm = Accesses::new(2e6);
         a.alpha = 0.85;
-        let t = 0.85 * (1e9 * m.tc + 2e6 * m.tm);
-        let expect = t * m.p_sys_idle + 1e9 * m.tc * m.delta_pc + 2e6 * m.tm * m.delta_pm;
-        assert!((e1(&m, &a) - expect).abs() < 1e-9);
+        let t = 0.85 * (1e9 * m.tc.raw() + 2e6 * m.tm.raw());
+        let expect = t * m.p_sys_idle.raw()
+            + 1e9 * m.tc.raw() * m.delta_pc.raw()
+            + 2e6 * m.tm.raw() * m.delta_pm.raw();
+        assert!((e1(&m, &a).raw() - expect).abs() < 1e-9);
     }
 
     #[test]
@@ -211,7 +283,7 @@ mod tests {
             |p| {
                 let mut a = AppParams::ideal(1e9);
                 // All-to-all startup costs: M = p(p−1).
-                a.messages = (p * (p - 1)) as f64;
+                a.messages = Messages::new((p * (p - 1)) as f64);
                 a
             },
             &[2, 4, 8, 16, 32],
@@ -228,10 +300,30 @@ mod tests {
     fn eef_and_ee_are_consistent() {
         let m = mach();
         let mut a = AppParams::ideal(1e9);
-        a.messages = 1e4;
-        a.bytes = 1e8;
-        let f = eef(&m, &a, 8);
-        let e = ee(&m, &a, 8);
+        a.messages = Messages::new(1e4);
+        a.bytes = Bytes::new(1e8);
+        let f = eef(&m, &a, 8).expect("positive baseline");
+        let e = ee_ok(&m, &a, 8);
         assert!((e - 1.0 / (1.0 + f)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_workload_is_an_error_not_an_abort() {
+        let m = mach();
+        let a = AppParams::ideal(0.0);
+        assert_eq!(
+            eef(&m, &a, 4),
+            Err(ModelError::DegenerateBaseline { e1: Joules::ZERO })
+        );
+        assert!(ee(&m, &a, 4).is_err());
+    }
+
+    #[test]
+    fn non_finite_baseline_is_an_error() {
+        let m = mach();
+        let a = AppParams::ideal(f64::NAN);
+        let err = ee(&m, &a, 4).expect_err("NaN workload must not evaluate");
+        let ModelError::DegenerateBaseline { e1 } = err;
+        assert!(!e1.is_finite());
     }
 }

@@ -11,16 +11,29 @@ use crate::validate::ValidationSummary;
 pub fn machine_table(m: &MachineParams) -> String {
     let mut out = String::new();
     out.push_str("machine-dependent parameters (Table 1)\n");
-    out.push_str(&format!("  f            {:>12.3e}  Hz (gamma = {})\n", m.f_hz, m.gamma));
-    out.push_str(&format!("  tc = CPI/f   {:>12.3e}  s/instr (CPI {:.3})\n", m.tc, m.cpi));
-    out.push_str(&format!("  tm           {:>12.3e}  s/access\n", m.tm));
-    out.push_str(&format!("  ts           {:>12.3e}  s/message\n", m.ts));
-    out.push_str(&format!("  tw           {:>12.3e}  s/byte\n", m.tw));
-    out.push_str(&format!("  P_sys_idle   {:>12.3}  W/processor\n", m.p_sys_idle));
-    out.push_str(&format!("  dPc          {:>12.3}  W\n", m.delta_pc));
-    out.push_str(&format!("  dPm          {:>12.3}  W\n", m.delta_pm));
-    out.push_str(&format!("  dP_nic       {:>12.3}  W\n", m.delta_pnic));
-    out.push_str(&format!("  dP_io        {:>12.3}  W\n", m.delta_pio));
+    out.push_str(&format!(
+        "  f            {:>12.3e}  Hz (gamma = {})\n",
+        m.f_hz, m.gamma
+    ));
+    out.push_str(&format!(
+        "  tc = CPI/f   {:>12.3e}  s/instr (CPI {:.3})\n",
+        m.tc.raw(),
+        m.cpi
+    ));
+    out.push_str(&format!("  tm           {:>12.3e}  s/access\n", m.tm.raw()));
+    out.push_str(&format!(
+        "  ts           {:>12.3e}  s/message\n",
+        m.ts.raw()
+    ));
+    out.push_str(&format!("  tw           {:>12.3e}  s/byte\n", m.tw.raw()));
+    out.push_str(&format!(
+        "  P_sys_idle   {:>12.3}  W/processor\n",
+        m.p_sys_idle.raw()
+    ));
+    out.push_str(&format!("  dPc          {:>12.3}  W\n", m.delta_pc.raw()));
+    out.push_str(&format!("  dPm          {:>12.3}  W\n", m.delta_pm.raw()));
+    out.push_str(&format!("  dP_nic       {:>12.3}  W\n", m.delta_pnic.raw()));
+    out.push_str(&format!("  dP_io        {:>12.3}  W\n", m.delta_pio.raw()));
     out
 }
 
@@ -29,13 +42,28 @@ pub fn app_table(a: &AppParams) -> String {
     let mut out = String::new();
     out.push_str("application-dependent parameters (Table 2)\n");
     out.push_str(&format!("  alpha        {:>12.3}\n", a.alpha));
-    out.push_str(&format!("  Wc           {:>12.3e}  instructions\n", a.wc));
-    out.push_str(&format!("  Wm           {:>12.3e}  off-chip accesses\n", a.wm));
-    out.push_str(&format!("  Woc          {:>+12.3e}  instructions\n", a.woc));
-    out.push_str(&format!("  Wom          {:>+12.3e}  accesses\n", a.wom));
-    out.push_str(&format!("  M            {:>12.3e}  messages\n", a.messages));
-    out.push_str(&format!("  B            {:>12.3e}  bytes\n", a.bytes));
-    out.push_str(&format!("  T_IO         {:>12.3e}  s\n", a.t_io));
+    out.push_str(&format!(
+        "  Wc           {:>12.3e}  instructions\n",
+        a.wc.raw()
+    ));
+    out.push_str(&format!(
+        "  Wm           {:>12.3e}  off-chip accesses\n",
+        a.wm.raw()
+    ));
+    out.push_str(&format!(
+        "  Woc          {:>+12.3e}  instructions\n",
+        a.woc.raw()
+    ));
+    out.push_str(&format!(
+        "  Wom          {:>+12.3e}  accesses\n",
+        a.wom.raw()
+    ));
+    out.push_str(&format!(
+        "  M            {:>12.3e}  messages\n",
+        a.messages.raw()
+    ));
+    out.push_str(&format!("  B            {:>12.3e}  bytes\n", a.bytes.raw()));
+    out.push_str(&format!("  T_IO         {:>12.3e}  s\n", a.t_io.raw()));
     out
 }
 
@@ -47,8 +75,8 @@ pub fn validation_table(s: &ValidationSummary) -> String {
         out.push_str(&format!(
             "  {:<5}  {:>13.2}  {:>13.2}  {:>+7.2}%\n",
             pt.p,
-            pt.predicted_j,
-            pt.measured_j,
+            pt.predicted_j.raw(),
+            pt.measured_j.raw(),
             pt.error_pct()
         ));
     }
@@ -109,7 +137,11 @@ mod tests {
     fn validation_table_includes_statistics() {
         let s = ValidationSummary {
             name: "FT".into(),
-            points: vec![ValidationPoint { p: 4, predicted_j: 95.0, measured_j: 100.0 }],
+            points: vec![ValidationPoint {
+                p: 4,
+                predicted_j: simcluster::units::Joules::new(95.0),
+                measured_j: simcluster::units::Joules::new(100.0),
+            }],
         };
         let t = validation_table(&s);
         assert!(t.contains("FT"));

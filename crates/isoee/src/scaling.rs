@@ -8,7 +8,14 @@
 
 use crate::apps::AppModel;
 use crate::model;
-use crate::params::MachineParams;
+use crate::params::{AppParams, MachineParams};
+
+/// `EE` as a plain value; the surfaces and sweeps below only evaluate
+/// physically sensible parameter points, where the baseline energy is
+/// strictly positive.
+fn ee_value(mach: &MachineParams, a: &AppParams, p: usize) -> f64 {
+    model::ee(mach, a, p).expect("surface point has a positive baseline energy")
+}
 
 /// A rectangular sweep of `EE` values: `values[i][j]` is `EE` at
 /// `ys[i]` × `xs[j]`.
@@ -63,7 +70,7 @@ pub fn ee_surface_pf(
         .map(|&f| {
             let mach = base.at_frequency(f);
             ps.iter()
-                .map(|&p| model::ee(&mach, &app.app_params(n, p), p))
+                .map(|&p| ee_value(&mach, &app.app_params(n, p), p))
                 .collect()
         })
         .collect();
@@ -85,7 +92,7 @@ pub fn ee_surface_pn(
         .iter()
         .map(|&n| {
             ps.iter()
-                .map(|&p| model::ee(&mach.at_frequency(mach.f_hz), &app.app_params(n, p), p))
+                .map(|&p| ee_value(&mach.at_frequency(mach.f_hz), &app.app_params(n, p), p))
                 .collect()
         })
         .collect();
@@ -111,7 +118,7 @@ pub fn iso_ee_workload(
 ) -> Option<f64> {
     assert!(n_lo > 1.0 && n_hi > n_lo, "invalid bracket");
     assert!(target > 0.0 && target < 1.0, "target EE must be in (0,1)");
-    let ee_at = |n: f64| model::ee(mach, &app.app_params(n, p), p);
+    let ee_at = |n: f64| ee_value(mach, &app.app_params(n, p), p);
     if ee_at(n_hi) < target {
         return None;
     }
@@ -146,7 +153,7 @@ pub fn best_frequency(
     let a = app.app_params(n, p);
     freqs
         .iter()
-        .map(|&f| (f, model::ee(&base.at_frequency(f), &a, p)))
+        .map(|&f| (f, ee_value(&base.at_frequency(f), &a, p)))
         .max_by(|x, y| x.1.partial_cmp(&y.1).expect("finite EE"))
         .expect("non-empty")
 }
@@ -180,8 +187,8 @@ mod tests {
         // Nearly flat along f at every p.
         for j in 0..ps.len() {
             let col: Vec<f64> = (0..DVFS.len()).map(|i| s.at(i, j)).collect();
-            let spread = col.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-                - col.iter().cloned().fold(f64::INFINITY, f64::min);
+            let spread = col.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+                - col.iter().copied().fold(f64::INFINITY, f64::min);
             assert!(spread < 0.15, "EE_FT spread over f too large: {col:?}");
         }
     }
@@ -190,7 +197,11 @@ mod tests {
     fn ep_surface_is_flat_near_one() {
         let ep = EpModel::system_g();
         let s = ee_surface_pf(&ep, &mach(), 4e6, &[1, 8, 64, 128], &DVFS);
-        assert!(s.min() > 0.97, "Fig. 7: EE_EP ≈ 1 everywhere, min {}", s.min());
+        assert!(
+            s.min() > 0.97,
+            "Fig. 7: EE_EP ≈ 1 everywhere, min {}",
+            s.min()
+        );
         assert!(s.max() <= 1.0 + 1e-12);
     }
 
@@ -199,11 +210,10 @@ mod tests {
         let cg = CgModel::system_g();
         let ps = [4usize, 16, 64];
         let s = ee_surface_pf(&cg, &mach(), 75_000.0, &ps, &DVFS);
-        for j in 0..ps.len() {
+        for (j, &p) in ps.iter().enumerate() {
             assert!(
                 s.at(DVFS.len() - 1, j) > s.at(0, j),
-                "Fig. 9: EE_CG must rise with f at p={}",
-                ps[j]
+                "Fig. 9: EE_CG must rise with f at p={p}",
             );
         }
     }
@@ -231,8 +241,7 @@ mod tests {
         let m = mach();
         let mut prev = 0.0;
         for p in [32usize, 128, 512] {
-            let n = iso_ee_workload(&ft, &m, p, 0.7, 1e3, 1e12)
-                .expect("target reachable");
+            let n = iso_ee_workload(&ft, &m, p, 0.7, 1e3, 1e12).expect("target reachable");
             assert!(n > prev, "n({p}) = {n} must grow");
             prev = n;
         }
@@ -261,10 +270,10 @@ mod tests {
         let m = mach();
         let target = 0.95;
         let n = iso_ee_workload(&cg, &m, 64, target, 1e3, 1e9).expect("reachable");
-        let ee = model::ee(&m, &cg.app_params(n, 64), 64);
+        let ee = ee_value(&m, &cg.app_params(n, 64), 64);
         assert!(ee >= target - 1e-6, "EE({n}) = {ee} < {target}");
         // And just below n the target fails (minimality up to tolerance).
-        let ee_below = model::ee(&m, &cg.app_params(n * 0.98, 64), 64);
+        let ee_below = ee_value(&m, &cg.app_params(n * 0.98, 64), 64);
         assert!(ee_below <= target + 1e-3);
     }
 }

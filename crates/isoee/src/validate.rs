@@ -11,6 +11,7 @@
 //! model").
 
 use mps::{Ctx, World};
+use simcluster::units::Joules;
 
 use crate::calibrate::{app_params_from, measure_run, RunMeasurement};
 use crate::model;
@@ -22,9 +23,9 @@ pub struct ValidationPoint {
     /// Parallelism level.
     pub p: usize,
     /// Model-predicted total energy (Eq. 13 for p = 1, Eq. 15 otherwise).
-    pub predicted_j: f64,
+    pub predicted_j: Joules,
     /// PowerPack-measured total energy of the same run.
-    pub measured_j: f64,
+    pub measured_j: Joules,
 }
 
 impl ValidationPoint {
@@ -50,7 +51,10 @@ impl ValidationSummary {
         if self.points.is_empty() {
             return 0.0;
         }
-        self.points.iter().map(|pt| pt.error_pct().abs()).sum::<f64>()
+        self.points
+            .iter()
+            .map(|pt| pt.error_pct().abs())
+            .sum::<f64>()
             / self.points.len() as f64
     }
 
@@ -83,7 +87,10 @@ where
         .iter()
         .map(|&p| validate_point(world, mach, &seq, p, &kernel))
         .collect();
-    ValidationSummary { name: name.to_string(), points }
+    ValidationSummary {
+        name: name.to_string(),
+        points,
+    }
 }
 
 fn validate_point<R, F>(
@@ -97,7 +104,11 @@ where
     R: Send,
     F: Fn(&mut Ctx) -> R + Sync,
 {
-    let par = if p == 1 { *seq } else { measure_run(world, p, kernel) };
+    let par = if p == 1 {
+        *seq
+    } else {
+        measure_run(world, p, kernel)
+    };
     let app = app_params_from(seq, &par);
     ValidationPoint {
         p,
@@ -157,7 +168,11 @@ mod tests {
 
     #[test]
     fn error_pct_is_signed() {
-        let pt = ValidationPoint { p: 2, predicted_j: 90.0, measured_j: 100.0 };
+        let pt = ValidationPoint {
+            p: 2,
+            predicted_j: Joules::new(90.0),
+            measured_j: Joules::new(100.0),
+        };
         assert!((pt.error_pct() + 10.0).abs() < 1e-12);
     }
 
@@ -166,8 +181,16 @@ mod tests {
         let s = ValidationSummary {
             name: "x".into(),
             points: vec![
-                ValidationPoint { p: 1, predicted_j: 95.0, measured_j: 100.0 },
-                ValidationPoint { p: 2, predicted_j: 103.0, measured_j: 100.0 },
+                ValidationPoint {
+                    p: 1,
+                    predicted_j: Joules::new(95.0),
+                    measured_j: Joules::new(100.0),
+                },
+                ValidationPoint {
+                    p: 2,
+                    predicted_j: Joules::new(103.0),
+                    measured_j: Joules::new(100.0),
+                },
             ],
         };
         assert!((s.mean_abs_error_pct() - 4.0).abs() < 1e-12);

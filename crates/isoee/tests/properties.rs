@@ -5,31 +5,31 @@ use isoee::apps::{AppModel, CgModel, EpModel, FtModel};
 use isoee::scaling::iso_ee_workload;
 use isoee::{model, AppParams, MachineParams};
 use proptest::prelude::*;
+use simcluster::units::{Accesses, Bytes, Instructions, Joules, Messages, Seconds, Watts};
 
 fn arb_app() -> impl Strategy<Value = AppParams> {
     (
-        0.5f64..=1.0,          // alpha
-        1e6f64..1e12,          // wc
-        0.0f64..1e10,          // wm
-        0.0f64..1e10,          // woc
-        -0.5f64..1.0,          // wom as a fraction of wm
-        0.0f64..1e7,           // messages
-        0.0f64..1e11,          // bytes
+        0.5f64..=1.0, // alpha
+        1e6f64..1e12, // wc
+        0.0f64..1e10, // wm
+        0.0f64..1e10, // woc
+        -0.5f64..1.0, // wom as a fraction of wm
+        0.0f64..1e7,  // messages
+        0.0f64..1e11, // bytes
     )
-        .prop_map(|(alpha, wc, wm, woc, wom_frac, messages, bytes)| AppParams {
-            alpha,
-            wc,
-            wm,
-            woc,
-            wom: wom_frac * wm,
-            messages,
-            bytes,
-            t_io: 0.0,
+        .prop_map(|(alpha, wc, wm, woc, wom_frac, messages, bytes)| {
+            AppParams::from_raw(alpha, wc, wm, woc, wom_frac * wm, messages, bytes, 0.0)
         })
 }
 
 fn mach() -> MachineParams {
     MachineParams::system_g(2.8e9)
+}
+
+/// `EE` as a plain value; every random vector drawn here has `Wc > 0`, so
+/// the baseline energy is strictly positive and the model cannot error.
+fn ee(m: &MachineParams, a: &AppParams, p: usize) -> f64 {
+    model::ee(m, a, p).expect("baseline energy is positive")
 }
 
 proptest! {
@@ -40,14 +40,15 @@ proptest! {
         let m = mach();
         let e1 = model::e1(&m, &a);
         let ep = model::ep(&m, &a, p);
-        prop_assert!(e1 > 0.0);
-        prop_assert!(ep > 0.0);
+        prop_assert!(e1 > Joules::ZERO);
+        prop_assert!(ep > Joules::ZERO);
         // Definitional identities (Eqs. 1, 19, 21).
         let e0 = model::e0(&m, &a, p);
-        prop_assert!((e0 - (ep - e1)).abs() <= 1e-9 * ep.abs().max(1.0));
-        let eef = model::eef(&m, &a, p);
+        let tol = Joules::new(1e-9 * ep.raw().abs().max(1.0));
+        prop_assert!((e0 - (ep - e1)).abs() <= tol);
+        let eef = model::eef(&m, &a, p).expect("baseline energy is positive");
         prop_assert!((eef - e0 / e1).abs() <= 1e-12 * eef.abs().max(1.0));
-        let ee = model::ee(&m, &a, p);
+        let ee = ee(&m, &a, p);
         prop_assert!((ee - 1.0 / (1.0 + eef)).abs() <= 1e-12);
     }
 
@@ -59,24 +60,21 @@ proptest! {
         p in 1usize..2048,
     ) {
         let m = mach();
-        let a = AppParams {
-            alpha, wc, wm,
-            woc: 0.0, wom: 0.0, messages: 0.0, bytes: 0.0, t_io: 0.0,
-        };
-        prop_assert!((model::ee(&m, &a, p) - 1.0).abs() < 1e-9);
+        let a = AppParams::from_raw(alpha, wc, wm, 0.0, 0.0, 0.0, 0.0, 0.0);
+        prop_assert!((ee(&m, &a, p) - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn ee_monotone_decreasing_in_each_overhead(a in arb_app(), p in 2usize..1024) {
         let m = mach();
-        let base = model::ee(&m, &a, p);
+        let base = ee(&m, &a, p);
         for bump in [
-            AppParams { woc: a.woc + 1e9, ..a },
-            AppParams { wom: a.wom + 1e8, ..a },
-            AppParams { messages: a.messages + 1e5, ..a },
-            AppParams { bytes: a.bytes + 1e10, ..a },
+            AppParams { woc: a.woc + Instructions::new(1e9), ..a },
+            AppParams { wom: a.wom + Accesses::new(1e8), ..a },
+            AppParams { messages: a.messages + Messages::new(1e5), ..a },
+            AppParams { bytes: a.bytes + Bytes::new(1e10), ..a },
         ] {
-            let e = model::ee(&m, &bump, p);
+            let e = ee(&m, &bump, p);
             prop_assert!(e <= base + 1e-12, "overhead bump raised EE: {e} > {base}");
         }
     }
@@ -95,11 +93,11 @@ proptest! {
         let m = mach();
         let there = m.at_frequency(fs[f_pick]);
         let back = there.at_frequency(2.8e9);
-        prop_assert!((back.tc - m.tc).abs() < 1e-20);
-        prop_assert!((back.delta_pc - m.delta_pc).abs() < 1e-9);
+        prop_assert!((back.tc - m.tc).abs() < Seconds::new(1e-20));
+        prop_assert!((back.delta_pc - m.delta_pc).abs() < Watts::new(1e-9));
         // EE computed after a frequency round trip is unchanged.
-        let e0 = model::ee(&m, &a, p);
-        let e1 = model::ee(&back, &a, p);
+        let e0 = ee(&m, &a, p);
+        let e1 = ee(&back, &a, p);
         prop_assert!((e0 - e1).abs() < 1e-9);
     }
 
@@ -116,10 +114,10 @@ proptest! {
             CgModel::system_g().app_params(n_cg, p),
         ] {
             a.validate(); // panics on violation
-            prop_assert!(a.wc > 0.0);
-            prop_assert!(a.wm + a.wom >= 0.0);
-            let ee = model::ee(&mach(), &a, p);
-            prop_assert!(ee.is_finite() && ee > 0.0 && ee < 1.5, "EE {ee}");
+            prop_assert!(a.wc > Instructions::ZERO);
+            prop_assert!(a.wm + a.wom >= Accesses::ZERO);
+            let e = ee(&mach(), &a, p);
+            prop_assert!(e.is_finite() && e > 0.0 && e < 1.5, "EE {e}");
         }
     }
 
@@ -134,14 +132,14 @@ proptest! {
         let n_hi = n_lo * 4.0;
         let ft = FtModel::system_g();
         prop_assert!(
-            model::ee(&m, &ft.app_params(n_hi, p), p)
-                >= model::ee(&m, &ft.app_params(n_lo, p), p) - 1e-9
+            ee(&m, &ft.app_params(n_hi, p), p)
+                >= ee(&m, &ft.app_params(n_lo, p), p) - 1e-9
         );
         let cg = CgModel::system_g();
         let n_cg_lo = (n_lo / 100.0).max(2e3);
         prop_assert!(
-            model::ee(&m, &cg.app_params(n_cg_lo * 4.0, p), p)
-                >= model::ee(&m, &cg.app_params(n_cg_lo, p), p) - 1e-9
+            ee(&m, &cg.app_params(n_cg_lo * 4.0, p), p)
+                >= ee(&m, &cg.app_params(n_cg_lo, p), p) - 1e-9
         );
     }
 }
@@ -159,8 +157,8 @@ proptest! {
         let m = mach();
         let ft = FtModel::system_g();
         if let Some(n) = iso_ee_workload(&ft, &m, p, target, 1e3, 1e13) {
-            let ee = model::ee(&m, &ft.app_params(n, p), p);
-            prop_assert!(ee >= target - 1e-6, "EE({n}) = {ee} < {target}");
+            let e = ee(&m, &ft.app_params(n, p), p);
+            prop_assert!(e >= target - 1e-6, "EE({n}) = {e} < {target}");
         }
     }
 }

@@ -35,8 +35,16 @@ pub fn fit_line(points: &[(f64, f64)]) -> LineFit {
             e * e
         })
         .sum();
-    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
-    LineFit { intercept, slope, r_squared }
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
+    LineFit {
+        intercept,
+        slope,
+        r_squared,
+    }
 }
 
 #[cfg(test)]
@@ -45,7 +53,9 @@ mod tests {
 
     #[test]
     fn exact_line_recovers_parameters() {
-        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let pts: Vec<(f64, f64)> = (0..10)
+            .map(|i| (f64::from(i), 3.0 + 2.0 * f64::from(i)))
+            .collect();
         let f = fit_line(&pts);
         assert!((f.intercept - 3.0).abs() < 1e-12);
         assert!((f.slope - 2.0).abs() < 1e-12);

@@ -21,7 +21,10 @@ pub struct MemLatencyPoint {
 /// Sweep working sets from `min_bytes` to `max_bytes` (doubling each step)
 /// and measure the per-access latency at each size.
 pub fn lat_mem_rd(world: &World, min_bytes: u64, max_bytes: u64) -> Vec<MemLatencyPoint> {
-    assert!(min_bytes > 0 && max_bytes >= min_bytes, "invalid sweep range");
+    assert!(
+        min_bytes > 0 && max_bytes >= min_bytes,
+        "invalid sweep range"
+    );
     let w = world.clone().with_alpha(1.0);
     let accesses = 1e6;
     let mut out = Vec::new();
@@ -39,10 +42,7 @@ pub fn lat_mem_rd(world: &World, min_bytes: u64, max_bytes: u64) -> Vec<MemLaten
 
 /// The `tm` plateau: the latency at the largest measured working set.
 pub fn tm_from_sweep(sweep: &[MemLatencyPoint]) -> f64 {
-    sweep
-        .last()
-        .expect("sweep must not be empty")
-        .latency_s
+    sweep.last().expect("sweep must not be empty").latency_s
 }
 
 #[cfg(test)]
@@ -71,7 +71,10 @@ mod tests {
         let s = sweep();
         let l1 = s[0].latency_s;
         let dram = s.last().unwrap().latency_s;
-        assert!(dram / l1 > 10.0, "cache/DRAM contrast too small: {l1} vs {dram}");
+        assert!(
+            dram / l1 > 10.0,
+            "cache/DRAM contrast too small: {l1} vs {dram}"
+        );
     }
 
     #[test]
@@ -79,11 +82,7 @@ mod tests {
         let w = World::new(system_g(), 2.8e9);
         let s = lat_mem_rd(&w, 1 << 10, 1 << 28);
         let tm = tm_from_sweep(&s);
-        let expect = w
-            .cluster
-            .node
-            .memory
-            .latency_for_working_set(1 << 28);
+        let expect = w.cluster.node.memory.latency_for_working_set(1 << 28);
         assert!(
             (tm - expect).abs() / expect < 1e-9,
             "measured {tm} vs configured {expect}"

@@ -48,8 +48,17 @@ pub fn mpptest(world: &World, sizes: &[u64], reps: usize) -> HockneyFit {
         let one_way = report.ranks[0].finish_s / (2.0 * reps as f64);
         points.push((bytes as f64, one_way));
     }
-    let LineFit { intercept, slope, r_squared } = fit_line(&points);
-    HockneyFit { ts: intercept, tw: slope, r_squared, points }
+    let LineFit {
+        intercept,
+        slope,
+        r_squared,
+    } = fit_line(&points);
+    HockneyFit {
+        ts: intercept,
+        tw: slope,
+        r_squared,
+        points,
+    }
 }
 
 /// The standard MPPTest sweep: 0.5 KiB to 512 KiB.

@@ -30,7 +30,12 @@ pub fn perfmon_cpi(world: &World, instructions: f64) -> CpiMeasurement {
     let w = world.clone().with_alpha(1.0);
     let report = run(&w, 1, |ctx| ctx.compute(instructions));
     let tc = report.span() / instructions;
-    CpiMeasurement { tc_s: tc, cpi: tc * w.f_hz, f_hz: w.f_hz, instructions }
+    CpiMeasurement {
+        tc_s: tc,
+        cpi: tc * w.f_hz,
+        f_hz: w.f_hz,
+        instructions,
+    }
 }
 
 #[cfg(test)]

@@ -8,17 +8,18 @@
 //! the whole power-accounting chain.
 
 use mps::{run, World};
+use simcluster::units::{Seconds, Watts};
 use simcluster::EnergyMeter;
 
 /// Measured component power deltas and the idle baseline.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerDeltas {
-    /// CPU active delta at the measured frequency, watts.
-    pub delta_cpu_w: f64,
-    /// Memory active delta, watts.
-    pub delta_mem_w: f64,
-    /// Per-core system idle power, watts.
-    pub idle_w: f64,
+    /// CPU active delta at the measured frequency.
+    pub delta_cpu_w: Watts,
+    /// Memory active delta.
+    pub delta_mem_w: Watts,
+    /// Per-core system idle power.
+    pub idle_w: Watts,
     /// Frequency of the measurement, Hz.
     pub f_hz: f64,
 }
@@ -39,7 +40,8 @@ pub fn power_deltas(world: &World) -> PowerDeltas {
     let span = rep.span();
     let e = rep.energy(&w);
     let busy = rep.ranks[0].log.work_time(SegmentKind::Compute);
-    let delta_cpu = (e.cpu_j - w.cluster.node.cpu.idle_w * span) / busy;
+    let delta_cpu =
+        (e.cpu_j - Watts::new(w.cluster.node.cpu.idle_w) * Seconds::new(span)) / Seconds::new(busy);
 
     // Memory kernel: a DRAM-resident working set (the cache-hit share lands
     // on the CPU channel and does not pollute the memory channel).
@@ -47,10 +49,17 @@ pub fn power_deltas(world: &World) -> PowerDeltas {
     let span = rep.span();
     let e = rep.energy(&w);
     let busy = rep.ranks[0].log.work_time(SegmentKind::Memory);
-    let delta_mem = (e.memory_j - w.cluster.node.memory.power.idle_w * span) / busy;
+    let delta_mem = (e.memory_j
+        - Watts::new(w.cluster.node.memory.power.idle_w) * Seconds::new(span))
+        / Seconds::new(busy);
 
     let _ = meter;
-    PowerDeltas { delta_cpu_w: delta_cpu, delta_mem_w: delta_mem, idle_w: idle, f_hz: w.f_hz }
+    PowerDeltas {
+        delta_cpu_w: delta_cpu,
+        delta_mem_w: delta_mem,
+        idle_w: idle,
+        f_hz: w.f_hz,
+    }
 }
 
 #[cfg(test)]
@@ -85,9 +94,12 @@ mod tests {
         let lo = power_deltas(&World::new(system_g(), 1.6e9));
         // γ = 2 on SystemG: ΔPc(1.6) / ΔPc(2.8) = (1.6/2.8)².
         let ratio = lo.delta_cpu_w / hi.delta_cpu_w;
-        assert!((ratio - (1.6f64 / 2.8).powi(2)).abs() < 1e-6, "ratio {ratio}");
+        assert!(
+            (ratio - (1.6f64 / 2.8).powi(2)).abs() < 1e-6,
+            "ratio {ratio}"
+        );
         // Memory delta is frequency-independent.
-        assert!((lo.delta_mem_w - hi.delta_mem_w).abs() < 1e-9);
+        assert!((lo.delta_mem_w - hi.delta_mem_w).abs() < Watts::new(1e-9));
     }
 
     #[test]

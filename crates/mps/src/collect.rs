@@ -229,7 +229,9 @@ impl<'w> Ctx<'w> {
                 out[incoming_owner] = Some(recvd);
             }
         }
-        out.into_iter().map(|c| c.expect("all chunks gathered")).collect()
+        out.into_iter()
+            .map(|c| c.expect("all chunks gathered"))
+            .collect()
     }
 
     /// Pairwise-exchange all-to-all: `chunks[d]` goes to rank `d`; returns
@@ -266,7 +268,9 @@ impl<'w> Ctx<'w> {
                 }
             }
         }
-        out.into_iter().map(|c| c.expect("all chunks exchanged")).collect()
+        out.into_iter()
+            .map(|c| c.expect("all chunks exchanged"))
+            .collect()
     }
 
     /// Gather `mine` to `root` (via the ring allgather for simplicity of

@@ -1,14 +1,23 @@
 //! Per-rank execution context: work charging and point-to-point messaging.
 
 use std::collections::VecDeque;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Duration;
 
-use crossbeam::channel::{Receiver, Sender};
 use netsim::Hockney;
+use simcluster::units::Seconds;
 use simcluster::{Segment, SegmentKind, SegmentLog, VirtualClock};
 
 use crate::envelope::{Envelope, INTERNAL_TAG_BASE};
+use crate::registry::{Registry, Verdict, WaitTarget};
+use crate::runtime::RankAbort;
 use crate::stats::Counters;
+use crate::trace::{CommEvent, CommLog, CommOp};
 use crate::world::World;
+
+/// How often a blocked receive re-checks the wait-for graph.
+const DEADLOCK_POLL: Duration = Duration::from_millis(10);
 
 /// The handle a rank's program uses to charge work and communicate.
 ///
@@ -26,6 +35,11 @@ pub struct Ctx<'w> {
     pub(crate) coll_seq: u64,
     pub(crate) markers: Vec<(String, f64)>,
     pub(crate) hockney: Hockney,
+    pub(crate) registry: Arc<Registry>,
+    pub(crate) comm: CommLog,
+    pub(crate) vclock: Vec<u64>,
+    /// Last stable deadlock observation `(verdict, chain progress)`.
+    pub(crate) last_probe: Option<(Verdict, Vec<u64>)>,
 }
 
 impl<'w> Ctx<'w> {
@@ -41,7 +55,7 @@ impl<'w> Ctx<'w> {
 
     /// Current virtual time in seconds.
     pub fn now(&self) -> f64 {
-        self.clock.now()
+        self.clock.now().raw()
     }
 
     /// The world this rank runs in.
@@ -108,15 +122,18 @@ impl<'w> Ctx<'w> {
         let dram_accesses = accesses * prof.dram_fraction;
         if dram_accesses > 0.0 {
             self.counters.wm += dram_accesses;
-            self.charge(SegmentKind::Memory, dram_accesses * node.memory.dram_latency_s);
+            self.charge(
+                SegmentKind::Memory,
+                Seconds::new(dram_accesses * node.memory.dram_latency_s),
+            );
         }
 
         // On-chip share: compute time, slowed by DVFS like the core.
         let f_scale = node.cpu.dvfs.nominal() / self.world.f_hz;
         let on_chip_s = accesses * prof.on_chip_s_per_access * f_scale;
         if on_chip_s > 0.0 {
-            self.counters.wc += on_chip_s / self.world.tc();
-            self.charge(SegmentKind::Compute, on_chip_s);
+            self.counters.wc += on_chip_s / self.world.tc().raw();
+            self.charge(SegmentKind::Compute, Seconds::new(on_chip_s));
         }
     }
 
@@ -144,37 +161,37 @@ impl<'w> Ctx<'w> {
             return;
         }
         self.counters.io_s += seconds;
-        self.charge(SegmentKind::Io, seconds);
+        self.charge(SegmentKind::Io, Seconds::new(seconds));
     }
 
     /// Record a named phase marker at the current virtual time (consumed by
     /// the PowerPack analog for per-phase energy breakdowns).
     pub fn phase(&mut self, name: &str) {
-        self.markers.push((name.to_string(), self.clock.now()));
+        self.markers.push((name.to_string(), self.now()));
     }
 
-    /// Push a device-busy segment of `work_s` seconds, advancing the wall
-    /// clock by `α · work_s`.
-    fn charge(&mut self, kind: SegmentKind, work_s: f64) {
-        let wall = self.world.alpha * work_s;
+    /// Push a device-busy segment of `work` seconds, advancing the wall
+    /// clock by `α · work`.
+    fn charge(&mut self, kind: SegmentKind, work: Seconds) {
+        let wall = self.world.alpha * work;
         self.log.push(Segment {
             kind,
-            start_s: self.clock.now(),
-            wall_s: wall,
-            work_s,
+            start_s: self.now(),
+            wall_s: wall.raw(),
+            work_s: work.raw(),
         });
         self.clock.advance(wall);
     }
 
     /// Push a wait (idle) segment of `dur` wall seconds.
-    fn log_wait(&mut self, dur: f64) {
-        if dur <= 0.0 {
+    fn log_wait(&mut self, dur: Seconds) {
+        if dur <= Seconds::ZERO {
             return;
         }
         self.log.push(Segment {
             kind: SegmentKind::Wait,
-            start_s: self.clock.now() - dur, // clock already advanced by caller
-            wall_s: dur,
+            start_s: self.now() - dur.raw(), // clock already advanced by caller
+            wall_s: dur.raw(),
             work_s: 0.0,
         });
     }
@@ -203,7 +220,9 @@ impl<'w> Ctx<'w> {
     /// time is in its future.
     ///
     /// # Panics
-    /// Panics if the payload's element type does not match `T`.
+    /// Panics if the payload's element type does not match `T`, or if the
+    /// run deadlocks ([`crate::try_run`] turns that panic into a
+    /// [`crate::RunError::Deadlock`] instead).
     pub fn recv<T: Send + 'static>(&mut self, from: usize, tag: u64) -> Vec<T> {
         assert!(tag < INTERNAL_TAG_BASE, "user tags must be < 2^32");
         self.recv_raw(from, tag)
@@ -243,54 +262,145 @@ impl<'w> Ctx<'w> {
         assert!(to != self.rank, "self-sends are not allowed (rank {to})");
         let bytes = (std::mem::size_of::<T>() * data.len()) as u64;
         let h = self.world.contention.effective(&self.hockney, concurrency);
-        let t_net = h.p2p(bytes);
+        let t_net = Seconds::new(h.p2p(bytes));
         let start = self.clock.now();
         self.counters.messages += 1.0;
         self.counters.bytes += bytes as f64;
         self.charge(SegmentKind::Network, t_net);
-        let env = Envelope {
+        self.vclock[self.rank] += 1;
+        self.comm.events.push(CommEvent {
+            op: CommOp::Send { to },
             tag,
-            arrival_s: start + t_net, // full link time, not overlap-squeezed
             bytes,
+            time_s: self.now(),
+            vc: self.vclock.clone(),
+        });
+        let env = Envelope {
+            src: self.rank,
+            tag,
+            arrival_s: (start + t_net).raw(), // full link time, not overlap-squeezed
+            bytes,
+            vc: self.vclock.clone(),
             payload: Box::new(data),
         };
-        self.senders[to]
-            .send(env)
-            .expect("receiver rank hung up — did a rank panic?");
+        if self.senders[to].send(env).is_err() {
+            self.abort_if_dead();
+            panic!("receiver rank {to} hung up — did a rank panic?");
+        }
     }
 
     pub(crate) fn recv_raw<T: Send + 'static>(&mut self, from: usize, tag: u64) -> Vec<T> {
         assert!(from < self.size, "recv from rank {from} of {}", self.size);
         assert!(from != self.rank, "self-receives are not allowed");
         let env = self.take_envelope(from, tag);
-        let waited = self.clock.advance_to(env.arrival_s);
+        let waited = self.clock.advance_to(Seconds::new(env.arrival_s));
         self.log_wait(waited);
-        *env
-            .payload
-            .downcast::<Vec<T>>()
-            .unwrap_or_else(|_| {
-                panic!(
-                    "rank {}: type mismatch receiving tag {tag} from rank {from} \
+        for (mine, theirs) in self.vclock.iter_mut().zip(&env.vc) {
+            *mine = (*mine).max(*theirs);
+        }
+        self.vclock[self.rank] += 1;
+        self.comm.events.push(CommEvent {
+            op: CommOp::Recv { from },
+            tag,
+            bytes: env.bytes,
+            time_s: self.now(),
+            vc: self.vclock.clone(),
+        });
+        *env.payload.downcast::<Vec<T>>().unwrap_or_else(|_| {
+            panic!(
+                "rank {}: type mismatch receiving tag {tag} from rank {from} \
                      ({} bytes)",
-                    self.rank, env.bytes
-                )
-            })
+                self.rank, env.bytes
+            )
+        })
     }
 
     /// Pull the first envelope from `from` matching `tag`, buffering any
-    /// earlier non-matching messages.
+    /// earlier non-matching messages. While the matching message has not
+    /// arrived, the rank registers as blocked and participates in
+    /// deadlock detection.
     fn take_envelope(&mut self, from: usize, tag: u64) -> Envelope {
         if let Some(pos) = self.pending[from].iter().position(|e| e.tag == tag) {
             return self.pending[from].remove(pos).expect("position exists");
         }
+        self.registry
+            .set_blocked(self.rank, WaitTarget { on: from, tag });
+        self.last_probe = None;
         loop {
-            let env = self.receivers[from]
-                .recv()
-                .expect("sender rank hung up — did a rank panic?");
-            if env.tag == tag {
-                return env;
+            self.abort_if_dead();
+            match self.receivers[from].recv_timeout(DEADLOCK_POLL) {
+                Ok(env) => {
+                    self.registry.bump_progress(self.rank);
+                    self.last_probe = None;
+                    if env.tag == tag {
+                        self.registry.clear_blocked(self.rank);
+                        return env;
+                    }
+                    self.pending[from].push_back(env);
+                }
+                Err(RecvTimeoutError::Timeout) => self.deadlock_check(),
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.abort_if_dead();
+                    // If the awaited sender *finished cleanly*, the message
+                    // can never arrive: that is a communication bug (e.g. a
+                    // mismatched tag), not a crash. Declare the run dead
+                    // with the stuck chain so `try_run` reports it.
+                    if let Some((verdict, _)) = self.registry.probe(self.rank) {
+                        self.registry.declare_dead(verdict);
+                        self.abort_if_dead();
+                    }
+                    panic!(
+                        "rank {}: sender rank {from} hung up — did a rank panic?",
+                        self.rank
+                    );
+                }
             }
-            self.pending[from].push_back(env);
+        }
+    }
+
+    /// One deadlock-detection poll: walk the wait-for graph and declare the
+    /// run dead when the same terminal chain is observed twice in a row
+    /// with no progress on any chain member.
+    fn deadlock_check(&mut self) {
+        let Some((verdict, progress)) = self.registry.probe(self.rank) else {
+            self.last_probe = None;
+            return;
+        };
+        if let Some((prev_verdict, prev_progress)) = &self.last_probe {
+            if *prev_verdict == verdict && *prev_progress == progress {
+                self.registry.declare_dead(verdict.clone());
+                self.abort_if_dead();
+            }
+        }
+        self.last_probe = Some((verdict, progress));
+    }
+
+    /// Unwind this rank with its partial trace if the run has been declared
+    /// dead. The payload is caught by [`crate::try_run`].
+    fn abort_if_dead(&mut self) {
+        if self.registry.is_dead() {
+            self.registry.clear_blocked(self.rank);
+            // Fold buffered-but-unmatched messages into the partial trace:
+            // the analyzer infers tag mismatches from them.
+            self.drain_unconsumed();
+            let comm = std::mem::take(&mut self.comm);
+            std::panic::panic_any(RankAbort { comm });
+        }
+    }
+
+    /// Drain everything still sitting in this rank's inbox into the trace's
+    /// `unconsumed` list (called by the runtime after the program returns).
+    pub(crate) fn drain_unconsumed(&mut self) {
+        for from in 0..self.size {
+            if from == self.rank {
+                continue;
+            }
+            while let Some(env) = self.pending[from].pop_front() {
+                self.comm.unconsumed.push((env.src, env.tag, env.bytes));
+            }
+            while let Ok(env) = self.receivers[from].try_recv() {
+                self.comm.unconsumed.push((env.src, env.tag, env.bytes));
+            }
         }
     }
 

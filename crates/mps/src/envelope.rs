@@ -8,6 +8,8 @@ use std::any::Any;
 /// concrete `Vec<T>` and panics loudly on a type mismatch (which is always a
 /// programming error — tags exist to catch exactly this).
 pub(crate) struct Envelope {
+    /// Sending rank.
+    pub src: usize,
     /// User (or internal-collective) tag.
     pub tag: u64,
     /// Virtual time at which the transfer completes and the payload becomes
@@ -15,19 +17,21 @@ pub(crate) struct Envelope {
     pub arrival_s: f64,
     /// Payload size in bytes (for diagnostics; counted at the sender).
     pub bytes: u64,
+    /// The sender's vector clock at send time (for race analysis).
+    pub vc: Vec<u64>,
     /// The data, as `Box<Vec<T>>` behind `dyn Any`.
     pub payload: Box<dyn Any + Send>,
 }
 
 /// Tags at or above this value are reserved for internal collectives.
-pub(crate) const INTERNAL_TAG_BASE: u64 = 1 << 32;
+pub(crate) const INTERNAL_TAG_BASE: u64 = crate::trace::USER_TAG_LIMIT;
 
 /// Build an internal-collective tag from a per-rank collective sequence
 /// number and a round index. All ranks execute collectives in the same
 /// program order, so sequence numbers agree across ranks and consecutive
 /// collectives can never cross-talk.
 pub(crate) fn internal_tag(seq: u64, round: u32) -> u64 {
-    INTERNAL_TAG_BASE | (seq << 8) | round as u64
+    INTERNAL_TAG_BASE | (seq << 8) | u64::from(round)
 }
 
 #[cfg(test)]

@@ -47,12 +47,15 @@
 mod collect;
 mod ctx;
 mod envelope;
+mod registry;
 mod runtime;
 mod stats;
+pub mod trace;
 mod world;
 
 pub use collect::ReduceOp;
 pub use ctx::Ctx;
-pub use runtime::{run, RankOutcome, RunReport};
+pub use runtime::{run, try_run, RankOutcome, RunReport};
 pub use stats::Counters;
+pub use trace::{CommEvent, CommLog, CommOp, DeadlockInfo, RunError, WaitEdge, USER_TAG_LIMIT};
 pub use world::World;

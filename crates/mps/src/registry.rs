@@ -1,0 +1,215 @@
+//! Shared run state for deadlock detection.
+//!
+//! Every rank registers in a [`Registry`] what it is blocked on; blocked
+//! ranks periodically walk the wait-for graph. A run is declared dead when
+//! a chain of blocked ranks either closes into a cycle or ends at a rank
+//! that already finished, *and* the observation is stable across two
+//! consecutive polls (no rank in the chain made progress in between) — the
+//! stability requirement rules out transiently-observed chains while a
+//! message is still being delivered by the host scheduler.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::trace::WaitEdge;
+
+/// What a blocked rank is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct WaitTarget {
+    /// The rank the message must come from.
+    pub on: usize,
+    /// The tag the receive requires.
+    pub tag: u64,
+}
+
+/// The verdict of a deadlock check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Verdict {
+    /// Blocked chain starting at the detecting rank.
+    pub edges: Vec<WaitEdge>,
+    /// Whether the chain closes into a cycle (vs. ending at a finished rank).
+    pub cyclic: bool,
+}
+
+/// Shared (across ranks of one run) deadlock-detection state.
+pub(crate) struct Registry {
+    /// `blocked[r]` is `Some(target)` while rank `r` is inside a blocking
+    /// receive with an empty matching inbox.
+    blocked: Mutex<Vec<Option<WaitTarget>>>,
+    /// Set once rank `r`'s program returned.
+    finished: Vec<AtomicBool>,
+    /// Incremented every time rank `r` pulls an envelope off a channel.
+    progress: Vec<AtomicU64>,
+    /// Set when a deadlock has been declared; all ranks must abort.
+    dead: AtomicBool,
+    /// The confirmed verdict (first writer wins).
+    verdict: Mutex<Option<Verdict>>,
+}
+
+impl Registry {
+    pub(crate) fn new(p: usize) -> Self {
+        Self {
+            blocked: Mutex::new(vec![None; p]),
+            finished: (0..p).map(|_| AtomicBool::new(false)).collect(),
+            progress: (0..p).map(|_| AtomicU64::new(0)).collect(),
+            dead: AtomicBool::new(false),
+            verdict: Mutex::new(None),
+        }
+    }
+
+    pub(crate) fn set_blocked(&self, rank: usize, target: WaitTarget) {
+        self.blocked.lock().expect("registry poisoned")[rank] = Some(target);
+    }
+
+    pub(crate) fn clear_blocked(&self, rank: usize) {
+        self.blocked.lock().expect("registry poisoned")[rank] = None;
+    }
+
+    pub(crate) fn mark_finished(&self, rank: usize) {
+        self.finished[rank].store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn bump_progress(&self, rank: usize) {
+        self.progress[rank].fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn take_verdict(&self) -> Option<Verdict> {
+        self.verdict.lock().expect("registry poisoned").clone()
+    }
+
+    /// Declare the run dead with `verdict` (first declaration wins).
+    pub(crate) fn declare_dead(&self, verdict: Verdict) {
+        let mut slot = self.verdict.lock().expect("registry poisoned");
+        if slot.is_none() {
+            *slot = Some(verdict);
+        }
+        drop(slot);
+        self.dead.store(true, Ordering::SeqCst);
+    }
+
+    /// Walk the wait-for graph from `start`. Returns a candidate verdict
+    /// plus the progress counters of the chain's ranks (for the stability
+    /// check), or `None` when some rank on the chain is still runnable.
+    pub(crate) fn probe(&self, start: usize) -> Option<(Verdict, Vec<u64>)> {
+        let blocked = self.blocked.lock().expect("registry poisoned").clone();
+        let mut chain: Vec<WaitEdge> = Vec::new();
+        let mut on_chain = vec![false; blocked.len()];
+        let mut cur = start;
+        loop {
+            let target = blocked[cur]?;
+            chain.push(WaitEdge {
+                from_rank: cur,
+                on_rank: target.on,
+                tag: target.tag,
+            });
+            if self.finished[target.on].load(Ordering::SeqCst) {
+                let progress = self.chain_progress(&chain);
+                return Some((
+                    Verdict {
+                        edges: chain,
+                        cyclic: false,
+                    },
+                    progress,
+                ));
+            }
+            on_chain[cur] = true;
+            if on_chain[target.on] {
+                // Trim the prefix that leads into (but is not part of) the
+                // cycle so the reported edges are exactly the cycle.
+                let pos = chain
+                    .iter()
+                    .position(|e| e.from_rank == target.on)
+                    .expect("cycle entry on chain");
+                let cycle: Vec<WaitEdge> = chain[pos..].to_vec();
+                let progress = self.chain_progress(&cycle);
+                return Some((
+                    Verdict {
+                        edges: cycle,
+                        cyclic: true,
+                    },
+                    progress,
+                ));
+            }
+            cur = target.on;
+        }
+    }
+
+    fn chain_progress(&self, edges: &[WaitEdge]) -> Vec<u64> {
+        edges
+            .iter()
+            .map(|e| self.progress[e.from_rank].load(Ordering::SeqCst))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_finds_two_cycle() {
+        let r = Registry::new(2);
+        r.set_blocked(0, WaitTarget { on: 1, tag: 5 });
+        r.set_blocked(1, WaitTarget { on: 0, tag: 6 });
+        let (v, _) = r.probe(0).expect("cycle");
+        assert!(v.cyclic);
+        assert_eq!(v.edges.len(), 2);
+        assert_eq!(
+            v.edges[0],
+            WaitEdge {
+                from_rank: 0,
+                on_rank: 1,
+                tag: 5
+            }
+        );
+        assert_eq!(
+            v.edges[1],
+            WaitEdge {
+                from_rank: 1,
+                on_rank: 0,
+                tag: 6
+            }
+        );
+    }
+
+    #[test]
+    fn probe_reports_chain_into_cycle_as_just_the_cycle() {
+        let r = Registry::new(3);
+        r.set_blocked(0, WaitTarget { on: 1, tag: 1 });
+        r.set_blocked(1, WaitTarget { on: 2, tag: 2 });
+        r.set_blocked(2, WaitTarget { on: 1, tag: 3 });
+        let (v, _) = r.probe(0).expect("cycle");
+        assert!(v.cyclic);
+        assert_eq!(v.edges.len(), 2, "prefix rank 0 is not part of the cycle");
+        assert!(v.edges.iter().all(|e| e.from_rank != 0));
+    }
+
+    #[test]
+    fn probe_detects_wait_on_finished_rank() {
+        let r = Registry::new(2);
+        r.mark_finished(0);
+        r.set_blocked(1, WaitTarget { on: 0, tag: 7 });
+        let (v, _) = r.probe(1).expect("stuck");
+        assert!(!v.cyclic);
+        assert_eq!(
+            v.edges,
+            vec![WaitEdge {
+                from_rank: 1,
+                on_rank: 0,
+                tag: 7
+            }]
+        );
+    }
+
+    #[test]
+    fn probe_returns_none_while_a_chain_rank_runs() {
+        let r = Registry::new(3);
+        r.set_blocked(0, WaitTarget { on: 1, tag: 1 });
+        // Rank 1 is running (not blocked): no verdict.
+        assert!(r.probe(0).is_none());
+    }
+}

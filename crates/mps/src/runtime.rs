@@ -1,13 +1,16 @@
 //! Spawn and join simulated ranks; collect the run report.
 
 use std::collections::VecDeque;
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Once};
 
-use crossbeam::channel::unbounded;
 use simcluster::{ComponentEnergy, EnergyMeter, SegmentLog, VirtualClock};
 
 use crate::ctx::Ctx;
 use crate::envelope::Envelope;
+use crate::registry::Registry;
 use crate::stats::Counters;
+use crate::trace::{CommLog, DeadlockInfo, RunError};
 use crate::world::World;
 
 /// What one rank produced.
@@ -21,6 +24,9 @@ pub struct RankOutcome<R> {
     pub stats: Counters,
     /// Typed activity log for energy metering and power profiling.
     pub log: SegmentLog,
+    /// Communication trace (sends/receives with vector clocks) for the
+    /// `analyze` crate's communication-graph checker.
+    pub comm: CommLog,
     /// Virtual finish time of the rank, seconds.
     pub finish_s: f64,
     /// Phase markers `(name, virtual time)` recorded via [`Ctx::phase`].
@@ -52,6 +58,11 @@ impl<R> RunReport<R> {
         self.ranks.iter().map(|r| &r.log).collect()
     }
 
+    /// Borrow the per-rank communication traces.
+    pub fn comm_logs(&self) -> Vec<&CommLog> {
+        self.ranks.iter().map(|r| &r.comm).collect()
+    }
+
     /// Measure the run's total energy on `world`'s node type — the
     /// simulator-side `Ep` the analytical model is validated against.
     pub fn energy(&self, world: &World) -> ComponentEnergy {
@@ -61,15 +72,60 @@ impl<R> RunReport<R> {
     }
 }
 
+/// Panic payload used to unwind a rank when the run is declared dead.
+/// Caught in [`try_run`]; never escapes the crate.
+pub(crate) struct RankAbort {
+    pub comm: CommLog,
+}
+
+/// Install (once, process-wide) a panic hook that stays silent for
+/// [`RankAbort`] unwinds — they are control flow, not failures — and
+/// delegates everything else to the previous hook.
+fn install_abort_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<RankAbort>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
 /// Run `program` on `p` simulated ranks over `world`.
 ///
 /// Each rank executes `program(&mut ctx)` on its own thread with its own
 /// virtual clock; the function returns when all ranks finish. Panics in any
-/// rank propagate (the run aborts loudly rather than deadlocking).
+/// rank propagate (the run aborts loudly rather than hanging).
 ///
 /// # Panics
-/// Panics if `p == 0` or `p` exceeds the cluster's total cores.
+/// Panics if `p == 0`, if `p` exceeds the cluster's total cores, or if the
+/// run deadlocks (use [`try_run`] to get the deadlock as an error value).
 pub fn run<R, F>(world: &World, p: usize, program: F) -> RunReport<R>
+where
+    R: Send,
+    F: Fn(&mut Ctx) -> R + Sync,
+{
+    match try_run(world, p, program) {
+        Ok(report) => report,
+        Err(err) => panic!("simulated run failed: {err}"),
+    }
+}
+
+/// Like [`run`], but a deadlocked program returns
+/// [`RunError::Deadlock`] — with the offending wait-for chain and the
+/// partial communication traces — instead of panicking.
+///
+/// # Errors
+/// Returns [`RunError::Deadlock`] when the ranks' wait-for graph reaches a
+/// terminal state (a cycle of blocked receives, or a receive on a rank
+/// that already finished without sending).
+///
+/// # Panics
+/// Panics if `p == 0` or `p` exceeds the cluster's total cores, and
+/// propagates panics of the rank programs themselves.
+pub fn try_run<R, F>(world: &World, p: usize, program: F) -> Result<RunReport<R>, RunError>
 where
     R: Send,
     F: Fn(&mut Ctx) -> R + Sync,
@@ -81,26 +137,29 @@ where
         world.cluster.name,
         world.cluster.total_cores()
     );
+    install_abort_hook();
 
     // One unbounded channel per ordered rank pair: txs[s][d] sends s -> d,
     // rxs[d][s] receives s -> d.
-    let mut txs: Vec<Vec<crossbeam::channel::Sender<Envelope>>> =
+    let mut txs: Vec<Vec<std::sync::mpsc::Sender<Envelope>>> =
         (0..p).map(|_| Vec::with_capacity(p)).collect();
-    let mut rxs: Vec<Vec<Option<crossbeam::channel::Receiver<Envelope>>>> =
+    let mut rxs: Vec<Vec<Option<std::sync::mpsc::Receiver<Envelope>>>> =
         (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
     for s in 0..p {
-        for d in 0..p {
-            let (tx, rx) = unbounded::<Envelope>();
+        for rx_row in &mut rxs {
+            let (tx, rx) = channel::<Envelope>();
             txs[s].push(tx);
-            rxs[d][s] = Some(rx);
+            rx_row[s] = Some(rx);
         }
     }
 
     let hockney = world.hockney();
     let program = &program;
+    let registry = Arc::new(Registry::new(p));
 
     let mut outcomes: Vec<Option<RankOutcome<R>>> = (0..p).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    let mut aborted: Vec<CommLog> = Vec::new();
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(p);
         for (rank, rx_row) in rxs.into_iter().enumerate() {
             // Senders for this rank: the tx of channel rank -> d for each d.
@@ -109,7 +168,8 @@ where
                 .into_iter()
                 .map(|r| r.expect("every pair wired"))
                 .collect();
-            let handle = scope.spawn(move |_| {
+            let registry = Arc::clone(&registry);
+            let handle = scope.spawn(move || {
                 let mut ctx = Ctx {
                     rank,
                     size: p,
@@ -123,8 +183,14 @@ where
                     coll_seq: 0,
                     markers: Vec::new(),
                     hockney,
+                    registry: Arc::clone(&registry),
+                    comm: CommLog::new(rank),
+                    vclock: vec![0; p],
+                    last_probe: None,
                 };
                 let result = program(&mut ctx);
+                registry.mark_finished(rank);
+                ctx.drain_unconsumed();
                 let mut log = ctx.log;
                 log.coalesce();
                 RankOutcome {
@@ -132,7 +198,8 @@ where
                     result,
                     stats: ctx.counters,
                     log,
-                    finish_s: ctx.clock.now(),
+                    comm: ctx.comm,
+                    finish_s: ctx.clock.now().raw(),
                     markers: ctx.markers,
                 }
             });
@@ -140,21 +207,58 @@ where
         }
         // Drop the original senders: each rank now holds the only clones of
         // its outgoing channels, so a panicking rank disconnects its peers
-        // (turning would-be deadlocks into loud panics).
+        // (turning would-be hangs into loud failures).
         drop(txs);
         for handle in handles {
-            let outcome = handle.join().expect("rank panicked");
-            let slot = outcome.rank;
-            outcomes[slot] = Some(outcome);
+            match handle.join() {
+                Ok(outcome) => {
+                    let slot = outcome.rank;
+                    outcomes[slot] = Some(outcome);
+                }
+                Err(payload) => match payload.downcast::<RankAbort>() {
+                    Ok(abort) => aborted.push(abort.comm),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                },
+            }
         }
-    })
-    .expect("simulation scope panicked");
+    });
 
-    RunReport {
+    if let Some(verdict) = registry.take_verdict() {
+        // Assemble the per-rank traces: completed ranks contribute full
+        // logs, aborted ranks the partial logs carried by their unwind.
+        let mut comm: Vec<CommLog> = (0..p).map(CommLog::new).collect();
+        for o in outcomes.into_iter().flatten() {
+            let rank = o.comm.rank;
+            comm[rank] = o.comm;
+        }
+        for log in aborted {
+            let rank = log.rank;
+            comm[rank] = log;
+        }
+        return Err(RunError::Deadlock(DeadlockInfo {
+            edges: verdict.edges,
+            cyclic: verdict.cyclic,
+            comm,
+        }));
+    }
+
+    let report = RunReport {
         ranks: outcomes
             .into_iter()
             .map(|o| o.expect("every rank reported"))
             .collect(),
         f_hz: world.f_hz,
+    };
+    // Debug builds run the cheap communication-graph sanity check on every
+    // completed run: a finished program must have consumed every message.
+    #[cfg(debug_assertions)]
+    for rank in &report.ranks {
+        debug_assert!(
+            rank.comm.unconsumed.is_empty(),
+            "rank {} finished with unconsumed messages: {:?}",
+            rank.rank,
+            rank.comm.unconsumed
+        );
     }
+    Ok(report)
 }

@@ -51,17 +51,45 @@ mod tests {
 
     #[test]
     fn add_assign_accumulates_all_fields() {
-        let mut a = Counters { wc: 1.0, wm: 2.0, messages: 3.0, bytes: 4.0, io_s: 5.0 };
-        let b = Counters { wc: 10.0, wm: 20.0, messages: 30.0, bytes: 40.0, io_s: 50.0 };
+        let mut a = Counters {
+            wc: 1.0,
+            wm: 2.0,
+            messages: 3.0,
+            bytes: 4.0,
+            io_s: 5.0,
+        };
+        let b = Counters {
+            wc: 10.0,
+            wm: 20.0,
+            messages: 30.0,
+            bytes: 40.0,
+            io_s: 50.0,
+        };
         a += &b;
-        assert_eq!(a, Counters { wc: 11.0, wm: 22.0, messages: 33.0, bytes: 44.0, io_s: 55.0 });
+        assert_eq!(
+            a,
+            Counters {
+                wc: 11.0,
+                wm: 22.0,
+                messages: 33.0,
+                bytes: 44.0,
+                io_s: 55.0
+            }
+        );
     }
 
     #[test]
     fn total_over_slice() {
         let xs = vec![
-            Counters { wc: 1.0, ..Default::default() },
-            Counters { wc: 2.0, messages: 1.0, ..Default::default() },
+            Counters {
+                wc: 1.0,
+                ..Default::default()
+            },
+            Counters {
+                wc: 2.0,
+                messages: 1.0,
+                ..Default::default()
+            },
         ];
         let t = Counters::total(&xs);
         assert_eq!(t.wc, 3.0);

@@ -1,6 +1,7 @@
 //! Run configuration: cluster, DVFS state, overlap factor, contention.
 
 use netsim::{ContentionModel, Hockney};
+use simcluster::units::Seconds;
 use simcluster::ClusterSpec;
 
 /// Everything a simulated run needs to know about its environment.
@@ -68,7 +69,8 @@ impl World {
     }
 
     /// Average time per on-chip instruction at this world's frequency.
-    pub fn tc(&self) -> f64 {
+    #[must_use]
+    pub fn tc(&self) -> Seconds {
         self.cluster.node.cpu.tc(self.f_hz)
     }
 }

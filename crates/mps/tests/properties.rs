@@ -55,8 +55,8 @@ proptest! {
         let vals: Vec<f64> = (0..p)
             .map(|rk| ((rk as u64 * 2654435761 + seed) % 1000) as f64)
             .collect();
-        let want_max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let want_min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let want_max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let want_min = vals.iter().copied().fold(f64::INFINITY, f64::min);
         for rk in &r.ranks {
             prop_assert_eq!(rk.result, (want_max, want_min));
         }
@@ -67,13 +67,13 @@ proptest! {
         let w = world();
         let r = run(&w, p, move |ctx| {
             let chunks: Vec<Vec<u64>> = (0..ctx.size())
-                .map(|d| vec![(ctx.rank() as u64) << 32 | d as u64 | (tag as u64) << 16])
+                .map(|d| vec![(ctx.rank() as u64) << 32 | d as u64 | u64::from(tag) << 16])
                 .collect();
             ctx.alltoall(chunks)
         });
         for rk in &r.ranks {
             for (s, chunk) in rk.result.iter().enumerate() {
-                let want = (s as u64) << 32 | rk.rank as u64 | (tag as u64) << 16;
+                let want = (s as u64) << 32 | rk.rank as u64 | u64::from(tag) << 16;
                 prop_assert_eq!(chunk[0], want);
             }
         }
@@ -121,7 +121,7 @@ proptest! {
             ctx.barrier();
             ctx.now()
         });
-        let tc = w.tc();
+        let tc = w.tc().raw();
         for rk in &r.ranks {
             prop_assert!(rk.finish_s >= instr * tc * 0.999);
             prop_assert!(rk.result <= rk.finish_s + 1e-15);
@@ -137,7 +137,7 @@ proptest! {
             ctx.compute(instr);
             ctx.mem_access(1e4, 1 << 28);
         });
-        let tc = w.tc();
+        let tc = w.tc().raw();
         for rk in &r.ranks {
             // Compute work time = (charged wc) · tc exactly (no comm here).
             let wc_time = rk.log.work_time(SegmentKind::Compute);

@@ -24,7 +24,7 @@ fn single_rank_runs_and_reports() {
 #[test]
 fn compute_time_is_instructions_times_tc() {
     let w = world();
-    let tc = w.tc();
+    let tc = w.tc().raw();
     let r = run(&w, 1, |ctx| ctx.compute(1e7));
     assert!((r.span() - 1e7 * tc).abs() / (1e7 * tc) < 1e-9);
 }
@@ -32,7 +32,7 @@ fn compute_time_is_instructions_times_tc() {
 #[test]
 fn alpha_squeezes_wall_time_but_not_work() {
     let w = world().with_alpha(0.8);
-    let tc = w.tc();
+    let tc = w.tc().raw();
     let r = run(&w, 1, |ctx| ctx.compute(1e7));
     let expect_wall = 0.8 * 1e7 * tc;
     assert!((r.span() - expect_wall).abs() / expect_wall < 1e-9);
@@ -105,7 +105,7 @@ fn barrier_synchronizes_clocks() {
         ctx.barrier();
         ctx.now()
     });
-    let slowest_pre = 1e8 * w.tc();
+    let slowest_pre = 1e8 * w.tc().raw();
     for rk in &r.ranks {
         assert!(
             rk.result >= slowest_pre,
@@ -165,9 +165,7 @@ fn allreduce_max_and_min() {
 #[test]
 fn reduce_delivers_to_root_only() {
     let w = world();
-    let r = run(&w, 8, |ctx| {
-        ctx.reduce(3, &[1.0], ReduceOp::Sum)
-    });
+    let r = run(&w, 8, |ctx| ctx.reduce(3, &[1.0], ReduceOp::Sum));
     for rk in &r.ranks {
         if rk.rank == 3 {
             assert_eq!(rk.result.as_ref().unwrap()[0], 8.0);
@@ -198,9 +196,7 @@ fn bcast_distributes_from_any_root() {
 #[test]
 fn allgather_collects_in_rank_order() {
     let w = world();
-    let r = run(&w, 5, |ctx| {
-        ctx.allgather(vec![ctx.rank() as u32 * 10])
-    });
+    let r = run(&w, 5, |ctx| ctx.allgather(vec![ctx.rank() as u32 * 10]));
     for rk in &r.ranks {
         let flat: Vec<u32> = rk.result.iter().map(|v| v[0]).collect();
         assert_eq!(flat, vec![0, 10, 20, 30, 40]);
@@ -213,8 +209,7 @@ fn alltoall_is_a_transpose() {
         let w = world();
         let r = run(&w, p, |ctx| {
             // chunks[d] = [rank, d]
-            let chunks: Vec<Vec<usize>> =
-                (0..ctx.size()).map(|d| vec![ctx.rank(), d]).collect();
+            let chunks: Vec<Vec<usize>> = (0..ctx.size()).map(|d| vec![ctx.rank(), d]).collect();
             ctx.alltoall(chunks)
         });
         for rk in &r.ranks {

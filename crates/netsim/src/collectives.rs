@@ -46,7 +46,7 @@ pub fn allreduce_recursive_doubling_time(h: &Hockney, p: usize, bytes: u64) -> f
     if p == 1 {
         return 0.0;
     }
-    log2_ceil(p) as f64 * h.p2p(bytes)
+    f64::from(log2_ceil(p)) * h.p2p(bytes)
 }
 
 /// Binomial-tree broadcast of `bytes` bytes: `ceil(log2 p) · (ts + tw·m)`.
@@ -55,7 +55,7 @@ pub fn bcast_binomial_time(h: &Hockney, p: usize, bytes: u64) -> f64 {
     if p == 1 {
         return 0.0;
     }
-    log2_ceil(p) as f64 * h.p2p(bytes)
+    f64::from(log2_ceil(p)) * h.p2p(bytes)
 }
 
 /// Binomial-tree reduce of `bytes` bytes: same shape as broadcast.
@@ -79,7 +79,7 @@ pub fn barrier_dissemination_time(h: &Hockney, p: usize) -> f64 {
     if p == 1 {
         return 0.0;
     }
-    log2_ceil(p) as f64 * h.p2p(0)
+    f64::from(log2_ceil(p)) * h.p2p(0)
 }
 
 /// Message/byte *counts* contributed per process by each collective — the
@@ -96,7 +96,10 @@ pub struct CollectiveCounts {
 /// Per-process send counts of a pairwise-exchange all-to-all.
 pub fn alltoall_pairwise_counts(p: usize, bytes_per_pair: u64) -> CollectiveCounts {
     if p <= 1 {
-        return CollectiveCounts { messages: 0.0, bytes: 0.0 };
+        return CollectiveCounts {
+            messages: 0.0,
+            bytes: 0.0,
+        };
     }
     CollectiveCounts {
         messages: (p - 1) as f64,
@@ -107,10 +110,16 @@ pub fn alltoall_pairwise_counts(p: usize, bytes_per_pair: u64) -> CollectiveCoun
 /// Per-process send counts of a recursive-doubling allreduce.
 pub fn allreduce_recursive_doubling_counts(p: usize, bytes: u64) -> CollectiveCounts {
     if p <= 1 {
-        return CollectiveCounts { messages: 0.0, bytes: 0.0 };
+        return CollectiveCounts {
+            messages: 0.0,
+            bytes: 0.0,
+        };
     }
-    let rounds = log2_ceil(p) as f64;
-    CollectiveCounts { messages: rounds, bytes: rounds * bytes as f64 }
+    let rounds = f64::from(log2_ceil(p));
+    CollectiveCounts {
+        messages: rounds,
+        bytes: rounds * bytes as f64,
+    }
 }
 
 #[cfg(test)]
@@ -152,7 +161,10 @@ mod tests {
         let h = h();
         let t9 = allreduce_recursive_doubling_time(&h, 9, 64);
         let t16 = allreduce_recursive_doubling_time(&h, 16, 64);
-        assert!((t9 - t16).abs() < 1e-15, "9 procs pay ceil(log2 9) = 4 rounds");
+        assert!(
+            (t9 - t16).abs() < 1e-15,
+            "9 procs pay ceil(log2 9) = 4 rounds"
+        );
     }
 
     #[test]

@@ -19,12 +19,10 @@
 //! errors), and to do so more strongly for communication-heavy codes (FT)
 //! than compute-bound ones (EP).
 
-use serde::{Deserialize, Serialize};
-
 use crate::hockney::Hockney;
 
 /// Concurrency-dependent bandwidth inflation over a base Hockney model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ContentionModel {
     /// Contention-free concurrency (e.g. non-blocking switch ports).
     pub free_concurrency: usize,
@@ -39,13 +37,22 @@ impl ContentionModel {
     /// Panics if `free_concurrency == 0` or `kappa < 0`.
     pub fn new(free_concurrency: usize, kappa: f64) -> Self {
         assert!(free_concurrency > 0, "free concurrency must be positive");
-        assert!(kappa.is_finite() && kappa >= 0.0, "kappa must be non-negative");
-        Self { free_concurrency, kappa }
+        assert!(
+            kappa.is_finite() && kappa >= 0.0,
+            "kappa must be non-negative"
+        );
+        Self {
+            free_concurrency,
+            kappa,
+        }
     }
 
     /// A contention-free model (pure Hockney behaviour).
     pub fn none() -> Self {
-        Self { free_concurrency: 1, kappa: 0.0 }
+        Self {
+            free_concurrency: 1,
+            kappa: 0.0,
+        }
     }
 
     /// The effective Hockney parameters when `concurrency` processes
@@ -54,7 +61,10 @@ impl ContentionModel {
         let c = concurrency.max(1) as f64;
         let c0 = self.free_concurrency as f64;
         let over = (c - c0).max(0.0) / c0;
-        Hockney { ts: base.ts, tw: base.tw * (1.0 + self.kappa * over) }
+        Hockney {
+            ts: base.ts,
+            tw: base.tw * (1.0 + self.kappa * over),
+        }
     }
 
     /// Inflation factor applied to `tw` at a given concurrency.

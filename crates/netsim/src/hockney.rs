@@ -11,10 +11,8 @@
 //! (Table 1's `t_s`/`t_w`) and uses for its network-time term
 //! `Σ T_net = M·ts + B·tw` (Eq. 17) and the FT pairwise-exchange analysis.
 
-use serde::{Deserialize, Serialize};
-
 /// Hockney model parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Hockney {
     /// Startup time `ts` per message, seconds.
     pub ts: f64,
@@ -38,7 +36,10 @@ impl Hockney {
     /// Aggregate network time for `messages` messages carrying `bytes` total
     /// payload — the paper's Eq. 17: `M·ts + B·tw`.
     pub fn aggregate(&self, messages: f64, bytes: f64) -> f64 {
-        assert!(messages >= 0.0 && bytes >= 0.0, "counts must be non-negative");
+        assert!(
+            messages >= 0.0 && bytes >= 0.0,
+            "counts must be non-negative"
+        );
         messages * self.ts + bytes * self.tw
     }
 

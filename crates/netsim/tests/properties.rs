@@ -24,8 +24,8 @@ proptest! {
     fn aggregate_equals_decomposed(h in arb_hockney(), m in 0u32..10_000, bytes in 0u64..1 << 24) {
         // M messages of equal size cost the same as the aggregate form.
         let per = h.p2p(bytes);
-        let agg = h.aggregate(m as f64, (m as u64 * bytes) as f64);
-        prop_assert!((agg - m as f64 * per).abs() <= 1e-9 * agg.abs().max(1.0));
+        let agg = h.aggregate(f64::from(m), (u64::from(m) * bytes) as f64);
+        prop_assert!((agg - f64::from(m) * per).abs() <= 1e-9 * agg.abs().max(1.0));
     }
 
     #[test]

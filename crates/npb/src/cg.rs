@@ -61,7 +61,13 @@ impl CgConfig {
     /// The scaled NPB class sizes.
     pub fn class(c: Class) -> Self {
         let (n, nonzer, niter, shift) = c.cg_size();
-        Self { n, nonzer, pattern: c.cg_pattern(), niter, shift }
+        Self {
+            n,
+            nonzer,
+            pattern: c.cg_pattern(),
+            niter,
+            shift,
+        }
     }
 
     fn n_pad(&self) -> usize {
@@ -116,7 +122,10 @@ pub fn cg_kernel(ctx: &mut Ctx, cfg: CgConfig) -> CgResult {
     let p = ctx.size();
     let (nprow, npcol) = cg_proc_grid(p);
     let n = cfg.n_pad();
-    assert!(n % nprow == 0 && n % npcol == 0, "padding must divide evenly");
+    assert!(
+        n.is_multiple_of(nprow) && n.is_multiple_of(npcol),
+        "padding must divide evenly"
+    );
 
     let row = ctx.rank() / npcol;
     let col = ctx.rank() % npcol;
@@ -142,7 +151,16 @@ pub fn cg_kernel(ctx: &mut Ctx, cfg: CgConfig) -> CgResult {
     ctx.compute(gen_work * 12.0);
     ctx.mem_stream(gen_work * 0.5, (block.nnz() * 16) as u64);
 
-    let mut grid = CgGrid { nprow, npcol, row, col, row_len, col_len, block, tag: 0 };
+    let mut grid = CgGrid {
+        nprow,
+        npcol,
+        row,
+        col,
+        row_len,
+        col_len,
+        block,
+        tag: 0,
+    };
 
     // x in row form: all ones.
     let mut x = vec![1.0f64; row_len];
@@ -170,7 +188,9 @@ pub fn cg_kernel(ctx: &mut Ctx, cfg: CgConfig) -> CgResult {
     let zeta = *zetas.last().expect("at least one iteration");
     // Verification: residuals must be small relative to ‖x‖ = √n, ζ finite
     // and settled (last two outer steps agree to 1e-6 relative).
-    let resid_ok = rnorms.iter().all(|r| r.is_finite() && *r < 1e-4 * (n as f64).sqrt());
+    let resid_ok = rnorms
+        .iter()
+        .all(|r| r.is_finite() && *r < 1e-4 * (n as f64).sqrt());
     // The random matrix's spectrum is clustered, so the power iteration
     // settles slowly; require the estimate to be moving by < 5% per outer
     // step rather than full convergence (NPB verifies against a hard-coded
@@ -179,7 +199,12 @@ pub fn cg_kernel(ctx: &mut Ctx, cfg: CgConfig) -> CgResult {
         let a = zetas[zetas.len() - 2];
         (zeta - a).abs() <= 5e-2 * zeta.abs().max(1.0)
     };
-    CgResult { zeta, zetas, rnorms, verified: zeta.is_finite() && resid_ok && settled }
+    CgResult {
+        zeta,
+        zetas,
+        rnorms,
+        verified: zeta.is_finite() && resid_ok && settled,
+    }
 }
 
 /// 25 CG iterations solving `A·z = x`; returns `(z, ‖x − A·z‖)`.
@@ -318,7 +343,13 @@ mod tests {
     }
 
     fn small() -> CgConfig {
-        CgConfig { n: 1400, nonzer: 7, pattern: 28, niter: 4, shift: 10.0 }
+        CgConfig {
+            n: 1400,
+            nonzer: 7,
+            pattern: 28,
+            niter: 4,
+            shift: 10.0,
+        }
     }
 
     #[test]
@@ -335,7 +366,9 @@ mod tests {
     fn cg_zeta_independent_of_grid_shape() {
         let w = world();
         let cfg = small();
-        let base = run(&w, 1, |ctx| cg_kernel(ctx, cfg)).ranks[0].result.clone();
+        let base = run(&w, 1, |ctx| cg_kernel(ctx, cfg)).ranks[0]
+            .result
+            .clone();
         for p in [2usize, 4, 8, 16] {
             let r = run(&w, p, |ctx| cg_kernel(ctx, cfg));
             for rk in &r.ranks {
@@ -366,7 +399,9 @@ mod tests {
         let w = world();
         let cfg = small();
         let b4 = run(&w, 4, |ctx| cg_kernel(ctx, cfg)).total_counters().bytes;
-        let b16 = run(&w, 16, |ctx| cg_kernel(ctx, cfg)).total_counters().bytes;
+        let b16 = run(&w, 16, |ctx| cg_kernel(ctx, cfg))
+            .total_counters()
+            .bytes;
         let growth = b16 / b4;
         assert!(
             growth < 4.0,
@@ -378,11 +413,20 @@ mod tests {
     #[test]
     fn cg_zeta_grows_with_shift() {
         let w = world();
-        let lo = CgConfig { shift: 10.0, ..small() };
-        let hi = CgConfig { shift: 20.0, ..small() };
+        let lo = CgConfig {
+            shift: 10.0,
+            ..small()
+        };
+        let hi = CgConfig {
+            shift: 20.0,
+            ..small()
+        };
         let zl = run(&w, 1, |ctx| cg_kernel(ctx, lo)).ranks[0].result.zeta;
         let zh = run(&w, 1, |ctx| cg_kernel(ctx, hi)).ranks[0].result.zeta;
-        assert!((zh - zl - 10.0).abs() < 1e-6, "shift moves zeta exactly: {zl} {zh}");
+        assert!(
+            (zh - zl - 10.0).abs() < 1e-6,
+            "shift moves zeta exactly: {zl} {zh}"
+        );
     }
 
     #[test]
@@ -391,7 +435,13 @@ mod tests {
         // off-chip workload while EP has none — the root of their opposite
         // frequency behaviour in the paper (Figs. 7 vs 9).
         let w = world();
-        let cfg = CgConfig { n: 75_000, nonzer: 13, pattern: 180, niter: 1, shift: 60.0 };
+        let cfg = CgConfig {
+            n: 75_000,
+            nonzer: 13,
+            pattern: 180,
+            niter: 1,
+            shift: 60.0,
+        };
         let c = run(&w, 1, |ctx| cg_kernel(ctx, cfg)).total_counters();
         let ce = run(&w, 1, |ctx| {
             crate::ep::ep_kernel(ctx, crate::ep::EpConfig::class(Class::S))
@@ -407,7 +457,13 @@ mod tests {
         // so the *counted* off-chip workload falls — the paper's negative
         // Wom term for CG (and FT).
         let w = world();
-        let cfg = CgConfig { n: 75_000, nonzer: 13, pattern: 180, niter: 1, shift: 60.0 };
+        let cfg = CgConfig {
+            n: 75_000,
+            nonzer: 13,
+            pattern: 180,
+            niter: 1,
+            shift: 60.0,
+        };
         let seq = run(&w, 1, |ctx| cg_kernel(ctx, cfg)).total_counters();
         let par = run(&w, 16, |ctx| cg_kernel(ctx, cfg)).total_counters();
         assert!(

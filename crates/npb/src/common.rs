@@ -59,7 +59,7 @@ impl Randlc {
 }
 
 fn mul_mod46(a: u64, b: u64) -> u64 {
-    ((a as u128 * b as u128) % M46 as u128) as u64
+    ((u128::from(a) * u128::from(b)) % u128::from(M46)) as u64
 }
 
 fn pow_mod46(mut base: u64, mut exp: u64) -> u64 {
@@ -204,7 +204,10 @@ impl KernelName {
 /// # Panics
 /// Panics unless `p` is a power of two.
 pub fn cg_proc_grid(p: usize) -> (usize, usize) {
-    assert!(p.is_power_of_two(), "CG requires a power-of-two rank count, got {p}");
+    assert!(
+        p.is_power_of_two(),
+        "CG requires a power-of-two rank count, got {p}"
+    );
     let lg = p.trailing_zeros();
     let nprow = 1usize << (lg / 2);
     let npcol = p / nprow;
@@ -229,7 +232,7 @@ mod tests {
     fn randlc_mean_is_about_half() {
         let mut g = Randlc::nas_default();
         let n = 100_000;
-        let mean: f64 = (0..n).map(|_| g.next_f64()).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| g.next_f64()).sum::<f64>() / f64::from(n);
         assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
     }
 

@@ -37,7 +37,10 @@ pub struct EpConfig {
 impl EpConfig {
     /// The scaled NPB class sizes.
     pub fn class(c: Class) -> Self {
-        Self { pairs: c.ep_pairs(), seed: crate::common::RANDLC_SEED }
+        Self {
+            pairs: c.ep_pairs(),
+            seed: crate::common::RANDLC_SEED,
+        }
     }
 }
 
@@ -124,7 +127,13 @@ pub fn ep_kernel(ctx: &mut Ctx, cfg: EpConfig) -> EpResult {
         && counts[0] > counts[1]
         && counts[1] > counts[2];
 
-    EpResult { accepted, sx, sy, counts, verified }
+    EpResult {
+        accepted,
+        sx,
+        sy,
+        counts,
+        verified,
+    }
 }
 
 #[cfg(test)]
@@ -140,14 +149,20 @@ mod tests {
     #[test]
     fn ep_verifies_on_one_rank() {
         let w = world();
-        let cfg = EpConfig { pairs: 1 << 16, seed: crate::common::RANDLC_SEED };
+        let cfg = EpConfig {
+            pairs: 1 << 16,
+            seed: crate::common::RANDLC_SEED,
+        };
         let r = run(&w, 1, |ctx| ep_kernel(ctx, cfg));
         assert!(r.ranks[0].result.verified, "{:?}", r.ranks[0].result);
     }
 
     #[test]
     fn ep_result_independent_of_rank_count() {
-        let cfg = EpConfig { pairs: 1 << 15, seed: crate::common::RANDLC_SEED };
+        let cfg = EpConfig {
+            pairs: 1 << 15,
+            seed: crate::common::RANDLC_SEED,
+        };
         let w = world();
         let r1 = run(&w, 1, |ctx| ep_kernel(ctx, cfg));
         let r4 = run(&w, 4, |ctx| ep_kernel(ctx, cfg));
@@ -169,7 +184,10 @@ mod tests {
     #[test]
     fn ep_scales_near_ideally() {
         // The defining property of EP: span(p) ≈ span(1)/p.
-        let cfg = EpConfig { pairs: 1 << 16, seed: crate::common::RANDLC_SEED };
+        let cfg = EpConfig {
+            pairs: 1 << 16,
+            seed: crate::common::RANDLC_SEED,
+        };
         let w = world();
         let t1 = run(&w, 1, |ctx| ep_kernel(ctx, cfg)).span();
         let t8 = run(&w, 8, |ctx| ep_kernel(ctx, cfg)).span();
@@ -183,8 +201,14 @@ mod tests {
     #[test]
     fn ep_counters_proportional_to_pairs() {
         let w = world();
-        let small = EpConfig { pairs: 1 << 14, seed: crate::common::RANDLC_SEED };
-        let large = EpConfig { pairs: 1 << 16, seed: crate::common::RANDLC_SEED };
+        let small = EpConfig {
+            pairs: 1 << 14,
+            seed: crate::common::RANDLC_SEED,
+        };
+        let large = EpConfig {
+            pairs: 1 << 16,
+            seed: crate::common::RANDLC_SEED,
+        };
         let cs = run(&w, 1, |ctx| ep_kernel(ctx, small)).total_counters();
         let cl = run(&w, 1, |ctx| ep_kernel(ctx, large)).total_counters();
         assert!((cl.wc / cs.wc - 4.0).abs() < 0.01);

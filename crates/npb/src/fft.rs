@@ -33,13 +33,16 @@ impl FftPlan {
     /// # Panics
     /// Panics unless `n` is a power of two ≥ 1.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+        assert!(
+            n.is_power_of_two(),
+            "FFT length must be a power of two, got {n}"
+        );
         let twiddles = (0..n / 2)
             .map(|j| C64::cis(-2.0 * PI * j as f64 / n as f64))
             .collect();
         let bits = n.trailing_zeros();
         let rev = (0..n as u32)
-            .map(|i| i.reverse_bits() >> (32 - bits.max(1)) as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits.max(1)))
             .collect::<Vec<_>>();
         // For n == 1, bits == 0; the shift above would be wrong, so patch:
         let rev = if n == 1 { vec![0] } else { rev };

@@ -89,9 +89,8 @@ fn init_plane(nx: usize, ny: usize, z: usize, out: &mut [C64]) {
             h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
             h ^= h >> 27;
             let noise = (h >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
-            let smooth = ((x as f64 * 0.3).sin() + (y as f64 * 0.2).cos()
-                + (z as f64 * 0.1).sin())
-                / 3.0;
+            let smooth =
+                ((x as f64 * 0.3).sin() + (y as f64 * 0.2).cos() + (z as f64 * 0.1).sin()) / 3.0;
             out[y * nx + x] = C64::new(smooth + 0.1 * noise, 0.05 * noise);
         }
     }
@@ -139,11 +138,30 @@ pub fn ft_kernel(ctx: &mut Ctx, cfg: FtConfig) -> FtResult {
     // Forward 3-D FFT: x-FFTs, y-FFTs (local), transpose, z-FFTs.
     // ------------------------------------------------------------------
     ctx.phase("ft:forward");
-    fft_xy(ctx, &mut u, nx, ny, my_nz, &plan_x, &plan_y, Direction::Forward, slab_bytes);
+    fft_xy(
+        ctx,
+        &mut u,
+        nx,
+        ny,
+        my_nz,
+        &plan_x,
+        &plan_y,
+        Direction::Forward,
+        slab_bytes,
+    );
     // Transposed layout: [x_local][y][z], z contiguous.
     let mut ut = transpose_forward(ctx, &u, &cfg, z0, my_nz, my_nx);
     drop(u);
-    fft_z(ctx, &mut ut, ny, nz, my_nx, &plan_z, Direction::Forward, slab_bytes);
+    fft_z(
+        ctx,
+        &mut ut,
+        ny,
+        nz,
+        my_nx,
+        &plan_z,
+        Direction::Forward,
+        slab_bytes,
+    );
 
     // Spectral energy for verification (Parseval-style decay check).
     let energy0 = spectral_energy(ctx, &ut, &cfg);
@@ -166,10 +184,29 @@ pub fn ft_kernel(ctx: &mut Ctx, cfg: FtConfig) -> FtResult {
         energy_last = e;
 
         ctx.phase("ft:inverse");
-        fft_z(ctx, &mut w, ny, nz, my_nx, &plan_z, Direction::Inverse, slab_bytes);
+        fft_z(
+            ctx,
+            &mut w,
+            ny,
+            nz,
+            my_nx,
+            &plan_z,
+            Direction::Inverse,
+            slab_bytes,
+        );
         let mut v = transpose_inverse(ctx, &w, &cfg, z0, my_nz, my_nx);
         drop(w);
-        fft_xy(ctx, &mut v, nx, ny, my_nz, &plan_x, &plan_y, Direction::Inverse, slab_bytes);
+        fft_xy(
+            ctx,
+            &mut v,
+            nx,
+            ny,
+            my_nz,
+            &plan_x,
+            &plan_y,
+            Direction::Inverse,
+            slab_bytes,
+        );
         // Normalize the inverse.
         let scale = 1.0 / cfg.n() as f64;
         for zv in v.iter_mut() {
@@ -185,7 +222,10 @@ pub fn ft_kernel(ctx: &mut Ctx, cfg: FtConfig) -> FtResult {
     let finite = checksums
         .iter()
         .all(|c| c.re.is_finite() && c.im.is_finite() && c.abs() > 0.0);
-    FtResult { checksums, verified: finite && energies_ok }
+    FtResult {
+        checksums,
+        verified: finite && energies_ok,
+    }
 }
 
 /// Local x-direction then y-direction FFTs over the z-slab layout.
@@ -230,6 +270,7 @@ fn fft_xy(
 }
 
 /// z-direction FFTs over the transposed layout `[x_local][y][z]`.
+#[allow(clippy::too_many_arguments)]
 fn fft_z(
     ctx: &mut Ctx,
     ut: &mut [C64],
@@ -298,7 +339,10 @@ fn transpose_forward(
         }
     }
     let _ = z0;
-    ctx.mem_stream((my_nx * ny * nz) as f64 * 2.0, (ut.len().max(1) * 16) as u64);
+    ctx.mem_stream(
+        (my_nx * ny * nz) as f64 * 2.0,
+        (ut.len().max(1) * 16) as u64,
+    );
     ut
 }
 
@@ -357,7 +401,15 @@ fn transpose_inverse(
 }
 
 /// Element-wise evolution in frequency space at time step `t`.
-fn evolve(ctx: &mut Ctx, ut: &mut [C64], cfg: &FtConfig, x0: usize, my_nx: usize, t: usize, ws: u64) {
+fn evolve(
+    ctx: &mut Ctx,
+    ut: &mut [C64],
+    cfg: &FtConfig,
+    x0: usize,
+    my_nx: usize,
+    t: usize,
+    ws: u64,
+) {
     let (nx, ny, nz) = (cfg.nx, cfg.ny, cfg.nz);
     let tau = -4.0 * std::f64::consts::PI * std::f64::consts::PI * ALPHA_DIFF * t as f64;
     for xl in 0..my_nx {
@@ -439,7 +491,12 @@ mod tests {
 
     #[test]
     fn ft_checksums_independent_of_rank_count() {
-        let cfg = FtConfig { nx: 16, ny: 16, nz: 8, niter: 3 };
+        let cfg = FtConfig {
+            nx: 16,
+            ny: 16,
+            nz: 8,
+            niter: 3,
+        };
         let w = world();
         let r1 = run(&w, 1, |ctx| ft_kernel(ctx, cfg));
         let r4 = run(&w, 4, |ctx| ft_kernel(ctx, cfg));
@@ -449,10 +506,7 @@ mod tests {
             for rk in &r.ranks {
                 let b = &rk.result.checksums;
                 for (x, y) in a.iter().zip(b) {
-                    assert!(
-                        (*x - *y).abs() < 1e-9,
-                        "checksum mismatch {x:?} vs {y:?}"
-                    );
+                    assert!((*x - *y).abs() < 1e-9, "checksum mismatch {x:?} vs {y:?}");
                 }
             }
         }
@@ -461,7 +515,12 @@ mod tests {
     #[test]
     fn ft_runs_with_more_ranks_than_planes() {
         // nz = 8 but p = 12: surplus ranks hold no planes yet participate.
-        let cfg = FtConfig { nx: 16, ny: 8, nz: 8, niter: 2 };
+        let cfg = FtConfig {
+            nx: 16,
+            ny: 8,
+            nz: 8,
+            niter: 2,
+        };
         let w = world();
         let r1 = run(&w, 1, |ctx| ft_kernel(ctx, cfg));
         let r12 = run(&w, 12, |ctx| ft_kernel(ctx, cfg));
@@ -491,7 +550,12 @@ mod tests {
     #[test]
     fn ft_message_counts_match_pairwise_exchange() {
         let w = world();
-        let cfg = FtConfig { nx: 16, ny: 16, nz: 8, niter: 2 };
+        let cfg = FtConfig {
+            nx: 16,
+            ny: 16,
+            nz: 8,
+            niter: 2,
+        };
         let p = 4;
         let r = run(&w, p, |ctx| ft_kernel(ctx, cfg));
         // Each rank: (1 forward + niter inverse) alltoalls × (p-1) messages,

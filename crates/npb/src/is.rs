@@ -34,7 +34,12 @@ impl IsConfig {
     /// The scaled NPB class sizes.
     pub fn class(c: Class) -> Self {
         let (keys, key_range) = c.is_size();
-        Self { keys, key_range, reps: 4, seed: crate::common::RANDLC_SEED }
+        Self {
+            keys,
+            key_range,
+            reps: 4,
+            seed: crate::common::RANDLC_SEED,
+        }
     }
 }
 
@@ -57,7 +62,9 @@ pub fn is_kernel(ctx: &mut Ctx, cfg: IsConfig) -> IsResult {
     let my_start = rank * base + rank.min(extra);
 
     // Bucket b owns keys in [b·key_range/p, (b+1)·key_range/p).
-    let bucket_of = |k: u64| -> usize { ((k as u128 * p as u128) / cfg.key_range as u128) as usize };
+    let bucket_of = |k: u64| -> usize {
+        ((u128::from(k) * u128::from(p)) / u128::from(cfg.key_range)) as usize
+    };
 
     let mut sorted_keys: Vec<u32> = Vec::new();
     let mut verified = true;
@@ -82,12 +89,12 @@ pub fn is_kernel(ctx: &mut Ctx, cfg: IsConfig) -> IsResult {
         // Counting sort over my bucket's key sub-range. The range must be
         // the exact preimage of `bucket_of`: bucket r owns keys with
         // `r·kr ≤ k·p < (r+1)·kr`, i.e. `k ∈ [ceil(r·kr/p), ceil((r+1)·kr/p))`.
-        let lo = (rank as u128 * cfg.key_range as u128).div_ceil(p as u128) as u64;
-        let hi = ((rank + 1) as u128 * cfg.key_range as u128).div_ceil(p as u128) as u64;
+        let lo = (u128::from(rank) * u128::from(cfg.key_range)).div_ceil(u128::from(p)) as u64;
+        let hi = (u128::from(rank + 1) * u128::from(cfg.key_range)).div_ceil(u128::from(p)) as u64;
         let width = (hi - lo) as usize;
         let mut counts = vec![0u32; width.max(1)];
         for &k in &mine {
-            let k = k as u64;
+            let k = u64::from(k);
             assert!(k >= lo && k < hi, "misrouted key {k} not in [{lo},{hi})");
             counts[(k - lo) as usize] += 1;
         }
@@ -107,8 +114,8 @@ pub fn is_kernel(ctx: &mut Ctx, cfg: IsConfig) -> IsResult {
         // Local sortedness.
         let locally_sorted = sorted_keys.windows(2).all(|w| w[0] <= w[1]);
         // Boundary order with the next rank: my max <= their min.
-        let my_max = sorted_keys.last().copied().unwrap_or(0) as f64;
-        let my_min = sorted_keys.first().copied().unwrap_or(u32::MAX) as f64;
+        let my_max = f64::from(sorted_keys.last().copied().unwrap_or(0));
+        let my_min = f64::from(sorted_keys.first().copied().unwrap_or(u32::MAX));
         let maxes = ctx.allgather(vec![my_max]);
         let mins = ctx.allgather(vec![my_min]);
         let boundaries_ok = (0..p as usize - 1).all(|i| {
@@ -119,13 +126,14 @@ pub fn is_kernel(ctx: &mut Ctx, cfg: IsConfig) -> IsResult {
         });
         // Key conservation.
         let total = ctx.allreduce_scalar(sorted_keys.len() as f64);
-        verified = verified
-            && locally_sorted
-            && boundaries_ok
-            && (total - cfg.keys as f64).abs() < 0.5;
+        verified =
+            verified && locally_sorted && boundaries_ok && (total - cfg.keys as f64).abs() < 0.5;
     }
 
-    IsResult { local_count: sorted_keys.len() as u64, verified }
+    IsResult {
+        local_count: sorted_keys.len() as u64,
+        verified,
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +191,10 @@ mod tests {
         let c = r.total_counters();
         // Each repetition redistributes ~3/4 of all keys (uniform keys, 4 ranks).
         let expect = cfg.reps as f64 * cfg.keys as f64 * 4.0 * 0.5;
-        assert!(c.bytes > expect, "IS moved {} bytes, expected > {expect}", c.bytes);
+        assert!(
+            c.bytes > expect,
+            "IS moved {} bytes, expected > {expect}",
+            c.bytes
+        );
     }
 }

@@ -63,7 +63,12 @@ struct Slab {
 
 impl Slab {
     fn zeros(n: usize, z0: usize, nz: usize) -> Self {
-        Self { n, z0, nz, data: vec![0.0; (nz + 2) * n * n] }
+        Self {
+            n,
+            z0,
+            nz,
+            data: vec![0.0; (nz + 2) * n * n],
+        }
     }
 
     #[inline]
@@ -178,7 +183,7 @@ fn residual(ctx: &mut Ctx, u: &mut Slab, v: &Slab, tag: u64) -> Slab {
 /// guarantees while planes ≥ 2·p).
 fn restrict(ctx: &mut Ctx, fine: &Slab) -> Slab {
     let n = fine.n / 2;
-    debug_assert!(fine.nz % 2 == 0);
+    debug_assert!(fine.nz.is_multiple_of(2));
     let mut coarse = Slab::zeros(n, fine.z0 / 2, fine.nz / 2);
     for zl in 1..=coarse.nz {
         let fz = 2 * zl - 1;
@@ -229,7 +234,7 @@ fn prolongate_add(ctx: &mut Ctx, fine: &mut Slab, coarse: &Slab) {
 }
 
 /// Recursive V-cycle. `tag` namespaces this level's halo messages.
-fn vcycle(ctx: &mut Ctx, u: &mut Slab, v: &Slab, level: u32, tag: u64) {
+fn vcycle(ctx: &mut Ctx, u: &mut Slab, v: &Slab, tag: u64) {
     let edge = u.n;
     let p = ctx.size();
     // Coarsest level (or too coarse to split further): smooth hard.
@@ -244,7 +249,7 @@ fn vcycle(ctx: &mut Ctx, u: &mut Slab, v: &Slab, level: u32, tag: u64) {
     // rank* (a divergent choice would deadlock the halo exchanges), so it is
     // computed from globally known quantities only: all slabs are even and
     // equal iff `edge % (2p) == 0`.
-    let splittable = edge % (2 * p) == 0 && edge * edge * edge / 8 >= p;
+    let splittable = edge.is_multiple_of(2 * p) && edge * edge * edge / 8 >= p;
     // Pre-smooth.
     smooth(ctx, u, v, tag);
     smooth(ctx, u, v, tag + 2);
@@ -252,7 +257,7 @@ fn vcycle(ctx: &mut Ctx, u: &mut Slab, v: &Slab, level: u32, tag: u64) {
         let mut r = residual(ctx, u, v, tag + 4);
         let rc = restrict(ctx, &r);
         let mut ec = Slab::zeros(rc.n, rc.z0, rc.nz);
-        vcycle(ctx, &mut ec, &rc, level + 1, tag + 16);
+        vcycle(ctx, &mut ec, &rc, tag + 16);
         prolongate_add(ctx, u, &ec);
         drop(r.data.drain(..));
     }
@@ -303,16 +308,18 @@ pub fn mg_kernel(ctx: &mut Ctx, cfg: MgConfig) -> MgResult {
     let mut residuals = Vec::with_capacity(cfg.ncycles);
     for cyc in 0..cfg.ncycles {
         ctx.phase("mg:vcycle");
-        vcycle(ctx, &mut u, &v, 0, 2000 + 1000 * cyc as u64);
+        vcycle(ctx, &mut u, &v, 2000 + 1000 * cyc as u64);
         residuals.push(residual_norm(ctx, &mut u, &v, 9000 + cyc as u64 * 10));
     }
 
     let monotone = residuals.windows(2).all(|w| w[1] <= w[0] * 1.0001);
     let reduced = residuals
         .last()
-        .map(|r| *r < r0 * 0.1 && r.is_finite())
-        .unwrap_or(false);
-    MgResult { residuals, verified: monotone && reduced }
+        .is_some_and(|r| *r < r0 * 0.1 && r.is_finite());
+    MgResult {
+        residuals,
+        verified: monotone && reduced,
+    }
 }
 
 #[cfg(test)]
@@ -328,7 +335,10 @@ mod tests {
     #[test]
     fn mg_converges_on_one_rank() {
         let w = world();
-        let cfg = MgConfig { edge: 16, ncycles: 4 };
+        let cfg = MgConfig {
+            edge: 16,
+            ncycles: 4,
+        };
         let r = run(&w, 1, |ctx| mg_kernel(ctx, cfg));
         let res = &r.ranks[0].result;
         assert!(res.verified, "{res:?}");
@@ -336,7 +346,10 @@ mod tests {
 
     #[test]
     fn mg_residuals_match_across_rank_counts() {
-        let cfg = MgConfig { edge: 16, ncycles: 3 };
+        let cfg = MgConfig {
+            edge: 16,
+            ncycles: 3,
+        };
         let w = world();
         let r1 = run(&w, 1, |ctx| mg_kernel(ctx, cfg));
         let a = &r1.ranks[0].result.residuals;
@@ -344,10 +357,7 @@ mod tests {
             let rp = run(&w, p, |ctx| mg_kernel(ctx, cfg));
             let b = &rp.ranks[0].result.residuals;
             for (x, y) in a.iter().zip(b) {
-                assert!(
-                    (x - y).abs() <= 1e-9 * x.max(1e-12),
-                    "p={p}: {x} vs {y}"
-                );
+                assert!((x - y).abs() <= 1e-9 * x.max(1e-12), "p={p}: {x} vs {y}");
             }
         }
     }
@@ -355,7 +365,10 @@ mod tests {
     #[test]
     fn mg_uses_neighbour_communication_only() {
         let w = world();
-        let cfg = MgConfig { edge: 16, ncycles: 2 };
+        let cfg = MgConfig {
+            edge: 16,
+            ncycles: 2,
+        };
         let p = 4;
         let r = run(&w, p, |ctx| mg_kernel(ctx, cfg));
         // Halo traffic: every sweep exchanges 2 planes with neighbours; far
@@ -363,6 +376,9 @@ mod tests {
         let c = r.total_counters();
         assert!(c.messages > 0.0);
         let per_rank_msgs = c.messages / p as f64;
-        assert!(per_rank_msgs < 1000.0, "suspiciously chatty: {per_rank_msgs}");
+        assert!(
+            per_rank_msgs < 1000.0,
+            "suspiciously chatty: {per_rank_msgs}"
+        );
     }
 }

@@ -29,12 +29,18 @@ impl C64 {
 
     /// `e^{iθ}` — the twiddle-factor constructor.
     pub fn cis(theta: f64) -> Self {
-        Self { re: theta.cos(), im: theta.sin() }
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Complex conjugate.
     pub fn conj(self) -> Self {
-        Self { re: self.re, im: -self.im }
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude `|z|²`.
@@ -49,7 +55,10 @@ impl C64 {
 
     /// Scale by a real factor.
     pub fn scale(self, s: f64) -> Self {
-        Self { re: self.re * s, im: self.im * s }
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 }
 

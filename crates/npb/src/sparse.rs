@@ -192,7 +192,13 @@ pub fn assemble_block_padded(
         }
         row_ptr.push(col_idx.len());
     }
-    let csr = Csr { nrows, ncols, row_ptr, col_idx, values };
+    let csr = Csr {
+        nrows,
+        ncols,
+        row_ptr,
+        col_idx,
+        values,
+    };
     csr.validate();
     csr
 }
@@ -221,14 +227,15 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // (i, j) vs (j, i) reads index both ways
     fn full_matrix_is_symmetric() {
         let n = 64;
         let full = assemble_block(SEED, n, 5, 0, n, 0, n);
         // Densify and check symmetry.
         let mut dense = vec![vec![0.0f64; n]; n];
-        for i in 0..n {
+        for (i, row) in dense.iter_mut().enumerate() {
             for k in full.row_ptr[i]..full.row_ptr[i + 1] {
-                dense[i][full.col_idx[k] as usize] = full.values[k];
+                row[full.col_idx[k] as usize] = full.values[k];
             }
         }
         for i in 0..n {

@@ -1,34 +1,35 @@
 //! Sampled power traces.
 
-use serde::{Deserialize, Serialize};
+use simcluster::units::{Joules, Seconds, Watts};
 use simcluster::{EnergyMeter, SegmentLog};
 
-/// One sample of system power, decomposed per component (watts).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// One sample of system power, decomposed per component.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerSample {
     /// Virtual time of the sample, seconds.
     pub t_s: f64,
     /// CPU power across all sampled ranks.
-    pub cpu_w: f64,
+    pub cpu_w: Watts,
     /// Memory power.
-    pub mem_w: f64,
+    pub mem_w: Watts,
     /// NIC power.
-    pub net_w: f64,
+    pub net_w: Watts,
     /// Disk power.
-    pub disk_w: f64,
+    pub disk_w: Watts,
     /// Motherboard/fans/PSU power.
-    pub other_w: f64,
+    pub other_w: Watts,
 }
 
 impl PowerSample {
     /// Total system power at this sample.
-    pub fn total_w(&self) -> f64 {
+    #[must_use]
+    pub fn total_w(&self) -> Watts {
         self.cpu_w + self.mem_w + self.net_w + self.disk_w + self.other_w
     }
 }
 
 /// A sampled power trace of a parallel run — the paper's Fig. 10 object.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerProfile {
     /// Samples in time order, evenly spaced.
     pub samples: Vec<PowerSample>,
@@ -45,16 +46,19 @@ impl PowerProfile {
     /// # Panics
     /// Panics if `dt_s <= 0` or `logs` is empty.
     pub fn sample(meter: &EnergyMeter, logs: &[&SegmentLog], dt_s: f64) -> Self {
-        assert!(dt_s > 0.0 && dt_s.is_finite(), "invalid sample interval {dt_s}");
+        assert!(
+            dt_s > 0.0 && dt_s.is_finite(),
+            "invalid sample interval {dt_s}"
+        );
         assert!(!logs.is_empty(), "no rank logs to sample");
         let span = logs.iter().map(|l| l.end_s()).fold(0.0, f64::max);
         let steps = (span / dt_s).ceil() as usize + 1;
         let mut samples = Vec::with_capacity(steps);
         for k in 0..steps {
             let t = k as f64 * dt_s;
-            let mut acc = [0.0f64; 5];
+            let mut acc = [Watts::ZERO; 5];
             for log in logs {
-                let p = meter.power_at(log, t);
+                let p = meter.power_at(log, Seconds::new(t));
                 for (a, v) in acc.iter_mut().zip(p) {
                     *a += v;
                 }
@@ -68,37 +72,48 @@ impl PowerProfile {
                 other_w: acc[4],
             });
         }
-        Self { samples, dt_s, ranks: logs.len() }
+        Self {
+            samples,
+            dt_s,
+            ranks: logs.len(),
+        }
     }
 
-    /// Trapezoidal energy integral of the trace, joules.
-    pub fn energy_j(&self) -> f64 {
+    /// Trapezoidal energy integral of the trace.
+    #[must_use]
+    pub fn energy_j(&self) -> Joules {
         if self.samples.len() < 2 {
-            return 0.0;
+            return Joules::ZERO;
         }
-        let mut e = 0.0;
+        let mut e = Joules::ZERO;
         for w in self.samples.windows(2) {
-            e += 0.5 * (w[0].total_w() + w[1].total_w()) * self.dt_s;
+            e += 0.5 * (w[0].total_w() + w[1].total_w()) * Seconds::new(self.dt_s);
         }
         e
     }
 
-    /// Peak total power in the trace, watts.
-    pub fn peak_w(&self) -> f64 {
-        self.samples.iter().map(PowerSample::total_w).fold(0.0, f64::max)
+    /// Peak total power in the trace.
+    #[must_use]
+    pub fn peak_w(&self) -> Watts {
+        self.samples
+            .iter()
+            .map(PowerSample::total_w)
+            .fold(Watts::ZERO, Watts::max)
     }
 
-    /// Mean total power, watts.
-    pub fn mean_w(&self) -> f64 {
+    /// Mean total power.
+    #[must_use]
+    pub fn mean_w(&self) -> Watts {
         if self.samples.is_empty() {
-            return 0.0;
+            return Watts::ZERO;
         }
-        self.samples.iter().map(PowerSample::total_w).sum::<f64>() / self.samples.len() as f64
+        self.samples.iter().map(PowerSample::total_w).sum::<Watts>() / self.samples.len() as f64
     }
 
     /// The idle baseline (system idle power × ranks) the trace fluctuates
     /// over — the dashed line in the paper's Fig. 10.
-    pub fn idle_baseline_w(&self, meter: &EnergyMeter) -> f64 {
+    #[must_use]
+    pub fn idle_baseline_w(&self, meter: &EnergyMeter) -> Watts {
         meter.node().system_idle_w() * self.ranks as f64
     }
 }
@@ -136,7 +151,7 @@ mod tests {
     fn trace_integral_matches_meter_energy() {
         let m = meter();
         let log = busy_log(2.0);
-        let e_meter = m.rank_energy(&log, 2.0).total();
+        let e_meter = m.rank_energy(&log, Seconds::new(2.0)).total();
         let prof = PowerProfile::sample(&m, &[&log], 1e-3);
         let e_trace = prof.energy_j();
         assert!(
@@ -149,8 +164,18 @@ mod tests {
     fn power_fluctuates_over_idle_baseline() {
         let m = meter();
         let mut log = SegmentLog::new(0);
-        log.push(Segment { kind: SegmentKind::Compute, start_s: 0.0, wall_s: 1.0, work_s: 1.0 });
-        log.push(Segment { kind: SegmentKind::Wait, start_s: 1.0, wall_s: 1.0, work_s: 0.0 });
+        log.push(Segment {
+            kind: SegmentKind::Compute,
+            start_s: 0.0,
+            wall_s: 1.0,
+            work_s: 1.0,
+        });
+        log.push(Segment {
+            kind: SegmentKind::Wait,
+            start_s: 1.0,
+            wall_s: 1.0,
+            work_s: 0.0,
+        });
         let prof = PowerProfile::sample(&m, &[&log], 0.05);
         let idle = prof.idle_baseline_w(&m);
         assert!(prof.peak_w() > idle);
@@ -160,7 +185,7 @@ mod tests {
             .iter()
             .find(|s| s.t_s > 1.5)
             .expect("late sample");
-        assert!((late.total_w() - idle).abs() < 1e-9);
+        assert!((late.total_w() - idle).abs() < Watts::new(1e-9));
     }
 
     #[test]
@@ -171,7 +196,10 @@ mod tests {
         b.rank = 1;
         let single = PowerProfile::sample(&m, &[&a], 0.1);
         let double = PowerProfile::sample(&m, &[&a, &b], 0.1);
-        assert!((double.samples[1].total_w() - 2.0 * single.samples[1].total_w()).abs() < 1e-9);
+        assert!(
+            (double.samples[1].total_w() - 2.0 * single.samples[1].total_w()).abs()
+                < Watts::new(1e-9)
+        );
         assert_eq!(double.ranks, 2);
     }
 

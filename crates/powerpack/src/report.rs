@@ -1,5 +1,7 @@
 //! Text and CSV rendering of profiles and energy summaries.
 
+use simcluster::units::Joules;
+
 use crate::profile::PowerProfile;
 use crate::session::SessionReport;
 
@@ -12,12 +14,12 @@ pub fn profile_csv(profile: &PowerProfile) -> String {
         out.push_str(&format!(
             "{:.6},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}\n",
             s.t_s,
-            s.cpu_w,
-            s.mem_w,
-            s.net_w,
-            s.disk_w,
-            s.other_w,
-            s.total_w()
+            s.cpu_w.raw(),
+            s.mem_w.raw(),
+            s.net_w.raw(),
+            s.disk_w.raw(),
+            s.other_w.raw(),
+            s.total_w().raw()
         ));
     }
     out
@@ -27,24 +29,55 @@ pub fn profile_csv(profile: &PowerProfile) -> String {
 pub fn summary_table(report: &SessionReport) -> String {
     let e = &report.energy;
     let total = e.total();
-    let pct = |x: f64| if total > 0.0 { 100.0 * x / total } else { 0.0 };
+    let pct = |x: Joules| {
+        if total > Joules::ZERO {
+            100.0 * (x / total)
+        } else {
+            0.0
+        }
+    };
     let mut out = String::new();
     out.push_str(&format!(
         "span: {:.4} s   mean power: {:.1} W   total energy: {:.1} J\n",
-        report.span_s, report.mean_power_w, total
+        report.span_s.raw(),
+        report.mean_power_w.raw(),
+        total.raw()
     ));
     out.push_str("component   energy (J)      share\n");
-    out.push_str(&format!("  cpu       {:>10.1}    {:>5.1}%\n", e.cpu_j, pct(e.cpu_j)));
-    out.push_str(&format!("  memory    {:>10.1}    {:>5.1}%\n", e.memory_j, pct(e.memory_j)));
-    out.push_str(&format!("  network   {:>10.1}    {:>5.1}%\n", e.network_j, pct(e.network_j)));
-    out.push_str(&format!("  disk      {:>10.1}    {:>5.1}%\n", e.disk_j, pct(e.disk_j)));
-    out.push_str(&format!("  other     {:>10.1}    {:>5.1}%\n", e.other_j, pct(e.other_j)));
+    out.push_str(&format!(
+        "  cpu       {:>10.1}    {:>5.1}%\n",
+        e.cpu_j.raw(),
+        pct(e.cpu_j)
+    ));
+    out.push_str(&format!(
+        "  memory    {:>10.1}    {:>5.1}%\n",
+        e.memory_j.raw(),
+        pct(e.memory_j)
+    ));
+    out.push_str(&format!(
+        "  network   {:>10.1}    {:>5.1}%\n",
+        e.network_j.raw(),
+        pct(e.network_j)
+    ));
+    out.push_str(&format!(
+        "  disk      {:>10.1}    {:>5.1}%\n",
+        e.disk_j.raw(),
+        pct(e.disk_j)
+    ));
+    out.push_str(&format!(
+        "  other     {:>10.1}    {:>5.1}%\n",
+        e.other_j.raw(),
+        pct(e.other_j)
+    ));
     if !report.phases.is_empty() {
         out.push_str("phase                start (s)    end (s)   energy (J)\n");
         for p in &report.phases {
             out.push_str(&format!(
                 "  {:<18} {:>9.4}  {:>9.4}   {:>10.1}\n",
-                p.name, p.start_s, p.end_s, p.energy_j
+                p.name,
+                p.start_s,
+                p.end_s,
+                p.energy_j.raw()
             ));
         }
     }
@@ -56,14 +89,23 @@ mod tests {
     use super::*;
     use crate::profile::PowerSample;
     use crate::session::PhaseEnergy;
+    use simcluster::units::{Seconds, Watts};
     use simcluster::ComponentEnergy;
+
+    fn sample_at(t_s: f64, cpu: f64) -> PowerSample {
+        PowerSample {
+            t_s,
+            cpu_w: Watts::new(cpu),
+            mem_w: Watts::new(3.0),
+            net_w: Watts::new(1.0),
+            disk_w: Watts::new(1.0),
+            other_w: Watts::new(5.0),
+        }
+    }
 
     fn sample_profile() -> PowerProfile {
         PowerProfile {
-            samples: vec![
-                PowerSample { t_s: 0.0, cpu_w: 10.0, mem_w: 3.0, net_w: 1.0, disk_w: 1.0, other_w: 5.0 },
-                PowerSample { t_s: 0.1, cpu_w: 22.0, mem_w: 3.0, net_w: 1.0, disk_w: 1.0, other_w: 5.0 },
-            ],
+            samples: vec![sample_at(0.0, 10.0), sample_at(0.1, 22.0)],
             dt_s: 0.1,
             ranks: 1,
         }
@@ -84,23 +126,25 @@ mod tests {
     fn summary_mentions_all_components_and_phases() {
         let rep = SessionReport {
             energy: ComponentEnergy {
-                cpu_j: 50.0,
-                memory_j: 20.0,
-                network_j: 5.0,
-                disk_j: 5.0,
-                other_j: 20.0,
+                cpu_j: Joules::new(50.0),
+                memory_j: Joules::new(20.0),
+                network_j: Joules::new(5.0),
+                disk_j: Joules::new(5.0),
+                other_j: Joules::new(20.0),
             },
-            span_s: 1.0,
-            mean_power_w: 100.0,
+            span_s: Seconds::new(1.0),
+            mean_power_w: Watts::new(100.0),
             phases: vec![PhaseEnergy {
                 name: "solve".into(),
                 start_s: 0.0,
                 end_s: 1.0,
-                energy_j: 100.0,
+                energy_j: Joules::new(100.0),
             }],
         };
         let txt = summary_table(&rep);
-        for needle in ["cpu", "memory", "network", "disk", "other", "solve", "100.0 J"] {
+        for needle in [
+            "cpu", "memory", "network", "disk", "other", "solve", "100.0 J",
+        ] {
             assert!(txt.contains(needle), "missing {needle} in:\n{txt}");
         }
     }

@@ -4,6 +4,7 @@
 //! power data with application phases (the `powerpack_start/stop/tag`
 //! pattern), and report per-component and per-phase energy.
 
+use simcluster::units::{Joules, Seconds, Watts};
 use simcluster::{ComponentEnergy, EnergyMeter, SegmentLog};
 
 use crate::profile::PowerProfile;
@@ -17,8 +18,8 @@ pub struct PhaseEnergy {
     pub start_s: f64,
     /// Phase end, virtual seconds.
     pub end_s: f64,
-    /// Energy consumed by the whole system during the phase, joules.
-    pub energy_j: f64,
+    /// Energy consumed by the whole system during the phase.
+    pub energy_j: Joules,
 }
 
 /// The result of a measurement session.
@@ -26,10 +27,10 @@ pub struct PhaseEnergy {
 pub struct SessionReport {
     /// Total energy per component.
     pub energy: ComponentEnergy,
-    /// The run's span, seconds.
-    pub span_s: f64,
-    /// Mean system power, watts.
-    pub mean_power_w: f64,
+    /// The run's span.
+    pub span_s: Seconds,
+    /// Mean system power.
+    pub mean_power_w: Watts,
     /// Per-phase energy breakdown (present when markers were recorded).
     pub phases: Vec<PhaseEnergy>,
 }
@@ -45,7 +46,10 @@ impl Session {
     /// Attach a session to runs on `meter`'s node/frequency, with a default
     /// sampling interval of 1 ms of virtual time.
     pub fn new(meter: EnergyMeter) -> Self {
-        Self { meter, sample_dt_s: 1e-3 }
+        Self {
+            meter,
+            sample_dt_s: 1e-3,
+        }
     }
 
     /// Override the trace sampling interval.
@@ -69,15 +73,15 @@ impl Session {
     /// from its earliest marker to the earliest marker of the *next* phase
     /// name in timeline order (the paper synchronizes PowerPack traces with
     /// application events the same way).
-    pub fn measure(
-        &self,
-        logs: &[&SegmentLog],
-        markers: &[Vec<(String, f64)>],
-    ) -> SessionReport {
+    pub fn measure(&self, logs: &[&SegmentLog], markers: &[Vec<(String, f64)>]) -> SessionReport {
         assert!(!logs.is_empty(), "no rank logs");
         let owned: Vec<SegmentLog> = logs.iter().map(|l| (*l).clone()).collect();
         let (energy, span) = self.meter.run_energy(&owned);
-        let mean_power = if span > 0.0 { energy.total() / span } else { 0.0 };
+        let mean_power = if span > Seconds::ZERO {
+            energy.total() / span
+        } else {
+            Watts::ZERO
+        };
 
         // Merge markers across ranks: phase start = earliest occurrence.
         let mut merged: Vec<(String, f64)> = Vec::new();
@@ -93,15 +97,25 @@ impl Session {
 
         let mut phases = Vec::with_capacity(merged.len());
         for (i, (name, start)) in merged.iter().enumerate() {
-            let end = merged.get(i + 1).map(|(_, t)| *t).unwrap_or(span);
+            let end = merged.get(i + 1).map_or(span.raw(), |(_, t)| *t);
             if end <= *start {
                 continue;
             }
             let energy_j = self.energy_between(&owned, *start, end);
-            phases.push(PhaseEnergy { name: name.clone(), start_s: *start, end_s: end, energy_j });
+            phases.push(PhaseEnergy {
+                name: name.clone(),
+                start_s: *start,
+                end_s: end,
+                energy_j,
+            });
         }
 
-        SessionReport { energy, span_s: span, mean_power_w: mean_power, phases }
+        SessionReport {
+            energy,
+            span_s: span,
+            mean_power_w: mean_power,
+            phases,
+        }
     }
 
     /// Produce a sampled power trace of the run (the paper's Fig. 10).
@@ -110,17 +124,22 @@ impl Session {
     }
 
     /// Trapezoid-integrated energy of the window `[t0, t1)` across ranks.
-    fn energy_between(&self, logs: &[SegmentLog], t0: f64, t1: f64) -> f64 {
+    fn energy_between(&self, logs: &[SegmentLog], t0: f64, t1: f64) -> Joules {
         let dt = self.sample_dt_s;
         let steps = (((t1 - t0) / dt).ceil() as usize).max(1);
-        let mut e = 0.0;
+        let slice = Seconds::new((t1 - t0) / steps as f64);
+        let mut e = Joules::ZERO;
         for k in 0..steps {
-            let t = t0 + (k as f64 + 0.5) * (t1 - t0) / steps as f64;
-            let mut w = 0.0;
+            let t = t0 + (k as f64 + 0.5) * slice.raw();
+            let mut w = Watts::ZERO;
             for log in logs {
-                w += self.meter.power_at(log, t).iter().sum::<f64>();
+                w += self
+                    .meter
+                    .power_at(log, Seconds::new(t))
+                    .into_iter()
+                    .sum::<Watts>();
             }
-            e += w * (t1 - t0) / steps as f64;
+            e += w * slice;
         }
         e
     }
@@ -137,8 +156,18 @@ mod tests {
 
     fn log_two_phases() -> (SegmentLog, Vec<(String, f64)>) {
         let mut log = SegmentLog::new(0);
-        log.push(Segment { kind: SegmentKind::Compute, start_s: 0.0, wall_s: 1.0, work_s: 1.0 });
-        log.push(Segment { kind: SegmentKind::Memory, start_s: 1.0, wall_s: 1.0, work_s: 1.0 });
+        log.push(Segment {
+            kind: SegmentKind::Compute,
+            start_s: 0.0,
+            wall_s: 1.0,
+            work_s: 1.0,
+        });
+        log.push(Segment {
+            kind: SegmentKind::Memory,
+            start_s: 1.0,
+            wall_s: 1.0,
+            work_s: 1.0,
+        });
         let markers = vec![("compute".to_string(), 0.0), ("memory".to_string(), 1.0)];
         (log, markers)
     }
@@ -148,10 +177,10 @@ mod tests {
         let s = session();
         let (log, markers) = log_two_phases();
         let rep = s.measure(&[&log], &[markers]);
-        let direct = s.meter().rank_energy(&log, 2.0).total();
-        assert!((rep.energy.total() - direct).abs() < 1e-9);
-        assert_eq!(rep.span_s, 2.0);
-        assert!(rep.mean_power_w > 0.0);
+        let direct = s.meter().rank_energy(&log, Seconds::new(2.0)).total();
+        assert!((rep.energy.total() - direct).abs() < Joules::new(1e-9));
+        assert_eq!(rep.span_s, Seconds::new(2.0));
+        assert!(rep.mean_power_w > Watts::ZERO);
     }
 
     #[test]
@@ -160,7 +189,7 @@ mod tests {
         let (log, markers) = log_two_phases();
         let rep = s.measure(&[&log], &[markers]);
         assert_eq!(rep.phases.len(), 2);
-        let phase_sum: f64 = rep.phases.iter().map(|p| p.energy_j).sum();
+        let phase_sum: Joules = rep.phases.iter().map(|p| p.energy_j).sum();
         assert!(
             (phase_sum - rep.energy.total()).abs() / rep.energy.total() < 1e-2,
             "phases {phase_sum} vs total {}",

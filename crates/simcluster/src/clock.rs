@@ -1,9 +1,11 @@
 //! Virtual time.
 //!
-//! All time in the simulator is *virtual*: a per-rank `f64` clock measured in
-//! seconds, advanced explicitly by work charges and message arrivals. Nothing
-//! here depends on wall-clock time, so simulated experiments are exactly
+//! All time in the simulator is *virtual*: a per-rank [`Seconds`] clock,
+//! advanced explicitly by work charges and message arrivals. Nothing here
+//! depends on wall-clock time, so simulated experiments are exactly
 //! reproducible.
+
+use crate::units::Seconds;
 
 /// A per-rank virtual clock, in seconds since the start of the run.
 ///
@@ -13,28 +15,30 @@
 /// waited duration.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct VirtualClock {
-    now: f64,
+    now: Seconds,
 }
 
 impl VirtualClock {
     /// A clock at time zero.
+    #[must_use]
     pub fn new() -> Self {
-        Self { now: 0.0 }
+        Self { now: Seconds::ZERO }
     }
 
-    /// Current virtual time in seconds.
-    pub fn now(&self) -> f64 {
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> Seconds {
         self.now
     }
 
-    /// Advance the clock by `dt` seconds.
+    /// Advance the clock by `dt`.
     ///
     /// # Panics
     /// Panics if `dt` is negative or not finite — a negative charge is always
     /// a bug in the caller's cost model.
-    pub fn advance(&mut self, dt: f64) {
+    pub fn advance(&mut self, dt: Seconds) {
         assert!(
-            dt.is_finite() && dt >= 0.0,
+            dt.is_finite() && dt >= Seconds::ZERO,
             "virtual clock advanced by invalid dt={dt}"
         );
         self.now += dt;
@@ -44,14 +48,17 @@ impl VirtualClock {
     ///
     /// Returns the duration waited (zero when `t` is in the past, i.e. the
     /// awaited event already happened).
-    pub fn advance_to(&mut self, t: f64) -> f64 {
+    ///
+    /// # Panics
+    /// Panics if `t` is not finite.
+    pub fn advance_to(&mut self, t: Seconds) -> Seconds {
         assert!(t.is_finite(), "virtual clock target must be finite");
         if t > self.now {
             let waited = t - self.now;
             self.now = t;
             waited
         } else {
-            0.0
+            Seconds::ZERO
         }
     }
 }
@@ -62,52 +69,52 @@ mod tests {
 
     #[test]
     fn starts_at_zero() {
-        assert_eq!(VirtualClock::new().now(), 0.0);
+        assert_eq!(VirtualClock::new().now(), Seconds::ZERO);
     }
 
     #[test]
     fn advance_accumulates() {
         let mut c = VirtualClock::new();
-        c.advance(1.5);
-        c.advance(0.25);
-        assert!((c.now() - 1.75).abs() < 1e-12);
+        c.advance(Seconds::new(1.5));
+        c.advance(Seconds::new(0.25));
+        assert!((c.now().raw() - 1.75).abs() < 1e-12);
     }
 
     #[test]
     fn advance_by_zero_is_noop() {
         let mut c = VirtualClock::new();
-        c.advance(1.0);
-        c.advance(0.0);
-        assert_eq!(c.now(), 1.0);
+        c.advance(Seconds::new(1.0));
+        c.advance(Seconds::ZERO);
+        assert_eq!(c.now(), Seconds::new(1.0));
     }
 
     #[test]
     fn advance_to_future_reports_wait() {
         let mut c = VirtualClock::new();
-        c.advance(2.0);
-        let waited = c.advance_to(5.0);
-        assert!((waited - 3.0).abs() < 1e-12);
-        assert_eq!(c.now(), 5.0);
+        c.advance(Seconds::new(2.0));
+        let waited = c.advance_to(Seconds::new(5.0));
+        assert!((waited.raw() - 3.0).abs() < 1e-12);
+        assert_eq!(c.now(), Seconds::new(5.0));
     }
 
     #[test]
     fn advance_to_past_is_noop() {
         let mut c = VirtualClock::new();
-        c.advance(2.0);
-        let waited = c.advance_to(1.0);
-        assert_eq!(waited, 0.0);
-        assert_eq!(c.now(), 2.0);
+        c.advance(Seconds::new(2.0));
+        let waited = c.advance_to(Seconds::new(1.0));
+        assert_eq!(waited, Seconds::ZERO);
+        assert_eq!(c.now(), Seconds::new(2.0));
     }
 
     #[test]
     #[should_panic(expected = "invalid dt")]
     fn negative_advance_panics() {
-        VirtualClock::new().advance(-1.0);
+        VirtualClock::new().advance(Seconds::new(-1.0));
     }
 
     #[test]
     #[should_panic(expected = "invalid dt")]
     fn nan_advance_panics() {
-        VirtualClock::new().advance(f64::NAN);
+        VirtualClock::new().advance(Seconds::new(f64::NAN));
     }
 }

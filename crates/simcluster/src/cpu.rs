@@ -1,9 +1,8 @@
 //! CPU specification: `tc = CPI / f` (paper Table 1) and DVFS-scaled power.
 
-use serde::{Deserialize, Serialize};
-
 use crate::freq::DvfsTable;
 use crate::power::PowerLaw;
+use crate::units::{Hertz, Instructions, Seconds, Watts};
 
 /// A per-core CPU description.
 ///
@@ -12,7 +11,7 @@ use crate::power::PowerLaw;
 /// (Patterson & Hennessy, paper's [28]). The simulator keeps the `CPI` and
 /// the DVFS table so `tc` can be evaluated at any P-state, plus the power
 /// law for `ΔP_c(f)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpuSpec {
     /// Average cycles per on-chip instruction for a typical instruction mix.
     ///
@@ -42,23 +41,37 @@ impl CpuSpec {
             idle_w.is_finite() && idle_w >= 0.0,
             "idle power must be non-negative, got {idle_w} W"
         );
-        Self { base_cpi, dvfs, idle_w, delta }
+        Self {
+            base_cpi,
+            dvfs,
+            idle_w,
+            delta,
+        }
     }
 
     /// Average time per on-chip instruction at frequency `f_hz`:
     /// `tc = CPI / f` (Table 1).
-    pub fn tc(&self, f_hz: f64) -> f64 {
-        assert!(f_hz.is_finite() && f_hz > 0.0, "invalid frequency {f_hz} Hz");
-        self.base_cpi / f_hz
+    ///
+    /// # Panics
+    /// Panics on a non-positive or non-finite frequency.
+    #[must_use]
+    pub fn tc(&self, f_hz: f64) -> Seconds {
+        assert!(
+            f_hz.is_finite() && f_hz > 0.0,
+            "invalid frequency {f_hz} Hz"
+        );
+        Instructions::new(self.base_cpi) / Hertz::new(f_hz)
     }
 
     /// `tc` at the nominal (highest) DVFS state.
-    pub fn tc_nominal(&self) -> f64 {
+    #[must_use]
+    pub fn tc_nominal(&self) -> Seconds {
         self.tc(self.dvfs.nominal())
     }
 
-    /// Active delta power at frequency `f_hz`, in watts.
-    pub fn delta_power(&self, f_hz: f64) -> f64 {
+    /// Active delta power at frequency `f_hz`.
+    #[must_use]
+    pub fn delta_power(&self, f_hz: f64) -> Watts {
         self.delta.delta_at(f_hz)
     }
 }
@@ -79,7 +92,7 @@ mod tests {
     #[test]
     fn tc_is_cpi_over_f() {
         let c = xeon();
-        assert!((c.tc(2.8e9) - 0.9 / 2.8e9).abs() < 1e-24);
+        assert!((c.tc(2.8e9).raw() - 0.9 / 2.8e9).abs() < 1e-24);
     }
 
     #[test]
@@ -97,8 +110,8 @@ mod tests {
     #[test]
     fn delta_power_scales_with_dvfs() {
         let c = xeon();
-        let hi = c.delta_power(2.8e9);
-        let lo = c.delta_power(1.6e9);
+        let hi = c.delta_power(2.8e9).raw();
+        let lo = c.delta_power(1.6e9).raw();
         // gamma = 2: (1.6/2.8)^2 ≈ 0.3265
         assert!((lo / hi - (1.6f64 / 2.8).powi(2)).abs() < 1e-12);
     }

@@ -10,34 +10,36 @@
 //! delta while it is busy. The meter implements exactly that semantics over
 //! [`SegmentLog`]s: idle energy = `span × P_sys_idle` per rank; delta energy
 //! = `Σ work_s × ΔP_component` per segment (work durations are *not* squeezed
-//! by the overlap factor, matching the paper's treatment of `α`).
-
-use serde::{Deserialize, Serialize};
+//! by the overlap factor, matching the paper's treatment of `α`). Every term
+//! is built as `Watts × Seconds → Joules`, so a power can never be added to
+//! an energy by accident.
 
 use crate::events::{SegmentKind, SegmentLog};
 use crate::node::NodeSpec;
+use crate::units::{Joules, Seconds, Watts};
 
-/// Energy of one run broken down by component, in joules.
+/// Energy of one run broken down by component.
 ///
 /// Each component field contains that component's idle energy plus its
 /// active delta energy, so the fields sum to [`ComponentEnergy::total`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ComponentEnergy {
     /// CPU energy (idle share + compute delta).
-    pub cpu_j: f64,
+    pub cpu_j: Joules,
     /// Memory subsystem energy (idle share + access delta).
-    pub memory_j: f64,
+    pub memory_j: Joules,
     /// NIC energy (idle share + transfer delta).
-    pub network_j: f64,
+    pub network_j: Joules,
     /// Disk energy (idle share + I/O delta).
-    pub disk_j: f64,
+    pub disk_j: Joules,
     /// Motherboard / fans / PSU loss (constant power).
-    pub other_j: f64,
+    pub other_j: Joules,
 }
 
 impl ComponentEnergy {
-    /// Total system energy in joules.
-    pub fn total(&self) -> f64 {
+    /// Total system energy.
+    #[must_use]
+    pub fn total(&self) -> Joules {
         self.cpu_j + self.memory_j + self.network_j + self.disk_j + self.other_j
     }
 
@@ -63,55 +65,62 @@ impl EnergyMeter {
     ///
     /// # Panics
     /// Panics on a non-positive frequency or an invalid node.
+    #[must_use]
     pub fn new(node: NodeSpec, f_hz: f64) -> Self {
         node.validate();
-        assert!(f_hz.is_finite() && f_hz > 0.0, "invalid frequency {f_hz} Hz");
+        assert!(
+            f_hz.is_finite() && f_hz > 0.0,
+            "invalid frequency {f_hz} Hz"
+        );
         Self { node, f_hz }
     }
 
     /// The node spec the meter was built with.
+    #[must_use]
     pub fn node(&self) -> &NodeSpec {
         &self.node
     }
 
     /// The frequency the meter evaluates CPU deltas at.
+    #[must_use]
     pub fn frequency(&self) -> f64 {
         self.f_hz
     }
 
     /// Energy of a single rank whose activity is `log`, attributed over a
-    /// wall-clock span of `span_s` seconds (normally the *parallel* span,
-    /// `max` over ranks — Eq. 15 charges every processor idle power for the
-    /// full `Tp`).
+    /// wall-clock span of `span` (normally the *parallel* span, `max` over
+    /// ranks — Eq. 15 charges every processor idle power for the full `Tp`).
     ///
     /// # Panics
-    /// Panics if `span_s` is shorter than the log (a rank cannot be busy
+    /// Panics if `span` is shorter than the log (a rank cannot be busy
     /// after the run ended).
-    pub fn rank_energy(&self, log: &SegmentLog, span_s: f64) -> ComponentEnergy {
+    #[must_use]
+    pub fn rank_energy(&self, log: &SegmentLog, span: Seconds) -> ComponentEnergy {
         assert!(
-            span_s >= log.end_s() - 1e-9 * log.end_s().max(1.0),
-            "span {span_s}s shorter than rank {} log end {}s",
+            span.raw() >= log.end_s() - 1e-9 * log.end_s().max(1.0),
+            "span {span} shorter than rank {} log end {}s",
             log.rank,
             log.end_s()
         );
         let n = &self.node;
         let mut e = ComponentEnergy {
-            cpu_j: n.cpu.idle_w * span_s,
-            memory_j: n.memory.power.idle_w * span_s,
-            network_j: n.nic.idle_w * span_s,
-            disk_j: n.disk.idle_w * span_s,
-            other_j: n.other_w * span_s,
+            cpu_j: Watts::new(n.cpu.idle_w) * span,
+            memory_j: Watts::new(n.memory.power.idle_w) * span,
+            network_j: Watts::new(n.nic.idle_w) * span,
+            disk_j: Watts::new(n.disk.idle_w) * span,
+            other_j: Watts::new(n.other_w) * span,
         };
         let dpc = n.cpu.delta_power(self.f_hz);
         let dpm = n.memory.power.delta();
         let dpn = n.nic.delta();
         let dpd = n.disk.delta();
         for seg in &log.segments {
+            let work = Seconds::new(seg.work_s);
             match seg.kind {
-                SegmentKind::Compute => e.cpu_j += dpc * seg.work_s,
-                SegmentKind::Memory => e.memory_j += dpm * seg.work_s,
-                SegmentKind::Network => e.network_j += dpn * seg.work_s,
-                SegmentKind::Io => e.disk_j += dpd * seg.work_s,
+                SegmentKind::Compute => e.cpu_j += dpc * work,
+                SegmentKind::Memory => e.memory_j += dpm * work,
+                SegmentKind::Network => e.network_j += dpn * work,
+                SegmentKind::Io => e.disk_j += dpd * work,
                 SegmentKind::Wait => {}
             }
         }
@@ -122,9 +131,13 @@ impl EnergyMeter {
     /// over all ranks, with the span taken as the latest rank finish time.
     ///
     /// Returns the per-run breakdown and the span used.
-    pub fn run_energy(&self, logs: &[SegmentLog]) -> (ComponentEnergy, f64) {
+    ///
+    /// # Panics
+    /// Panics when `logs` is empty.
+    #[must_use]
+    pub fn run_energy(&self, logs: &[SegmentLog]) -> (ComponentEnergy, Seconds) {
         assert!(!logs.is_empty(), "run has no rank logs");
-        let span = logs.iter().map(SegmentLog::end_s).fold(0.0, f64::max);
+        let span = Seconds::new(logs.iter().map(SegmentLog::end_s).fold(0.0, f64::max));
         let mut total = ComponentEnergy::default();
         for log in logs {
             total.add(&self.rank_energy(log, span));
@@ -132,25 +145,25 @@ impl EnergyMeter {
         (total, span)
     }
 
-    /// Instantaneous power of one rank at virtual time `t_s`, in watts,
-    /// decomposed per component `(cpu, mem, net, disk, other)`.
+    /// Instantaneous power of one rank at virtual time `t`, decomposed per
+    /// component `(cpu, mem, net, disk, other)`.
     ///
     /// Used by the PowerPack profiler to sample traces (paper Fig. 10).
     /// Before the rank's first segment and after its last it draws idle
     /// power only.
-    pub fn power_at(&self, log: &SegmentLog, t_s: f64) -> [f64; 5] {
+    #[must_use]
+    pub fn power_at(&self, log: &SegmentLog, t: Seconds) -> [Watts; 5] {
         let n = &self.node;
+        let t_s = t.raw();
         let mut p = [
-            n.cpu.idle_w,
-            n.memory.power.idle_w,
-            n.nic.idle_w,
-            n.disk.idle_w,
-            n.other_w,
+            Watts::new(n.cpu.idle_w),
+            Watts::new(n.memory.power.idle_w),
+            Watts::new(n.nic.idle_w),
+            Watts::new(n.disk.idle_w),
+            Watts::new(n.other_w),
         ];
-        // Binary search for the segment containing t_s.
-        let idx = log
-            .segments
-            .partition_point(|s| s.end_s() <= t_s);
+        // Binary search for the segment containing t.
+        let idx = log.segments.partition_point(|s| s.end_s() <= t_s);
         if let Some(seg) = log.segments.get(idx) {
             if seg.start_s <= t_s && t_s < seg.end_s() && seg.wall_s > 0.0 {
                 // While a squeezed segment runs, the device delta is scaled
@@ -184,7 +197,12 @@ mod tests {
     fn log_with(segs: &[(SegmentKind, f64, f64, f64)]) -> SegmentLog {
         let mut log = SegmentLog::new(0);
         for &(kind, start, wall, work) in segs {
-            log.push(Segment { kind, start_s: start, wall_s: wall, work_s: work });
+            log.push(Segment {
+                kind,
+                start_s: start,
+                wall_s: wall,
+                work_s: work,
+            });
         }
         log
     }
@@ -193,19 +211,25 @@ mod tests {
     fn idle_only_run_draws_system_idle() {
         let m = meter();
         let log = log_with(&[(SegmentKind::Wait, 0.0, 10.0, 0.0)]);
-        let e = m.rank_energy(&log, 10.0);
-        let expect = m.node().system_idle_w() * 10.0;
-        assert!((e.total() - expect).abs() < 1e-9, "{} vs {}", e.total(), expect);
+        let e = m.rank_energy(&log, Seconds::new(10.0));
+        let expect = m.node().system_idle_w() * Seconds::new(10.0);
+        assert!(
+            (e.total() - expect).abs() < Joules::new(1e-9),
+            "{} vs {}",
+            e.total(),
+            expect
+        );
     }
 
     #[test]
     fn compute_adds_cpu_delta_times_work() {
         let m = meter();
         let log = log_with(&[(SegmentKind::Compute, 0.0, 0.8, 1.0)]);
-        let e = m.rank_energy(&log, 0.8);
-        let idle = m.node().system_idle_w() * 0.8;
-        let delta = m.node().cpu.delta_power(2.8e9) * 1.0; // full work, not wall
-        assert!((e.total() - (idle + delta)).abs() < 1e-9);
+        let e = m.rank_energy(&log, Seconds::new(0.8));
+        let idle = m.node().system_idle_w() * Seconds::new(0.8);
+        // Full work, not wall.
+        let delta = m.node().cpu.delta_power(2.8e9) * Seconds::new(1.0);
+        assert!((e.total() - (idle + delta)).abs() < Joules::new(1e-9));
     }
 
     #[test]
@@ -216,9 +240,9 @@ mod tests {
             (SegmentKind::Memory, 1.0, 0.5, 0.6),
             (SegmentKind::Network, 1.5, 0.2, 0.2),
         ]);
-        let e = m.rank_energy(&log, 2.0);
+        let e = m.rank_energy(&log, Seconds::new(2.0));
         let sum = e.cpu_j + e.memory_j + e.network_j + e.disk_j + e.other_j;
-        assert!((sum - e.total()).abs() < 1e-12);
+        assert!((sum - e.total()).abs() < Joules::new(1e-12));
     }
 
     #[test]
@@ -228,9 +252,9 @@ mod tests {
         let mut slow = log_with(&[(SegmentKind::Compute, 0.0, 2.0, 2.0)]);
         slow.rank = 1;
         let (e, span) = m.run_energy(&[fast.clone(), slow]);
-        assert_eq!(span, 2.0);
+        assert_eq!(span, Seconds::new(2.0));
         // The fast rank still pays idle power for the full 2 s span.
-        let fast_alone = m.rank_energy(&fast, 2.0);
+        let fast_alone = m.rank_energy(&fast, Seconds::new(2.0));
         assert!(e.total() > fast_alone.total());
     }
 
@@ -240,8 +264,8 @@ mod tests {
         let hi = EnergyMeter::new(g.node.clone(), 2.8e9);
         let lo = EnergyMeter::new(g.node, 1.6e9);
         let log = log_with(&[(SegmentKind::Compute, 0.0, 1.0, 1.0)]);
-        let e_hi = hi.rank_energy(&log, 1.0);
-        let e_lo = lo.rank_energy(&log, 1.0);
+        let e_hi = hi.rank_energy(&log, Seconds::new(1.0));
+        let e_lo = lo.rank_energy(&log, Seconds::new(1.0));
         assert!(e_lo.cpu_j < e_hi.cpu_j);
     }
 
@@ -249,11 +273,12 @@ mod tests {
     fn power_at_samples_idle_outside_segments() {
         let m = meter();
         let log = log_with(&[(SegmentKind::Compute, 1.0, 1.0, 1.0)]);
-        let before: f64 = m.power_at(&log, 0.5).iter().sum();
-        let during: f64 = m.power_at(&log, 1.5).iter().sum();
-        let after: f64 = m.power_at(&log, 3.0).iter().sum();
-        assert!((before - m.node().system_idle_w()).abs() < 1e-9);
-        assert!((after - m.node().system_idle_w()).abs() < 1e-9);
+        let sum = |t: f64| -> Watts { m.power_at(&log, Seconds::new(t)).into_iter().sum() };
+        let before = sum(0.5);
+        let during = sum(1.5);
+        let after = sum(3.0);
+        assert!((before - m.node().system_idle_w()).abs() < Watts::new(1e-9));
+        assert!((after - m.node().system_idle_w()).abs() < Watts::new(1e-9));
         assert!(during > before);
     }
 
@@ -263,14 +288,14 @@ mod tests {
         // work × ΔP: the sampled power is inflated by work/wall.
         let m = meter();
         let log = log_with(&[(SegmentKind::Compute, 0.0, 0.7, 1.0)]);
-        let e = m.rank_energy(&log, 0.7);
+        let e = m.rank_energy(&log, Seconds::new(0.7));
         // Riemann sum of sampled power over [0, 0.7).
         let steps = 70_000;
-        let dt = 0.7 / steps as f64;
-        let mut integral = 0.0;
+        let dt = Seconds::new(0.7 / f64::from(steps));
+        let mut integral = Joules::ZERO;
         for i in 0..steps {
-            let t = (i as f64 + 0.5) * dt;
-            integral += m.power_at(&log, t).iter().sum::<f64>() * dt;
+            let t = (f64::from(i) + 0.5) * dt;
+            integral += m.power_at(&log, t).into_iter().sum::<Watts>() * dt;
         }
         assert!(
             (integral - e.total()).abs() / e.total() < 1e-3,
@@ -284,6 +309,6 @@ mod tests {
     fn span_shorter_than_log_panics() {
         let m = meter();
         let log = log_with(&[(SegmentKind::Compute, 0.0, 2.0, 2.0)]);
-        m.rank_energy(&log, 1.0);
+        let _ = m.rank_energy(&log, Seconds::new(1.0));
     }
 }

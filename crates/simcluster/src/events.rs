@@ -15,10 +15,8 @@
 //! the clock) and a **work** duration (device-busy time; accrues delta
 //! energy). For waits the work duration is zero.
 
-use serde::{Deserialize, Serialize};
-
 /// Which component a segment keeps busy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SegmentKind {
     /// On-chip computation (drives `ΔP_c`).
     Compute,
@@ -44,7 +42,7 @@ impl SegmentKind {
 }
 
 /// One contiguous interval of a rank's activity.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Segment {
     /// What the rank was doing.
     pub kind: SegmentKind,
@@ -65,7 +63,7 @@ impl Segment {
 }
 
 /// The full activity log of one rank.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SegmentLog {
     /// Rank that produced the log.
     pub rank: usize,
@@ -76,7 +74,10 @@ pub struct SegmentLog {
 impl SegmentLog {
     /// An empty log for `rank`.
     pub fn new(rank: usize) -> Self {
-        Self { rank, segments: Vec::new() }
+        Self {
+            rank,
+            segments: Vec::new(),
+        }
     }
 
     /// Append a segment, checking monotonicity and validity.
@@ -103,7 +104,7 @@ impl SegmentLog {
 
     /// Wall-clock time of the last segment's end (the rank's finish time).
     pub fn end_s(&self) -> f64 {
-        self.segments.last().map(Segment::end_s).unwrap_or(0.0)
+        self.segments.last().map_or(0.0, Segment::end_s)
     }
 
     /// Total device-busy (work) time of a given kind.
@@ -150,7 +151,12 @@ mod tests {
     use super::*;
 
     fn seg(kind: SegmentKind, start: f64, wall: f64, work: f64) -> Segment {
-        Segment { kind, start_s: start, wall_s: wall, work_s: work }
+        Segment {
+            kind,
+            start_s: start,
+            wall_s: wall,
+            work_s: work,
+        }
     }
 
     #[test]

@@ -6,10 +6,8 @@
 //! 9). [`DvfsTable`] holds the ascending list of states and answers the
 //! queries the model and the simulator need.
 
-use serde::{Deserialize, Serialize};
-
 /// A discrete table of DVFS frequency states, in Hz, sorted ascending.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DvfsTable {
     levels: Vec<f64>,
 }
@@ -23,7 +21,10 @@ impl DvfsTable {
     /// Panics if the list is empty or contains a non-positive/non-finite
     /// frequency.
     pub fn new(mut levels: Vec<f64>) -> Self {
-        assert!(!levels.is_empty(), "DVFS table must have at least one state");
+        assert!(
+            !levels.is_empty(),
+            "DVFS table must have at least one state"
+        );
         for &f in &levels {
             assert!(f.is_finite() && f > 0.0, "invalid DVFS frequency {f} Hz");
         }

@@ -27,6 +27,8 @@
 //! * [`clock`] — virtual time.
 //! * [`events`] — typed state-interval logs (compute/memory/network/wait).
 //! * [`energy`] — per-component energy integration over interval logs.
+//! * [`units`] — dimensional-analysis newtypes (`Seconds`, `Joules`, …)
+//!   shared by the whole workspace.
 
 pub mod clock;
 pub mod cpu;
@@ -37,6 +39,7 @@ pub mod machine;
 pub mod memory;
 pub mod node;
 pub mod power;
+pub mod units;
 
 pub use clock::VirtualClock;
 pub use cpu::CpuSpec;
@@ -47,3 +50,4 @@ pub use machine::{dori, system_g, ClusterSpec, LinkSpec};
 pub use memory::{AccessProfile, CacheLevel, MemorySpec};
 pub use node::NodeSpec;
 pub use power::{ComponentPower, PowerLaw};
+pub use units::{Accesses, Bytes, Hertz, Instructions, Joules, Messages, Seconds, Watts};

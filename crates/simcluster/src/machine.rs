@@ -13,8 +13,6 @@
 //! reproduction preserves model *structure and shape*, not the testbed's
 //! absolute joules (see DESIGN.md §2).
 
-use serde::{Deserialize, Serialize};
-
 use crate::cpu::CpuSpec;
 use crate::freq::DvfsTable;
 use crate::memory::{CacheLevel, MemorySpec};
@@ -23,7 +21,7 @@ use crate::power::{ComponentPower, PowerLaw};
 
 /// Point-to-point interconnect cost parameters (the Hockney model inputs
 /// measured by MPPTest in the paper: `ts` startup, `tw` per-byte).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkSpec {
     /// Message startup latency `ts`, in seconds.
     pub startup_s: f64,
@@ -47,7 +45,7 @@ impl LinkSpec {
 }
 
 /// A homogeneous cluster: `nodes` identical [`NodeSpec`]s joined by `link`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSpec {
     /// Cluster name for reports.
     pub name: &'static str,
@@ -85,8 +83,8 @@ pub fn system_g() -> ClusterSpec {
     let cpu = CpuSpec::new(
         0.9, // effective CPI of a typical mixed workload on the 2.8 GHz Xeon
         dvfs,
-        10.0,                             // per-core idle share
-        PowerLaw::new(12.5, 2.8e9, 2.0),  // γ = 2 on SystemG (paper §V.B.4)
+        10.0,                            // per-core idle share
+        PowerLaw::new(12.5, 2.8e9, 2.0), // γ = 2 on SystemG (paper §V.B.4)
     );
     let memory = MemorySpec::new(
         vec![
@@ -210,7 +208,7 @@ mod tests {
     fn node_idle_power_is_plausible() {
         // SystemG Mac Pro node: 8 cores x per-core idle share ≈ 170 W.
         let g = system_g();
-        let node_idle = g.node.system_idle_w() * g.node.cores() as f64;
+        let node_idle = (g.node.system_idle_w() * g.node.cores() as f64).raw();
         assert!(
             (150.0..200.0).contains(&node_idle),
             "SystemG node idle {node_idle} W out of plausible range"

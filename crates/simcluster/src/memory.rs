@@ -10,12 +10,10 @@
 //! produces realistic validation error and motivates the paper's *negative*
 //! parallel memory-overhead terms (`Wom < 0` for FT and CG).
 
-use serde::{Deserialize, Serialize};
-
 use crate::power::ComponentPower;
 
 /// One level of the cache hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CacheLevel {
     /// Capacity in bytes.
     pub capacity_bytes: u64,
@@ -25,12 +23,7 @@ pub struct CacheLevel {
     /// co-scheduled on the sharing cores, each sees `capacity / min(k,
     /// shared_by)` — cache contention, one more way real (and simulated)
     /// parallel runs deviate from the analytical model.
-    #[serde(default = "one")]
     pub shared_by: u32,
-}
-
-fn one() -> u32 {
-    1
 }
 
 impl CacheLevel {
@@ -52,19 +45,26 @@ impl CacheLevel {
             latency_s.is_finite() && latency_s > 0.0,
             "cache latency must be positive, got {latency_s} s"
         );
-        assert!(shared_by >= 1, "a cache level is shared by at least one core");
-        Self { capacity_bytes, latency_s, shared_by }
+        assert!(
+            shared_by >= 1,
+            "a cache level is shared by at least one core"
+        );
+        Self {
+            capacity_bytes,
+            latency_s,
+            shared_by,
+        }
     }
 
     /// Effective per-rank capacity when `co_resident` ranks occupy the node.
     pub fn effective_capacity(&self, co_resident: usize) -> f64 {
         let sharers = (co_resident.max(1) as u32).min(self.shared_by);
-        self.capacity_bytes as f64 / sharers as f64
+        self.capacity_bytes as f64 / f64::from(sharers)
     }
 }
 
 /// The on-chip/off-chip split of accesses to a given working set.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AccessProfile {
     /// Average on-chip (cache) time per access at nominal frequency, s.
     pub on_chip_s_per_access: f64,
@@ -73,7 +73,7 @@ pub struct AccessProfile {
 }
 
 /// A node's memory system: cache levels (ascending capacity) plus DRAM.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemorySpec {
     /// Cache levels ordered from smallest/fastest to largest/slowest.
     pub levels: Vec<CacheLevel>,
@@ -110,7 +110,11 @@ impl MemorySpec {
                 "DRAM must be slower than the last cache level"
             );
         }
-        Self { levels, dram_latency_s, power }
+        Self {
+            levels,
+            dram_latency_s,
+            power,
+        }
     }
 
     /// How accesses to a `working_set_bytes` working set split between
@@ -147,7 +151,10 @@ impl MemorySpec {
         /// Retained hit fraction of a thrashing (ws > cap) level.
         const BETA: f64 = 0.5;
         if self.levels.is_empty() {
-            return AccessProfile { on_chip_s_per_access: 0.0, dram_fraction: 1.0 };
+            return AccessProfile {
+                on_chip_s_per_access: 0.0,
+                dram_fraction: 1.0,
+            };
         }
         let ws = working_set_bytes.max(1) as f64;
         // Cumulative served fraction s_k: 1.0 once a level holds the whole
@@ -165,7 +172,10 @@ impl MemorySpec {
             }
         }
         let dram_fraction = (1.0 - served).max(0.0);
-        AccessProfile { on_chip_s_per_access: on_chip, dram_fraction }
+        AccessProfile {
+            on_chip_s_per_access: on_chip,
+            dram_fraction,
+        }
     }
 
     /// Effective average latency per access for a working set of
@@ -180,11 +190,7 @@ impl MemorySpec {
     /// set (4× the last cache level), matching how the paper reads the
     /// `lat_mem_rd` plateau.
     pub fn tm_plateau(&self) -> f64 {
-        let ws = self
-            .levels
-            .last()
-            .map(|l| l.capacity_bytes * 4)
-            .unwrap_or(1 << 30);
+        let ws = self.levels.last().map_or(1 << 30, |l| l.capacity_bytes * 4);
         self.latency_for_working_set(ws)
     }
 }
@@ -226,7 +232,10 @@ mod tests {
             .map(|&s| m.latency_for_working_set(s))
             .collect();
         for w in lats.windows(2) {
-            assert!(w[1] >= w[0] - 1e-18, "latency must be non-decreasing: {lats:?}");
+            assert!(
+                w[1] >= w[0] - 1e-18,
+                "latency must be non-decreasing: {lats:?}"
+            );
         }
     }
 
@@ -255,10 +264,7 @@ mod tests {
     #[should_panic(expected = "strictly increasing capacity")]
     fn non_monotone_levels_panic() {
         MemorySpec::new(
-            vec![
-                CacheLevel::new(1024, 1e-9),
-                CacheLevel::new(512, 2e-9),
-            ],
+            vec![CacheLevel::new(1024, 1e-9), CacheLevel::new(512, 2e-9)],
             1e-7,
             ComponentPower::new(5.0, 2.0),
         );

@@ -1,11 +1,10 @@
 //! Node composition: cores, memory, and the non-scaling components
 //! (NIC, disk, motherboard/fans) of the paper's Table 1.
 
-use serde::{Deserialize, Serialize};
-
 use crate::cpu::CpuSpec;
 use crate::memory::MemorySpec;
 use crate::power::ComponentPower;
+use crate::units::Watts;
 
 /// A compute node, described *per core* on the power side.
 ///
@@ -14,7 +13,7 @@ use crate::power::ComponentPower;
 /// here is one core's share of node power. [`NodeSpec::cores`] says how many
 /// such shares one physical node provides; cluster presets give the per-node
 /// wall figures divided through.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeSpec {
     /// Number of sockets per node.
     pub sockets: usize,
@@ -43,9 +42,15 @@ impl NodeSpec {
 
     /// Per-core system idle power (Table 1's `P_system_idle`): the sum of
     /// every component's idle level plus the constant `P_other`.
-    pub fn system_idle_w(&self) -> f64 {
-        self.cpu.idle_w + self.memory.power.idle_w + self.nic.idle_w + self.disk.idle_w
-            + self.other_w
+    #[must_use]
+    pub fn system_idle_w(&self) -> Watts {
+        Watts::new(
+            self.cpu.idle_w
+                + self.memory.power.idle_w
+                + self.nic.idle_w
+                + self.disk.idle_w
+                + self.other_w,
+        )
     }
 
     /// Validate internal consistency (positive core counts, finite powers).
@@ -99,7 +104,7 @@ mod tests {
     #[test]
     fn system_idle_sums_components() {
         let n = node();
-        assert!((n.system_idle_w() - (10.0 + 3.5 + 1.0 + 1.0 + 7.0)).abs() < 1e-12);
+        assert!((n.system_idle_w().raw() - (10.0 + 3.5 + 1.0 + 1.0 + 7.0)).abs() < 1e-12);
     }
 
     #[test]

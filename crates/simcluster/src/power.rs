@@ -13,10 +13,10 @@
 //! `γ ≥ 1` (the paper sets `γ = 2` on SystemG). Idle power is treated as
 //! frequency-independent (dominated by leakage and uncore).
 
-use serde::{Deserialize, Serialize};
+use crate::units::Watts;
 
 /// Power-vs-frequency law for a DVFS-scaled component: `ΔP(f) = ΔP_ref · (f/f_ref)^γ`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerLaw {
     /// Active (delta over idle) power at the reference frequency, in watts.
     pub delta_ref_w: f64,
@@ -44,19 +44,30 @@ impl PowerLaw {
             gamma.is_finite() && gamma >= 1.0,
             "gamma must be >= 1 (paper Eq. 20), got {gamma}"
         );
-        Self { delta_ref_w, f_ref_hz, gamma }
+        Self {
+            delta_ref_w,
+            f_ref_hz,
+            gamma,
+        }
     }
 
-    /// Active delta power at frequency `f_hz`, in watts.
-    pub fn delta_at(&self, f_hz: f64) -> f64 {
-        assert!(f_hz.is_finite() && f_hz > 0.0, "invalid frequency {f_hz} Hz");
-        self.delta_ref_w * (f_hz / self.f_ref_hz).powf(self.gamma)
+    /// Active delta power at frequency `f_hz`.
+    ///
+    /// # Panics
+    /// Panics on a non-positive or non-finite frequency.
+    #[must_use]
+    pub fn delta_at(&self, f_hz: f64) -> Watts {
+        assert!(
+            f_hz.is_finite() && f_hz > 0.0,
+            "invalid frequency {f_hz} Hz"
+        );
+        Watts::new(self.delta_ref_w * (f_hz / self.f_ref_hz).powf(self.gamma))
     }
 }
 
 /// The running/idle power pair of a non-DVFS component (Table 1:
 /// `P_m` / `P_m_idle`, `P_IO` / `P_IO_idle`, …).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComponentPower {
     /// Average power while actively working, in watts.
     pub running_w: f64,
@@ -82,8 +93,9 @@ impl ComponentPower {
     }
 
     /// The active delta `ΔP = P_running − P_idle` (Table 1).
-    pub fn delta(&self) -> f64 {
-        self.running_w - self.idle_w
+    #[must_use]
+    pub fn delta(&self) -> Watts {
+        Watts::new(self.running_w - self.idle_w)
     }
 }
 
@@ -94,20 +106,20 @@ mod tests {
     #[test]
     fn delta_at_reference_is_reference() {
         let law = PowerLaw::new(12.5, 2.8e9, 2.0);
-        assert!((law.delta_at(2.8e9) - 12.5).abs() < 1e-12);
+        assert!((law.delta_at(2.8e9).raw() - 12.5).abs() < 1e-12);
     }
 
     #[test]
     fn delta_scales_quadratically_for_gamma_two() {
         let law = PowerLaw::new(10.0, 2.0e9, 2.0);
         // Half the frequency -> a quarter of the delta power.
-        assert!((law.delta_at(1.0e9) - 2.5).abs() < 1e-12);
+        assert!((law.delta_at(1.0e9).raw() - 2.5).abs() < 1e-12);
     }
 
     #[test]
     fn gamma_one_is_linear() {
         let law = PowerLaw::new(10.0, 2.0e9, 1.0);
-        assert!((law.delta_at(1.0e9) - 5.0).abs() < 1e-12);
+        assert!((law.delta_at(1.0e9).raw() - 5.0).abs() < 1e-12);
     }
 
     #[test]
@@ -119,7 +131,7 @@ mod tests {
     #[test]
     fn component_power_delta() {
         let p = ComponentPower::new(30.0, 15.0);
-        assert_eq!(p.delta(), 15.0);
+        assert_eq!(p.delta(), Watts::new(15.0));
     }
 
     #[test]
@@ -132,6 +144,6 @@ mod tests {
     fn zero_delta_component_is_allowed() {
         // Components that never change state (e.g. motherboard) have ΔP = 0.
         let p = ComponentPower::new(25.0, 25.0);
-        assert_eq!(p.delta(), 0.0);
+        assert_eq!(p.delta(), Watts::ZERO);
     }
 }

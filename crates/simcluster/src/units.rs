@@ -1,0 +1,301 @@
+//! Zero-cost dimensional-analysis newtypes for the model's physical
+//! quantities.
+//!
+//! Eqs. 1–21 of the paper compose energy from physically-typed terms
+//! (`tc = CPI/f`, `W × s = J`, Hockney `ts + tw·B`), and a unit-mixing
+//! slip — adding a power to an energy, multiplying two latencies —
+//! compiles fine with bare `f64`s and only shows up as a wrong Figure 5
+//! curve. These newtypes make the dimensional algebra part of the type
+//! system:
+//!
+//! * `Watts × Seconds → Joules` (and commuted), `Joules / Seconds → Watts`,
+//!   `Joules / Watts → Seconds`;
+//! * `Instructions / Hertz → Seconds` (an instruction count retired at an
+//!   instruction rate);
+//! * count types ([`Instructions`], [`Accesses`], [`Messages`], [`Bytes`])
+//!   act as dimensionless tallies: `count × per-event Seconds → Seconds`;
+//! * same-unit ratios collapse back to `f64` (`Joules / Joules`, …);
+//! * additive structure only within a unit — `Joules + Seconds` is a
+//!   compile error, which is the whole point.
+//!
+//! Every type is a `#[repr(transparent)]` wrapper over `f64`: the layer
+//! erases completely at codegen and exists only at type-check time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd)]
+        #[repr(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Wrap a raw magnitude.
+            #[must_use]
+            pub const fn new(v: f64) -> Self {
+                Self(v)
+            }
+
+            /// The raw magnitude (crossing back out of the unit system;
+            /// keep these at I/O and formatting boundaries).
+            #[must_use]
+            pub const fn raw(self) -> f64 {
+                self.0
+            }
+
+            /// True when the magnitude is finite.
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Absolute value.
+            #[must_use]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Elementwise maximum.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Elementwise minimum.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $suffix)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            /// Same-unit ratio: dimensionless.
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+    };
+}
+
+unit!(
+    /// A duration or per-event latency, in seconds.
+    Seconds, "s"
+);
+unit!(
+    /// An energy, in joules.
+    Joules, "J"
+);
+unit!(
+    /// A power, in watts.
+    Watts, "W"
+);
+unit!(
+    /// A rate, in events per second.
+    Hertz, "Hz"
+);
+unit!(
+    /// An on-chip instruction tally (the paper's `Wc`/`Woc`).
+    Instructions, "instr"
+);
+unit!(
+    /// An off-chip memory-access tally (the paper's `Wm`/`Wom`).
+    Accesses, "accesses"
+);
+unit!(
+    /// A message tally (the paper's `M`).
+    Messages, "msgs"
+);
+unit!(
+    /// A byte tally (the paper's `B`).
+    Bytes, "B"
+);
+
+/// Cross-unit products and quotients.
+macro_rules! cross {
+    ($a:ident * $b:ident = $out:ident) => {
+        impl Mul<$b> for $a {
+            type Output = $out;
+            fn mul(self, rhs: $b) -> $out {
+                $out::new(self.raw() * rhs.raw())
+            }
+        }
+
+        impl Mul<$a> for $b {
+            type Output = $out;
+            fn mul(self, rhs: $a) -> $out {
+                $out::new(self.raw() * rhs.raw())
+            }
+        }
+    };
+    ($a:ident / $b:ident = $out:ident) => {
+        impl Div<$b> for $a {
+            type Output = $out;
+            fn div(self, rhs: $b) -> $out {
+                $out::new(self.raw() / rhs.raw())
+            }
+        }
+    };
+}
+
+// The energy algebra of Eqs. 7–9/13–15: `W × s = J`.
+cross!(Watts * Seconds = Joules);
+cross!(Joules / Seconds = Watts);
+cross!(Joules / Watts = Seconds);
+
+// Workload tallies × per-event latencies (Eqs. 5–6, 17):
+// `Wc · tc`, `Wm · tm`, `M · ts`, `B · tw` are all durations.
+cross!(Instructions * Seconds = Seconds);
+cross!(Accesses * Seconds = Seconds);
+cross!(Messages * Seconds = Seconds);
+cross!(Bytes * Seconds = Seconds);
+
+// `tc = CPI / f` and `W / rate = duration` (Table 1).
+cross!(Instructions / Hertz = Seconds);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watts_times_seconds_is_joules() {
+        let e = Watts::new(50.0) * Seconds::new(2.0);
+        assert_eq!(e, Joules::new(100.0));
+        // Commuted.
+        assert_eq!(Seconds::new(2.0) * Watts::new(50.0), Joules::new(100.0));
+    }
+
+    #[test]
+    fn joules_over_seconds_is_watts_and_roundtrips() {
+        let j = Joules::new(120.0);
+        let s = Seconds::new(4.0);
+        let w = j / s;
+        assert_eq!(w, Watts::new(30.0));
+        assert_eq!(w * s, j);
+        assert_eq!(j / w, s);
+    }
+
+    #[test]
+    fn instructions_over_hertz_is_seconds() {
+        let t = Instructions::new(2.8e9) / Hertz::new(2.8e9);
+        assert!((t.raw() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tallies_scale_per_event_latencies() {
+        let t = Instructions::new(1e9) * Seconds::new(1e-9);
+        assert!((t.raw() - 1.0).abs() < 1e-12);
+        let t = Bytes::new(1e6) * Seconds::new(1e-9);
+        assert!((t.raw() - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn same_unit_ratio_is_dimensionless() {
+        let r: f64 = Joules::new(10.0) / Joules::new(4.0);
+        assert!((r - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn additive_structure_within_a_unit() {
+        let mut t = Seconds::new(1.0);
+        t += Seconds::new(0.5);
+        t -= Seconds::new(0.25);
+        assert_eq!(t, Seconds::new(1.25));
+        assert_eq!(-t, Seconds::new(-1.25));
+        let total: Seconds = [Seconds::new(1.0), Seconds::new(2.0)].into_iter().sum();
+        assert_eq!(total, Seconds::new(3.0));
+    }
+
+    #[test]
+    fn ordering_works_within_a_unit() {
+        assert!(Seconds::new(1.0) < Seconds::new(2.0));
+        assert!(Joules::new(3.0) >= Joules::new(3.0));
+        assert_eq!(Seconds::new(2.0).max(Seconds::new(3.0)), Seconds::new(3.0));
+        assert_eq!(Seconds::new(2.0).min(Seconds::new(3.0)), Seconds::new(2.0));
+    }
+
+    #[test]
+    fn scalar_scaling_preserves_the_unit() {
+        assert_eq!(2.0 * Watts::new(10.0), Watts::new(20.0));
+        assert_eq!(Watts::new(10.0) * 2.0, Watts::new(20.0));
+        assert_eq!(Watts::new(10.0) / 2.0, Watts::new(5.0));
+    }
+
+    #[test]
+    fn display_carries_the_suffix() {
+        assert_eq!(Joules::new(1.5).to_string(), "1.5 J");
+        assert_eq!(Watts::new(2.0).to_string(), "2 W");
+    }
+}

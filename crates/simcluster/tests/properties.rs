@@ -3,28 +3,22 @@
 
 use proptest::prelude::*;
 use simcluster::{
-    system_g, CacheLevel, ComponentPower, EnergyMeter, MemorySpec, PowerLaw, Segment,
-    SegmentKind, SegmentLog,
+    system_g, CacheLevel, ComponentPower, EnergyMeter, Joules, MemorySpec, PowerLaw, Seconds,
+    Segment, SegmentKind, SegmentLog, Watts,
 };
 
 fn arb_memory() -> impl Strategy<Value = MemorySpec> {
     // L1 32..128 KiB, L2 1..16 MiB, DRAM 60..200 ns.
-    (
-        32u64..128,
-        1u64..16,
-        60.0f64..200.0,
-        1u32..=4,
-    )
-        .prop_map(|(l1_kb, l2_mb, dram_ns, shared)| {
-            MemorySpec::new(
-                vec![
-                    CacheLevel::new(l1_kb * 1024, 1.5e-9),
-                    CacheLevel::shared(l2_mb * 1024 * 1024, 6.0e-9, shared),
-                ],
-                dram_ns * 1e-9,
-                ComponentPower::new(8.0, 4.0),
-            )
-        })
+    (32u64..128, 1u64..16, 60.0f64..200.0, 1u32..=4).prop_map(|(l1_kb, l2_mb, dram_ns, shared)| {
+        MemorySpec::new(
+            vec![
+                CacheLevel::new(l1_kb * 1024, 1.5e-9),
+                CacheLevel::shared(l2_mb * 1024 * 1024, 6.0e-9, shared),
+            ],
+            dram_ns * 1e-9,
+            ComponentPower::new(8.0, 4.0),
+        )
+    })
 }
 
 proptest! {
@@ -72,9 +66,9 @@ proptest! {
     ) {
         let law = PowerLaw::new(delta, 2.8e9, gamma);
         if f1 <= f2 {
-            prop_assert!(law.delta_at(f1) <= law.delta_at(f2) + 1e-12);
+            prop_assert!(law.delta_at(f1) <= law.delta_at(f2) + Watts::new(1e-12));
         } else {
-            prop_assert!(law.delta_at(f1) >= law.delta_at(f2) - 1e-12);
+            prop_assert!(law.delta_at(f1) >= law.delta_at(f2) - Watts::new(1e-12));
         }
     }
 
@@ -92,10 +86,17 @@ proptest! {
             t += dur;
         }
         let meter = EnergyMeter::new(system_g().node, 2.8e9);
-        let e = meter.rank_energy(&log, t);
-        let idle_floor = meter.node().system_idle_w() * t;
-        prop_assert!(e.total() >= idle_floor - 1e-9, "{} < {}", e.total(), idle_floor);
-        prop_assert!(e.cpu_j >= 0.0 && e.memory_j >= 0.0 && e.network_j >= 0.0);
+        let e = meter.rank_energy(&log, Seconds::new(t));
+        let idle_floor = meter.node().system_idle_w() * Seconds::new(t);
+        prop_assert!(
+            e.total() >= idle_floor - Joules::new(1e-9),
+            "{} < {}",
+            e.total(),
+            idle_floor
+        );
+        prop_assert!(
+            e.cpu_j >= Joules::ZERO && e.memory_j >= Joules::ZERO && e.network_j >= Joules::ZERO
+        );
     }
 
     #[test]
@@ -140,9 +141,12 @@ proptest! {
             work_s: dur,
         });
         let meter = EnergyMeter::new(system_g().node, 2.8e9);
-        let before: f64 = meter.power_at(&log, gap * 0.5).iter().sum();
-        prop_assert!((before - meter.node().system_idle_w()).abs() < 1e-9);
-        let during: f64 = meter.power_at(&log, gap + dur * 0.5).iter().sum();
+        let before: Watts = meter.power_at(&log, Seconds::new(gap * 0.5)).into_iter().sum();
+        prop_assert!((before - meter.node().system_idle_w()).abs() < Watts::new(1e-9));
+        let during: Watts = meter
+            .power_at(&log, Seconds::new(gap + dur * 0.5))
+            .into_iter()
+            .sum();
         prop_assert!(during > before);
     }
 }

@@ -1,0 +1,111 @@
+//! Property tests for the dimensional-units layer: the newtype algebra must
+//! agree exactly with the underlying f64 arithmetic, and the cross-unit
+//! operators must round-trip.
+
+use proptest::prelude::*;
+use simcluster::units::{Accesses, Hertz, Instructions, Joules, Seconds, Watts};
+
+/// Signed magnitudes spanning the workspace's real dynamic range
+/// (picosecond latencies to gigajoule-scale totals).
+fn mag() -> impl Strategy<Value = f64> {
+    -1e12f64..1e12
+}
+
+fn pos() -> impl Strategy<Value = f64> {
+    1e-12f64..1e12
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `(J / s) * s == J`: power derived from an energy and a duration,
+    /// re-integrated over the same duration, recovers the energy.
+    #[test]
+    fn power_energy_roundtrip(e in pos(), t in pos()) {
+        let energy = Joules::new(e);
+        let dt = Seconds::new(t);
+        let power: Watts = energy / dt;
+        let back: Joules = power * dt;
+        let rel = (back - energy).abs().raw() / energy.raw();
+        prop_assert!(rel < 1e-12, "J -> W -> J drifted: {back} vs {energy}");
+    }
+
+    /// `J / W == s`: the third face of the same identity.
+    #[test]
+    fn energy_over_power_is_duration(w in pos(), t in pos()) {
+        let power = Watts::new(w);
+        let dt = Seconds::new(t);
+        let energy: Joules = power * dt;
+        let back: Seconds = energy / power;
+        prop_assert!((back - dt).abs().raw() / t < 1e-12);
+    }
+
+    /// `W * s == s * W`: the commuted multiplication is the same energy.
+    #[test]
+    fn watts_seconds_commute(w in mag(), t in mag()) {
+        let a: Joules = Watts::new(w) * Seconds::new(t);
+        let b: Joules = Seconds::new(t) * Watts::new(w);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a.raw(), w * t);
+    }
+
+    /// `instr / Hz == s` matches the raw quotient (the `tc = CPI / f` law).
+    #[test]
+    fn instructions_over_hertz(n in pos(), f in pos()) {
+        let t: Seconds = Instructions::new(n) / Hertz::new(f);
+        prop_assert_eq!(t.raw(), n / f);
+    }
+
+    /// Same-unit division is a dimensionless ratio equal to the raw ratio.
+    #[test]
+    fn same_unit_ratio_is_raw_ratio(a in pos(), b in pos()) {
+        prop_assert_eq!(Joules::new(a) / Joules::new(b), a / b);
+        prop_assert_eq!(Seconds::new(a) / Seconds::new(b), a / b);
+    }
+
+    /// Addition/subtraction/scalar scaling mirror f64 exactly.
+    #[test]
+    fn linear_ops_match_f64(a in mag(), b in mag(), k in -1e6f64..1e6) {
+        prop_assert_eq!((Seconds::new(a) + Seconds::new(b)).raw(), a + b);
+        prop_assert_eq!((Seconds::new(a) - Seconds::new(b)).raw(), a - b);
+        prop_assert_eq!((Seconds::new(a) * k).raw(), a * k);
+        prop_assert_eq!((k * Seconds::new(a)).raw(), k * a);
+        prop_assert_eq!((Seconds::new(a) / k).raw(), a / k);
+        prop_assert_eq!((-Seconds::new(a)).raw(), -a);
+    }
+
+    /// Ordering and min/max agree with the raw magnitudes.
+    #[test]
+    fn ordering_is_consistent_with_raw(a in mag(), b in mag()) {
+        prop_assert_eq!(Joules::new(a) < Joules::new(b), a < b);
+        prop_assert_eq!(Joules::new(a) <= Joules::new(b), a <= b);
+        prop_assert_eq!(Joules::new(a).max(Joules::new(b)).raw(), a.max(b));
+        prop_assert_eq!(Joules::new(a).min(Joules::new(b)).raw(), a.min(b));
+    }
+
+    /// Summing a vector of typed values equals the raw sum.
+    #[test]
+    fn sum_matches_raw_sum(xs in proptest::collection::vec(0.0f64..1e9, 0..32)) {
+        let typed: Joules = xs.iter().map(|&x| Joules::new(x)).sum();
+        let raw: f64 = xs.iter().sum();
+        prop_assert_eq!(typed.raw(), raw);
+    }
+
+    /// Workload-rate integration: `(instr * s/instr)` via the rate operator
+    /// equals the raw product (used by the energy accounting for `Wc·tc`).
+    #[test]
+    fn workload_times_latency(w in pos(), tc in 1e-12f64..1e-6) {
+        let t: Seconds = Instructions::new(w) * Seconds::new(tc);
+        prop_assert_eq!(t.raw(), w * tc);
+        let t2: Seconds = Accesses::new(w) * Seconds::new(tc);
+        prop_assert_eq!(t2.raw(), w * tc);
+    }
+}
+
+#[test]
+fn zero_and_display() {
+    assert_eq!(Joules::ZERO.raw(), 0.0);
+    assert_eq!(format!("{}", Joules::new(1.5)), "1.5 J");
+    assert_eq!(format!("{}", Seconds::new(0.25)), "0.25 s");
+    assert_eq!(format!("{}", Watts::new(80.0)), "80 W");
+}

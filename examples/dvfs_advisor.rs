@@ -11,7 +11,11 @@ use iso_energy_efficiency::isoee::{model, MachineParams};
 const DVFS: [f64; 4] = [1.6e9, 2.0e9, 2.4e9, 2.8e9];
 
 /// Mean per-core power of a run: `Ep / (p · Tp)`.
-fn mean_power_per_core(mach: &MachineParams, app: &isoee::AppParams, p: usize) -> f64 {
+fn mean_power_per_core(
+    mach: &MachineParams,
+    app: &isoee::AppParams,
+    p: usize,
+) -> simcluster::units::Watts {
     model::ep(mach, app, p) / (p as f64 * model::tp(mach, app, p))
 }
 
@@ -23,16 +27,18 @@ fn advise(name: &str, app: &dyn AppModel, n: f64, p: usize, cap_w_per_core: f64)
     for &f in &DVFS {
         let mach = base.at_frequency(f);
         let a = app.app_params(n, p);
-        let ee = model::ee(&mach, &a, p);
+        let ee = model::ee(&mach, &a, p).expect("positive baseline");
         let watts = mean_power_per_core(&mach, &a, p);
         let ep = model::ep(&mach, &a, p);
-        let ok = watts <= cap_w_per_core;
+        let ok = watts <= simcluster::units::Watts::new(cap_w_per_core);
         println!(
-            "  {:<8.1}  {ee:<8.4}  {watts:<12.2}  {ep:<10.1}  {}",
+            "  {:<8.1}  {ee:<8.4}  {:<12.2}  {:<10.1}  {}",
             f / 1e9,
+            watts.raw(),
+            ep.raw(),
             if ok { "yes" } else { "NO" }
         );
-        if ok && best.map(|(_, b)| ee > b).unwrap_or(true) {
+        if ok && best.is_none_or(|(_, b)| ee > b) {
             best = Some((f, ee));
         }
     }

@@ -27,15 +27,23 @@ fn main() {
 
     let profile = session.profile(&logs);
     let idle = profile.idle_baseline_w(session.meter());
-    println!("trace: {} samples at {:.2e} s", profile.samples.len(), profile.dt_s);
-    println!("idle baseline {idle:.1} W | peak {:.1} W | mean {:.1} W", profile.peak_w(), profile.mean_w());
+    println!(
+        "trace: {} samples at {:.2e} s",
+        profile.samples.len(),
+        profile.dt_s
+    );
+    println!(
+        "idle baseline {idle:.1} W | peak {:.1} W | mean {:.1} W",
+        profile.peak_w(),
+        profile.mean_w()
+    );
 
     // A tiny ASCII rendition of the total-power trace (the Fig.-10 shape).
     println!("\ntotal system power over time (each column = 1/60th of the run):");
     let cols = 60usize;
     let peak = profile.peak_w();
     for level in (1..=8).rev() {
-        let threshold = idle + (peak - idle) * level as f64 / 8.0;
+        let threshold = idle + (peak - idle) * f64::from(level) / 8.0;
         let mut line = String::with_capacity(cols);
         for c in 0..cols {
             let idx = c * (profile.samples.len() - 1) / (cols - 1);

@@ -23,8 +23,8 @@ fn main() {
         let app = ft.app_params(n, p);
         println!(
             "  {p:<5}  {:+8.4}  {:8.4}",
-            model::eef(&mach, &app, p),
-            model::ee(&mach, &app, p)
+            model::eef(&mach, &app, p).expect("positive baseline"),
+            model::ee(&mach, &app, p).expect("positive baseline")
         );
     }
 
@@ -41,9 +41,6 @@ fn main() {
 
     println!("\nsimulated FT class S on {p} ranks:");
     println!("  virtual span    {span:.6} s");
-    println!("  measured energy {measured:.3} J");
-    println!(
-        "  verified        {}",
-        report.ranks[0].result.verified
-    );
+    println!("  measured energy {:.3} J", measured.raw());
+    println!("  verified        {}", report.ranks[0].result.verified);
 }

@@ -24,8 +24,8 @@ fn study(name: &str, app: &dyn AppModel, n: f64) {
 
     // Sensitivity of EE to frequency at p = 64.
     let a = app.app_params(n, 64);
-    let ee_lo = model::ee(&mach.at_frequency(1.6e9), &a, 64);
-    let ee_hi = model::ee(&mach, &a, 64);
+    let ee_lo = model::ee(&mach.at_frequency(1.6e9), &a, 64).expect("positive baseline");
+    let ee_hi = model::ee(&mach, &a, 64).expect("positive baseline");
     let sensitivity = ee_hi - ee_lo;
     let (best_f, best_ee) = best_frequency(app, &mach, n, 64, &DVFS);
     println!(

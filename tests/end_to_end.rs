@@ -88,15 +88,17 @@ fn model_underestimates_are_the_common_error_mode() {
     let w = world(0.86);
     let mach = measured_machine_params(&w);
     let cfg = FtConfig::class(Class::S);
-    let summary = validate_kernel(&w, &mach, "FT", &[4, 8, 16], move |ctx| {
-        ft_kernel(ctx, cfg)
-    });
+    let summary = validate_kernel(&w, &mach, "FT", &[4, 8, 16], move |ctx| ft_kernel(ctx, cfg));
     let low = summary
         .points
         .iter()
         .filter(|pt| pt.predicted_j <= pt.measured_j)
         .count();
-    assert!(low >= 2, "expected mostly underestimates: {:?}", summary.points);
+    assert!(
+        low >= 2,
+        "expected mostly underestimates: {:?}",
+        summary.points
+    );
 }
 
 #[test]
@@ -133,7 +135,8 @@ fn measured_ee_and_model_ee_agree_for_ep() {
         &mach,
         &EpModel::system_g().app_params(cfg.pairs as f64, p),
         p,
-    );
+    )
+    .expect("baseline energy is positive");
     assert!(
         (measured_ee - model_ee).abs() < 0.05,
         "measured {measured_ee} vs model {model_ee}"
@@ -149,30 +152,31 @@ fn paper_qualitative_claims_hold_in_the_model() {
 
     // §V.B.1: FT's EE collapses with p, indifferent to f.
     let n_ft = (1u64 << 20) as f64;
-    let ft_4: f64 = model::ee(&mach, &ft.app_params(n_ft, 4), 4);
-    let ft_1024: f64 = model::ee(&mach, &ft.app_params(n_ft, 1024), 1024);
+    let ft_4: f64 = model::ee(&mach, &ft.app_params(n_ft, 4), 4).expect("positive baseline");
+    let ft_1024: f64 =
+        model::ee(&mach, &ft.app_params(n_ft, 1024), 1024).expect("positive baseline");
     assert!(ft_4 - ft_1024 > 0.5);
 
     // §V.B.2: EP near-ideal everywhere.
     for p in [2usize, 32, 128] {
-        let e = model::ee(&mach, &ep.app_params(4e6, p), p);
+        let e = model::ee(&mach, &ep.app_params(4e6, p), p).expect("positive baseline");
         assert!(e > 0.97, "EE_EP({p}) = {e}");
     }
 
     // §V.B.3: CG prefers the highest frequency.
     let a = cg.app_params(75_000.0, 64);
-    let lo = model::ee(&mach.at_frequency(1.6e9), &a, 64);
-    let hi = model::ee(&mach, &a, 64);
+    let lo = model::ee(&mach.at_frequency(1.6e9), &a, 64).expect("positive baseline");
+    let hi = model::ee(&mach, &a, 64).expect("positive baseline");
     assert!(hi > lo);
 
     // §V.B.6: problem size restores efficiency for FT and CG.
     assert!(
-        model::ee(&mach, &ft.app_params(n_ft * 16.0, 256), 256)
-            > model::ee(&mach, &ft.app_params(n_ft, 256), 256)
+        model::ee(&mach, &ft.app_params(n_ft * 16.0, 256), 256).expect("positive baseline")
+            > model::ee(&mach, &ft.app_params(n_ft, 256), 256).expect("positive baseline")
     );
     assert!(
-        model::ee(&mach, &cg.app_params(300_000.0, 256), 256)
-            > model::ee(&mach, &cg.app_params(18_750.0, 256), 256)
+        model::ee(&mach, &cg.app_params(300_000.0, 256), 256).expect("positive baseline")
+            > model::ee(&mach, &cg.app_params(18_750.0, 256), 256).expect("positive baseline")
     );
 }
 
@@ -202,9 +206,7 @@ fn model_stays_accurate_across_dvfs_states() {
     for f in [1.6e9, 2.0e9, 2.4e9, 2.8e9] {
         let w = World::new(system_g(), f).with_alpha(0.86);
         let mach = measured_machine_params(&w);
-        let summary = validate_kernel(&w, &mach, "FT", &[1, 4], move |ctx| {
-            ft_kernel(ctx, cfg)
-        });
+        let summary = validate_kernel(&w, &mach, "FT", &[1, 4], move |ctx| ft_kernel(ctx, cfg));
         assert!(
             summary.mean_abs_error_pct() < 10.0,
             "f = {f}: mean error {}%",
@@ -227,7 +229,7 @@ fn hetero_extension_agrees_with_homogeneous_model_on_uniform_pools() {
     let mach = MachineParams::system_g(2.8e9);
     let pool = [isoee::ProcClass { mach, count: p }];
     let h = isoee::hetero::evaluate(&pool, &app, isoee::Split::TimeBalanced);
-    let homog = model::ee(&mach, &app, p);
+    let homog = model::ee(&mach, &app, p).expect("positive baseline");
     assert!(
         (h.ee - homog).abs() < 1e-9,
         "hetero {} vs homogeneous {homog}",
@@ -272,8 +274,12 @@ fn dvfs_tradeoff_is_visible_in_measured_energy() {
     let cfg = EpConfig::class(Class::S);
     let hi = World::new(system_g(), 2.8e9).with_alpha(0.93);
     let lo = World::new(system_g(), 1.6e9).with_alpha(0.93);
-    let e_hi = run(&hi, 2, move |ctx| ep_kernel(ctx, cfg)).energy(&hi).total();
-    let e_lo = run(&lo, 2, move |ctx| ep_kernel(ctx, cfg)).energy(&lo).total();
+    let e_hi = run(&hi, 2, move |ctx| ep_kernel(ctx, cfg))
+        .energy(&hi)
+        .total();
+    let e_lo = run(&lo, 2, move |ctx| ep_kernel(ctx, cfg))
+        .energy(&lo)
+        .total();
     assert!(
         e_lo > e_hi,
         "idle-dominated: energy at 1.6 GHz ({e_lo} J) should exceed 2.8 GHz ({e_hi} J)"
