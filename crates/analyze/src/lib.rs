@@ -19,9 +19,11 @@
 
 pub mod comm;
 pub mod invariants;
+pub mod trace;
 
 pub use comm::{check_comm_logs, check_deadlock, check_report, check_run};
 pub use invariants::{check_app, check_machine, check_model};
+pub use trace::check_trace;
 
 use mps::WaitEdge;
 
@@ -93,6 +95,41 @@ pub enum Finding {
         /// Human-readable details with the offending values.
         details: String,
     },
+    /// An obs span the instrumentation never closed (the recorder had to
+    /// force-close it at end of run).
+    UnclosedSpan {
+        /// Track (rank) id.
+        track: usize,
+        /// Span name.
+        name: String,
+        /// Span start, virtual seconds.
+        start_s: f64,
+    },
+    /// Per-track virtual time went backwards: an invalid span interval,
+    /// out-of-order span starts, or out-of-order instants/counter samples.
+    /// `track == usize::MAX` marks a trace-wide counter track.
+    NonMonotoneTrace {
+        /// Track (rank) id, or `usize::MAX` for a counter track.
+        track: usize,
+        /// Offending span/event/counter name.
+        name: String,
+        /// The timestamp that went backwards, virtual seconds.
+        time_s: f64,
+        /// The timestamp it had to be at or beyond.
+        prev_s: f64,
+    },
+    /// A charge span (compute/memory/network/io/wait) not covered by any
+    /// enclosing phase span, so per-phase attribution would lose it.
+    ChargeOutsidePhase {
+        /// Track (rank) id.
+        track: usize,
+        /// Charge span name.
+        name: String,
+        /// Charge start, virtual seconds.
+        start_s: f64,
+        /// Charge end, virtual seconds.
+        end_s: f64,
+    },
 }
 
 impl std::fmt::Display for Finding {
@@ -149,6 +186,45 @@ impl std::fmt::Display for Finding {
             Finding::BrokenInvariant { invariant, details } => {
                 write!(f, "broken invariant {invariant}: {details}")
             }
+            Finding::UnclosedSpan {
+                track,
+                name,
+                start_s,
+            } => write!(
+                f,
+                "unclosed span: {name:?} on track {track} (opened at {start_s:.6} s) \
+                 was force-closed at end of run"
+            ),
+            Finding::NonMonotoneTrace {
+                track,
+                name,
+                time_s,
+                prev_s,
+            } => {
+                if *track == usize::MAX {
+                    write!(
+                        f,
+                        "non-monotone trace: {name} jumps back to {time_s:.6} s \
+                         after {prev_s:.6} s"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "non-monotone trace: {name:?} on track {track} jumps back to \
+                         {time_s:.6} s after {prev_s:.6} s"
+                    )
+                }
+            }
+            Finding::ChargeOutsidePhase {
+                track,
+                name,
+                start_s,
+                end_s,
+            } => write!(
+                f,
+                "charge outside phase: {name:?} on track {track} \
+                 [{start_s:.6}, {end_s:.6}] s has no enclosing phase span"
+            ),
         }
     }
 }

@@ -8,8 +8,14 @@
 //! 2. Communication-trace checks over a clean mps program (must be quiet).
 //! 3. A seeded deadlock, to prove the detector actually fires (expected
 //!    findings, clearly labelled).
+//! 4. Trace conformance over the obs spans of a traced 4-rank FT run
+//!    (every span closed, charges inside phases, virtual time monotone).
+//!
+//! Pass `--trace <file.json>` to additionally validate an emitted Perfetto
+//! trace-event file (as written by `examples/trace_ft.rs` or
+//! `OBS_TRACE=... fig10`) with the obs JSON validator.
 
-use analyze::{check_deadlock, check_model, check_report, Finding};
+use analyze::{check_deadlock, check_model, check_report, check_trace, Finding};
 use isoee::apps::{AppModel, CgModel, EpModel, FtModel};
 use isoee::MachineParams;
 use mps::{try_run, RunError, World};
@@ -21,6 +27,18 @@ fn main() {
     unexpected += model_pass();
     unexpected += clean_comm_pass();
     let fired = seeded_deadlock_pass();
+    unexpected += obs_trace_pass();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            let path = args.next().unwrap_or_else(|| {
+                eprintln!("analyze: --trace needs a file path");
+                std::process::exit(2);
+            });
+            unexpected += perfetto_file_pass(&path);
+        }
+    }
 
     if !fired {
         eprintln!("analyze: seeded deadlock was NOT detected — checker is broken");
@@ -113,4 +131,58 @@ fn seeded_deadlock_pass() -> bool {
     findings
         .iter()
         .any(|f| matches!(f, Finding::DeadlockCycle { .. }))
+}
+
+/// Run a traced 4-rank FT kernel and check the recorded spans conform.
+/// Returns the number of findings (all unexpected: the instrumentation is
+/// ours).
+fn obs_trace_pass() -> usize {
+    let world = World::new(system_g(), 2.8e9).with_obs(obs::ObsConfig::enabled());
+    let cfg = npb::FtConfig::class(npb::Class::S);
+    let report = mps::run(&world, 4, move |ctx| npb::ft_kernel(ctx, cfg));
+    let Some(trace) = report.trace("analyze ft") else {
+        eprintln!("analyze[obs trace]: traced run produced no tracks");
+        return 1;
+    };
+    let findings = check_trace(&trace);
+    for finding in &findings {
+        eprintln!("analyze[obs trace]: {finding}");
+    }
+    println!(
+        "trace pass: 4-rank FT, {} spans on {} tracks checked ({} findings)",
+        trace.span_count(),
+        trace.tracks.len(),
+        findings.len()
+    );
+    findings.len()
+}
+
+/// Validate an emitted Perfetto trace-event file. Returns the number of
+/// validation errors.
+fn perfetto_file_pass(path: &str) -> usize {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("analyze[perfetto {path}]: cannot read: {e}");
+            return 1;
+        }
+    };
+    match obs::perfetto::validate(&text) {
+        Ok(rep) => {
+            println!(
+                "perfetto pass: {path} valid ({} span events on {} tracks, \
+                 {} counter events)",
+                rep.span_events,
+                rep.span_tracks.len(),
+                rep.counter_events
+            );
+            0
+        }
+        Err(errors) => {
+            for e in &errors {
+                eprintln!("analyze[perfetto {path}]: {}", e.0);
+            }
+            errors.len()
+        }
+    }
 }

@@ -1,0 +1,188 @@
+//! Trace-conformance pass over `obs` output.
+//!
+//! The observability layer (PR 2) records per-rank span tracks with
+//! virtual-time intervals; this pass guards the invariants every consumer
+//! of a trace (Perfetto export, the critical-path profiler, phase-slack
+//! reports) silently relies on:
+//!
+//! * every span was closed by the instrumentation itself, not force-closed
+//!   at end of run;
+//! * span intervals are valid (`end >= start`) and each track's spans are
+//!   sorted by start time — per-rank virtual time is monotone;
+//! * instant events and counter samples are in time order;
+//! * every charge span (compute/memory/network/io/wait, mirroring
+//!   [`simcluster::SegmentKind`]) is covered by an enclosing phase span,
+//!   so per-phase energy attribution loses nothing.
+
+use crate::Finding;
+use obs::{Trace, TrackTrace};
+
+/// Slack for float comparisons on virtual timestamps, seconds.
+const EPS: f64 = 1e-9;
+
+/// Check one assembled run trace. Returns one finding per violation.
+#[must_use]
+pub fn check_trace(trace: &Trace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for track in &trace.tracks {
+        check_track(track, &mut findings);
+    }
+    for counter in &trace.counters {
+        let mut prev = f64::NEG_INFINITY;
+        for &(t_s, _) in &counter.samples {
+            if t_s < prev - EPS {
+                findings.push(Finding::NonMonotoneTrace {
+                    track: usize::MAX,
+                    name: format!("counter {}", counter.name),
+                    time_s: t_s,
+                    prev_s: prev,
+                });
+            }
+            prev = prev.max(t_s);
+        }
+    }
+    findings
+}
+
+fn check_track(track: &TrackTrace, findings: &mut Vec<Finding>) {
+    let phases: Vec<(f64, f64)> = track
+        .spans
+        .iter()
+        .filter(|s| matches!(s.cat, obs::span::Category::Phase))
+        .map(|s| (s.start_s, s.end_s))
+        .collect();
+    let mut prev_start = f64::NEG_INFINITY;
+    for span in &track.spans {
+        if span.forced_close {
+            findings.push(Finding::UnclosedSpan {
+                track: track.track,
+                name: span.name.clone(),
+                start_s: span.start_s,
+            });
+        }
+        if span.end_s < span.start_s - EPS {
+            findings.push(Finding::NonMonotoneTrace {
+                track: track.track,
+                name: span.name.clone(),
+                time_s: span.end_s,
+                prev_s: span.start_s,
+            });
+        }
+        if span.start_s < prev_start - EPS {
+            findings.push(Finding::NonMonotoneTrace {
+                track: track.track,
+                name: span.name.clone(),
+                time_s: span.start_s,
+                prev_s: prev_start,
+            });
+        }
+        prev_start = prev_start.max(span.start_s);
+        if span.cat.is_charge()
+            && !phases
+                .iter()
+                .any(|&(ps, pe)| ps - EPS <= span.start_s && span.end_s <= pe + EPS)
+        {
+            findings.push(Finding::ChargeOutsidePhase {
+                track: track.track,
+                name: span.name.clone(),
+                start_s: span.start_s,
+                end_s: span.end_s,
+            });
+        }
+    }
+    let mut prev_t = f64::NEG_INFINITY;
+    for ev in &track.instants {
+        if ev.time_s < prev_t - EPS {
+            findings.push(Finding::NonMonotoneTrace {
+                track: track.track,
+                name: ev.name.clone(),
+                time_s: ev.time_s,
+                prev_s: prev_t,
+            });
+        }
+        prev_t = prev_t.max(ev.time_s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::span::Category;
+    use obs::TrackRecorder;
+
+    fn clean_track() -> TrackTrace {
+        let mut rec = TrackRecorder::new(0);
+        rec.begin_phase("init", 0.0);
+        rec.leaf("compute", Category::Compute, 0.0, 0.4, vec![]);
+        rec.begin_phase("solve", 0.4);
+        rec.leaf("memory", Category::Memory, 0.4, 0.9, vec![]);
+        rec.finish(1.0)
+    }
+
+    #[test]
+    fn clean_trace_has_no_findings() {
+        let mut trace = Trace::new("t");
+        trace.push_track(clean_track());
+        trace.add_counter_track("power cpu", "W", vec![(0.0, 5.0), (0.5, 7.0)]);
+        assert!(check_trace(&trace).is_empty());
+    }
+
+    #[test]
+    fn forced_close_is_reported() {
+        let mut rec = TrackRecorder::new(2);
+        rec.enter("mps:allreduce", Category::Collective, 0.1);
+        let mut trace = Trace::new("t");
+        trace.push_track(rec.finish(0.5));
+        let findings = check_trace(&trace);
+        assert!(
+            findings.iter().any(|f| matches!(f,
+                Finding::UnclosedSpan { track: 2, name, .. } if name == "mps:allreduce")),
+            "no UnclosedSpan in {findings:?}"
+        );
+    }
+
+    #[test]
+    fn charge_outside_any_phase_is_reported() {
+        let mut rec = TrackRecorder::new(1);
+        // Charge recorded before the first phase begins.
+        rec.leaf("compute", Category::Compute, 0.0, 0.2, vec![]);
+        rec.begin_phase("late", 0.5);
+        let mut trace = Trace::new("t");
+        trace.push_track(rec.finish(1.0));
+        let findings = check_trace(&trace);
+        assert!(
+            findings.iter().any(|f| matches!(f,
+                Finding::ChargeOutsidePhase { track: 1, name, .. } if name == "compute")),
+            "no ChargeOutsidePhase in {findings:?}"
+        );
+    }
+
+    #[test]
+    fn unsorted_spans_and_counters_are_reported() {
+        let mut track = clean_track();
+        track.spans.swap(0, 2);
+        let mut trace = Trace::new("t");
+        trace.push_track(track);
+        trace.add_counter_track("power cpu", "W", vec![(0.5, 7.0), (0.0, 5.0)]);
+        let findings = check_trace(&trace);
+        let monotone = findings
+            .iter()
+            .filter(|f| matches!(f, Finding::NonMonotoneTrace { .. }))
+            .count();
+        assert!(
+            monotone >= 2,
+            "expected span + counter findings: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn invalid_interval_is_reported() {
+        let mut track = clean_track();
+        track.spans[1].end_s = track.spans[1].start_s - 0.1;
+        let mut trace = Trace::new("t");
+        trace.push_track(track);
+        assert!(check_trace(&trace)
+            .iter()
+            .any(|f| matches!(f, Finding::NonMonotoneTrace { .. })));
+    }
+}

@@ -148,6 +148,7 @@ fn unconsumed_message_is_reported_from_logs() {
         tag: 8,
         bytes: 64,
         time_s: 1.0e-6,
+        waited_s: 0.0,
         vc: vec![0, 0, 1, 0],
     });
     let mut receiver = CommLog::new(3);
@@ -176,6 +177,7 @@ fn internal_collective_tags_are_ignored_by_the_race_pass() {
             tag,
             bytes: 8,
             time_s: 1.0e-6,
+            waited_s: 0.0,
             vc,
         });
         log

@@ -4,8 +4,13 @@
 //! loop (the paper's "policy module" motivation).
 //!
 //! Run with `cargo bench -p bench --bench model_eval`.
+//!
+//! Besides the console table, the results land in
+//! `BENCH_model_eval.json` at the repo root — an obs metrics snapshot
+//! (`ns_per_iter` / `throughput_per_s` gauges per case) that tracks the
+//! model-eval perf trajectory across PRs.
 
-use bench::time_case;
+use bench::{time_case, write_cases_snapshot};
 use isoee::apps::{AppModel, CgModel, EpModel, FtModel};
 use isoee::scaling::{ee_surface_pf, iso_ee_workload};
 use isoee::{model, MachineParams};
@@ -14,33 +19,44 @@ use std::hint::black_box;
 fn main() {
     let mach = MachineParams::system_g(2.8e9);
     let ft = FtModel::system_g();
+    let mut cases = Vec::new();
 
     println!("model/point:");
-    time_case("ft_app_params", 1000, || {
+    cases.push(time_case("ft_app_params", 1000, || {
         ft.app_params(black_box(1e6), black_box(64))
-    });
+    }));
     let app = ft.app_params(1e6, 64);
-    time_case("ee", 1000, || model::ee(&mach, black_box(&app), 64));
-    time_case("at_frequency", 1000, || mach.at_frequency(black_box(2.0e9)));
+    cases.push(time_case("ee", 1000, || {
+        model::ee(&mach, black_box(&app), 64)
+    }));
+    cases.push(time_case("at_frequency", 1000, || {
+        mach.at_frequency(black_box(2.0e9))
+    }));
 
     println!("model/surface:");
     let fs = [1.6e9, 2.0e9, 2.4e9, 2.8e9];
     let ps: Vec<usize> = (0..11).map(|k| 1usize << k).collect();
-    time_case("fig5_ft_pf", 100, || {
+    cases.push(time_case("fig5_ft_pf", 100, || {
         let ft = FtModel::system_g();
         ee_surface_pf(&ft, &mach, 1e6, &ps, &fs)
-    });
-    time_case("fig7_ep_pf", 100, || {
+    }));
+    cases.push(time_case("fig7_ep_pf", 100, || {
         let ep = EpModel::system_g();
         ee_surface_pf(&ep, &mach, 4e6, &ps[..8], &fs)
-    });
-    time_case("fig9_cg_pf", 100, || {
+    }));
+    cases.push(time_case("fig9_cg_pf", 100, || {
         let cg = CgModel::system_g();
         ee_surface_pf(&cg, &mach, 75_000.0, &ps, &fs)
-    });
+    }));
 
     println!("model/contour:");
-    time_case("iso_ee_bisection", 100, || {
+    cases.push(time_case("iso_ee_bisection", 100, || {
         iso_ee_workload(&ft, &mach, 256, 0.8, 1e3, 1e12)
-    });
+    }));
+
+    write_cases_snapshot(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_model_eval.json"),
+        "bench.model_eval",
+        &cases,
+    );
 }

@@ -7,10 +7,15 @@
 //! statistics and the per-phase energy table.
 //!
 //! Usage: `cargo run --release -p bench --bin fig10 [--class S|W|A]`
+//!
+//! Set `OBS_TRACE=<path.json>` to also record the run as a Perfetto trace
+//! (openable in `ui.perfetto.dev`); tracing stays off — one branch per
+//! event — when the variable is absent.
 
 use bench::{ft_closure, world_g, ALPHA_FT};
 use mps::run;
 use npb::Class;
+use obs::ObsConfig;
 use powerpack::{profile_csv, summary_table, Session};
 use simcluster::EnergyMeter;
 
@@ -21,7 +26,10 @@ fn main() {
         _ => Class::W,
     };
     let p = 4usize;
-    let w = world_g(2.8e9, ALPHA_FT);
+    let mut w = world_g(2.8e9, ALPHA_FT);
+    if let Ok(path) = std::env::var("OBS_TRACE") {
+        w = w.with_obs(ObsConfig::perfetto(path));
+    }
     println!("== Fig. 10: PowerPack profile of FT (class {class:?}, p = {p}) ==\n");
 
     let report = run(&w, p, ft_closure(class));
@@ -41,7 +49,7 @@ fn main() {
         profile.peak_w().raw(),
         profile.mean_w().raw()
     );
-    println!("\ncsv (t_s,cpu_w,mem_w,net_w,disk_w,other_w,total_w):");
+    println!("\ncsv (t_s,cpu_W,mem_W,net_W,disk_W,other_W,total_W):");
     let csv = profile_csv(&profile);
     // Print a decimated trace (every 8th sample) to keep the log readable.
     for (i, line) in csv.lines().enumerate() {

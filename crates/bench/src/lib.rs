@@ -111,10 +111,34 @@ pub fn print_surface(surface: &isoee::Surface, y_label: &str) {
     );
 }
 
-/// Time `f` over `iters` iterations (after one warm-up) and print mean and
-/// minimum wall time per iteration — a dependency-free stand-in for an
-/// external benchmark harness.
-pub fn time_case<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+/// Timing statistics of one benchmark case, as returned by [`time_case`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseStats {
+    /// Case name as printed.
+    pub name: String,
+    /// Timed iterations (excluding the warm-up).
+    pub iters: u32,
+    /// Mean wall time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Minimum wall time per iteration, nanoseconds.
+    pub min_ns: f64,
+}
+
+impl CaseStats {
+    /// Iterations per second at the mean iteration time.
+    pub fn throughput_per_s(&self) -> f64 {
+        if self.mean_ns > 0.0 {
+            1e9 / self.mean_ns
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Time `f` over `iters` iterations (after one warm-up), print mean and
+/// minimum wall time per iteration, and return the stats — a
+/// dependency-free stand-in for an external benchmark harness.
+pub fn time_case<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) -> CaseStats {
     assert!(iters > 0, "need at least one iteration");
     let _ = std::hint::black_box(f());
     let mut total = std::time::Duration::ZERO;
@@ -128,4 +152,41 @@ pub fn time_case<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
     }
     let mean = total / iters;
     println!("  {name:<28} mean {mean:>12.3?}   min {min:>12.3?}   ({iters} iters)");
+    #[allow(clippy::cast_precision_loss)]
+    CaseStats {
+        name: name.to_string(),
+        iters,
+        mean_ns: mean.as_nanos() as f64,
+        min_ns: min.as_nanos() as f64,
+    }
+}
+
+/// Render benchmark cases as an obs metrics snapshot
+/// (`{"metrics":[...]}`): per case a `<prefix>.<name>.ns_per_iter` gauge
+/// (mean), a `.min_ns_per_iter` gauge, a `.throughput_per_s` gauge, and an
+/// `.iters` counter. `BENCH_model_eval.json` is this document, so the obs
+/// JSON parser and any snapshot tooling read bench results unchanged.
+pub fn cases_snapshot_json(prefix: &str, cases: &[CaseStats]) -> String {
+    let reg = obs::Registry::new();
+    for c in cases {
+        reg.gauge(&format!("{prefix}.{}.ns_per_iter", c.name))
+            .set(c.mean_ns);
+        reg.gauge(&format!("{prefix}.{}.min_ns_per_iter", c.name))
+            .set(c.min_ns);
+        reg.gauge(&format!("{prefix}.{}.throughput_per_s", c.name))
+            .set(c.throughput_per_s());
+        reg.counter(&format!("{prefix}.{}.iters", c.name))
+            .add(u64::from(c.iters));
+    }
+    reg.snapshot_json()
+}
+
+/// Write benchmark cases to `path` in the obs metrics snapshot format,
+/// reporting rather than panicking on I/O failure (bench output must not
+/// break a run).
+pub fn write_cases_snapshot(path: &str, prefix: &str, cases: &[CaseStats]) {
+    match std::fs::write(path, cases_snapshot_json(prefix, cases)) {
+        Ok(()) => println!("  wrote {path}"),
+        Err(e) => eprintln!("  could not write {path}: {e}"),
+    }
 }

@@ -13,8 +13,18 @@ use crate::params::{AppParams, MachineParams};
 /// `EE` as a plain value; the surfaces and sweeps below only evaluate
 /// physically sensible parameter points, where the baseline energy is
 /// strictly positive.
+///
+/// Every call bumps the `isoee.model_evals` counter (one relaxed atomic
+/// add), so sweep throughput shows up in the obs metrics snapshot.
 fn ee_value(mach: &MachineParams, a: &AppParams, p: usize) -> f64 {
+    model_evals_counter().inc();
     model::ee(mach, a, p).expect("surface point has a positive baseline energy")
+}
+
+/// Process-wide count of EE model evaluations performed by the sweeps.
+fn model_evals_counter() -> &'static std::sync::Arc<obs::Counter> {
+    static EVALS: std::sync::OnceLock<std::sync::Arc<obs::Counter>> = std::sync::OnceLock::new();
+    EVALS.get_or_init(|| obs::global().counter("isoee.model_evals"))
 }
 
 /// A rectangular sweep of `EE` values: `values[i][j]` is `EE` at

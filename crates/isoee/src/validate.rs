@@ -110,11 +110,22 @@ where
         measure_run(world, p, kernel)
     };
     let app = app_params_from(seq, &par);
-    ValidationPoint {
+    let point = ValidationPoint {
         p,
         predicted_j: model::ep(mach, &app, p),
         measured_j: par.energy_j,
+    };
+    // Live gauges: the latest validated point's efficiency and drift,
+    // visible in `obs::global().snapshot_text()` while a sweep runs.
+    let reg = obs::global();
+    if let Ok(ee) = model::ee(mach, &app, p) {
+        reg.gauge("isoee.validate.ee").set(ee);
     }
+    if let Ok(eef) = model::eef(mach, &app, p) {
+        reg.gauge("isoee.validate.eef").set(eef);
+    }
+    reg.gauge("isoee.validate.drift_pct").set(point.error_pct());
+    point
 }
 
 #[cfg(test)]

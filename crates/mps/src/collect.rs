@@ -57,6 +57,10 @@ impl<'w> Ctx<'w> {
     /// exchanges. After it returns, every rank's clock is at least the
     /// latest pre-barrier clock (synchronization waits are logged).
     pub fn barrier(&mut self) {
+        self.collective_scope("mps:barrier", Self::barrier_inner);
+    }
+
+    fn barrier_inner(&mut self) {
         let p = self.size;
         if p == 1 {
             return;
@@ -78,6 +82,10 @@ impl<'w> Ctx<'w> {
     /// Binomial-tree broadcast of `data` from `root`. Every rank returns the
     /// broadcast vector (the root returns its own input).
     pub fn bcast<T: Send + Clone + 'static>(&mut self, root: usize, data: Vec<T>) -> Vec<T> {
+        self.collective_scope("mps:bcast", |c| c.bcast_inner(root, data))
+    }
+
+    fn bcast_inner<T: Send + Clone + 'static>(&mut self, root: usize, data: Vec<T>) -> Vec<T> {
         let p = self.size;
         assert!(root < p, "broadcast root {root} out of range");
         let seq = self.next_coll_seq();
@@ -114,6 +122,10 @@ impl<'w> Ctx<'w> {
     /// combined vector; other ranks receive `None`. Each combine charges one
     /// instruction per element of on-chip work.
     pub fn reduce(&mut self, root: usize, data: &[f64], op: ReduceOp) -> Option<Vec<f64>> {
+        self.collective_scope("mps:reduce", |c| c.reduce_inner(root, data, op))
+    }
+
+    fn reduce_inner(&mut self, root: usize, data: &[f64], op: ReduceOp) -> Option<Vec<f64>> {
         let p = self.size;
         assert!(root < p, "reduce root {root} out of range");
         let seq = self.next_coll_seq();
@@ -148,6 +160,10 @@ impl<'w> Ctx<'w> {
     /// largest power-of-two subset, with pre-fold of the `r = p − 2^m` extra
     /// ranks and a post-broadcast back to them (the MPICH scheme).
     pub fn allreduce(&mut self, data: &[f64], op: ReduceOp) -> Vec<f64> {
+        self.collective_scope("mps:allreduce", |c| c.allreduce_inner(data, op))
+    }
+
+    fn allreduce_inner(&mut self, data: &[f64], op: ReduceOp) -> Vec<f64> {
         let p = self.size;
         let seq = self.next_coll_seq();
         let mut acc = data.to_vec();
@@ -211,6 +227,10 @@ impl<'w> Ctx<'w> {
     /// Ring allgather: every rank contributes `mine`; returns all
     /// contributions indexed by rank.
     pub fn allgather<T: Send + Clone + 'static>(&mut self, mine: Vec<T>) -> Vec<Vec<T>> {
+        self.collective_scope("mps:allgather", |c| c.allgather_inner(mine))
+    }
+
+    fn allgather_inner<T: Send + Clone + 'static>(&mut self, mine: Vec<T>) -> Vec<Vec<T>> {
         let p = self.size;
         let seq = self.next_coll_seq();
         let mut out: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
@@ -241,7 +261,14 @@ impl<'w> Ctx<'w> {
     /// Powers of two use XOR pairing (the "binary exchange" the paper's FT
     /// analysis assumes); other sizes use rotation pairing. Either way each
     /// rank sends `p − 1` messages — the `(p−1)(ts + tw·m)` cost of §V.B.1.
-    pub fn alltoall<T: Send + Clone + 'static>(&mut self, mut chunks: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    pub fn alltoall<T: Send + Clone + 'static>(&mut self, chunks: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        self.collective_scope("mps:alltoall", |c| c.alltoall_inner(chunks))
+    }
+
+    fn alltoall_inner<T: Send + Clone + 'static>(
+        &mut self,
+        mut chunks: Vec<Vec<T>>,
+    ) -> Vec<Vec<T>> {
         let p = self.size;
         assert_eq!(chunks.len(), p, "alltoall needs one chunk per rank");
         let seq = self.next_coll_seq();

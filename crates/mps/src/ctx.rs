@@ -6,7 +6,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use netsim::Hockney;
-use simcluster::units::Seconds;
+use obs::span::{Category, FieldValue};
+use obs::TrackRecorder;
+use simcluster::units::{Joules, Seconds};
 use simcluster::{Segment, SegmentKind, SegmentLog, VirtualClock};
 
 use crate::envelope::{Envelope, INTERNAL_TAG_BASE};
@@ -18,6 +20,50 @@ use crate::world::World;
 
 /// How often a blocked receive re-checks the wait-for graph.
 const DEADLOCK_POLL: Duration = Duration::from_millis(10);
+
+/// Cached handles into the global metrics registry, resolved once per
+/// rank at context creation so the hot path is a relaxed atomic add.
+pub(crate) struct MpsMetrics {
+    messages: Arc<obs::Counter>,
+    bytes: Arc<obs::Counter>,
+    mem_accesses: Arc<obs::Counter>,
+    mem_dram: Arc<obs::Counter>,
+    cache_hit_ratio: Arc<obs::Gauge>,
+    /// Per-collective `(calls, messages, bytes)` counters, cached by name.
+    collectives: Vec<(&'static str, [Arc<obs::Counter>; 3])>,
+}
+
+impl MpsMetrics {
+    pub(crate) fn new() -> Self {
+        let reg = obs::global();
+        Self {
+            messages: reg.counter("mps.messages"),
+            bytes: reg.counter("mps.bytes"),
+            mem_accesses: reg.counter("mps.mem.accesses"),
+            mem_dram: reg.counter("mps.mem.dram_accesses"),
+            cache_hit_ratio: reg.gauge("mps.mem.cache_hit_ratio"),
+            collectives: Vec::new(),
+        }
+    }
+
+    /// The `(calls, messages, bytes)` counters of collective `name`.
+    fn collective(&mut self, name: &'static str) -> &[Arc<obs::Counter>; 3] {
+        let idx = match self.collectives.iter().position(|(n, _)| *n == name) {
+            Some(i) => i,
+            None => {
+                let reg = obs::global();
+                let handles = [
+                    reg.counter(&format!("mps.collective.{name}.calls")),
+                    reg.counter(&format!("mps.collective.{name}.messages")),
+                    reg.counter(&format!("mps.collective.{name}.bytes")),
+                ];
+                self.collectives.push((name, handles));
+                self.collectives.len() - 1
+            }
+        };
+        &self.collectives[idx].1
+    }
+}
 
 /// The handle a rank's program uses to charge work and communicate.
 ///
@@ -40,6 +86,14 @@ pub struct Ctx<'w> {
     pub(crate) vclock: Vec<u64>,
     /// Last stable deadlock observation `(verdict, chain progress)`.
     pub(crate) last_probe: Option<(Verdict, Vec<u64>)>,
+    /// Span recorder, present only when `world.obs.trace` is set: every
+    /// instrumented call site pays one branch when disabled.
+    pub(crate) rec: Option<TrackRecorder>,
+    /// Cached metric handles, present only when `world.obs.metrics` is set.
+    pub(crate) metrics: Option<MpsMetrics>,
+    /// Per-kind device delta power `[compute, memory, network, io]` in
+    /// watts, precomputed so charge spans carry their energy.
+    pub(crate) delta_w: [f64; 4],
 }
 
 impl<'w> Ctx<'w> {
@@ -118,6 +172,15 @@ impl<'w> Ctx<'w> {
             .memory
             .access_profile_concurrent(working_set_bytes, co_resident);
 
+        if let Some(metrics) = &self.metrics {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            {
+                metrics.mem_accesses.add(accesses as u64);
+                metrics.mem_dram.add((accesses * prof.dram_fraction) as u64);
+            }
+            metrics.cache_hit_ratio.set(1.0 - prof.dram_fraction);
+        }
+
         // Off-chip share: memory workload at flat DRAM latency.
         let dram_accesses = accesses * prof.dram_fraction;
         if dram_accesses > 0.0 {
@@ -165,22 +228,52 @@ impl<'w> Ctx<'w> {
     }
 
     /// Record a named phase marker at the current virtual time (consumed by
-    /// the PowerPack analog for per-phase energy breakdowns).
+    /// the PowerPack analog for per-phase energy breakdowns). With tracing
+    /// enabled the marker also opens a top-level phase span, closing the
+    /// previous one.
     pub fn phase(&mut self, name: &str) {
         self.markers.push((name.to_string(), self.now()));
+        if let Some(rec) = &mut self.rec {
+            let t = self.clock.now().raw();
+            rec.begin_phase(name, t);
+        }
     }
 
     /// Push a device-busy segment of `work` seconds, advancing the wall
     /// clock by `α · work`.
     fn charge(&mut self, kind: SegmentKind, work: Seconds) {
         let wall = self.world.alpha * work;
+        let start = self.now();
         self.log.push(Segment {
             kind,
-            start_s: self.now(),
+            start_s: start,
             wall_s: wall.raw(),
             work_s: work.raw(),
         });
         self.clock.advance(wall);
+        if let Some(rec) = &mut self.rec {
+            let (cat, delta_w) = match kind {
+                SegmentKind::Compute => (Category::Compute, self.delta_w[0]),
+                SegmentKind::Memory => (Category::Memory, self.delta_w[1]),
+                SegmentKind::Network => (Category::Network, self.delta_w[2]),
+                SegmentKind::Io => (Category::Io, self.delta_w[3]),
+                SegmentKind::Wait => (Category::Wait, 0.0),
+            };
+            let end = start + wall.raw();
+            rec.leaf(
+                cat.name(),
+                cat,
+                start,
+                end,
+                vec![
+                    ("work_s", FieldValue::Seconds(work)),
+                    (
+                        "energy_j",
+                        FieldValue::Joules(Joules::new(work.raw() * delta_w)),
+                    ),
+                ],
+            );
+        }
     }
 
     /// Push a wait (idle) segment of `dur` wall seconds.
@@ -188,12 +281,64 @@ impl<'w> Ctx<'w> {
         if dur <= Seconds::ZERO {
             return;
         }
+        let end = self.now(); // clock already advanced by caller
         self.log.push(Segment {
             kind: SegmentKind::Wait,
-            start_s: self.now() - dur.raw(), // clock already advanced by caller
+            start_s: end - dur.raw(),
             wall_s: dur.raw(),
             work_s: 0.0,
         });
+        if let Some(rec) = &mut self.rec {
+            rec.leaf(
+                Category::Wait.name(),
+                Category::Wait,
+                end - dur.raw(),
+                end,
+                vec![],
+            );
+        }
+    }
+
+    /// Run `body` inside a collective span named `name`, attributing the
+    /// messages and bytes it generates to the collective's metrics. With
+    /// observability disabled this is one branch on top of `body`.
+    pub(crate) fn collective_scope<T>(
+        &mut self,
+        name: &'static str,
+        body: impl FnOnce(&mut Self) -> T,
+    ) -> T {
+        if self.rec.is_none() && self.metrics.is_none() {
+            return body(self);
+        }
+        let msgs_before = self.counters.messages;
+        let bytes_before = self.counters.bytes;
+        if let Some(rec) = &mut self.rec {
+            let t = self.clock.now().raw();
+            rec.enter(name, Category::Collective, t);
+        }
+        let out = body(self);
+        let msgs = self.counters.messages - msgs_before;
+        let bytes = self.counters.bytes - bytes_before;
+        if let Some(rec) = &mut self.rec {
+            let t = self.clock.now().raw();
+            rec.exit(
+                t,
+                vec![
+                    ("messages", FieldValue::F64(msgs)),
+                    ("bytes", FieldValue::F64(bytes)),
+                ],
+            );
+        }
+        if let Some(metrics) = &mut self.metrics {
+            let [calls, messages, bytes_c] = metrics.collective(name);
+            calls.inc();
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            {
+                messages.add(msgs.max(0.0) as u64);
+                bytes_c.add(bytes.max(0.0) as u64);
+            }
+        }
+        out
     }
 
     // ------------------------------------------------------------------
@@ -266,6 +411,10 @@ impl<'w> Ctx<'w> {
         let start = self.clock.now();
         self.counters.messages += 1.0;
         self.counters.bytes += bytes as f64;
+        if let Some(metrics) = &self.metrics {
+            metrics.messages.inc();
+            metrics.bytes.add(bytes);
+        }
         self.charge(SegmentKind::Network, t_net);
         self.vclock[self.rank] += 1;
         self.comm.events.push(CommEvent {
@@ -273,6 +422,7 @@ impl<'w> Ctx<'w> {
             tag,
             bytes,
             time_s: self.now(),
+            waited_s: 0.0,
             vc: self.vclock.clone(),
         });
         let env = Envelope {
@@ -304,6 +454,7 @@ impl<'w> Ctx<'w> {
             tag,
             bytes: env.bytes,
             time_s: self.now(),
+            waited_s: waited.raw(),
             vc: self.vclock.clone(),
         });
         *env.payload.downcast::<Vec<T>>().unwrap_or_else(|_| {

@@ -31,6 +31,9 @@ pub struct RankOutcome<R> {
     pub finish_s: f64,
     /// Phase markers `(name, virtual time)` recorded via [`Ctx::phase`].
     pub markers: Vec<(String, f64)>,
+    /// The rank's span track, present when the world ran with
+    /// `obs.trace` enabled.
+    pub track: Option<obs::TrackTrace>,
 }
 
 /// The result of a parallel run.
@@ -69,6 +72,52 @@ impl<R> RunReport<R> {
         let meter = EnergyMeter::new(world.cluster.node.clone(), self.f_hz);
         let logs: Vec<SegmentLog> = self.ranks.iter().map(|r| r.log.clone()).collect();
         meter.run_energy(&logs).0
+    }
+
+    /// Assemble the per-rank span tracks into an [`obs::Trace`] named
+    /// `name`. `None` when the run was executed without tracing.
+    pub fn trace(&self, name: &str) -> Option<obs::Trace> {
+        let tracks: Vec<obs::TrackTrace> =
+            self.ranks.iter().filter_map(|r| r.track.clone()).collect();
+        if tracks.is_empty() {
+            return None;
+        }
+        let mut trace = obs::Trace::new(name);
+        trace.set_meta("ranks", &self.ranks.len().to_string());
+        trace.set_meta("f_hz", &format!("{}", self.f_hz));
+        for t in tracks {
+            trace.push_track(t);
+        }
+        Some(trace)
+    }
+
+    /// Convert the communication logs into the neutral per-rank timelines
+    /// `obs::profile::critical_path` consumes. Always available — the
+    /// comm trace is recorded regardless of the obs configuration.
+    pub fn profile_ranks(&self) -> Vec<obs::profile::RankData> {
+        use crate::trace::CommOp;
+        self.ranks
+            .iter()
+            .map(|r| obs::profile::RankData {
+                rank: r.rank,
+                finish_s: r.finish_s,
+                comm: r
+                    .comm
+                    .events
+                    .iter()
+                    .map(|e| obs::profile::CommRec {
+                        kind: match e.op {
+                            CommOp::Send { to } => obs::profile::CommKind::Send { to },
+                            CommOp::Recv { from } => obs::profile::CommKind::Recv { from },
+                        },
+                        tag: e.tag,
+                        bytes: e.bytes,
+                        time_s: e.time_s,
+                        waited_s: e.waited_s,
+                    })
+                    .collect(),
+            })
+            .collect()
     }
 }
 
@@ -156,6 +205,13 @@ where
     let hockney = world.hockney();
     let program = &program;
     let registry = Arc::new(Registry::new(p));
+    let node = &world.cluster.node;
+    let delta_w = [
+        node.cpu.delta_power(world.f_hz).raw(),
+        node.memory.power.delta().raw(),
+        node.nic.delta().raw(),
+        node.disk.delta().raw(),
+    ];
 
     let mut outcomes: Vec<Option<RankOutcome<R>>> = (0..p).map(|_| None).collect();
     let mut aborted: Vec<CommLog> = Vec::new();
@@ -187,20 +243,26 @@ where
                     comm: CommLog::new(rank),
                     vclock: vec![0; p],
                     last_probe: None,
+                    rec: world.obs.trace.then(|| obs::TrackRecorder::new(rank)),
+                    metrics: world.obs.metrics.then(crate::ctx::MpsMetrics::new),
+                    delta_w,
                 };
                 let result = program(&mut ctx);
                 registry.mark_finished(rank);
                 ctx.drain_unconsumed();
                 let mut log = ctx.log;
                 log.coalesce();
+                let finish_s = ctx.clock.now().raw();
+                let track = ctx.rec.take().map(|r| r.finish(finish_s));
                 RankOutcome {
                     rank,
                     result,
                     stats: ctx.counters,
                     log,
                     comm: ctx.comm,
-                    finish_s: ctx.clock.now().raw(),
+                    finish_s,
                     markers: ctx.markers,
+                    track,
                 }
             });
             handles.push(handle);
@@ -260,5 +322,41 @@ where
             rank.comm.unconsumed
         );
     }
+    write_trace_outputs(world, &report);
     Ok(report)
+}
+
+/// Write the configured trace files at run end. Output failures are
+/// reported on stderr rather than failing the run — the simulation result
+/// is still valid without its trace.
+fn write_trace_outputs<R>(world: &World, report: &RunReport<R>) {
+    if !world.obs.trace || (world.obs.perfetto_path.is_none() && world.obs.jsonl_path.is_none()) {
+        return;
+    }
+    let name = format!(
+        "{} p={} f={:.2}GHz",
+        world.cluster.name,
+        report.ranks.len(),
+        world.f_hz / 1e9
+    );
+    let Some(trace) = report.trace(&name) else {
+        return;
+    };
+    if let Some(path) = &world.obs.perfetto_path {
+        if let Err(e) = obs::perfetto::write_file(&trace, path) {
+            eprintln!(
+                "mps: failed to write Perfetto trace {}: {e}",
+                path.display()
+            );
+        }
+    }
+    if let Some(path) = &world.obs.jsonl_path {
+        let result = std::fs::File::create(path).and_then(|f| {
+            let mut sink = obs::JsonlSink::new(std::io::BufWriter::new(f));
+            trace.emit(&mut sink)
+        });
+        if let Err(e) = result {
+            eprintln!("mps: failed to write JSONL trace {}: {e}", path.display());
+        }
+    }
 }

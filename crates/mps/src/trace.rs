@@ -38,6 +38,11 @@ pub struct CommEvent {
     pub bytes: u64,
     /// Virtual time at which the event completed, in seconds.
     pub time_s: f64,
+    /// How long the event blocked the rank's virtual clock: for receives,
+    /// the idle time spent waiting for the message's arrival (0 when it
+    /// was already delivered); always 0 for sends, which never block.
+    /// The `obs::profile` critical-path reconstruction pivots on this.
+    pub waited_s: f64,
     /// The rank's vector clock *after* the event.
     pub vc: Vec<u64>,
 }
@@ -188,6 +193,7 @@ mod tests {
             tag: 0,
             bytes: 0,
             time_s: 0.0,
+            waited_s: 0.0,
             vc: vc.to_vec(),
         }
     }

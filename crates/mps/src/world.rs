@@ -1,6 +1,7 @@
 //! Run configuration: cluster, DVFS state, overlap factor, contention.
 
 use netsim::{ContentionModel, Hockney};
+use obs::ObsConfig;
 use simcluster::units::Seconds;
 use simcluster::ClusterSpec;
 
@@ -16,6 +17,10 @@ pub struct World {
     pub alpha: f64,
     /// Link contention model applied during communication.
     pub contention: ContentionModel,
+    /// Observability switches: span tracing, metrics, trace file output.
+    /// Defaults to [`ObsConfig::disabled`] — a disabled config costs one
+    /// branch per instrumented event.
+    pub obs: ObsConfig,
 }
 
 impl World {
@@ -40,6 +45,7 @@ impl World {
             f_hz,
             alpha: 1.0,
             contention: ContentionModel::new(knee, 0.15),
+            obs: ObsConfig::disabled(),
         }
     }
 
@@ -60,6 +66,13 @@ impl World {
     /// pure Hockney behaviour).
     pub fn with_contention(mut self, contention: ContentionModel) -> Self {
         self.contention = contention;
+        self
+    }
+
+    /// Set the observability configuration, e.g.
+    /// `World::new(system_g(), 2.8e9).with_obs(ObsConfig::perfetto("run.json"))`.
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
         self
     }
 

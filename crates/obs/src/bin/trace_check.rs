@@ -1,0 +1,96 @@
+//! Validate a Chrome/Perfetto trace-event JSON file.
+//!
+//! Usage: `trace_check <trace.json> [--expect-ranks N] [--expect-counters N]`
+//!
+//! Exits 0 when the document is structurally valid (and matches the
+//! optional expectations), 1 otherwise — the CI gate for emitted traces.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut expect_ranks: Option<usize> = None;
+    let mut expect_counters: Option<usize> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--expect-ranks" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => expect_ranks = Some(n),
+                None => return usage("--expect-ranks needs an integer"),
+            },
+            "--expect-counters" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => expect_counters = Some(n),
+                None => return usage("--expect-counters needs an integer"),
+            },
+            other if path.is_none() && !other.starts_with("--") => {
+                path = Some(other.to_string());
+            }
+            other => return usage(&format!("unrecognised argument {other:?}")),
+        }
+    }
+    let Some(path) = path else {
+        return usage("missing trace file path");
+    };
+
+    let document = match std::fs::read_to_string(&path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match obs::perfetto::validate(&document) {
+        Ok(report) => {
+            println!(
+                "trace_check: {path}: OK — {} span events on {} tracks, \
+                 {} counter samples across {} counters",
+                report.span_events,
+                report.span_tracks.len(),
+                report.counter_events,
+                report.counter_names.len()
+            );
+            let mut ok = true;
+            if let Some(n) = expect_ranks {
+                if report.span_tracks.len() != n {
+                    eprintln!(
+                        "trace_check: expected {n} rank tracks, found {} ({:?})",
+                        report.span_tracks.len(),
+                        report.span_tracks
+                    );
+                    ok = false;
+                }
+            }
+            if let Some(n) = expect_counters {
+                if report.counter_names.len() < n {
+                    eprintln!(
+                        "trace_check: expected at least {n} counter tracks, found {} ({:?})",
+                        report.counter_names.len(),
+                        report.counter_names
+                    );
+                    ok = false;
+                }
+            }
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(errors) => {
+            eprintln!("trace_check: {path}: {} problem(s)", errors.len());
+            for e in &errors {
+                eprintln!("  - {e}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("trace_check: {msg}");
+    eprintln!("usage: trace_check <trace.json> [--expect-ranks N] [--expect-counters N]");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,90 @@
+//! Runtime observability configuration.
+//!
+//! An [`ObsConfig`] rides on the simulator's `World`; every instrumented
+//! call site checks `trace` (one branch) before touching a recorder, so
+//! a disabled config costs a single predictable branch per event.
+
+use std::path::{Path, PathBuf};
+
+/// What to record and where to write it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Record spans and instant events.
+    pub trace: bool,
+    /// Update the metrics registry (counters/gauges/histograms).
+    pub metrics: bool,
+    /// Write a Chrome/Perfetto trace-event JSON document here at run end.
+    pub perfetto_path: Option<PathBuf>,
+    /// Write the trace as JSON Lines here at run end.
+    pub jsonl_path: Option<PathBuf>,
+}
+
+impl ObsConfig {
+    /// Everything off: the zero-overhead default.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Tracing and metrics on, no file output (trace available in
+    /// memory on the run report).
+    #[must_use]
+    pub fn enabled() -> Self {
+        Self {
+            trace: true,
+            metrics: true,
+            perfetto_path: None,
+            jsonl_path: None,
+        }
+    }
+
+    /// Tracing and metrics on, Perfetto JSON written to `path` at run
+    /// end — the one-liner quickstart:
+    /// `World::new(...).with_obs(ObsConfig::perfetto("run.json"))`.
+    #[must_use]
+    pub fn perfetto(path: impl AsRef<Path>) -> Self {
+        Self {
+            perfetto_path: Some(path.as_ref().to_path_buf()),
+            ..Self::enabled()
+        }
+    }
+
+    /// Tracing and metrics on, JSON Lines written to `path` at run end.
+    #[must_use]
+    pub fn jsonl(path: impl AsRef<Path>) -> Self {
+        Self {
+            jsonl_path: Some(path.as_ref().to_path_buf()),
+            ..Self::enabled()
+        }
+    }
+
+    /// Toggle metrics collection.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: bool) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// True when any recording is active.
+    #[must_use]
+    pub fn any_enabled(&self) -> bool {
+        self.trace || self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_expected_flags() {
+        assert!(!ObsConfig::disabled().any_enabled());
+        assert!(ObsConfig::enabled().trace);
+        let p = ObsConfig::perfetto("run.json");
+        assert!(p.trace && p.metrics);
+        assert_eq!(p.perfetto_path.as_deref(), Some(Path::new("run.json")));
+        let j = ObsConfig::jsonl("run.jsonl").with_metrics(false);
+        assert!(j.trace && !j.metrics);
+        assert_eq!(j.jsonl_path.as_deref(), Some(Path::new("run.jsonl")));
+    }
+}

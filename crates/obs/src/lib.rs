@@ -1,0 +1,45 @@
+//! # obs — unified observability for the simulator stack
+//!
+//! The paper's methodology rests on *seeing* where time and energy go:
+//! PowerPack power traces synchronized with application phases (Fig. 10)
+//! and Perfmon/TAU counters feeding the `Mach`/`Appl` vectors. This crate
+//! is the software analog of that instrumentation discipline, shared by
+//! every crate in the workspace:
+//!
+//! * [`span`] — a zero-dependency structured tracing core: per-track span
+//!   stacks with virtual-time **and** host wall-time timestamps, typed
+//!   fields reusing [`simcluster::units`], and instant events.
+//! * [`trace`] — the assembled [`Trace`] of a run: one track per rank,
+//!   counter tracks (e.g. PowerPack power samples), run metadata.
+//! * [`sink`] — pluggable sinks: an in-memory ring buffer, a JSONL
+//!   streamer, and a buffered Perfetto sink.
+//! * [`perfetto`] — Chrome trace-event JSON export; any run opens in
+//!   `ui.perfetto.dev` with one track per rank and compute/memory/net/idle
+//!   phases as nested slices.
+//! * [`metrics`] — a registry of counters, gauges and fixed-bucket
+//!   histograms, all lock-free atomics on the hot path, snapshotted as
+//!   text or JSON.
+//! * [`profile`] — a critical-path profiler that replays a run's
+//!   happens-before graph (message matching + binding waits) and reports
+//!   the rank-to-rank critical path, per-span slack, and the top-k spans
+//!   by virtual time and by energy.
+//! * [`json`] — a minimal JSON parser used by the trace validator (the
+//!   workspace builds offline with zero external dependencies).
+//!
+//! The consumer-facing switch is [`ObsConfig`]: disabled tracing costs a
+//! single branch per event in the `mps` runtime.
+
+pub mod config;
+pub mod json;
+pub mod metrics;
+pub mod perfetto;
+pub mod profile;
+pub mod sink;
+pub mod span;
+pub mod trace;
+
+pub use config::ObsConfig;
+pub use metrics::{global, Counter, Gauge, Histogram, Registry};
+pub use sink::{JsonlSink, PerfettoSink, Record, RingSink, Sink};
+pub use span::{Category, EventRecord, FieldValue, SpanRecord, TrackRecorder};
+pub use trace::{CounterTrack, Trace, TrackTrace};

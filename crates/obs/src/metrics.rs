@@ -1,0 +1,398 @@
+//! Lock-free metrics registry: counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! Registration takes a `Mutex` (cold path); the handles returned are
+//! `Arc`-shared atomics, so the hot path (incrementing a counter inside
+//! a collective, bumping the model-eval counter in a sweep) is a single
+//! relaxed atomic op. A process-wide registry is available via
+//! [`global`] for call sites that cannot thread a handle through.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` gauge (stored as bits in an `AtomicU64`).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value (0.0 until first set).
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram with caller-fixed bucket upper bounds.
+///
+/// `observe(v)` lands in the first bucket whose bound is `>= v`; values
+/// above the last bound land in the implicit overflow bucket. Bounds are
+/// immutable after construction, so observation is lock-free.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` buckets; last is overflow.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observed values, as `f64` bits CAS-accumulated.
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // CAS loop to accumulate an f64 sum without a lock.
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean observation (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.sum() / n as f64
+            }
+        }
+    }
+
+    /// `(upper_bound, count)` per bucket; the final entry uses
+    /// `f64::INFINITY` as the overflow bound.
+    #[must_use]
+    pub fn buckets(&self) -> Vec<(f64, u64)> {
+        let mut out: Vec<(f64, u64)> = self
+            .bounds
+            .iter()
+            .zip(&self.buckets)
+            .map(|(&b, c)| (b, c.load(Ordering::Relaxed)))
+            .collect();
+        out.push((
+            f64::INFINITY,
+            self.buckets[self.bounds.len()].load(Ordering::Relaxed),
+        ));
+        out
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of metrics.
+///
+/// Lookup/registration is mutex-guarded; returned handles are shared
+/// atomics, safe to cache and hit from any thread.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// The gauge named `name`, created on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// The histogram named `name` with the given bucket bounds, created
+    /// on first use (bounds of an existing histogram are kept).
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind,
+    /// or if `bounds` is not strictly increasing.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(bounds))))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Drop every registered metric (tests; the global registry is
+    /// process-wide state).
+    pub fn clear(&self) {
+        self.metrics
+            .lock()
+            .expect("metrics registry poisoned")
+            .clear();
+    }
+
+    /// Plain-text snapshot, one `name kind value` line per metric,
+    /// sorted by name.
+    #[must_use]
+    pub fn snapshot_text(&self) -> String {
+        let metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let mut out = String::new();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("{name} counter {}\n", c.get()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("{name} gauge {}\n", crate::span::fmt_f64(g.get())));
+                }
+                Metric::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{name} histogram count={} sum={} mean={}\n",
+                        h.count(),
+                        crate::span::fmt_f64(h.sum()),
+                        crate::span::fmt_f64(h.mean())
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON snapshot: `{"metrics":[{"name":...,"kind":...,...}]}`.
+    ///
+    /// This is the same document shape `BENCH_model_eval.json` uses, so
+    /// one parser covers both.
+    #[must_use]
+    pub fn snapshot_json(&self) -> String {
+        use crate::json::quote;
+        let metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let mut entries: Vec<String> = Vec::new();
+        for (name, metric) in metrics.iter() {
+            let entry = match metric {
+                Metric::Counter(c) => format!(
+                    "{{\"name\":{},\"kind\":\"counter\",\"value\":{}}}",
+                    quote(name),
+                    c.get()
+                ),
+                Metric::Gauge(g) => format!(
+                    "{{\"name\":{},\"kind\":\"gauge\",\"value\":{}}}",
+                    quote(name),
+                    crate::span::fmt_f64(g.get())
+                ),
+                Metric::Histogram(h) => {
+                    let buckets: Vec<String> = h
+                        .buckets()
+                        .iter()
+                        .map(|(bound, count)| {
+                            let b = if bound.is_finite() {
+                                crate::span::fmt_f64(*bound)
+                            } else {
+                                "\"inf\"".to_string()
+                            };
+                            format!("{{\"le\":{b},\"count\":{count}}}")
+                        })
+                        .collect();
+                    format!(
+                        "{{\"name\":{},\"kind\":\"histogram\",\"count\":{},\
+                         \"sum\":{},\"mean\":{},\"buckets\":[{}]}}",
+                        quote(name),
+                        h.count(),
+                        crate::span::fmt_f64(h.sum()),
+                        crate::span::fmt_f64(h.mean()),
+                        buckets.join(",")
+                    )
+                }
+            };
+            entries.push(entry);
+        }
+        format!("{{\"metrics\":[{}]}}\n", entries.join(","))
+    }
+}
+
+/// The process-wide registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let reg = Registry::new();
+        let c = reg.counter("mps.messages");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Second lookup shares the same underlying counter.
+        assert_eq!(reg.counter("mps.messages").get(), 5);
+        let g = reg.gauge("isoee.ee");
+        g.set(0.75);
+        assert!((reg.gauge("isoee.ee").get() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[1.0, 10.0]);
+        for v in [0.5, 0.9, 5.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 106.4).abs() < 1e-9);
+        let buckets = h.buckets();
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0], (1.0, 2));
+        assert_eq!(buckets[1], (10.0, 1));
+        assert_eq!(buckets[2].1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflict_panics() {
+        let reg = Registry::new();
+        reg.counter("x");
+        let _ = reg.gauge("x");
+    }
+
+    #[test]
+    fn snapshots_are_sorted_and_parse() {
+        let reg = Registry::new();
+        reg.counter("b.count").add(2);
+        reg.gauge("a.gauge").set(1.5);
+        reg.histogram("c.hist", &[1.0]).observe(0.5);
+        let text = reg.snapshot_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a.gauge gauge"));
+        assert!(lines[1].starts_with("b.count counter 2"));
+        let json = reg.snapshot_json();
+        let doc = crate::json::parse(&json).expect("snapshot parses");
+        let metrics = doc.get("metrics").unwrap().as_arr().unwrap();
+        assert_eq!(metrics.len(), 3);
+        assert_eq!(metrics[0].get("name").unwrap().as_str(), Some("a.gauge"));
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let reg = Registry::new();
+        let c = reg.counter("hot");
+        let h = reg.histogram("hist", &[0.5]);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                let h = Arc::clone(&h);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                        h.observe(0.25);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        assert_eq!(h.count(), 4000);
+        assert!((h.sum() - 1000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,693 @@
+//! Critical-path profiling over a run's happens-before graph.
+//!
+//! The profiler works on **neutral** inputs — per-rank communication
+//! records ([`RankData`]) and the assembled [`Trace`] — so this crate
+//! never depends on the simulator runtime; `mps` (which depends on
+//! `obs`) converts its `RunReport` into these types.
+//!
+//! The critical path is reconstructed by backtracking from the
+//! latest-finishing rank: walk backwards to the most recent receive that
+//! actually blocked (`waited_s > 0`), hop to the matching send on the
+//! peer rank (FIFO order per `(src, dst, tag)`, the runtime's matching
+//! rule), and repeat until a rank segment reaches `t = 0`. The steps
+//! tile `[0, Tp]` exactly, so the path's total virtual time equals the
+//! parallel runtime by construction.
+
+use crate::span::Category;
+use crate::trace::Trace;
+
+/// Receives that blocked for less than this are not path edges.
+const WAIT_EPS: f64 = 1e-12;
+
+/// Direction of one point-to-point completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommKind {
+    /// A send to `to`; `time_s` is the send completion on the sender.
+    Send {
+        /// Destination rank.
+        to: usize,
+    },
+    /// A receive from `from`; `time_s` is the receive completion.
+    Recv {
+        /// Source rank.
+        from: usize,
+    },
+}
+
+/// One point-to-point completion on a rank's timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommRec {
+    /// Send or receive, with the peer rank.
+    pub kind: CommKind,
+    /// Message tag (FIFO matching is per `(src, dst, tag)`).
+    pub tag: u64,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Completion time on the local rank's virtual clock, seconds.
+    pub time_s: f64,
+    /// How long a receive blocked waiting for the message (0 for sends
+    /// and for receives that found the message already delivered).
+    pub waited_s: f64,
+}
+
+/// One rank's communication timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankData {
+    /// Rank id.
+    pub rank: usize,
+    /// The rank's finish time (virtual seconds).
+    pub finish_s: f64,
+    /// Completions in program order.
+    pub comm: Vec<CommRec>,
+}
+
+/// One step of the critical path, in chronological order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathStep {
+    /// Execution on `rank` over `[start_s, end_s]`.
+    Local {
+        /// Executing rank.
+        rank: usize,
+        /// Segment start, virtual seconds.
+        start_s: f64,
+        /// Segment end, virtual seconds.
+        end_s: f64,
+    },
+    /// A message in flight from `from` to `to` over `[start_s, end_s]`
+    /// (send completion to receive completion).
+    Message {
+        /// Sending rank.
+        from: usize,
+        /// Receiving rank.
+        to: usize,
+        /// Message tag.
+        tag: u64,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Send completion, virtual seconds.
+        start_s: f64,
+        /// Receive completion, virtual seconds.
+        end_s: f64,
+    },
+}
+
+impl PathStep {
+    /// Duration of the step, seconds.
+    #[must_use]
+    pub fn dur_s(&self) -> f64 {
+        match self {
+            PathStep::Local { start_s, end_s, .. } | PathStep::Message { start_s, end_s, .. } => {
+                end_s - start_s
+            }
+        }
+    }
+
+    /// The rank executing (local step) or receiving (message step).
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        match self {
+            PathStep::Local { rank, .. } => *rank,
+            PathStep::Message { to, .. } => *to,
+        }
+    }
+}
+
+/// The reconstructed critical path of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// Steps in chronological order, tiling `[0, total_s]`.
+    pub steps: Vec<PathStep>,
+    /// Total virtual time of the path (= the parallel runtime `Tp`).
+    pub total_s: f64,
+    /// The rank whose finish defines `Tp`.
+    pub end_rank: usize,
+}
+
+impl CriticalPath {
+    /// Seconds the path spends executing locally on each rank, as
+    /// `(rank, seconds)` sorted by rank.
+    #[must_use]
+    pub fn local_time_by_rank(&self) -> Vec<(usize, f64)> {
+        let mut acc: Vec<(usize, f64)> = Vec::new();
+        for step in &self.steps {
+            if let PathStep::Local { rank, .. } = step {
+                if let Some(entry) = acc.iter_mut().find(|(r, _)| r == rank) {
+                    entry.1 += step.dur_s();
+                } else {
+                    acc.push((*rank, step.dur_s()));
+                }
+            }
+        }
+        acc.sort_unstable_by_key(|(r, _)| *r);
+        acc
+    }
+
+    /// Seconds the path spends in message transit.
+    #[must_use]
+    pub fn message_time_s(&self) -> f64 {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, PathStep::Message { .. }))
+            .map(PathStep::dur_s)
+            .sum()
+    }
+}
+
+/// Why a critical path could not be reconstructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProfileError {
+    /// No ranks were supplied.
+    Empty,
+    /// A blocking receive had no matching send on the peer's timeline.
+    UnmatchedRecv {
+        /// Receiving rank.
+        rank: usize,
+        /// Claimed source rank.
+        from: usize,
+        /// Message tag.
+        tag: u64,
+    },
+    /// Backtracking failed to make progress (cyclic zero-time edges).
+    NoProgress,
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::Empty => write!(f, "no ranks to profile"),
+            ProfileError::UnmatchedRecv { rank, from, tag } => write!(
+                f,
+                "rank {rank}: blocking recv from {from} tag {tag} has no matching send"
+            ),
+            ProfileError::NoProgress => {
+                write!(f, "critical-path backtracking made no progress")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+/// Reconstruct the run's critical path from per-rank communication
+/// timelines.
+///
+/// # Errors
+/// Returns [`ProfileError::Empty`] for no ranks,
+/// [`ProfileError::UnmatchedRecv`] when FIFO matching fails, and
+/// [`ProfileError::NoProgress`] if backtracking cycles.
+pub fn critical_path(ranks: &[RankData]) -> Result<CriticalPath, ProfileError> {
+    let end = ranks
+        .iter()
+        .max_by(|a, b| a.finish_s.total_cmp(&b.finish_s))
+        .ok_or(ProfileError::Empty)?;
+    let total_s = end.finish_s;
+
+    let by_rank = |r: usize| ranks.iter().find(|d| d.rank == r);
+
+    let mut steps: Vec<PathStep> = Vec::new();
+    let mut rank = end.rank;
+    let mut t = total_s;
+    // Generous bound: each iteration consumes at least one comm event.
+    let max_iters = ranks.iter().map(|r| r.comm.len()).sum::<usize>() + ranks.len() + 1;
+
+    for _ in 0..max_iters {
+        let Some(data) = by_rank(rank) else {
+            // Unknown rank id in a message edge: close out at zero.
+            steps.push(PathStep::Local {
+                rank,
+                start_s: 0.0,
+                end_s: t,
+            });
+            break;
+        };
+        // Latest blocking recv completing at or before t.
+        let blocking = data
+            .comm
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| {
+                matches!(e.kind, CommKind::Recv { .. })
+                    && e.waited_s > WAIT_EPS
+                    && e.time_s <= t + WAIT_EPS
+            })
+            .max_by(|(_, a), (_, b)| a.time_s.total_cmp(&b.time_s));
+
+        let Some((idx, recv)) = blocking else {
+            steps.push(PathStep::Local {
+                rank,
+                start_s: 0.0,
+                end_s: t,
+            });
+            break;
+        };
+        let CommKind::Recv { from } = recv.kind else {
+            unreachable!("filtered to recvs");
+        };
+        steps.push(PathStep::Local {
+            rank,
+            start_s: recv.time_s,
+            end_s: t,
+        });
+
+        // FIFO ordinal of this recv among (from -> rank, tag).
+        let ordinal = data.comm[..idx]
+            .iter()
+            .filter(|e| {
+                matches!(e.kind, CommKind::Recv { from: f } if f == from) && e.tag == recv.tag
+            })
+            .count();
+        let sender = by_rank(from).ok_or(ProfileError::UnmatchedRecv {
+            rank,
+            from,
+            tag: recv.tag,
+        })?;
+        let send = sender
+            .comm
+            .iter()
+            .filter(|e| matches!(e.kind, CommKind::Send { to } if to == rank) && e.tag == recv.tag)
+            .nth(ordinal)
+            .ok_or(ProfileError::UnmatchedRecv {
+                rank,
+                from,
+                tag: recv.tag,
+            })?;
+
+        steps.push(PathStep::Message {
+            from,
+            to: rank,
+            tag: recv.tag,
+            bytes: recv.bytes,
+            start_s: send.time_s,
+            end_s: recv.time_s,
+        });
+
+        if send.time_s > t - WAIT_EPS && from == rank {
+            return Err(ProfileError::NoProgress);
+        }
+        rank = from;
+        t = send.time_s;
+    }
+
+    if steps.is_empty()
+        || !matches!(
+            steps.last(),
+            Some(PathStep::Local { start_s, .. }) if *start_s <= WAIT_EPS
+        )
+    {
+        return Err(ProfileError::NoProgress);
+    }
+
+    steps.reverse();
+    Ok(CriticalPath {
+        steps,
+        total_s,
+        end_rank: end.rank,
+    })
+}
+
+/// A span reference for top-k reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanCost {
+    /// Owning track (rank).
+    pub track: usize,
+    /// Span name.
+    pub name: String,
+    /// Category.
+    pub cat: Category,
+    /// Span start, virtual seconds.
+    pub start_s: f64,
+    /// Cost: virtual seconds or joules depending on the report.
+    pub cost: f64,
+}
+
+/// The `k` longest spans by virtual duration, descending.
+#[must_use]
+pub fn top_spans_by_time(trace: &Trace, k: usize) -> Vec<SpanCost> {
+    let mut all: Vec<SpanCost> = trace
+        .tracks
+        .iter()
+        .flat_map(|t| t.spans.iter())
+        .map(|s| SpanCost {
+            track: s.track,
+            name: s.name.clone(),
+            cat: s.cat,
+            start_s: s.start_s,
+            cost: s.dur_s(),
+        })
+        .collect();
+    all.sort_by(|a, b| b.cost.total_cmp(&a.cost));
+    all.truncate(k);
+    all
+}
+
+/// The `k` most expensive spans by attached energy (`energy_j` field),
+/// descending. Spans without an energy field are skipped.
+#[must_use]
+pub fn top_spans_by_energy(trace: &Trace, k: usize) -> Vec<SpanCost> {
+    let mut all: Vec<SpanCost> = trace
+        .tracks
+        .iter()
+        .flat_map(|t| t.spans.iter())
+        .filter_map(|s| {
+            s.fields.iter().find_map(|(name, value)| {
+                if *name == "energy_j" {
+                    value.as_f64().map(|j| SpanCost {
+                        track: s.track,
+                        name: s.name.clone(),
+                        cat: s.cat,
+                        start_s: s.start_s,
+                        cost: j,
+                    })
+                } else {
+                    None
+                }
+            })
+        })
+        .collect();
+    all.sort_by(|a, b| b.cost.total_cmp(&a.cost));
+    all.truncate(k);
+    all
+}
+
+/// Wait time inside one phase on one rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSlack {
+    /// Rank (track) id.
+    pub rank: usize,
+    /// Phase span name.
+    pub phase: String,
+    /// Phase start, virtual seconds.
+    pub start_s: f64,
+    /// Phase end, virtual seconds.
+    pub end_s: f64,
+    /// Seconds the rank spent blocked (wait spans) inside the phase.
+    pub slack_s: f64,
+}
+
+/// Per-phase slack: for every phase span, the summed wall time of wait
+/// spans on the same track overlapping the phase interval.
+#[must_use]
+pub fn phase_slack(trace: &Trace) -> Vec<PhaseSlack> {
+    let mut out = Vec::new();
+    for track in &trace.tracks {
+        for phase in track.spans.iter().filter(|s| s.cat == Category::Phase) {
+            let slack: f64 = track
+                .spans
+                .iter()
+                .filter(|s| s.cat == Category::Wait)
+                .map(|w| {
+                    let lo = w.start_s.max(phase.start_s);
+                    let hi = w.end_s.min(phase.end_s);
+                    (hi - lo).max(0.0)
+                })
+                .sum();
+            out.push(PhaseSlack {
+                rank: track.track,
+                phase: phase.name.clone(),
+                start_s: phase.start_s,
+                end_s: phase.end_s,
+                slack_s: slack,
+            });
+        }
+    }
+    out
+}
+
+/// A complete profile of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileReport {
+    /// The rank-to-rank critical path, if reconstructable.
+    pub critical_path: Result<CriticalPath, ProfileError>,
+    /// Per-rank, per-phase wait time.
+    pub phase_slack: Vec<PhaseSlack>,
+    /// Longest spans by virtual time, descending.
+    pub top_by_time: Vec<SpanCost>,
+    /// Most expensive spans by energy, descending.
+    pub top_by_energy: Vec<SpanCost>,
+}
+
+impl ProfileReport {
+    /// Build a profile from the trace and communication timelines.
+    #[must_use]
+    pub fn build(trace: &Trace, ranks: &[RankData], k: usize) -> Self {
+        Self {
+            critical_path: critical_path(ranks),
+            phase_slack: phase_slack(trace),
+            top_by_time: top_spans_by_time(trace, k),
+            top_by_energy: top_spans_by_energy(trace, k),
+        }
+    }
+
+    /// Human-readable rendering.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        match &self.critical_path {
+            Ok(path) => {
+                out.push_str(&format!(
+                    "critical path: {:.6} s ending on rank {} ({} steps, {:.6} s in flight)\n",
+                    path.total_s,
+                    path.end_rank,
+                    path.steps.len(),
+                    path.message_time_s()
+                ));
+                for (rank, secs) in path.local_time_by_rank() {
+                    out.push_str(&format!("  rank {rank}: {secs:.6} s on path\n"));
+                }
+            }
+            Err(e) => out.push_str(&format!("critical path: unavailable ({e})\n")),
+        }
+        if !self.phase_slack.is_empty() {
+            out.push_str("phase slack:\n");
+            for s in &self.phase_slack {
+                out.push_str(&format!(
+                    "  rank {} {}: {:.6} s waiting of {:.6} s\n",
+                    s.rank,
+                    s.phase,
+                    s.slack_s,
+                    s.end_s - s.start_s
+                ));
+            }
+        }
+        if !self.top_by_time.is_empty() {
+            out.push_str("top spans by virtual time:\n");
+            for s in &self.top_by_time {
+                out.push_str(&format!(
+                    "  {:.6} s  rank {} {} [{}]\n",
+                    s.cost,
+                    s.track,
+                    s.name,
+                    s.cat.name()
+                ));
+            }
+        }
+        if !self.top_by_energy.is_empty() {
+            out.push_str("top spans by energy:\n");
+            for s in &self.top_by_energy {
+                out.push_str(&format!(
+                    "  {:.6} J  rank {} {} [{}]\n",
+                    s.cost,
+                    s.track,
+                    s.name,
+                    s.cat.name()
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{FieldValue, TrackRecorder};
+
+    fn send(to: usize, tag: u64, time_s: f64) -> CommRec {
+        CommRec {
+            kind: CommKind::Send { to },
+            tag,
+            bytes: 64,
+            time_s,
+            waited_s: 0.0,
+        }
+    }
+
+    fn recv(from: usize, tag: u64, time_s: f64, waited_s: f64) -> CommRec {
+        CommRec {
+            kind: CommKind::Recv { from },
+            tag,
+            bytes: 64,
+            time_s,
+            waited_s,
+        }
+    }
+
+    #[test]
+    fn two_rank_path_tiles_runtime() {
+        // Rank 0 computes 1.0s then sends; rank 1 waits for it, computes
+        // to 1.6s. Path: local r0 [0,1.0], message [1.0,1.1], local r1
+        // [1.1,1.6].
+        let ranks = vec![
+            RankData {
+                rank: 0,
+                finish_s: 1.05,
+                comm: vec![send(1, 7, 1.0)],
+            },
+            RankData {
+                rank: 1,
+                finish_s: 1.6,
+                comm: vec![recv(0, 7, 1.1, 0.9)],
+            },
+        ];
+        let path = critical_path(&ranks).expect("path");
+        assert!((path.total_s - 1.6).abs() < 1e-12);
+        assert_eq!(path.end_rank, 1);
+        assert_eq!(path.steps.len(), 3);
+        let tiled: f64 = path.steps.iter().map(PathStep::dur_s).sum();
+        assert!((tiled - path.total_s).abs() < 1e-9);
+        assert!(matches!(
+            path.steps[1],
+            PathStep::Message { from: 0, to: 1, .. }
+        ));
+        assert!((path.message_time_s() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_blocking_recvs_are_ignored() {
+        // Rank 1's recv found the message already there (waited 0): the
+        // path never leaves rank 1.
+        let ranks = vec![
+            RankData {
+                rank: 0,
+                finish_s: 0.5,
+                comm: vec![send(1, 0, 0.2)],
+            },
+            RankData {
+                rank: 1,
+                finish_s: 2.0,
+                comm: vec![recv(0, 0, 1.0, 0.0)],
+            },
+        ];
+        let path = critical_path(&ranks).expect("path");
+        assert_eq!(path.steps.len(), 1);
+        assert!(matches!(path.steps[0], PathStep::Local { rank: 1, .. }));
+        assert!((path.total_s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fifo_ordinal_matches_second_send() {
+        // Two same-tag messages 0 -> 1: the blocking recv is the second,
+        // so it must match the second send (completion 0.8), not the first.
+        let ranks = vec![
+            RankData {
+                rank: 0,
+                finish_s: 0.9,
+                comm: vec![send(1, 3, 0.4), send(1, 3, 0.8)],
+            },
+            RankData {
+                rank: 1,
+                finish_s: 1.5,
+                comm: vec![recv(0, 3, 0.45, 0.0), recv(0, 3, 0.9, 0.3)],
+            },
+        ];
+        let path = critical_path(&ranks).expect("path");
+        let msg = path
+            .steps
+            .iter()
+            .find(|s| matches!(s, PathStep::Message { .. }))
+            .expect("message step");
+        assert!((msg.dur_s() - (0.9 - 0.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unmatched_recv_is_an_error() {
+        let ranks = vec![
+            RankData {
+                rank: 0,
+                finish_s: 0.5,
+                comm: vec![],
+            },
+            RankData {
+                rank: 1,
+                finish_s: 1.0,
+                comm: vec![recv(0, 9, 0.8, 0.2)],
+            },
+        ];
+        assert_eq!(
+            critical_path(&ranks),
+            Err(ProfileError::UnmatchedRecv {
+                rank: 1,
+                from: 0,
+                tag: 9
+            })
+        );
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert_eq!(critical_path(&[]), Err(ProfileError::Empty));
+    }
+
+    fn profiled_trace() -> Trace {
+        let mut trace = Trace::new("profile-test");
+        let mut rec = TrackRecorder::new(0);
+        rec.begin_phase("solve", 0.0);
+        rec.leaf(
+            "compute",
+            Category::Compute,
+            0.0,
+            0.6,
+            vec![(
+                "energy_j",
+                FieldValue::Joules(simcluster::units::Joules::new(12.0)),
+            )],
+        );
+        rec.leaf("wait", Category::Wait, 0.6, 0.85, vec![]);
+        rec.leaf(
+            "network",
+            Category::Network,
+            0.85,
+            0.95,
+            vec![(
+                "energy_j",
+                FieldValue::Joules(simcluster::units::Joules::new(2.0)),
+            )],
+        );
+        trace.push_track(rec.finish(1.0));
+        trace
+    }
+
+    #[test]
+    fn slack_and_topk_reports() {
+        let trace = profiled_trace();
+        let slack = phase_slack(&trace);
+        assert_eq!(slack.len(), 1);
+        assert!((slack[0].slack_s - 0.25).abs() < 1e-12);
+
+        let by_time = top_spans_by_time(&trace, 2);
+        assert_eq!(by_time.len(), 2);
+        assert_eq!(by_time[0].name, "solve");
+        assert!(by_time[0].cost >= by_time[1].cost);
+
+        let by_energy = top_spans_by_energy(&trace, 5);
+        assert_eq!(by_energy.len(), 2);
+        assert_eq!(by_energy[0].name, "compute");
+        assert!((by_energy[0].cost - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_renders_every_section() {
+        let trace = profiled_trace();
+        let ranks = vec![RankData {
+            rank: 0,
+            finish_s: 1.0,
+            comm: vec![],
+        }];
+        let report = ProfileReport::build(&trace, &ranks, 3);
+        let text = report.render();
+        assert!(text.contains("critical path: 1.000000 s"));
+        assert!(text.contains("phase slack:"));
+        assert!(text.contains("top spans by virtual time:"));
+        assert!(text.contains("top spans by energy:"));
+    }
+}

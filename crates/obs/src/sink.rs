@@ -1,0 +1,364 @@
+//! Pluggable trace sinks.
+//!
+//! A [`Sink`] consumes the stream of records a [`crate::Trace`] emits:
+//!
+//! * [`RingSink`] — a bounded in-memory ring buffer (a flight recorder:
+//!   always on, keeps the last N records, never allocates past capacity).
+//! * [`JsonlSink`] — one JSON object per line to any `io::Write`; the
+//!   format `analyze` and ad-hoc scripts consume.
+//! * [`PerfettoSink`] — buffers records and writes a Chrome trace-event
+//!   JSON document on flush (see [`crate::perfetto`]).
+
+use std::collections::VecDeque;
+use std::io::Write;
+
+use crate::span::{EventRecord, SpanRecord};
+use crate::trace::{Trace, TrackTrace};
+
+/// One record streamed out of a trace.
+#[derive(Debug, Clone, Copy)]
+pub enum Record<'a> {
+    /// A closed span.
+    Span(&'a SpanRecord),
+    /// An instant event.
+    Instant(&'a EventRecord),
+    /// One counter sample.
+    Counter {
+        /// Counter-track name.
+        name: &'a str,
+        /// Display unit.
+        unit: &'a str,
+        /// Virtual time of the sample, seconds.
+        t_s: f64,
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+/// An owned copy of a [`Record`] (what [`RingSink`] retains).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OwnedRecord {
+    /// A closed span.
+    Span(SpanRecord),
+    /// An instant event.
+    Instant(EventRecord),
+    /// One counter sample.
+    Counter {
+        /// Counter-track name.
+        name: String,
+        /// Display unit.
+        unit: String,
+        /// Virtual time of the sample, seconds.
+        t_s: f64,
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+/// A consumer of trace records.
+pub trait Sink {
+    /// Consume one record.
+    fn record(&mut self, record: Record<'_>);
+
+    /// Finish writing (I/O sinks).
+    ///
+    /// # Errors
+    /// Returns the underlying I/O error, if any.
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A bounded in-memory ring buffer of the most recent records.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    records: VecDeque<OwnedRecord>,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` records.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        Self {
+            capacity,
+            records: VecDeque::with_capacity(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Number of retained records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records evicted because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &OwnedRecord> {
+        self.records.iter()
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&mut self, record: Record<'_>) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        let owned = match record {
+            Record::Span(s) => OwnedRecord::Span(s.clone()),
+            Record::Instant(e) => OwnedRecord::Instant(e.clone()),
+            Record::Counter {
+                name,
+                unit,
+                t_s,
+                value,
+            } => OwnedRecord::Counter {
+                name: name.to_string(),
+                unit: unit.to_string(),
+                t_s,
+                value,
+            },
+        };
+        self.records.push_back(owned);
+    }
+}
+
+/// Streams records as JSON Lines to any writer.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wrap `writer`.
+    pub fn new(writer: W) -> Self {
+        Self {
+            writer,
+            error: None,
+        }
+    }
+
+    /// Unwrap the writer (e.g. to get the bytes of a `Vec<u8>` back).
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+
+    fn write_line(&mut self, line: &str) {
+        if self.error.is_none() {
+            if let Err(e) = writeln!(self.writer, "{line}") {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+/// Render one record as a single-line JSON object.
+#[must_use]
+pub fn record_jsonl(record: Record<'_>) -> String {
+    use crate::json::quote;
+    match record {
+        Record::Span(s) => {
+            let mut fields = String::new();
+            for (k, v) in &s.fields {
+                fields.push_str(&format!(",{}:{}", quote(k), v.to_json()));
+            }
+            format!(
+                "{{\"kind\":\"span\",\"name\":{},\"cat\":{},\"track\":{},\
+                 \"start_s\":{},\"end_s\":{},\"depth\":{},\"host_start_ns\":{},\
+                 \"host_end_ns\":{},\"forced_close\":{}{}}}",
+                quote(&s.name),
+                quote(s.cat.name()),
+                s.track,
+                crate::span::fmt_f64(s.start_s),
+                crate::span::fmt_f64(s.end_s),
+                s.depth,
+                s.host_start_ns,
+                s.host_end_ns,
+                s.forced_close,
+                fields
+            )
+        }
+        Record::Instant(e) => {
+            let mut fields = String::new();
+            for (k, v) in &e.fields {
+                fields.push_str(&format!(",{}:{}", quote(k), v.to_json()));
+            }
+            format!(
+                "{{\"kind\":\"instant\",\"name\":{},\"track\":{},\"time_s\":{}{}}}",
+                quote(&e.name),
+                e.track,
+                crate::span::fmt_f64(e.time_s),
+                fields
+            )
+        }
+        Record::Counter {
+            name,
+            unit,
+            t_s,
+            value,
+        } => format!(
+            "{{\"kind\":\"counter\",\"name\":{},\"unit\":{},\"t_s\":{},\"value\":{}}}",
+            quote(name),
+            quote(unit),
+            crate::span::fmt_f64(t_s),
+            crate::span::fmt_f64(value)
+        ),
+    }
+}
+
+impl<W: Write> Sink for JsonlSink<W> {
+    fn record(&mut self, record: Record<'_>) {
+        let line = record_jsonl(record);
+        self.write_line(&line);
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.flush()
+    }
+}
+
+/// Buffers records and renders a Chrome trace-event JSON document on
+/// flush. Counter samples are regrouped into counter tracks by name.
+#[derive(Debug)]
+pub struct PerfettoSink<W: Write> {
+    writer: W,
+    trace: Trace,
+}
+
+impl<W: Write> PerfettoSink<W> {
+    /// A sink writing the final document to `writer`, with the given run
+    /// name.
+    pub fn new(writer: W, run_name: &str) -> Self {
+        Self {
+            writer,
+            trace: Trace::new(run_name),
+        }
+    }
+}
+
+impl<W: Write> Sink for PerfettoSink<W> {
+    fn record(&mut self, record: Record<'_>) {
+        match record {
+            Record::Span(s) => {
+                let track = ensure_track(&mut self.trace, s.track);
+                track.spans.push(s.clone());
+            }
+            Record::Instant(e) => {
+                let track = ensure_track(&mut self.trace, e.track);
+                track.instants.push(e.clone());
+            }
+            Record::Counter {
+                name,
+                unit,
+                t_s,
+                value,
+            } => {
+                if let Some(c) = self.trace.counters.iter_mut().find(|c| c.name == name) {
+                    c.samples.push((t_s, value));
+                } else {
+                    self.trace.add_counter_track(name, unit, vec![(t_s, value)]);
+                }
+            }
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        let doc = crate::perfetto::render(&self.trace);
+        self.writer.write_all(doc.as_bytes())?;
+        self.writer.flush()
+    }
+}
+
+fn ensure_track(trace: &mut Trace, track: usize) -> &mut TrackTrace {
+    if let Some(idx) = trace.tracks.iter().position(|t| t.track == track) {
+        &mut trace.tracks[idx]
+    } else {
+        trace.push_track(TrackTrace {
+            track,
+            ..TrackTrace::default()
+        });
+        trace.tracks.last_mut().expect("just pushed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Category, TrackRecorder};
+
+    fn sample_trace() -> Trace {
+        let mut rec = TrackRecorder::new(0);
+        rec.begin_phase("work", 0.0);
+        rec.leaf("compute", Category::Compute, 0.0, 0.25, vec![]);
+        rec.instant("marker", 0.25, vec![]);
+        let mut t = Trace::new("sink-test");
+        t.push_track(rec.finish(0.5));
+        t.add_counter_track("power", "W", vec![(0.0, 5.0)]);
+        t
+    }
+
+    #[test]
+    fn ring_drops_oldest_beyond_capacity() {
+        let t = sample_trace();
+        let mut ring = RingSink::new(2);
+        t.emit(&mut ring).unwrap();
+        // 2 spans + 1 instant + 1 counter = 4 records, ring keeps last 2.
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 2);
+        assert!(!ring.is_empty());
+    }
+
+    #[test]
+    fn jsonl_lines_are_valid_json() {
+        let t = sample_trace();
+        let mut sink = JsonlSink::new(Vec::new());
+        t.emit(&mut sink).unwrap();
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in lines {
+            let v = crate::json::parse(line).expect("line parses");
+            assert!(v.get("kind").is_some(), "{line}");
+        }
+    }
+
+    #[test]
+    fn perfetto_sink_writes_parsable_document() {
+        let t = sample_trace();
+        let mut sink = PerfettoSink::new(Vec::new(), "sink-test");
+        t.emit(&mut sink).unwrap();
+        // flush was called by emit; grab bytes via a second sink write.
+        // (PerfettoSink keeps the writer; rebuild to inspect.)
+        let mut buf = Vec::new();
+        {
+            let mut sink = PerfettoSink::new(&mut buf, "sink-test");
+            t.emit(&mut sink).unwrap();
+        }
+        let doc = String::from_utf8(buf).unwrap();
+        let v = crate::json::parse(&doc).expect("document parses");
+        assert!(v.get("traceEvents").is_some());
+    }
+}

@@ -1,0 +1,462 @@
+//! The structured tracing core: spans, instant events, typed fields, and
+//! the per-track recorder.
+//!
+//! A *span* is a named interval of a rank's (track's) execution, carrying
+//! both **virtual-time** endpoints (simulated seconds — what Perfetto
+//! renders) and **host wall-time** endpoints (nanoseconds since the
+//! recorder's epoch — what you profile the simulator itself with). Spans
+//! nest: the recorder keeps a stack per track, so a collective span opened
+//! inside a phase span closes before the phase does.
+//!
+//! Field values are typed via [`FieldValue`], reusing the workspace's
+//! dimensional-unit newtypes, so a trace never loses its units on the way
+//! to disk.
+
+use std::time::Instant;
+
+use simcluster::units::{Joules, Seconds, Watts};
+
+/// What kind of activity a span covers (rendered as the Perfetto `cat`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// A top-level application phase (from `Ctx::phase` markers).
+    Phase,
+    /// A collective operation (barrier, allreduce, alltoall, …).
+    Collective,
+    /// On-chip computation charge.
+    Compute,
+    /// Off-chip memory charge.
+    Memory,
+    /// Network (point-to-point message) charge.
+    Network,
+    /// Local I/O charge.
+    Io,
+    /// Blocked waiting for a message.
+    Wait,
+    /// Anything else (user-defined spans).
+    Other,
+}
+
+impl Category {
+    /// Stable lowercase name (used in exports).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Phase => "phase",
+            Category::Collective => "collective",
+            Category::Compute => "compute",
+            Category::Memory => "memory",
+            Category::Network => "network",
+            Category::Io => "io",
+            Category::Wait => "wait",
+            Category::Other => "other",
+        }
+    }
+
+    /// True for the leaf charge categories that mirror
+    /// [`simcluster::SegmentKind`] work charges.
+    #[must_use]
+    pub fn is_charge(self) -> bool {
+        matches!(
+            self,
+            Category::Compute
+                | Category::Memory
+                | Category::Network
+                | Category::Io
+                | Category::Wait
+        )
+    }
+}
+
+/// A typed field value. Unit-carrying variants reuse
+/// [`simcluster::units`] so exports can render the unit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// A dimensionless count.
+    U64(u64),
+    /// A dimensionless float.
+    F64(f64),
+    /// A duration.
+    Seconds(Seconds),
+    /// An energy.
+    Joules(Joules),
+    /// A power.
+    Watts(Watts),
+    /// Free text.
+    Str(String),
+}
+
+impl FieldValue {
+    /// The value as JSON fragment (numbers bare, strings quoted).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        match self {
+            FieldValue::U64(v) => v.to_string(),
+            FieldValue::F64(v) => fmt_f64(*v),
+            FieldValue::Seconds(v) => fmt_f64(v.raw()),
+            FieldValue::Joules(v) => fmt_f64(v.raw()),
+            FieldValue::Watts(v) => fmt_f64(v.raw()),
+            FieldValue::Str(s) => crate::json::quote(s),
+        }
+    }
+
+    /// The numeric value, if the field is numeric.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        #[allow(clippy::cast_precision_loss)]
+        match self {
+            FieldValue::U64(v) => Some(*v as f64),
+            FieldValue::F64(v) => Some(*v),
+            FieldValue::Seconds(v) => Some(v.raw()),
+            FieldValue::Joules(v) => Some(v.raw()),
+            FieldValue::Watts(v) => Some(v.raw()),
+            FieldValue::Str(_) => None,
+        }
+    }
+
+    /// The unit suffix carried by the value (empty for dimensionless).
+    #[must_use]
+    pub fn unit(&self) -> &'static str {
+        match self {
+            FieldValue::U64(_) | FieldValue::F64(_) | FieldValue::Str(_) => "",
+            FieldValue::Seconds(_) => "s",
+            FieldValue::Joules(_) => "J",
+            FieldValue::Watts(_) => "W",
+        }
+    }
+}
+
+/// Render a float so it round-trips through JSON (never `NaN`/`inf`,
+/// which JSON cannot carry — those become `null`).
+#[must_use]
+pub(crate) fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A closed span: one slice on one track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span name (e.g. `ft:forward`, `mps:allreduce`, `compute`).
+    pub name: String,
+    /// Activity category.
+    pub cat: Category,
+    /// Track (rank) the span belongs to.
+    pub track: usize,
+    /// Virtual-time start, seconds.
+    pub start_s: f64,
+    /// Virtual-time end, seconds.
+    pub end_s: f64,
+    /// Nesting depth at close time (0 = top level).
+    pub depth: usize,
+    /// Host wall-clock start, nanoseconds since the recorder's epoch.
+    pub host_start_ns: u64,
+    /// Host wall-clock end, nanoseconds since the recorder's epoch.
+    pub host_end_ns: u64,
+    /// True when the span was still open at rank finish and the recorder
+    /// force-closed it (a conformance finding for `analyze`).
+    pub forced_close: bool,
+    /// Typed key/value payload.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl SpanRecord {
+    /// Virtual duration of the span.
+    #[must_use]
+    pub fn dur_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// An instant event (zero duration) on a track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Event name.
+    pub name: String,
+    /// Track (rank).
+    pub track: usize,
+    /// Virtual time, seconds.
+    pub time_s: f64,
+    /// Typed key/value payload.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// An open span on the recorder's stack.
+#[derive(Debug, Clone)]
+struct OpenSpan {
+    name: String,
+    cat: Category,
+    start_s: f64,
+    host_start_ns: u64,
+}
+
+/// Per-track span recorder: a span stack plus the closed-record log.
+///
+/// One recorder lives on each simulated rank's thread (the "thread-local
+/// span stack" — ranks are threads in `mps`), so recording never takes a
+/// lock. The runtime collects recorders into a [`crate::Trace`] when the
+/// run finishes.
+#[derive(Debug)]
+pub struct TrackRecorder {
+    track: usize,
+    epoch: Instant,
+    stack: Vec<OpenSpan>,
+    phase: Option<OpenSpan>,
+    spans: Vec<SpanRecord>,
+    instants: Vec<EventRecord>,
+}
+
+impl TrackRecorder {
+    /// A fresh recorder for `track` (its host epoch is `now`).
+    #[must_use]
+    pub fn new(track: usize) -> Self {
+        Self {
+            track,
+            epoch: Instant::now(),
+            stack: Vec::new(),
+            phase: None,
+            spans: Vec::new(),
+            instants: Vec::new(),
+        }
+    }
+
+    /// The track id.
+    #[must_use]
+    pub fn track(&self) -> usize {
+        self.track
+    }
+
+    /// Nanoseconds of host time since the recorder was created.
+    fn host_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Current nesting depth (phase counts as one level).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        usize::from(self.phase.is_some()) + self.stack.len()
+    }
+
+    /// Begin (or switch) the track's top-level phase span at virtual time
+    /// `t_s`. The previous phase, if any, closes at `t_s`.
+    pub fn begin_phase(&mut self, name: &str, t_s: f64) {
+        self.end_phase(t_s, false);
+        self.phase = Some(OpenSpan {
+            name: name.to_string(),
+            cat: Category::Phase,
+            start_s: t_s,
+            host_start_ns: self.host_ns(),
+        });
+    }
+
+    /// Close the open phase span (if any) at `t_s`.
+    fn end_phase(&mut self, t_s: f64, forced: bool) {
+        if let Some(open) = self.phase.take() {
+            let host_end_ns = self.host_ns();
+            self.spans.push(SpanRecord {
+                name: open.name,
+                cat: open.cat,
+                track: self.track,
+                start_s: open.start_s,
+                end_s: t_s.max(open.start_s),
+                depth: 0,
+                host_start_ns: open.host_start_ns,
+                host_end_ns,
+                forced_close: forced,
+                fields: Vec::new(),
+            });
+        }
+    }
+
+    /// Open a nested span at virtual time `t_s`.
+    pub fn enter(&mut self, name: &str, cat: Category, t_s: f64) {
+        self.stack.push(OpenSpan {
+            name: name.to_string(),
+            cat,
+            start_s: t_s,
+            host_start_ns: self.host_ns(),
+        });
+    }
+
+    /// Close the innermost open span at virtual time `t_s`.
+    ///
+    /// # Panics
+    /// Panics when no span is open (an exit without a matching enter is a
+    /// bug in the instrumentation, not in the program under test).
+    pub fn exit(&mut self, t_s: f64, fields: Vec<(&'static str, FieldValue)>) {
+        let open = self.stack.pop().expect("span exit without an open span");
+        let depth = self.depth();
+        let host_end_ns = self.host_ns();
+        self.spans.push(SpanRecord {
+            name: open.name,
+            cat: open.cat,
+            track: self.track,
+            start_s: open.start_s,
+            end_s: t_s.max(open.start_s),
+            depth,
+            host_start_ns: open.host_start_ns,
+            host_end_ns,
+            forced_close: false,
+            fields,
+        });
+    }
+
+    /// Record a complete leaf span `[start_s, end_s]` in one call (used
+    /// for work charges, which are known only when they finish).
+    pub fn leaf(
+        &mut self,
+        name: &str,
+        cat: Category,
+        start_s: f64,
+        end_s: f64,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) {
+        let host = self.host_ns();
+        let depth = self.depth();
+        self.spans.push(SpanRecord {
+            name: name.to_string(),
+            cat,
+            track: self.track,
+            start_s,
+            end_s: end_s.max(start_s),
+            depth,
+            host_start_ns: host,
+            host_end_ns: host,
+            forced_close: false,
+            fields,
+        });
+    }
+
+    /// Record an instant event at virtual time `t_s`.
+    pub fn instant(&mut self, name: &str, t_s: f64, fields: Vec<(&'static str, FieldValue)>) {
+        self.instants.push(EventRecord {
+            name: name.to_string(),
+            track: self.track,
+            time_s: t_s,
+            fields,
+        });
+    }
+
+    /// Finish the track at virtual time `t_s`: force-close every open span
+    /// (marking it `forced_close` unless the track ended cleanly) and
+    /// return the track's trace, sorted by start time.
+    #[must_use]
+    pub fn finish(mut self, t_s: f64) -> crate::trace::TrackTrace {
+        // Anything still on the stack did not close before rank finish.
+        while let Some(open) = self.stack.pop() {
+            let depth = self.depth();
+            let host_end_ns = self.host_ns();
+            self.spans.push(SpanRecord {
+                name: open.name,
+                cat: open.cat,
+                track: self.track,
+                start_s: open.start_s,
+                end_s: t_s.max(open.start_s),
+                depth,
+                host_start_ns: open.host_start_ns,
+                host_end_ns,
+                forced_close: true,
+                fields: Vec::new(),
+            });
+        }
+        // A phase open at finish is normal (phases end at rank finish by
+        // construction), so it closes cleanly.
+        self.end_phase(t_s, false);
+        self.spans.sort_by(|a, b| {
+            a.start_s
+                .partial_cmp(&b.start_s)
+                .expect("finite span times")
+                .then(a.depth.cmp(&b.depth))
+        });
+        crate::trace::TrackTrace {
+            track: self.track,
+            spans: self.spans,
+            instants: self.instants,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_close_in_lifo_order() {
+        let mut r = TrackRecorder::new(0);
+        r.begin_phase("phase-a", 0.0);
+        r.enter("outer", Category::Collective, 0.1);
+        r.enter("inner", Category::Network, 0.2);
+        r.exit(0.3, vec![]);
+        r.exit(0.5, vec![]);
+        let t = r.finish(1.0);
+        assert_eq!(t.spans.len(), 3);
+        let inner = t.spans.iter().find(|s| s.name == "inner").unwrap();
+        let outer = t.spans.iter().find(|s| s.name == "outer").unwrap();
+        let phase = t.spans.iter().find(|s| s.name == "phase-a").unwrap();
+        assert!(inner.depth > outer.depth);
+        assert_eq!(phase.depth, 0);
+        assert!(phase.start_s <= outer.start_s && outer.end_s <= phase.end_s);
+        assert!(!inner.forced_close && !outer.forced_close && !phase.forced_close);
+    }
+
+    #[test]
+    fn unclosed_span_is_forced_at_finish() {
+        let mut r = TrackRecorder::new(2);
+        r.enter("leak", Category::Other, 0.5);
+        let t = r.finish(2.0);
+        assert_eq!(t.spans.len(), 1);
+        assert!(t.spans[0].forced_close);
+        assert_eq!(t.spans[0].end_s, 2.0);
+        assert_eq!(t.track, 2);
+    }
+
+    #[test]
+    fn phase_switch_closes_previous_phase() {
+        let mut r = TrackRecorder::new(0);
+        r.begin_phase("init", 0.0);
+        r.begin_phase("solve", 1.0);
+        let t = r.finish(3.0);
+        let init = t.spans.iter().find(|s| s.name == "init").unwrap();
+        let solve = t.spans.iter().find(|s| s.name == "solve").unwrap();
+        assert_eq!((init.start_s, init.end_s), (0.0, 1.0));
+        assert_eq!((solve.start_s, solve.end_s), (1.0, 3.0));
+    }
+
+    #[test]
+    fn leaf_records_fields_and_depth() {
+        let mut r = TrackRecorder::new(0);
+        r.begin_phase("p", 0.0);
+        r.leaf(
+            "compute",
+            Category::Compute,
+            0.0,
+            0.5,
+            vec![("instructions", FieldValue::F64(1e6))],
+        );
+        let t = r.finish(0.5);
+        let leaf = t.spans.iter().find(|s| s.name == "compute").unwrap();
+        assert_eq!(leaf.depth, 1);
+        assert_eq!(leaf.fields[0].0, "instructions");
+    }
+
+    #[test]
+    fn host_timestamps_are_monotone() {
+        let mut r = TrackRecorder::new(0);
+        r.enter("a", Category::Other, 0.0);
+        r.exit(1.0, vec![]);
+        let t = r.finish(1.0);
+        assert!(t.spans[0].host_end_ns >= t.spans[0].host_start_ns);
+    }
+
+    #[test]
+    fn field_value_json_and_units() {
+        assert_eq!(FieldValue::U64(3).to_json(), "3");
+        assert_eq!(FieldValue::Seconds(Seconds::new(1.5)).unit(), "s");
+        assert_eq!(FieldValue::Joules(Joules::new(2.0)).unit(), "J");
+        assert_eq!(FieldValue::Str("a\"b".into()).to_json(), "\"a\\\"b\"");
+        assert_eq!(FieldValue::F64(f64::NAN).to_json(), "null");
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the span recorder: nesting discipline, ordering,
+//! and forced-close accounting under arbitrary well-formed op sequences.
+
+use obs::span::{Category, TrackRecorder};
+use proptest::prelude::*;
+
+/// One recorder operation, with a positive virtual-time step.
+#[derive(Debug, Clone)]
+enum Op {
+    Phase(u8),
+    Enter(u8),
+    Exit,
+    Leaf(u8),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<(Op, f64)>> {
+    proptest::collection::vec(
+        (0u8..4, 0u8..8, 1e-6f64..0.5).prop_map(|(kind, name, dt)| {
+            let op = match kind {
+                0 => Op::Phase(name),
+                1 => Op::Enter(name),
+                2 => Op::Exit,
+                _ => Op::Leaf(name),
+            };
+            (op, dt)
+        }),
+        0..40,
+    )
+}
+
+/// Replay `ops` against a recorder, returning the finished track plus the
+/// counts the model expects: `(spans_opened, left_open)`.
+fn replay(ops: &[(Op, f64)]) -> (obs::TrackTrace, usize, usize) {
+    let mut rec = TrackRecorder::new(0);
+    let mut t = 0.0f64;
+    let mut open = 0usize;
+    let mut opened = 0usize;
+    let mut phase_seen = false;
+    for (op, dt) in ops {
+        match op {
+            Op::Phase(n) => {
+                rec.begin_phase(&format!("phase-{n}"), t);
+                phase_seen = true;
+                opened += 1;
+            }
+            Op::Enter(n) => {
+                rec.enter(&format!("span-{n}"), Category::Collective, t);
+                open += 1;
+                opened += 1;
+            }
+            Op::Exit => {
+                if open > 0 {
+                    rec.exit(t, vec![]);
+                    open -= 1;
+                }
+            }
+            Op::Leaf(n) => {
+                rec.leaf(&format!("leaf-{n}"), Category::Compute, t, t + dt, vec![]);
+                opened += 1;
+            }
+        }
+        t += dt;
+    }
+    // Phases close cleanly at finish; only stacked spans are forced.
+    let _ = phase_seen;
+    (rec.finish(t), opened, open)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_opened_span_is_recorded_exactly_once(ops in arb_ops()) {
+        let (track, opened, _) = replay(&ops);
+        // begin_phase replaces the running phase but still records the
+        // old one, so records == opens regardless of interleaving.
+        prop_assert_eq!(track.spans.len(), opened);
+    }
+
+    #[test]
+    fn spans_are_sorted_and_intervals_valid(ops in arb_ops()) {
+        let (track, _, _) = replay(&ops);
+        for w in track.spans.windows(2) {
+            prop_assert!(w[0].start_s <= w[1].start_s + 1e-15);
+        }
+        for s in &track.spans {
+            prop_assert!(s.end_s >= s.start_s);
+            prop_assert!(s.host_end_ns >= s.host_start_ns);
+        }
+    }
+
+    #[test]
+    fn forced_closes_match_spans_left_open(ops in arb_ops()) {
+        let (track, _, left_open) = replay(&ops);
+        let forced = track.spans.iter().filter(|s| s.forced_close).count();
+        prop_assert_eq!(forced, left_open);
+    }
+
+    #[test]
+    fn stack_spans_nest_properly(ops in arb_ops()) {
+        // Any two stack-recorded (collective) spans are either disjoint
+        // or nested — never partially overlapping. (Leaf and phase spans
+        // follow different rules: phases tile, leaves sit inside the
+        // current open span.)
+        let (track, _, _) = replay(&ops);
+        let stack_spans: Vec<_> = track
+            .spans
+            .iter()
+            .filter(|s| s.cat == Category::Collective)
+            .collect();
+        for a in &stack_spans {
+            for b in &stack_spans {
+                let disjoint = a.end_s <= b.start_s + 1e-15 || b.end_s <= a.start_s + 1e-15;
+                let a_in_b = b.start_s <= a.start_s + 1e-15 && a.end_s <= b.end_s + 1e-15;
+                let b_in_a = a.start_s <= b.start_s + 1e-15 && b.end_s <= a.end_s + 1e-15;
+                prop_assert!(
+                    disjoint || a_in_b || b_in_a,
+                    "partial overlap: [{}, {}] vs [{}, {}]",
+                    a.start_s, a.end_s, b.start_s, b.end_s
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phase_spans_tile_without_overlap(ops in arb_ops()) {
+        let (track, _, _) = replay(&ops);
+        let mut phases: Vec<_> = track
+            .spans
+            .iter()
+            .filter(|s| s.cat == Category::Phase)
+            .collect();
+        phases.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
+        for w in phases.windows(2) {
+            prop_assert!(
+                w[0].end_s <= w[1].start_s + 1e-15,
+                "phases overlap: {} ends {} after {} starts {}",
+                w[0].name, w[0].end_s, w[1].name, w[1].start_s
+            );
+        }
+    }
+}

@@ -19,6 +19,6 @@ pub mod profile;
 pub mod report;
 pub mod session;
 
-pub use profile::{PowerProfile, PowerSample};
+pub use profile::{IntegrateError, PowerProfile, PowerSample};
 pub use report::{profile_csv, summary_table};
 pub use session::{PhaseEnergy, Session, SessionReport};

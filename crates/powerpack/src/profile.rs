@@ -3,6 +3,36 @@
 use simcluster::units::{Joules, Seconds, Watts};
 use simcluster::{EnergyMeter, SegmentLog};
 
+/// Why a [`PowerProfile`] could not be integrated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrateError {
+    /// Fewer than two samples: no interval to integrate over.
+    TooFewSamples {
+        /// How many samples the profile held.
+        got: usize,
+    },
+    /// Sample timestamps are not strictly increasing.
+    Unsorted {
+        /// Index of the first sample whose time does not increase.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for IntegrateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::TooFewSamples { got } => {
+                write!(f, "cannot integrate a profile with {got} sample(s)")
+            }
+            Self::Unsorted { index } => {
+                write!(f, "sample {index} is out of time order")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IntegrateError {}
+
 /// One sample of system power, decomposed per component.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerSample {
@@ -80,16 +110,26 @@ impl PowerProfile {
     }
 
     /// Trapezoidal energy integral of the trace.
-    #[must_use]
-    pub fn energy_j(&self) -> Joules {
+    ///
+    /// # Errors
+    /// [`IntegrateError::TooFewSamples`] when there is no interval to
+    /// integrate over, and [`IntegrateError::Unsorted`] when sample times
+    /// are not strictly increasing — both used to silently yield 0 J, which
+    /// masked sampling bugs upstream.
+    pub fn integrate(&self) -> Result<Joules, IntegrateError> {
         if self.samples.len() < 2 {
-            return Joules::ZERO;
+            return Err(IntegrateError::TooFewSamples {
+                got: self.samples.len(),
+            });
         }
         let mut e = Joules::ZERO;
-        for w in self.samples.windows(2) {
-            e += 0.5 * (w[0].total_w() + w[1].total_w()) * Seconds::new(self.dt_s);
+        for (i, w) in self.samples.windows(2).enumerate() {
+            if w[1].t_s <= w[0].t_s {
+                return Err(IntegrateError::Unsorted { index: i + 1 });
+            }
+            e += 0.5 * (w[0].total_w() + w[1].total_w()) * Seconds::new(w[1].t_s - w[0].t_s);
         }
-        e
+        Ok(e)
     }
 
     /// Peak total power in the trace.
@@ -153,7 +193,7 @@ mod tests {
         let log = busy_log(2.0);
         let e_meter = m.rank_energy(&log, Seconds::new(2.0)).total();
         let prof = PowerProfile::sample(&m, &[&log], 1e-3);
-        let e_trace = prof.energy_j();
+        let e_trace = prof.integrate().expect("sampled profile integrates");
         assert!(
             (e_trace - e_meter).abs() / e_meter < 5e-3,
             "trace {e_trace} vs meter {e_meter}"
@@ -209,5 +249,41 @@ mod tests {
         let m = meter();
         let log = busy_log(1.0);
         PowerProfile::sample(&m, &[&log], 0.0);
+    }
+
+    #[test]
+    fn integrate_rejects_too_few_samples() {
+        let mut prof = PowerProfile {
+            samples: vec![],
+            dt_s: 0.1,
+            ranks: 1,
+        };
+        assert_eq!(
+            prof.integrate(),
+            Err(IntegrateError::TooFewSamples { got: 0 })
+        );
+        prof.samples.push(PowerSample {
+            t_s: 0.0,
+            cpu_w: Watts::new(1.0),
+            mem_w: Watts::ZERO,
+            net_w: Watts::ZERO,
+            disk_w: Watts::ZERO,
+            other_w: Watts::ZERO,
+        });
+        assert_eq!(
+            prof.integrate(),
+            Err(IntegrateError::TooFewSamples { got: 1 })
+        );
+    }
+
+    #[test]
+    fn integrate_rejects_unsorted_samples() {
+        let m = meter();
+        let log = busy_log(1.0);
+        let mut prof = PowerProfile::sample(&m, &[&log], 0.1);
+        prof.samples.swap(2, 3);
+        let err = prof.integrate().expect_err("out-of-order samples");
+        assert!(matches!(err, IntegrateError::Unsorted { index: 2 | 3 }));
+        assert!(err.to_string().contains("out of time order"));
     }
 }

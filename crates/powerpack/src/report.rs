@@ -6,10 +6,12 @@ use crate::profile::PowerProfile;
 use crate::session::SessionReport;
 
 /// Render a power profile as CSV with a header row — the raw data behind a
-/// Fig.-10-style plot.
+/// Fig.-10-style plot. Column names carry their units (`_s` seconds, `_W`
+/// watts) and the output always ends with a newline, so the file is safe to
+/// concatenate or stream into plotting tools.
 pub fn profile_csv(profile: &PowerProfile) -> String {
     let mut out = String::with_capacity(profile.samples.len() * 48 + 64);
-    out.push_str("t_s,cpu_w,mem_w,net_w,disk_w,other_w,total_w\n");
+    out.push_str("t_s,cpu_W,mem_W,net_W,disk_W,other_W,total_W\n");
     for s in &profile.samples {
         out.push_str(&format!(
             "{:.6},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}\n",
@@ -116,10 +118,13 @@ mod tests {
         let csv = profile_csv(&sample_profile());
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
-        assert!(lines[0].starts_with("t_s,"));
+        assert_eq!(lines[0], "t_s,cpu_W,mem_W,net_W,disk_W,other_W,total_W");
         assert!(lines[1].starts_with("0.000000,10.000"));
         // Total column = sum of components.
         assert!(lines[1].ends_with(",20.000"));
+        // Units in every header column; trailing newline for streamability.
+        assert!(lines[0].split(',').skip(1).all(|c| c.ends_with("_W")));
+        assert!(csv.ends_with('\n'));
     }
 
     #[test]

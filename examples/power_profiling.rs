@@ -26,7 +26,7 @@ fn main() {
     println!("\n{}", summary_table(&summary));
 
     let profile = session.profile(&logs);
-    let idle = profile.idle_baseline_w(session.meter());
+    let idle = profile.idle_baseline_w(session.meter()).raw();
     println!(
         "trace: {} samples at {:.2e} s",
         profile.samples.len(),
@@ -34,20 +34,20 @@ fn main() {
     );
     println!(
         "idle baseline {idle:.1} W | peak {:.1} W | mean {:.1} W",
-        profile.peak_w(),
-        profile.mean_w()
+        profile.peak_w().raw(),
+        profile.mean_w().raw()
     );
 
     // A tiny ASCII rendition of the total-power trace (the Fig.-10 shape).
     println!("\ntotal system power over time (each column = 1/60th of the run):");
     let cols = 60usize;
-    let peak = profile.peak_w();
+    let peak = profile.peak_w().raw();
     for level in (1..=8).rev() {
         let threshold = idle + (peak - idle) * f64::from(level) / 8.0;
         let mut line = String::with_capacity(cols);
         for c in 0..cols {
             let idx = c * (profile.samples.len() - 1) / (cols - 1);
-            let w = profile.samples[idx].total_w();
+            let w = profile.samples[idx].total_w().raw();
             line.push(if w >= threshold { '#' } else { ' ' });
         }
         println!("  {threshold:7.1} W |{line}");

@@ -1,0 +1,72 @@
+//! Record a 4-rank FT run as a Perfetto trace: per-rank span tracks
+//! (phases with nested compute/memory/network/wait slices), PowerPack
+//! power samples as counter tracks, and a critical-path profile of the
+//! same run printed to the console.
+//!
+//! Run with: `cargo run --release --example trace_ft [out.json]`
+//! then open the JSON file in <https://ui.perfetto.dev>.
+
+use iso_energy_efficiency::mps::{run, World};
+use iso_energy_efficiency::npb::{ft_kernel, Class, FtConfig};
+use iso_energy_efficiency::obs::{profile::ProfileReport, ObsConfig};
+use iso_energy_efficiency::powerpack::PowerProfile;
+use iso_energy_efficiency::simcluster::{system_g, EnergyMeter};
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "trace_ft.json".to_string());
+    let p = 4;
+    let cfg = FtConfig::class(Class::W);
+    let world = World::new(system_g(), 2.8e9)
+        .with_alpha(0.86)
+        .with_obs(ObsConfig::enabled().with_metrics(true));
+
+    println!("running FT class W on {p} simulated ranks (tracing on)...");
+    let report = run(&world, p, move |ctx| ft_kernel(ctx, cfg));
+    let mut trace = report.trace("FT class W").expect("tracing was enabled");
+
+    // PowerPack counter tracks: sample per-component power across ranks.
+    let meter = EnergyMeter::new(world.cluster.node.clone(), world.f_hz);
+    let profile = PowerProfile::sample(&meter, &report.logs(), report.span() / 400.0);
+    for (name, pick) in [
+        ("power cpu", 0usize),
+        ("power memory", 1),
+        ("power net", 2),
+        ("power total", 5),
+    ] {
+        let series = profile
+            .samples
+            .iter()
+            .map(|s| {
+                let w = [s.cpu_w, s.mem_w, s.net_w, s.disk_w, s.other_w];
+                (
+                    s.t_s,
+                    if pick < 5 {
+                        w[pick].raw()
+                    } else {
+                        s.total_w().raw()
+                    },
+                )
+            })
+            .collect();
+        trace.add_counter_track(name, "W", series);
+    }
+
+    iso_energy_efficiency::obs::perfetto::write_file(&trace, std::path::Path::new(&out))
+        .expect("write trace file");
+    println!(
+        "wrote {out}: {} spans on {} tracks, {} counter tracks — open it in ui.perfetto.dev",
+        trace.span_count(),
+        trace.tracks.len(),
+        trace.counters.len()
+    );
+
+    // Metrics snapshot (per-collective message/byte counters, cache hits).
+    println!("\nmetrics snapshot:");
+    print!("{}", iso_energy_efficiency::obs::global().snapshot_text());
+
+    // Critical path, phase slack and top-k spans of the same run.
+    let profile_report = ProfileReport::build(&trace, &report.profile_ranks(), 5);
+    println!("\n{}", profile_report.render());
+}

@@ -15,11 +15,17 @@
 //! * [`powerpack`] — PowerPack-style power profiling.
 //! * [`microbench`] — Perfmon / LMbench / MPPTest calibration analogs.
 //! * [`netsim`] — interconnect and collective time models.
+//! * [`obs`] — observability: structured spans, Perfetto export, metrics,
+//!   critical-path profiling.
+//! * [`analyze`] — static/dynamic analysis gates, including trace
+//!   conformance over `obs` output.
 
+pub use analyze;
 pub use isoee;
 pub use microbench;
 pub use mps;
 pub use netsim;
 pub use npb;
+pub use obs;
 pub use powerpack;
 pub use simcluster;

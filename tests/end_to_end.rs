@@ -113,7 +113,7 @@ fn powerpack_energy_matches_meter_energy() {
     let meter = EnergyMeter::new(w.cluster.node.clone(), w.f_hz);
     let session = Session::new(meter).with_sample_interval(report.span() / 2000.0);
     let profile = session.profile(&report.logs());
-    let sampled = profile.energy_j();
+    let sampled = profile.integrate().expect("sampled profile integrates");
     assert!(
         (sampled - direct).abs() / direct < 0.01,
         "sampled {sampled} vs direct {direct}"

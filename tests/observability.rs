@@ -1,0 +1,118 @@
+//! Observability-layer integration tests: the golden 4-rank FT Perfetto
+//! trace, the critical-path profile of a seeded imbalanced program, and the
+//! analyze trace-conformance gate over real runtime output.
+
+use iso_energy_efficiency::analyze::check_trace;
+use iso_energy_efficiency::mps::{run, World};
+use iso_energy_efficiency::npb::{ft_kernel, Class, FtConfig};
+use iso_energy_efficiency::obs::profile::{critical_path, PathStep};
+use iso_energy_efficiency::obs::{perfetto, ObsConfig};
+use iso_energy_efficiency::powerpack::PowerProfile;
+use iso_energy_efficiency::simcluster::{system_g, EnergyMeter};
+
+fn traced_ft_run() -> (
+    World,
+    iso_energy_efficiency::mps::RunReport<iso_energy_efficiency::npb::FtResult>,
+) {
+    let world = World::new(system_g(), 2.8e9)
+        .with_alpha(0.86)
+        .with_obs(ObsConfig::enabled());
+    let cfg = FtConfig::class(Class::S);
+    let report = run(&world, 4, move |ctx| ft_kernel(ctx, cfg));
+    (world, report)
+}
+
+#[test]
+fn four_rank_ft_produces_valid_perfetto_json() {
+    let (world, report) = traced_ft_run();
+    let mut trace = report.trace("FT class S").expect("tracing enabled");
+
+    // PowerPack power samples become counter tracks, like the example.
+    let meter = EnergyMeter::new(world.cluster.node.clone(), world.f_hz);
+    let profile = PowerProfile::sample(&meter, &report.logs(), report.span() / 100.0);
+    trace.add_counter_track(
+        "power cpu",
+        "W",
+        profile
+            .samples
+            .iter()
+            .map(|s| (s.t_s, s.cpu_w.raw()))
+            .collect(),
+    );
+    trace.add_counter_track(
+        "power total",
+        "W",
+        profile
+            .samples
+            .iter()
+            .map(|s| (s.t_s, s.total_w().raw()))
+            .collect(),
+    );
+
+    let json = perfetto::render(&trace);
+    let rep = perfetto::validate(&json).expect("valid Perfetto trace-event JSON");
+    // One span track per rank; validate() already enforced per-track
+    // monotone timestamps and well-formed events.
+    assert_eq!(rep.span_tracks, vec![0u64, 1, 2, 3]);
+    assert!(rep.span_events > 0);
+    // Both power counter tracks survive the round trip.
+    assert!(rep.counter_names.iter().any(|n| n.contains("power cpu")));
+    assert!(rep.counter_names.iter().any(|n| n.contains("power total")));
+    assert_eq!(rep.counter_events, 2 * profile.samples.len());
+}
+
+#[test]
+fn ft_trace_passes_the_conformance_gate() {
+    let (_, report) = traced_ft_run();
+    let trace = report.trace("FT class S").expect("tracing enabled");
+    let findings = check_trace(&trace);
+    assert!(findings.is_empty(), "conformance findings: {findings:?}");
+    // Every rank produced phase slices — the spans Perfetto nests under.
+    for track in &trace.tracks {
+        assert!(
+            track
+                .spans
+                .iter()
+                .any(|s| matches!(s.cat, iso_energy_efficiency::obs::span::Category::Phase)),
+            "rank {} has no phase spans",
+            track.track
+        );
+    }
+}
+
+#[test]
+fn critical_path_total_matches_tp_and_slow_rank_dominates() {
+    // Seeded imbalance: rank 2 computes 50x the work, everyone then meets
+    // in a barrier. The critical path must (a) tile the whole runtime Tp
+    // within 1% and (b) spend most of its local time on the slow rank.
+    let world = World::new(system_g(), 2.8e9).with_obs(ObsConfig::enabled());
+    let report = run(&world, 4, |ctx| {
+        let flops = if ctx.rank() == 2 { 5e7 } else { 1e6 };
+        ctx.compute(flops);
+        ctx.barrier();
+    });
+
+    let path = critical_path(&report.profile_ranks()).expect("path exists");
+    let tp = report.span();
+    assert!(
+        (path.total_s - tp).abs() / tp < 0.01,
+        "critical path {} vs Tp {tp}",
+        path.total_s
+    );
+
+    let by_rank = path.local_time_by_rank();
+    let slow = by_rank
+        .iter()
+        .find(|(rank, _)| *rank == 2)
+        .map_or(0.0, |(_, secs)| *secs);
+    let local_total: f64 = path
+        .steps
+        .iter()
+        .filter(|s| matches!(s, PathStep::Local { .. }))
+        .map(PathStep::dur_s)
+        .sum();
+    assert!(
+        slow > 0.5 * local_total,
+        "slow rank holds {slow} of {local_total} s local path time"
+    );
+}
