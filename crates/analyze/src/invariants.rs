@@ -212,3 +212,46 @@ pub fn check_model(m: &MachineParams, a: &AppParams, p: usize) -> Vec<Finding> {
     }
     findings
 }
+
+/// Accounting cross-check for one pooled surface sweep of `rows × cols`
+/// points: the pool must report exactly one executed task per row (the
+/// sweep's unit of parallelism), and the model-eval counter must have
+/// advanced exactly `rows × cols` — every grid point evaluated once, none
+/// skipped, none double-counted. `task_delta` / `eval_delta` are the
+/// `pool.tasks_executed` / `isoee.model_evals` counter deltas observed
+/// across the sweep.
+///
+/// Because the sweep engine's reduction is index-ordered and its per-row
+/// error handling short-circuits *within* a row only, these equalities
+/// hold at every thread count; a miss means a task ran twice, a row was
+/// dropped, or an evaluation bypassed the counted path.
+#[must_use]
+pub fn check_sweep_accounting(
+    rows: usize,
+    cols: usize,
+    task_delta: u64,
+    eval_delta: u64,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let rows_u64 = rows as u64;
+    let points = rows_u64 * cols as u64;
+    if task_delta != rows_u64 {
+        findings.push(Finding::BrokenInvariant {
+            invariant: "pool tasks == sweep rows",
+            details: format!(
+                "pool.tasks_executed advanced by {task_delta} across a \
+                 {rows}x{cols} sweep (expected {rows_u64})"
+            ),
+        });
+    }
+    if eval_delta != points {
+        findings.push(Finding::BrokenInvariant {
+            invariant: "model evals == rows * cols",
+            details: format!(
+                "isoee.model_evals advanced by {eval_delta} across a \
+                 {rows}x{cols} sweep (expected {points})"
+            ),
+        });
+    }
+    findings
+}

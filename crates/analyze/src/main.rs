@@ -10,12 +10,17 @@
 //!    findings, clearly labelled).
 //! 4. Trace conformance over the obs spans of a traced 4-rank FT run
 //!    (every span closed, charges inside phases, virtual time monotone).
+//! 5. Sweep accounting: a known-size parallel surface sweep must advance
+//!    `pool.tasks_executed` by exactly one per row and `isoee.model_evals`
+//!    by exactly rows x cols — the pool neither drops nor re-runs work.
 //!
 //! Pass `--trace <file.json>` to additionally validate an emitted Perfetto
 //! trace-event file (as written by `examples/trace_ft.rs` or
 //! `OBS_TRACE=... fig10`) with the obs JSON validator.
 
-use analyze::{check_deadlock, check_model, check_report, check_trace, Finding};
+use analyze::{
+    check_deadlock, check_model, check_report, check_sweep_accounting, check_trace, Finding,
+};
 use isoee::apps::{AppModel, CgModel, EpModel, FtModel};
 use isoee::MachineParams;
 use mps::{try_run, RunError, World};
@@ -28,6 +33,7 @@ fn main() {
     unexpected += clean_comm_pass();
     let fired = seeded_deadlock_pass();
     unexpected += obs_trace_pass();
+    unexpected += pool_pass();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -152,6 +158,46 @@ fn obs_trace_pass() -> usize {
         "trace pass: 4-rank FT, {} spans on {} tracks checked ({} findings)",
         trace.span_count(),
         trace.tracks.len(),
+        findings.len()
+    );
+    findings.len()
+}
+
+/// Run a known-size surface sweep on a 4-thread pool and cross-check the
+/// pool's task accounting against the model-eval counter. Returns the
+/// number of findings (all unexpected: the grid size is known exactly).
+fn pool_pass() -> usize {
+    let mach = MachineParams::system_g(2.8e9);
+    let ft = FtModel::system_g();
+    let fs = [1.6e9, 2.0e9, 2.4e9, 2.8e9];
+    let ps = [1usize, 4, 16, 64, 256, 1024];
+
+    let reg = obs::global();
+    let tasks = reg.counter("pool.tasks_executed");
+    let evals = reg.counter("isoee.model_evals");
+    let (tasks0, evals0) = (tasks.get(), evals.get());
+    isoee::scaling::ee_surface_pf_with(
+        &pool::PoolConfig::with_threads(4),
+        &ft,
+        &mach,
+        (1u64 << 20) as f64,
+        &ps,
+        &fs,
+    )
+    .expect("sweep evaluates");
+    let findings = check_sweep_accounting(
+        fs.len(),
+        ps.len(),
+        tasks.get() - tasks0,
+        evals.get() - evals0,
+    );
+    for finding in &findings {
+        eprintln!("analyze[pool accounting]: {finding}");
+    }
+    println!(
+        "pool pass: {}x{} sweep on 4 threads checked ({} findings)",
+        fs.len(),
+        ps.len(),
         findings.len()
     );
     findings.len()

@@ -91,6 +91,69 @@ fn invalid_app_vectors_are_detected() {
 }
 
 #[test]
+fn sweep_accounting_accepts_exact_and_flags_drift() {
+    // Exact accounting: one task per row, one eval per grid point.
+    assert!(analyze::check_sweep_accounting(4, 11, 4, 44).is_empty());
+
+    // A dropped row shows up in both counters.
+    let dropped = analyze::check_sweep_accounting(4, 11, 3, 33);
+    assert_eq!(dropped.len(), 2);
+    assert!(dropped
+        .iter()
+        .all(|f| matches!(f, Finding::BrokenInvariant { .. })));
+
+    // A double-executed task with correct eval count flags only the pool.
+    let rerun = analyze::check_sweep_accounting(4, 11, 5, 44);
+    assert_eq!(rerun.len(), 1);
+    assert!(matches!(
+        &rerun[0],
+        Finding::BrokenInvariant { invariant, .. }
+            if *invariant == "pool tasks == sweep rows"
+    ));
+
+    // An uncounted evaluation path flags only the model-eval side.
+    let uncounted = analyze::check_sweep_accounting(4, 11, 4, 43);
+    assert_eq!(uncounted.len(), 1);
+    assert!(matches!(
+        &uncounted[0],
+        Finding::BrokenInvariant { invariant, .. }
+            if *invariant == "model evals == rows * cols"
+    ));
+}
+
+#[test]
+fn sweep_accounting_matches_a_live_pooled_sweep() {
+    // The real thing, not constructed deltas: a 4x6 FT sweep on a 4-thread
+    // pool must advance pool.tasks_executed by 4 and isoee.model_evals by
+    // 24. Deltas are read from the process-global registry, so this also
+    // proves the counters are wired to the global snapshot other tests and
+    // benches read.
+    let mach = isoee::MachineParams::system_g(2.8e9);
+    let ft = isoee::apps::FtModel::system_g();
+    let fs = [1.6e9, 2.0e9, 2.4e9, 2.8e9];
+    let ps = [1usize, 4, 16, 64, 256, 1024];
+    let tasks = obs::global().counter("pool.tasks_executed");
+    let evals = obs::global().counter("isoee.model_evals");
+    let (tasks0, evals0) = (tasks.get(), evals.get());
+    isoee::scaling::ee_surface_pf_with(
+        &pool::PoolConfig::with_threads(4),
+        &ft,
+        &mach,
+        (1u64 << 20) as f64,
+        &ps,
+        &fs,
+    )
+    .expect("sweep evaluates");
+    let findings = analyze::check_sweep_accounting(
+        fs.len(),
+        ps.len(),
+        tasks.get() - tasks0,
+        evals.get() - evals0,
+    );
+    assert!(findings.is_empty(), "accounting drifted: {findings:?}");
+}
+
+#[test]
 fn model_check_reports_parameter_findings_first() {
     let mut m = mach();
     m.tm = Seconds::new(f64::INFINITY);

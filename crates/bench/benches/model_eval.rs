@@ -12,7 +12,7 @@
 
 use bench::{time_case, write_cases_snapshot};
 use isoee::apps::{AppModel, CgModel, EpModel, FtModel};
-use isoee::scaling::{ee_surface_pf, iso_ee_workload};
+use isoee::scaling::{ee_surface_pf, ee_surface_pf_with, iso_ee_workload, PoolConfig};
 use isoee::{model, MachineParams};
 use std::hint::black_box;
 
@@ -48,6 +48,22 @@ fn main() {
         let cg = CgModel::system_g();
         ee_surface_pf(&cg, &mach, 75_000.0, &ps, &fs)
     }));
+
+    println!("model/surface (pooled):");
+    // Figure-scale grids are small (44 points), so these mostly price the
+    // pool's scoped-spawn overhead; the dense-grid scaling story lives in
+    // `benches/sweep.rs` / `BENCH_sweep.json`.
+    for t in [2usize, 4] {
+        let cfg = PoolConfig::with_threads(t);
+        let stats = time_case(&format!("fig5_ft_pf_t{t}"), 100, || {
+            let ft = FtModel::system_g();
+            ee_surface_pf_with(&cfg, &ft, &mach, 1e6, &ps, &fs)
+        });
+        #[allow(clippy::cast_precision_loss)]
+        let per_thread = stats.throughput_per_s() / t as f64;
+        println!("  {:<28} {per_thread:>12.1} sweeps/s per thread", "");
+        cases.push(stats);
+    }
 
     println!("model/contour:");
     cases.push(time_case("iso_ee_bisection", 100, || {

@@ -1,0 +1,80 @@
+//! Sweep-throughput bench: the fig5 FT surface at figure *density* —
+//! every integer p from 1 to 2048 across 64 DVFS points — evaluated
+//! sequentially and on 2/4/8-thread pools. This is the grid a
+//! power-constrained scheduler would sweep when searching the whole
+//! (p, f) plane rather than the handful of plotted points.
+//!
+//! Run with `cargo bench -p bench --bench sweep`.
+//!
+//! Results land in `BENCH_sweep.json` at the repo root — an obs metrics
+//! snapshot with per-case `ns_per_iter` / `throughput_per_s` gauges plus
+//! derived `speedup_t{2,4,8}` (sequential mean over pooled mean),
+//! per-thread throughput, and the grid size, so sweep scaling is tracked
+//! across PRs in the same format as `BENCH_model_eval.json`.
+//!
+//! The speedup gauges report whatever the host delivers: on a
+//! single-core container they sit near 1.0 (the pool adds only spawn
+//! overhead); on multi-core CI hardware the 4-thread case is expected to
+//! clear 2x. The differential suite (`tests/parallel_equivalence.rs`)
+//! guarantees the *values* are bit-identical either way.
+
+use bench::{cases_registry, time_case, write_snapshot_json, CaseStats};
+use isoee::apps::FtModel;
+use isoee::scaling::{ee_surface_pf_with, PoolConfig};
+use isoee::MachineParams;
+
+/// Pool thread counts benched against the sequential baseline.
+const THREADS: [usize; 3] = [2, 4, 8];
+
+fn main() {
+    let mach = MachineParams::system_g(2.8e9);
+    let ft = FtModel::system_g();
+    let n = (1u64 << 20) as f64;
+    // Dense fig5 grid: 64 frequency rows x 2048 parallelism columns.
+    let fs: Vec<f64> = (0..64).map(|i| 1.6e9 + 1.875e7 * f64::from(i)).collect();
+    let ps: Vec<usize> = (1..=2048).collect();
+    let evals = fs.len() * ps.len();
+
+    println!(
+        "sweep/fig5_dense: EE_FT(p, f), {} rows x {} cols = {evals} evals",
+        fs.len(),
+        ps.len()
+    );
+    let seq = time_case("fig5_dense_seq", 20, || {
+        ee_surface_pf_with(&PoolConfig::sequential(), &ft, &mach, n, &ps, &fs)
+            .expect("sweep evaluates")
+    });
+    let mut cases: Vec<CaseStats> = vec![seq.clone()];
+    let mut pooled: Vec<(usize, CaseStats)> = Vec::new();
+    for t in THREADS {
+        let cfg = PoolConfig::with_threads(t);
+        let stats = time_case(&format!("fig5_dense_t{t}"), 20, || {
+            ee_surface_pf_with(&cfg, &ft, &mach, n, &ps, &fs).expect("sweep evaluates")
+        });
+        pooled.push((t, stats.clone()));
+        cases.push(stats);
+    }
+
+    let reg = cases_registry("bench.sweep", &cases);
+    #[allow(clippy::cast_precision_loss)]
+    reg.gauge("bench.sweep.grid_evals").set(evals as f64);
+    println!("sweep/scaling:");
+    for (t, stats) in &pooled {
+        let speedup = seq.mean_ns / stats.mean_ns;
+        #[allow(clippy::cast_precision_loss)]
+        let per_thread = stats.throughput_per_s() / *t as f64;
+        reg.gauge(&format!("bench.sweep.speedup_t{t}")).set(speedup);
+        reg.gauge(&format!(
+            "bench.sweep.fig5_dense_t{t}.throughput_per_thread_per_s"
+        ))
+        .set(per_thread);
+        println!(
+            "  t={t}: speedup {speedup:.2}x vs sequential, {per_thread:.1} sweeps/s per thread"
+        );
+    }
+
+    write_snapshot_json(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json"),
+        &reg.snapshot_json(),
+    );
+}

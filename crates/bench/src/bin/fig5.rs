@@ -17,7 +17,7 @@ fn main() {
     let ft = FtModel::system_g();
     let mach = MachineParams::system_g(2.8e9);
     println!("== Fig. 5: EE_FT(p, f) at n = {n} on SystemG ==\n");
-    let s = ee_surface_pf(&ft, &mach, n, &ps, &DVFS_G);
+    let s = ee_surface_pf(&ft, &mach, n, &ps, &DVFS_G).expect("sweep evaluates");
     bench::print_surface(&s, "f (Hz)");
     println!("\n(Expected: strong decline along p; nearly flat along f.)");
 }

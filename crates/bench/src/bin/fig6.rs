@@ -15,7 +15,7 @@ fn main() {
     let ft = FtModel::system_g();
     let mach = MachineParams::system_g(2.8e9);
     println!("== Fig. 6: EE_FT(p, n) at f = 2.8 GHz on SystemG ==\n");
-    let s = ee_surface_pn(&ft, &mach, &ps, &ns);
+    let s = ee_surface_pn(&ft, &mach, &ps, &ns).expect("sweep evaluates");
     bench::print_surface(&s, "n (points)");
     println!("\n(Expected: EE falls with p, rises with n.)");
 }

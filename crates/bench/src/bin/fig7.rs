@@ -17,7 +17,7 @@ fn main() {
     let ep = EpModel::system_g();
     let mach = MachineParams::system_g(2.8e9);
     println!("== Fig. 7: EE_EP(p, f) at n = {n} on SystemG ==\n");
-    let s = ee_surface_pf(&ep, &mach, n, &ps, &DVFS_G);
+    let s = ee_surface_pf(&ep, &mach, n, &ps, &DVFS_G).expect("sweep evaluates");
     bench::print_surface(&s, "f (Hz)");
     println!("\n(Expected: EE ≈ 1 for every (p, f) — near-ideal iso-energy-efficiency.)");
 }

@@ -15,7 +15,7 @@ fn main() {
     let cg = CgModel::system_g();
     let mach = MachineParams::system_g(2.8e9);
     println!("== Fig. 8: EE_CG(p, n) at f = 2.8 GHz on SystemG ==\n");
-    let s = ee_surface_pn(&cg, &mach, &ps, &ns);
+    let s = ee_surface_pn(&cg, &mach, &ps, &ns).expect("sweep evaluates");
     bench::print_surface(&s, "n (rows)");
     println!("\n(Expected: EE falls with p, rises with n.)");
 }

@@ -20,10 +20,10 @@ fn main() {
     let cg = CgModel::system_g();
     let mach = MachineParams::system_g(2.8e9);
     println!("== Fig. 9: EE_CG(p, f) at n = {n} on SystemG ==\n");
-    let s = ee_surface_pf(&cg, &mach, n, &ps, &DVFS_G);
+    let s = ee_surface_pf(&cg, &mach, n, &ps, &DVFS_G).expect("sweep evaluates");
     bench::print_surface(&s, "f (Hz)");
     for &p in &[16usize, 64, 256] {
-        let (f, ee) = best_frequency(&cg, &mach, n, p, &DVFS_G);
+        let (f, ee) = best_frequency(&cg, &mach, n, p, &DVFS_G).expect("sweep evaluates");
         println!(
             "  best DVFS state at p={p}: {:.1} GHz (EE = {ee:.4})",
             f / 1e9

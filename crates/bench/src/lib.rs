@@ -161,12 +161,12 @@ pub fn time_case<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) -> CaseSta
     }
 }
 
-/// Render benchmark cases as an obs metrics snapshot
-/// (`{"metrics":[...]}`): per case a `<prefix>.<name>.ns_per_iter` gauge
-/// (mean), a `.min_ns_per_iter` gauge, a `.throughput_per_s` gauge, and an
-/// `.iters` counter. `BENCH_model_eval.json` is this document, so the obs
-/// JSON parser and any snapshot tooling read bench results unchanged.
-pub fn cases_snapshot_json(prefix: &str, cases: &[CaseStats]) -> String {
+/// Fold benchmark cases into an obs registry: per case a
+/// `<prefix>.<name>.ns_per_iter` gauge (mean), a `.min_ns_per_iter` gauge,
+/// a `.throughput_per_s` gauge, and an `.iters` counter. Returning the
+/// registry (rather than the JSON) lets a bench add derived gauges —
+/// speedups, per-thread throughput — before snapshotting.
+pub fn cases_registry(prefix: &str, cases: &[CaseStats]) -> obs::Registry {
     let reg = obs::Registry::new();
     for c in cases {
         reg.gauge(&format!("{prefix}.{}.ns_per_iter", c.name))
@@ -178,15 +178,27 @@ pub fn cases_snapshot_json(prefix: &str, cases: &[CaseStats]) -> String {
         reg.counter(&format!("{prefix}.{}.iters", c.name))
             .add(u64::from(c.iters));
     }
-    reg.snapshot_json()
+    reg
 }
 
-/// Write benchmark cases to `path` in the obs metrics snapshot format,
-/// reporting rather than panicking on I/O failure (bench output must not
-/// break a run).
-pub fn write_cases_snapshot(path: &str, prefix: &str, cases: &[CaseStats]) {
-    match std::fs::write(path, cases_snapshot_json(prefix, cases)) {
+/// Render benchmark cases as an obs metrics snapshot
+/// (`{"metrics":[...]}`). `BENCH_model_eval.json` and `BENCH_sweep.json`
+/// are this document, so the obs JSON parser and any snapshot tooling read
+/// bench results unchanged.
+pub fn cases_snapshot_json(prefix: &str, cases: &[CaseStats]) -> String {
+    cases_registry(prefix, cases).snapshot_json()
+}
+
+/// Write an already-rendered snapshot to `path`, reporting rather than
+/// panicking on I/O failure (bench output must not break a run).
+pub fn write_snapshot_json(path: &str, json: &str) {
+    match std::fs::write(path, json) {
         Ok(()) => println!("  wrote {path}"),
         Err(e) => eprintln!("  could not write {path}: {e}"),
     }
+}
+
+/// Write benchmark cases to `path` in the obs metrics snapshot format.
+pub fn write_cases_snapshot(path: &str, prefix: &str, cases: &[CaseStats]) {
+    write_snapshot_json(path, &cases_snapshot_json(prefix, cases));
 }

@@ -26,7 +26,11 @@ pub use ft::FtModel;
 use crate::params::AppParams;
 
 /// A closed-form application model: `(n, p) → Appl` (Table 2).
-pub trait AppModel {
+///
+/// `Sync` is a supertrait so `&dyn AppModel` sweeps can fan out over the
+/// `pool` thread pool; models are plain coefficient tables, so this costs
+/// implementors nothing.
+pub trait AppModel: Sync {
     /// Short name as used in the paper's figures ("FT", "EP", "CG").
     fn name(&self) -> &'static str;
 

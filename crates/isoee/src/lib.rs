@@ -64,5 +64,9 @@ pub use calibrate::{measure_alpha, measure_app_params, measured_machine_params};
 pub use hetero::{HeteroResult, ProcClass, Split};
 pub use model::{e0, e1, ee, eef, ep, t1, tp, ModelError};
 pub use params::{AppParams, MachineParams};
-pub use scaling::{best_frequency, ee_surface_pf, ee_surface_pn, iso_ee_workload, Surface};
+pub use scaling::{
+    best_frequency, best_frequency_with, ee_surface_pf, ee_surface_pf_with, ee_surface_pn,
+    ee_surface_pn_with, iso_ee_contour, iso_ee_contour_with, iso_ee_workload, PoolConfig, Surface,
+    SweepError,
+};
 pub use validate::{validate_kernel, ValidationPoint, ValidationSummary};

@@ -153,7 +153,7 @@ mod tests {
     fn surface_table_has_rows_and_columns() {
         let ft = FtModel::system_g();
         let m = MachineParams::system_g(2.8e9);
-        let s = ee_surface_pf(&ft, &m, 1e6, &[1, 16], &[1.6e9, 2.8e9]);
+        let s = ee_surface_pf(&ft, &m, 1e6, &[1, 16], &[1.6e9, 2.8e9]).expect("sweep ok");
         let t = surface_table(&s, "f (Hz)");
         assert_eq!(t.lines().count(), 3);
         assert!(t.contains("p=1"));

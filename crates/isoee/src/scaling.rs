@@ -5,20 +5,68 @@
 //!   `EE` at a target as the system scales (the energy analog of Grama's
 //!   isoefficiency function).
 //! * A DVFS advisor: the frequency that maximizes `EE` at a given `(n, p)`.
+//!
+//! ## Parallel evaluation
+//!
+//! Surfaces, contours and the advisor fan their independent evaluation
+//! points out over the [`pool`] work-stealing thread pool (surface rows,
+//! per-`p` bisections, per-frequency advisor probes). Results are reduced
+//! in index order, so parallel output is **bit-identical** to the
+//! sequential path at any `POOL_THREADS` — `tests/parallel_equivalence.rs`
+//! enforces that contract. The `*_with` variants take an explicit
+//! [`PoolConfig`]; the plain functions use the process-wide
+//! [`pool::global`] config.
+//!
+//! ## Degenerate points
+//!
+//! A parameter point with a non-positive or non-finite sequential baseline
+//! energy (`model::ee`'s [`ModelError::DegenerateBaseline`]) no longer
+//! aborts a sweep: every sweep entry point returns `Result`, carrying the
+//! *first* degenerate evaluation in the sweep's deterministic index order
+//! as a [`SweepError`].
 
 use crate::apps::AppModel;
-use crate::model;
+use crate::model::{self, ModelError};
 use crate::params::{AppParams, MachineParams};
+pub use pool::PoolConfig;
 
-/// `EE` as a plain value; the surfaces and sweeps below only evaluate
-/// physically sensible parameter points, where the baseline energy is
-/// strictly positive.
+/// A sweep hit a parameter point the ratio model cannot evaluate.
+///
+/// `index` is the flat position of the first failing evaluation in the
+/// sweep's deterministic order (row-major for surfaces, axis order for
+/// contours and the advisor) — the same index at any thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepError {
+    /// Flat index of the first degenerate evaluation.
+    pub index: usize,
+    /// The model error at that point.
+    pub source: ModelError,
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sweep point {} is degenerate: {}",
+            self.index, self.source
+        )
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// `EE` with the degenerate-baseline case carried out as an error instead
+/// of a panic, so one bad point cannot abort a whole parallel sweep.
 ///
 /// Every call bumps the `isoee.model_evals` counter (one relaxed atomic
 /// add), so sweep throughput shows up in the obs metrics snapshot.
-fn ee_value(mach: &MachineParams, a: &AppParams, p: usize) -> f64 {
+fn ee_checked(mach: &MachineParams, a: &AppParams, p: usize) -> Result<f64, ModelError> {
     model_evals_counter().inc();
-    model::ee(mach, a, p).expect("surface point has a positive baseline energy")
+    model::ee(mach, a, p)
 }
 
 /// Process-wide count of EE model evaluations performed by the sweeps.
@@ -64,60 +112,126 @@ impl Surface {
     }
 }
 
-/// `EE(p, f)` at fixed workload `n` (Figs. 5, 7, 9).
+/// Assemble a surface from parallel-evaluated rows, reducing in row-major
+/// index order: the first degenerate cell by `(row, col)` wins, at any
+/// thread count.
+fn collect_rows(
+    ys: &[f64],
+    xs: Vec<f64>,
+    rows: Vec<Result<Vec<f64>, (usize, ModelError)>>,
+    cols: usize,
+) -> Result<Surface, SweepError> {
+    let mut values = Vec::with_capacity(rows.len());
+    for (i, row) in rows.into_iter().enumerate() {
+        match row {
+            Ok(v) => values.push(v),
+            Err((j, source)) => {
+                return Err(SweepError {
+                    index: i * cols + j,
+                    source,
+                })
+            }
+        }
+    }
+    Ok(Surface {
+        ys: ys.to_vec(),
+        xs,
+        values,
+    })
+}
+
+/// `EE(p, f)` at fixed workload `n` (Figs. 5, 7, 9), on the global pool.
 ///
 /// `base` supplies the frequency-independent machine parameters; each row
 /// re-evaluates it at one of `fs` via Eq. 20.
+///
+/// # Errors
+/// Returns the first degenerate evaluation in row-major order as a
+/// [`SweepError`].
 pub fn ee_surface_pf(
     app: &dyn AppModel,
     base: &MachineParams,
     n: f64,
     ps: &[usize],
     fs: &[f64],
-) -> Surface {
-    let values = fs
-        .iter()
-        .map(|&f| {
-            let mach = base.at_frequency(f);
-            ps.iter()
-                .map(|&p| ee_value(&mach, &app.app_params(n, p), p))
-                .collect()
-        })
-        .collect();
-    Surface {
-        ys: fs.to_vec(),
-        xs: ps.iter().map(|&p| p as f64).collect(),
-        values,
-    }
+) -> Result<Surface, SweepError> {
+    ee_surface_pf_with(pool::global(), app, base, n, ps, fs)
 }
 
-/// `EE(p, n)` at the fixed frequency of `mach` (Figs. 6, 8).
+/// [`ee_surface_pf`] on an explicit pool config; rows (one per frequency)
+/// evaluate in parallel.
+///
+/// # Errors
+/// Returns the first degenerate evaluation in row-major order as a
+/// [`SweepError`].
+pub fn ee_surface_pf_with(
+    cfg: &PoolConfig,
+    app: &dyn AppModel,
+    base: &MachineParams,
+    n: f64,
+    ps: &[usize],
+    fs: &[f64],
+) -> Result<Surface, SweepError> {
+    let rows = pool::parallel_map(cfg, fs, |&f| {
+        let mach = base.at_frequency(f);
+        ps.iter()
+            .enumerate()
+            .map(|(j, &p)| ee_checked(&mach, &app.app_params(n, p), p).map_err(|e| (j, e)))
+            .collect()
+    });
+    collect_rows(fs, ps.iter().map(|&p| p as f64).collect(), rows, ps.len())
+}
+
+/// `EE(p, n)` at the fixed frequency of `mach` (Figs. 6, 8), on the global
+/// pool.
+///
+/// # Errors
+/// Returns the first degenerate evaluation in row-major order as a
+/// [`SweepError`].
 pub fn ee_surface_pn(
     app: &dyn AppModel,
     mach: &MachineParams,
     ps: &[usize],
     ns: &[f64],
-) -> Surface {
-    let values = ns
-        .iter()
-        .map(|&n| {
-            ps.iter()
-                .map(|&p| ee_value(&mach.at_frequency(mach.f_hz), &app.app_params(n, p), p))
-                .collect()
-        })
-        .collect();
-    Surface {
-        ys: ns.to_vec(),
-        xs: ps.iter().map(|&p| p as f64).collect(),
-        values,
-    }
+) -> Result<Surface, SweepError> {
+    ee_surface_pn_with(pool::global(), app, mach, ps, ns)
+}
+
+/// [`ee_surface_pn`] on an explicit pool config; rows (one per workload)
+/// evaluate in parallel.
+///
+/// # Errors
+/// Returns the first degenerate evaluation in row-major order as a
+/// [`SweepError`].
+pub fn ee_surface_pn_with(
+    cfg: &PoolConfig,
+    app: &dyn AppModel,
+    mach: &MachineParams,
+    ps: &[usize],
+    ns: &[f64],
+) -> Result<Surface, SweepError> {
+    let rows = pool::parallel_map(cfg, ns, |&n| {
+        let m = mach.at_frequency(mach.f_hz);
+        ps.iter()
+            .enumerate()
+            .map(|(j, &p)| ee_checked(&m, &app.app_params(n, p), p).map_err(|e| (j, e)))
+            .collect()
+    });
+    collect_rows(ns, ps.iter().map(|&p| p as f64).collect(), rows, ps.len())
 }
 
 /// The iso-energy-efficiency workload: the smallest `n ∈ [n_lo, n_hi]` with
 /// `EE(n, p) ≥ target`, found by bisection (EE is monotone non-decreasing
 /// in `n` for overhead-dominated applications like FT and CG).
 ///
-/// Returns `None` if even `n_hi` cannot reach the target.
+/// Returns `Ok(None)` if even `n_hi` cannot reach the target.
+///
+/// # Errors
+/// Returns [`ModelError::DegenerateBaseline`] if the bisection probes a
+/// degenerate parameter point (e.g. a bracket reaching a zero workload).
+///
+/// # Panics
+/// Panics on an invalid bracket or a target outside `(0, 1)`.
 pub fn iso_ee_workload(
     app: &dyn AppModel,
     mach: &MachineParams,
@@ -125,20 +239,20 @@ pub fn iso_ee_workload(
     target: f64,
     n_lo: f64,
     n_hi: f64,
-) -> Option<f64> {
+) -> Result<Option<f64>, ModelError> {
     assert!(n_lo > 1.0 && n_hi > n_lo, "invalid bracket");
     assert!(target > 0.0 && target < 1.0, "target EE must be in (0,1)");
-    let ee_at = |n: f64| ee_value(mach, &app.app_params(n, p), p);
-    if ee_at(n_hi) < target {
-        return None;
+    let ee_at = |n: f64| ee_checked(mach, &app.app_params(n, p), p);
+    if ee_at(n_hi)? < target {
+        return Ok(None);
     }
-    if ee_at(n_lo) >= target {
-        return Some(n_lo);
+    if ee_at(n_lo)? >= target {
+        return Ok(Some(n_lo));
     }
     let (mut lo, mut hi) = (n_lo, n_hi);
     for _ in 0..200 {
         let mid = 0.5 * (lo + hi);
-        if ee_at(mid) >= target {
+        if ee_at(mid)? >= target {
             hi = mid;
         } else {
             lo = mid;
@@ -147,25 +261,106 @@ pub fn iso_ee_workload(
             break;
         }
     }
-    Some(hi)
+    Ok(Some(hi))
 }
 
-/// The DVFS state in `freqs` maximizing `EE` at `(n, p)`; returns
-/// `(best_f, best_ee)`.
+/// The iso-EE contour across parallelism levels, on the global pool:
+/// `result[k]` is [`iso_ee_workload`] at `ps[k]` (`None` where the target
+/// is unreachable below `n_hi`).
+///
+/// # Errors
+/// Returns the first degenerate bisection (by position in `ps`) as a
+/// [`SweepError`].
+///
+/// # Panics
+/// Panics on an invalid bracket or a target outside `(0, 1)`.
+pub fn iso_ee_contour(
+    app: &dyn AppModel,
+    mach: &MachineParams,
+    ps: &[usize],
+    target: f64,
+    n_lo: f64,
+    n_hi: f64,
+) -> Result<Vec<Option<f64>>, SweepError> {
+    iso_ee_contour_with(pool::global(), app, mach, ps, target, n_lo, n_hi)
+}
+
+/// [`iso_ee_contour`] on an explicit pool config; the per-`p` bisections
+/// run in parallel (each bisection itself is inherently sequential).
+///
+/// # Errors
+/// Returns the first degenerate bisection (by position in `ps`) as a
+/// [`SweepError`].
+///
+/// # Panics
+/// Panics on an invalid bracket or a target outside `(0, 1)`.
+pub fn iso_ee_contour_with(
+    cfg: &PoolConfig,
+    app: &dyn AppModel,
+    mach: &MachineParams,
+    ps: &[usize],
+    target: f64,
+    n_lo: f64,
+    n_hi: f64,
+) -> Result<Vec<Option<f64>>, SweepError> {
+    let results = pool::parallel_map(cfg, ps, |&p| {
+        iso_ee_workload(app, mach, p, target, n_lo, n_hi)
+    });
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(index, r)| r.map_err(|source| SweepError { index, source }))
+        .collect()
+}
+
+/// The DVFS state in `freqs` maximizing `EE` at `(n, p)`, on the global
+/// pool; returns `(best_f, best_ee)`.
+///
+/// # Errors
+/// Returns the first degenerate frequency (by position in `freqs`) as a
+/// [`SweepError`].
+///
+/// # Panics
+/// Panics when `freqs` is empty or an `EE` value is not comparable.
 pub fn best_frequency(
     app: &dyn AppModel,
     base: &MachineParams,
     n: f64,
     p: usize,
     freqs: &[f64],
-) -> (f64, f64) {
+) -> Result<(f64, f64), SweepError> {
+    best_frequency_with(pool::global(), app, base, n, p, freqs)
+}
+
+/// [`best_frequency`] on an explicit pool config; the per-frequency
+/// probes run in parallel and the argmax reduces in index order (ties keep
+/// the last maximal frequency, matching the sequential `max_by`).
+///
+/// # Errors
+/// Returns the first degenerate frequency (by position in `freqs`) as a
+/// [`SweepError`].
+///
+/// # Panics
+/// Panics when `freqs` is empty or an `EE` value is not comparable.
+pub fn best_frequency_with(
+    cfg: &PoolConfig,
+    app: &dyn AppModel,
+    base: &MachineParams,
+    n: f64,
+    p: usize,
+    freqs: &[f64],
+) -> Result<(f64, f64), SweepError> {
     assert!(!freqs.is_empty(), "need at least one frequency");
     let a = app.app_params(n, p);
-    freqs
-        .iter()
-        .map(|&f| (f, ee_value(&base.at_frequency(f), &a, p)))
+    let ees = pool::parallel_map(cfg, freqs, |&f| ee_checked(&base.at_frequency(f), &a, p));
+    let mut probed = Vec::with_capacity(freqs.len());
+    for (index, (f, ee)) in freqs.iter().zip(ees).enumerate() {
+        probed.push((*f, ee.map_err(|source| SweepError { index, source })?));
+    }
+    Ok(probed
+        .into_iter()
         .max_by(|x, y| x.1.partial_cmp(&y.1).expect("finite EE"))
-        .expect("non-empty")
+        .expect("non-empty"))
 }
 
 #[cfg(test)]
@@ -177,13 +372,17 @@ mod tests {
         MachineParams::system_g(2.8e9)
     }
 
+    fn ee_value(m: &MachineParams, a: &AppParams, p: usize) -> f64 {
+        ee_checked(m, a, p).expect("surface point has a positive baseline energy")
+    }
+
     const DVFS: [f64; 4] = [1.6e9, 2.0e9, 2.4e9, 2.8e9];
 
     #[test]
     fn ft_surface_shape_matches_fig5() {
         let ft = FtModel::system_g();
         let ps = [1usize, 4, 16, 64, 256, 1024];
-        let s = ee_surface_pf(&ft, &mach(), (1u64 << 20) as f64, &ps, &DVFS);
+        let s = ee_surface_pf(&ft, &mach(), (1u64 << 20) as f64, &ps, &DVFS).expect("sweep ok");
         // Declines along p at every frequency (small cache ripple allowed).
         for row in &s.values {
             for w in row.windows(2) {
@@ -206,7 +405,7 @@ mod tests {
     #[test]
     fn ep_surface_is_flat_near_one() {
         let ep = EpModel::system_g();
-        let s = ee_surface_pf(&ep, &mach(), 4e6, &[1, 8, 64, 128], &DVFS);
+        let s = ee_surface_pf(&ep, &mach(), 4e6, &[1, 8, 64, 128], &DVFS).expect("sweep ok");
         assert!(
             s.min() > 0.97,
             "Fig. 7: EE_EP ≈ 1 everywhere, min {}",
@@ -219,7 +418,7 @@ mod tests {
     fn cg_surface_rises_with_f() {
         let cg = CgModel::system_g();
         let ps = [4usize, 16, 64];
-        let s = ee_surface_pf(&cg, &mach(), 75_000.0, &ps, &DVFS);
+        let s = ee_surface_pf(&cg, &mach(), 75_000.0, &ps, &DVFS).expect("sweep ok");
         for (j, &p) in ps.iter().enumerate() {
             assert!(
                 s.at(DVFS.len() - 1, j) > s.at(0, j),
@@ -233,7 +432,7 @@ mod tests {
         let m = mach();
         let ns = [5e5, 2e6, 8e6, 3.2e7];
         let ft = FtModel::system_g();
-        let s = ee_surface_pn(&ft, &m, &[64], &ns);
+        let s = ee_surface_pn(&ft, &m, &[64], &ns).expect("sweep ok");
         for i in 1..ns.len() {
             assert!(
                 s.at(i, 0) >= s.at(i - 1, 0) - 1e-9,
@@ -249,9 +448,11 @@ mod tests {
         // metric, as in performance isoefficiency).
         let ft = FtModel::system_g();
         let m = mach();
+        let ps = [32usize, 128, 512];
+        let ns = iso_ee_contour(&ft, &m, &ps, 0.7, 1e3, 1e12).expect("no degenerate points");
         let mut prev = 0.0;
-        for p in [32usize, 128, 512] {
-            let n = iso_ee_workload(&ft, &m, p, 0.7, 1e3, 1e12).expect("target reachable");
+        for (p, n) in ps.iter().zip(ns) {
+            let n = n.expect("target reachable");
             assert!(n > prev, "n({p}) = {n} must grow");
             prev = n;
         }
@@ -262,14 +463,14 @@ mod tests {
         let ft = FtModel::system_g();
         let m = mach();
         // EE = 0.999 at p=1024 requires astronomically large n.
-        let r = iso_ee_workload(&ft, &m, 1024, 0.999, 1e4, 1e7);
+        let r = iso_ee_workload(&ft, &m, 1024, 0.999, 1e4, 1e7).expect("no degenerate points");
         assert!(r.is_none());
     }
 
     #[test]
     fn best_frequency_for_cg_is_the_top_state() {
         let cg = CgModel::system_g();
-        let (f, ee) = best_frequency(&cg, &mach(), 75_000.0, 64, &DVFS);
+        let (f, ee) = best_frequency(&cg, &mach(), 75_000.0, 64, &DVFS).expect("sweep ok");
         assert_eq!(f, 2.8e9, "Fig. 9: scale frequency up for CG");
         assert!(ee > 0.0);
     }
@@ -279,11 +480,83 @@ mod tests {
         let cg = CgModel::system_g();
         let m = mach();
         let target = 0.95;
-        let n = iso_ee_workload(&cg, &m, 64, target, 1e3, 1e9).expect("reachable");
+        let n = iso_ee_workload(&cg, &m, 64, target, 1e3, 1e9)
+            .expect("no degenerate points")
+            .expect("reachable");
         let ee = ee_value(&m, &cg.app_params(n, 64), 64);
         assert!(ee >= target - 1e-6, "EE({n}) = {ee} < {target}");
         // And just below n the target fails (minimality up to tolerance).
         let ee_below = ee_value(&m, &cg.app_params(n * 0.98, 64), 64);
         assert!(ee_below <= target + 1e-3);
+    }
+
+    /// Test model whose baseline energy degenerates (to the all-zero
+    /// workload) below a workload threshold — the real app models assert
+    /// their way out of such inputs, but calibration-fed parameter sets
+    /// can reach them.
+    struct ThresholdModel;
+
+    impl AppModel for ThresholdModel {
+        fn name(&self) -> &'static str {
+            "threshold"
+        }
+
+        fn app_params(&self, n: f64, _p: usize) -> AppParams {
+            if n < 1e6 {
+                AppParams::ideal(0.0)
+            } else {
+                AppParams::ideal(n)
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_point_is_an_error_not_an_abort() {
+        // A zero workload makes E1 = 0: the first degenerate cell (row 0,
+        // col 0 in row-major order) must surface as a SweepError, not a
+        // panic, and the index must be independent of the thread count.
+        let app = ThresholdModel;
+        let m = mach();
+        let seq = ee_surface_pn_with(&PoolConfig::sequential(), &app, &m, &[4, 16], &[1e3, 1e7])
+            .expect_err("zero workload is degenerate");
+        assert_eq!(seq.index, 0);
+        for threads in [2usize, 8] {
+            let par = ee_surface_pn_with(
+                &PoolConfig::with_threads(threads),
+                &app,
+                &m,
+                &[4, 16],
+                &[1e3, 1e7],
+            )
+            .expect_err("zero workload is degenerate");
+            assert_eq!(par, seq, "threads={threads}");
+        }
+        // Degenerate row *after* a clean row: row-major index = 1 row in.
+        let err =
+            ee_surface_pn(&app, &m, &[4, 16], &[1e7, 1e3]).expect_err("zero workload degenerate");
+        assert_eq!(err.index, 2);
+        let ModelError::DegenerateBaseline { e1 } = err.source;
+        assert_eq!(e1, simcluster::units::Joules::ZERO);
+        // A clean grid on the same model still evaluates.
+        let ok = ee_surface_pn(&app, &m, &[4, 16], &[1e7, 1e8]).expect("clean grid");
+        assert!(ok.min() > 0.9);
+    }
+
+    #[test]
+    fn degenerate_contour_and_advisor_carry_errors_out() {
+        let app = ThresholdModel;
+        let m = mach();
+        // Every frequency probe is degenerate at a sub-threshold workload:
+        // the advisor reports the first probe, not a panic.
+        let err = best_frequency(&app, &m, 1e3, 16, &DVFS).expect_err("degenerate workload");
+        assert_eq!(err.index, 0);
+        // The bisection's low-bracket probe is degenerate for every p.
+        let err = iso_ee_contour(&app, &m, &[8, 16], 0.5, 1e3, 1e9)
+            .expect_err("degenerate bracket endpoint");
+        assert_eq!(err.index, 0);
+        // The single-p entry point carries the same error as a ModelError.
+        let err = iso_ee_workload(&app, &m, 8, 0.5, 1e3, 1e9).expect_err("degenerate bracket");
+        let ModelError::DegenerateBaseline { e1 } = err;
+        assert_eq!(e1, simcluster::units::Joules::ZERO);
     }
 }

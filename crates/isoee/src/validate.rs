@@ -67,7 +67,8 @@ impl ValidationSummary {
     }
 }
 
-/// Validate the energy model for one kernel across `ps`.
+/// Validate the energy model for one kernel across `ps`, on the global
+/// pool config.
 ///
 /// `mach` should come from [`crate::calibrate::measured_machine_params`]
 /// (the paper's workflow) or [`MachineParams::from_spec`].
@@ -82,15 +83,57 @@ where
     R: Send,
     F: Fn(&mut Ctx) -> R + Sync,
 {
+    validate_kernel_with(pool::global(), world, mach, name, ps, kernel)
+}
+
+/// [`validate_kernel`] on an explicit pool config: the per-`p` validation
+/// points run concurrently (each point is its own deterministic simulated
+/// run), and the points are reduced in the order of `ps` — the summary is
+/// bit-identical to a sequential validation at any thread count.
+pub fn validate_kernel_with<R, F>(
+    cfg: &pool::PoolConfig,
+    world: &World,
+    mach: &MachineParams,
+    name: &str,
+    ps: &[usize],
+    kernel: F,
+) -> ValidationSummary
+where
+    R: Send,
+    F: Fn(&mut Ctx) -> R + Sync,
+{
     let seq = measure_run(world, 1, &kernel);
-    let points = ps
-        .iter()
-        .map(|&p| validate_point(world, mach, &seq, p, &kernel))
-        .collect();
+    let evaluated: Vec<EvaluatedPoint> =
+        pool::parallel_map(cfg, ps, |&p| validate_point(world, mach, &seq, p, &kernel));
+    // Live gauges: the latest validated point's efficiency and drift,
+    // visible in `obs::global().snapshot_text()` while a sweep runs. The
+    // parallel phase computes the values; they are applied here in `ps`
+    // order, so the final gauge state never depends on worker
+    // interleaving.
+    let reg = obs::global();
+    let mut points = Vec::with_capacity(evaluated.len());
+    for ev in evaluated {
+        if let Ok(ee) = ev.ee {
+            reg.gauge("isoee.validate.ee").set(ee);
+        }
+        if let Ok(eef) = ev.eef {
+            reg.gauge("isoee.validate.eef").set(eef);
+        }
+        reg.gauge("isoee.validate.drift_pct")
+            .set(ev.point.error_pct());
+        points.push(ev.point);
+    }
     ValidationSummary {
         name: name.to_string(),
         points,
     }
+}
+
+/// One point plus the model ratios its run implies (gauge fodder).
+struct EvaluatedPoint {
+    point: ValidationPoint,
+    ee: Result<f64, crate::model::ModelError>,
+    eef: Result<f64, crate::model::ModelError>,
 }
 
 fn validate_point<R, F>(
@@ -99,7 +142,7 @@ fn validate_point<R, F>(
     seq: &RunMeasurement,
     p: usize,
     kernel: &F,
-) -> ValidationPoint
+) -> EvaluatedPoint
 where
     R: Send,
     F: Fn(&mut Ctx) -> R + Sync,
@@ -110,22 +153,15 @@ where
         measure_run(world, p, kernel)
     };
     let app = app_params_from(seq, &par);
-    let point = ValidationPoint {
-        p,
-        predicted_j: model::ep(mach, &app, p),
-        measured_j: par.energy_j,
-    };
-    // Live gauges: the latest validated point's efficiency and drift,
-    // visible in `obs::global().snapshot_text()` while a sweep runs.
-    let reg = obs::global();
-    if let Ok(ee) = model::ee(mach, &app, p) {
-        reg.gauge("isoee.validate.ee").set(ee);
+    EvaluatedPoint {
+        point: ValidationPoint {
+            p,
+            predicted_j: model::ep(mach, &app, p),
+            measured_j: par.energy_j,
+        },
+        ee: model::ee(mach, &app, p),
+        eef: model::eef(mach, &app, p),
     }
-    if let Ok(eef) = model::eef(mach, &app, p) {
-        reg.gauge("isoee.validate.eef").set(eef);
-    }
-    reg.gauge("isoee.validate.drift_pct").set(point.error_pct());
-    point
 }
 
 #[cfg(test)]

@@ -156,7 +156,7 @@ proptest! {
         let p = 1usize << lg_p;
         let m = mach();
         let ft = FtModel::system_g();
-        if let Some(n) = iso_ee_workload(&ft, &m, p, target, 1e3, 1e13) {
+        if let Ok(Some(n)) = iso_ee_workload(&ft, &m, p, target, 1e3, 1e13) {
             let e = ee(&m, &ft.app_params(n, p), p);
             prop_assert!(e >= target - 1e-6, "EE({n}) = {e} < {target}");
         }

@@ -433,6 +433,7 @@ impl<'w> Ctx<'w> {
             vc: self.vclock.clone(),
             payload: Box::new(data),
         };
+        self.registry.note_send(self.rank, to);
         if self.senders[to].send(env).is_err() {
             self.abort_if_dead();
             panic!("receiver rank {to} hung up — did a rank panic?");
@@ -481,6 +482,7 @@ impl<'w> Ctx<'w> {
             self.abort_if_dead();
             match self.receivers[from].recv_timeout(DEADLOCK_POLL) {
                 Ok(env) => {
+                    self.registry.note_drain(from, self.rank);
                     self.registry.bump_progress(self.rank);
                     self.last_probe = None;
                     if env.tag == tag {

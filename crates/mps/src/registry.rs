@@ -6,7 +6,11 @@
 //! that already finished, *and* the observation is stable across two
 //! consecutive polls (no rank in the chain made progress in between) — the
 //! stability requirement rules out transiently-observed chains while a
-//! message is still being delivered by the host scheduler.
+//! message is still being delivered by the host scheduler. A chain is also
+//! never declared dead while any member still has an undelivered envelope
+//! from the rank it waits on (per-channel send/drain counters): a starved
+//! thread that simply hasn't been scheduled to pull its message must not
+//! read as deadlocked, however long the host keeps it off-CPU.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -33,6 +37,8 @@ pub(crate) struct Verdict {
 
 /// Shared (across ranks of one run) deadlock-detection state.
 pub(crate) struct Registry {
+    /// Rank count of the run.
+    p: usize,
     /// `blocked[r]` is `Some(target)` while rank `r` is inside a blocking
     /// receive with an empty matching inbox.
     blocked: Mutex<Vec<Option<WaitTarget>>>,
@@ -40,6 +46,10 @@ pub(crate) struct Registry {
     finished: Vec<AtomicBool>,
     /// Incremented every time rank `r` pulls an envelope off a channel.
     progress: Vec<AtomicU64>,
+    /// `sent[from * p + to]`: envelopes handed to the `from -> to` channel.
+    sent: Vec<AtomicU64>,
+    /// `drained[from * p + to]`: envelopes rank `to` pulled off that channel.
+    drained: Vec<AtomicU64>,
     /// Set when a deadlock has been declared; all ranks must abort.
     dead: AtomicBool,
     /// The confirmed verdict (first writer wins).
@@ -49,12 +59,34 @@ pub(crate) struct Registry {
 impl Registry {
     pub(crate) fn new(p: usize) -> Self {
         Self {
+            p,
             blocked: Mutex::new(vec![None; p]),
             finished: (0..p).map(|_| AtomicBool::new(false)).collect(),
             progress: (0..p).map(|_| AtomicU64::new(0)).collect(),
+            sent: (0..p * p).map(|_| AtomicU64::new(0)).collect(),
+            drained: (0..p * p).map(|_| AtomicU64::new(0)).collect(),
             dead: AtomicBool::new(false),
             verdict: Mutex::new(None),
         }
+    }
+
+    /// Record an envelope handed to the `from -> to` channel. Called by the
+    /// sender *before* the channel push, so [`Self::probe`] can never
+    /// observe the channel as caught-up while an envelope is in flight.
+    pub(crate) fn note_send(&self, from: usize, to: usize) {
+        self.sent[from * self.p + to].fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Record rank `to` pulling an envelope off the `from -> to` channel.
+    pub(crate) fn note_drain(&self, from: usize, to: usize) {
+        self.drained[from * self.p + to].fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Whether the `from -> to` channel holds an envelope rank `to` has not
+    /// yet pulled.
+    fn undelivered(&self, from: usize, to: usize) -> bool {
+        let idx = from * self.p + to;
+        self.sent[idx].load(Ordering::SeqCst) > self.drained[idx].load(Ordering::SeqCst)
     }
 
     pub(crate) fn set_blocked(&self, rank: usize, target: WaitTarget) {
@@ -101,6 +133,15 @@ impl Registry {
         let mut cur = start;
         loop {
             let target = blocked[cur]?;
+            // An envelope from the awaited rank already sits in `cur`'s
+            // channel: `cur` will pull it as soon as the host scheduler runs
+            // it, so the chain is not dead — it only *looks* stable because
+            // a starved thread hasn't been scheduled between polls. Without
+            // this check a loaded single-core host can false-positive on a
+            // send that landed while both ranks were registered blocked.
+            if self.undelivered(target.on, cur) {
+                return None;
+            }
             chain.push(WaitEdge {
                 from_rank: cur,
                 on_rank: target.on,
@@ -186,6 +227,24 @@ mod tests {
         assert!(v.cyclic);
         assert_eq!(v.edges.len(), 2, "prefix rank 0 is not part of the cycle");
         assert!(v.edges.iter().all(|e| e.from_rank != 0));
+    }
+
+    #[test]
+    fn undelivered_envelope_suppresses_the_verdict() {
+        // Rank 1 sent to rank 0, then blocked on rank 0; rank 0 is blocked
+        // on rank 1 but has not been scheduled to pull the envelope. The
+        // apparent 0 <-> 1 cycle must NOT be reported until the envelope is
+        // drained (at which point either rank 0 progresses or the cycle is
+        // real).
+        let r = Registry::new(2);
+        r.set_blocked(0, WaitTarget { on: 1, tag: 5 });
+        r.note_send(1, 0);
+        r.set_blocked(1, WaitTarget { on: 0, tag: 6 });
+        assert!(r.probe(0).is_none(), "in-flight envelope into rank 0");
+        assert!(r.probe(1).is_none(), "same chain probed from rank 1");
+        r.note_drain(1, 0);
+        let (v, _) = r.probe(0).expect("drained channel, cycle is real");
+        assert!(v.cyclic);
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! Property tests: the pool's determinism contract over random inputs,
+//! thread counts and chunk sizes.
+
+use pool::{parallel_map, parallel_map_indexed, PoolConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pool_output_equals_sequential_map(
+        len in 0usize..300,
+        threads in 1usize..10,
+        chunk in 1usize..40,
+        salt in any::<u64>(),
+    ) {
+        let items: Vec<u64> = (0..len as u64).map(|i| i ^ salt).collect();
+        let f = |x: &u64| x.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17);
+        let expect: Vec<u64> = items.iter().map(f).collect();
+        let cfg = PoolConfig::with_threads(threads).with_chunk_size(chunk);
+        prop_assert_eq!(parallel_map(&cfg, &items, f), expect);
+    }
+
+    #[test]
+    fn float_results_are_bit_identical_across_thread_counts(
+        len in 1usize..200,
+        seed in 0.0f64..1.0,
+    ) {
+        // Transcendental per-element work: any reassociation or evaluation
+        // reordering would show up as a ULP difference. Compare raw bits.
+        let f = |i: usize| {
+            #[allow(clippy::cast_precision_loss)]
+            let x = seed + i as f64;
+            (x.sin() * x.sqrt() + x.ln_1p()).to_bits()
+        };
+        let seq = parallel_map_indexed(&PoolConfig::sequential(), len, f);
+        for threads in [2usize, 8] {
+            let par = parallel_map_indexed(&PoolConfig::with_threads(threads), len, f);
+            prop_assert_eq!(&par, &seq, "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn nested_runs_preserve_order(
+        outer in 1usize..12,
+        inner in 1usize..12,
+        threads in 1usize..6,
+    ) {
+        let cfg = PoolConfig::with_threads(threads);
+        let grid = parallel_map_indexed(&cfg, outer, |i| {
+            parallel_map_indexed(&PoolConfig::with_threads(2), inner, move |j| (i, j))
+        });
+        for (i, row) in grid.iter().enumerate() {
+            for (j, cell) in row.iter().enumerate() {
+                prop_assert_eq!(*cell, (i, j));
+            }
+        }
+    }
+}

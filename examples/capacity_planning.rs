@@ -7,16 +7,21 @@
 //! Run with: `cargo run --release --example capacity_planning`
 
 use iso_energy_efficiency::isoee::apps::{AppModel, CgModel, FtModel};
-use iso_energy_efficiency::isoee::scaling::iso_ee_workload;
+use iso_energy_efficiency::isoee::scaling::iso_ee_contour;
 use iso_energy_efficiency::isoee::MachineParams;
 
 fn contour(name: &str, app: &dyn AppModel, target: f64, unit: &str) {
     let mach = MachineParams::system_g(2.8e9);
     println!("--- {name}: workload needed to hold EE >= {target} ---");
     println!("  p       n({unit})         growth vs p=16");
+    // The per-p bisections run in parallel on the POOL_THREADS pool; the
+    // result order (and every bit of every value) matches the sequential
+    // loop this example used to run.
+    let ps = [16usize, 64, 256, 1024];
+    let contour = iso_ee_contour(app, &mach, &ps, target, 1e3, 1e13).expect("sweep evaluates");
     let mut base: Option<f64> = None;
-    for p in [16usize, 64, 256, 1024] {
-        match iso_ee_workload(app, &mach, p, target, 1e3, 1e13) {
+    for (&p, n) in ps.iter().zip(contour) {
+        match n {
             Some(n) => {
                 let b = *base.get_or_insert(n);
                 println!("  {p:<6}  {n:<14.3e}  {:>6.1}x", n / b);

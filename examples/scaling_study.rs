@@ -15,7 +15,7 @@ fn study(name: &str, app: &dyn AppModel, n: f64) {
     let ps = [1usize, 4, 16, 64, 256];
 
     println!("--- {name} (n = {n}) ---");
-    let surface = ee_surface_pf(app, &mach, n, &ps, &DVFS);
+    let surface = ee_surface_pf(app, &mach, n, &ps, &DVFS).expect("sweep evaluates");
     print!("  EE by p at 2.8 GHz: ");
     for (j, p) in ps.iter().enumerate() {
         print!("p={p}:{:.3}  ", surface.at(DVFS.len() - 1, j));
@@ -27,7 +27,7 @@ fn study(name: &str, app: &dyn AppModel, n: f64) {
     let ee_lo = model::ee(&mach.at_frequency(1.6e9), &a, 64).expect("positive baseline");
     let ee_hi = model::ee(&mach, &a, 64).expect("positive baseline");
     let sensitivity = ee_hi - ee_lo;
-    let (best_f, best_ee) = best_frequency(app, &mach, n, 64, &DVFS);
+    let (best_f, best_ee) = best_frequency(app, &mach, n, 64, &DVFS).expect("sweep evaluates");
     println!(
         "  frequency sensitivity at p=64: EE(2.8) − EE(1.6) = {sensitivity:+.4}; \
          best state {:.1} GHz (EE {best_ee:.3})",

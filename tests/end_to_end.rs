@@ -253,6 +253,7 @@ fn both_contours_grow_with_p_but_measure_different_things() {
         let n_eta = isoee::baselines::iso_efficiency_workload(&ft, &mach, p, 0.8, 1e3, 1e12)
             .expect("eta target reachable");
         let n_ee = isoee::scaling::iso_ee_workload(&ft, &mach, p, 0.8, 1e3, 1e12)
+            .expect("no degenerate points")
             .expect("EE target reachable");
         assert!(n_eta > prev_eta, "eta contour must grow: {n_eta} at p={p}");
         assert!(n_ee > prev_ee, "EE contour must grow: {n_ee} at p={p}");

@@ -1,0 +1,135 @@
+//! Figure-shape regression suite: the DESIGN.md §4 expected-shape
+//! assertions for the paper's scalability figures, pinned at tier 1 so a
+//! sweep-engine refactor cannot silently bend a curve.
+//!
+//! Shapes, not absolute values (DESIGN.md §2): the substrate is a
+//! simulated cluster, so the comparable quantities are signs of partial
+//! derivatives and orders of magnitude.
+//!
+//! * Fig. 5 — `∂EE_FT/∂p < 0` strongly; `∂EE_FT/∂f ≈ 0`.
+//! * Fig. 6/8 — `∂EE/∂n > 0` for FT and CG.
+//! * Fig. 7 — `EE_EP ≈ 1` for all `(p, f)`.
+//! * Fig. 9 — `∂EE_CG/∂f > 0` (DVFS *up* improves CG efficiency).
+
+use isoee::apps::{CgModel, EpModel, FtModel};
+use isoee::scaling::{best_frequency, ee_surface_pf, ee_surface_pn};
+use isoee::MachineParams;
+
+const DVFS: [f64; 4] = [1.6e9, 2.0e9, 2.4e9, 2.8e9];
+/// The fig5/7/9 parallelism axis (powers of two to 1024, as in the bins).
+const PS: [usize; 11] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+
+fn mach() -> MachineParams {
+    MachineParams::system_g(2.8e9)
+}
+
+#[test]
+fn fig5_ft_declines_with_p_and_is_flat_in_f() {
+    let s = ee_surface_pf(
+        &FtModel::system_g(),
+        &mach(),
+        (1u64 << 20) as f64,
+        &PS,
+        &DVFS,
+    )
+    .expect("sweep evaluates");
+    for (i, row) in s.values.iter().enumerate() {
+        // ∂EE_FT/∂p < 0: monotone decline (tiny cache ripple allowed) and
+        // a deep collapse by p = 1024.
+        for w in row.windows(2) {
+            assert!(
+                w[1] <= w[0] + 0.01,
+                "Fig 5: EE_FT must decline with p at f={}: {row:?}",
+                DVFS[i]
+            );
+        }
+        assert!(
+            row[0] - row[PS.len() - 1] > 0.25,
+            "Fig 5: EE_FT must collapse by p=1024: {row:?}"
+        );
+    }
+    // ∂EE_FT/∂f ≈ 0: the frequency axis moves EE by far less than the
+    // parallelism axis does.
+    for (j, &p) in PS.iter().enumerate() {
+        let col: Vec<f64> = (0..DVFS.len()).map(|i| s.at(i, j)).collect();
+        let spread = col.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            - col.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(
+            spread < 0.15,
+            "Fig 5: EE_FT must be nearly flat in f at p={p}: {col:?}"
+        );
+    }
+}
+
+#[test]
+fn fig6_ft_rises_with_n() {
+    let ns: Vec<f64> = (0..6).map(|k| f64::from(1u32 << (18 + k))).collect();
+    let ps = [16usize, 64, 256, 1024];
+    let s = ee_surface_pn(&FtModel::system_g(), &mach(), &ps, &ns).expect("sweep evaluates");
+    for (j, &p) in ps.iter().enumerate() {
+        for i in 1..ns.len() {
+            assert!(
+                s.at(i, j) >= s.at(i - 1, j) - 1e-9,
+                "Fig 6: EE_FT must rise with n at p={p}: {} -> {}",
+                s.at(i - 1, j),
+                s.at(i, j)
+            );
+        }
+        assert!(
+            s.at(ns.len() - 1, j) > s.at(0, j),
+            "Fig 6: growth must be strict over the whole n range at p={p}"
+        );
+    }
+}
+
+#[test]
+fn fig7_ep_stays_near_one_everywhere() {
+    // The fig7 bin's grid: class-B pair count, p up to 128.
+    let n = (1u64 << 22) as f64;
+    let ps = [1usize, 2, 4, 8, 16, 32, 64, 128];
+    let s = ee_surface_pf(&EpModel::system_g(), &mach(), n, &ps, &DVFS).expect("sweep evaluates");
+    assert!(
+        s.min() > 0.97,
+        "Fig 7: EE_EP ≈ 1 for all (p, f); min {}",
+        s.min()
+    );
+    assert!(s.max() <= 1.0 + 1e-12, "EE_EP cannot exceed 1: {}", s.max());
+    // Scaling n does not change EP's EE (the paper's flat-surface claim).
+    let s_big =
+        ee_surface_pf(&EpModel::system_g(), &mach(), 4.0 * n, &ps, &DVFS).expect("sweep evaluates");
+    assert!((s_big.min() - s.min()).abs() < 0.02);
+}
+
+#[test]
+fn fig8_cg_rises_with_n() {
+    let ns: Vec<f64> = (0..5).map(|k| 75_000.0 * f64::from(1u32 << k)).collect();
+    let ps = [16usize, 64, 256];
+    let s = ee_surface_pn(&CgModel::system_g(), &mach(), &ps, &ns).expect("sweep evaluates");
+    for (j, &p) in ps.iter().enumerate() {
+        for i in 1..ns.len() {
+            assert!(
+                s.at(i, j) >= s.at(i - 1, j) - 1e-9,
+                "Fig 8: EE_CG must rise with n at p={p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig9_cg_rises_with_f_and_advisor_picks_the_top_state() {
+    let cg = CgModel::system_g();
+    let s = ee_surface_pf(&cg, &mach(), 75_000.0, &PS, &DVFS).expect("sweep evaluates");
+    for (j, &p) in PS.iter().enumerate() {
+        if p == 1 {
+            continue; // no parallel overhead to shrink at p = 1
+        }
+        assert!(
+            s.at(DVFS.len() - 1, j) > s.at(0, j),
+            "Fig 9: EE_CG must rise with f at p={p}"
+        );
+    }
+    for p in [16usize, 64, 256] {
+        let (f, _) = best_frequency(&cg, &mach(), 75_000.0, p, &DVFS).expect("sweep evaluates");
+        assert_eq!(f, 2.8e9, "Fig 9: the advisor must scale frequency up");
+    }
+}

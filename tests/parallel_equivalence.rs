@@ -1,0 +1,224 @@
+//! Differential test harness: parallel sweep evaluation must be
+//! **bit-identical** to the sequential path — `==` on every value, not
+//! approximate equality.
+//!
+//! The pool's contract (index-ordered reduction, one task per element,
+//! identical per-element inputs) means any divergence here is a real bug:
+//! a racy accumulator, a reassociated reduction, or a worker evaluating a
+//! point with different inputs than the sequential loop would. ICE
+//! (Tran & Ha, 2016) and the EXCESS deliverables both make the point that
+//! energy models are only trusted when validated across degrees of
+//! parallelism; this suite is that validation for the sweep engine
+//! itself.
+//!
+//! `POOL_THREADS` coverage: CI runs the whole test suite under
+//! `POOL_THREADS=1` and `POOL_THREADS=4`; this file additionally pins
+//! explicit 1/2/8-thread configs so a single run compares all three.
+
+use isoee::apps::{AppModel, CgModel, EpModel, FtModel};
+use isoee::scaling::{
+    best_frequency_with, ee_surface_pf_with, ee_surface_pn_with, iso_ee_contour_with, PoolConfig,
+};
+use isoee::MachineParams;
+use mps::{Ctx, World};
+use proptest::prelude::*;
+use simcluster::system_g;
+
+const DVFS: [f64; 4] = [1.6e9, 2.0e9, 2.4e9, 2.8e9];
+const THREADS: [usize; 2] = [2, 8];
+
+fn apps() -> Vec<(Box<dyn AppModel>, f64)> {
+    vec![
+        (Box::new(EpModel::system_g()), 4e6),
+        (Box::new(FtModel::system_g()), (1u64 << 20) as f64),
+        (Box::new(CgModel::system_g()), 75_000.0),
+    ]
+}
+
+fn mach() -> MachineParams {
+    MachineParams::system_g(2.8e9)
+}
+
+#[test]
+fn pf_surfaces_are_bit_identical_across_thread_counts() {
+    let m = mach();
+    let ps = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+    for (app, n) in apps() {
+        let seq = ee_surface_pf_with(&PoolConfig::sequential(), app.as_ref(), &m, n, &ps, &DVFS)
+            .expect("sweep evaluates");
+        for t in THREADS {
+            let par = ee_surface_pf_with(
+                &PoolConfig::with_threads(t),
+                app.as_ref(),
+                &m,
+                n,
+                &ps,
+                &DVFS,
+            )
+            .expect("sweep evaluates");
+            assert!(
+                par == seq,
+                "EE_{}(p, f) diverged at {t} threads",
+                app.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn pn_surfaces_are_bit_identical_across_thread_counts() {
+    let m = mach();
+    let ps = [1usize, 4, 16, 64, 256];
+    for (app, n0) in apps() {
+        let ns: Vec<f64> = (0..6).map(|k| n0 * f64::from(1u32 << k)).collect();
+        let seq = ee_surface_pn_with(&PoolConfig::sequential(), app.as_ref(), &m, &ps, &ns)
+            .expect("sweep evaluates");
+        for t in THREADS {
+            let par = ee_surface_pn_with(&PoolConfig::with_threads(t), app.as_ref(), &m, &ps, &ns)
+                .expect("sweep evaluates");
+            assert!(
+                par == seq,
+                "EE_{}(p, n) diverged at {t} threads",
+                app.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn contours_are_bit_identical_across_thread_counts() {
+    let m = mach();
+    let ps = [16usize, 32, 64, 128, 256, 512, 1024];
+    for (app, target) in [
+        (Box::new(FtModel::system_g()) as Box<dyn AppModel>, 0.7),
+        (Box::new(CgModel::system_g()) as Box<dyn AppModel>, 0.95),
+    ] {
+        let seq = iso_ee_contour_with(
+            &PoolConfig::sequential(),
+            app.as_ref(),
+            &m,
+            &ps,
+            target,
+            1e3,
+            1e12,
+        )
+        .expect("no degenerate points");
+        for t in THREADS {
+            let par = iso_ee_contour_with(
+                &PoolConfig::with_threads(t),
+                app.as_ref(),
+                &m,
+                &ps,
+                target,
+                1e3,
+                1e12,
+            )
+            .expect("no degenerate points");
+            assert!(
+                par == seq,
+                "iso-EE contour of {} diverged at {t} threads",
+                app.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn dvfs_advisor_is_bit_identical_across_thread_counts() {
+    let m = mach();
+    for (app, n) in apps() {
+        for p in [4usize, 64, 1024] {
+            let seq = best_frequency_with(&PoolConfig::sequential(), app.as_ref(), &m, n, p, &DVFS)
+                .expect("sweep evaluates");
+            for t in THREADS {
+                let par = best_frequency_with(
+                    &PoolConfig::with_threads(t),
+                    app.as_ref(),
+                    &m,
+                    n,
+                    p,
+                    &DVFS,
+                )
+                .expect("sweep evaluates");
+                assert!(
+                    par == seq,
+                    "advisor for {} at p={p} diverged at {t} threads",
+                    app.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn validation_summaries_are_bit_identical_across_thread_counts() {
+    // The per-p validation points each run their own deterministic
+    // simulated kernel; running them concurrently must not change a bit
+    // of the summary.
+    let w = World::new(system_g(), 2.8e9);
+    let m = MachineParams::from_spec(&w.cluster, 2.8e9);
+    let kernel = |ctx: &mut Ctx| {
+        ctx.compute(2e6 / ctx.size() as f64);
+        ctx.mem_access(1e4 / ctx.size() as f64, 1 << 24);
+        ctx.barrier();
+    };
+    let seq = isoee::validate::validate_kernel_with(
+        &PoolConfig::sequential(),
+        &w,
+        &m,
+        "synthetic",
+        &[1, 2, 4, 8],
+        kernel,
+    );
+    for t in THREADS {
+        let par = isoee::validate::validate_kernel_with(
+            &PoolConfig::with_threads(t),
+            &w,
+            &m,
+            "synthetic",
+            &[1, 2, 4, 8],
+            kernel,
+        );
+        assert!(par == seq, "validation summary diverged at {t} threads");
+    }
+}
+
+proptest! {
+    // Each case sweeps three grids at three thread counts; keep the count
+    // moderate so the suite stays fast.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_grids_are_bit_identical(
+        app_pick in 0usize..3,
+        lg_n in 14u32..24,
+        n_rows in 1usize..7,
+        n_cols in 1usize..9,
+        f_lo in 1.0e9f64..2.0e9,
+        f_step in 1.0e8f64..4.0e8,
+        p_stride in 1usize..4,
+    ) {
+        let m = mach();
+        let (app, n): (Box<dyn AppModel>, f64) = match app_pick {
+            0 => (Box::new(EpModel::system_g()), f64::from(1u32 << lg_n)),
+            1 => (Box::new(FtModel::system_g()), f64::from(1u32 << lg_n)),
+            _ => (Box::new(CgModel::system_g()), 2_000.0 * f64::from(lg_n)),
+        };
+        let fs: Vec<f64> = (0..n_rows).map(|i| f_lo + f_step * i as f64).collect();
+        let ps: Vec<usize> = (0..n_cols).map(|j| 1usize << (j * p_stride).min(10)).collect();
+        let seq = ee_surface_pf_with(&PoolConfig::sequential(), app.as_ref(), &m, n, &ps, &fs)
+            .expect("sweep evaluates");
+        for t in THREADS {
+            let par = ee_surface_pf_with(
+                &PoolConfig::with_threads(t),
+                app.as_ref(),
+                &m,
+                n,
+                &ps,
+                &fs,
+            )
+            .expect("sweep evaluates");
+            prop_assert!(par == seq, "random grid diverged at {} threads", t);
+        }
+    }
+}
