@@ -55,7 +55,7 @@ pub fn check_deadlock(info: &DeadlockInfo) -> Vec<Finding> {
             continue;
         };
         for &(source, tag, _bytes) in &log.unconsumed {
-            if source == edge.on_rank && tag != edge.tag {
+            if edge.on_rank == Some(source) && tag != edge.tag {
                 findings.push(Finding::TagMismatch {
                     sender: source,
                     receiver: edge.from_rank,
@@ -71,11 +71,17 @@ pub fn check_deadlock(info: &DeadlockInfo) -> Vec<Finding> {
 }
 
 /// Analyze either outcome of [`mps::try_run`]: a completed report goes
-/// through [`check_report`], a deadlock through [`check_deadlock`].
+/// through [`check_report`], a deadlock through [`check_deadlock`]. A
+/// scheduler-hook teardown has no wait-for verdict; its partial traces go
+/// through the log-level checks.
 pub fn check_run<R>(result: &Result<RunReport<R>, RunError>) -> Vec<Finding> {
     match result {
         Ok(report) => check_report(report),
         Err(RunError::Deadlock(info)) => check_deadlock(info),
+        Err(RunError::SchedulerAbort { comm }) => {
+            let logs: Vec<&CommLog> = comm.iter().collect();
+            check_comm_logs(&logs)
+        }
     }
 }
 

@@ -17,6 +17,8 @@
 //! gate CI (`cargo run -p analyze`) and back the debug-mode assertions in
 //! the runtime.
 
+#![forbid(unsafe_code)]
+
 pub mod comm;
 pub mod invariants;
 pub mod trace;

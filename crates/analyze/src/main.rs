@@ -1,6 +1,6 @@
 //! Workspace analysis gate: `cargo run -p analyze`.
 //!
-//! Runs three passes and exits non-zero if any *unexpected* finding
+//! Runs the standing passes and exits non-zero if any *unexpected* finding
 //! surfaces:
 //!
 //! 1. Model invariants over both machine vectors (System G, Dori) crossed
@@ -14,52 +14,191 @@
 //!    `pool.tasks_executed` by exactly one per row and `isoee.model_evals`
 //!    by exactly rows x cols — the pool neither drops nor re-runs work.
 //!
-//! Pass `--trace <file.json>` to additionally validate an emitted Perfetto
-//! trace-event file (as written by `examples/trace_ft.rs` or
-//! `OBS_TRACE=... fig10`) with the obs JSON validator.
+//! Flags:
+//!
+//! * `--verify` adds the ahead-of-time verification passes from
+//!   `crates/verify`: the schedule-space model checker over the seeded
+//!   example worlds (plus a bounded sweep of the 4-rank FT kernel), and
+//!   interval pre-certification of the Fig 5–9 sweep grids and NPB
+//!   workload boxes. Explorer witnesses are written as Perfetto traces
+//!   under `target/verify-witnesses/`.
+//! * `--trace <file.json>` additionally validates an emitted Perfetto
+//!   trace-event file (as written by `examples/trace_ft.rs` or
+//!   `OBS_TRACE=... fig10`) with the obs JSON validator.
+//! * `--json` prints the machine-readable findings document (stable field
+//!   order) to stdout; human progress moves to stderr.
+//!
+//! Exit codes: `0` all passes clean, `1` at least one unexpected finding,
+//! `2` usage error (unknown flag, or a `--trace` file that is missing or
+//! unreadable).
+
+#![forbid(unsafe_code)]
 
 use analyze::{
     check_deadlock, check_model, check_report, check_sweep_accounting, check_trace, Finding,
 };
 use isoee::apps::{AppModel, CgModel, EpModel, FtModel};
+use isoee::interval::{certify_pf_grid, certify_pn_grid, GridCertification, Interval};
 use isoee::MachineParams;
 use mps::{try_run, RunError, World};
 use simcluster::{dori, system_g};
+use verify::{programs, witness_trace, BoxOutcome, BoxSearch, Explorer, VerifyFinding};
 
-fn main() {
-    let mut unexpected = 0usize;
+const USAGE: &str = "usage: analyze [--verify] [--json] [--trace <file.json>]\n\
+                     exit codes: 0 clean, 1 unexpected finding(s), 2 usage error";
 
-    unexpected += model_pass();
-    unexpected += clean_comm_pass();
-    let fired = seeded_deadlock_pass();
-    unexpected += obs_trace_pass();
-    unexpected += pool_pass();
+/// One recorded finding, for the `--json` document.
+struct Entry {
+    pass: &'static str,
+    context: String,
+    message: String,
+    expected: bool,
+}
 
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        if arg == "--trace" {
-            let path = args.next().unwrap_or_else(|| {
-                eprintln!("analyze: --trace needs a file path");
-                std::process::exit(2);
-            });
-            unexpected += perfetto_file_pass(&path);
+/// Collects findings across passes and routes human output so that
+/// `--json` keeps stdout machine-readable.
+struct Report {
+    json: bool,
+    passes: Vec<&'static str>,
+    entries: Vec<Entry>,
+}
+
+impl Report {
+    fn begin(&mut self, pass: &'static str) {
+        self.passes.push(pass);
+    }
+
+    /// A human progress line (stdout normally, stderr under `--json`).
+    fn progress(&self, line: &str) {
+        if self.json {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
         }
     }
 
-    if !fired {
-        eprintln!("analyze: seeded deadlock was NOT detected — checker is broken");
-        unexpected += 1;
+    /// Record one finding. Expected findings (seeded bugs the checkers
+    /// must fire on) don't count against the exit code.
+    fn finding(&mut self, pass: &'static str, context: &str, message: String, expected: bool) {
+        if expected {
+            self.progress(&format!("{pass} (expected) [{context}]: {message}"));
+        } else {
+            eprintln!("analyze[{pass} {context}]: {message}");
+        }
+        self.entries.push(Entry {
+            pass,
+            context: context.to_string(),
+            message,
+            expected,
+        });
     }
+
+    fn unexpected(&self) -> usize {
+        self.entries.iter().filter(|e| !e.expected).count()
+    }
+
+    /// The machine-readable document: fixed key order (`schema`, `passes`,
+    /// `findings`, `unexpected`; each finding `pass`, `context`,
+    /// `message`, `expected`) so downstream parsers may byte-diff it.
+    fn to_json(&self) -> String {
+        use obs::json::quote;
+        let mut out = String::from("{\n  \"schema\": \"analyze/1\",\n  \"passes\": [");
+        for (i, p) in self.passes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&quote(p));
+        }
+        out.push_str("],\n  \"findings\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            out.push_str(&format!(
+                "{{\"pass\": {}, \"context\": {}, \"message\": {}, \"expected\": {}}}",
+                quote(e.pass),
+                quote(&e.context),
+                quote(&e.message),
+                e.expected
+            ));
+        }
+        if !self.entries.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"unexpected\": {}\n}}\n",
+            self.unexpected()
+        ));
+        out
+    }
+}
+
+fn main() {
+    // Strict argument parsing up front: any usage problem — including a
+    // --trace file that cannot be read — is exit code 2, before any pass
+    // runs (so CI can distinguish "misinvoked" from "found a bug").
+    let mut json = false;
+    let mut run_verify = false;
+    let mut trace_file: Option<(String, String)> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--verify" => run_verify = true,
+            "--trace" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("analyze: --trace needs a file path\n{USAGE}");
+                    std::process::exit(2);
+                });
+                let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("analyze: cannot read --trace file {path}: {e}\n{USAGE}");
+                    std::process::exit(2);
+                });
+                trace_file = Some((path, text));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("analyze: unknown argument {other:?}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut report = Report {
+        json,
+        passes: Vec::new(),
+        entries: Vec::new(),
+    };
+
+    model_pass(&mut report);
+    clean_comm_pass(&mut report);
+    seeded_deadlock_pass(&mut report);
+    obs_trace_pass(&mut report);
+    pool_pass(&mut report);
+    if run_verify {
+        verify_explorer_pass(&mut report);
+        verify_interval_pass(&mut report);
+    }
+    if let Some((path, text)) = &trace_file {
+        perfetto_file_pass(&mut report, path, text);
+    }
+
+    if json {
+        print!("{}", report.to_json());
+    }
+    let unexpected = report.unexpected();
     if unexpected > 0 {
         eprintln!("analyze: {unexpected} unexpected finding(s)");
         std::process::exit(1);
     }
-    println!("analyze: all passes clean");
+    report.progress("analyze: all passes clean");
 }
 
-/// Invariant checks for every machine × app × (n, p) point. Returns the
-/// number of findings (all unexpected: these inputs are sane).
-fn model_pass() -> usize {
+/// Invariant checks for every machine × app × (n, p) point. All findings
+/// are unexpected: these inputs are sane.
+fn model_pass(report: &mut Report) {
+    report.begin("model");
     let machines = [
         ("System G @2.8GHz", MachineParams::system_g(2.8e9)),
         ("System G @2.0GHz", MachineParams::system_g(2.0e9)),
@@ -70,7 +209,6 @@ fn model_pass() -> usize {
         Box::new(EpModel::system_g()),
         Box::new(CgModel::system_g()),
     ];
-    let mut count = 0;
     let mut points = 0;
     for (mname, m) in &machines {
         for app in &apps {
@@ -79,25 +217,24 @@ fn model_pass() -> usize {
                     let a = app.app_params(n, p);
                     points += 1;
                     for finding in check_model(m, &a, p) {
-                        eprintln!(
-                            "analyze[model {mname}/{} n={n} p={p}]: {finding}",
-                            app.name()
-                        );
-                        count += 1;
+                        let ctx = format!("{mname}/{} n={n} p={p}", app.name());
+                        report.finding("model", &ctx, finding.to_string(), false);
                     }
                 }
             }
         }
     }
-    println!("model pass: {points} (machine, app, n, p) points checked");
-    count
+    report.progress(&format!(
+        "model pass: {points} (machine, app, n, p) points checked"
+    ));
 }
 
 /// A correct 4-rank program (point-to-point ring + allreduce) must produce
-/// zero findings. Returns the number of findings.
-fn clean_comm_pass() -> usize {
+/// zero findings.
+fn clean_comm_pass(report: &mut Report) {
+    report.begin("comm");
     let world = World::new(system_g(), 2.8e9);
-    let report = mps::run(&world, 4, |ctx| {
+    let run = mps::run(&world, 4, |ctx| {
         let right = (ctx.rank() + 1) % ctx.size();
         let left = (ctx.rank() + ctx.size() - 1) % ctx.size();
         ctx.send(right, 1, vec![ctx.rank() as u64]);
@@ -105,20 +242,20 @@ fn clean_comm_pass() -> usize {
         ctx.compute(1e5);
         ctx.allreduce_sum(&[from_left[0] as f64]);
     });
-    let findings = check_report(&report);
+    let findings = check_report(&run);
     for finding in &findings {
-        eprintln!("analyze[clean ring]: {finding}");
+        report.finding("comm", "clean ring", finding.to_string(), false);
     }
-    println!(
+    report.progress(&format!(
         "comm pass: clean 4-rank ring checked ({} findings)",
         findings.len()
-    );
-    findings.len()
+    ));
 }
 
 /// Seed a 2-rank cross deadlock (both ranks receive before sending) and
-/// verify the checker reports the cycle. Returns true iff it fired.
-fn seeded_deadlock_pass() -> bool {
+/// verify the checker reports the cycle.
+fn seeded_deadlock_pass(report: &mut Report) {
+    report.begin("deadlock");
     let world = World::new(dori(), 2.0e9);
     let result = try_run(&world, 2, |ctx| {
         let peer = 1 - ctx.rank();
@@ -127,46 +264,62 @@ fn seeded_deadlock_pass() -> bool {
         ctx.send(peer, 7, vec![0u64]);
     });
     let Err(RunError::Deadlock(info)) = &result else {
-        eprintln!("analyze[seeded deadlock]: program unexpectedly completed");
-        return false;
+        report.finding(
+            "deadlock",
+            "seeded",
+            "program unexpectedly completed".into(),
+            false,
+        );
+        return;
     };
     let findings = check_deadlock(info);
-    for finding in &findings {
-        println!("seeded deadlock (expected): {finding}");
-    }
-    findings
+    let fired = findings
         .iter()
-        .any(|f| matches!(f, Finding::DeadlockCycle { .. }))
+        .any(|f| matches!(f, Finding::DeadlockCycle { .. }));
+    for finding in &findings {
+        report.finding("deadlock", "seeded", finding.to_string(), true);
+    }
+    if !fired {
+        report.finding(
+            "deadlock",
+            "seeded",
+            "seeded deadlock was NOT detected — checker is broken".into(),
+            false,
+        );
+    }
 }
 
 /// Run a traced 4-rank FT kernel and check the recorded spans conform.
-/// Returns the number of findings (all unexpected: the instrumentation is
-/// ours).
-fn obs_trace_pass() -> usize {
+fn obs_trace_pass(report: &mut Report) {
+    report.begin("trace");
     let world = World::new(system_g(), 2.8e9).with_obs(obs::ObsConfig::enabled());
     let cfg = npb::FtConfig::class(npb::Class::S);
-    let report = mps::run(&world, 4, move |ctx| npb::ft_kernel(ctx, cfg));
-    let Some(trace) = report.trace("analyze ft") else {
-        eprintln!("analyze[obs trace]: traced run produced no tracks");
-        return 1;
+    let run = mps::run(&world, 4, move |ctx| npb::ft_kernel(ctx, cfg));
+    let Some(trace) = run.trace("analyze ft") else {
+        report.finding(
+            "trace",
+            "4-rank FT",
+            "traced run produced no tracks".into(),
+            false,
+        );
+        return;
     };
     let findings = check_trace(&trace);
     for finding in &findings {
-        eprintln!("analyze[obs trace]: {finding}");
+        report.finding("trace", "4-rank FT", finding.to_string(), false);
     }
-    println!(
+    report.progress(&format!(
         "trace pass: 4-rank FT, {} spans on {} tracks checked ({} findings)",
         trace.span_count(),
         trace.tracks.len(),
         findings.len()
-    );
-    findings.len()
+    ));
 }
 
 /// Run a known-size surface sweep on a 4-thread pool and cross-check the
-/// pool's task accounting against the model-eval counter. Returns the
-/// number of findings (all unexpected: the grid size is known exactly).
-fn pool_pass() -> usize {
+/// pool's task accounting against the model-eval counter.
+fn pool_pass(report: &mut Report) {
+    report.begin("pool");
     let mach = MachineParams::system_g(2.8e9);
     let ft = FtModel::system_g();
     let fs = [1.6e9, 2.0e9, 2.4e9, 2.8e9];
@@ -192,43 +345,268 @@ fn pool_pass() -> usize {
         evals.get() - evals0,
     );
     for finding in &findings {
-        eprintln!("analyze[pool accounting]: {finding}");
+        report.finding("pool", "accounting", finding.to_string(), false);
     }
-    println!(
+    report.progress(&format!(
         "pool pass: {}x{} sweep on 4 threads checked ({} findings)",
         fs.len(),
         ps.len(),
         findings.len()
-    );
-    findings.len()
+    ));
 }
 
-/// Validate an emitted Perfetto trace-event file. Returns the number of
-/// validation errors.
-fn perfetto_file_pass(path: &str) -> usize {
-    let text = match std::fs::read_to_string(path) {
-        Ok(text) => text,
-        Err(e) => {
-            eprintln!("analyze[perfetto {path}]: cannot read: {e}");
-            return 1;
+/// Write an explorer witness as a Perfetto trace under
+/// `target/verify-witnesses/` (best effort — CI uploads these on failure).
+fn dump_witness(report: &Report, name: &str, p: usize, schedule: &[verify::Choice]) {
+    let dir = std::path::Path::new("target/verify-witnesses");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    let trace = witness_trace(name, p, schedule);
+    if obs::perfetto::write_file(&trace, &path).is_ok() {
+        report.progress(&format!(
+            "  witness: {} ({} steps)",
+            path.display(),
+            schedule.len()
+        ));
+    }
+}
+
+/// Schedule-space model checking over the seeded example worlds: the clean
+/// ring must certify, each seeded bug must be found (expected findings),
+/// and a bounded sweep of the real 4-rank FT kernel must stay quiet.
+fn verify_explorer_pass(report: &mut Report) {
+    report.begin("verify-explorer");
+    let world = programs::demo_world();
+
+    // Clean ring: certified, no findings, at several world sizes.
+    for p in [2usize, 3, 4] {
+        let ex = Explorer::default().explore(&world, p, programs::ring);
+        if ex.certified() {
+            report.progress(&format!(
+                "verify pass: ring p={p} certified over {} schedules",
+                ex.schedules
+            ));
+        } else {
+            for f in &ex.findings {
+                report.finding(
+                    "verify-explorer",
+                    &format!("ring p={p}"),
+                    f.to_string(),
+                    false,
+                );
+            }
+            if ex.truncated {
+                report.finding(
+                    "verify-explorer",
+                    &format!("ring p={p}"),
+                    "exploration truncated; certificate unavailable".into(),
+                    false,
+                );
+            }
         }
+    }
+
+    // Seeded bugs: each must fire within bounds.
+    seeded_explorer_case(
+        report,
+        &world,
+        "cyclic-deadlock",
+        programs::cyclic_deadlock,
+        |f| matches!(f, VerifyFinding::Deadlock { .. }),
+    );
+    seeded_explorer_case(
+        report,
+        &world,
+        "wildcard-race",
+        programs::wildcard_race,
+        |f| matches!(f, VerifyFinding::TagRace { .. }),
+    );
+    seeded_explorer_case(
+        report,
+        &world,
+        "wildcard-then-specific",
+        programs::wildcard_then_specific,
+        |f| matches!(f, VerifyFinding::Deadlock { .. }),
+    );
+
+    // The real FT kernel at 4 ranks, bounded: any finding is a real bug.
+    let bounded = Explorer {
+        max_schedules: 24,
+        ..Explorer::default()
     };
-    match obs::perfetto::validate(&text) {
-        Ok(rep) => {
-            println!(
-                "perfetto pass: {path} valid ({} span events on {} tracks, \
-                 {} counter events)",
-                rep.span_events,
-                rep.span_tracks.len(),
-                rep.counter_events
-            );
-            0
+    let cfg = npb::FtConfig::class(npb::Class::S);
+    let ex = bounded.explore(&world, 4, move |ctx| npb::ft_kernel(ctx, cfg));
+    for f in &ex.findings {
+        report.finding("verify-explorer", "ft p=4", f.to_string(), false);
+        let (VerifyFinding::Deadlock { witness, .. }
+        | VerifyFinding::TagRace { witness, .. }
+        | VerifyFinding::DeliveryOrderNondet {
+            witness_a: witness, ..
+        }) = f;
+        dump_witness(report, "ft-p4-unexpected", 4, witness);
+    }
+    report.progress(&format!(
+        "verify pass: FT p=4 swept {} schedules{} ({} findings)",
+        ex.schedules,
+        if ex.truncated { " (bounded)" } else { "" },
+        ex.findings.len()
+    ));
+}
+
+/// Run the explorer on a program seeded with exactly one bug class; the
+/// matching finding is expected, its absence (or any other finding class)
+/// is not.
+fn seeded_explorer_case<F>(
+    report: &mut Report,
+    world: &World,
+    name: &str,
+    program: fn(&mut mps::Ctx) -> u64,
+    is_seeded: F,
+) where
+    F: Fn(&VerifyFinding) -> bool,
+{
+    let p = 3;
+    let ex = Explorer::default().explore(world, p, program);
+    let mut fired = false;
+    for f in &ex.findings {
+        if is_seeded(f) {
+            fired = true;
+            report.finding("verify-explorer", name, f.to_string(), true);
+            if let VerifyFinding::Deadlock { blocked, witness } = f {
+                let minimized =
+                    verify::minimize_deadlock::<u64, _>(world, p, program, witness, blocked);
+                report.progress(&format!(
+                    "  minimized witness: {} -> {} steps",
+                    witness.len(),
+                    minimized.len()
+                ));
+                dump_witness(report, name, p, witness);
+            } else if let VerifyFinding::TagRace { witness, .. } = f {
+                dump_witness(report, name, p, witness);
+            }
         }
+    }
+    if !fired {
+        report.finding(
+            "verify-explorer",
+            name,
+            format!(
+                "seeded bug NOT detected in {} schedules — explorer is broken",
+                ex.schedules
+            ),
+            false,
+        );
+    }
+}
+
+/// Interval pre-certification of the Fig 5–9 sweep grids (the exact grids
+/// `tests/figure_shapes.rs` sweeps) and box bisection over the NPB
+/// workload ranges. A degenerate cell or box is a real model bug.
+fn verify_interval_pass(report: &mut Report) {
+    report.begin("verify-interval");
+    let mach = MachineParams::system_g(2.8e9);
+    let (ft, ep, cg) = (
+        FtModel::system_g(),
+        EpModel::system_g(),
+        CgModel::system_g(),
+    );
+    const DVFS: [f64; 4] = [1.6e9, 2.0e9, 2.4e9, 2.8e9];
+    const PS: [usize; 11] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+    let fig6_ns: Vec<f64> = (0..6).map(|k| f64::from(1u32 << (18 + k))).collect();
+    let fig8_ns: Vec<f64> = (0..5).map(|k| 75_000.0 * f64::from(1u32 << k)).collect();
+
+    let grids: [(&str, GridCertification, usize); 5] = [
+        (
+            "fig5 FT (p,f)",
+            certify_pf_grid(&ft, &mach, (1u64 << 20) as f64, &PS, &DVFS),
+            PS.len() * DVFS.len(),
+        ),
+        (
+            "fig6 FT (p,n)",
+            certify_pn_grid(&ft, &mach, &[16, 64, 256, 1024], &fig6_ns),
+            4 * fig6_ns.len(),
+        ),
+        (
+            "fig7 EP (p,f)",
+            certify_pf_grid(
+                &ep,
+                &mach,
+                (1u64 << 22) as f64,
+                &[1, 2, 4, 8, 16, 32, 64, 128],
+                &DVFS,
+            ),
+            8 * DVFS.len(),
+        ),
+        (
+            "fig8 CG (p,n)",
+            certify_pn_grid(&cg, &mach, &[16, 64, 256], &fig8_ns),
+            3 * fig8_ns.len(),
+        ),
+        (
+            "fig9 CG (p,f)",
+            certify_pf_grid(&cg, &mach, 75_000.0, &PS, &DVFS),
+            PS.len() * DVFS.len(),
+        ),
+    ];
+    for (name, cert, cells) in &grids {
+        if let Some((index, error)) = cert.degenerate {
+            report.finding(
+                "verify-interval",
+                name,
+                format!("degenerate cell at row-major index {index}: {error}"),
+                false,
+            );
+        } else {
+            report.progress(&format!(
+                "verify pass: {name} certified degenerate-free \
+                 ({}/{cells} cells by interval, {} exact)",
+                cert.interval_cells, cert.exact_cells
+            ));
+        }
+    }
+
+    let apps: [(&str, &dyn AppModel); 3] = [("FT", &ft), ("EP", &ep), ("CG", &cg)];
+    for (name, app) in apps {
+        let ctx = format!("{name} workload box");
+        match BoxSearch::default().certify_workload(app, &mach, Interval::new(1e5, 4e6), 64) {
+            BoxOutcome::Clean { certified_boxes } => report.progress(&format!(
+                "verify pass: {name} EE in (0,1] over n in [1e5, 4e6] at p=64 \
+                 ({certified_boxes} certified sub-boxes)"
+            )),
+            BoxOutcome::Degenerate { sub_box, error } => report.finding(
+                "verify-interval",
+                &ctx,
+                format!("degenerate sub-box {sub_box}: {error}"),
+                false,
+            ),
+            BoxOutcome::Inconclusive { sub_box } => report.finding(
+                "verify-interval",
+                &ctx,
+                format!("bisection inconclusive on {sub_box}"),
+                false,
+            ),
+        }
+    }
+}
+
+/// Validate an emitted Perfetto trace-event file (already read by the
+/// argument parser, so unreadable files are a usage error, not a finding).
+fn perfetto_file_pass(report: &mut Report, path: &str, text: &str) {
+    report.begin("perfetto");
+    match obs::perfetto::validate(text) {
+        Ok(rep) => report.progress(&format!(
+            "perfetto pass: {path} valid ({} span events on {} tracks, \
+             {} counter events)",
+            rep.span_events,
+            rep.span_tracks.len(),
+            rep.counter_events
+        )),
         Err(errors) => {
             for e in &errors {
-                eprintln!("analyze[perfetto {path}]: {}", e.0);
+                report.finding("perfetto", path, e.0.clone(), false);
             }
-            errors.len()
         }
     }
 }

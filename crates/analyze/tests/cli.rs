@@ -1,0 +1,120 @@
+//! Exit-code and `--json` contract of the `analyze` binary: `0` when all
+//! passes are clean, `1` on unexpected findings, `2` on usage errors —
+//! including a `--trace` file that is missing or unreadable, which must
+//! NOT be conflated with an analysis finding.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_analyze"))
+        .args(args)
+        .output()
+        .expect("analyze binary runs")
+}
+
+#[test]
+fn clean_run_exits_zero() {
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("analyze: all passes clean"), "{stdout}");
+}
+
+#[test]
+fn missing_trace_file_is_a_usage_error_not_a_finding() {
+    let out = run(&["--trace", "/nonexistent/trace.json"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read --trace file"), "{stderr}");
+    // No passes ran: stdout carries no progress lines.
+    assert!(out.stdout.is_empty(), "passes must not run on usage errors");
+}
+
+#[test]
+fn trace_flag_without_path_is_a_usage_error() {
+    let out = run(&["--trace"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = run(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage: analyze"), "{stderr}");
+}
+
+#[test]
+fn valid_trace_file_passes() {
+    let trace = obs::Trace::new("cli-test");
+    let path = std::env::temp_dir().join("analyze-cli-test-trace.json");
+    obs::perfetto::write_file(&trace, &path).expect("trace written");
+    let out = run(&["--trace", path.to_str().expect("utf8 temp path")]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn json_output_is_machine_readable_with_stable_field_order() {
+    let out = run(&["--verify", "--json"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+
+    // stdout is exactly the JSON document (progress went to stderr).
+    let doc = obs::json::parse(&stdout).expect("stdout parses as JSON");
+    assert_eq!(
+        doc.get("schema").and_then(obs::json::Json::as_str),
+        Some("analyze/1")
+    );
+    assert_eq!(
+        doc.get("unexpected").and_then(obs::json::Json::as_num),
+        Some(0.0)
+    );
+    let passes = doc
+        .get("passes")
+        .and_then(obs::json::Json::as_arr)
+        .expect("passes array");
+    let names: Vec<&str> = passes.iter().filter_map(obs::json::Json::as_str).collect();
+    for expected in [
+        "model",
+        "comm",
+        "deadlock",
+        "trace",
+        "pool",
+        "verify-explorer",
+        "verify-interval",
+    ] {
+        assert!(
+            names.contains(&expected),
+            "missing pass {expected}: {names:?}"
+        );
+    }
+
+    // The seeded bugs appear as findings flagged expected=true.
+    let findings = doc
+        .get("findings")
+        .and_then(obs::json::Json::as_arr)
+        .expect("findings array");
+    assert!(
+        findings.iter().any(|f| {
+            f.get("pass").and_then(obs::json::Json::as_str) == Some("verify-explorer")
+                && f.get("expected") == Some(&obs::json::Json::Bool(true))
+        }),
+        "expected seeded explorer findings in {stdout}"
+    );
+
+    // Stable field order: keys appear in the documented sequence, so the
+    // document is byte-diffable across runs.
+    let schema_at = stdout.find("\"schema\"").expect("schema key");
+    let passes_at = stdout.find("\"passes\"").expect("passes key");
+    let findings_at = stdout.find("\"findings\"").expect("findings key");
+    let unexpected_at = stdout.find("\"unexpected\"").expect("unexpected key");
+    assert!(schema_at < passes_at && passes_at < findings_at && findings_at < unexpected_at);
+    let first = findings_at
+        + stdout[findings_at..]
+            .find("{\"pass\"")
+            .expect("finding objects lead with pass");
+    let ctx_at = stdout[first..].find("\"context\"").expect("context key");
+    let msg_at = stdout[first..].find("\"message\"").expect("message key");
+    let exp_at = stdout[first..].find("\"expected\"").expect("expected key");
+    assert!(ctx_at < msg_at && msg_at < exp_at);
+}

@@ -60,7 +60,7 @@ fn tag_mismatch_is_reported_with_ranks_and_tags() {
         findings
             .iter()
             .any(|f| matches!(f, Finding::StuckOnFinished { edges }
-            if edges.iter().any(|e| e.from_rank == 1 && e.on_rank == 0 && e.tag == 9))),
+            if edges.iter().any(|e| e.from_rank == 1 && e.on_rank == Some(0) && e.tag == 9))),
         "no StuckOnFinished chain in {findings:?}"
     );
     assert!(

@@ -6,6 +6,8 @@
 //! configuration, plus a dependency-free timing harness for the `benches/`
 //! entry points.
 
+#![forbid(unsafe_code)]
+
 use mps::{Ctx, World};
 use npb::{
     cg_kernel, ep_kernel, ft_kernel, is_kernel, mg_kernel, CgConfig, Class, EpConfig, FtConfig,

@@ -20,6 +20,7 @@
 
 use npb::common::cg_proc_grid;
 
+use crate::interval::{AppBox, Interval};
 use crate::params::AppParams;
 
 use super::{allreduce_counts, AppModel};
@@ -110,6 +111,52 @@ impl AppModel for CgModel {
         );
         a.validate();
         a
+    }
+
+    /// Interval mirror of the formulas above (same association order).
+    ///
+    /// # Panics
+    /// Panics unless `p` is a power of two, like [`Self::app_params`].
+    fn app_params_box(&self, n: Interval, p: usize) -> Option<AppBox> {
+        if n.lo.is_nan() || n.lo <= 1.0 || p == 0 {
+            return None;
+        }
+        let (nprow, npcol) = cg_proc_grid(p);
+        let (nprow_f, npcol_f) = (nprow as f64, npcol as f64);
+        let pf = p as f64;
+        let lg_npcol = if npcol > 1 { npcol_f.log2() } else { 0.0 };
+
+        let spmvs = 26.0 * self.niter;
+        let dots = 54.0 * self.niter;
+        let self_partners = if npcol == nprow {
+            nprow_f
+        } else {
+            2.0 * nprow_f
+        };
+        let m_tr = spmvs * (pf - self_partners);
+        let b_tr = Interval::point(m_tr * 8.0) * n / Interval::point(npcol_f);
+        let m_rr = spmvs * pf * lg_npcol;
+        let b_rr = Interval::point(m_rr * 8.0) * n / Interval::point(nprow_f);
+        let (m_dot_each, b_dot_each) = allreduce_counts(p, 8.0);
+        let m_dot = dots * m_dot_each;
+        let b_dot = dots * b_dot_each;
+
+        let wc = Interval::point(self.wc_lin) * n;
+        let wm = Interval::point(self.wm_lin) * n;
+        let woc = Interval::point(self.woc_repl) * n * Interval::point(npcol_f - 1.0);
+        let wom =
+            (Interval::point(self.wom_coeff) * n * Interval::point(1.0 - 1.0 / pf.sqrt())).max(-wm);
+
+        Some(AppBox {
+            alpha: Interval::point(self.alpha),
+            wc,
+            wm,
+            woc,
+            wom,
+            messages: Interval::point(m_tr + m_rr + m_dot),
+            bytes: b_tr + b_rr + Interval::point(b_dot),
+            t_io: Interval::point(0.0),
+        })
     }
 }
 

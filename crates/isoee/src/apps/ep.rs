@@ -5,6 +5,7 @@
 //! for every `(p, f)` (Fig. 7), and scaling `n` cannot improve EE because
 //! `Ep` rises exactly as fast as `E1` (Fig. 8's discussion).
 
+use crate::interval::{AppBox, Interval};
 use crate::params::AppParams;
 
 use super::{allreduce_counts, AppModel};
@@ -59,6 +60,26 @@ impl AppModel for EpModel {
         );
         a.validate();
         a
+    }
+
+    // Interval mirror: only `Wc` depends on `n`; every other entry is a
+    // scalar in `p` and carries over as a point.
+    fn app_params_box(&self, n: Interval, p: usize) -> Option<AppBox> {
+        if n.lo.is_nan() || n.lo <= 0.0 || p == 0 {
+            return None;
+        }
+        let (messages, bytes) = allreduce_counts(p, self.payload_bytes);
+        let woc = messages * self.woc_round;
+        Some(AppBox {
+            alpha: Interval::point(self.alpha),
+            wc: Interval::point(self.wc_pair) * n,
+            wm: Interval::point(0.0),
+            woc: Interval::point(woc),
+            wom: Interval::point(0.0),
+            messages: Interval::point(messages),
+            bytes: Interval::point(bytes),
+            t_io: Interval::point(0.0),
+        })
     }
 }
 

@@ -21,6 +21,7 @@
 //! drops entirely into aggregate cache, a regime the full-size NPB grids
 //! never enter.
 
+use crate::interval::{AppBox, Interval};
 use crate::params::AppParams;
 
 use super::{allreduce_counts, AppModel};
@@ -105,6 +106,41 @@ impl AppModel for FtModel {
         );
         a.validate();
         a
+    }
+
+    // Interval mirror of the formulas above, in the same association order.
+    fn app_params_box(&self, n: Interval, p: usize) -> Option<AppBox> {
+        if n.lo.is_nan() || n.lo <= 1.0 || p == 0 {
+            return None;
+        }
+        let pf = p as f64;
+        let transposes = self.niter + 1.0;
+
+        let m_a2a = transposes * pf * (pf - 1.0);
+        let b_a2a = Interval::point(transposes * 16.0) * n * Interval::point(pf - 1.0)
+            / Interval::point(pf);
+        let (m_red_each, b_red_each) = allreduce_counts(p, 16.0);
+        let m_red = (2.0 * self.niter + 1.0) * m_red_each;
+        let b_red = (2.0 * self.niter + 1.0) * b_red_each;
+
+        let wc = (Interval::point(self.wc_nlogn) * n * n.log2() + Interval::point(self.wc_lin) * n)
+            .max(Interval::point(0.0));
+        let wm = Interval::point(self.wm_lin) * n;
+        let scale_frac = 1.0 - 1.0 / pf;
+        let woc = (Interval::point(self.woc_coeff) * n * Interval::point(scale_frac))
+            .max(-wc * Interval::point(0.95));
+        let wom = (Interval::point(self.wom_coeff) * n * Interval::point(scale_frac)).max(-wm);
+
+        Some(AppBox {
+            alpha: Interval::point(self.alpha),
+            wc,
+            wm,
+            woc,
+            wom,
+            messages: Interval::point(m_a2a + m_red),
+            bytes: b_a2a + Interval::point(b_red),
+            t_io: Interval::point(0.0),
+        })
     }
 }
 

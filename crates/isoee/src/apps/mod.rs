@@ -23,6 +23,7 @@ pub use cg::CgModel;
 pub use ep::EpModel;
 pub use ft::FtModel;
 
+use crate::interval::{AppBox, Interval};
 use crate::params::AppParams;
 
 /// A closed-form application model: `(n, p) → Appl` (Table 2).
@@ -37,6 +38,21 @@ pub trait AppModel: Sync {
     /// Evaluate the application-dependent vector at workload `n` and
     /// parallelism `p`.
     fn app_params(&self, n: f64, p: usize) -> AppParams;
+
+    /// Interval mirror of [`Self::app_params`]: the Table-2 box for a whole
+    /// workload *interval* at fixed `p`, sound for the ahead-of-time
+    /// verification passes ([`crate::interval`]) — every point evaluation
+    /// `app_params(n, p)` with `n` in the interval must lie inside the
+    /// returned box.
+    ///
+    /// The default returns `None` ("no mirror available"); callers then
+    /// fall back to per-point thin boxes. Implementations must follow the
+    /// exact floating-point association order of their `app_params`, as the
+    /// built-in NPB models do.
+    fn app_params_box(&self, n: Interval, p: usize) -> Option<AppBox> {
+        let _ = (n, p);
+        None
+    }
 }
 
 /// Message/byte totals of the mps recursive-doubling allreduce (with

@@ -1,0 +1,802 @@
+//! Interval abstract interpretation of the analytical model.
+//!
+//! Evaluates `T1/Tp/E1/Ep/EEF/EE` over parameter *boxes* instead of points,
+//! with outward-rounded interval arithmetic: each operation widens its
+//! result by one ulp per side (a few for the transcendental calls), so the
+//! interval result of a mirrored expression always contains every
+//! floating-point result the point evaluation in [`crate::model`] can
+//! produce on inputs drawn from the box. That containment is what lets a
+//! *single* interval evaluation certify a whole sweep grid:
+//!
+//! * if the enclosure of `E1` satisfies `lo > 0 ∧ hi < ∞`, no point in the
+//!   box can raise [`ModelError::DegenerateBaseline`];
+//! * if `hi ≤ 0`, *every* point in the box is degenerate;
+//! * otherwise the box straddles the boundary and must be bisected (the
+//!   `verify` crate's box driver) or confirmed point-by-point
+//!   ([`certify_pf_grid`]/[`certify_pn_grid`] fall back to exact
+//!   [`crate::model::ee`] calls for the undecided cells).
+//!
+//! The mirrors below reproduce the exact association order of the point
+//! formulas in [`crate::model`], [`MachineParams::at_frequency`] and the
+//! app models — the 1-ulp outward widening only absorbs the rounding of
+//! the *matching* floating-point operation, so a structural mismatch would
+//! silently void the containment guarantee. Keep them in lockstep.
+
+use crate::apps::AppModel;
+use crate::model::ModelError;
+use crate::params::{AppParams, MachineParams};
+
+/// A closed interval `[lo, hi]` of `f64` with outward-rounded arithmetic.
+///
+/// Invariants: `lo <= hi`, neither endpoint is NaN. Operations whose
+/// floating-point result would be NaN (`0·∞`, `∞−∞`, division by an
+/// interval containing zero) return [`Interval::ENTIRE`] — sound (it
+/// contains everything) but uninformative, which is exactly what an
+/// undecidable box should look like.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// The whole extended real line — the "I know nothing" element.
+    pub const ENTIRE: Self = Self {
+        lo: f64::NEG_INFINITY,
+        hi: f64::INFINITY,
+    };
+
+    /// The degenerate interval `[x, x]` (or [`Self::ENTIRE`] for NaN).
+    #[must_use]
+    pub fn point(x: f64) -> Self {
+        if x.is_nan() {
+            Self::ENTIRE
+        } else {
+            Self { lo: x, hi: x }
+        }
+    }
+
+    /// The interval `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics when `lo > hi` (NaN endpoints yield [`Self::ENTIRE`]).
+    #[must_use]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        if lo.is_nan() || hi.is_nan() {
+            return Self::ENTIRE;
+        }
+        assert!(lo <= hi, "inverted interval [{lo}, {hi}]");
+        Self { lo, hi }
+    }
+
+    /// The smallest interval containing every value in `xs`.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    #[must_use]
+    pub fn hull(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "hull of nothing");
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self::new(lo, hi)
+    }
+
+    /// Whether `x` lies in the interval.
+    #[must_use]
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Interval width `hi − lo` (∞ for unbounded intervals).
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Midpoint, clamped to finite for half-bounded intervals.
+    #[must_use]
+    pub fn mid(&self) -> f64 {
+        let m = 0.5 * (self.lo + self.hi);
+        if m.is_finite() {
+            m
+        } else {
+            0.5 * self.lo + 0.5 * self.hi
+        }
+    }
+
+    /// Split at the midpoint into `(lower, upper)` halves.
+    #[must_use]
+    pub fn split(&self) -> (Self, Self) {
+        let m = self.mid();
+        (Self::new(self.lo, m), Self::new(m, self.hi))
+    }
+
+    /// Both endpoints finite.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.lo.is_finite() && self.hi.is_finite()
+    }
+
+    /// Outward-widen by `n` ulps per side, mapping NaN endpoints to
+    /// [`Self::ENTIRE`].
+    fn widened(lo: f64, hi: f64, n: u32) -> Self {
+        if lo.is_nan() || hi.is_nan() {
+            return Self::ENTIRE;
+        }
+        let mut lo = lo;
+        let mut hi = hi;
+        for _ in 0..n {
+            lo = lo.next_down();
+            hi = hi.next_up();
+        }
+        Self { lo, hi }
+    }
+
+    /// Elementwise maximum with another interval (`f64::max` is exact, so
+    /// no widening is needed).
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Self {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// `log2` over a positive interval; non-positive boxes widen to
+    /// [`Self::ENTIRE`] (the point evaluation would be NaN/−∞ there).
+    #[must_use]
+    pub fn log2(self) -> Self {
+        if self.lo <= 0.0 {
+            return Self::ENTIRE;
+        }
+        Self::widened(self.lo.log2(), self.hi.log2(), 2)
+    }
+
+    /// `sqrt` over a non-negative interval (ENTIRE when partially
+    /// negative — the point evaluation would be NaN).
+    #[must_use]
+    pub fn sqrt(self) -> Self {
+        if self.lo < 0.0 {
+            return Self::ENTIRE;
+        }
+        Self::widened(self.lo.sqrt(), self.hi.sqrt(), 1)
+    }
+
+    /// `x^e` for a non-negative base interval and a fixed exponent
+    /// `e ≥ 0` (monotone, so endpoint evaluation is exact up to libm
+    /// error; widened 4 ulps per side to cover it).
+    ///
+    /// # Panics
+    /// Panics on a negative exponent.
+    #[must_use]
+    pub fn powf(self, e: f64) -> Self {
+        assert!(e >= 0.0, "powf mirror only covers non-negative exponents");
+        if self.lo < 0.0 {
+            return Self::ENTIRE;
+        }
+        Self::widened(self.lo.powf(e), self.hi.powf(e), 4)
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+impl std::ops::Add for Interval {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        Self::widened(self.lo + rhs.lo, self.hi + rhs.hi, 1)
+    }
+}
+
+impl std::ops::Sub for Interval {
+    type Output = Self;
+
+    fn sub(self, rhs: Self) -> Self {
+        Self::widened(self.lo - rhs.hi, self.hi - rhs.lo, 1)
+    }
+}
+
+impl std::ops::Neg for Interval {
+    type Output = Self;
+
+    fn neg(self) -> Self {
+        // Negation is exact: no widening.
+        Self {
+            lo: -self.hi,
+            hi: -self.lo,
+        }
+    }
+}
+
+impl std::ops::Mul for Interval {
+    type Output = Self;
+
+    fn mul(self, rhs: Self) -> Self {
+        let ps = [
+            self.lo * rhs.lo,
+            self.lo * rhs.hi,
+            self.hi * rhs.lo,
+            self.hi * rhs.hi,
+        ];
+        if ps.iter().any(|p| p.is_nan()) {
+            return Self::ENTIRE;
+        }
+        let lo = ps.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = ps.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self::widened(lo, hi, 1)
+    }
+}
+
+impl std::ops::Div for Interval {
+    type Output = Self;
+
+    fn div(self, rhs: Self) -> Self {
+        if rhs.lo <= 0.0 && rhs.hi >= 0.0 {
+            // Divisor straddles (or touches) zero: anything is possible.
+            return Self::ENTIRE;
+        }
+        let qs = [
+            self.lo / rhs.lo,
+            self.lo / rhs.hi,
+            self.hi / rhs.lo,
+            self.hi / rhs.hi,
+        ];
+        if qs.iter().any(|q| q.is_nan()) {
+            return Self::ENTIRE;
+        }
+        let lo = qs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = qs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self::widened(lo, hi, 1)
+    }
+}
+
+/// The machine-dependent vector (Table 1) as intervals — the abstract
+/// counterpart of [`MachineParams`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachBox {
+    /// Per-instruction time `tc`.
+    pub tc: Interval,
+    /// DRAM latency `tm`.
+    pub tm: Interval,
+    /// Message startup `ts`.
+    pub ts: Interval,
+    /// Per-byte time `tw`.
+    pub tw: Interval,
+    /// Idle power `P_sys_idle`.
+    pub p_sys_idle: Interval,
+    /// CPU delta `ΔPc`.
+    pub delta_pc: Interval,
+    /// Memory delta `ΔPm`.
+    pub delta_pm: Interval,
+    /// NIC delta `ΔP_NIC`.
+    pub delta_pnic: Interval,
+    /// Disk delta `ΔP_IO`.
+    pub delta_pio: Interval,
+}
+
+impl MachBox {
+    /// The thin box `{m}` — every field a point interval.
+    #[must_use]
+    pub fn from_params(m: &MachineParams) -> Self {
+        Self {
+            tc: Interval::point(m.tc.raw()),
+            tm: Interval::point(m.tm.raw()),
+            ts: Interval::point(m.ts.raw()),
+            tw: Interval::point(m.tw.raw()),
+            p_sys_idle: Interval::point(m.p_sys_idle.raw()),
+            delta_pc: Interval::point(m.delta_pc.raw()),
+            delta_pm: Interval::point(m.delta_pm.raw()),
+            delta_pnic: Interval::point(m.delta_pnic.raw()),
+            delta_pio: Interval::point(m.delta_pio.raw()),
+        }
+    }
+
+    /// The image of `base` under [`MachineParams::at_frequency`] for every
+    /// frequency in `f` — the abstract mirror of Eq. 20: `tc = CPI/f` and
+    /// `ΔPc = ΔPc_base · (f/f_base)^γ`; all other entries are
+    /// frequency-independent.
+    #[must_use]
+    pub fn over_frequencies(base: &MachineParams, f: Interval) -> Self {
+        let mut b = Self::from_params(base);
+        b.tc = Interval::point(base.cpi) / f;
+        b.delta_pc = Interval::point(base.delta_pc.raw())
+            * (f / Interval::point(base.f_hz)).powf(base.gamma);
+        b
+    }
+
+    /// Bandwidth variation: scale the per-byte time by `1/bw_scale` for
+    /// every scale factor in the interval (the `BW` axis of the paper's
+    /// `Mach(f, BW)` vector).
+    #[must_use]
+    pub fn over_bandwidth_scale(mut self, bw_scale: Interval) -> Self {
+        self.tw = self.tw / bw_scale;
+        self
+    }
+}
+
+/// The application-dependent vector (Table 2) as intervals — the abstract
+/// counterpart of [`AppParams`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppBox {
+    /// Overlap factor `α`.
+    pub alpha: Interval,
+    /// Sequential on-chip workload `Wc`.
+    pub wc: Interval,
+    /// Sequential off-chip workload `Wm`.
+    pub wm: Interval,
+    /// Parallel compute overhead `Woc`.
+    pub woc: Interval,
+    /// Parallel memory overhead `Wom`.
+    pub wom: Interval,
+    /// Total messages `M`.
+    pub messages: Interval,
+    /// Total bytes `B`.
+    pub bytes: Interval,
+    /// Sequential I/O time `T_IO`.
+    pub t_io: Interval,
+}
+
+impl AppBox {
+    /// The thin box `{a}` — every field a point interval.
+    #[must_use]
+    pub fn from_params(a: &AppParams) -> Self {
+        Self {
+            alpha: Interval::point(a.alpha),
+            wc: Interval::point(a.wc.raw()),
+            wm: Interval::point(a.wm.raw()),
+            woc: Interval::point(a.woc.raw()),
+            wom: Interval::point(a.wom.raw()),
+            messages: Interval::point(a.messages.raw()),
+            bytes: Interval::point(a.bytes.raw()),
+            t_io: Interval::point(a.t_io.raw()),
+        }
+    }
+
+    /// The app box for workload interval `n` at parallelism `p`: the
+    /// model's own interval mirror if it has one
+    /// ([`AppModel::app_params_box`]), else the thin box at the interval's
+    /// midpoint — only sound when `n` is a point, so a ranged `n` without
+    /// a mirror returns `None`.
+    #[must_use]
+    pub fn of_model(app: &dyn AppModel, n: Interval, p: usize) -> Option<Self> {
+        if let Some(b) = app.app_params_box(n, p) {
+            return Some(b);
+        }
+        if n.lo == n.hi {
+            return Some(Self::from_params(&app.app_params(n.lo, p)));
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// Model mirrors (must match crate::model association order exactly)
+// ---------------------------------------------------------------------
+
+/// Interval mirror of [`crate::model::t1`].
+#[must_use]
+pub fn t1(m: &MachBox, a: &AppBox) -> Interval {
+    a.alpha * (a.wc * m.tc + a.wm * m.tm + a.t_io)
+}
+
+/// Interval mirror of [`crate::model::t_net`].
+#[must_use]
+pub fn t_net(m: &MachBox, a: &AppBox) -> Interval {
+    a.messages * m.ts + a.bytes * m.tw
+}
+
+/// Interval mirror of [`crate::model::tp`].
+///
+/// # Panics
+/// Panics when `p == 0`.
+#[must_use]
+pub fn tp(m: &MachBox, a: &AppBox, p: usize) -> Interval {
+    assert!(p > 0, "need at least one processor");
+    a.alpha * ((a.wc + a.woc) * m.tc + (a.wm + a.wom) * m.tm + t_net(m, a) + a.t_io)
+        / Interval::point(p as f64)
+}
+
+/// Interval mirror of [`crate::model::e1`].
+#[must_use]
+pub fn e1(m: &MachBox, a: &AppBox) -> Interval {
+    t1(m, a) * m.p_sys_idle
+        + a.wc * m.tc * m.delta_pc
+        + a.wm * m.tm * m.delta_pm
+        + a.t_io * m.delta_pio
+}
+
+/// Interval mirror of [`crate::model::ep`].
+///
+/// # Panics
+/// Panics when `p == 0`.
+#[must_use]
+pub fn ep(m: &MachBox, a: &AppBox, p: usize) -> Interval {
+    tp(m, a, p) * Interval::point(p as f64) * m.p_sys_idle
+        + (a.wc + a.woc) * m.tc * m.delta_pc
+        + (a.wm + a.wom) * m.tm * m.delta_pm
+        + t_net(m, a) * m.delta_pnic
+        + a.t_io * m.delta_pio
+}
+
+/// The full abstract evaluation of one `(MachBox, AppBox, p)` box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelEnclosure {
+    /// Enclosure of `T1`.
+    pub t1: Interval,
+    /// Enclosure of `Tp`.
+    pub tp: Interval,
+    /// Enclosure of `E1`.
+    pub e1: Interval,
+    /// Enclosure of `Ep`.
+    pub ep: Interval,
+    /// Enclosure of `EEF`; `None` unless the baseline is certified
+    /// (otherwise the point evaluation errors somewhere in the box and a
+    /// ratio enclosure would be meaningless).
+    pub eef: Option<Interval>,
+    /// Enclosure of `EE`; `None` unless the baseline is certified.
+    pub ee: Option<Interval>,
+}
+
+impl ModelEnclosure {
+    /// Proof that **no** point of the box raises
+    /// [`ModelError::DegenerateBaseline`]: `E1` is positive and finite
+    /// everywhere.
+    #[must_use]
+    pub fn baseline_certified(&self) -> bool {
+        self.e1.lo > 0.0 && self.e1.hi.is_finite()
+    }
+
+    /// Proof that **every** point of the box is degenerate (`E1 ≤ 0`
+    /// throughout).
+    #[must_use]
+    pub fn provably_degenerate(&self) -> bool {
+        self.e1.hi <= 0.0
+    }
+
+    /// Proof that `EE ∈ (0, 1]` across the whole box (implies the baseline
+    /// certificate). Negative overheads can legitimately push EE slightly
+    /// above 1 (superlinear energy scaling), so this is a stronger claim
+    /// than degeneracy-freedom.
+    #[must_use]
+    pub fn ee_in_unit_certified(&self) -> bool {
+        self.ee.is_some_and(|ee| ee.lo > 0.0 && ee.hi <= 1.0)
+    }
+}
+
+/// Evaluate the whole model over a box. Mirrors
+/// [`crate::model::eef`]/[`crate::model::ee`]: the ratios are only formed
+/// when `E1` is certified positive and finite across the box.
+///
+/// # Panics
+/// Panics when `p == 0`.
+#[must_use]
+pub fn evaluate(m: &MachBox, a: &AppBox, p: usize) -> ModelEnclosure {
+    let e1v = e1(m, a);
+    let epv = ep(m, a, p);
+    let mut out = ModelEnclosure {
+        t1: t1(m, a),
+        tp: tp(m, a, p),
+        e1: e1v,
+        ep: epv,
+        eef: None,
+        ee: None,
+    };
+    if out.baseline_certified() {
+        let eefv = (epv - e1v) / e1v;
+        out.eef = Some(eefv);
+        out.ee = Some(Interval::point(1.0) / (Interval::point(1.0) + eefv));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Grid pre-certification for isoee::scaling
+// ---------------------------------------------------------------------
+
+/// How a sweep grid fared under ahead-of-time certification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridCertification {
+    /// Cells certified degenerate-free by pure interval reasoning.
+    pub interval_cells: usize,
+    /// Cells the intervals could not decide, confirmed by exact point
+    /// evaluation instead.
+    pub exact_cells: usize,
+    /// The first (row-major) cell that is *actually* degenerate, with the
+    /// exact model error the dynamic sweep would have produced there.
+    pub degenerate: Option<(usize, ModelError)>,
+}
+
+impl GridCertification {
+    /// Whole grid proven (or exactly confirmed) free of degenerate points.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.degenerate.is_none()
+    }
+}
+
+/// Certify the `(p, f)` sweep grid of [`crate::scaling::ee_surface_pf`]:
+/// rows are frequencies, columns processor counts, row-major indexing.
+///
+/// App parameters vary only per column, so one interval evaluation per
+/// column — against the hull of all frequencies — usually certifies the
+/// entire column (`O(|ps|)` evaluations for the whole grid). Undecided
+/// columns fall back to per-cell thin-frequency boxes, then to exact point
+/// confirmation, so the reported `degenerate` cell is always real and
+/// matches the dynamic sweep's first error exactly.
+///
+/// # Panics
+/// Panics when `ps` or `fs` is empty, or any `p == 0`.
+#[must_use]
+pub fn certify_pf_grid(
+    app: &dyn AppModel,
+    base: &MachineParams,
+    n: f64,
+    ps: &[usize],
+    fs: &[f64],
+) -> GridCertification {
+    assert!(!ps.is_empty() && !fs.is_empty(), "empty grid");
+    let f_hull = Interval::hull(fs);
+    let hull_mach = MachBox::over_frequencies(base, f_hull);
+    let mut cert = GridCertification {
+        interval_cells: 0,
+        exact_cells: 0,
+        degenerate: None,
+    };
+    for (j, &p) in ps.iter().enumerate() {
+        let a_box =
+            AppBox::of_model(app, Interval::point(n), p).expect("point workload always has a box");
+        if evaluate(&hull_mach, &a_box, p).baseline_certified() {
+            cert.interval_cells += fs.len();
+            continue;
+        }
+        for (i, &f) in fs.iter().enumerate() {
+            let cell_mach = MachBox::over_frequencies(base, Interval::point(f));
+            if evaluate(&cell_mach, &a_box, p).baseline_certified() {
+                cert.interval_cells += 1;
+                continue;
+            }
+            cert.exact_cells += 1;
+            if let Err(source) = crate::model::ee(&base.at_frequency(f), &app.app_params(n, p), p) {
+                let index = i * ps.len() + j;
+                if cert.degenerate.is_none_or(|(first, _)| index < first) {
+                    cert.degenerate = Some((index, source));
+                }
+            }
+        }
+    }
+    cert
+}
+
+/// Certify the `(p, n)` sweep grid of [`crate::scaling::ee_surface_pn`]:
+/// rows are workloads, columns processor counts, row-major indexing.
+///
+/// When the app model provides an interval mirror
+/// ([`AppModel::app_params_box`]), one evaluation per column over the
+/// workload hull can certify the column; otherwise each cell gets a thin
+/// box, with exact confirmation for the undecided ones.
+///
+/// # Panics
+/// Panics when `ps` or `ns` is empty, or any `p == 0`.
+#[must_use]
+pub fn certify_pn_grid(
+    app: &dyn AppModel,
+    mach: &MachineParams,
+    ps: &[usize],
+    ns: &[f64],
+) -> GridCertification {
+    assert!(!ps.is_empty() && !ns.is_empty(), "empty grid");
+    // The pn sweep re-derives each row's machine via `at_frequency(f_hz)`;
+    // mirror that so the box contains the recomputed tc/ΔPc exactly.
+    let mach_box = MachBox::over_frequencies(mach, Interval::point(mach.f_hz));
+    let n_hull = Interval::hull(ns);
+    let mut cert = GridCertification {
+        interval_cells: 0,
+        exact_cells: 0,
+        degenerate: None,
+    };
+    for (j, &p) in ps.iter().enumerate() {
+        if let Some(a_box) = app.app_params_box(n_hull, p) {
+            if evaluate(&mach_box, &a_box, p).baseline_certified() {
+                cert.interval_cells += ns.len();
+                continue;
+            }
+        }
+        for (i, &n) in ns.iter().enumerate() {
+            let a_box = AppBox::of_model(app, Interval::point(n), p)
+                .expect("point workload always has a box");
+            if evaluate(&mach_box, &a_box, p).baseline_certified() {
+                cert.interval_cells += 1;
+                continue;
+            }
+            cert.exact_cells += 1;
+            if let Err(source) =
+                crate::model::ee(&mach.at_frequency(mach.f_hz), &app.app_params(n, p), p)
+            {
+                let index = i * ps.len() + j;
+                if cert.degenerate.is_none_or(|(first, _)| index < first) {
+                    cert.degenerate = Some((index, source));
+                }
+            }
+        }
+    }
+    cert
+}
+
+/// Certify the frequency probes of [`crate::scaling::best_frequency`]:
+/// indexing follows `freqs` order.
+///
+/// # Panics
+/// Panics when `freqs` is empty or `p == 0`.
+#[must_use]
+pub fn certify_frequency_probes(
+    app: &dyn AppModel,
+    base: &MachineParams,
+    n: f64,
+    p: usize,
+    freqs: &[f64],
+) -> GridCertification {
+    assert!(!freqs.is_empty(), "need at least one frequency");
+    let a_box =
+        AppBox::of_model(app, Interval::point(n), p).expect("point workload always has a box");
+    let mut cert = GridCertification {
+        interval_cells: 0,
+        exact_cells: 0,
+        degenerate: None,
+    };
+    let hull_mach = MachBox::over_frequencies(base, Interval::hull(freqs));
+    if evaluate(&hull_mach, &a_box, p).baseline_certified() {
+        cert.interval_cells = freqs.len();
+        return cert;
+    }
+    for (index, &f) in freqs.iter().enumerate() {
+        let cell_mach = MachBox::over_frequencies(base, Interval::point(f));
+        if evaluate(&cell_mach, &a_box, p).baseline_certified() {
+            cert.interval_cells += 1;
+            continue;
+        }
+        cert.exact_cells += 1;
+        if let Err(source) = crate::model::ee(&base.at_frequency(f), &app.app_params(n, p), p) {
+            if cert.degenerate.is_none() {
+                cert.degenerate = Some((index, source));
+            }
+        }
+    }
+    cert
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{CgModel, EpModel, FtModel};
+    use crate::model;
+
+    fn mach() -> MachineParams {
+        MachineParams::system_g(2.8e9)
+    }
+
+    #[test]
+    fn point_arithmetic_encloses_f64_results() {
+        let a = Interval::point(0.1);
+        let b = Interval::point(0.2);
+        let s = a + b;
+        assert!(s.contains(0.1 + 0.2));
+        assert!(s.width() < 1e-15);
+        let p = a * b;
+        assert!(p.contains(0.1 * 0.2));
+        let q = a / b;
+        assert!(q.contains(0.1 / 0.2));
+    }
+
+    #[test]
+    fn division_by_zero_straddling_interval_is_entire() {
+        let x = Interval::point(1.0);
+        let d = Interval::new(-1.0, 2.0);
+        assert_eq!(x / d, Interval::ENTIRE);
+    }
+
+    #[test]
+    fn mul_handles_sign_combinations() {
+        let a = Interval::new(-2.0, 3.0);
+        let b = Interval::new(-5.0, 7.0);
+        let p = a * b;
+        for x in [-2.0, 0.0, 1.5, 3.0] {
+            for y in [-5.0, 0.0, 2.0, 7.0] {
+                assert!(p.contains(x * y), "{x}*{y} not in {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn nan_producing_ops_degrade_to_entire() {
+        let zero = Interval::point(0.0);
+        let inf = Interval::new(0.0, f64::INFINITY);
+        assert_eq!(zero * inf, Interval::ENTIRE);
+        assert_eq!(Interval::point(f64::NAN), Interval::ENTIRE);
+    }
+
+    #[test]
+    fn thin_box_evaluation_encloses_point_model() {
+        let m = mach();
+        let ft = FtModel::system_g();
+        for p in [1usize, 4, 64, 1024] {
+            let a = ft.app_params(1e6, p);
+            let enc = evaluate(&MachBox::from_params(&m), &AppBox::from_params(&a), p);
+            assert!(enc.t1.contains(model::t1(&m, &a).raw()));
+            assert!(enc.tp.contains(model::tp(&m, &a, p).raw()));
+            assert!(enc.e1.contains(model::e1(&m, &a).raw()));
+            assert!(enc.ep.contains(model::ep(&m, &a, p).raw()));
+            assert!(enc.baseline_certified());
+            let ee = model::ee(&m, &a, p).expect("positive baseline");
+            assert!(enc.ee.expect("certified").contains(ee));
+        }
+    }
+
+    #[test]
+    fn frequency_hull_encloses_every_dvfs_state() {
+        let base = mach();
+        let fs = [1.6e9, 2.0e9, 2.4e9, 2.8e9];
+        let hull = MachBox::over_frequencies(&base, Interval::hull(&fs));
+        for &f in &fs {
+            let m = base.at_frequency(f);
+            assert!(hull.tc.contains(m.tc.raw()), "tc at {f}");
+            assert!(hull.delta_pc.contains(m.delta_pc.raw()), "dPc at {f}");
+        }
+    }
+
+    #[test]
+    fn default_grids_certify_by_interval_alone() {
+        let base = mach();
+        let fs = [1.6e9, 2.0e9, 2.4e9, 2.8e9];
+        // Fig. 5 (FT), Fig. 7 (EP), Fig. 9 (CG) style grids.
+        let ft = certify_pf_grid(
+            &FtModel::system_g(),
+            &base,
+            (1u64 << 20) as f64,
+            &[1, 4, 16, 64, 256, 1024],
+            &fs,
+        );
+        assert!(ft.is_clean());
+        assert_eq!(ft.exact_cells, 0, "FT grid should certify by interval");
+        let ep = certify_pf_grid(&EpModel::system_g(), &base, 4e6, &[1, 8, 64, 128], &fs);
+        assert!(ep.is_clean() && ep.exact_cells == 0);
+        let cg = certify_pf_grid(&CgModel::system_g(), &base, 75_000.0, &[4, 16, 64], &fs);
+        assert!(cg.is_clean() && cg.exact_cells == 0);
+    }
+
+    #[test]
+    fn degenerate_cells_are_pinpointed_exactly() {
+        // Mirror of scaling's ThresholdModel: zero workload under n = 1e6.
+        struct Thresh;
+        impl AppModel for Thresh {
+            fn name(&self) -> &'static str {
+                "thresh"
+            }
+            fn app_params(&self, n: f64, _p: usize) -> AppParams {
+                if n < 1e6 {
+                    AppParams::ideal(0.0)
+                } else {
+                    AppParams::ideal(n)
+                }
+            }
+        }
+        let m = mach();
+        let cert = certify_pn_grid(&Thresh, &m, &[4, 16], &[1e3, 1e7]);
+        let (index, source) = cert.degenerate.expect("row 0 is degenerate");
+        assert_eq!(index, 0);
+        assert_eq!(
+            source,
+            ModelError::DegenerateBaseline {
+                e1: simcluster::units::Joules::ZERO
+            }
+        );
+        // Degenerate row second: row-major index jumps a full row.
+        let cert = certify_pn_grid(&Thresh, &m, &[4, 16], &[1e7, 1e3]);
+        assert_eq!(cert.degenerate.expect("row 1 degenerate").0, 2);
+    }
+}

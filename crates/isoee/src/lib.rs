@@ -34,6 +34,9 @@
 //!   paper's Figs. 3–4).
 //! * [`scaling`] — EE surfaces over `(p, f)` / `(p, n)`, iso-EE contours,
 //!   and the DVFS/parallelism advisor (§V.B's decision-making use case).
+//! * [`interval`] — outward-rounded interval evaluation of the model over
+//!   parameter *boxes*: ahead-of-time certification that a whole sweep
+//!   grid is free of degenerate baselines (or the exact offending cell).
 //!
 //! ## Quick start
 //!
@@ -48,10 +51,13 @@
 //! assert!(ee > 0.95); // EP is near-ideally iso-energy-efficient
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod apps;
 pub mod baselines;
 pub mod calibrate;
 pub mod hetero;
+pub mod interval;
 pub mod model;
 pub mod params;
 pub mod report;
@@ -62,6 +68,7 @@ pub use apps::{AppModel, CgModel, EpModel, FtModel};
 pub use baselines::{performance_efficiency, power_aware_speedup};
 pub use calibrate::{measure_alpha, measure_app_params, measured_machine_params};
 pub use hetero::{HeteroResult, ProcClass, Split};
+pub use interval::{AppBox, GridCertification, Interval, MachBox, ModelEnclosure};
 pub use model::{e0, e1, ee, eef, ep, t1, tp, ModelError};
 pub use params::{AppParams, MachineParams};
 pub use scaling::{

@@ -24,6 +24,14 @@
 //! aborts a sweep: every sweep entry point returns `Result`, carrying the
 //! *first* degenerate evaluation in the sweep's deterministic index order
 //! as a [`SweepError`].
+//!
+//! Surfaces and the advisor *pre-certify* their grids with the interval
+//! abstract interpreter ([`crate::interval`]) before any pool task is
+//! spawned: a clean grid is usually proven degenerate-free with one
+//! interval evaluation per column, and a degenerate grid is rejected
+//! up front with exactly the `SweepError` the dynamic sweep would have
+//! produced (same index, same error — the pre-pass confirms undecided
+//! cells with the exact model, outside the `isoee.model_evals` counter).
 
 use crate::apps::AppModel;
 use crate::model::{self, ModelError};
@@ -172,6 +180,13 @@ pub fn ee_surface_pf_with(
     ps: &[usize],
     fs: &[f64],
 ) -> Result<Surface, SweepError> {
+    if !ps.is_empty() && !fs.is_empty() {
+        if let Some((index, source)) =
+            crate::interval::certify_pf_grid(app, base, n, ps, fs).degenerate
+        {
+            return Err(SweepError { index, source });
+        }
+    }
     let rows = pool::parallel_map(cfg, fs, |&f| {
         let mach = base.at_frequency(f);
         ps.iter()
@@ -210,6 +225,13 @@ pub fn ee_surface_pn_with(
     ps: &[usize],
     ns: &[f64],
 ) -> Result<Surface, SweepError> {
+    if !ps.is_empty() && !ns.is_empty() {
+        if let Some((index, source)) =
+            crate::interval::certify_pn_grid(app, mach, ps, ns).degenerate
+        {
+            return Err(SweepError { index, source });
+        }
+    }
     let rows = pool::parallel_map(cfg, ns, |&n| {
         let m = mach.at_frequency(mach.f_hz);
         ps.iter()
@@ -351,6 +373,11 @@ pub fn best_frequency_with(
     freqs: &[f64],
 ) -> Result<(f64, f64), SweepError> {
     assert!(!freqs.is_empty(), "need at least one frequency");
+    if let Some((index, source)) =
+        crate::interval::certify_frequency_probes(app, base, n, p, freqs).degenerate
+    {
+        return Err(SweepError { index, source });
+    }
     let a = app.app_params(n, p);
     let ees = pool::parallel_map(cfg, freqs, |&f| ee_checked(&base.at_frequency(f), &a, p));
     let mut probed = Vec::with_capacity(freqs.len());

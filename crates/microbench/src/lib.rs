@@ -20,6 +20,8 @@
 //! an end-to-end validation that the measurement pipeline is unbiased — the
 //! recovered values must match the configured ones (tests assert this).
 
+#![forbid(unsafe_code)]
+
 pub mod fit;
 pub mod lmbench;
 pub mod mpptest;

@@ -14,6 +14,7 @@ use simcluster::{Segment, SegmentKind, SegmentLog, VirtualClock};
 use crate::envelope::{Envelope, INTERNAL_TAG_BASE};
 use crate::registry::{Registry, Verdict, WaitTarget};
 use crate::runtime::RankAbort;
+use crate::sched::{SchedGrant, SchedOp};
 use crate::stats::Counters;
 use crate::trace::{CommEvent, CommLog, CommOp};
 use crate::world::World;
@@ -373,6 +374,52 @@ impl<'w> Ctx<'w> {
         self.recv_raw(from, tag)
     }
 
+    /// Receive the next message carrying `tag` from *any* rank (the
+    /// `MPI_ANY_SOURCE` analog). Returns the matched source and payload.
+    ///
+    /// Unlike [`Ctx::recv`], which is deterministic (per-pair channels are
+    /// FIFO), the match order of `recv_any` genuinely depends on the
+    /// schedule: two concurrent senders can be matched in either order.
+    /// This is exactly the nondeterminism the `verify` crate's
+    /// schedule-space explorer enumerates.
+    ///
+    /// # Panics
+    /// Panics on tags ≥ 2³², payload type mismatches, or deadlock (under
+    /// [`crate::try_run`] the latter becomes a [`crate::RunError`]).
+    pub fn recv_any<T: Send + 'static>(&mut self, tag: u64) -> (usize, Vec<T>) {
+        assert!(tag < INTERNAL_TAG_BASE, "user tags must be < 2^32");
+        let source = self.permit(SchedOp::RecvAny { tag });
+        let env = match source {
+            // Controlled run: the scheduler resolved the wildcard to a
+            // concrete source whose message is already in flight.
+            Some(from) => self.take_envelope(from, tag),
+            None => self.take_envelope_any(tag),
+        };
+        let from = env.src;
+        let waited = self.clock.advance_to(Seconds::new(env.arrival_s));
+        self.log_wait(waited);
+        for (mine, theirs) in self.vclock.iter_mut().zip(&env.vc) {
+            *mine = (*mine).max(*theirs);
+        }
+        self.vclock[self.rank] += 1;
+        self.comm.events.push(CommEvent {
+            op: CommOp::Recv { from },
+            tag,
+            bytes: env.bytes,
+            time_s: self.now(),
+            waited_s: waited.raw(),
+            vc: self.vclock.clone(),
+        });
+        let payload = *env.payload.downcast::<Vec<T>>().unwrap_or_else(|_| {
+            panic!(
+                "rank {}: type mismatch receiving tag {tag} from rank {from} \
+                     ({} bytes)",
+                self.rank, env.bytes
+            )
+        });
+        (from, payload)
+    }
+
     /// Exchange with a partner: send `data`, then receive the partner's
     /// message with the same tag. Deadlock-free (sends never block).
     pub fn exchange<T: Send + 'static>(
@@ -396,6 +443,23 @@ impl<'w> Ctx<'w> {
         self.recv_raw(partner, tag)
     }
 
+    /// Park in the world's scheduler hook (when installed) until `op` is
+    /// granted. Returns the grant's wildcard-source choice. An `Abort`
+    /// grant unwinds the rank with its partial trace, exactly like a
+    /// deadlock abort; `try_run` reports [`crate::RunError::SchedulerAbort`].
+    fn permit(&mut self, op: SchedOp) -> Option<usize> {
+        let hook = self.world.sched.clone()?;
+        match hook.permit(self.rank, op) {
+            SchedGrant::Proceed { source } => source,
+            SchedGrant::Abort => {
+                self.registry.clear_blocked(self.rank);
+                self.drain_unconsumed();
+                let comm = std::mem::take(&mut self.comm);
+                std::panic::panic_any(RankAbort { comm });
+            }
+        }
+    }
+
     pub(crate) fn send_raw<T: Send + 'static>(
         &mut self,
         to: usize,
@@ -405,6 +469,7 @@ impl<'w> Ctx<'w> {
     ) {
         assert!(to < self.size, "send to rank {to} of {}", self.size);
         assert!(to != self.rank, "self-sends are not allowed (rank {to})");
+        self.permit(SchedOp::Send { to, tag });
         let bytes = (std::mem::size_of::<T>() * data.len()) as u64;
         let h = self.world.contention.effective(&self.hockney, concurrency);
         let t_net = Seconds::new(h.p2p(bytes));
@@ -443,6 +508,7 @@ impl<'w> Ctx<'w> {
     pub(crate) fn recv_raw<T: Send + 'static>(&mut self, from: usize, tag: u64) -> Vec<T> {
         assert!(from < self.size, "recv from rank {from} of {}", self.size);
         assert!(from != self.rank, "self-receives are not allowed");
+        self.permit(SchedOp::Recv { from, tag });
         let env = self.take_envelope(from, tag);
         let waited = self.clock.advance_to(Seconds::new(env.arrival_s));
         self.log_wait(waited);
@@ -475,8 +541,13 @@ impl<'w> Ctx<'w> {
         if let Some(pos) = self.pending[from].iter().position(|e| e.tag == tag) {
             return self.pending[from].remove(pos).expect("position exists");
         }
-        self.registry
-            .set_blocked(self.rank, WaitTarget { on: from, tag });
+        self.registry.set_blocked(
+            self.rank,
+            WaitTarget {
+                on: Some(from),
+                tag,
+            },
+        );
         self.last_probe = None;
         loop {
             self.abort_if_dead();
@@ -508,6 +579,68 @@ impl<'w> Ctx<'w> {
                     );
                 }
             }
+        }
+    }
+
+    /// Pull the first envelope matching `tag` from *any* source, buffering
+    /// non-matching messages. The blocked registration carries a wildcard
+    /// target (`on: None`), so deadlock detection falls back to the
+    /// registry's global terminal-state check.
+    fn take_envelope_any(&mut self, tag: u64) -> Envelope {
+        let sources: Vec<usize> = (0..self.size).filter(|&s| s != self.rank).collect();
+        for &from in &sources {
+            if let Some(pos) = self.pending[from].iter().position(|e| e.tag == tag) {
+                return self.pending[from].remove(pos).expect("position exists");
+            }
+        }
+        self.registry
+            .set_blocked(self.rank, WaitTarget { on: None, tag });
+        self.last_probe = None;
+        loop {
+            self.abort_if_dead();
+            let mut drained = false;
+            let mut disconnected = 0;
+            for &from in &sources {
+                loop {
+                    match self.receivers[from].try_recv() {
+                        Ok(env) => {
+                            self.registry.note_drain(from, self.rank);
+                            self.registry.bump_progress(self.rank);
+                            self.last_probe = None;
+                            drained = true;
+                            if env.tag == tag {
+                                self.registry.clear_blocked(self.rank);
+                                return env;
+                            }
+                            self.pending[from].push_back(env);
+                        }
+                        Err(std::sync::mpsc::TryRecvError::Empty) => break,
+                        Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                            disconnected += 1;
+                            break;
+                        }
+                    }
+                }
+            }
+            if drained {
+                continue;
+            }
+            if disconnected == sources.len() {
+                self.abort_if_dead();
+                // Every possible sender hung up with no match buffered: the
+                // awaited message can never arrive (see the sourced-receive
+                // disconnect path above for the rationale).
+                if let Some((verdict, _)) = self.registry.probe(self.rank) {
+                    self.registry.declare_dead(verdict);
+                    self.abort_if_dead();
+                }
+                panic!(
+                    "rank {}: all senders hung up — did a rank panic?",
+                    self.rank
+                );
+            }
+            std::thread::sleep(DEADLOCK_POLL);
+            self.deadlock_check();
         }
     }
 

@@ -44,11 +44,14 @@
 //! its own program order and received timestamps (a conservative parallel
 //! discrete-event scheme), never on host scheduling.
 
+#![forbid(unsafe_code)]
+
 mod collect;
 mod ctx;
 mod envelope;
 mod registry;
 mod runtime;
+pub mod sched;
 mod stats;
 pub mod trace;
 mod world;
@@ -56,6 +59,7 @@ mod world;
 pub use collect::ReduceOp;
 pub use ctx::Ctx;
 pub use runtime::{run, try_run, RankOutcome, RunReport};
+pub use sched::{SchedGrant, SchedOp, SchedulerHook};
 pub use stats::Counters;
 pub use trace::{CommEvent, CommLog, CommOp, DeadlockInfo, RunError, WaitEdge, USER_TAG_LIMIT};
 pub use world::World;

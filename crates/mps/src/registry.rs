@@ -20,8 +20,9 @@ use crate::trace::WaitEdge;
 /// What a blocked rank is waiting for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct WaitTarget {
-    /// The rank the message must come from.
-    pub on: usize,
+    /// The rank the message must come from; `None` for a wildcard receive
+    /// (`recv_any`), which any rank's send could satisfy.
+    pub on: Option<usize>,
     /// The tag the receive requires.
     pub tag: u64,
 }
@@ -133,21 +134,26 @@ impl Registry {
         let mut cur = start;
         loop {
             let target = blocked[cur]?;
+            let Some(on) = target.on else {
+                // Wildcard receive: the chain walk cannot continue (any rank
+                // could satisfy it), so fall back to a global check.
+                return self.probe_wildcard(&blocked, chain, cur, target.tag);
+            };
             // An envelope from the awaited rank already sits in `cur`'s
             // channel: `cur` will pull it as soon as the host scheduler runs
             // it, so the chain is not dead — it only *looks* stable because
             // a starved thread hasn't been scheduled between polls. Without
             // this check a loaded single-core host can false-positive on a
             // send that landed while both ranks were registered blocked.
-            if self.undelivered(target.on, cur) {
+            if self.undelivered(on, cur) {
                 return None;
             }
             chain.push(WaitEdge {
                 from_rank: cur,
-                on_rank: target.on,
+                on_rank: Some(on),
                 tag: target.tag,
             });
-            if self.finished[target.on].load(Ordering::SeqCst) {
+            if self.finished[on].load(Ordering::SeqCst) {
                 let progress = self.chain_progress(&chain);
                 return Some((
                     Verdict {
@@ -158,12 +164,12 @@ impl Registry {
                 ));
             }
             on_chain[cur] = true;
-            if on_chain[target.on] {
+            if on_chain[on] {
                 // Trim the prefix that leads into (but is not part of) the
                 // cycle so the reported edges are exactly the cycle.
                 let pos = chain
                     .iter()
-                    .position(|e| e.from_rank == target.on)
+                    .position(|e| e.from_rank == on)
                     .expect("cycle entry on chain");
                 let cycle: Vec<WaitEdge> = chain[pos..].to_vec();
                 let progress = self.chain_progress(&cycle);
@@ -175,8 +181,79 @@ impl Registry {
                     progress,
                 ));
             }
-            cur = target.on;
+            cur = on;
         }
+    }
+
+    /// Global terminal-state check reached when the chain walk hits a
+    /// wildcard receive at `cur`. A wildcard wait is only dead when *no*
+    /// rank can ever satisfy it: either every other rank finished (stuck
+    /// chain), or every unfinished rank is itself blocked with no envelope
+    /// in flight toward any blocked rank (global deadlock).
+    fn probe_wildcard(
+        &self,
+        blocked: &[Option<WaitTarget>],
+        mut chain: Vec<WaitEdge>,
+        cur: usize,
+        tag: u64,
+    ) -> Option<(Verdict, Vec<u64>)> {
+        // Anything already in flight toward `cur` will wake it.
+        if (0..self.p).any(|src| src != cur && self.undelivered(src, cur)) {
+            return None;
+        }
+        chain.push(WaitEdge {
+            from_rank: cur,
+            on_rank: None,
+            tag,
+        });
+        if (0..self.p)
+            .filter(|&r| r != cur)
+            .all(|r| self.finished[r].load(Ordering::SeqCst))
+        {
+            let progress = self.chain_progress(&chain);
+            return Some((
+                Verdict {
+                    edges: chain,
+                    cyclic: false,
+                },
+                progress,
+            ));
+        }
+        // Global deadlock: every rank finished or blocked, and no blocked
+        // rank has an undelivered envelope that could wake it.
+        for (r, slot) in blocked.iter().enumerate() {
+            if self.finished[r].load(Ordering::SeqCst) {
+                continue;
+            }
+            if slot.is_none() {
+                return None;
+            }
+            if (0..self.p).any(|src| src != r && self.undelivered(src, r)) {
+                return None;
+            }
+        }
+        for (r, slot) in blocked.iter().enumerate() {
+            if r == cur
+                || self.finished[r].load(Ordering::SeqCst)
+                || chain.iter().any(|e| e.from_rank == r)
+            {
+                continue;
+            }
+            let t = slot.expect("unfinished ranks are blocked here");
+            chain.push(WaitEdge {
+                from_rank: r,
+                on_rank: t.on,
+                tag: t.tag,
+            });
+        }
+        let progress = self.chain_progress(&chain);
+        Some((
+            Verdict {
+                edges: chain,
+                cyclic: true,
+            },
+            progress,
+        ))
     }
 
     fn chain_progress(&self, edges: &[WaitEdge]) -> Vec<u64> {
@@ -194,8 +271,20 @@ mod tests {
     #[test]
     fn probe_finds_two_cycle() {
         let r = Registry::new(2);
-        r.set_blocked(0, WaitTarget { on: 1, tag: 5 });
-        r.set_blocked(1, WaitTarget { on: 0, tag: 6 });
+        r.set_blocked(
+            0,
+            WaitTarget {
+                on: Some(1),
+                tag: 5,
+            },
+        );
+        r.set_blocked(
+            1,
+            WaitTarget {
+                on: Some(0),
+                tag: 6,
+            },
+        );
         let (v, _) = r.probe(0).expect("cycle");
         assert!(v.cyclic);
         assert_eq!(v.edges.len(), 2);
@@ -203,7 +292,7 @@ mod tests {
             v.edges[0],
             WaitEdge {
                 from_rank: 0,
-                on_rank: 1,
+                on_rank: Some(1),
                 tag: 5
             }
         );
@@ -211,7 +300,7 @@ mod tests {
             v.edges[1],
             WaitEdge {
                 from_rank: 1,
-                on_rank: 0,
+                on_rank: Some(0),
                 tag: 6
             }
         );
@@ -220,9 +309,27 @@ mod tests {
     #[test]
     fn probe_reports_chain_into_cycle_as_just_the_cycle() {
         let r = Registry::new(3);
-        r.set_blocked(0, WaitTarget { on: 1, tag: 1 });
-        r.set_blocked(1, WaitTarget { on: 2, tag: 2 });
-        r.set_blocked(2, WaitTarget { on: 1, tag: 3 });
+        r.set_blocked(
+            0,
+            WaitTarget {
+                on: Some(1),
+                tag: 1,
+            },
+        );
+        r.set_blocked(
+            1,
+            WaitTarget {
+                on: Some(2),
+                tag: 2,
+            },
+        );
+        r.set_blocked(
+            2,
+            WaitTarget {
+                on: Some(1),
+                tag: 3,
+            },
+        );
         let (v, _) = r.probe(0).expect("cycle");
         assert!(v.cyclic);
         assert_eq!(v.edges.len(), 2, "prefix rank 0 is not part of the cycle");
@@ -237,9 +344,21 @@ mod tests {
         // drained (at which point either rank 0 progresses or the cycle is
         // real).
         let r = Registry::new(2);
-        r.set_blocked(0, WaitTarget { on: 1, tag: 5 });
+        r.set_blocked(
+            0,
+            WaitTarget {
+                on: Some(1),
+                tag: 5,
+            },
+        );
         r.note_send(1, 0);
-        r.set_blocked(1, WaitTarget { on: 0, tag: 6 });
+        r.set_blocked(
+            1,
+            WaitTarget {
+                on: Some(0),
+                tag: 6,
+            },
+        );
         assert!(r.probe(0).is_none(), "in-flight envelope into rank 0");
         assert!(r.probe(1).is_none(), "same chain probed from rank 1");
         r.note_drain(1, 0);
@@ -251,14 +370,20 @@ mod tests {
     fn probe_detects_wait_on_finished_rank() {
         let r = Registry::new(2);
         r.mark_finished(0);
-        r.set_blocked(1, WaitTarget { on: 0, tag: 7 });
+        r.set_blocked(
+            1,
+            WaitTarget {
+                on: Some(0),
+                tag: 7,
+            },
+        );
         let (v, _) = r.probe(1).expect("stuck");
         assert!(!v.cyclic);
         assert_eq!(
             v.edges,
             vec![WaitEdge {
                 from_rank: 1,
-                on_rank: 0,
+                on_rank: Some(0),
                 tag: 7
             }]
         );
@@ -267,7 +392,13 @@ mod tests {
     #[test]
     fn probe_returns_none_while_a_chain_rank_runs() {
         let r = Registry::new(3);
-        r.set_blocked(0, WaitTarget { on: 1, tag: 1 });
+        r.set_blocked(
+            0,
+            WaitTarget {
+                on: Some(1),
+                tag: 1,
+            },
+        );
         // Rank 1 is running (not blocked): no verdict.
         assert!(r.probe(0).is_none());
     }

@@ -249,6 +249,9 @@ where
                 };
                 let result = program(&mut ctx);
                 registry.mark_finished(rank);
+                if let Some(hook) = &world.sched {
+                    hook.rank_finished(rank);
+                }
                 ctx.drain_unconsumed();
                 let mut log = ctx.log;
                 log.coalesce();
@@ -302,6 +305,21 @@ where
             cyclic: verdict.cyclic,
             comm,
         }));
+    }
+
+    if !aborted.is_empty() {
+        // Ranks unwound without a registry verdict: a scheduler hook tore
+        // the run down (`SchedGrant::Abort`).
+        let mut comm: Vec<CommLog> = (0..p).map(CommLog::new).collect();
+        for o in outcomes.into_iter().flatten() {
+            let rank = o.comm.rank;
+            comm[rank] = o.comm;
+        }
+        for log in aborted {
+            let rank = log.rank;
+            comm[rank] = log;
+        }
+        return Err(RunError::SchedulerAbort { comm });
     }
 
     let report = RunReport {

@@ -1,0 +1,90 @@
+//! Controllable scheduling: the hook the `verify` crate's schedule-space
+//! explorer drives.
+//!
+//! The production runtime lets the host OS interleave rank threads freely —
+//! sound for *timing* (virtual clocks are deterministic) but it executes
+//! only one interleaving of the message-matching decisions per run. A
+//! [`SchedulerHook`] installed via `World::with_scheduler` turns every
+//! point-to-point operation into a *decision point*: the rank parks inside
+//! [`SchedulerHook::permit`] until the controller grants it the right to
+//! execute exactly one operation. A controller that serializes grants (at
+//! most one rank between parks) obtains full control over the interleaving
+//! of sends, receives and — through them — collectives, and can therefore
+//! enumerate the schedule space of a small world exhaustively.
+//!
+//! The contract, relied on by `verify::explore`:
+//!
+//! * `permit(rank, op)` is called **before** any effect of `op` (no channel
+//!   push, no clock advance, no trace event). It blocks until the grant.
+//! * A grant of [`SchedGrant::Abort`] makes the rank unwind immediately with
+//!   its partial communication trace; `try_run` surfaces the teardown as
+//!   [`crate::RunError::SchedulerAbort`].
+//! * For [`SchedOp::RecvAny`], the grant's `source` picks which sender the
+//!   wildcard receive matches. The controller must only grant a receive
+//!   whose message has already been sent (and whose sender has parked
+//!   again), so the receive completes without blocking.
+//! * [`SchedulerHook::rank_finished`] fires after the rank's program
+//!   returns, before its inbox drain.
+
+/// A point-to-point operation a rank is about to perform. Collectives are
+/// built from these, so a controller sees every message of a collective as
+/// its own decision point (with an internal `tag ≥ 2^32`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SchedOp {
+    /// A send of `tag` to rank `to` (never blocks; always enabled).
+    Send {
+        /// Destination rank.
+        to: usize,
+        /// Message tag.
+        tag: u64,
+    },
+    /// A blocking receive of `tag` from rank `from` (enabled once a
+    /// matching message sits in the `from → self` channel).
+    Recv {
+        /// Source rank.
+        from: usize,
+        /// Message tag.
+        tag: u64,
+    },
+    /// A wildcard receive of `tag` from any rank — the operation whose
+    /// match order is genuinely schedule-dependent.
+    RecvAny {
+        /// Message tag.
+        tag: u64,
+    },
+}
+
+impl std::fmt::Display for SchedOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedOp::Send { to, tag } => write!(f, "send(to {to}, tag {tag})"),
+            SchedOp::Recv { from, tag } => write!(f, "recv(from {from}, tag {tag})"),
+            SchedOp::RecvAny { tag } => write!(f, "recv_any(tag {tag})"),
+        }
+    }
+}
+
+/// The controller's reply to a [`SchedulerHook::permit`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedGrant {
+    /// Execute the operation. For [`SchedOp::RecvAny`], `source` names the
+    /// sender whose message the receive must match; `None` for every other
+    /// operation.
+    Proceed {
+        /// Matched source for a wildcard receive.
+        source: Option<usize>,
+    },
+    /// Tear the run down: the rank unwinds with its partial trace.
+    Abort,
+}
+
+/// A controllable scheduler. Implementations live outside `mps` (the
+/// `verify` crate's explorer and witness replayer); the runtime only calls
+/// the two hooks.
+pub trait SchedulerHook: Send + Sync + std::fmt::Debug {
+    /// Block until `rank` may execute `op` (or the run is torn down).
+    fn permit(&self, rank: usize, op: SchedOp) -> SchedGrant;
+
+    /// `rank`'s program returned.
+    fn rank_finished(&self, rank: usize);
+}

@@ -116,19 +116,27 @@ impl CommLog {
 pub struct WaitEdge {
     /// The blocked rank.
     pub from_rank: usize,
-    /// The rank it waits for a message from.
-    pub on_rank: usize,
+    /// The rank it waits for a message from; `None` for a wildcard
+    /// receive ([`crate::Ctx::recv_any`]), which any rank could satisfy.
+    pub on_rank: Option<usize>,
     /// The tag it waits for.
     pub tag: u64,
 }
 
 impl std::fmt::Display for WaitEdge {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "rank {} waits on rank {} (tag {})",
-            self.from_rank, self.on_rank, self.tag
-        )
+        match self.on_rank {
+            Some(on) => write!(
+                f,
+                "rank {} waits on rank {} (tag {})",
+                self.from_rank, on, self.tag
+            ),
+            None => write!(
+                f,
+                "rank {} waits on any rank (tag {})",
+                self.from_rank, self.tag
+            ),
+        }
     }
 }
 
@@ -139,12 +147,28 @@ pub enum RunError {
     /// blocked ranks, or a chain ending at a rank that already finished
     /// (so the awaited message can never be sent).
     Deadlock(DeadlockInfo),
+    /// An installed [`crate::sched::SchedulerHook`] granted
+    /// [`crate::sched::SchedGrant::Abort`]: the controller tore the run
+    /// down (schedule-space exploration cutting a branch short, or the
+    /// controller's own deadlock verdict). Carries the partial per-rank
+    /// communication traces collected up to the teardown.
+    SchedulerAbort {
+        /// Partial communication traces, indexed by rank.
+        comm: Vec<CommLog>,
+    },
 }
 
 impl std::fmt::Display for RunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RunError::Deadlock(info) => write!(f, "{info}"),
+            RunError::SchedulerAbort { comm } => {
+                write!(
+                    f,
+                    "run aborted by its scheduler hook ({} ranks)",
+                    comm.len()
+                )
+            }
         }
     }
 }
@@ -227,9 +251,19 @@ mod tests {
     fn wait_edge_displays_ranks_and_tag() {
         let e = WaitEdge {
             from_rank: 1,
-            on_rank: 0,
+            on_rank: Some(0),
             tag: 7,
         };
         assert_eq!(e.to_string(), "rank 1 waits on rank 0 (tag 7)");
+    }
+
+    #[test]
+    fn wildcard_wait_edge_displays_any() {
+        let e = WaitEdge {
+            from_rank: 2,
+            on_rank: None,
+            tag: 3,
+        };
+        assert_eq!(e.to_string(), "rank 2 waits on any rank (tag 3)");
     }
 }

@@ -1,9 +1,13 @@
 //! Run configuration: cluster, DVFS state, overlap factor, contention.
 
+use std::sync::Arc;
+
 use netsim::{ContentionModel, Hockney};
 use obs::ObsConfig;
 use simcluster::units::Seconds;
 use simcluster::ClusterSpec;
+
+use crate::sched::SchedulerHook;
 
 /// Everything a simulated run needs to know about its environment.
 #[derive(Debug, Clone)]
@@ -21,6 +25,11 @@ pub struct World {
     /// Defaults to [`ObsConfig::disabled`] — a disabled config costs one
     /// branch per instrumented event.
     pub obs: ObsConfig,
+    /// Controllable-scheduler hook (`None` in production runs). When set,
+    /// every point-to-point operation parks in
+    /// [`SchedulerHook::permit`] before executing — the lever the
+    /// `verify` crate's schedule-space explorer pulls.
+    pub sched: Option<Arc<dyn SchedulerHook>>,
 }
 
 impl World {
@@ -46,6 +55,7 @@ impl World {
             alpha: 1.0,
             contention: ContentionModel::new(knee, 0.15),
             obs: ObsConfig::disabled(),
+            sched: None,
         }
     }
 
@@ -73,6 +83,14 @@ impl World {
     /// `World::new(system_g(), 2.8e9).with_obs(ObsConfig::perfetto("run.json"))`.
     pub fn with_obs(mut self, obs: ObsConfig) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Install a controllable scheduler: every point-to-point operation of
+    /// every rank will park in [`SchedulerHook::permit`] before executing.
+    /// Used by the `verify` crate to enumerate and replay schedules.
+    pub fn with_scheduler(mut self, sched: Arc<dyn SchedulerHook>) -> Self {
+        self.sched = Some(sched);
         self
     }
 

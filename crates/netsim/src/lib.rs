@@ -16,6 +16,8 @@
 //! The crate is dependency-free on the rest of the workspace so the
 //! analytical model (`isoee`) and the runtime (`mps`) can share it.
 
+#![forbid(unsafe_code)]
+
 pub mod collectives;
 pub mod contention;
 pub mod hockney;

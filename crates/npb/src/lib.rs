@@ -20,6 +20,8 @@
 //! about how workload scales with `n` and `p`, which the scaled classes
 //! preserve.
 
+#![forbid(unsafe_code)]
+
 pub mod cg;
 pub mod common;
 pub mod ep;

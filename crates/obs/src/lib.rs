@@ -29,6 +29,8 @@
 //! The consumer-facing switch is [`ObsConfig`]: disabled tracing costs a
 //! single branch per event in the `mps` runtime.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod json;
 pub mod metrics;

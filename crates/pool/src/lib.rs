@@ -47,6 +47,8 @@
 //! panicking task observed). Nested `parallel_map` calls are allowed —
 //! each run spawns its own scope.
 
+#![forbid(unsafe_code)]
+
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};

@@ -15,6 +15,8 @@
 //! * [`session`] — the start/tag/stop measurement API.
 //! * [`report`] — text/CSV rendering of profiles and energy summaries.
 
+#![forbid(unsafe_code)]
+
 pub mod profile;
 pub mod report;
 pub mod session;

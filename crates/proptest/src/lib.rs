@@ -17,6 +17,8 @@
 //! no shrinking — failing inputs are printed in full by the assertion
 //! message instead.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Deterministic xorshift64* generator used for all value generation.

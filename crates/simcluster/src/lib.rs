@@ -30,6 +30,8 @@
 //! * [`units`] — dimensional-analysis newtypes (`Seconds`, `Joules`, …)
 //!   shared by the whole workspace.
 
+#![forbid(unsafe_code)]
+
 pub mod clock;
 pub mod cpu;
 pub mod energy;

@@ -1,0 +1,134 @@
+//! Interval box bisection over the iso-EE analytical model.
+//!
+//! [`BoxSearch`] drives [`isoee::interval`]'s outward-rounded abstract
+//! interpreter over a workload interval `n` at fixed machine parameters
+//! and parallelism: if one evaluation certifies `EE ∈ (0, 1]` across the
+//! whole box, done; otherwise the box is bisected and the halves tried
+//! recursively. The search returns
+//!
+//! * [`BoxOutcome::Clean`] — every leaf box carries an interval
+//!   certificate, so **no** point of the original box raises
+//!   [`ModelError::DegenerateBaseline`] and `EE ∈ (0, 1]` throughout;
+//! * [`BoxOutcome::Degenerate`] — a sub-box was found whose *entire*
+//!   extent is degenerate (`E1 ≤ 0` by interval proof) or whose exact
+//!   midpoint evaluation errors; the sub-box and the exact
+//!   [`ModelError`] are returned, matching what `isoee::scaling` would
+//!   report dynamically;
+//! * [`BoxOutcome::Inconclusive`] — the depth budget ran out on a sub-box
+//!   that straddles the degeneracy boundary (its midpoint evaluates
+//!   cleanly but the interval certificate does not close). Absence of a
+//!   finding is then not a proof.
+//!
+//! Degenerate sub-boxes are searched left-first, so the reported witness
+//! is the leftmost one at the deepest refinement — deterministic across
+//! runs and thread counts.
+
+use isoee::interval::{evaluate, AppBox, Interval, MachBox};
+use isoee::{AppModel, MachineParams, ModelError};
+
+/// Bisection budget and entry points.
+#[derive(Debug, Clone, Copy)]
+pub struct BoxSearch {
+    /// Maximum bisection depth. Each level halves the box, so depth `d`
+    /// resolves features down to `width / 2^d`.
+    pub max_depth: usize,
+}
+
+impl Default for BoxSearch {
+    fn default() -> Self {
+        Self { max_depth: 24 }
+    }
+}
+
+/// The verdict on one searched box.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoxOutcome {
+    /// Every point certified: `EE ∈ (0, 1]` and no `DegenerateBaseline`
+    /// anywhere in the box.
+    Clean {
+        /// Number of leaf sub-boxes whose interval certificates compose
+        /// into the proof.
+        certified_boxes: usize,
+    },
+    /// A degenerate sub-box, with the exact error its midpoint raises.
+    Degenerate {
+        /// The offending workload sub-interval.
+        sub_box: Interval,
+        /// The exact model error, identical to what the dynamic sweep
+        /// path would surface.
+        error: ModelError,
+    },
+    /// Depth budget exhausted on a boundary-straddling sub-box.
+    Inconclusive {
+        /// The unresolved workload sub-interval.
+        sub_box: Interval,
+    },
+}
+
+impl BoxSearch {
+    /// Certify `EE ∈ (0, 1]` for `app` on `mach` across the workload
+    /// interval `n` at parallelism `p`.
+    ///
+    /// # Panics
+    /// Panics when `p == 0` or `n` is not finite.
+    #[must_use]
+    pub fn certify_workload(
+        &self,
+        app: &dyn AppModel,
+        mach: &MachineParams,
+        n: Interval,
+        p: usize,
+    ) -> BoxOutcome {
+        assert!(p > 0, "need at least one processor");
+        assert!(n.is_finite(), "workload box must be finite, got {n}");
+        let m = MachBox::from_params(mach);
+        let mut certified = 0usize;
+        match self.go(app, mach, &m, n, p, self.max_depth, &mut certified) {
+            None => BoxOutcome::Clean {
+                certified_boxes: certified,
+            },
+            Some(bad) => bad,
+        }
+    }
+
+    /// `None` = the whole of `n` is certified; `Some` = the first failure
+    /// (left-first, depth-first).
+    #[allow(clippy::too_many_arguments)]
+    fn go(
+        &self,
+        app: &dyn AppModel,
+        mach: &MachineParams,
+        m: &MachBox,
+        n: Interval,
+        p: usize,
+        depth: usize,
+        certified: &mut usize,
+    ) -> Option<BoxOutcome> {
+        if let Some(a) = AppBox::of_model(app, n, p) {
+            let enc = evaluate(m, &a, p);
+            if enc.ee_in_unit_certified() {
+                *certified += 1;
+                return None;
+            }
+            if enc.provably_degenerate() {
+                let error = isoee::model::ee(mach, &app.app_params(n.mid(), p), p)
+                    .expect_err("interval proved E1 <= 0 on the whole box; midpoint must error");
+                return Some(BoxOutcome::Degenerate { sub_box: n, error });
+            }
+        }
+        // No interval certificate at this box (no mirror, or the enclosure
+        // straddles the boundary): probe the midpoint exactly, then refine.
+        if let Err(error) = isoee::model::ee(mach, &app.app_params(n.mid(), p), p) {
+            return Some(BoxOutcome::Degenerate {
+                sub_box: Interval::point(n.mid()),
+                error,
+            });
+        }
+        if depth == 0 || n.width() == 0.0 {
+            return Some(BoxOutcome::Inconclusive { sub_box: n });
+        }
+        let (lo, hi) = n.split();
+        self.go(app, mach, m, lo, p, depth - 1, certified)
+            .or_else(|| self.go(app, mach, m, hi, p, depth - 1, certified))
+    }
+}

@@ -1,0 +1,39 @@
+//! # verify — ahead-of-time verification for the iso-EE stack
+//!
+//! Two analysis engines that prove properties *before* a run or sweep is
+//! committed, complementing the trace-based (single-execution) checkers in
+//! `analyze`:
+//!
+//! * **Schedule-space model checking** ([`explore`]): a stateless DFS over
+//!   the send/recv/collective interleavings of a small [`mps::World`]
+//!   (p ≤ 4 is the intended scale), driven through the runtime's
+//!   [`mps::SchedulerHook`] so every explored schedule is a *real*
+//!   execution of the real runtime, not an abstraction of it. Sleep-set
+//!   partial-order reduction prunes commuting interleavings; deadlocks,
+//!   wildcard-receive tag races and delivery-order nondeterminism are
+//!   reported with replayable schedule witnesses ([`witness`]) that can be
+//!   minimized and exported through the existing obs/Perfetto tracing.
+//! * **Interval box bisection** ([`boxes`]): drives
+//!   [`isoee::interval`]'s outward-rounded abstract interpreter over
+//!   continuous parameter boxes, proving `EE ∈ (0, 1]` and the absence of
+//!   `DegenerateBaseline` across a whole box — or bisecting down to the
+//!   exact offending sub-box.
+//!
+//! The single-trace vector-clock checker (`analyze::check_report`) can
+//! only judge the one interleaving that happened; the explorer covers the
+//! interleavings that *could* happen. The two agree by construction: a
+//! world the explorer certifies bug-free yields no findings from the trace
+//! checker on any explored schedule's replay (the workspace's
+//! `tests/verification.rs` enforces that cross-check on the 4-rank FT
+//! example).
+
+#![forbid(unsafe_code)]
+
+pub mod boxes;
+pub mod explore;
+pub mod programs;
+pub mod witness;
+
+pub use boxes::{BoxOutcome, BoxSearch};
+pub use explore::{Choice, Exploration, Explorer, VerifyFinding};
+pub use witness::{minimize_deadlock, replay, witness_trace};

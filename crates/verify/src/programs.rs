@@ -1,0 +1,97 @@
+//! Seeded verification programs: tiny `mps` worlds with known-good and
+//! known-bad communication structures.
+//!
+//! These are the explorer's ground truth — each program either has a
+//! certificate (`ring`) or a seeded bug the explorer must find within its
+//! bounds (a structural deadlock, a wildcard tag race, and a
+//! *schedule-dependent* deadlock that a single lucky trace never
+//! exhibits). `analyze --verify` and the workspace CI `verify` job run the
+//! explorer over exactly these worlds, and `crates/verify`'s tests pin the
+//! expected findings.
+
+use mps::{Ctx, World};
+use simcluster::system_g;
+
+/// Tag used by the healthy ring rounds.
+pub const TAG_RING: u64 = 1;
+/// Tag used by the cyclic blocking receives.
+pub const TAG_CYCLE: u64 = 2;
+/// Tag contended by the wildcard receivers.
+pub const TAG_RACE: u64 = 7;
+/// Tag used by the schedule-dependent deadlock.
+pub const TAG_DEP: u64 = 5;
+
+/// The small world every seeded program runs on: the paper's System G
+/// cluster at its nominal 2.8 GHz.
+#[must_use]
+pub fn demo_world() -> World {
+    World::new(system_g(), 2.8e9)
+}
+
+/// A clean unidirectional ring exchange: every rank eagerly sends to its
+/// successor, then receives from its predecessor. Deadlock-free and
+/// deterministic for every `p ≥ 2`; the explorer certifies it.
+pub fn ring(ctx: &mut Ctx) -> u64 {
+    let p = ctx.size();
+    let r = ctx.rank();
+    ctx.send(r.wrapping_add(1) % p, TAG_RING, vec![r as u64]);
+    let v: Vec<u64> = ctx.recv((r + p - 1) % p, TAG_RING);
+    v[0]
+}
+
+/// A structural deadlock behind a healthy warm-up round: after one clean
+/// ring exchange, every rank blocks receiving from its *successor* while
+/// the matching sends sit *after* the receives — a cyclic wait no schedule
+/// escapes. The warm-up gives the deadlock witness removable fat, which is
+/// what makes [`crate::minimize_deadlock`] demonstrable: the minimal
+/// forcing prefix is empty because the deadlock is inevitable.
+pub fn cyclic_deadlock(ctx: &mut Ctx) -> u64 {
+    let p = ctx.size();
+    let r = ctx.rank();
+    ctx.send((r + 1) % p, TAG_RING, vec![r as u64]);
+    let warm: Vec<u64> = ctx.recv((r + p - 1) % p, TAG_RING);
+    let v: Vec<u64> = ctx.recv((r + 1) % p, TAG_CYCLE);
+    ctx.send((r + p - 1) % p, TAG_CYCLE, vec![r as u64 + warm[0]]);
+    v[0] + warm[0]
+}
+
+/// A wildcard tag race: rank 0 drains `p - 1` messages with
+/// `recv_any(TAG_RACE)` while every other rank sends one. Which sender
+/// matches each wildcard depends on the schedule, so the explorer reports
+/// both a [`crate::VerifyFinding::TagRace`] and (because rank 0's result
+/// folds the source order in) delivery-order nondeterminism.
+pub fn wildcard_race(ctx: &mut Ctx) -> u64 {
+    if ctx.rank() == 0 {
+        let mut acc = 0u64;
+        for _ in 1..ctx.size() {
+            let (src, v): (usize, Vec<u64>) = ctx.recv_any(TAG_RACE);
+            acc = acc * 100 + (src as u64) * 10 + v[0];
+        }
+        acc
+    } else {
+        ctx.send(0, TAG_RACE, vec![ctx.rank() as u64]);
+        0
+    }
+}
+
+/// A *schedule-dependent* deadlock — the case the single-trace vector-clock
+/// checker structurally cannot see. Rank 0 takes one wildcard receive and
+/// then a specific `recv(1, TAG_DEP)`; ranks 1 and 2 each send once. If the
+/// wildcard happens to match rank 2, the run completes and any trace-based
+/// checker passes it; if it matches rank 1, the specific receive can never
+/// be satisfied. Only schedule-space exploration proves the bad branch
+/// exists. Requires `p == 3`.
+pub fn wildcard_then_specific(ctx: &mut Ctx) -> u64 {
+    assert_eq!(ctx.size(), 3, "wildcard_then_specific is a 3-rank scenario");
+    match ctx.rank() {
+        0 => {
+            let (_src, a): (usize, Vec<u64>) = ctx.recv_any(TAG_DEP);
+            let b: Vec<u64> = ctx.recv(1, TAG_DEP);
+            a[0] + b[0]
+        }
+        r => {
+            ctx.send(0, TAG_DEP, vec![r as u64]);
+            0
+        }
+    }
+}

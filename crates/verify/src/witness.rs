@@ -1,0 +1,147 @@
+//! Witness replay, minimization, and export.
+//!
+//! A witness is a [`Schedule`] — the exact choice sequence that drove an
+//! explored execution. Because the explorer's controller only ever grants
+//! *enabled* operations, a schedule is a deterministic recipe:
+//! [`replay`] re-executes it against the real runtime (optionally with an
+//! obs-instrumented world, so the replay flows through the existing
+//! Perfetto tracing), [`minimize_deadlock`] shrinks a deadlock witness by
+//! greedy delta debugging while preserving the blocked signature, and
+//! [`witness_trace`] renders a schedule as a standalone [`obs::Trace`]
+//! (one span per scheduling decision, step index as virtual time) for
+//! `obs::perfetto::write_file`.
+//!
+//! ## Replay contract
+//!
+//! * Replaying a **terminal** witness returns `Ok(RunReport)` — the full
+//!   report, including per-rank `CommLog`s the trace-based checkers in
+//!   `analyze` consume.
+//! * Replaying a **deadlock** witness returns
+//!   `Err(RunError::SchedulerAbort { comm })`: at the deadlocked state the
+//!   controller tears the world down, and the partial per-rank
+//!   communication traces collected up to that point ride along.
+//! * A schedule replayed against a *different* program or world may
+//!   diverge (a prefixed choice is not enabled); the run is then also torn
+//!   down with `SchedulerAbort`.
+
+use mps::{Ctx, RunError, RunReport, SchedOp, World};
+use obs::{Category, FieldValue, SpanRecord, Trace, TrackTrace};
+
+use crate::explore::{run_directed, Choice, Explorer, RunOutcome, Schedule};
+
+/// Re-execute `schedule` against the real runtime: the controller grants
+/// exactly the witnessed choices, then falls back to the first-enabled
+/// policy for any remaining operations.
+///
+/// Pass a `world` built `.with_obs(ObsConfig::enabled())` to capture the
+/// replay through the standard span/Perfetto pipeline.
+pub fn replay<R, F>(
+    world: &World,
+    p: usize,
+    program: F,
+    schedule: &[Choice],
+) -> Result<RunReport<R>, RunError>
+where
+    R: Send,
+    F: Fn(&mut Ctx) -> R + Sync,
+{
+    let (_steps, _deliveries, _outcome, result) =
+        run_directed(world, p, &program, schedule, Explorer::default().max_depth);
+    result
+}
+
+/// Greedy delta debugging over a deadlock witness: repeatedly drop single
+/// choices, keeping a candidate only when its replay still reaches a
+/// deadlock with the *identical* blocked signature. Terminates because
+/// every accepted candidate is strictly shorter; the result is 1-minimal
+/// (no single choice can be removed).
+///
+/// For an inevitable deadlock the minimum is the empty schedule — the
+/// default policy alone reproduces it, which is itself useful signal: the
+/// bug needs no adversarial scheduling.
+pub fn minimize_deadlock<R, F>(
+    world: &World,
+    p: usize,
+    program: F,
+    witness: &[Choice],
+    blocked: &[(usize, SchedOp)],
+) -> Schedule
+where
+    R: Send,
+    F: Fn(&mut Ctx) -> R + Sync,
+{
+    let max_depth = Explorer::default().max_depth;
+    let reproduces = |candidate: &[Choice]| {
+        let (_, _, outcome, _) = run_directed::<R, _>(world, p, &program, candidate, max_depth);
+        matches!(outcome, RunOutcome::Deadlock { blocked: b } if b.as_slice() == blocked)
+    };
+    let mut current: Schedule = witness.to_vec();
+    loop {
+        let mut improved = false;
+        let mut i = 0;
+        while i < current.len() {
+            let mut candidate = current.clone();
+            candidate.remove(i);
+            if reproduces(&candidate) {
+                current = candidate;
+                improved = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
+/// Render a schedule as a standalone [`obs::Trace`]: one track per rank,
+/// one unit-length span per scheduling decision with the global step index
+/// as virtual time, so the Perfetto timeline reads as the exact
+/// interleaving the controller granted. Wildcard grants carry their
+/// matched source as a span field.
+#[must_use]
+pub fn witness_trace(name: &str, p: usize, schedule: &[Choice]) -> Trace {
+    let mut trace = Trace::new(name);
+    trace
+        .meta
+        .push(("verify.schedule_len".into(), schedule.len().to_string()));
+    trace.tracks = (0..p)
+        .map(|track| TrackTrace {
+            track,
+            spans: Vec::new(),
+            instants: Vec::new(),
+        })
+        .collect();
+    for (i, c) in schedule.iter().enumerate() {
+        assert!(
+            c.rank < p,
+            "witness rank {} out of range for p = {p}",
+            c.rank
+        );
+        let mut fields = vec![("step", FieldValue::U64(i as u64))];
+        let (name, tag) = match c.op {
+            SchedOp::Send { to, tag } => (format!("send -> {to}"), tag),
+            SchedOp::Recv { from, tag } => (format!("recv <- {from}"), tag),
+            SchedOp::RecvAny { tag } => {
+                let src = c.source.expect("granted wildcard carries its source");
+                fields.push(("matched_source", FieldValue::U64(src as u64)));
+                (format!("recv_any <- {src}"), tag)
+            }
+        };
+        fields.push(("tag", FieldValue::U64(tag)));
+        trace.tracks[c.rank].spans.push(SpanRecord {
+            name,
+            cat: Category::Network,
+            track: c.rank,
+            start_s: i as f64,
+            end_s: (i + 1) as f64,
+            depth: 0,
+            host_start_ns: 0,
+            host_end_ns: 0,
+            forced_close: false,
+            fields,
+        });
+    }
+    trace
+}

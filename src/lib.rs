@@ -20,6 +20,8 @@
 //! * [`analyze`] — static/dynamic analysis gates, including trace
 //!   conformance over `obs` output.
 
+#![forbid(unsafe_code)]
+
 pub use analyze;
 pub use isoee;
 pub use microbench;
