@@ -25,6 +25,16 @@
 //! * `--trace <file.json>` additionally validates an emitted Perfetto
 //!   trace-event file (as written by `examples/trace_ft.rs` or
 //!   `OBS_TRACE=... fig10`) with the obs JSON validator.
+//! * `--plan` adds the static communication-plan pass: the in-tree NPB
+//!   `CommPlan`s (FT, EP, CG) are analyzed at every world size in
+//!   `--plan-ps` (default `4,64,1024`) with `plan::analyze_plan` —
+//!   matching/shape validity, deadlock freedom with witnesses, exact
+//!   message/byte totals — and lowered to Eq. 13/15 interval cost bounds
+//!   via `isoee::plancost`. At the smallest p ≤ 4 the verdicts are
+//!   cross-validated dynamically against the `verify` schedule explorer.
+//!   `--plan-bad` seeds a deliberately deadlocking plan instead and
+//!   reports its findings as *unexpected* (exit 1), proving the gate
+//!   actually gates.
 //! * `--json` prints the machine-readable findings document (stable field
 //!   order) to stdout; human progress moves to stderr.
 //!
@@ -44,7 +54,8 @@ use mps::{try_run, RunError, World};
 use simcluster::{dori, system_g};
 use verify::{programs, witness_trace, BoxOutcome, BoxSearch, Explorer, VerifyFinding};
 
-const USAGE: &str = "usage: analyze [--verify] [--json] [--trace <file.json>]\n\
+const USAGE: &str = "usage: analyze [--verify] [--json] [--trace <file.json>] \
+                     [--plan] [--plan-ps <p,p,..>] [--plan-bad]\n\
                      exit codes: 0 clean, 1 unexpected finding(s), 2 usage error";
 
 /// One recorded finding, for the `--json` document.
@@ -137,12 +148,40 @@ fn main() {
     // runs (so CI can distinguish "misinvoked" from "found a bug").
     let mut json = false;
     let mut run_verify = false;
+    let mut run_plan = false;
+    let mut plan_bad = false;
+    let mut plan_ps: Vec<usize> = vec![4, 64, 1024];
     let mut trace_file: Option<(String, String)> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--verify" => run_verify = true,
+            "--plan" => run_plan = true,
+            "--plan-bad" => {
+                run_plan = true;
+                plan_bad = true;
+            }
+            "--plan-ps" => {
+                let csv = args.next().unwrap_or_else(|| {
+                    eprintln!("analyze: --plan-ps needs a comma-separated list\n{USAGE}");
+                    std::process::exit(2);
+                });
+                plan_ps = csv
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&p| p >= 1)
+                            .unwrap_or_else(|| {
+                                eprintln!("analyze: bad --plan-ps entry {s:?}\n{USAGE}");
+                                std::process::exit(2);
+                            })
+                    })
+                    .collect();
+                run_plan = true;
+            }
             "--trace" => {
                 let path = args.next().unwrap_or_else(|| {
                     eprintln!("analyze: --trace needs a file path\n{USAGE}");
@@ -179,6 +218,9 @@ fn main() {
     if run_verify {
         verify_explorer_pass(&mut report);
         verify_interval_pass(&mut report);
+    }
+    if run_plan {
+        plan_pass(&mut report, &plan_ps, plan_bad);
     }
     if let Some((path, text)) = &trace_file {
         perfetto_file_pass(&mut report, path, text);
@@ -353,6 +395,178 @@ fn pool_pass(report: &mut Report) {
         ps.len(),
         findings.len()
     ));
+}
+
+/// Static communication-plan certification: analyze the in-tree NPB
+/// `CommPlan`s at every requested world size, lower each analysis to
+/// Eq. 13/15 interval cost bounds, and cross-validate the verdicts
+/// dynamically with the schedule explorer at the smallest p ≤ 4.
+/// With `bad` set, a deliberately deadlocking plan is analyzed instead and
+/// its findings are recorded as *unexpected* — the exit-1 path.
+fn plan_pass(report: &mut Report, ps: &[usize], bad: bool) {
+    use plan::{analyze_plan, Cond, Expr, Op, TagExpr};
+
+    report.begin("plan");
+
+    if bad {
+        // Head-to-head ring: every rank receives from its right neighbor
+        // before sending to it — a full p-cycle of blocked receives.
+        let broken = plan::CommPlan::new(
+            "seeded-head-to-head",
+            vec![
+                Op::Recv {
+                    from: (Expr::Rank + Expr::Const(1)) % Expr::P,
+                    tag: TagExpr::Expr(Expr::Const(7)),
+                },
+                Op::Send {
+                    to: (Expr::Rank + Expr::Const(1)) % Expr::P,
+                    tag: TagExpr::Expr(Expr::Const(7)),
+                    bytes: Expr::Const(64),
+                },
+            ],
+        );
+        let p = ps.iter().copied().min().unwrap_or(4).max(2);
+        let analysis = analyze_plan(&broken, p);
+        for f in &analysis.findings {
+            report.finding(
+                "plan",
+                &format!("seeded-head-to-head p={p}"),
+                f.to_string(),
+                false,
+            );
+        }
+        if analysis.deadlock_free() {
+            report.finding(
+                "plan",
+                &format!("seeded-head-to-head p={p}"),
+                "seeded deadlock was NOT detected".into(),
+                false,
+            );
+        }
+        return;
+    }
+
+    let mach = isoee::interval::MachBox::from_params(&MachineParams::system_g(2.8e9));
+    let class = npb::Class::S;
+    let plans = [
+        ("ft", npb::ft_plan(&npb::FtConfig::class(class)), false),
+        ("ep", npb::ep_plan(&npb::EpConfig::class(class)), false),
+        // CG's processor grid needs a power-of-two world.
+        ("cg", npb::cg_plan(&npb::CgConfig::class(class)), true),
+    ];
+
+    for &p in ps {
+        for (name, commplan, pow2_only) in &plans {
+            if *pow2_only && !p.is_power_of_two() {
+                report.progress(&format!("plan pass: {name} skipped at p={p} (needs 2^k)"));
+                continue;
+            }
+            let t0 = std::time::Instant::now();
+            let analysis = analyze_plan(commplan, p);
+            let cost = isoee::cost_bounds(&analysis, &mach);
+            let dt = t0.elapsed();
+            if analysis.deadlock_free() {
+                report.progress(&format!(
+                    "plan pass: {name} p={p}: deadlock-free, {} msgs, {} B, \
+                     T_comm in [{:.3e}, {:.3e}] s ({} abstract steps, {dt:?})",
+                    cost.messages, cost.bytes, cost.t_comm.lo, cost.t_comm.hi, analysis.steps,
+                ));
+            } else {
+                for f in &analysis.findings {
+                    report.finding("plan", &format!("{name} p={p}"), f.to_string(), false);
+                }
+                if analysis.findings.is_empty() {
+                    report.finding(
+                        "plan",
+                        &format!("{name} p={p}"),
+                        "plan not certified (inexact or incomplete) with no findings".into(),
+                        false,
+                    );
+                }
+            }
+            if !cost.enclosure.baseline_certified() {
+                report.finding(
+                    "plan",
+                    &format!("{name} p={p}"),
+                    "cost enclosure failed baseline certification".into(),
+                    false,
+                );
+            }
+        }
+    }
+
+    // Dynamic cross-validation: explore the lowered plans on a real small
+    // world; a statically certified plan must produce no deadlock finding
+    // on any explored schedule.
+    if let Some(&p) = ps.iter().filter(|&&p| (2..=4).contains(&p)).min() {
+        let world = programs::demo_world();
+        let explorer = Explorer {
+            max_schedules: 4,
+            max_depth: 1_000_000,
+        };
+        for (name, commplan, pow2_only) in &plans {
+            if *pow2_only && !p.is_power_of_two() {
+                continue;
+            }
+            let ex = explorer.explore_plan(&world, p, commplan);
+            let deadlocks = ex
+                .findings
+                .iter()
+                .filter(|f| matches!(f, VerifyFinding::Deadlock { .. }))
+                .count();
+            if deadlocks == 0 {
+                report.progress(&format!(
+                    "plan pass: {name} p={p} cross-validated on {} explored schedule(s)",
+                    ex.schedules
+                ));
+            } else {
+                report.finding(
+                    "plan",
+                    &format!("{name} p={p}"),
+                    format!("explorer found {deadlocks} deadlock(s) in a certified plan"),
+                    false,
+                );
+            }
+        }
+    }
+
+    // The conservatism contract, exercised on a tiny wildcard plan: at
+    // p > 2 a RecvAny verdict must never claim exactness.
+    let wild = plan::CommPlan::new(
+        "wildcard-probe",
+        vec![
+            Op::IfElse {
+                cond: Cond::Ne(Expr::Rank, Expr::Const(0)),
+                then: vec![Op::Send {
+                    to: Expr::Const(0),
+                    tag: TagExpr::Expr(Expr::Const(3)),
+                    bytes: Expr::Const(8),
+                }],
+                els: vec![],
+            },
+            Op::IfElse {
+                cond: Cond::Eq(Expr::Rank, Expr::Const(0)),
+                then: vec![Op::Loop {
+                    count: Expr::P - Expr::Const(1),
+                    body: vec![Op::RecvAny {
+                        tag: TagExpr::Expr(Expr::Const(3)),
+                    }],
+                }],
+                els: vec![],
+            },
+        ],
+    );
+    let wild_analysis = analyze_plan(&wild, 3);
+    if wild_analysis.exact {
+        report.finding(
+            "plan",
+            "wildcard-probe p=3",
+            "RecvAny verdict claimed exactness at p > 2".into(),
+            false,
+        );
+    } else {
+        report.progress("plan pass: wildcard conservatism flagged as expected");
+    }
 }
 
 /// Write an explorer witness as a Perfetto trace under

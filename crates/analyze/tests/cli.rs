@@ -54,6 +54,44 @@ fn valid_trace_file_passes() {
 }
 
 #[test]
+fn plan_pass_certifies_npb_plans_and_exits_zero() {
+    // p = 4 keeps the abstract runs small enough for a debug binary; the
+    // release CI job covers the full {4, 64, 1024} ladder.
+    let out = run(&["--plan", "--plan-ps", "4", "--json"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let doc = obs::json::parse(&stdout).expect("stdout parses as JSON");
+    let passes = doc
+        .get("passes")
+        .and_then(obs::json::Json::as_arr)
+        .expect("passes array");
+    let names: Vec<&str> = passes.iter().filter_map(obs::json::Json::as_str).collect();
+    assert!(names.contains(&"plan"), "missing plan pass: {names:?}");
+    assert_eq!(
+        doc.get("unexpected").and_then(obs::json::Json::as_num),
+        Some(0.0),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn seeded_deadlocking_plan_exits_one() {
+    let out = run(&["--plan-bad", "--plan-ps", "4"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("Deadlock") || stdout.contains("deadlock"),
+        "expected a deadlock finding in {stdout}"
+    );
+}
+
+#[test]
+fn malformed_plan_ps_is_a_usage_error() {
+    let out = run(&["--plan-ps", "4,lots"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
 fn json_output_is_machine_readable_with_stable_field_order() {
     let out = run(&["--verify", "--json"]);
     assert_eq!(out.status.code(), Some(0), "{out:?}");

@@ -388,7 +388,23 @@ pub fn t1(m: &MachBox, a: &AppBox) -> Interval {
 /// Interval mirror of [`crate::model::t_net`].
 #[must_use]
 pub fn t_net(m: &MachBox, a: &AppBox) -> Interval {
-    a.messages * m.ts + a.bytes * m.tw
+    t_net_of(m, a.messages, a.bytes)
+}
+
+/// Hockney communication time `M·ts + B·tw` for explicit message/byte
+/// enclosures — the Eq. 13 network term shared with the `plan` crate's
+/// static cost pass, which derives `M` and `B` from an IR walk instead of
+/// an [`AppBox`].
+#[must_use]
+pub fn t_net_of(m: &MachBox, messages: Interval, bytes: Interval) -> Interval {
+    messages * m.ts + bytes * m.tw
+}
+
+/// Network energy `(M·ts + B·tw) · ΔP_NIC` — the Eq. 15 NIC term for
+/// explicit message/byte enclosures (see [`t_net_of`]).
+#[must_use]
+pub fn e_net_of(m: &MachBox, messages: Interval, bytes: Interval) -> Interval {
+    t_net_of(m, messages, bytes) * m.delta_pnic
 }
 
 /// Interval mirror of [`crate::model::tp`].

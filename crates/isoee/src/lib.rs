@@ -60,6 +60,7 @@ pub mod hetero;
 pub mod interval;
 pub mod model;
 pub mod params;
+pub mod plancost;
 pub mod report;
 pub mod scaling;
 pub mod validate;
@@ -71,6 +72,7 @@ pub use hetero::{HeteroResult, ProcClass, Split};
 pub use interval::{AppBox, GridCertification, Interval, MachBox, ModelEnclosure};
 pub use model::{e0, e1, ee, eef, ep, t1, tp, ModelError};
 pub use params::{AppParams, MachineParams};
+pub use plancost::{cost_bounds, PlanCost};
 pub use scaling::{
     best_frequency, best_frequency_with, ee_surface_pf, ee_surface_pf_with, ee_surface_pn,
     ee_surface_pn_with, iso_ee_contour, iso_ee_contour_with, iso_ee_workload, PoolConfig, Surface,

@@ -30,7 +30,12 @@ pub(crate) const INTERNAL_TAG_BASE: u64 = crate::trace::USER_TAG_LIMIT;
 /// number and a round index. All ranks execute collectives in the same
 /// program order, so sequence numbers agree across ranks and consecutive
 /// collectives can never cross-talk.
-pub(crate) fn internal_tag(seq: u64, round: u32) -> u64 {
+///
+/// Public so that static analyzers (the `plan` crate) can mirror the
+/// collective algorithms' tag choices exactly without duplicating the
+/// constant; user programs must stay below [`crate::USER_TAG_LIMIT`] and
+/// never construct these.
+pub fn internal_tag(seq: u64, round: u32) -> u64 {
     INTERNAL_TAG_BASE | (seq << 8) | u64::from(round)
 }
 

@@ -58,6 +58,7 @@ mod world;
 
 pub use collect::ReduceOp;
 pub use ctx::Ctx;
+pub use envelope::internal_tag;
 pub use runtime::{run, try_run, RankOutcome, RunReport};
 pub use sched::{SchedGrant, SchedOp, SchedulerHook};
 pub use stats::Counters;

@@ -27,7 +27,7 @@ use crate::sparse::{assemble_block_padded, Csr};
 /// divides evenly for every grid with `nprow, npcol ≤ 32`.
 const PAD_QUANTUM: usize = 1024;
 /// Inner CG iterations per outer step (NPB's `cgitmax`).
-const CGITMAX: usize = 25;
+pub(crate) const CGITMAX: usize = 25;
 /// Matrix seed (any odd value < 2^46).
 const MATRIX_SEED: u64 = 314_159_265;
 
@@ -70,7 +70,8 @@ impl CgConfig {
         }
     }
 
-    fn n_pad(&self) -> usize {
+    /// Matrix dimension after padding (what the block shapes divide).
+    pub(crate) fn n_pad(&self) -> usize {
         self.n.div_ceil(PAD_QUANTUM) * PAD_QUANTUM
     }
 }

@@ -30,6 +30,7 @@ pub mod ft;
 pub mod is;
 pub mod mg;
 pub mod num;
+pub mod plans;
 pub mod sparse;
 
 pub use cg::{cg_kernel, CgConfig, CgResult};
@@ -39,3 +40,4 @@ pub use ft::{ft_kernel, FtConfig, FtResult};
 pub use is::{is_kernel, IsConfig, IsResult};
 pub use mg::{mg_kernel, MgConfig, MgResult};
 pub use num::C64;
+pub use plans::{cg_plan, ep_plan, ft_plan};

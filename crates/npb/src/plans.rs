@@ -1,0 +1,409 @@
+//! Plan-level descriptions of the NPB kernel skeletons.
+//!
+//! Each function here builds a [`CommPlan`] whose communication shape —
+//! collective calls, point-to-point exchanges, tags, payload sizes — is an
+//! exact mirror of the corresponding handwritten kernel
+//! ([`crate::ft_kernel`], [`crate::ep_kernel`], [`crate::cg_kernel`]) at
+//! *every* world size, with rank- and `p`-dependence expressed through
+//! symbolic [`Expr`]s. That lets the `plan` crate's static analyses
+//! certify the kernels' communication structure (matching, deadlock
+//! freedom, cost bounds) at `p = 1024+` without running anything, while
+//! golden tests lower the same plans onto [`mps`] and compare per-rank
+//! counters against the real kernels.
+//!
+//! Compute/memory charges mirror the kernels' instrumentation: exact for
+//! FT and EP (whose charges are closed-form in the config), an estimate
+//! for CG's data-dependent sparse-matrix terms (its *communication* is
+//! still exact — message counts, sizes and tags don't depend on the
+//! matrix values).
+
+use plan::{Cond, Expr, Op, ReduceOp, TagExpr};
+
+pub use plan::CommPlan;
+
+use crate::cg::CgConfig;
+use crate::ep::EpConfig;
+use crate::fft::FftPlan;
+use crate::ft::FtConfig;
+
+fn c(v: usize) -> Expr {
+    Expr::Const(i64::try_from(v).expect("config value fits i64"))
+}
+
+// ---------------------------------------------------------------------
+// FT
+// ---------------------------------------------------------------------
+
+/// The FT kernel's plan: forward 3-D FFT, then per iteration evolve /
+/// inverse FFT / checksum, with the two distributed transposes as
+/// `alltoallv`-shaped [`Op::AllToAll`]s. Valid at every `p ≥ 1`.
+#[must_use]
+pub fn ft_plan(cfg: &FtConfig) -> CommPlan {
+    let (nx, ny, nz) = (cfg.nx, cfg.ny, cfg.nz);
+    let flops_x = FftPlan::new(nx).flops();
+    let flops_y = FftPlan::new(ny).flops();
+    let flops_z = FftPlan::new(nz).flops();
+
+    // Per-rank slab extents.
+    let my_nz = || Expr::block_len(c(nz), Expr::P, Expr::Rank);
+    let my_nx = || Expr::block_len(c(nx), Expr::P, Expr::Rank);
+    // Forward-layout points nx·ny·my_nz and transposed points my_nx·ny·nz.
+    let fxy = || c(nx * ny) * my_nz();
+    let txz = || my_nx() * c(ny * nz);
+    // Working sets: the kernel clamps empty slabs to one plane's bytes.
+    let slab = || my_nz().max_of(c(1)) * c(nx * ny * 16);
+    let fwd_ws = || fxy().max_of(c(1)) * c(16);
+    let txz_ws = || txz().max_of(c(1)) * c(16);
+
+    let fft_xy = |body: &mut Vec<Op>| {
+        body.push(Op::Compute {
+            units: c(ny) * my_nz(),
+            scale: flops_x,
+        });
+        body.push(Op::MemStream {
+            elems: fxy(),
+            scale: 2.0,
+            ws: slab(),
+        });
+        body.push(Op::Compute {
+            units: c(nx) * my_nz(),
+            scale: flops_y,
+        });
+        body.push(Op::MemStream {
+            elems: fxy(),
+            scale: 4.0,
+            ws: slab(),
+        });
+    };
+    let fft_z = |body: &mut Vec<Op>| {
+        body.push(Op::Compute {
+            units: my_nx() * c(ny),
+            scale: flops_z,
+        });
+        body.push(Op::MemStream {
+            elems: txz(),
+            scale: 2.0,
+            ws: slab(),
+        });
+    };
+    let spectral_energy = |body: &mut Vec<Op>| {
+        body.push(Op::Compute {
+            units: txz(),
+            scale: 3.0,
+        });
+        body.push(Op::AllReduce {
+            elems: c(1),
+            op: ReduceOp::Sum,
+        });
+    };
+
+    let mut body = vec![
+        Op::Phase("ft:init".into()),
+        Op::Compute {
+            units: fxy(),
+            scale: 12.0,
+        },
+        Op::MemStream {
+            elems: fxy(),
+            scale: 1.0,
+            ws: slab(),
+        },
+        Op::Phase("ft:forward".into()),
+    ];
+    fft_xy(&mut body);
+    // Forward transpose: pack, alltoall, unpack. The chunk for
+    // destination d holds my z-planes restricted to d's x-range.
+    body.push(Op::MemStream {
+        elems: fxy(),
+        scale: 2.0,
+        ws: fwd_ws(),
+    });
+    body.push(Op::Phase("ft:alltoall".into()));
+    body.push(Op::AllToAll {
+        bytes: my_nz() * c(ny) * Expr::block_len(c(nx), Expr::P, Expr::Peer) * c(16),
+    });
+    body.push(Op::MemStream {
+        elems: txz(),
+        scale: 2.0,
+        ws: txz_ws(),
+    });
+    fft_z(&mut body);
+    spectral_energy(&mut body);
+
+    let mut iter = vec![
+        Op::Phase("ft:evolve".into()),
+        Op::Compute {
+            units: txz(),
+            scale: 22.0,
+        },
+        Op::MemStream {
+            elems: txz(),
+            scale: 2.0,
+            ws: slab(),
+        },
+    ];
+    spectral_energy(&mut iter);
+    iter.push(Op::Phase("ft:inverse".into()));
+    fft_z(&mut iter);
+    // Inverse transpose: chunk for destination d holds my x-columns
+    // restricted to d's z-range.
+    iter.push(Op::MemStream {
+        elems: txz(),
+        scale: 2.0,
+        ws: txz_ws(),
+    });
+    iter.push(Op::Phase("ft:alltoall".into()));
+    iter.push(Op::AllToAll {
+        bytes: Expr::block_len(c(nz), Expr::P, Expr::Peer) * c(ny) * my_nx() * c(16),
+    });
+    iter.push(Op::MemStream {
+        elems: fxy(),
+        scale: 2.0,
+        ws: fwd_ws(),
+    });
+    fft_xy(&mut iter);
+    // Normalization of the inverse transform.
+    iter.push(Op::Compute {
+        units: fxy(),
+        scale: 2.0,
+    });
+    iter.push(Op::MemStream {
+        elems: fxy(),
+        scale: 2.0,
+        ws: slab(),
+    });
+    // Checksum: 1024 strided samples, then a 2-element allreduce.
+    iter.push(Op::Phase("ft:checksum".into()));
+    iter.push(Op::Compute {
+        units: c(1024),
+        scale: 6.0,
+    });
+    iter.push(Op::AllReduce {
+        elems: c(2),
+        op: ReduceOp::Sum,
+    });
+
+    body.push(Op::Loop {
+        count: c(cfg.niter),
+        body: iter,
+    });
+    CommPlan::new("npb:ft", body)
+}
+
+// ---------------------------------------------------------------------
+// EP
+// ---------------------------------------------------------------------
+
+/// The EP kernel's plan: embarrassingly parallel generation plus one
+/// 13-element allreduce (`[accepted, sx, sy, counts×10]`). Valid at every
+/// `p ≥ 1`; compute/memory totals are exact (the kernel's batching is
+/// f64-exact in the pair count).
+#[must_use]
+pub fn ep_plan(cfg: &EpConfig) -> CommPlan {
+    let pairs = usize::try_from(cfg.pairs).expect("pair count fits usize");
+    let my_pairs = || Expr::block_len(c(pairs), Expr::P, Expr::Rank);
+    CommPlan::new(
+        "npb:ep",
+        vec![
+            Op::Phase("ep:generate".into()),
+            Op::Compute {
+                units: my_pairs(),
+                scale: crate::ep::INSTR_PER_PAIR,
+            },
+            Op::MemAccess {
+                accesses: my_pairs(),
+                scale: crate::ep::MEM_PER_PAIR,
+                ws: c(4096),
+            },
+            Op::Phase("ep:reduce".into()),
+            Op::AllReduce {
+                elems: c(13),
+                op: ReduceOp::Sum,
+            },
+        ],
+    )
+}
+
+// ---------------------------------------------------------------------
+// CG
+// ---------------------------------------------------------------------
+
+/// CG's point-to-point tag namespace (`0x4347` = "CG").
+const CG_TAG_BASE: u64 = 0x4347_0000;
+/// CG's tag counter wrap-around.
+const CG_TAG_MOD: u64 = 0xFFFF;
+
+/// The CG kernel's plan: per outer step, 25 CG iterations of SpMV
+/// (transpose exchange + processor-row allreduce) and dot products over
+/// the 2-D `nprow × npcol` grid. **Requires a power-of-two `p`** (like
+/// the kernel itself). Communication is exact; the SpMV compute/memory
+/// charges use the expected block non-zero count (`row_len·2·pattern /
+/// npcol`) since the true count is data-dependent.
+#[must_use]
+pub fn cg_plan(cfg: &CgConfig) -> CommPlan {
+    let n_pad = cfg.n_pad();
+    let pattern = cfg.pattern;
+
+    // Process grid: nprow = 2^(lg/2), npcol = p / nprow (so npcol is
+    // nprow or 2·nprow). Mirrors `cg_proc_grid`.
+    let nprow = || (Expr::P.log2() / c(2)).pow2();
+    let npcol = || Expr::P / nprow();
+    let row = || Expr::Rank / npcol();
+    let col = || Expr::Rank % npcol();
+    let row_len = || c(n_pad) / nprow();
+    let col_len = || c(n_pad) / npcol();
+    // Expected non-zeros in this rank's block: A = B + Bᵀ + D has about
+    // 2·pattern entries per row, split over npcol column blocks.
+    let nnz_est = || row_len() * c(2 * pattern) / npcol();
+
+    let last_tag = || TagExpr::Last {
+        base: CG_TAG_BASE,
+        modulo: CG_TAG_MOD,
+    };
+    let auto_tag = || TagExpr::Auto {
+        base: CG_TAG_BASE,
+        modulo: CG_TAG_MOD,
+    };
+
+    // Transpose: the tag is consumed before the partner test (the kernel
+    // calls `next_tag()` unconditionally), hence BumpTag + Last.
+    let transpose = |body: &mut Vec<Op>| {
+        body.push(Op::BumpTag);
+        let square_partner = || col() * npcol() + row();
+        let rect_partner = || (col() / c(2)) * npcol() + c(2) * row() + col() % c(2);
+        body.push(Op::IfElse {
+            cond: Cond::Eq(nprow(), npcol()),
+            then: vec![Op::IfElse {
+                cond: Cond::Ne(square_partner(), Expr::Rank),
+                then: vec![Op::Exchange {
+                    partner: square_partner(),
+                    tag: last_tag(),
+                    bytes: row_len() * c(8),
+                }],
+                els: vec![],
+            }],
+            els: vec![Op::IfElse {
+                cond: Cond::Ne(rect_partner(), Expr::Rank),
+                then: vec![Op::Exchange {
+                    partner: rect_partner(),
+                    tag: last_tag(),
+                    bytes: col_len() * c(8),
+                }],
+                els: vec![],
+            }],
+        });
+    };
+
+    // Processor-row allreduce: log2(npcol) exchange rounds, dist = 2^i.
+    let row_allreduce = |body: &mut Vec<Op>| {
+        body.push(Op::Loop {
+            count: npcol().log2(),
+            body: vec![
+                Op::Exchange {
+                    partner: row() * npcol() + col().xor(Expr::Var(0).pow2()),
+                    tag: auto_tag(),
+                    bytes: row_len() * c(8),
+                },
+                Op::Compute {
+                    units: row_len(),
+                    scale: 1.0,
+                },
+                Op::MemStream {
+                    elems: row_len(),
+                    scale: 1.0,
+                    ws: row_len() * c(8),
+                },
+            ],
+        });
+    };
+
+    let spmv = |body: &mut Vec<Op>| {
+        transpose(body);
+        body.push(Op::Compute {
+            units: nnz_est() * c(4) + row_len(),
+            scale: 1.0,
+        });
+        body.push(Op::MemStream {
+            elems: nnz_est(),
+            scale: 2.5,
+            ws: nnz_est() * c(12) + col_len() * c(8),
+        });
+        body.push(Op::MemStream {
+            elems: row_len(),
+            scale: 1.0,
+            ws: nnz_est() * c(12) + col_len() * c(8),
+        });
+        row_allreduce(body);
+    };
+
+    let dot = |body: &mut Vec<Op>| {
+        let slice = || row_len() / npcol();
+        body.push(Op::Compute {
+            units: slice(),
+            scale: 2.0,
+        });
+        body.push(Op::MemStream {
+            elems: slice(),
+            scale: 2.0,
+            ws: row_len() * c(16),
+        });
+        body.push(Op::AllReduce {
+            elems: c(1),
+            op: ReduceOp::Sum,
+        });
+    };
+
+    let charge_vec = |body: &mut Vec<Op>, sweeps: usize| {
+        body.push(Op::Compute {
+            units: row_len() * c(sweeps),
+            scale: 2.0,
+        });
+        body.push(Op::MemStream {
+            elems: row_len() * c(sweeps),
+            scale: 1.5,
+            ws: row_len() * c(24),
+        });
+    };
+
+    // Matrix assembly (outside NPB's timed region, charged nominally).
+    let mut body = vec![
+        Op::Phase("cg:makea".into()),
+        Op::Compute {
+            units: (row_len() + col_len()) * c(pattern),
+            scale: 12.0,
+        },
+        Op::MemStream {
+            elems: (row_len() + col_len()) * c(pattern),
+            scale: 0.5,
+            ws: nnz_est() * c(16),
+        },
+    ];
+
+    // One outer step: conjgrad (25 inner iterations + residual), then the
+    // two outer dots and the renormalization sweep.
+    let mut outer = vec![Op::Phase("cg:conjgrad".into())];
+    dot(&mut outer); // rho = r·r
+    let mut inner = Vec::new();
+    spmv(&mut inner);
+    dot(&mut inner); // d = p·q
+    charge_vec(&mut inner, 2); // z, r updates
+    dot(&mut inner); // rho = r·r
+    charge_vec(&mut inner, 1); // p update
+    outer.push(Op::Loop {
+        count: c(crate::cg::CGITMAX),
+        body: inner,
+    });
+    spmv(&mut outer); // residual A·z
+    charge_vec(&mut outer, 1); // x − A·z
+    dot(&mut outer); // ‖x − A·z‖²
+    outer.push(Op::Phase("cg:outer".into()));
+    dot(&mut outer); // x·z
+    dot(&mut outer); // z·z
+    charge_vec(&mut outer, 1); // x = z/‖z‖
+
+    body.push(Op::Loop {
+        count: c(cfg.niter),
+        body: outer,
+    });
+    CommPlan::new("npb:cg", body)
+}

@@ -1,0 +1,193 @@
+//! Golden tests: the declarative [`plan`] descriptions of FT/EP/CG must be
+//! communication-faithful to the handwritten kernels.
+//!
+//! For each kernel on a 4-rank world we compare three executions:
+//!
+//! 1. the handwritten `npb` kernel,
+//! 2. the [`plan::lower`]-ed `CommPlan`,
+//! 3. the static [`plan::analyze_plan`] abstract run (no execution at all),
+//!
+//! and require identical per-collective `(calls, messages, bytes)` counters
+//! (read from the global metrics registry via `mps`'s collective scopes)
+//! plus identical point-to-point/overall message and byte totals. FT and EP
+//! additionally match on the charged instruction counters exactly; CG's
+//! compute/memory charges are data-dependent estimates in the plan, so only
+//! its communication is held to equality.
+
+use std::sync::{Mutex, OnceLock};
+
+use mps::{run, World};
+use npb::{
+    cg_kernel, cg_plan, ep_kernel, ep_plan, ft_kernel, ft_plan, CgConfig, Class, EpConfig, FtConfig,
+};
+use obs::ObsConfig;
+use plan::{analyze_plan, lower, CollKind, CommPlan, COLL_KINDS};
+
+const P: usize = 4;
+
+/// The metrics registry is process-global; serialize the golden runs so
+/// counter deltas are attributable to one run at a time.
+fn registry_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+fn world() -> World {
+    World::new(simcluster::system_g(), 2.8e9).with_obs(ObsConfig::disabled().with_metrics(true))
+}
+
+/// `(calls, messages, bytes)` snapshot of every collective's counters.
+fn snapshot() -> [[u64; 3]; COLL_KINDS] {
+    let reg = obs::global();
+    let mut out = [[0u64; 3]; COLL_KINDS];
+    for (k, slot) in out.iter_mut().enumerate() {
+        let name = CollKind::ALL[k].scope_name();
+        *slot = [
+            reg.counter(&format!("mps.collective.{name}.calls")).get(),
+            reg.counter(&format!("mps.collective.{name}.messages"))
+                .get(),
+            reg.counter(&format!("mps.collective.{name}.bytes")).get(),
+        ];
+    }
+    out
+}
+
+fn delta(
+    before: &[[u64; 3]; COLL_KINDS],
+    after: &[[u64; 3]; COLL_KINDS],
+) -> [[u64; 3]; COLL_KINDS] {
+    let mut out = [[0u64; 3]; COLL_KINDS];
+    for k in 0..COLL_KINDS {
+        for f in 0..3 {
+            out[k][f] = after[k][f] - before[k][f];
+        }
+    }
+    out
+}
+
+struct Observed {
+    colls: [[u64; 3]; COLL_KINDS],
+    messages: f64,
+    bytes: f64,
+    wc: f64,
+    wm: f64,
+}
+
+/// Run `program` on a metrics-enabled world and collect collective counter
+/// deltas plus whole-run totals.
+fn observe<R: Send>(program: impl Fn(&mut mps::Ctx) -> R + Sync) -> Observed {
+    let w = world();
+    let before = snapshot();
+    let report = run(&w, P, program);
+    let after = snapshot();
+    let totals = report.total_counters();
+    Observed {
+        colls: delta(&before, &after),
+        messages: totals.messages,
+        bytes: totals.bytes,
+        wc: totals.wc,
+        wm: totals.wm,
+    }
+}
+
+/// Assert dynamic(kernel) == dynamic(lowered plan) == static(analysis) on
+/// every collective's counters and on the run-wide message/byte totals.
+fn assert_comm_golden(plan: &CommPlan, kernel: &Observed, lowered: &Observed) {
+    let analysis = analyze_plan(plan, P);
+    assert!(
+        analysis.clean(),
+        "{} static findings: {:?}",
+        plan.name,
+        analysis.findings
+    );
+    for k in 0..COLL_KINDS {
+        let kind = CollKind::ALL[k];
+        assert_eq!(
+            kernel.colls[k], lowered.colls[k],
+            "{}: {kind:?} counters differ, kernel vs lowered plan",
+            plan.name
+        );
+        let stat = &analysis.colls[k];
+        assert_eq!(
+            [stat.calls, stat.messages, stat.bytes],
+            lowered.colls[k],
+            "{}: {kind:?} counters differ, static analysis vs lowered plan",
+            plan.name
+        );
+    }
+    #[allow(clippy::cast_precision_loss)]
+    {
+        assert_eq!(kernel.messages, lowered.messages, "{}: messages", plan.name);
+        assert_eq!(kernel.bytes, lowered.bytes, "{}: bytes", plan.name);
+        assert_eq!(
+            lowered.messages, analysis.total.messages as f64,
+            "{}: static message total",
+            plan.name
+        );
+        assert_eq!(
+            lowered.bytes, analysis.total.bytes as f64,
+            "{}: static byte total",
+            plan.name
+        );
+    }
+}
+
+#[test]
+fn ft_plan_matches_handwritten_kernel_on_four_ranks() {
+    let _guard = registry_lock().lock().unwrap();
+    let cfg = FtConfig::class(Class::S);
+    let plan = ft_plan(&cfg);
+    let kernel = observe(|ctx| ft_kernel(ctx, cfg));
+    let lowered = observe(|ctx| lower(&plan, ctx));
+    assert_comm_golden(&plan, &kernel, &lowered);
+    // FT's plan mirrors the kernel's charges closed-form: Wc and Wm agree.
+    let rel = |a: f64, b: f64| (a - b).abs() / b.max(1.0);
+    assert!(
+        rel(lowered.wc, kernel.wc) < 1e-9,
+        "ft wc: plan {} vs kernel {}",
+        lowered.wc,
+        kernel.wc
+    );
+    assert!(
+        rel(lowered.wm, kernel.wm) < 1e-9,
+        "ft wm: plan {} vs kernel {}",
+        lowered.wm,
+        kernel.wm
+    );
+}
+
+#[test]
+fn ep_plan_matches_handwritten_kernel_on_four_ranks() {
+    let _guard = registry_lock().lock().unwrap();
+    let cfg = EpConfig::class(Class::S);
+    let plan = ep_plan(&cfg);
+    let kernel = observe(|ctx| ep_kernel(ctx, cfg));
+    let lowered = observe(|ctx| lower(&plan, ctx));
+    assert_comm_golden(&plan, &kernel, &lowered);
+    // EP's charge formulas are exact under integer batching.
+    let rel = |a: f64, b: f64| (a - b).abs() / b.max(1.0);
+    assert!(
+        rel(lowered.wc, kernel.wc) < 1e-9,
+        "ep wc: plan {} vs kernel {}",
+        lowered.wc,
+        kernel.wc
+    );
+    assert!(
+        rel(lowered.wm, kernel.wm) < 1e-9,
+        "ep wm: plan {} vs kernel {}",
+        lowered.wm,
+        kernel.wm
+    );
+}
+
+#[test]
+fn cg_plan_matches_handwritten_kernel_on_four_ranks() {
+    let _guard = registry_lock().lock().unwrap();
+    let cfg = CgConfig::class(Class::S);
+    let plan = cg_plan(&cfg);
+    let kernel = observe(|ctx| cg_kernel(ctx, cfg));
+    let lowered = observe(|ctx| lower(&plan, ctx));
+    // CG's communication skeleton (grid exchanges, reductions) is exact;
+    // its Wc/Wm are nnz estimates, so only comm equality is required.
+    assert_comm_golden(&plan, &kernel, &lowered);
+}

@@ -1,0 +1,956 @@
+//! Whole-plan static analysis: matching/shape checking and deadlock
+//! detection over the abstract message semantics of `mps`.
+//!
+//! The checker runs every rank's [`RankCursor`] to quiescence under the
+//! runtime's own matching rules — eager sends that never block, per
+//! `(src, dst)` FIFO channels with tag-skipping receives — without
+//! executing any user code or spawning any thread. For wildcard-free plans
+//! this canonical run is **exact**: matching is structural (the k-th
+//! receive of tag `t` on a channel always pairs with the k-th send of tag
+//! `t`), so enabledness is schedule-independent and one run decides
+//! deadlock for *all* schedules. A [`Op::RecvAny`](crate::Op::RecvAny)
+//! breaks confluence; the checker then proceeds with the lowest matching
+//! source (still a feasible schedule, so reported deadlocks remain real)
+//! but marks the verdict conservative ([`PlanAnalysis::exact`] = false):
+//! a clean conservative verdict does **not** prove other schedules safe.
+//!
+//! Quiescence with unfinished ranks yields findings with witnesses: the
+//! wait-for cycle for circular waits, unmatched receives for dead-end
+//! waits (plus tag-mismatch evidence when the channel holds messages with
+//! different tags than the one wanted), and leftover never-received
+//! messages as unmatched sends.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::elaborate::{AOp, CollStats, RankCost, RankCursor, ShapeIssue, COLL_KINDS};
+use crate::ir::CommPlan;
+
+/// Cap on recorded findings: a pathological plan at large `p` can produce
+/// one finding per rank pair; everything beyond the cap is counted, not
+/// stored.
+const MAX_FINDINGS: usize = 1024;
+
+/// One edge of a wait-for witness: `rank` is blocked receiving `tag` from
+/// `on`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanWaitEdge {
+    /// The blocked rank.
+    pub rank: usize,
+    /// The rank it waits for.
+    pub on: usize,
+    /// The tag it waits for.
+    pub tag: u64,
+}
+
+/// A defect found by the static analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanFinding {
+    /// A shape violation (bad peer, self-message, oversized tag, failed
+    /// expression) on one rank; the rank stops elaborating there.
+    Shape {
+        /// The offending rank.
+        rank: usize,
+        /// What went wrong.
+        issue: ShapeIssue,
+    },
+    /// A circular wait: every edge's `on` is the next edge's `rank`.
+    DeadlockCycle {
+        /// The cycle, as wait-for edges in order.
+        cycle: Vec<PlanWaitEdge>,
+    },
+    /// A receive that can never be satisfied (the source finished, faulted,
+    /// or is itself stuck outside any cycle). `from` is `None` for a
+    /// wildcard receive.
+    UnmatchedRecv {
+        /// The blocked rank.
+        rank: usize,
+        /// The awaited source, if specific.
+        from: Option<usize>,
+        /// The awaited tag.
+        tag: u64,
+    },
+    /// Evidence accompanying an [`PlanFinding::UnmatchedRecv`]: the awaited
+    /// channel holds messages, but with different tags.
+    TagMismatch {
+        /// The blocked receiver.
+        receiver: usize,
+        /// The sender whose messages sit unmatched.
+        sender: usize,
+        /// The tag the receiver wants.
+        wanted: u64,
+        /// Tags actually available on the channel (deduped, truncated).
+        available: Vec<u64>,
+    },
+    /// Messages sent but never received (reported when no rank is blocked;
+    /// under a deadlock the leftovers are implied by the deadlock itself).
+    UnmatchedSend {
+        /// Sending rank.
+        src: usize,
+        /// Destination rank.
+        dst: usize,
+        /// Message tag.
+        tag: u64,
+        /// Bytes of the first such message.
+        bytes: u64,
+        /// How many messages with this `(src, dst, tag)` were left over.
+        count: u64,
+    },
+    /// A wildcard receive had several simultaneously matching sources in
+    /// the canonical run — the match is schedule-dependent (informational;
+    /// it is what forces `exact = false`).
+    WildcardChoice {
+        /// The receiving rank.
+        rank: usize,
+        /// The racing tag.
+        tag: u64,
+        /// Sources that could match at that moment.
+        sources: Vec<usize>,
+    },
+}
+
+impl PlanFinding {
+    /// Whether this finding denies the deadlock-freedom certificate (shape
+    /// errors and unmatched/circular receives do; leftover sends and
+    /// wildcard choices do not).
+    #[must_use]
+    pub fn blocks_certification(&self) -> bool {
+        matches!(
+            self,
+            Self::Shape { .. } | Self::DeadlockCycle { .. } | Self::UnmatchedRecv { .. }
+        )
+    }
+}
+
+impl fmt::Display for PlanFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Shape { rank, issue } => write!(f, "rank {rank}: {issue}"),
+            Self::DeadlockCycle { cycle } => {
+                write!(f, "deadlock cycle:")?;
+                for e in cycle {
+                    write!(f, " [rank {} waits on rank {} tag {}]", e.rank, e.on, e.tag)?;
+                }
+                Ok(())
+            }
+            Self::UnmatchedRecv { rank, from, tag } => match from {
+                Some(s) => write!(f, "rank {rank}: recv(from {s}, tag {tag}) never matched"),
+                None => write!(f, "rank {rank}: recv_any(tag {tag}) never matched"),
+            },
+            Self::TagMismatch {
+                receiver,
+                sender,
+                wanted,
+                available,
+            } => write!(
+                f,
+                "rank {receiver} wants tag {wanted} from rank {sender}, \
+                 channel holds tags {available:?}"
+            ),
+            Self::UnmatchedSend {
+                src,
+                dst,
+                tag,
+                bytes,
+                count,
+            } => write!(
+                f,
+                "{count} unmatched send(s) {src} -> {dst} tag {tag} ({bytes} bytes)"
+            ),
+            Self::WildcardChoice { rank, tag, sources } => write!(
+                f,
+                "rank {rank}: recv_any(tag {tag}) could match any of {sources:?}"
+            ),
+        }
+    }
+}
+
+/// The result of [`analyze_plan`].
+#[derive(Debug, Clone)]
+pub struct PlanAnalysis {
+    /// The analyzed world size.
+    pub p: usize,
+    /// All findings (capped at an internal limit; see
+    /// [`PlanAnalysis::findings_truncated`]).
+    pub findings: Vec<PlanFinding>,
+    /// Whether the finding list was truncated at the cap.
+    pub findings_truncated: bool,
+    /// Whether the verdict is exact (no wildcard receive executed at
+    /// `p > 2`); conservative verdicts prove deadlocks real but cannot
+    /// prove their absence.
+    pub exact: bool,
+    /// Whether every rank ran to completion.
+    pub completed: bool,
+    /// Abstract comm ops processed (a work metric for reports).
+    pub steps: u64,
+    /// Cost totals summed over ranks.
+    pub total: RankCost,
+    /// Per-collective-family totals summed over ranks.
+    pub colls: [CollStats; COLL_KINDS],
+    /// Per-rank cost totals (index = rank).
+    pub per_rank: Vec<RankCost>,
+}
+
+impl PlanAnalysis {
+    /// The deadlock-freedom certificate: every rank completed, no finding
+    /// denies it, and the verdict is exact.
+    #[must_use]
+    pub fn deadlock_free(&self) -> bool {
+        self.completed && self.exact && !self.findings.iter().any(PlanFinding::blocks_certification)
+    }
+
+    /// Completely clean: completed with no findings of any kind.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.completed && self.findings.is_empty() && !self.findings_truncated
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Running,
+    /// Blocked receiving `tag`; `from = None` is a wildcard.
+    Blocked {
+        from: Option<usize>,
+        tag: u64,
+    },
+    Finished,
+    Faulted,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Msg {
+    tag: u64,
+    bytes: u64,
+}
+
+/// A `src -> dst` message queue. There are `p²` of these (a million at
+/// p = 1024), and in well-formed plans almost every one holds at most a
+/// single in-flight message at a time, so the ≤1 case is stored inline —
+/// no allocation, no pointer chase — and only transient pileups (a rank
+/// racing ahead through eager sends) spill to a boxed deque.
+#[derive(Debug, Default)]
+enum Chan {
+    #[default]
+    Empty,
+    One(Msg),
+    // Boxed on purpose: the variant must stay pointer-sized so the whole
+    // enum is 24 bytes and the p² channel array stays allocation-free in
+    // the common case.
+    #[allow(clippy::box_collection)]
+    Many(Box<VecDeque<Msg>>),
+}
+
+impl Chan {
+    fn push(&mut self, m: Msg) {
+        match self {
+            Self::Empty => *self = Self::One(m),
+            Self::One(first) => {
+                let mut q = VecDeque::with_capacity(4);
+                q.push_back(*first);
+                q.push_back(m);
+                *self = Self::Many(Box::new(q));
+            }
+            Self::Many(q) => q.push_back(m),
+        }
+    }
+
+    /// Remove the oldest message with `tag` (the tag-skipping FIFO match).
+    fn take_tag(&mut self, tag: u64) -> bool {
+        match self {
+            Self::Empty => false,
+            Self::One(m) => {
+                let hit = m.tag == tag;
+                if hit {
+                    *self = Self::Empty;
+                }
+                hit
+            }
+            Self::Many(q) => {
+                let Some(pos) = q.iter().position(|m| m.tag == tag) else {
+                    return false;
+                };
+                q.remove(pos);
+                if q.len() == 1 {
+                    *self = Self::One(q[0]);
+                }
+                true
+            }
+        }
+    }
+
+    fn has_tag(&self, tag: u64) -> bool {
+        match self {
+            Self::Empty => false,
+            Self::One(m) => m.tag == tag,
+            Self::Many(q) => q.iter().any(|m| m.tag == tag),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        matches!(self, Self::Empty)
+    }
+
+    /// Snapshot of the queued messages, oldest first (report paths only).
+    fn msgs(&self) -> Vec<Msg> {
+        match self {
+            Self::Empty => Vec::new(),
+            Self::One(m) => vec![*m],
+            Self::Many(q) => q.iter().copied().collect(),
+        }
+    }
+}
+
+struct Checker<'p> {
+    p: usize,
+    cursors: Vec<RankCursor<'p>>,
+    status: Vec<Status>,
+    /// Channel `src -> dst` at index `dst * p + src` — destination-major,
+    /// so a receiving rank's wildcard scan and matching reads walk one
+    /// contiguous `p`-entry row instead of striding across the whole
+    /// `p²` array.
+    channels: Vec<Chan>,
+    /// The receive a blocked rank must retry when woken (a blocked rank's
+    /// cursor has already moved past it).
+    pending: Vec<Option<AOp>>,
+    findings: Vec<PlanFinding>,
+    findings_truncated: bool,
+    exact: bool,
+    steps: u64,
+}
+
+impl<'p> Checker<'p> {
+    fn push_finding(&mut self, f: PlanFinding) {
+        if self.findings.len() < MAX_FINDINGS {
+            self.findings.push(f);
+        } else {
+            self.findings_truncated = true;
+        }
+    }
+
+    fn take_match(&mut self, src: usize, dst: usize, tag: u64) -> bool {
+        self.channels[dst * self.p + src].take_tag(tag)
+    }
+
+    /// Run rank `r` until it blocks, finishes, or faults. Returns ranks to
+    /// wake.
+    fn run_rank(&mut self, r: usize, wake: &mut Vec<usize>) {
+        loop {
+            // A rank woken from a block retries its stashed receive; its
+            // cursor already consumed that op.
+            let next = match self.pending[r].take() {
+                Some(op) => Ok(Some(op)),
+                None => self.cursors[r].next_comm(),
+            };
+            match next {
+                Err(issue) => {
+                    self.push_finding(PlanFinding::Shape { rank: r, issue });
+                    self.status[r] = Status::Faulted;
+                    return;
+                }
+                Ok(None) => {
+                    self.status[r] = Status::Finished;
+                    return;
+                }
+                Ok(Some(op)) => {
+                    self.steps += 1;
+                    match op {
+                        AOp::Send { to, tag, bytes } => {
+                            if let Status::Blocked { from, tag: want } = self.status[to] {
+                                if tag == want && from == Some(r) {
+                                    // Rendezvous fast path: the destination
+                                    // is blocked on exactly this message
+                                    // (its channel held no matching tag, so
+                                    // this send is the FIFO match) —
+                                    // satisfy the stashed receive directly,
+                                    // skipping the channel round-trip.
+                                    debug_assert!(matches!(
+                                        self.pending[to],
+                                        Some(AOp::Recv { .. })
+                                    ));
+                                    self.pending[to] = None;
+                                    self.status[to] = Status::Running;
+                                    wake.push(to);
+                                    continue;
+                                }
+                                // Wildcard waits re-scan their channels on
+                                // wake, so queue first, then wake.
+                                if tag == want && from.is_none() {
+                                    self.status[to] = Status::Running;
+                                    wake.push(to);
+                                }
+                            }
+                            self.channels[to * self.p + r].push(Msg { tag, bytes });
+                        }
+                        AOp::Recv { from, tag } => {
+                            if !self.take_match(from, r, tag) {
+                                self.pending[r] = Some(op);
+                                self.status[r] = Status::Blocked {
+                                    from: Some(from),
+                                    tag,
+                                };
+                                return;
+                            }
+                        }
+                        AOp::RecvAny { tag } => {
+                            let row = &self.channels[r * self.p..(r + 1) * self.p];
+                            let sources: Vec<usize> = (0..self.p)
+                                .filter(|&s| s != r && row[s].has_tag(tag))
+                                .collect();
+                            if sources.is_empty() {
+                                self.pending[r] = Some(op);
+                                self.status[r] = Status::Blocked { from: None, tag };
+                                return;
+                            }
+                            // A wildcard at p > 2 is schedule-dependent in
+                            // general, even when only one source matches
+                            // right now (another could have arrived first
+                            // under a different interleaving).
+                            if self.p > 2 {
+                                self.exact = false;
+                            }
+                            if sources.len() > 1 {
+                                self.push_finding(PlanFinding::WildcardChoice {
+                                    rank: r,
+                                    tag,
+                                    sources: sources.clone(),
+                                });
+                            }
+                            let chosen = sources[0];
+                            let took = self.take_match(chosen, r, tag);
+                            debug_assert!(took, "source just scanned non-empty");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Post-quiescence deadlock analysis over the blocked ranks.
+    fn report_blocked(&mut self) {
+        // Wait-for graph restricted to specific waits on unfinished ranks.
+        let next = |checker: &Self, r: usize| -> Option<usize> {
+            match checker.status[r] {
+                Status::Blocked { from: Some(s), .. }
+                    if matches!(checker.status[s], Status::Blocked { .. }) =>
+                {
+                    Some(s)
+                }
+                _ => None,
+            }
+        };
+
+        let mut color = vec![0u8; self.p]; // 0 unvisited, 1 on path, 2 done
+        let mut in_cycle = vec![false; self.p];
+        for start in 0..self.p {
+            if color[start] != 0 || !matches!(self.status[start], Status::Blocked { .. }) {
+                continue;
+            }
+            let mut path: Vec<usize> = Vec::new();
+            let mut cur = start;
+            loop {
+                if color[cur] == 1 {
+                    // Found a cycle: the path suffix starting at `cur`.
+                    let pos = path.iter().position(|&x| x == cur).expect("on path");
+                    let cycle: Vec<PlanWaitEdge> = path[pos..]
+                        .iter()
+                        .map(|&rank| {
+                            let Status::Blocked { from, tag } = self.status[rank] else {
+                                unreachable!("cycle members are blocked")
+                            };
+                            in_cycle[rank] = true;
+                            PlanWaitEdge {
+                                rank,
+                                on: from.expect("cycle edges are specific"),
+                                tag,
+                            }
+                        })
+                        .collect();
+                    self.push_finding(PlanFinding::DeadlockCycle { cycle });
+                    break;
+                }
+                if color[cur] == 2 {
+                    break;
+                }
+                color[cur] = 1;
+                path.push(cur);
+                match next(self, cur) {
+                    Some(n) => cur = n,
+                    None => break,
+                }
+            }
+            for &x in &path {
+                color[x] = 2;
+            }
+        }
+
+        // Every blocked rank outside a cycle: an unmatchable receive.
+        for (r, cyclic) in in_cycle.iter().enumerate() {
+            let Status::Blocked { from, tag } = self.status[r] else {
+                continue;
+            };
+            if *cyclic {
+                continue;
+            }
+            self.push_finding(PlanFinding::UnmatchedRecv { rank: r, from, tag });
+            // Tag-mismatch evidence: the awaited channel holds messages,
+            // just not the wanted tag.
+            if let Some(s) = from {
+                let q = &self.channels[r * self.p + s];
+                if !q.is_empty() {
+                    let mut available: Vec<u64> = Vec::new();
+                    for m in q.msgs() {
+                        if !available.contains(&m.tag) {
+                            available.push(m.tag);
+                        }
+                        if available.len() >= 4 {
+                            break;
+                        }
+                    }
+                    self.push_finding(PlanFinding::TagMismatch {
+                        receiver: r,
+                        sender: s,
+                        wanted: tag,
+                        available,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Leftover never-received messages, aggregated per `(src, dst, tag)`.
+    fn report_leftovers(&mut self) {
+        for src in 0..self.p {
+            for dst in 0..self.p {
+                let q = std::mem::take(&mut self.channels[dst * self.p + src]);
+                let mut seen: Vec<(u64, u64, u64)> = Vec::new(); // (tag, bytes, count)
+                for m in q.msgs() {
+                    if let Some(e) = seen.iter_mut().find(|e| e.0 == m.tag) {
+                        e.2 += 1;
+                    } else {
+                        seen.push((m.tag, m.bytes, 1));
+                    }
+                }
+                for (tag, bytes, count) in seen {
+                    self.push_finding(PlanFinding::UnmatchedSend {
+                        src,
+                        dst,
+                        tag,
+                        bytes,
+                        count,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Statically analyze `plan` at world size `p`: shape, matching, deadlock
+/// and cost accounting in one pass, without executing anything.
+///
+/// # Panics
+/// Panics when `p == 0`.
+#[must_use]
+pub fn analyze_plan(plan: &CommPlan, p: usize) -> PlanAnalysis {
+    assert!(p >= 1, "need at least one rank");
+    let mut checker = Checker {
+        p,
+        cursors: (0..p).map(|r| RankCursor::new(plan, p, r)).collect(),
+        status: vec![Status::Running; p],
+        channels: (0..p * p).map(|_| Chan::Empty).collect(),
+        pending: vec![None; p],
+        findings: Vec::new(),
+        findings_truncated: false,
+        exact: true,
+        steps: 0,
+    };
+
+    let mut worklist: Vec<usize> = (0..p).rev().collect();
+    let mut wake: Vec<usize> = Vec::new();
+    while let Some(r) = worklist.pop() {
+        if checker.status[r] != Status::Running {
+            continue;
+        }
+        checker.run_rank(r, &mut wake);
+        worklist.append(&mut wake);
+    }
+
+    let any_blocked = checker
+        .status
+        .iter()
+        .any(|s| matches!(s, Status::Blocked { .. }));
+    if any_blocked {
+        checker.report_blocked();
+    } else {
+        checker.report_leftovers();
+    }
+
+    let completed = checker.status.iter().all(|s| *s == Status::Finished);
+    let mut total = RankCost::default();
+    let mut colls = [CollStats::default(); COLL_KINDS];
+    let mut per_rank = Vec::with_capacity(p);
+    let mut exact = checker.exact;
+    for c in &checker.cursors {
+        total.absorb(&c.cost);
+        for (t, s) in colls.iter_mut().zip(&c.colls) {
+            t.calls += s.calls;
+            t.messages += s.messages;
+            t.bytes += s.bytes;
+        }
+        per_rank.push(c.cost);
+        // A wildcard that was emitted but never executed (rank faulted
+        // first) still poisons exactness conservatively.
+        if c.saw_wildcard && p > 2 {
+            exact = false;
+        }
+    }
+
+    PlanAnalysis {
+        p,
+        findings: checker.findings,
+        findings_truncated: checker.findings_truncated,
+        exact,
+        completed,
+        steps: checker.steps,
+        total,
+        colls,
+        per_rank,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Cond, Expr};
+    use crate::ir::{Op, TagExpr};
+
+    fn tag(t: i64) -> TagExpr {
+        TagExpr::Expr(Expr::Const(t))
+    }
+
+    /// Ops executed only by `rank`.
+    fn on(rank: i64, ops: Vec<Op>) -> Op {
+        Op::IfElse {
+            cond: Cond::Eq(Expr::Rank, Expr::Const(rank)),
+            then: ops,
+            els: vec![],
+        }
+    }
+
+    #[test]
+    fn clean_ring_certifies_at_many_sizes() {
+        // Every rank sends right, receives from left.
+        let plan = CommPlan::new(
+            "ring",
+            vec![
+                Op::Send {
+                    to: (Expr::Rank + Expr::Const(1)) % Expr::P,
+                    tag: tag(1),
+                    bytes: Expr::Const(64),
+                },
+                Op::Recv {
+                    from: (Expr::Rank + Expr::P - Expr::Const(1)) % Expr::P,
+                    tag: tag(1),
+                },
+            ],
+        );
+        for p in [2usize, 3, 5, 16, 64] {
+            let a = analyze_plan(&plan, p);
+            assert!(a.deadlock_free(), "p={p}: {:?}", a.findings);
+            assert!(a.clean(), "p={p}");
+            assert_eq!(a.total.messages, p as u64);
+            assert_eq!(a.total.bytes, 64 * p as u64);
+        }
+    }
+
+    #[test]
+    fn cyclic_recv_before_send_deadlocks_with_cycle_witness() {
+        // Two ranks both receive before sending: classic circular wait.
+        let plan = CommPlan::new(
+            "cycle",
+            vec![
+                Op::Recv {
+                    from: Expr::Const(1) - Expr::Rank,
+                    tag: tag(7),
+                },
+                Op::Send {
+                    to: Expr::Const(1) - Expr::Rank,
+                    tag: tag(7),
+                    bytes: Expr::Const(8),
+                },
+            ],
+        );
+        let a = analyze_plan(&plan, 2);
+        assert!(!a.deadlock_free());
+        assert!(!a.completed);
+        let cycle = a.findings.iter().find_map(|f| match f {
+            PlanFinding::DeadlockCycle { cycle } => Some(cycle),
+            _ => None,
+        });
+        let cycle = cycle.expect("cycle witness");
+        assert_eq!(cycle.len(), 2);
+        assert!(cycle.iter().all(|e| e.tag == 7));
+    }
+
+    #[test]
+    fn missing_sender_reports_unmatched_recv() {
+        let plan = CommPlan::new(
+            "norecv",
+            vec![on(
+                0,
+                vec![Op::Recv {
+                    from: Expr::Const(1),
+                    tag: tag(3),
+                }],
+            )],
+        );
+        let a = analyze_plan(&plan, 2);
+        assert!(!a.deadlock_free());
+        assert!(a.findings.contains(&PlanFinding::UnmatchedRecv {
+            rank: 0,
+            from: Some(1),
+            tag: 3
+        }));
+    }
+
+    #[test]
+    fn wrong_tag_reports_mismatch_evidence() {
+        let plan = CommPlan::new(
+            "wrongtag",
+            vec![
+                on(
+                    1,
+                    vec![Op::Send {
+                        to: Expr::Const(0),
+                        tag: tag(5),
+                        bytes: Expr::Const(16),
+                    }],
+                ),
+                on(
+                    0,
+                    vec![Op::Recv {
+                        from: Expr::Const(1),
+                        tag: tag(6),
+                    }],
+                ),
+            ],
+        );
+        let a = analyze_plan(&plan, 2);
+        assert!(a.findings.iter().any(|f| matches!(
+            f,
+            PlanFinding::TagMismatch {
+                receiver: 0,
+                sender: 1,
+                wanted: 6,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn extra_send_reports_unmatched_send_but_still_completes() {
+        let plan = CommPlan::new(
+            "extra",
+            vec![on(
+                0,
+                vec![Op::Send {
+                    to: Expr::Const(1),
+                    tag: tag(9),
+                    bytes: Expr::Const(32),
+                }],
+            )],
+        );
+        let a = analyze_plan(&plan, 2);
+        assert!(a.completed);
+        assert!(!a.clean());
+        assert!(a.deadlock_free(), "leftover sends do not deadlock");
+        assert!(a.findings.contains(&PlanFinding::UnmatchedSend {
+            src: 0,
+            dst: 1,
+            tag: 9,
+            bytes: 32,
+            count: 1
+        }));
+    }
+
+    #[test]
+    fn tag_skipping_matches_out_of_order_sends() {
+        // Rank 1 sends tags 1 then 2; rank 0 receives 2 then 1.
+        let plan = CommPlan::new(
+            "skip",
+            vec![
+                on(
+                    1,
+                    vec![
+                        Op::Send {
+                            to: Expr::Const(0),
+                            tag: tag(1),
+                            bytes: Expr::Const(8),
+                        },
+                        Op::Send {
+                            to: Expr::Const(0),
+                            tag: tag(2),
+                            bytes: Expr::Const(8),
+                        },
+                    ],
+                ),
+                on(
+                    0,
+                    vec![
+                        Op::Recv {
+                            from: Expr::Const(1),
+                            tag: tag(2),
+                        },
+                        Op::Recv {
+                            from: Expr::Const(1),
+                            tag: tag(1),
+                        },
+                    ],
+                ),
+            ],
+        );
+        let a = analyze_plan(&plan, 2);
+        assert!(a.clean(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn wildcard_is_exact_at_p2_conservative_at_p3() {
+        let body = vec![
+            on(
+                1,
+                vec![Op::Send {
+                    to: Expr::Const(0),
+                    tag: tag(4),
+                    bytes: Expr::Const(8),
+                }],
+            ),
+            on(0, vec![Op::RecvAny { tag: tag(4) }]),
+        ];
+        let a2 = analyze_plan(&CommPlan::new("w", body.clone()), 2);
+        assert!(a2.exact && a2.deadlock_free(), "{:?}", a2.findings);
+        let a3 = analyze_plan(&CommPlan::new("w", body), 3);
+        assert!(!a3.exact);
+        assert!(!a3.deadlock_free(), "conservative verdicts never certify");
+        assert!(a3.completed);
+    }
+
+    #[test]
+    fn wildcard_race_is_flagged() {
+        let plan = CommPlan::new(
+            "race",
+            vec![
+                on(
+                    1,
+                    vec![Op::Send {
+                        to: Expr::Const(0),
+                        tag: tag(4),
+                        bytes: Expr::Const(8),
+                    }],
+                ),
+                on(
+                    2,
+                    vec![Op::Send {
+                        to: Expr::Const(0),
+                        tag: tag(4),
+                        bytes: Expr::Const(8),
+                    }],
+                ),
+                Op::Barrier,
+                on(
+                    0,
+                    vec![Op::RecvAny { tag: tag(4) }, Op::RecvAny { tag: tag(4) }],
+                ),
+            ],
+        );
+        let a = analyze_plan(&plan, 3);
+        assert!(!a.exact);
+        assert!(a.completed, "{:?}", a.findings);
+        assert!(a
+            .findings
+            .iter()
+            .any(|f| matches!(f, PlanFinding::WildcardChoice { rank: 0, .. })));
+    }
+
+    #[test]
+    fn collectives_complete_cleanly_across_sizes() {
+        let plan = CommPlan::new(
+            "colls",
+            vec![
+                Op::Barrier,
+                Op::Bcast {
+                    root: Expr::Const(0),
+                    bytes: Expr::Const(128),
+                },
+                Op::Reduce {
+                    root: Expr::Const(0),
+                    elems: Expr::Const(4),
+                    op: mps::ReduceOp::Sum,
+                },
+                Op::AllReduce {
+                    elems: Expr::Const(2),
+                    op: mps::ReduceOp::Max,
+                },
+                Op::AllGather {
+                    bytes: Expr::Peer + Expr::Const(1),
+                },
+                Op::AllToAll {
+                    bytes: Expr::Const(16),
+                },
+            ],
+        );
+        for p in [1usize, 2, 3, 4, 5, 8, 12, 16] {
+            let a = analyze_plan(&plan, p);
+            assert!(a.clean(), "p={p}: {:?}", a.findings);
+            assert!(a.deadlock_free());
+            // Every collective family called once per rank.
+            for s in &a.colls {
+                assert_eq!(s.calls, p as u64);
+            }
+            if p > 1 {
+                // alltoall: p(p-1) messages of 16 bytes.
+                let a2a = a.colls[crate::CollKind::AllToAll.index()];
+                assert_eq!(a2a.messages, (p * (p - 1)) as u64);
+                assert_eq!(a2a.bytes, (16 * p * (p - 1)) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn shape_error_surfaces_and_blocks_certification() {
+        let plan = CommPlan::new(
+            "bad",
+            vec![Op::Send {
+                to: Expr::P, // out of range on every rank
+                tag: tag(0),
+                bytes: Expr::Const(1),
+            }],
+        );
+        let a = analyze_plan(&plan, 3);
+        assert!(!a.deadlock_free());
+        assert!(!a.completed);
+        assert!(a
+            .findings
+            .iter()
+            .any(|f| matches!(f, PlanFinding::Shape { .. })));
+    }
+
+    #[test]
+    fn certifies_large_worlds_quickly() {
+        // A barrier + allreduce at p = 1024 stays well under the step
+        // budget a full NPB plan needs, and must certify instantly.
+        let plan = CommPlan::new(
+            "big",
+            vec![
+                Op::Barrier,
+                Op::AllReduce {
+                    elems: Expr::Const(1),
+                    op: mps::ReduceOp::Sum,
+                },
+            ],
+        );
+        let a = analyze_plan(&plan, 1024);
+        assert!(a.deadlock_free(), "{:?}", a.findings);
+        // Dissemination barrier: 10 rounds; allreduce: 10 doubling rounds.
+        assert_eq!(a.total.messages, 1024 * 20);
+    }
+}

@@ -1,0 +1,398 @@
+//! Symbolic integer expressions over `(p, rank, peer, loop variables)`.
+//!
+//! One [`Expr`] tree describes a value — a peer rank, a tag, a payload size,
+//! a loop trip count — for *every* world size at once; the analyses in
+//! [`crate::check`] evaluate it per rank at a concrete `p`, and
+//! [`crate::lower`] evaluates it inside a live [`mps::Ctx`]. Evaluation is
+//! total over checked 64-bit arithmetic: division by zero, overflow and
+//! unbound variables surface as [`EvalError`] (which the static checker
+//! turns into shape findings) rather than panics.
+
+use std::fmt;
+use std::ops;
+
+/// A symbolic integer expression.
+///
+/// Arithmetic is exact signed 64-bit with checked overflow. Division and
+/// remainder truncate toward zero, which coincides with floor semantics for
+/// the non-negative quantities plans compute (lengths, ranks, distances).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// An integer literal.
+    Const(i64),
+    /// The world size `p`.
+    P,
+    /// The executing rank.
+    Rank,
+    /// The peer variable bound by collective size expressions: the chunk's
+    /// *destination* rank in [`crate::Op::AllToAll`] and the chunk's
+    /// *originating* rank in [`crate::Op::AllGather`]. Unbound elsewhere.
+    Peer,
+    /// A loop variable in De Bruijn style: `Var(0)` is the index of the
+    /// innermost enclosing [`crate::Op::Loop`], `Var(1)` the next one out.
+    Var(usize),
+    /// `a + b`.
+    Add(Box<Expr>, Box<Expr>),
+    /// `a - b`.
+    Sub(Box<Expr>, Box<Expr>),
+    /// `a * b`.
+    Mul(Box<Expr>, Box<Expr>),
+    /// `a / b`, truncating; error when `b == 0`.
+    Div(Box<Expr>, Box<Expr>),
+    /// `a % b`; error when `b == 0`.
+    Mod(Box<Expr>, Box<Expr>),
+    /// `min(a, b)`.
+    Min(Box<Expr>, Box<Expr>),
+    /// `max(a, b)`.
+    Max(Box<Expr>, Box<Expr>),
+    /// Bitwise `a ^ b` (the recursive-doubling partner pattern).
+    Xor(Box<Expr>, Box<Expr>),
+    /// `2^e`; error unless `0 <= e < 63`.
+    Pow2(Box<Expr>),
+    /// `floor(log2 e)`; error unless `e > 0`.
+    Log2(Box<Expr>),
+    /// Length of block `idx` when `total` items are split over `parts`
+    /// ranks with the remainder spread over the low indices — the NPB
+    /// `block_range` length: `total/parts + (idx < total % parts)`.
+    BlockLen {
+        /// Items to distribute.
+        total: Box<Expr>,
+        /// Number of blocks.
+        parts: Box<Expr>,
+        /// Which block.
+        idx: Box<Expr>,
+    },
+}
+
+/// Why an expression failed to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalError {
+    /// Division or remainder by zero.
+    DivByZero,
+    /// 64-bit overflow.
+    Overflow,
+    /// `Log2` of a non-positive value, or `Pow2` outside `[0, 63)`.
+    BadLog,
+    /// `Var(depth)` with fewer than `depth + 1` enclosing loops.
+    UnboundVar(usize),
+    /// `Peer` outside a collective size expression.
+    PeerUnavailable,
+    /// `BlockLen` with non-positive `parts` or negative `total`/`idx`.
+    BadBlock,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DivByZero => write!(f, "division by zero"),
+            Self::Overflow => write!(f, "64-bit overflow"),
+            Self::BadLog => write!(f, "log2/pow2 domain error"),
+            Self::UnboundVar(d) => write!(f, "unbound loop variable Var({d})"),
+            Self::PeerUnavailable => write!(f, "Peer used outside a collective size expression"),
+            Self::BadBlock => write!(f, "BlockLen with invalid total/parts/idx"),
+        }
+    }
+}
+
+/// The evaluation environment: one rank's view of the world.
+#[derive(Debug, Clone, Copy)]
+pub struct Env<'a> {
+    /// World size.
+    pub p: i64,
+    /// Executing rank.
+    pub rank: i64,
+    /// The bound peer, inside collective size expressions.
+    pub peer: Option<i64>,
+    /// Loop variable stack, outermost first (`Var(0)` reads the last).
+    pub vars: &'a [i64],
+}
+
+impl Expr {
+    /// Evaluate against `env`.
+    pub fn eval(&self, env: &Env) -> Result<i64, EvalError> {
+        match self {
+            Self::Const(v) => Ok(*v),
+            Self::P => Ok(env.p),
+            Self::Rank => Ok(env.rank),
+            Self::Peer => env.peer.ok_or(EvalError::PeerUnavailable),
+            Self::Var(d) => {
+                let n = env.vars.len();
+                if *d < n {
+                    Ok(env.vars[n - 1 - d])
+                } else {
+                    Err(EvalError::UnboundVar(*d))
+                }
+            }
+            Self::Add(a, b) => a
+                .eval(env)?
+                .checked_add(b.eval(env)?)
+                .ok_or(EvalError::Overflow),
+            Self::Sub(a, b) => a
+                .eval(env)?
+                .checked_sub(b.eval(env)?)
+                .ok_or(EvalError::Overflow),
+            Self::Mul(a, b) => a
+                .eval(env)?
+                .checked_mul(b.eval(env)?)
+                .ok_or(EvalError::Overflow),
+            Self::Div(a, b) => {
+                let d = b.eval(env)?;
+                if d == 0 {
+                    return Err(EvalError::DivByZero);
+                }
+                a.eval(env)?.checked_div(d).ok_or(EvalError::Overflow)
+            }
+            Self::Mod(a, b) => {
+                let d = b.eval(env)?;
+                if d == 0 {
+                    return Err(EvalError::DivByZero);
+                }
+                a.eval(env)?.checked_rem(d).ok_or(EvalError::Overflow)
+            }
+            Self::Min(a, b) => Ok(a.eval(env)?.min(b.eval(env)?)),
+            Self::Max(a, b) => Ok(a.eval(env)?.max(b.eval(env)?)),
+            Self::Xor(a, b) => Ok(a.eval(env)? ^ b.eval(env)?),
+            Self::Pow2(e) => {
+                let v = e.eval(env)?;
+                if (0..63).contains(&v) {
+                    Ok(1i64 << v)
+                } else {
+                    Err(EvalError::BadLog)
+                }
+            }
+            Self::Log2(e) => {
+                let v = e.eval(env)?;
+                if v > 0 {
+                    Ok(i64::from(63 - v.leading_zeros()))
+                } else {
+                    Err(EvalError::BadLog)
+                }
+            }
+            Self::BlockLen { total, parts, idx } => {
+                let total = total.eval(env)?;
+                let parts = parts.eval(env)?;
+                let idx = idx.eval(env)?;
+                if total < 0 || parts <= 0 || idx < 0 {
+                    return Err(EvalError::BadBlock);
+                }
+                Ok(total / parts + i64::from(idx < total % parts))
+            }
+        }
+    }
+
+    /// `min(self, other)`.
+    #[must_use]
+    pub fn min_of(self, other: Expr) -> Expr {
+        Expr::Min(Box::new(self), Box::new(other))
+    }
+
+    /// `max(self, other)`.
+    #[must_use]
+    pub fn max_of(self, other: Expr) -> Expr {
+        Expr::Max(Box::new(self), Box::new(other))
+    }
+
+    /// `self ^ other` (bitwise).
+    #[must_use]
+    pub fn xor(self, other: Expr) -> Expr {
+        Expr::Xor(Box::new(self), Box::new(other))
+    }
+
+    /// `2^self`.
+    #[must_use]
+    pub fn pow2(self) -> Expr {
+        Expr::Pow2(Box::new(self))
+    }
+
+    /// `floor(log2 self)`.
+    #[must_use]
+    pub fn log2(self) -> Expr {
+        Expr::Log2(Box::new(self))
+    }
+
+    /// NPB block length: `total/parts + (idx < total % parts)`.
+    #[must_use]
+    pub fn block_len(total: Expr, parts: Expr, idx: Expr) -> Expr {
+        Expr::BlockLen {
+            total: Box::new(total),
+            parts: Box::new(parts),
+            idx: Box::new(idx),
+        }
+    }
+}
+
+impl From<i64> for Expr {
+    fn from(v: i64) -> Self {
+        Expr::Const(v)
+    }
+}
+
+macro_rules! expr_binop {
+    ($trait:ident, $method:ident, $variant:ident) => {
+        impl ops::$trait for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                Expr::$variant(Box::new(self), Box::new(rhs))
+            }
+        }
+    };
+}
+
+expr_binop!(Add, add, Add);
+expr_binop!(Sub, sub, Sub);
+expr_binop!(Mul, mul, Mul);
+expr_binop!(Div, div, Div);
+expr_binop!(Rem, rem, Mod);
+
+/// A boolean condition over the same environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cond {
+    /// `a == b`.
+    Eq(Expr, Expr),
+    /// `a != b`.
+    Ne(Expr, Expr),
+    /// `a < b`.
+    Lt(Expr, Expr),
+    /// `a <= b`.
+    Le(Expr, Expr),
+    /// Conjunction.
+    And(Box<Cond>, Box<Cond>),
+    /// Disjunction.
+    Or(Box<Cond>, Box<Cond>),
+    /// Negation.
+    Not(Box<Cond>),
+}
+
+impl Cond {
+    /// Evaluate against `env`.
+    pub fn eval(&self, env: &Env) -> Result<bool, EvalError> {
+        match self {
+            Self::Eq(a, b) => Ok(a.eval(env)? == b.eval(env)?),
+            Self::Ne(a, b) => Ok(a.eval(env)? != b.eval(env)?),
+            Self::Lt(a, b) => Ok(a.eval(env)? < b.eval(env)?),
+            Self::Le(a, b) => Ok(a.eval(env)? <= b.eval(env)?),
+            Self::And(a, b) => Ok(a.eval(env)? && b.eval(env)?),
+            Self::Or(a, b) => Ok(a.eval(env)? || b.eval(env)?),
+            Self::Not(c) => Ok(!c.eval(env)?),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(p: i64, rank: i64) -> Env<'static> {
+        Env {
+            p,
+            rank,
+            peer: None,
+            vars: &[],
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_builders() {
+        let e = (Expr::Rank + Expr::Const(3)) * Expr::Const(2);
+        assert_eq!(e.eval(&env(8, 5)), Ok(16));
+        let e = Expr::P / Expr::Const(2) - Expr::Const(1);
+        assert_eq!(e.eval(&env(8, 0)), Ok(3));
+        assert_eq!((Expr::Rank % Expr::Const(3)).eval(&env(8, 7)), Ok(1));
+        assert_eq!(Expr::Rank.xor(Expr::Const(1)).eval(&env(8, 6)), Ok(7));
+        assert_eq!(
+            Expr::Const(5).min_of(Expr::Const(9)).eval(&env(1, 0)),
+            Ok(5)
+        );
+        assert_eq!(
+            Expr::Const(5).max_of(Expr::Const(9)).eval(&env(1, 0)),
+            Ok(9)
+        );
+    }
+
+    #[test]
+    fn pow2_log2_roundtrip() {
+        for v in [1i64, 2, 3, 7, 8, 1024] {
+            let lg = Expr::Const(v).log2().eval(&env(1, 0)).unwrap();
+            assert_eq!(lg, i64::from(63 - v.leading_zeros()));
+            let back = Expr::Const(lg).pow2().eval(&env(1, 0)).unwrap();
+            assert!(back <= v && v < back * 2);
+        }
+        assert_eq!(
+            Expr::Const(0).log2().eval(&env(1, 0)),
+            Err(EvalError::BadLog)
+        );
+        assert_eq!(
+            Expr::Const(64).pow2().eval(&env(1, 0)),
+            Err(EvalError::BadLog)
+        );
+    }
+
+    #[test]
+    fn block_len_matches_npb_block_range() {
+        // Mirror of npb's block_range length for a few (total, parts).
+        for (total, parts) in [(16i64, 4i64), (7, 3), (16, 5), (8, 12)] {
+            let mut sum = 0;
+            for idx in 0..parts {
+                let len = Expr::block_len(Expr::Const(total), Expr::Const(parts), Expr::Const(idx))
+                    .eval(&env(1, 0))
+                    .unwrap();
+                let base = total / parts;
+                let extra = total % parts;
+                assert_eq!(len, base + i64::from(idx < extra));
+                sum += len;
+            }
+            assert_eq!(sum, total, "blocks must cover total exactly");
+        }
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert_eq!(
+            (Expr::Const(1) / Expr::Const(0)).eval(&env(1, 0)),
+            Err(EvalError::DivByZero)
+        );
+        assert_eq!(
+            (Expr::Const(i64::MAX) + Expr::Const(1)).eval(&env(1, 0)),
+            Err(EvalError::Overflow)
+        );
+        assert_eq!(Expr::Peer.eval(&env(4, 0)), Err(EvalError::PeerUnavailable));
+        assert_eq!(Expr::Var(0).eval(&env(4, 0)), Err(EvalError::UnboundVar(0)));
+    }
+
+    #[test]
+    fn de_bruijn_vars_read_innermost_first() {
+        let vars = [10i64, 20, 30];
+        let e = Env {
+            p: 4,
+            rank: 0,
+            peer: None,
+            vars: &vars,
+        };
+        assert_eq!(Expr::Var(0).eval(&e), Ok(30));
+        assert_eq!(Expr::Var(1).eval(&e), Ok(20));
+        assert_eq!(Expr::Var(2).eval(&e), Ok(10));
+    }
+
+    #[test]
+    fn conds() {
+        let e = env(8, 3);
+        assert!(Cond::Eq(Expr::Rank, Expr::Const(3)).eval(&e).unwrap());
+        assert!(Cond::Ne(Expr::Rank, Expr::P).eval(&e).unwrap());
+        assert!(Cond::Lt(Expr::Rank, Expr::P).eval(&e).unwrap());
+        assert!(Cond::Not(Box::new(Cond::Le(Expr::P, Expr::Rank)))
+            .eval(&e)
+            .unwrap());
+        assert!(Cond::And(
+            Box::new(Cond::Le(Expr::Const(0), Expr::Rank)),
+            Box::new(Cond::Lt(Expr::Rank, Expr::P)),
+        )
+        .eval(&e)
+        .unwrap());
+        assert!(Cond::Or(
+            Box::new(Cond::Eq(Expr::Rank, Expr::Const(99))),
+            Box::new(Cond::Lt(Expr::Rank, Expr::P)),
+        )
+        .eval(&e)
+        .unwrap());
+    }
+}

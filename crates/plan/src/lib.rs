@@ -1,0 +1,59 @@
+//! # plan — a statically analyzable communication-plan IR
+//!
+//! A [`CommPlan`] describes a parallel kernel's communication skeleton as
+//! one declarative op list parameterized over symbolic rank/size
+//! expressions ([`Expr`]), so a *single* plan covers every world size `p`.
+//! The crate then offers two consumers of the same IR:
+//!
+//! * **Static analysis** ([`analyze_plan`]) — without executing anything,
+//!   resolve every symbolic peer/tag/size at a concrete `p`, mirror the
+//!   exact message streams of [`mps`]'s collectives, and decide
+//!   matching/shape validity and deadlock freedom, with witnesses
+//!   (wait-for cycles, unmatched ops, tag mismatches). Verdicts are exact
+//!   for wildcard-free plans and explicitly conservative otherwise
+//!   ([`PlanAnalysis::exact`]). The `isoee` crate's `plancost` module
+//!   lowers an analysis to the iso-energy model's Eq. 13/15 terms as
+//!   interval enclosures (it lives there, next to the model mirrors, to
+//!   keep this crate's dependency footprint at `mps` alone).
+//! * **Lowering** ([`lower`]) — compile the same plan onto the [`mps`]
+//!   runtime, so dynamic runs (and the `verify` explorer) execute exactly
+//!   the messages the statics reasoned about.
+//!
+//! ```
+//! use plan::{analyze_plan, CommPlan, Expr, Op, TagExpr};
+//!
+//! // Every rank sends right, receives from left — at any p.
+//! let ring = CommPlan::new(
+//!     "ring",
+//!     vec![
+//!         Op::Send {
+//!             to: (Expr::Rank + Expr::Const(1)) % Expr::P,
+//!             tag: TagExpr::Expr(Expr::Const(1)),
+//!             bytes: Expr::Const(1024),
+//!         },
+//!         Op::Recv {
+//!             from: (Expr::Rank + Expr::P - Expr::Const(1)) % Expr::P,
+//!             tag: TagExpr::Expr(Expr::Const(1)),
+//!         },
+//!     ],
+//! );
+//! let analysis = analyze_plan(&ring, 1024);
+//! assert!(analysis.deadlock_free());
+//! assert_eq!(analysis.total.messages, 1024);
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod check;
+mod elaborate;
+mod expr;
+mod ir;
+mod lower;
+
+pub use check::{analyze_plan, PlanAnalysis, PlanFinding, PlanWaitEdge};
+pub use elaborate::{AOp, CollKind, CollStats, RankCost, RankCursor, ShapeIssue, COLL_KINDS};
+pub use expr::{Cond, Env, EvalError, Expr};
+pub use ir::{CommPlan, Op, TagExpr};
+pub use lower::lower;
+// Re-export the runtime op vocabulary plans share with `mps`.
+pub use mps::{internal_tag, ReduceOp, USER_TAG_LIMIT};

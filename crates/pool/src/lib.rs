@@ -24,6 +24,13 @@
 //!   host's available parallelism); [`global`] caches that lookup.
 //! * [`PoolConfig::with_threads`] pins a thread count programmatically —
 //!   the differential tests compare 1/2/8-thread runs this way.
+//! * When the chunk size is *derived* (no [`PoolConfig::with_chunk_size`]),
+//!   a multi-threaded run first times a few tasks inline on the caller:
+//!   sweeps whose estimated total is cheaper than spawning threads finish
+//!   inline at sequential speed, and sub-microsecond tasks get batched
+//!   into chunks carrying tens of microseconds of work each. Results,
+//!   ordering and panic behaviour are unchanged — only the schedule
+//!   adapts to the measured task cost.
 //!
 //! ## Observability
 //!
@@ -58,6 +65,22 @@ use std::sync::{Mutex, OnceLock};
 /// for ~4 rounds of stealing per worker, so imbalanced task durations
 /// still spread.
 const CHUNK_ROUNDS_PER_WORKER: usize = 4;
+
+/// Tasks timed inline on the caller before choosing a strategy, when the
+/// chunk size is derived (not pinned via [`PoolConfig::with_chunk_size`]).
+const PROBE_TASKS: usize = 4;
+
+/// If the probe estimates the *remaining* work below this, the whole run
+/// stays inline on the caller: spawning and joining scoped workers costs
+/// tens of microseconds, which would dominate a sub-200µs sweep. This is
+/// what keeps tiny model-evaluation sweeps (sub-µs per cell) at
+/// sequential speed under a multi-threaded config.
+const INLINE_BUDGET_NS: u128 = 200_000;
+
+/// Minimum estimated work per chunk when the chunk size is derived, so
+/// per-chunk deque locking and stealing stay well under 1% of useful
+/// work even for sub-microsecond tasks.
+const TARGET_CHUNK_NS: u128 = 50_000;
 
 /// Thread-count and chunking policy for a parallel run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -216,15 +239,40 @@ where
         return out;
     }
 
-    let chunk = cfg.chunk_size(len);
     let mut out: Vec<Option<U>> = (0..len).map(|_| None).collect();
 
-    // Pre-split the output buffer into disjoint chunk slices; each chunk
-    // owns its slots, so no two workers ever alias an element.
-    let mut chunks: Vec<Chunk<'_, U>> = Vec::with_capacity(len.div_ceil(chunk));
+    // Measured-cost heuristic (derived-chunk mode only; `with_chunk_size`
+    // pins the policy and skips it): time the first few tasks inline,
+    // then either finish inline — when the estimated remaining work would
+    // be dwarfed by thread spawn/join overhead — or raise the chunk size
+    // so each chunk carries enough work to amortise deque traffic. Task
+    // results and panics are identical either way; only the schedule
+    // adapts, so the determinism contract is unaffected.
+    let mut chunk = cfg.chunk_size(len);
+    let mut done = 0usize;
+    if cfg.chunk.is_none() {
+        let probe = PROBE_TASKS.min(len);
+        let t0 = std::time::Instant::now();
+        run_inline(&mut out[..probe], 0, &f, &tasks);
+        let per_task_ns = (t0.elapsed().as_nanos() / probe as u128).max(1);
+        done = probe;
+        let remaining = (len - probe) as u128;
+        if per_task_ns.saturating_mul(remaining) < INLINE_BUDGET_NS {
+            reg.gauge("pool.workers").set(1.0);
+            run_inline(&mut out[probe..], probe, &f, &tasks);
+            return unwrap_slots(out);
+        }
+        let min_chunk = usize::try_from(TARGET_CHUNK_NS / per_task_ns).unwrap_or(usize::MAX);
+        chunk = chunk.max(min_chunk.max(1));
+    }
+
+    // Pre-split the (un-probed tail of the) output buffer into disjoint
+    // chunk slices; each chunk owns its slots, so no two workers ever
+    // alias an element.
+    let mut chunks: Vec<Chunk<'_, U>> = Vec::with_capacity((len - done).div_ceil(chunk));
     {
-        let mut rest: &mut [Option<U>] = &mut out;
-        let mut start = 0usize;
+        let mut rest: &mut [Option<U>] = &mut out[done..];
+        let mut start = done;
         while !rest.is_empty() {
             let take = chunk.min(rest.len());
             let (head, tail) = std::mem::take(&mut rest).split_at_mut(take);
@@ -269,6 +317,32 @@ where
         resume_unwind(Box::new(TaskPanic { index, payload }));
     }
 
+    unwrap_slots(out)
+}
+
+/// Run `slots.len()` tasks in index order on the caller thread, starting
+/// at global index `base`. Panics re-raise as [`TaskPanic`] immediately —
+/// execution is in order, so the first panic is the lowest-indexed one.
+fn run_inline<U, F>(slots: &mut [Option<U>], base: usize, f: &F, tasks: &obs::Counter)
+where
+    F: Fn(usize) -> U,
+{
+    for (offset, slot) in slots.iter_mut().enumerate() {
+        let index = base + offset;
+        match catch_unwind(AssertUnwindSafe(|| f(index))) {
+            Ok(value) => {
+                *slot = Some(value);
+                tasks.inc();
+            }
+            Err(payload) => {
+                eprintln!("pool: parallel task {index} panicked; re-raising on the caller");
+                resume_unwind(Box::new(TaskPanic { index, payload }));
+            }
+        }
+    }
+}
+
+fn unwrap_slots<U>(out: Vec<Option<U>>) -> Vec<U> {
     out.into_iter()
         .enumerate()
         .map(|(i, slot)| slot.unwrap_or_else(|| panic!("pool: task {i} never ran")))

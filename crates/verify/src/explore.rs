@@ -660,6 +660,18 @@ impl Explorer {
             }
         }
     }
+
+    /// Explore every schedule of a lowered [`plan::CommPlan`] — the
+    /// dynamic cross-check for the `plan` crate's static verdicts.
+    ///
+    /// The plan is compiled onto the runtime with [`plan::lower`] on every
+    /// explored schedule, so the explorer exercises exactly the message
+    /// streams `plan::analyze_plan` reasoned about. Run the static checker
+    /// first: a plan with shape errors (self-sends, out-of-range peers)
+    /// panics when lowered.
+    pub fn explore_plan(&self, world: &World, p: usize, commplan: &plan::CommPlan) -> Exploration {
+        self.explore(world, p, |ctx| plan::lower(commplan, ctx))
+    }
 }
 
 /// Per-rank delivery sequences: `rank -> [(source, tag)]` in receive
