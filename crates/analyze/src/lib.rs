@@ -120,6 +120,24 @@ pub enum Finding {
         /// The timestamp it had to be at or beyond.
         prev_s: f64,
     },
+    /// A counter-track sample that is NaN or infinite — Perfetto renders
+    /// such points as gaps and downstream statistics silently poison.
+    NonFiniteCounterSample {
+        /// Counter track name.
+        name: String,
+        /// Sample timestamp, virtual seconds.
+        time_s: f64,
+        /// The offending value, rendered for the report (`NaN`, `inf`, …).
+        value: String,
+    },
+    /// A counter track declaring a unit outside the workspace vocabulary,
+    /// so dashboards and the bench differ cannot interpret it.
+    UnknownCounterUnit {
+        /// Counter track name.
+        name: String,
+        /// The undeclared unit string.
+        unit: String,
+    },
     /// A charge span (compute/memory/network/io/wait) not covered by any
     /// enclosing phase span, so per-phase attribution would lose it.
     ChargeOutsidePhase {
@@ -217,6 +235,19 @@ impl std::fmt::Display for Finding {
                     )
                 }
             }
+            Finding::NonFiniteCounterSample {
+                name,
+                time_s,
+                value,
+            } => write!(
+                f,
+                "non-finite counter sample: {name} = {value} at {time_s:.6} s"
+            ),
+            Finding::UnknownCounterUnit { name, unit } => write!(
+                f,
+                "unknown counter unit: {name} declares unit {unit:?}, not in the \
+                 workspace vocabulary"
+            ),
             Finding::ChargeOutsidePhase {
                 track,
                 name,

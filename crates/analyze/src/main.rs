@@ -35,6 +35,15 @@
 //!   `--plan-bad` seeds a deliberately deadlocking plan instead and
 //!   reports its findings as *unexpected* (exit 1), proving the gate
 //!   actually gates.
+//! * `--bench-diff <OLD.json> <NEW.json>` switches to a dedicated mode:
+//!   the regression sentinel. Both snapshots (bench/2 documents with host
+//!   metadata, or bare PR-2 metric arrays) are compared with `obs::diff`;
+//!   each regressed metric is reported as a named finding on stderr and
+//!   the report (JSON under `--json`, text otherwise) goes to stdout.
+//!   `--threshold <frac>` sets the relative noise threshold (default
+//!   0.30); `--force` compares across mismatched host shapes. Exit codes
+//!   follow `obsdiff`: 0 no regression, 1 regression(s), 2 usage error or
+//!   unforced host mismatch. No other pass runs in this mode.
 //! * `--json` prints the machine-readable findings document (stable field
 //!   order) to stdout; human progress moves to stderr.
 //!
@@ -56,7 +65,9 @@ use verify::{programs, witness_trace, BoxOutcome, BoxSearch, Explorer, VerifyFin
 
 const USAGE: &str = "usage: analyze [--verify] [--json] [--trace <file.json>] \
                      [--plan] [--plan-ps <p,p,..>] [--plan-bad]\n\
-                     exit codes: 0 clean, 1 unexpected finding(s), 2 usage error";
+       analyze --bench-diff <OLD.json> <NEW.json> [--threshold <frac>] [--force] [--json]\n\
+                     exit codes: 0 clean, 1 unexpected finding(s), 2 usage error\n\
+                     (--bench-diff: 0 no regression, 1 regression(s), 2 usage/host mismatch)";
 
 /// One recorded finding, for the `--json` document.
 struct Entry {
@@ -152,11 +163,38 @@ fn main() {
     let mut plan_bad = false;
     let mut plan_ps: Vec<usize> = vec![4, 64, 1024];
     let mut trace_file: Option<(String, String)> = None;
+    let mut bench_diff: Option<(String, String)> = None;
+    let mut diff_force = false;
+    let mut diff_threshold = obs::diff::DEFAULT_THRESHOLD;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--verify" => run_verify = true,
+            "--bench-diff" => {
+                let old = args.next();
+                let new = args.next();
+                let (Some(old), Some(new)) = (old, new) else {
+                    eprintln!("analyze: --bench-diff needs OLD and NEW snapshot paths\n{USAGE}");
+                    std::process::exit(2);
+                };
+                bench_diff = Some((old, new));
+            }
+            "--force" => diff_force = true,
+            "--threshold" => {
+                let raw = args.next().unwrap_or_else(|| {
+                    eprintln!("analyze: --threshold needs a fraction\n{USAGE}");
+                    std::process::exit(2);
+                });
+                diff_threshold = raw
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && *t >= 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("analyze: bad --threshold {raw:?}\n{USAGE}");
+                        std::process::exit(2);
+                    });
+            }
             "--plan" => run_plan = true,
             "--plan-bad" => {
                 run_plan = true;
@@ -204,6 +242,18 @@ fn main() {
         }
     }
 
+    // --bench-diff is a dedicated mode: only the regression-sentinel pass
+    // runs, with obsdiff-compatible exit codes.
+    if let Some((old_path, new_path)) = bench_diff {
+        std::process::exit(bench_diff_mode(
+            &old_path,
+            &new_path,
+            diff_threshold,
+            diff_force,
+            json,
+        ));
+    }
+
     let mut report = Report {
         json,
         passes: Vec::new(),
@@ -235,6 +285,60 @@ fn main() {
         std::process::exit(1);
     }
     report.progress("analyze: all passes clean");
+}
+
+/// The regression sentinel: diff two bench snapshots with `obs::diff` and
+/// report every regressed metric as a named finding. Returns the process
+/// exit code: 0 no regression, 1 regression(s), 2 unreadable/unparseable
+/// snapshot or host-shape mismatch without `--force`.
+fn bench_diff_mode(old_path: &str, new_path: &str, threshold: f64, force: bool, json: bool) -> i32 {
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("analyze: cannot read snapshot {path}: {e}\n{USAGE}");
+            std::process::exit(2);
+        })
+    };
+    let parse = |path: &str, text: &str| {
+        obs::diff::parse_snapshot(text).unwrap_or_else(|e| {
+            eprintln!("analyze: bad snapshot {path}: {e}\n{USAGE}");
+            std::process::exit(2);
+        })
+    };
+    let old = parse(old_path, &read(old_path));
+    let new = parse(new_path, &read(new_path));
+    let config = obs::diff::DiffConfig { threshold, force };
+    let report = match obs::diff::diff(&old, &new, &config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("analyze: bench-diff refused: {e} (pass --force to compare anyway)");
+            return 2;
+        }
+    };
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_text());
+    }
+    let regressions = report.regressions();
+    for d in &regressions {
+        eprintln!(
+            "analyze[bench-diff {}]: regressed {} -> {} ({})",
+            d.name,
+            d.old.map_or("-".into(), |v| format!("{v}")),
+            d.new.map_or("-".into(), |v| format!("{v}")),
+            d.direction.name()
+        );
+    }
+    if regressions.is_empty() {
+        eprintln!(
+            "analyze: bench-diff clean ({} metric(s) compared)",
+            report.diffs.len()
+        );
+        0
+    } else {
+        eprintln!("analyze: {} regressed metric(s)", regressions.len());
+        1
+    }
 }
 
 /// Invariant checks for every machine × app × (n, p) point. All findings

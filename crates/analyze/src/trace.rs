@@ -20,6 +20,11 @@ use obs::{Trace, TrackTrace};
 /// Slack for float comparisons on virtual timestamps, seconds.
 const EPS: f64 = 1e-9;
 
+/// Counter-track units the workspace tooling understands. Everything a
+/// timeline or bench exporter emits must come from this vocabulary, or
+/// dashboards and the bench differ can't interpret the track.
+pub const KNOWN_COUNTER_UNITS: &[&str] = &["", "W", "J", "s", "ns", "B", "Hz", "tasks", "%"];
+
 /// Check one assembled run trace. Returns one finding per violation.
 #[must_use]
 pub fn check_trace(trace: &Trace) -> Vec<Finding> {
@@ -28,14 +33,27 @@ pub fn check_trace(trace: &Trace) -> Vec<Finding> {
         check_track(track, &mut findings);
     }
     for counter in &trace.counters {
+        if !KNOWN_COUNTER_UNITS.contains(&counter.unit.as_str()) {
+            findings.push(Finding::UnknownCounterUnit {
+                name: counter.name.clone(),
+                unit: counter.unit.clone(),
+            });
+        }
         let mut prev = f64::NEG_INFINITY;
-        for &(t_s, _) in &counter.samples {
+        for &(t_s, value) in &counter.samples {
             if t_s < prev - EPS {
                 findings.push(Finding::NonMonotoneTrace {
                     track: usize::MAX,
                     name: format!("counter {}", counter.name),
                     time_s: t_s,
                     prev_s: prev,
+                });
+            }
+            if !value.is_finite() {
+                findings.push(Finding::NonFiniteCounterSample {
+                    name: counter.name.clone(),
+                    time_s: t_s,
+                    value: format!("{value}"),
                 });
             }
             prev = prev.max(t_s);
@@ -173,6 +191,42 @@ mod tests {
             monotone >= 2,
             "expected span + counter findings: {findings:?}"
         );
+    }
+
+    #[test]
+    fn non_finite_counter_sample_is_reported() {
+        let mut trace = Trace::new("t");
+        trace.add_counter_track("power cpu", "W", vec![(0.0, 5.0), (0.5, f64::NAN)]);
+        let findings = check_trace(&trace);
+        assert!(
+            findings.iter().any(|f| matches!(f,
+                Finding::NonFiniteCounterSample { name, .. } if name == "power cpu")),
+            "no NonFiniteCounterSample in {findings:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_counter_unit_is_reported() {
+        let mut trace = Trace::new("t");
+        trace.add_counter_track("weird", "furlongs", vec![(0.0, 1.0)]);
+        let findings = check_trace(&trace);
+        assert!(
+            findings.iter().any(|f| matches!(f,
+                Finding::UnknownCounterUnit { unit, .. } if unit == "furlongs")),
+            "no UnknownCounterUnit in {findings:?}"
+        );
+    }
+
+    #[test]
+    fn timeline_counter_tracks_pass_conformance() {
+        let mut timeline = obs::Timeline::new(16);
+        timeline.record("pool.queue_depth", "tasks", 0.0, 3.0);
+        timeline.record("pool.queue_depth", "tasks", 0.5, 1.0);
+        timeline.record("power.total", "W", 0.0, 60.0);
+        let mut trace = Trace::new("t");
+        trace.push_track(clean_track());
+        timeline.attach(&mut trace);
+        assert!(check_trace(&trace).is_empty());
     }
 
     #[test]

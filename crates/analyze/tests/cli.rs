@@ -156,3 +156,84 @@ fn json_output_is_machine_readable_with_stable_field_order() {
     let exp_at = stdout[first..].find("\"expected\"").expect("expected key");
     assert!(ctx_at < msg_at && msg_at < exp_at);
 }
+
+/// Write a `bench/2` fixture with one gauge at `seq_ns` and return its path.
+fn bench_doc(name: &str, cores: u64, seq_ns: f64) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("analyze-bench-diff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(
+        &path,
+        format!(
+            "{{\"schema\":\"bench/2\",\
+             \"host\":{{\"cores\":{cores},\"pool_threads\":{cores},\
+             \"git_rev\":\"abc1234\",\"recorded_unix\":1754000000}},\
+             \"metrics\":[{{\"name\":\"bench.sweep.fig5_dense_seq.ns_per_iter\",\
+             \"kind\":\"gauge\",\"value\":{seq_ns}}}]}}\n"
+        ),
+    )
+    .expect("fixture written");
+    path
+}
+
+#[test]
+fn bench_diff_self_comparison_exits_zero() {
+    let a = bench_doc("self.json", 4, 1.0e8);
+    let out = run(&["--bench-diff", a.to_str().unwrap(), a.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bench-diff clean"), "{stderr}");
+}
+
+#[test]
+fn bench_diff_double_slowdown_exits_one_with_named_finding() {
+    let old = bench_doc("base.json", 4, 1.0e8);
+    let new = bench_doc("slow.json", 4, 2.0e8);
+    let out = run(&["--bench-diff", old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("analyze[bench-diff bench.sweep.fig5_dense_seq.ns_per_iter]"),
+        "regression must be a named finding:\n{stderr}"
+    );
+}
+
+#[test]
+fn bench_diff_host_mismatch_needs_force() {
+    let old = bench_doc("h4.json", 4, 1.0e8);
+    let new = bench_doc("h8.json", 8, 1.0e8);
+    let refused = run(&["--bench-diff", old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert_eq!(refused.status.code(), Some(2), "{refused:?}");
+    let forced = run(&[
+        "--bench-diff",
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--force",
+    ]);
+    assert_eq!(forced.status.code(), Some(0), "{forced:?}");
+}
+
+#[test]
+fn bench_diff_json_emits_obsdiff_document() {
+    let a = bench_doc("json.json", 4, 1.0e8);
+    let out = run(&[
+        "--bench-diff",
+        a.to_str().unwrap(),
+        a.to_str().unwrap(),
+        "--json",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let doc = obs::json::parse(&stdout).expect("stdout parses as JSON");
+    assert_eq!(
+        doc.get("schema").and_then(obs::json::Json::as_str),
+        Some("obsdiff/1"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn bench_diff_missing_snapshot_is_a_usage_error() {
+    let out = run(&["--bench-diff", "/nonexistent/a.json", "/nonexistent/b.json"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}

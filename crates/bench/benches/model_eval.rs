@@ -6,11 +6,14 @@
 //! Run with `cargo bench -p bench --bench model_eval`.
 //!
 //! Besides the console table, the results land in
-//! `BENCH_model_eval.json` at the repo root — an obs metrics snapshot
-//! (`ns_per_iter` / `throughput_per_s` gauges per case) that tracks the
-//! model-eval perf trajectory across PRs.
+//! `BENCH_model_eval.json` at the repo root — a `bench/2` snapshot (host
+//! metadata + `ns_per_iter` / `throughput_per_s` gauges per case, plus
+//! the run's latency log-histograms) that tracks the model-eval perf
+//! trajectory across PRs and feeds `analyze --bench-diff`.
 
-use bench::{time_case, write_cases_snapshot};
+use bench::{
+    cases_registry, merge_global_loghists, snapshot_v2_json, time_case, write_snapshot_json,
+};
 use isoee::apps::{AppModel, CgModel, EpModel, FtModel};
 use isoee::scaling::{ee_surface_pf, ee_surface_pf_with, iso_ee_workload, PoolConfig};
 use isoee::{model, MachineParams};
@@ -70,9 +73,10 @@ fn main() {
         iso_ee_workload(&ft, &mach, 256, 0.8, 1e3, 1e12)
     }));
 
-    write_cases_snapshot(
+    let reg = cases_registry("bench.model_eval", &cases);
+    merge_global_loghists(&reg);
+    write_snapshot_json(
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_model_eval.json"),
-        "bench.model_eval",
-        &cases,
+        &snapshot_v2_json(&reg),
     );
 }

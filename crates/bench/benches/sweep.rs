@@ -6,11 +6,14 @@
 //!
 //! Run with `cargo bench -p bench --bench sweep`.
 //!
-//! Results land in `BENCH_sweep.json` at the repo root — an obs metrics
-//! snapshot with per-case `ns_per_iter` / `throughput_per_s` gauges plus
-//! derived `speedup_t{2,4,8}` (sequential mean over pooled mean),
-//! per-thread throughput, and the grid size, so sweep scaling is tracked
-//! across PRs in the same format as `BENCH_model_eval.json`.
+//! Results land in `BENCH_sweep.json` at the repo root — a `bench/2`
+//! snapshot (host metadata + obs metrics array) with per-case
+//! `ns_per_iter` / `throughput_per_s` gauges, derived `speedup_t{2,4,8}`
+//! (sequential mean over pooled mean), per-thread throughput, the grid
+//! size, the latency log-histograms the run accumulated
+//! (`isoee.eval_latency_s`, `pool.*`), and
+//! `bench.sweep.hist_overhead_pct` — the cost of the per-point latency
+//! histogram versus an uninstrumented control run (must stay under 5%).
 //!
 //! The speedup gauges report whatever the host delivers: on a
 //! single-core container they sit near 1.0 (the pool adds only spawn
@@ -18,9 +21,12 @@
 //! clear 2x. The differential suite (`tests/parallel_equivalence.rs`)
 //! guarantees the *values* are bit-identical either way.
 
-use bench::{cases_registry, time_case, write_snapshot_json, CaseStats};
+use bench::{
+    cases_registry, merge_global_loghists, snapshot_v2_json, time_case, write_snapshot_json,
+    CaseStats,
+};
 use isoee::apps::FtModel;
-use isoee::scaling::{ee_surface_pf_with, PoolConfig};
+use isoee::scaling::{ee_surface_pf_with, set_eval_timing, PoolConfig};
 use isoee::MachineParams;
 
 /// Pool thread counts benched against the sequential baseline.
@@ -40,11 +46,21 @@ fn main() {
         fs.len(),
         ps.len()
     );
+    // Instrumentation-overhead control: the same sequential sweep with the
+    // per-point latency histogram disabled. The histogram cost is one
+    // `Instant` pair plus one amortized `record_n` per *row*, so the two
+    // cases must agree to well under the 5% acceptance budget.
+    set_eval_timing(false);
+    let nohist = time_case("fig5_dense_seq_nohist", 20, || {
+        ee_surface_pf_with(&PoolConfig::sequential(), &ft, &mach, n, &ps, &fs)
+            .expect("sweep evaluates")
+    });
+    set_eval_timing(true);
     let seq = time_case("fig5_dense_seq", 20, || {
         ee_surface_pf_with(&PoolConfig::sequential(), &ft, &mach, n, &ps, &fs)
             .expect("sweep evaluates")
     });
-    let mut cases: Vec<CaseStats> = vec![seq.clone()];
+    let mut cases: Vec<CaseStats> = vec![nohist.clone(), seq.clone()];
     let mut pooled: Vec<(usize, CaseStats)> = Vec::new();
     for t in THREADS {
         let cfg = PoolConfig::with_threads(t);
@@ -73,8 +89,15 @@ fn main() {
         );
     }
 
+    // Histogram overhead in percent of the uninstrumented sweep; negative
+    // values are timing noise (the two cases are equal up to jitter).
+    let overhead_pct = (seq.mean_ns - nohist.mean_ns) / nohist.mean_ns * 100.0;
+    reg.gauge("bench.sweep.hist_overhead_pct").set(overhead_pct);
+    println!("sweep/instrumentation: histogram overhead {overhead_pct:+.2}% of sequential sweep");
+
+    merge_global_loghists(&reg);
     write_snapshot_json(
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json"),
-        &reg.snapshot_json(),
+        &snapshot_v2_json(&reg),
     );
 }

@@ -1,0 +1,33 @@
+//! Print the per-point EE evaluation latency distribution of the dense
+//! fig5 sweep (`isoee.eval_latency_s`) at the current `POOL_THREADS` —
+//! the numbers behind EXPERIMENTS.md's sweep-point latency table:
+//!
+//! ```bash
+//! POOL_THREADS=4 cargo run --release -p bench --example lat_probe
+//! ```
+
+fn main() {
+    let mach = isoee::MachineParams::system_g(2.8e9);
+    let ft = isoee::apps::FtModel::system_g();
+    let fs: Vec<f64> = (0..64).map(|i| 1.6e9 + 1.875e7 * f64::from(i)).collect();
+    let ps: Vec<usize> = (1..=2048).collect();
+    let cfg = pool::PoolConfig::from_env();
+    for _ in 0..20 {
+        isoee::scaling::ee_surface_pf_with(&cfg, &ft, &mach, (1u64 << 20) as f64, &ps, &fs)
+            .expect("sweep evaluates");
+    }
+    for (name, h) in obs::global().log_histograms() {
+        if name == "isoee.eval_latency_s" {
+            let s = h.snapshot();
+            println!(
+                "threads={} p50={:.3e} p90={:.3e} p99={:.3e} max={:.3e} count={}",
+                cfg.threads(),
+                s.p50,
+                s.p90,
+                s.p99,
+                s.max,
+                s.count
+            );
+        }
+    }
+}

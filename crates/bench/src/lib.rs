@@ -191,6 +191,55 @@ pub fn cases_snapshot_json(prefix: &str, cases: &[CaseStats]) -> String {
     cases_registry(prefix, cases).snapshot_json()
 }
 
+/// Detect the recording host's shape for a `bench/2` snapshot: available
+/// cores, the effective `POOL_THREADS` (via [`pool::global`]), the current
+/// short git revision (`"unknown"` outside a checkout), and the wall-clock
+/// recording time.
+#[must_use]
+pub fn detect_host() -> obs::diff::HostMeta {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let git_rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map_or_else(
+            || "unknown".to_string(),
+            |o| String::from_utf8_lossy(&o.stdout).trim().to_string(),
+        );
+    let recorded_unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    obs::diff::HostMeta {
+        cores: cores as u64,
+        pool_threads: pool::global().threads() as u64,
+        git_rev,
+        recorded_unix,
+    }
+}
+
+/// Render a registry as a `bench/2` snapshot: host metadata (so `obsdiff`
+/// and `analyze --bench-diff` can refuse cross-host comparisons) followed
+/// by the same metrics array a bare snapshot carries.
+#[must_use]
+pub fn snapshot_v2_json(reg: &obs::Registry) -> String {
+    format!(
+        "{{\"schema\":\"bench/2\",\"host\":{},\"metrics\":{}}}\n",
+        detect_host().to_json(),
+        reg.metrics_json_array()
+    )
+}
+
+/// Copy every log-histogram accumulated in the process-wide [`obs::global`]
+/// registry into `reg`, so a bench snapshot carries the latency
+/// distributions (`pool.task_latency_s`, `isoee.eval_latency_s`, …) its
+/// run produced alongside the wall-time gauges.
+pub fn merge_global_loghists(reg: &obs::Registry) {
+    for (name, hist) in obs::global().log_histograms() {
+        reg.log_histogram(&name, hist.unit()).merge_from(&hist);
+    }
+}
+
 /// Write an already-rendered snapshot to `path`, reporting rather than
 /// panicking on I/O failure (bench output must not break a run).
 pub fn write_snapshot_json(path: &str, json: &str) {

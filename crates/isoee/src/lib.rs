@@ -75,7 +75,7 @@ pub use params::{AppParams, MachineParams};
 pub use plancost::{cost_bounds, PlanCost};
 pub use scaling::{
     best_frequency, best_frequency_with, ee_surface_pf, ee_surface_pf_with, ee_surface_pn,
-    ee_surface_pn_with, iso_ee_contour, iso_ee_contour_with, iso_ee_workload, PoolConfig, Surface,
-    SweepError,
+    ee_surface_pn_with, iso_ee_contour, iso_ee_contour_with, iso_ee_workload, set_eval_timing,
+    PoolConfig, Surface, SweepError,
 };
 pub use validate::{validate_kernel, ValidationPoint, ValidationSummary};

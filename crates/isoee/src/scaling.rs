@@ -83,6 +83,40 @@ fn model_evals_counter() -> &'static std::sync::Arc<obs::Counter> {
     EVALS.get_or_init(|| obs::global().counter("isoee.model_evals"))
 }
 
+/// Per-point EE evaluation latency, amortized: each surface row takes one
+/// `Instant` pair and records `row_elapsed / cols` once per column, so the
+/// ~50ns model evaluations are never individually timed.
+fn eval_latency_hist() -> &'static std::sync::Arc<obs::LogHistogram> {
+    static HIST: std::sync::OnceLock<std::sync::Arc<obs::LogHistogram>> =
+        std::sync::OnceLock::new();
+    HIST.get_or_init(|| obs::global().log_histogram("isoee.eval_latency_s", "s"))
+}
+
+static EVAL_TIMING: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(true);
+
+/// Enable or disable per-point eval-latency timing for the surface sweeps
+/// (`isoee.eval_latency_s`). Returns the previous setting. Timing is on by
+/// default; the sweep bench flips it off to measure instrumentation overhead.
+pub fn set_eval_timing(enabled: bool) -> bool {
+    EVAL_TIMING.swap(enabled, std::sync::atomic::Ordering::Relaxed)
+}
+
+fn eval_timing_enabled() -> bool {
+    EVAL_TIMING.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Run one surface row, recording amortized per-point latency when timing
+/// is enabled.
+fn timed_row<T>(cols: usize, row: impl FnOnce() -> T) -> T {
+    if cols == 0 || !eval_timing_enabled() {
+        return row();
+    }
+    let start = std::time::Instant::now();
+    let out = row();
+    eval_latency_hist().record_n(start.elapsed().as_secs_f64() / cols as f64, cols as u64);
+    out
+}
+
 /// A rectangular sweep of `EE` values: `values[i][j]` is `EE` at
 /// `ys[i]` × `xs[j]`.
 #[derive(Debug, Clone, PartialEq)]
@@ -188,11 +222,13 @@ pub fn ee_surface_pf_with(
         }
     }
     let rows = pool::parallel_map(cfg, fs, |&f| {
-        let mach = base.at_frequency(f);
-        ps.iter()
-            .enumerate()
-            .map(|(j, &p)| ee_checked(&mach, &app.app_params(n, p), p).map_err(|e| (j, e)))
-            .collect()
+        timed_row(ps.len(), || {
+            let mach = base.at_frequency(f);
+            ps.iter()
+                .enumerate()
+                .map(|(j, &p)| ee_checked(&mach, &app.app_params(n, p), p).map_err(|e| (j, e)))
+                .collect()
+        })
     });
     collect_rows(fs, ps.iter().map(|&p| p as f64).collect(), rows, ps.len())
 }
@@ -233,11 +269,13 @@ pub fn ee_surface_pn_with(
         }
     }
     let rows = pool::parallel_map(cfg, ns, |&n| {
-        let m = mach.at_frequency(mach.f_hz);
-        ps.iter()
-            .enumerate()
-            .map(|(j, &p)| ee_checked(&m, &app.app_params(n, p), p).map_err(|e| (j, e)))
-            .collect()
+        timed_row(ps.len(), || {
+            let m = mach.at_frequency(mach.f_hz);
+            ps.iter()
+                .enumerate()
+                .map(|(j, &p)| ee_checked(&m, &app.app_params(n, p), p).map_err(|e| (j, e)))
+                .collect()
+        })
     });
     collect_rows(ns, ps.iter().map(|&p| p as f64).collect(), rows, ps.len())
 }

@@ -30,8 +30,18 @@ pub(crate) struct MpsMetrics {
     mem_accesses: Arc<obs::Counter>,
     mem_dram: Arc<obs::Counter>,
     cache_hit_ratio: Arc<obs::Gauge>,
-    /// Per-collective `(calls, messages, bytes)` counters, cached by name.
-    collectives: Vec<(&'static str, [Arc<obs::Counter>; 3])>,
+    /// Per-collective counters and histograms, cached by name.
+    collectives: Vec<(&'static str, CollectiveMetrics)>,
+    /// Per-phase wait-time histograms, cached by phase name.
+    phase_waits: Vec<(String, Arc<obs::LogHistogram>)>,
+}
+
+/// Cached handles for one collective: `(calls, messages, bytes)` counters
+/// plus per-call virtual latency and byte-volume histograms.
+pub(crate) struct CollectiveMetrics {
+    counters: [Arc<obs::Counter>; 3],
+    latency: Arc<obs::LogHistogram>,
+    bytes_per_call: Arc<obs::LogHistogram>,
 }
 
 impl MpsMetrics {
@@ -44,25 +54,44 @@ impl MpsMetrics {
             mem_dram: reg.counter("mps.mem.dram_accesses"),
             cache_hit_ratio: reg.gauge("mps.mem.cache_hit_ratio"),
             collectives: Vec::new(),
+            phase_waits: Vec::new(),
         }
     }
 
-    /// The `(calls, messages, bytes)` counters of collective `name`.
-    fn collective(&mut self, name: &'static str) -> &[Arc<obs::Counter>; 3] {
+    /// The cached metric handles of collective `name`.
+    fn collective(&mut self, name: &'static str) -> &CollectiveMetrics {
         let idx = match self.collectives.iter().position(|(n, _)| *n == name) {
             Some(i) => i,
             None => {
                 let reg = obs::global();
-                let handles = [
-                    reg.counter(&format!("mps.collective.{name}.calls")),
-                    reg.counter(&format!("mps.collective.{name}.messages")),
-                    reg.counter(&format!("mps.collective.{name}.bytes")),
-                ];
+                let handles = CollectiveMetrics {
+                    counters: [
+                        reg.counter(&format!("mps.collective.{name}.calls")),
+                        reg.counter(&format!("mps.collective.{name}.messages")),
+                        reg.counter(&format!("mps.collective.{name}.bytes")),
+                    ],
+                    latency: reg.log_histogram(&format!("mps.collective.{name}.latency_s"), "s"),
+                    bytes_per_call: reg
+                        .log_histogram(&format!("mps.collective.{name}.bytes_per_call"), "B"),
+                };
                 self.collectives.push((name, handles));
                 self.collectives.len() - 1
             }
         };
         &self.collectives[idx].1
+    }
+
+    /// The wait-time histogram of the phase named `phase`.
+    fn phase_wait(&mut self, phase: &str) -> &Arc<obs::LogHistogram> {
+        let idx = match self.phase_waits.iter().position(|(n, _)| n == phase) {
+            Some(i) => i,
+            None => {
+                let hist = obs::global().log_histogram(&format!("mps.phase.{phase}.wait_s"), "s");
+                self.phase_waits.push((phase.to_string(), hist));
+                self.phase_waits.len() - 1
+            }
+        };
+        &self.phase_waits[idx].1
     }
 }
 
@@ -298,6 +327,13 @@ impl<'w> Ctx<'w> {
                 vec![],
             );
         }
+        if let Some(metrics) = &mut self.metrics {
+            let phase = self
+                .markers
+                .last()
+                .map_or("none", |(name, _)| name.as_str());
+            metrics.phase_wait(phase).record(dur.raw());
+        }
     }
 
     /// Run `body` inside a collective span named `name`, attributing the
@@ -313,9 +349,9 @@ impl<'w> Ctx<'w> {
         }
         let msgs_before = self.counters.messages;
         let bytes_before = self.counters.bytes;
+        let t_start = self.clock.now().raw();
         if let Some(rec) = &mut self.rec {
-            let t = self.clock.now().raw();
-            rec.enter(name, Category::Collective, t);
+            rec.enter(name, Category::Collective, t_start);
         }
         let out = body(self);
         let msgs = self.counters.messages - msgs_before;
@@ -331,13 +367,17 @@ impl<'w> Ctx<'w> {
             );
         }
         if let Some(metrics) = &mut self.metrics {
-            let [calls, messages, bytes_c] = metrics.collective(name);
+            let t_end = self.clock.now().raw();
+            let coll = metrics.collective(name);
+            let [calls, messages, bytes_c] = &coll.counters;
             calls.inc();
             #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
             {
                 messages.add(msgs.max(0.0) as u64);
                 bytes_c.add(bytes.max(0.0) as u64);
             }
+            coll.latency.record(t_end - t_start);
+            coll.bytes_per_call.record(bytes.max(0.0));
         }
         out
     }

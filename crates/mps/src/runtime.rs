@@ -300,6 +300,27 @@ where
             let rank = log.rank;
             comm[rank] = log;
         }
+        // Forensics: every thread's recent spans/events, captured before
+        // the error surfaces (the rank threads are already joined, but
+        // their flight rings outlive them).
+        obs::flight::record(
+            "mps.deadlock",
+            "event",
+            0.0,
+            &[
+                ("cyclic", verdict.cyclic.to_string()),
+                (
+                    "edges",
+                    verdict
+                        .edges
+                        .iter()
+                        .map(|e| format!("{e:?}"))
+                        .collect::<Vec<_>>()
+                        .join(";"),
+                ),
+            ],
+        );
+        let _ = obs::flight::dump("mps-deadlock");
         return Err(RunError::Deadlock(DeadlockInfo {
             edges: verdict.edges,
             cyclic: verdict.cyclic,

@@ -1,0 +1,89 @@
+//! `obsdiff` — compare two metric snapshots (BENCH_*.json) and report
+//! per-metric verdicts with a noise threshold.
+//!
+//! ```text
+//! obsdiff OLD NEW [--threshold FRACTION] [--force] [--json]
+//! ```
+//!
+//! Exit codes: 0 = no regression, 1 = at least one metric regressed,
+//! 2 = usage error, unreadable/unparsable input, or mismatched host
+//! shapes without `--force`.
+
+use std::process::ExitCode;
+
+use obs::diff::{diff, parse_snapshot, DiffConfig, Snapshot};
+
+const USAGE: &str = "usage: obsdiff OLD NEW [--threshold FRACTION] [--force] [--json]\n\
+    \n\
+    Compares metric snapshots (bench/2 or bare {\"metrics\":[...]} documents).\n\
+    --threshold FRACTION  relative noise threshold (default 0.30 = 30%)\n\
+    --force               compare even when host shapes (cores, pool threads) differ\n\
+    --json                emit the obsdiff/1 JSON report instead of text\n\
+    \n\
+    exit codes: 0 clean, 1 regression, 2 usage/parse/host-mismatch";
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("obsdiff: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Snapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    parse_snapshot(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut config = DiffConfig::default();
+    let mut json = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--force" => config.force = true,
+            "--json" => json = true,
+            "--threshold" => {
+                let Some(v) = it.next() else {
+                    return usage_error("--threshold needs a value");
+                };
+                match v.parse::<f64>() {
+                    Ok(t) if t >= 0.0 && t.is_finite() => config.threshold = t,
+                    _ => return usage_error("--threshold must be a non-negative number"),
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                return usage_error(&format!("unknown flag {flag:?}"));
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    if paths.len() != 2 {
+        return usage_error("expected exactly two snapshot paths");
+    }
+    let (old, new) = match (load(&paths[0]), load(&paths[1])) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => return usage_error(&e),
+    };
+    match diff(&old, &new, &config) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.to_json());
+            } else {
+                print!("{}", report.to_text());
+            }
+            if report.regressions().is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("obsdiff: refusing to compare: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Per-thread flight recorder: a fixed ring of recent spans/events,
+//! dumped to JSONL when something goes wrong.
+//!
+//! Every thread that records through this module gets its own bounded
+//! ring (capacity `OBS_FLIGHT_CAP`, default 256), registered in a global
+//! list so a failure on *any* thread can dump *every* thread's recent
+//! history. [`TrackRecorder`](crate::TrackRecorder) mirrors closed spans
+//! and instants here automatically, and the failure paths call
+//! [`dump`] directly:
+//!
+//! * the mps runtime, when the deadlock detector fires;
+//! * the pool, when a task panics (after recording a `pool.task_panic`
+//!   event carrying the task index);
+//! * `verify`, when an exploration ends with findings.
+//!
+//! Dumps land under `OBS_FLIGHT_DIR` (default `target/flight/`) as one
+//! JSON object per line, globally ordered by a process-wide sequence
+//! number; [`last_dump`] returns the most recent dump path so tests and
+//! error reporters can point at the forensic tail. Set `OBS_FLIGHT=0`
+//! to disable recording entirely (one relaxed atomic load per event).
+
+use std::cell::OnceCell;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::json::quote;
+use crate::span::fmt_f64;
+
+/// One recorded event in a thread's flight ring.
+#[derive(Debug, Clone)]
+struct FlightRecord {
+    /// Process-wide sequence number (total order across threads).
+    seq: u64,
+    /// Record kind (`"span"`, `"instant"`, `"event"`, ...).
+    kind: String,
+    /// Span/event name.
+    name: String,
+    /// Virtual time of the record (span end for spans).
+    t_s: f64,
+    /// Extra `(key, value)` context, rendered as JSON strings.
+    fields: Vec<(String, String)>,
+}
+
+struct Ring {
+    thread: String,
+    records: VecDeque<FlightRecord>,
+    dropped: u64,
+}
+
+fn rings() -> &'static Mutex<Vec<Arc<Mutex<Ring>>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<Mutex<Ring>>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn seq_counter() -> &'static AtomicU64 {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    &SEQ
+}
+
+fn last_dump_slot() -> &'static Mutex<Option<PathBuf>> {
+    static LAST: OnceLock<Mutex<Option<PathBuf>>> = OnceLock::new();
+    LAST.get_or_init(|| Mutex::new(None))
+}
+
+/// Whether flight recording is on (`OBS_FLIGHT=0` disables it).
+#[must_use]
+pub fn enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var("OBS_FLIGHT").map_or(true, |v| v != "0"))
+}
+
+/// Per-thread ring capacity (`OBS_FLIGHT_CAP`, default 256).
+#[must_use]
+pub fn capacity() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("OBS_FLIGHT_CAP")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(256)
+    })
+}
+
+thread_local! {
+    static HANDLE: OnceCell<Arc<Mutex<Ring>>> = const { OnceCell::new() };
+}
+
+fn with_ring(f: impl FnOnce(&mut Ring)) {
+    HANDLE.with(|cell| {
+        let ring = cell.get_or_init(|| {
+            let label = std::thread::current().name().map_or_else(
+                || format!("{:?}", std::thread::current().id()),
+                String::from,
+            );
+            let ring = Arc::new(Mutex::new(Ring {
+                thread: label,
+                records: VecDeque::new(),
+                dropped: 0,
+            }));
+            rings()
+                .lock()
+                .expect("flight registry poisoned")
+                .push(Arc::clone(&ring));
+            ring
+        });
+        f(&mut ring.lock().expect("flight ring poisoned"));
+    });
+}
+
+/// Record an event into the current thread's flight ring.
+///
+/// `fields` values are plain strings; numbers should be pre-formatted by
+/// the caller. No-op when recording is disabled.
+pub fn record(name: &str, kind: &str, t_s: f64, fields: &[(&str, String)]) {
+    if !enabled() {
+        return;
+    }
+    let seq = seq_counter().fetch_add(1, Ordering::Relaxed);
+    let record = FlightRecord {
+        seq,
+        kind: kind.to_string(),
+        name: name.to_string(),
+        t_s,
+        fields: fields
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), v.clone()))
+            .collect(),
+    };
+    with_ring(|ring| {
+        if ring.records.len() == capacity() {
+            ring.records.pop_front();
+            ring.dropped += 1;
+        }
+        ring.records.push_back(record);
+    });
+}
+
+fn render_jsonl(reason: &str) -> String {
+    let rings = rings().lock().expect("flight registry poisoned");
+    let mut all: Vec<(String, FlightRecord)> = Vec::new();
+    let mut dropped = 0u64;
+    for ring in rings.iter() {
+        let ring = ring.lock().expect("flight ring poisoned");
+        dropped += ring.dropped;
+        for rec in &ring.records {
+            all.push((ring.thread.clone(), rec.clone()));
+        }
+    }
+    drop(rings);
+    all.sort_by_key(|(_, r)| r.seq);
+    let mut out = format!(
+        "{{\"flight\":{},\"records\":{},\"dropped\":{}}}\n",
+        quote(reason),
+        all.len(),
+        dropped
+    );
+    for (thread, rec) in &all {
+        let fields: Vec<String> = rec
+            .fields
+            .iter()
+            .map(|(k, v)| format!("{}:{}", quote(k), quote(v)))
+            .collect();
+        out.push_str(&format!(
+            "{{\"seq\":{},\"thread\":{},\"kind\":{},\"name\":{},\"t_s\":{},\"fields\":{{{}}}}}\n",
+            rec.seq,
+            quote(thread),
+            quote(&rec.kind),
+            quote(&rec.name),
+            fmt_f64(rec.t_s),
+            fields.join(",")
+        ));
+    }
+    out
+}
+
+/// The flight tail of every thread as a JSONL string (header line with
+/// the dump reason, then records in global sequence order).
+#[must_use]
+pub fn dump_string(reason: &str) -> String {
+    render_jsonl(reason)
+}
+
+/// Dump every thread's flight tail to a JSONL file under
+/// `OBS_FLIGHT_DIR` (default `target/flight/`).
+///
+/// Best-effort by design: returns `None` when recording is disabled or
+/// the dump directory is not writable — a forensic dump must never turn
+/// a failure into a different failure.
+pub fn dump(reason: &str) -> Option<PathBuf> {
+    if !enabled() {
+        return None;
+    }
+    static DUMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::var("OBS_FLIGHT_DIR").unwrap_or_else(|_| "target/flight".to_string());
+    let dir = PathBuf::from(dir);
+    std::fs::create_dir_all(&dir).ok()?;
+    let n = DUMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let path = dir.join(format!("{reason}-{}-{n}.jsonl", std::process::id()));
+    let body = render_jsonl(reason);
+    let mut file = std::fs::File::create(&path).ok()?;
+    file.write_all(body.as_bytes()).ok()?;
+    file.flush().ok()?;
+    *last_dump_slot().lock().expect("flight last-dump poisoned") = Some(path.clone());
+    Some(path)
+}
+
+/// Path of the most recent [`dump`] in this process, if any.
+#[must_use]
+pub fn last_dump() -> Option<PathBuf> {
+    last_dump_slot()
+        .lock()
+        .expect("flight last-dump poisoned")
+        .clone()
+}
+
+/// Empty every thread's ring (tests; rings themselves stay registered).
+pub fn clear() {
+    let rings = rings().lock().expect("flight registry poisoned");
+    for ring in rings.iter() {
+        let mut ring = ring.lock().expect("flight ring poisoned");
+        ring.records.clear();
+        ring.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_are_ordered_and_rendered() {
+        record("phase:a", "span", 1.0, &[("rank", "0".to_string())]);
+        record("b", "instant", 2.0, &[]);
+        let dump = dump_string("test");
+        let lines: Vec<&str> = dump.lines().collect();
+        assert!(lines[0].contains("\"flight\":\"test\""));
+        assert!(dump.contains("\"name\":\"phase:a\""));
+        assert!(dump.contains("\"rank\":\"0\""));
+        // JSONL lines parse with the in-tree parser.
+        for line in &lines {
+            crate::json::parse(line).expect("flight line parses");
+        }
+    }
+
+    #[test]
+    fn rings_from_other_threads_are_visible() {
+        std::thread::spawn(|| {
+            record("worker.event", "event", 0.5, &[("k", "v".to_string())]);
+        })
+        .join()
+        .expect("thread");
+        assert!(dump_string("cross-thread").contains("worker.event"));
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        for i in 0..(capacity() + 10) {
+            record(&format!("e{i}"), "event", 0.0, &[]);
+        }
+        let dump = dump_string("bounded");
+        // Header reports the eviction count; the earliest events are gone.
+        assert!(!dump.contains("\"name\":\"e0\""));
+        assert!(dump.contains(&format!("\"name\":\"e{}\"", capacity() + 9)));
+    }
+}

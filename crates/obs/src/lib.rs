@@ -32,16 +32,22 @@
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod diff;
+pub mod flight;
+pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod perfetto;
 pub mod profile;
 pub mod sink;
 pub mod span;
+pub mod timeline;
 pub mod trace;
 
 pub use config::ObsConfig;
+pub use hist::{HistSnapshot, LogHistogram};
 pub use metrics::{global, Counter, Gauge, Histogram, Registry};
 pub use sink::{JsonlSink, PerfettoSink, Record, RingSink, Sink};
 pub use span::{Category, EventRecord, FieldValue, SpanRecord, TrackRecorder};
+pub use timeline::Timeline;
 pub use trace::{CounterTrack, Trace, TrackTrace};

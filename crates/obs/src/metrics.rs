@@ -11,6 +11,8 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use crate::hist::LogHistogram;
+
 /// A monotonically increasing `u64` counter.
 #[derive(Debug, Default)]
 pub struct Counter {
@@ -156,6 +158,7 @@ enum Metric {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
+    LogHist(Arc<LogHistogram>),
 }
 
 /// A named collection of metrics.
@@ -221,6 +224,36 @@ impl Registry {
         }
     }
 
+    /// The log-bucketed histogram named `name` recording values in
+    /// `unit`, created on first use (the unit of an existing histogram
+    /// is kept).
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn log_histogram(&self, name: &str, unit: &str) -> Arc<LogHistogram> {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::LogHist(Arc::new(LogHistogram::new(unit))))
+        {
+            Metric::LogHist(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Every registered log-bucketed histogram, sorted by name.
+    #[must_use]
+    pub fn log_histograms(&self) -> Vec<(String, Arc<LogHistogram>)> {
+        let metrics = self.metrics.lock().expect("metrics registry poisoned");
+        metrics
+            .iter()
+            .filter_map(|(name, metric)| match metric {
+                Metric::LogHist(h) => Some((name.clone(), Arc::clone(h))),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Drop every registered metric (tests; the global registry is
     /// process-wide state).
     pub fn clear(&self) {
@@ -252,6 +285,21 @@ impl Registry {
                         crate::span::fmt_f64(h.mean())
                     ));
                 }
+                Metric::LogHist(h) => {
+                    let s = h.snapshot();
+                    out.push_str(&format!(
+                        "{name} loghist unit={} count={} mean={} min={} max={} \
+                         p50={} p90={} p99={}\n",
+                        s.unit,
+                        s.count,
+                        crate::span::fmt_f64(s.mean),
+                        crate::span::fmt_f64(s.min),
+                        crate::span::fmt_f64(s.max),
+                        crate::span::fmt_f64(s.p50),
+                        crate::span::fmt_f64(s.p90),
+                        crate::span::fmt_f64(s.p99)
+                    ));
+                }
             }
         }
         out
@@ -263,6 +311,14 @@ impl Registry {
     /// one parser covers both.
     #[must_use]
     pub fn snapshot_json(&self) -> String {
+        format!("{{\"metrics\":{}}}\n", self.metrics_json_array())
+    }
+
+    /// The bare `[{"name":...,"kind":...,...},...]` metrics array, sorted
+    /// by name. Callers embedding metrics in a larger document (e.g. the
+    /// `bench/2` snapshot schema with host metadata) splice this in.
+    #[must_use]
+    pub fn metrics_json_array(&self) -> String {
         use crate::json::quote;
         let metrics = self.metrics.lock().expect("metrics registry poisoned");
         let mut entries: Vec<String> = Vec::new();
@@ -301,10 +357,28 @@ impl Registry {
                         buckets.join(",")
                     )
                 }
+                Metric::LogHist(h) => {
+                    let s = h.snapshot();
+                    format!(
+                        "{{\"name\":{},\"kind\":\"loghist\",\"unit\":{},\
+                         \"count\":{},\"sum\":{},\"mean\":{},\"min\":{},\
+                         \"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                        quote(name),
+                        quote(&s.unit),
+                        s.count,
+                        crate::span::fmt_f64(s.sum),
+                        crate::span::fmt_f64(s.mean),
+                        crate::span::fmt_f64(s.min),
+                        crate::span::fmt_f64(s.max),
+                        crate::span::fmt_f64(s.p50),
+                        crate::span::fmt_f64(s.p90),
+                        crate::span::fmt_f64(s.p99)
+                    )
+                }
             };
             entries.push(entry);
         }
-        format!("{{\"metrics\":[{}]}}\n", entries.join(","))
+        format!("[{}]", entries.join(","))
     }
 }
 

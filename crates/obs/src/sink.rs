@@ -142,9 +142,13 @@ impl Sink for RingSink {
 }
 
 /// Streams records as JSON Lines to any writer.
+///
+/// Dropping the sink flushes the writer (best effort), so traces cut
+/// short by an early return or a panic still land on disk.
 #[derive(Debug)]
 pub struct JsonlSink<W: Write> {
-    writer: W,
+    /// `None` only after `into_inner` disarms the drop-flush.
+    writer: Option<W>,
     error: Option<std::io::Error>,
 }
 
@@ -152,21 +156,30 @@ impl<W: Write> JsonlSink<W> {
     /// Wrap `writer`.
     pub fn new(writer: W) -> Self {
         Self {
-            writer,
+            writer: Some(writer),
             error: None,
         }
     }
 
     /// Unwrap the writer (e.g. to get the bytes of a `Vec<u8>` back).
-    pub fn into_inner(self) -> W {
-        self.writer
+    pub fn into_inner(mut self) -> W {
+        self.writer.take().expect("writer present until into_inner")
     }
 
     fn write_line(&mut self, line: &str) {
         if self.error.is_none() {
-            if let Err(e) = writeln!(self.writer, "{line}") {
+            let writer = self.writer.as_mut().expect("writer present");
+            if let Err(e) = writeln!(writer, "{line}") {
                 self.error = Some(e);
             }
+        }
+    }
+}
+
+impl<W: Write> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        if let Some(writer) = self.writer.as_mut() {
+            let _ = writer.flush();
         }
     }
 }
@@ -235,7 +248,7 @@ impl<W: Write> Sink for JsonlSink<W> {
         if let Some(e) = self.error.take() {
             return Err(e);
         }
-        self.writer.flush()
+        self.writer.as_mut().expect("writer present").flush()
     }
 }
 
@@ -343,6 +356,36 @@ mod tests {
             let v = crate::json::parse(line).expect("line parses");
             assert!(v.get("kind").is_some(), "{line}");
         }
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_on_drop() {
+        use std::cell::Cell;
+        struct FlushCounter<'a> {
+            flushes: &'a Cell<u32>,
+        }
+        impl Write for FlushCounter<'_> {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                self.flushes.set(self.flushes.get() + 1);
+                Ok(())
+            }
+        }
+        let flushes = Cell::new(0);
+        {
+            let mut sink = JsonlSink::new(FlushCounter { flushes: &flushes });
+            sample_trace().emit(&mut sink).unwrap();
+            let after_emit = flushes.get();
+            drop(sink);
+            assert!(flushes.get() > after_emit, "drop must flush the writer");
+        }
+        // into_inner disarms the drop-flush (the caller owns the writer).
+        let flushes2 = Cell::new(0);
+        let sink = JsonlSink::new(FlushCounter { flushes: &flushes2 });
+        let _writer = sink.into_inner();
+        assert_eq!(flushes2.get(), 0);
     }
 
     #[test]

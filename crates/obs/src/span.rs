@@ -184,6 +184,27 @@ pub struct EventRecord {
     pub fields: Vec<(&'static str, FieldValue)>,
 }
 
+/// Mirror a just-closed span or instant into the current thread's
+/// flight-recorder ring (see [`crate::flight`]). Recorders live on the
+/// thread that owns the track, so the ring attribution is correct.
+fn mirror_to_flight(
+    kind: &str,
+    name: &str,
+    track: usize,
+    t_s: f64,
+    fields: &[(&'static str, FieldValue)],
+) {
+    if !crate::flight::enabled() {
+        return;
+    }
+    let mut out: Vec<(&str, String)> = Vec::with_capacity(fields.len() + 1);
+    out.push(("track", track.to_string()));
+    for (k, v) in fields {
+        out.push((k, v.to_json()));
+    }
+    crate::flight::record(name, kind, t_s, &out);
+}
+
 /// An open span on the recorder's stack.
 #[derive(Debug, Clone)]
 struct OpenSpan {
@@ -256,6 +277,7 @@ impl TrackRecorder {
     fn end_phase(&mut self, t_s: f64, forced: bool) {
         if let Some(open) = self.phase.take() {
             let host_end_ns = self.host_ns();
+            mirror_to_flight("phase", &open.name, self.track, t_s, &[]);
             self.spans.push(SpanRecord {
                 name: open.name,
                 cat: open.cat,
@@ -290,6 +312,7 @@ impl TrackRecorder {
         let open = self.stack.pop().expect("span exit without an open span");
         let depth = self.depth();
         let host_end_ns = self.host_ns();
+        mirror_to_flight("span", &open.name, self.track, t_s, &fields);
         self.spans.push(SpanRecord {
             name: open.name,
             cat: open.cat,
@@ -316,6 +339,7 @@ impl TrackRecorder {
     ) {
         let host = self.host_ns();
         let depth = self.depth();
+        mirror_to_flight("span", name, self.track, end_s, &fields);
         self.spans.push(SpanRecord {
             name: name.to_string(),
             cat,
@@ -332,6 +356,7 @@ impl TrackRecorder {
 
     /// Record an instant event at virtual time `t_s`.
     pub fn instant(&mut self, name: &str, t_s: f64, fields: Vec<(&'static str, FieldValue)>) {
+        mirror_to_flight("instant", name, self.track, t_s, &fields);
         self.instants.push(EventRecord {
             name: name.to_string(),
             track: self.track,

@@ -1,0 +1,104 @@
+//! Property tests for [`obs::LogHistogram`]: recording is exact on count
+//! and sum, quantiles are monotone and bounded by the recorded range's
+//! bucket resolution, and shard merging is sound — a merged histogram is
+//! bucket-identical to recording the concatenated stream, so merged
+//! percentiles always bracket between the per-shard percentiles.
+
+use obs::LogHistogram;
+use proptest::prelude::*;
+
+/// Positive, finite, log-uniform over the realistic latency range
+/// (one nanosecond to ~5 hours, in seconds).
+fn value() -> impl Strategy<Value = f64> {
+    (0.0f64..1.0).prop_map(|u| 1e-9 * (2e4f64 / 1e-9).powf(u))
+}
+
+fn record_all(values: &[f64]) -> LogHistogram {
+    let h = LogHistogram::new("s");
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// Count is exact and sum is exact up to f64 accumulation order.
+    #[test]
+    fn count_and_sum_are_exact(values in proptest::collection::vec(value(), 0..200)) {
+        let h = record_all(&values);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let expect: f64 = values.iter().sum();
+        prop_assert!((h.sum() - expect).abs() <= 1e-9 * expect.abs() + 1e-12,
+            "sum {} vs {}", h.sum(), expect);
+    }
+
+    /// Every quantile lies within one bucket's relative resolution of the
+    /// recorded range: `q=0` at or above the minimum, `q=1` at most one
+    /// sub-bucket step above the maximum.
+    #[test]
+    fn quantiles_are_bounded_by_range(values in proptest::collection::vec(value(), 1..200)) {
+        let h = record_all(&values);
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(0.0f64, f64::max);
+        // One sub-bucket is a factor of 2^(1/16) in value.
+        let step = 2f64.powf(1.0 / f64::from(obs::hist::SUB_BUCKETS));
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            prop_assert!(v >= lo, "q={q}: {v} below min {lo}");
+            prop_assert!(v <= hi * step * (1.0 + 1e-12), "q={q}: {v} above max {hi} * step");
+        }
+    }
+
+    /// Quantiles are monotone in `q`.
+    #[test]
+    fn quantiles_are_monotone(values in proptest::collection::vec(value(), 1..200)) {
+        let h = record_all(&values);
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let q = f64::from(i) / 20.0;
+            let v = h.quantile(q);
+            prop_assert!(v >= prev, "quantile({q}) = {v} < {prev}");
+            prev = v;
+        }
+    }
+
+    /// Merging shards is exactly equivalent to recording the concatenated
+    /// stream, and merged percentiles bracket between per-shard
+    /// percentiles (the mixture property).
+    #[test]
+    fn merge_is_sound(
+        a in proptest::collection::vec(value(), 1..120),
+        b in proptest::collection::vec(value(), 1..120),
+    ) {
+        let ha = record_all(&a);
+        let hb = record_all(&b);
+        let merged = record_all(&a);
+        merged.merge_from(&hb);
+
+        // Bucket-identity with the concatenated stream.
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        let direct = record_all(&both);
+        prop_assert_eq!(merged.count(), direct.count());
+        prop_assert!((merged.sum() - direct.sum()).abs() <= 1e-9 * direct.sum().abs() + 1e-12);
+        for q in [0.5, 0.9, 0.99] {
+            prop_assert_eq!(merged.quantile(q).to_bits(), direct.quantile(q).to_bits(),
+                "merged and direct disagree at q={}", q);
+        }
+
+        // Mixture bracket: each merged quantile sits between the shard
+        // quantiles (inclusive), because quantiles are bucket upper
+        // bounds — pure monotone functions of bucket index.
+        for q in [0.5, 0.9, 0.99] {
+            let qa = ha.quantile(q);
+            let qb = hb.quantile(q);
+            let qm = merged.quantile(q);
+            prop_assert!(qa.min(qb) <= qm && qm <= qa.max(qb),
+                "q={q}: merged {qm} outside [{}, {}]", qa.min(qb), qa.max(qb));
+        }
+
+        // Exact min/max survive the merge.
+        prop_assert_eq!(merged.min().to_bits(), ha.min().min(hb.min()).to_bits());
+        prop_assert_eq!(merged.max().to_bits(), ha.max().max(hb.max()).to_bits());
+    }
+}

@@ -1,0 +1,125 @@
+//! Exit-code and report contract of the `obsdiff` binary: `0` when no
+//! metric regressed, `1` on regressions (named in the report), `2` on
+//! usage errors and unforced host-shape mismatches.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_obsdiff"))
+        .args(args)
+        .output()
+        .expect("obsdiff binary runs")
+}
+
+fn write_doc(name: &str, body: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("obsdiff-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, body).expect("fixture written");
+    path
+}
+
+fn doc(host_cores: u64, seq_ns: f64, p99_s: f64) -> String {
+    format!(
+        concat!(
+            "{{\"schema\":\"bench/2\",",
+            "\"host\":{{\"cores\":{cores},\"pool_threads\":{cores},",
+            "\"git_rev\":\"abc1234\",\"recorded_unix\":1754000000}},",
+            "\"metrics\":[",
+            "{{\"name\":\"bench.sweep.fig5_dense_seq.ns_per_iter\",",
+            "\"kind\":\"gauge\",\"value\":{seq}}},",
+            "{{\"name\":\"bench.sweep.grid_evals\",\"kind\":\"gauge\",\"value\":131072}},",
+            "{{\"name\":\"isoee.eval_latency_s\",\"kind\":\"loghist\",\"unit\":\"s\",",
+            "\"count\":1000,\"sum\":1.0,\"mean\":0.001,\"min\":0.0005,\"max\":{p99},",
+            "\"p50\":0.0009,\"p90\":0.0015,\"p99\":{p99}}}",
+            "]}}\n"
+        ),
+        cores = host_cores,
+        seq = seq_ns,
+        p99 = p99_s,
+    )
+}
+
+#[test]
+fn self_diff_is_clean_and_exits_zero() {
+    let a = write_doc("self.json", &doc(4, 1.0e8, 0.002));
+    let out = run(&[a.to_str().unwrap(), a.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 regressed"), "{stdout}");
+}
+
+#[test]
+fn double_slowdown_exits_one_and_names_the_metric() {
+    let old = write_doc("base.json", &doc(4, 1.0e8, 0.002));
+    let new = write_doc("slow.json", &doc(4, 2.0e8, 0.002));
+    let out = run(&[old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let all = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        all.contains("bench.sweep.fig5_dense_seq.ns_per_iter"),
+        "regressed metric must be named:\n{all}"
+    );
+}
+
+#[test]
+fn loghist_p99_regression_is_caught() {
+    let old = write_doc("p99_base.json", &doc(4, 1.0e8, 0.002));
+    let new = write_doc("p99_slow.json", &doc(4, 1.0e8, 0.008));
+    let out = run(&[old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let all = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(all.contains("isoee.eval_latency_s"), "{all}");
+}
+
+#[test]
+fn host_mismatch_refuses_without_force() {
+    let old = write_doc("host4.json", &doc(4, 1.0e8, 0.002));
+    let new = write_doc("host8.json", &doc(8, 1.0e8, 0.002));
+    let out = run(&[old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    let forced = run(&[old.to_str().unwrap(), new.to_str().unwrap(), "--force"]);
+    assert_eq!(forced.status.code(), Some(0), "{forced:?}");
+}
+
+#[test]
+fn json_report_has_stable_schema() {
+    let a = write_doc("json.json", &doc(4, 1.0e8, 0.002));
+    let out = run(&[a.to_str().unwrap(), a.to_str().unwrap(), "--json"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"schema\":\"obsdiff/1\""), "{stdout}");
+    assert!(stdout.contains("\"regressions\":0"), "{stdout}");
+}
+
+#[test]
+fn missing_file_is_a_usage_error() {
+    let out = run(&["/nonexistent/a.json", "/nonexistent/b.json"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn threshold_flag_widens_the_noise_band() {
+    // 40% slowdown: regression at the default 30% threshold, noise at 50%.
+    let old = write_doc("t_base.json", &doc(4, 1.0e8, 0.002));
+    let new = write_doc("t_slow.json", &doc(4, 1.4e8, 0.002));
+    let strict = run(&[old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert_eq!(strict.status.code(), Some(1), "{strict:?}");
+    let loose = run(&[
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--threshold",
+        "0.5",
+    ]);
+    assert_eq!(loose.status.code(), Some(0), "{loose:?}");
+}

@@ -41,10 +41,22 @@
 //!   whether it ran inline (1 thread) or on a worker;
 //! * `pool.steals` (counter) — chunks taken from another worker's deque;
 //! * `pool.queue_depth` (gauge) — chunks not yet claimed, updated as the
-//!   run drains.
+//!   run drains;
+//! * `pool.task_latency_s` (log histogram) — per-task wall time, measured
+//!   at chunk granularity and amortised via `record_n` so the timer never
+//!   sits inside the per-task hot path;
+//! * `pool.steal_latency_s` (log histogram) — time an idle worker spent
+//!   scanning peers before a successful steal;
+//! * `pool.queue_residency_s` (log histogram) — how long each chunk
+//!   waited in a deque between enqueue and claim.
 //!
 //! `analyze` cross-checks `pool.tasks_executed` deltas against
 //! `isoee.model_evals` to prove the sweep engine's accounting.
+//!
+//! On a task panic the pool records a `pool.task_panic` event (with the
+//! task index) into the `obs::flight` recorder and dumps every thread's
+//! flight tail to JSONL before re-raising, so the forensic context of the
+//! failure survives the unwind.
 //!
 //! ## Panics
 //!
@@ -178,6 +190,43 @@ pub fn global() -> &'static PoolConfig {
 struct Chunk<'a, U> {
     start: usize,
     out: &'a mut [Option<U>],
+    /// Enqueue time, for `pool.queue_residency_s`.
+    born: std::time::Instant,
+}
+
+/// Cached handles for the pool's log histograms (registration takes the
+/// registry mutex; the handles are lock-free).
+struct PoolHists {
+    task_latency: std::sync::Arc<obs::LogHistogram>,
+    steal_latency: std::sync::Arc<obs::LogHistogram>,
+    queue_residency: std::sync::Arc<obs::LogHistogram>,
+}
+
+fn hists() -> &'static PoolHists {
+    static HISTS: OnceLock<PoolHists> = OnceLock::new();
+    HISTS.get_or_init(|| {
+        let reg = obs::global();
+        PoolHists {
+            task_latency: reg.log_histogram("pool.task_latency_s", "s"),
+            steal_latency: reg.log_histogram("pool.steal_latency_s", "s"),
+            queue_residency: reg.log_histogram("pool.queue_residency_s", "s"),
+        }
+    })
+}
+
+/// Record the panic into the flight recorder and dump every thread's
+/// forensic tail before the unwind continues.
+fn flight_panic_dump(task: &TaskPanic) {
+    obs::flight::record(
+        "pool.task_panic",
+        "event",
+        0.0,
+        &[
+            ("index", task.index.to_string()),
+            ("message", task.message().to_string()),
+        ],
+    );
+    let _ = obs::flight::dump("pool-task-panic");
 }
 
 /// Shared per-run bookkeeping.
@@ -234,8 +283,10 @@ where
     // is also the reference the differential tests compare against.
     if cfg.threads <= 1 || len == 1 {
         reg.gauge("pool.workers").set(1.0);
+        let t0 = std::time::Instant::now();
         let out: Vec<U> = (0..len).map(&f).collect();
         tasks.add(len as u64);
+        record_task_latency(t0.elapsed(), len as u64);
         return out;
     }
 
@@ -273,10 +324,15 @@ where
     {
         let mut rest: &mut [Option<U>] = &mut out[done..];
         let mut start = done;
+        let born = std::time::Instant::now();
         while !rest.is_empty() {
             let take = chunk.min(rest.len());
             let (head, tail) = std::mem::take(&mut rest).split_at_mut(take);
-            chunks.push(Chunk { start, out: head });
+            chunks.push(Chunk {
+                start,
+                out: head,
+                born,
+            });
             rest = tail;
             start += take;
         }
@@ -314,7 +370,9 @@ where
 
     if let Some((index, payload)) = state.panic.lock().expect("pool panic slot poisoned").take() {
         eprintln!("pool: parallel task {index} panicked; re-raising on the caller");
-        resume_unwind(Box::new(TaskPanic { index, payload }));
+        let task = TaskPanic { index, payload };
+        flight_panic_dump(&task);
+        resume_unwind(Box::new(task));
     }
 
     unwrap_slots(out)
@@ -327,18 +385,37 @@ fn run_inline<U, F>(slots: &mut [Option<U>], base: usize, f: &F, tasks: &obs::Co
 where
     F: Fn(usize) -> U,
 {
+    let t0 = std::time::Instant::now();
+    let mut ran = 0u64;
     for (offset, slot) in slots.iter_mut().enumerate() {
         let index = base + offset;
         match catch_unwind(AssertUnwindSafe(|| f(index))) {
             Ok(value) => {
                 *slot = Some(value);
                 tasks.inc();
+                ran += 1;
             }
             Err(payload) => {
                 eprintln!("pool: parallel task {index} panicked; re-raising on the caller");
-                resume_unwind(Box::new(TaskPanic { index, payload }));
+                record_task_latency(t0.elapsed(), ran);
+                let task = TaskPanic { index, payload };
+                flight_panic_dump(&task);
+                resume_unwind(Box::new(task));
             }
         }
+    }
+    record_task_latency(t0.elapsed(), ran);
+}
+
+/// Amortised per-task latency: one timer reading per batch, spread over
+/// the `ran` tasks it covered (keeps `Instant::now()` off the per-task
+/// path — sweep cells run in tens of nanoseconds).
+fn record_task_latency(elapsed: std::time::Duration, ran: u64) {
+    if ran > 0 {
+        #[allow(clippy::cast_precision_loss)]
+        hists()
+            .task_latency
+            .record_n(elapsed.as_secs_f64() / ran as f64, ran);
     }
 }
 
@@ -411,6 +488,7 @@ where
             .expect("pool deque poisoned")
             .pop_back();
         if claimed.is_none() {
+            let hunt_start = std::time::Instant::now();
             for k in 1..workers {
                 let victim = (me + k) % workers;
                 let stolen = state.deques[victim]
@@ -419,6 +497,9 @@ where
                     .pop_front();
                 if stolen.is_some() {
                     steals.inc();
+                    hists()
+                        .steal_latency
+                        .record(hunt_start.elapsed().as_secs_f64());
                     claimed = stolen;
                     break;
                 }
@@ -437,9 +518,16 @@ where
                 .saturating_sub(1) as f64,
         );
 
+        hists()
+            .queue_residency
+            .record(chunk.born.elapsed().as_secs_f64());
+
         let start = chunk.start;
+        let chunk_start = std::time::Instant::now();
+        let mut ran = 0u64;
         for (offset, slot) in chunk.out.iter_mut().enumerate() {
             if state.abort.load(Ordering::Relaxed) {
+                record_task_latency(chunk_start.elapsed(), ran);
                 return;
             }
             let index = start + offset;
@@ -447,13 +535,16 @@ where
                 Ok(value) => {
                     *slot = Some(value);
                     tasks.inc();
+                    ran += 1;
                 }
                 Err(payload) => {
+                    record_task_latency(chunk_start.elapsed(), ran);
                     record_panic(state, index, payload);
                     return;
                 }
             }
         }
+        record_task_latency(chunk_start.elapsed(), ran);
     }
 }
 

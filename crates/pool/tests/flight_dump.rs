@@ -1,0 +1,45 @@
+//! The flight recorder must capture a pool task panic: when a task dies,
+//! the pool records a `pool.task_panic` event and dumps every thread's
+//! recent-event ring to a JSONL file before the panic propagates.
+
+use std::panic::{self, AssertUnwindSafe};
+
+#[test]
+fn task_panic_dumps_flight_tail() {
+    let dir = std::env::temp_dir().join(format!("pool-flight-test-{}", std::process::id()));
+    std::env::set_var("OBS_FLIGHT_DIR", &dir);
+
+    let inputs: Vec<u64> = (0..64).collect();
+    let cfg = pool::PoolConfig::with_threads(2);
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        pool::parallel_map(&cfg, &inputs, |&i| {
+            if i == 37 {
+                panic!("boom at 37");
+            }
+            i * 2
+        })
+    }));
+    assert!(result.is_err(), "the panic must propagate to the caller");
+
+    let path = obs::flight::last_dump().expect("a task panic must produce a flight dump");
+    assert!(
+        path.starts_with(&dir),
+        "dump {path:?} not under OBS_FLIGHT_DIR {dir:?}"
+    );
+    let text = std::fs::read_to_string(&path).expect("dump file readable");
+    let mut lines = text.lines();
+    let header = lines.next().expect("dump has a header line");
+    assert!(
+        header.contains("\"flight\":\"pool-task-panic\""),
+        "header names the dump reason: {header}"
+    );
+    // The tail must contain the panic event with the failing task's index
+    // and payload.
+    let panic_line = lines
+        .find(|l| l.contains("pool.task_panic"))
+        .unwrap_or_else(|| panic!("no pool.task_panic record in dump:\n{text}"));
+    assert!(panic_line.contains("37"), "index in {panic_line}");
+    assert!(panic_line.contains("boom at 37"), "message in {panic_line}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

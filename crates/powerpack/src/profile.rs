@@ -156,6 +156,22 @@ impl PowerProfile {
     pub fn idle_baseline_w(&self, meter: &EnergyMeter) -> Watts {
         meter.node().system_idle_w() * self.ranks as f64
     }
+
+    /// Record the profile into an obs [`obs::Timeline`] as six `power.*`
+    /// watt series (cpu/mem/net/disk/other/total), so a Fig. 10 power
+    /// draw renders as Perfetto counter tracks under the run's span
+    /// tracks. Size the timeline to at least [`Self::samples`]`.len()` or
+    /// the oldest samples are ring-evicted.
+    pub fn record_timeline(&self, timeline: &mut obs::Timeline) {
+        for s in &self.samples {
+            timeline.record("power.cpu", "W", s.t_s, s.cpu_w.raw());
+            timeline.record("power.mem", "W", s.t_s, s.mem_w.raw());
+            timeline.record("power.net", "W", s.t_s, s.net_w.raw());
+            timeline.record("power.disk", "W", s.t_s, s.disk_w.raw());
+            timeline.record("power.other", "W", s.t_s, s.other_w.raw());
+            timeline.record("power.total", "W", s.t_s, s.total_w().raw());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +214,26 @@ mod tests {
             (e_trace - e_meter).abs() / e_meter < 5e-3,
             "trace {e_trace} vs meter {e_meter}"
         );
+    }
+
+    #[test]
+    fn timeline_export_carries_all_components_in_time_order() {
+        let m = meter();
+        let log = busy_log(1.0);
+        let prof = PowerProfile::sample(&m, &[&log], 0.1);
+        let mut timeline = obs::Timeline::new(prof.samples.len());
+        prof.record_timeline(&mut timeline);
+        let tracks = timeline.counter_tracks();
+        assert_eq!(tracks.len(), 6, "cpu/mem/net/disk/other/total");
+        let total = tracks
+            .iter()
+            .find(|t| t.name == "power.total")
+            .expect("total track");
+        assert_eq!(total.unit, "W");
+        assert_eq!(total.samples.len(), prof.samples.len());
+        assert!(total.samples.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(total.samples.iter().all(|&(_, v)| v.is_finite() && v > 0.0));
+        assert_eq!(timeline.dropped(), 0);
     }
 
     #[test]

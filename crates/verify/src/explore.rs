@@ -625,6 +625,20 @@ impl Explorer {
             }
         }
 
+        if !findings.is_empty() {
+            obs::flight::record(
+                "verify.witness",
+                "event",
+                0.0,
+                &[
+                    ("findings", findings.len().to_string()),
+                    ("schedules", schedules.to_string()),
+                    ("first", format!("{:?}", findings[0])),
+                ],
+            );
+            let _ = obs::flight::dump("verify-witness");
+        }
+
         Exploration {
             schedules,
             truncated,
