@@ -1,0 +1,51 @@
+//! Trace conformance on *engine-backed* runs.
+//!
+//! The simrt event engine produces the same span tracks as the thread
+//! runtime (shared `RankCore` recording) plus its own virtual-time
+//! counter timeline. Both must satisfy every invariant `analyze --trace`
+//! enforces — in particular the timeline's running-max timestamping must
+//! keep each counter series monotone.
+
+use simrt::{Detail, EngineConfig};
+
+fn world() -> mps::World {
+    let mut obs_cfg = obs::ObsConfig::disabled();
+    obs_cfg.trace = true;
+    mps::World::new(simcluster::system_g(), 2.8e9).with_obs(obs_cfg)
+}
+
+#[test]
+fn engine_trace_passes_conformance() {
+    let cfg = npb::FtConfig::class(npb::Class::S);
+    let plan = npb::ft_plan(&cfg);
+    let engine_cfg = EngineConfig::default()
+        .with_detail(Detail::On)
+        .with_timeline_every(8);
+    let out = simrt::try_run_plan_with(&engine_cfg, &world(), 4, &plan).expect("run completes");
+    assert!(
+        out.timeline.series().iter().any(|s| !s.samples.is_empty()),
+        "timeline sampling produced no data"
+    );
+    let trace = out.trace("ft p=4 simrt").expect("trace assembled");
+    assert!(!trace.tracks.is_empty(), "span tracks recorded");
+    assert!(!trace.counters.is_empty(), "timeline counters attached");
+    let findings = analyze::check_trace(&trace);
+    assert!(findings.is_empty(), "conformance findings: {findings:?}");
+}
+
+/// With detail off and the timeline on, the trace is counters-only and
+/// must still conform (this is the large-`p` observability mode).
+#[test]
+fn counters_only_engine_trace_passes_conformance() {
+    let cfg = npb::EpConfig::class(npb::Class::S);
+    let plan = npb::ep_plan(&cfg);
+    let engine_cfg = EngineConfig::default()
+        .with_detail(Detail::Off)
+        .with_timeline_every(4);
+    let out = simrt::try_run_plan_with(&engine_cfg, &world(), 8, &plan).expect("run completes");
+    let trace = out.trace("ep p=8 simrt").expect("counters-only trace");
+    assert!(trace.tracks.is_empty(), "no span tracks at detail off");
+    assert!(!trace.counters.is_empty());
+    let findings = analyze::check_trace(&trace);
+    assert!(findings.is_empty(), "conformance findings: {findings:?}");
+}

@@ -1,0 +1,119 @@
+//! Rank-scaling bench: NPB FT at `p = 1024` on the simrt event engine —
+//! the run the thread runtime cannot do at all (it would need 1024 OS
+//! threads and ~2 MB of stack each).
+//!
+//! Run with `cargo bench -p bench --bench rank_scaling`.
+//!
+//! Results land in `BENCH_simrt.json` at the repo root — a `bench/2`
+//! snapshot with per-case `ns_per_iter` / `throughput_per_s` gauges for
+//! the sequential and pooled engines, the rank-step latency
+//! log-histogram (`bench.rank_scaling.step_latency_s`), engine event
+//! rates (`bench.rank_scaling.*.events_per_s`), per-run step/send/wake
+//! counts, and the process peak RSS after the largest run
+//! (`bench.rank_scaling.peak_rss_bytes`, from `/proc/self/status`
+//! `VmHWM`; 0 where unavailable). The CI `rank-scaling` job gates the
+//! numbers with `analyze --bench-diff` against the committed baseline.
+
+use bench::{merge_global_loghists, snapshot_v2_json, time_case, write_snapshot_json, CaseStats};
+use simrt::{Detail, EngineConfig};
+
+const P: usize = 1024;
+const ITERS: u32 = 5;
+
+/// Peak resident set of this process in bytes (`VmHWM`), 0 if the
+/// procfs field is unavailable (non-Linux hosts).
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| {
+            rest.trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse::<u64>()
+                .ok()
+        })
+        .map_or(0, |kb| kb * 1024)
+}
+
+fn main() {
+    let world = mps::World::new(simcluster::system_g(), 2.8e9);
+    let ft = npb::ft_plan(&npb::FtConfig::class(npb::Class::S));
+    let step_hist = obs::global().log_histogram("bench.rank_scaling.step_latency_s", "s");
+
+    println!("rank_scaling/ft_p{P}: NPB FT class S on the simrt event engine");
+    let mut cases: Vec<CaseStats> = Vec::new();
+    let mut engine_stats: Vec<(&str, simrt::EngineStats)> = Vec::new();
+    let configs = [
+        (
+            "ft_p1024_seq",
+            EngineConfig::default().with_detail(Detail::Off),
+        ),
+        (
+            "ft_p1024_pool4",
+            EngineConfig::default()
+                .with_detail(Detail::Off)
+                .with_pool(pool::PoolConfig::with_threads(4)),
+        ),
+    ];
+    for (name, cfg) in &configs {
+        let mut last_stats = simrt::EngineStats::default();
+        let case = time_case(name, ITERS, || {
+            let out = simrt::try_run_plan_with(cfg, &world, P, &ft).expect("ft completes");
+            // Mean per-step engine latency, weighted by step count: the
+            // engine executes millions of steps per run, so the histogram
+            // is fed the per-run mean at full weight.
+            if out.stats.steps > 0 {
+                #[allow(clippy::cast_precision_loss)]
+                step_hist.record_n(out.stats.wall_s / out.stats.steps as f64, out.stats.steps);
+            }
+            last_stats = out.stats.clone();
+            out.report.span()
+        });
+        cases.push(case);
+        engine_stats.push((name, last_stats));
+    }
+
+    let reg = bench::cases_registry("bench.rank_scaling", &cases);
+    #[allow(clippy::cast_precision_loss)]
+    for (name, stats) in &engine_stats {
+        let events_per_s = if stats.wall_s > 0.0 {
+            stats.steps as f64 / stats.wall_s
+        } else {
+            0.0
+        };
+        reg.gauge(&format!("bench.rank_scaling.{name}.events_per_s"))
+            .set(events_per_s);
+        reg.gauge(&format!("bench.rank_scaling.{name}.steps"))
+            .set(stats.steps as f64);
+        reg.gauge(&format!("bench.rank_scaling.{name}.sends"))
+            .set(stats.sends as f64);
+        reg.gauge(&format!("bench.rank_scaling.{name}.wakes"))
+            .set(stats.wakes as f64);
+        reg.gauge(&format!("bench.rank_scaling.{name}.supersteps"))
+            .set(stats.supersteps as f64);
+        println!(
+            "  {name}: {events_per_s:.0} events/s ({} steps, {} sends)",
+            stats.steps, stats.sends
+        );
+    }
+
+    #[allow(clippy::cast_precision_loss)]
+    reg.gauge("bench.rank_scaling.ranks").set(P as f64);
+    #[allow(clippy::cast_precision_loss)]
+    reg.gauge("bench.rank_scaling.peak_rss_bytes")
+        .set(peak_rss_bytes() as f64);
+    println!(
+        "  peak RSS {:.1} MiB after {ITERS} runs per case",
+        peak_rss_bytes() as f64 / (1024.0 * 1024.0)
+    );
+
+    merge_global_loghists(&reg);
+    write_snapshot_json(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simrt.json"),
+        &snapshot_v2_json(&reg),
+    );
+}

@@ -61,7 +61,7 @@ impl<'w> Ctx<'w> {
     }
 
     fn barrier_inner(&mut self) {
-        let p = self.size;
+        let p = self.size();
         if p == 1 {
             return;
         }
@@ -69,8 +69,8 @@ impl<'w> Ctx<'w> {
         let mut round = 0u32;
         let mut dist = 1usize;
         while dist < p {
-            let to = (self.rank + dist) % p;
-            let from = (self.rank + p - dist) % p;
+            let to = (self.rank() + dist) % p;
+            let from = (self.rank() + p - dist) % p;
             let tag = internal_tag(seq, round);
             self.send_raw::<u8>(to, tag, Vec::new(), p);
             let _ = self.recv_raw::<u8>(from, tag);
@@ -86,13 +86,13 @@ impl<'w> Ctx<'w> {
     }
 
     fn bcast_inner<T: Send + Clone + 'static>(&mut self, root: usize, data: Vec<T>) -> Vec<T> {
-        let p = self.size;
+        let p = self.size();
         assert!(root < p, "broadcast root {root} out of range");
         let seq = self.next_coll_seq();
         if p == 1 {
             return data;
         }
-        let vrank = (self.rank + p - root) % p;
+        let vrank = (self.rank() + p - root) % p;
         let tag = internal_tag(seq, 0);
 
         // Receive phase: wait for the message from the parent.
@@ -100,7 +100,7 @@ impl<'w> Ctx<'w> {
         let mut mask = 1usize;
         while mask < p {
             if vrank & mask != 0 {
-                let src = (self.rank + p - mask) % p;
+                let src = (self.rank() + p - mask) % p;
                 buf = self.recv_raw::<T>(src, tag);
                 break;
             }
@@ -110,7 +110,7 @@ impl<'w> Ctx<'w> {
         mask >>= 1;
         while mask > 0 {
             if vrank + mask < p {
-                let dst = (self.rank + mask) % p;
+                let dst = (self.rank() + mask) % p;
                 self.send_raw(dst, tag, buf.clone(), p);
             }
             mask >>= 1;
@@ -126,14 +126,14 @@ impl<'w> Ctx<'w> {
     }
 
     fn reduce_inner(&mut self, root: usize, data: &[f64], op: ReduceOp) -> Option<Vec<f64>> {
-        let p = self.size;
+        let p = self.size();
         assert!(root < p, "reduce root {root} out of range");
         let seq = self.next_coll_seq();
         let mut acc = data.to_vec();
         if p == 1 {
             return Some(acc);
         }
-        let vrank = (self.rank + p - root) % p;
+        let vrank = (self.rank() + p - root) % p;
         let tag = internal_tag(seq, 0);
         let mut mask = 1usize;
         while mask < p {
@@ -164,7 +164,7 @@ impl<'w> Ctx<'w> {
     }
 
     fn allreduce_inner(&mut self, data: &[f64], op: ReduceOp) -> Vec<f64> {
-        let p = self.size;
+        let p = self.size();
         let seq = self.next_coll_seq();
         let mut acc = data.to_vec();
         if p == 1 {
@@ -174,16 +174,16 @@ impl<'w> Ctx<'w> {
         let r = p - m;
 
         // Pre-fold: ranks >= m hand their data to rank - m.
-        if self.rank >= m {
+        if self.rank() >= m {
             let tag = internal_tag(seq, 0);
-            self.send_raw(self.rank - m, tag, acc, p);
+            self.send_raw(self.rank() - m, tag, acc, p);
             // Wait for the final result.
             let tag = internal_tag(seq, 63);
-            return self.recv_raw::<f64>(self.rank - m, tag);
+            return self.recv_raw::<f64>(self.rank() - m, tag);
         }
-        if self.rank < r {
+        if self.rank() < r {
             let tag = internal_tag(seq, 0);
-            let other = self.recv_raw::<f64>(self.rank + m, tag);
+            let other = self.recv_raw::<f64>(self.rank() + m, tag);
             op.combine(&mut acc, &other);
             self.compute(acc.len() as f64);
         }
@@ -192,7 +192,7 @@ impl<'w> Ctx<'w> {
         let mut round = 1u32;
         let mut mask = 1usize;
         while mask < m {
-            let partner = self.rank ^ mask;
+            let partner = self.rank() ^ mask;
             let tag = internal_tag(seq, round);
             let other = self.exchange_raw(partner, tag, acc.clone(), p);
             op.combine(&mut acc, &other);
@@ -202,9 +202,9 @@ impl<'w> Ctx<'w> {
         }
 
         // Post: send results back to the folded ranks.
-        if self.rank < r {
+        if self.rank() < r {
             let tag = internal_tag(seq, 63);
-            self.send_raw(self.rank + m, tag, acc.clone(), p);
+            self.send_raw(self.rank() + m, tag, acc.clone(), p);
         }
         acc
     }
@@ -231,16 +231,16 @@ impl<'w> Ctx<'w> {
     }
 
     fn allgather_inner<T: Send + Clone + 'static>(&mut self, mine: Vec<T>) -> Vec<Vec<T>> {
-        let p = self.size;
+        let p = self.size();
         let seq = self.next_coll_seq();
         let mut out: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
-        out[self.rank] = Some(mine);
+        out[self.rank()] = Some(mine);
         if p > 1 {
-            let right = (self.rank + 1) % p;
-            let left = (self.rank + p - 1) % p;
+            let right = (self.rank() + 1) % p;
+            let left = (self.rank() + p - 1) % p;
             for i in 0..p - 1 {
                 // Chunk that originated at rank - i (mod p) moves right.
-                let src_owner = (self.rank + p - i) % p;
+                let src_owner = (self.rank() + p - i) % p;
                 let chunk = out[src_owner].clone().expect("chunk present");
                 let tag = internal_tag(seq, i as u32);
                 self.send_raw(right, tag, chunk, p);
@@ -269,16 +269,16 @@ impl<'w> Ctx<'w> {
         &mut self,
         mut chunks: Vec<Vec<T>>,
     ) -> Vec<Vec<T>> {
-        let p = self.size;
+        let p = self.size();
         assert_eq!(chunks.len(), p, "alltoall needs one chunk per rank");
         let seq = self.next_coll_seq();
         let mut out: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
         // Own chunk stays local, free of charge.
-        out[self.rank] = Some(std::mem::take(&mut chunks[self.rank]));
+        out[self.rank()] = Some(std::mem::take(&mut chunks[self.rank()]));
         if p > 1 {
             if p.is_power_of_two() {
                 for i in 1..p {
-                    let partner = self.rank ^ i;
+                    let partner = self.rank() ^ i;
                     let tag = internal_tag(seq, i as u32);
                     let data = std::mem::take(&mut chunks[partner]);
                     let recvd = self.exchange_raw(partner, tag, data, p);
@@ -286,8 +286,8 @@ impl<'w> Ctx<'w> {
                 }
             } else {
                 for i in 1..p {
-                    let dst = (self.rank + i) % p;
-                    let src = (self.rank + p - i) % p;
+                    let dst = (self.rank() + i) % p;
+                    let src = (self.rank() + p - i) % p;
                     let tag = internal_tag(seq, i as u32);
                     let data = std::mem::take(&mut chunks[dst]);
                     self.send_raw(dst, tag, data, p);
@@ -308,7 +308,7 @@ impl<'w> Ctx<'w> {
         mine: Vec<T>,
     ) -> Option<Vec<Vec<T>>> {
         let all = self.allgather(mine);
-        (self.rank == root).then_some(all)
+        (self.rank() == root).then_some(all)
     }
 }
 

@@ -6,12 +6,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use netsim::Hockney;
-use obs::span::{Category, FieldValue};
-use obs::TrackRecorder;
-use simcluster::units::{Joules, Seconds};
-use simcluster::{Segment, SegmentKind, SegmentLog, VirtualClock};
+use simcluster::units::Seconds;
 
 use crate::envelope::{Envelope, INTERNAL_TAG_BASE};
+use crate::rankcore::RankCore;
 use crate::registry::{Registry, Verdict, WaitTarget};
 use crate::runtime::RankAbort;
 use crate::sched::{SchedGrant, SchedOp};
@@ -22,154 +20,61 @@ use crate::world::World;
 /// How often a blocked receive re-checks the wait-for graph.
 const DEADLOCK_POLL: Duration = Duration::from_millis(10);
 
-/// Cached handles into the global metrics registry, resolved once per
-/// rank at context creation so the hot path is a relaxed atomic add.
-pub(crate) struct MpsMetrics {
-    messages: Arc<obs::Counter>,
-    bytes: Arc<obs::Counter>,
-    mem_accesses: Arc<obs::Counter>,
-    mem_dram: Arc<obs::Counter>,
-    cache_hit_ratio: Arc<obs::Gauge>,
-    /// Per-collective counters and histograms, cached by name.
-    collectives: Vec<(&'static str, CollectiveMetrics)>,
-    /// Per-phase wait-time histograms, cached by phase name.
-    phase_waits: Vec<(String, Arc<obs::LogHistogram>)>,
-}
-
-/// Cached handles for one collective: `(calls, messages, bytes)` counters
-/// plus per-call virtual latency and byte-volume histograms.
-pub(crate) struct CollectiveMetrics {
-    counters: [Arc<obs::Counter>; 3],
-    latency: Arc<obs::LogHistogram>,
-    bytes_per_call: Arc<obs::LogHistogram>,
-}
-
-impl MpsMetrics {
-    pub(crate) fn new() -> Self {
-        let reg = obs::global();
-        Self {
-            messages: reg.counter("mps.messages"),
-            bytes: reg.counter("mps.bytes"),
-            mem_accesses: reg.counter("mps.mem.accesses"),
-            mem_dram: reg.counter("mps.mem.dram_accesses"),
-            cache_hit_ratio: reg.gauge("mps.mem.cache_hit_ratio"),
-            collectives: Vec::new(),
-            phase_waits: Vec::new(),
-        }
-    }
-
-    /// The cached metric handles of collective `name`.
-    fn collective(&mut self, name: &'static str) -> &CollectiveMetrics {
-        let idx = match self.collectives.iter().position(|(n, _)| *n == name) {
-            Some(i) => i,
-            None => {
-                let reg = obs::global();
-                let handles = CollectiveMetrics {
-                    counters: [
-                        reg.counter(&format!("mps.collective.{name}.calls")),
-                        reg.counter(&format!("mps.collective.{name}.messages")),
-                        reg.counter(&format!("mps.collective.{name}.bytes")),
-                    ],
-                    latency: reg.log_histogram(&format!("mps.collective.{name}.latency_s"), "s"),
-                    bytes_per_call: reg
-                        .log_histogram(&format!("mps.collective.{name}.bytes_per_call"), "B"),
-                };
-                self.collectives.push((name, handles));
-                self.collectives.len() - 1
-            }
-        };
-        &self.collectives[idx].1
-    }
-
-    /// The wait-time histogram of the phase named `phase`.
-    fn phase_wait(&mut self, phase: &str) -> &Arc<obs::LogHistogram> {
-        let idx = match self.phase_waits.iter().position(|(n, _)| n == phase) {
-            Some(i) => i,
-            None => {
-                let hist = obs::global().log_histogram(&format!("mps.phase.{phase}.wait_s"), "s");
-                self.phase_waits.push((phase.to_string(), hist));
-                self.phase_waits.len() - 1
-            }
-        };
-        &self.phase_waits[idx].1
-    }
-}
-
 /// The handle a rank's program uses to charge work and communicate.
 ///
 /// Created by [`crate::run`]; one per rank, owned by the rank's thread.
+/// All execution-agnostic accounting lives in the embedded
+/// [`RankCore`]; this type adds the thread-runtime transport (channels,
+/// pending buffers, the deadlock-detection registry).
 pub struct Ctx<'w> {
-    pub(crate) rank: usize,
-    pub(crate) size: usize,
-    pub(crate) world: &'w World,
-    pub(crate) clock: VirtualClock,
-    pub(crate) counters: Counters,
-    pub(crate) log: SegmentLog,
+    pub(crate) core: RankCore<'w>,
     pub(crate) senders: Vec<Sender<Envelope>>,
     pub(crate) receivers: Vec<Receiver<Envelope>>,
     pub(crate) pending: Vec<VecDeque<Envelope>>,
     pub(crate) coll_seq: u64,
-    pub(crate) markers: Vec<(String, f64)>,
     pub(crate) hockney: Hockney,
     pub(crate) registry: Arc<Registry>,
     pub(crate) comm: CommLog,
     pub(crate) vclock: Vec<u64>,
     /// Last stable deadlock observation `(verdict, chain progress)`.
     pub(crate) last_probe: Option<(Verdict, Vec<u64>)>,
-    /// Span recorder, present only when `world.obs.trace` is set: every
-    /// instrumented call site pays one branch when disabled.
-    pub(crate) rec: Option<TrackRecorder>,
-    /// Cached metric handles, present only when `world.obs.metrics` is set.
-    pub(crate) metrics: Option<MpsMetrics>,
-    /// Per-kind device delta power `[compute, memory, network, io]` in
-    /// watts, precomputed so charge spans carry their energy.
-    pub(crate) delta_w: [f64; 4],
 }
 
 impl<'w> Ctx<'w> {
     /// This rank's id, `0..size`.
     pub fn rank(&self) -> usize {
-        self.rank
+        self.core.rank
     }
 
     /// Number of ranks in the run.
     pub fn size(&self) -> usize {
-        self.size
+        self.core.size
     }
 
     /// Current virtual time in seconds.
     pub fn now(&self) -> f64 {
-        self.clock.now().raw()
+        self.core.now()
     }
 
     /// The world this rank runs in.
     pub fn world(&self) -> &World {
-        self.world
+        self.core.world
     }
 
     /// Counters accumulated so far.
     pub fn counters(&self) -> &Counters {
-        &self.counters
+        &self.core.counters
     }
 
     // ------------------------------------------------------------------
-    // Work charging
+    // Work charging (delegated to the shared rank core)
     // ------------------------------------------------------------------
 
     /// Charge `instructions` of on-chip computation (`Wc`): the CPU is busy
     /// for `instructions × tc` with `tc = CPI / f`; wall time is squeezed by
     /// the overlap factor.
     pub fn compute(&mut self, instructions: f64) {
-        assert!(
-            instructions.is_finite() && instructions >= 0.0,
-            "instruction count must be non-negative, got {instructions}"
-        );
-        if instructions == 0.0 {
-            return;
-        }
-        self.counters.wc += instructions;
-        let dur = instructions * self.world.tc();
-        self.charge(SegmentKind::Compute, dur);
+        self.core.compute(instructions);
     }
 
     /// Charge `accesses` memory accesses against a working set of
@@ -187,47 +92,7 @@ impl<'w> Ctx<'w> {
     /// and why strong scaling (smaller per-rank working sets) yields the
     /// *negative* parallel memory overheads the paper fits for FT and CG.
     pub fn mem_access(&mut self, accesses: f64, working_set_bytes: u64) {
-        assert!(
-            accesses.is_finite() && accesses >= 0.0,
-            "access count must be non-negative, got {accesses}"
-        );
-        if accesses == 0.0 {
-            return;
-        }
-        let node = &self.world.cluster.node;
-        // Compact rank placement: ranks fill nodes core by core, so up to
-        // `cores()` ranks contend for the node's shared cache levels.
-        let co_resident = self.size.min(node.cores());
-        let prof = node
-            .memory
-            .access_profile_concurrent(working_set_bytes, co_resident);
-
-        if let Some(metrics) = &self.metrics {
-            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-            {
-                metrics.mem_accesses.add(accesses as u64);
-                metrics.mem_dram.add((accesses * prof.dram_fraction) as u64);
-            }
-            metrics.cache_hit_ratio.set(1.0 - prof.dram_fraction);
-        }
-
-        // Off-chip share: memory workload at flat DRAM latency.
-        let dram_accesses = accesses * prof.dram_fraction;
-        if dram_accesses > 0.0 {
-            self.counters.wm += dram_accesses;
-            self.charge(
-                SegmentKind::Memory,
-                Seconds::new(dram_accesses * node.memory.dram_latency_s),
-            );
-        }
-
-        // On-chip share: compute time, slowed by DVFS like the core.
-        let f_scale = node.cpu.dvfs.nominal() / self.world.f_hz;
-        let on_chip_s = accesses * prof.on_chip_s_per_access * f_scale;
-        if on_chip_s > 0.0 {
-            self.counters.wc += on_chip_s / self.world.tc().raw();
-            self.charge(SegmentKind::Compute, Seconds::new(on_chip_s));
-        }
+        self.core.mem_access(accesses, working_set_bytes);
     }
 
     /// Charge a *streaming* sweep that touches `element_touches` 8-byte-ish
@@ -239,22 +104,13 @@ impl<'w> Ctx<'w> {
     /// what the model's `Wm` means — are ≈ 1/8 of the element touches.
     /// Random-access workloads should use [`Ctx::mem_access`] instead.
     pub fn mem_stream(&mut self, element_touches: f64, working_set_bytes: u64) {
-        const LINE_ELEMS: f64 = 8.0; // 64-byte lines / 8-byte elements
-        self.mem_access(element_touches / LINE_ELEMS, working_set_bytes);
+        self.core.mem_stream(element_touches, working_set_bytes);
     }
 
     /// Charge `seconds` of flat local I/O (the paper's `T_IO`; NPB charges
     /// essentially none).
     pub fn io(&mut self, seconds: f64) {
-        assert!(
-            seconds.is_finite() && seconds >= 0.0,
-            "I/O time must be non-negative, got {seconds}"
-        );
-        if seconds == 0.0 {
-            return;
-        }
-        self.counters.io_s += seconds;
-        self.charge(SegmentKind::Io, Seconds::new(seconds));
+        self.core.io(seconds);
     }
 
     /// Record a named phase marker at the current virtual time (consumed by
@@ -262,78 +118,7 @@ impl<'w> Ctx<'w> {
     /// enabled the marker also opens a top-level phase span, closing the
     /// previous one.
     pub fn phase(&mut self, name: &str) {
-        self.markers.push((name.to_string(), self.now()));
-        if let Some(rec) = &mut self.rec {
-            let t = self.clock.now().raw();
-            rec.begin_phase(name, t);
-        }
-    }
-
-    /// Push a device-busy segment of `work` seconds, advancing the wall
-    /// clock by `α · work`.
-    fn charge(&mut self, kind: SegmentKind, work: Seconds) {
-        let wall = self.world.alpha * work;
-        let start = self.now();
-        self.log.push(Segment {
-            kind,
-            start_s: start,
-            wall_s: wall.raw(),
-            work_s: work.raw(),
-        });
-        self.clock.advance(wall);
-        if let Some(rec) = &mut self.rec {
-            let (cat, delta_w) = match kind {
-                SegmentKind::Compute => (Category::Compute, self.delta_w[0]),
-                SegmentKind::Memory => (Category::Memory, self.delta_w[1]),
-                SegmentKind::Network => (Category::Network, self.delta_w[2]),
-                SegmentKind::Io => (Category::Io, self.delta_w[3]),
-                SegmentKind::Wait => (Category::Wait, 0.0),
-            };
-            let end = start + wall.raw();
-            rec.leaf(
-                cat.name(),
-                cat,
-                start,
-                end,
-                vec![
-                    ("work_s", FieldValue::Seconds(work)),
-                    (
-                        "energy_j",
-                        FieldValue::Joules(Joules::new(work.raw() * delta_w)),
-                    ),
-                ],
-            );
-        }
-    }
-
-    /// Push a wait (idle) segment of `dur` wall seconds.
-    fn log_wait(&mut self, dur: Seconds) {
-        if dur <= Seconds::ZERO {
-            return;
-        }
-        let end = self.now(); // clock already advanced by caller
-        self.log.push(Segment {
-            kind: SegmentKind::Wait,
-            start_s: end - dur.raw(),
-            wall_s: dur.raw(),
-            work_s: 0.0,
-        });
-        if let Some(rec) = &mut self.rec {
-            rec.leaf(
-                Category::Wait.name(),
-                Category::Wait,
-                end - dur.raw(),
-                end,
-                vec![],
-            );
-        }
-        if let Some(metrics) = &mut self.metrics {
-            let phase = self
-                .markers
-                .last()
-                .map_or("none", |(name, _)| name.as_str());
-            metrics.phase_wait(phase).record(dur.raw());
-        }
+        self.core.phase(name);
     }
 
     /// Run `body` inside a collective span named `name`, attributing the
@@ -344,41 +129,9 @@ impl<'w> Ctx<'w> {
         name: &'static str,
         body: impl FnOnce(&mut Self) -> T,
     ) -> T {
-        if self.rec.is_none() && self.metrics.is_none() {
-            return body(self);
-        }
-        let msgs_before = self.counters.messages;
-        let bytes_before = self.counters.bytes;
-        let t_start = self.clock.now().raw();
-        if let Some(rec) = &mut self.rec {
-            rec.enter(name, Category::Collective, t_start);
-        }
+        let scope = self.core.collective_begin(name);
         let out = body(self);
-        let msgs = self.counters.messages - msgs_before;
-        let bytes = self.counters.bytes - bytes_before;
-        if let Some(rec) = &mut self.rec {
-            let t = self.clock.now().raw();
-            rec.exit(
-                t,
-                vec![
-                    ("messages", FieldValue::F64(msgs)),
-                    ("bytes", FieldValue::F64(bytes)),
-                ],
-            );
-        }
-        if let Some(metrics) = &mut self.metrics {
-            let t_end = self.clock.now().raw();
-            let coll = metrics.collective(name);
-            let [calls, messages, bytes_c] = &coll.counters;
-            calls.inc();
-            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-            {
-                messages.add(msgs.max(0.0) as u64);
-                bytes_c.add(bytes.max(0.0) as u64);
-            }
-            coll.latency.record(t_end - t_start);
-            coll.bytes_per_call.record(bytes.max(0.0));
-        }
+        self.core.collective_end(scope);
         out
     }
 
@@ -436,12 +189,11 @@ impl<'w> Ctx<'w> {
             None => self.take_envelope_any(tag),
         };
         let from = env.src;
-        let waited = self.clock.advance_to(Seconds::new(env.arrival_s));
-        self.log_wait(waited);
+        let waited = self.core.account_recv(env.arrival_s);
         for (mine, theirs) in self.vclock.iter_mut().zip(&env.vc) {
             *mine = (*mine).max(*theirs);
         }
-        self.vclock[self.rank] += 1;
+        self.vclock[self.core.rank] += 1;
         self.comm.events.push(CommEvent {
             op: CommOp::Recv { from },
             tag,
@@ -454,7 +206,7 @@ impl<'w> Ctx<'w> {
             panic!(
                 "rank {}: type mismatch receiving tag {tag} from rank {from} \
                      ({} bytes)",
-                self.rank, env.bytes
+                self.core.rank, env.bytes
             )
         });
         (from, payload)
@@ -488,11 +240,11 @@ impl<'w> Ctx<'w> {
     /// grant unwinds the rank with its partial trace, exactly like a
     /// deadlock abort; `try_run` reports [`crate::RunError::SchedulerAbort`].
     fn permit(&mut self, op: SchedOp) -> Option<usize> {
-        let hook = self.world.sched.clone()?;
-        match hook.permit(self.rank, op) {
+        let hook = self.core.world.sched.clone()?;
+        match hook.permit(self.core.rank, op) {
             SchedGrant::Proceed { source } => source,
             SchedGrant::Abort => {
-                self.registry.clear_blocked(self.rank);
+                self.registry.clear_blocked(self.core.rank);
                 self.drain_unconsumed();
                 let comm = std::mem::take(&mut self.comm);
                 std::panic::panic_any(RankAbort { comm });
@@ -507,21 +259,25 @@ impl<'w> Ctx<'w> {
         data: Vec<T>,
         concurrency: usize,
     ) {
-        assert!(to < self.size, "send to rank {to} of {}", self.size);
-        assert!(to != self.rank, "self-sends are not allowed (rank {to})");
+        assert!(
+            to < self.core.size,
+            "send to rank {to} of {}",
+            self.core.size
+        );
+        assert!(
+            to != self.core.rank,
+            "self-sends are not allowed (rank {to})"
+        );
         self.permit(SchedOp::Send { to, tag });
         let bytes = (std::mem::size_of::<T>() * data.len()) as u64;
-        let h = self.world.contention.effective(&self.hockney, concurrency);
+        let h = self
+            .core
+            .world
+            .contention
+            .effective(&self.hockney, concurrency);
         let t_net = Seconds::new(h.p2p(bytes));
-        let start = self.clock.now();
-        self.counters.messages += 1.0;
-        self.counters.bytes += bytes as f64;
-        if let Some(metrics) = &self.metrics {
-            metrics.messages.inc();
-            metrics.bytes.add(bytes);
-        }
-        self.charge(SegmentKind::Network, t_net);
-        self.vclock[self.rank] += 1;
+        let arrival = self.core.account_send(bytes, t_net);
+        self.vclock[self.core.rank] += 1;
         self.comm.events.push(CommEvent {
             op: CommOp::Send { to },
             tag,
@@ -531,14 +287,14 @@ impl<'w> Ctx<'w> {
             vc: self.vclock.clone(),
         });
         let env = Envelope {
-            src: self.rank,
+            src: self.core.rank,
             tag,
-            arrival_s: (start + t_net).raw(), // full link time, not overlap-squeezed
+            arrival_s: arrival.raw(), // full link time, not overlap-squeezed
             bytes,
             vc: self.vclock.clone(),
             payload: Box::new(data),
         };
-        self.registry.note_send(self.rank, to);
+        self.registry.note_send(self.core.rank, to);
         if self.senders[to].send(env).is_err() {
             self.abort_if_dead();
             panic!("receiver rank {to} hung up — did a rank panic?");
@@ -546,16 +302,19 @@ impl<'w> Ctx<'w> {
     }
 
     pub(crate) fn recv_raw<T: Send + 'static>(&mut self, from: usize, tag: u64) -> Vec<T> {
-        assert!(from < self.size, "recv from rank {from} of {}", self.size);
-        assert!(from != self.rank, "self-receives are not allowed");
+        assert!(
+            from < self.core.size,
+            "recv from rank {from} of {}",
+            self.core.size
+        );
+        assert!(from != self.core.rank, "self-receives are not allowed");
         self.permit(SchedOp::Recv { from, tag });
         let env = self.take_envelope(from, tag);
-        let waited = self.clock.advance_to(Seconds::new(env.arrival_s));
-        self.log_wait(waited);
+        let waited = self.core.account_recv(env.arrival_s);
         for (mine, theirs) in self.vclock.iter_mut().zip(&env.vc) {
             *mine = (*mine).max(*theirs);
         }
-        self.vclock[self.rank] += 1;
+        self.vclock[self.core.rank] += 1;
         self.comm.events.push(CommEvent {
             op: CommOp::Recv { from },
             tag,
@@ -568,7 +327,7 @@ impl<'w> Ctx<'w> {
             panic!(
                 "rank {}: type mismatch receiving tag {tag} from rank {from} \
                      ({} bytes)",
-                self.rank, env.bytes
+                self.core.rank, env.bytes
             )
         })
     }
@@ -582,7 +341,7 @@ impl<'w> Ctx<'w> {
             return self.pending[from].remove(pos).expect("position exists");
         }
         self.registry.set_blocked(
-            self.rank,
+            self.core.rank,
             WaitTarget {
                 on: Some(from),
                 tag,
@@ -593,11 +352,11 @@ impl<'w> Ctx<'w> {
             self.abort_if_dead();
             match self.receivers[from].recv_timeout(DEADLOCK_POLL) {
                 Ok(env) => {
-                    self.registry.note_drain(from, self.rank);
-                    self.registry.bump_progress(self.rank);
+                    self.registry.note_drain(from, self.core.rank);
+                    self.registry.bump_progress(self.core.rank);
                     self.last_probe = None;
                     if env.tag == tag {
-                        self.registry.clear_blocked(self.rank);
+                        self.registry.clear_blocked(self.core.rank);
                         return env;
                     }
                     self.pending[from].push_back(env);
@@ -609,13 +368,13 @@ impl<'w> Ctx<'w> {
                     // can never arrive: that is a communication bug (e.g. a
                     // mismatched tag), not a crash. Declare the run dead
                     // with the stuck chain so `try_run` reports it.
-                    if let Some((verdict, _)) = self.registry.probe(self.rank) {
+                    if let Some((verdict, _)) = self.registry.probe(self.core.rank) {
                         self.registry.declare_dead(verdict);
                         self.abort_if_dead();
                     }
                     panic!(
                         "rank {}: sender rank {from} hung up — did a rank panic?",
-                        self.rank
+                        self.core.rank
                     );
                 }
             }
@@ -627,14 +386,16 @@ impl<'w> Ctx<'w> {
     /// target (`on: None`), so deadlock detection falls back to the
     /// registry's global terminal-state check.
     fn take_envelope_any(&mut self, tag: u64) -> Envelope {
-        let sources: Vec<usize> = (0..self.size).filter(|&s| s != self.rank).collect();
+        let sources: Vec<usize> = (0..self.core.size)
+            .filter(|&s| s != self.core.rank)
+            .collect();
         for &from in &sources {
             if let Some(pos) = self.pending[from].iter().position(|e| e.tag == tag) {
                 return self.pending[from].remove(pos).expect("position exists");
             }
         }
         self.registry
-            .set_blocked(self.rank, WaitTarget { on: None, tag });
+            .set_blocked(self.core.rank, WaitTarget { on: None, tag });
         self.last_probe = None;
         loop {
             self.abort_if_dead();
@@ -644,12 +405,12 @@ impl<'w> Ctx<'w> {
                 loop {
                     match self.receivers[from].try_recv() {
                         Ok(env) => {
-                            self.registry.note_drain(from, self.rank);
-                            self.registry.bump_progress(self.rank);
+                            self.registry.note_drain(from, self.core.rank);
+                            self.registry.bump_progress(self.core.rank);
                             self.last_probe = None;
                             drained = true;
                             if env.tag == tag {
-                                self.registry.clear_blocked(self.rank);
+                                self.registry.clear_blocked(self.core.rank);
                                 return env;
                             }
                             self.pending[from].push_back(env);
@@ -670,13 +431,13 @@ impl<'w> Ctx<'w> {
                 // Every possible sender hung up with no match buffered: the
                 // awaited message can never arrive (see the sourced-receive
                 // disconnect path above for the rationale).
-                if let Some((verdict, _)) = self.registry.probe(self.rank) {
+                if let Some((verdict, _)) = self.registry.probe(self.core.rank) {
                     self.registry.declare_dead(verdict);
                     self.abort_if_dead();
                 }
                 panic!(
                     "rank {}: all senders hung up — did a rank panic?",
-                    self.rank
+                    self.core.rank
                 );
             }
             std::thread::sleep(DEADLOCK_POLL);
@@ -688,7 +449,7 @@ impl<'w> Ctx<'w> {
     /// run dead when the same terminal chain is observed twice in a row
     /// with no progress on any chain member.
     fn deadlock_check(&mut self) {
-        let Some((verdict, progress)) = self.registry.probe(self.rank) else {
+        let Some((verdict, progress)) = self.registry.probe(self.core.rank) else {
             self.last_probe = None;
             return;
         };
@@ -705,7 +466,7 @@ impl<'w> Ctx<'w> {
     /// dead. The payload is caught by [`crate::try_run`].
     fn abort_if_dead(&mut self) {
         if self.registry.is_dead() {
-            self.registry.clear_blocked(self.rank);
+            self.registry.clear_blocked(self.core.rank);
             // Fold buffered-but-unmatched messages into the partial trace:
             // the analyzer infers tag mismatches from them.
             self.drain_unconsumed();
@@ -717,8 +478,8 @@ impl<'w> Ctx<'w> {
     /// Drain everything still sitting in this rank's inbox into the trace's
     /// `unconsumed` list (called by the runtime after the program returns).
     pub(crate) fn drain_unconsumed(&mut self) {
-        for from in 0..self.size {
-            if from == self.rank {
+        for from in 0..self.core.size {
+            if from == self.core.rank {
                 continue;
             }
             while let Some(env) = self.pending[from].pop_front() {

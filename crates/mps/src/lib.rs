@@ -49,6 +49,7 @@
 mod collect;
 mod ctx;
 mod envelope;
+mod rankcore;
 mod registry;
 mod runtime;
 pub mod sched;
@@ -59,6 +60,7 @@ mod world;
 pub use collect::ReduceOp;
 pub use ctx::Ctx;
 pub use envelope::internal_tag;
+pub use rankcore::{CollScope, FinishedRank, RankCore};
 pub use runtime::{run, try_run, RankOutcome, RunReport};
 pub use sched::{SchedGrant, SchedOp, SchedulerHook};
 pub use stats::Counters;

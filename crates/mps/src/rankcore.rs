@@ -1,0 +1,526 @@
+//! Rank-local accounting core shared by the thread runtime and `simrt`.
+//!
+//! A [`RankCore`] owns everything a simulated rank accumulates that does
+//! *not* depend on how the rank is executed: the virtual clock, workload
+//! counters, the typed segment log the energy meter consumes, phase
+//! markers, the optional obs span recorder and cached metric handles, and
+//! the per-kind device delta powers. [`crate::Ctx`] embeds one and adds the
+//! thread-runtime transport (channels, pending buffers, deadlock registry);
+//! the `simrt` event engine drives one directly per rank task, so work
+//! charges, wait accounting, and collective metrics are bit-identical
+//! across the two runtimes by construction.
+//!
+//! The core has two fidelity modes. In *detail* mode (the thread runtime,
+//! and the engine at small `p`) every charge pushes a [`Segment`] and
+//! mirrors into the span recorder exactly as `Ctx` always has. With detail
+//! off (the engine at `p` in the thousands) charges only accumulate per-kind
+//! `(wall, work)` sums; [`RankCore::finish`] then synthesizes one stacked
+//! segment per kind whose walls sum to the rank's finish time, which is
+//! enough for [`simcluster::EnergyMeter`] — energy is linear in per-kind
+//! work plus span — at a few dozen bytes per rank instead of a full log.
+
+use obs::span::{Category, FieldValue};
+use obs::TrackRecorder;
+use simcluster::units::{Joules, Seconds};
+use simcluster::{Segment, SegmentKind, SegmentLog, VirtualClock};
+use std::sync::Arc;
+
+use crate::stats::Counters;
+use crate::world::World;
+
+/// Cached handles into the global metrics registry, resolved once per
+/// rank at context creation so the hot path is a relaxed atomic add.
+pub(crate) struct MpsMetrics {
+    pub(crate) messages: Arc<obs::Counter>,
+    pub(crate) bytes: Arc<obs::Counter>,
+    mem_accesses: Arc<obs::Counter>,
+    mem_dram: Arc<obs::Counter>,
+    cache_hit_ratio: Arc<obs::Gauge>,
+    /// Per-collective counters and histograms, cached by name.
+    collectives: Vec<(&'static str, CollectiveMetrics)>,
+    /// Per-phase wait-time histograms, cached by phase name.
+    phase_waits: Vec<(String, Arc<obs::LogHistogram>)>,
+}
+
+/// Cached handles for one collective: `(calls, messages, bytes)` counters
+/// plus per-call virtual latency and byte-volume histograms.
+pub(crate) struct CollectiveMetrics {
+    counters: [Arc<obs::Counter>; 3],
+    latency: Arc<obs::LogHistogram>,
+    bytes_per_call: Arc<obs::LogHistogram>,
+}
+
+impl MpsMetrics {
+    pub(crate) fn new() -> Self {
+        let reg = obs::global();
+        Self {
+            messages: reg.counter("mps.messages"),
+            bytes: reg.counter("mps.bytes"),
+            mem_accesses: reg.counter("mps.mem.accesses"),
+            mem_dram: reg.counter("mps.mem.dram_accesses"),
+            cache_hit_ratio: reg.gauge("mps.mem.cache_hit_ratio"),
+            collectives: Vec::new(),
+            phase_waits: Vec::new(),
+        }
+    }
+
+    /// The cached metric handles of collective `name`.
+    fn collective(&mut self, name: &'static str) -> &CollectiveMetrics {
+        let idx = match self.collectives.iter().position(|(n, _)| *n == name) {
+            Some(i) => i,
+            None => {
+                let reg = obs::global();
+                let handles = CollectiveMetrics {
+                    counters: [
+                        reg.counter(&format!("mps.collective.{name}.calls")),
+                        reg.counter(&format!("mps.collective.{name}.messages")),
+                        reg.counter(&format!("mps.collective.{name}.bytes")),
+                    ],
+                    latency: reg.log_histogram(&format!("mps.collective.{name}.latency_s"), "s"),
+                    bytes_per_call: reg
+                        .log_histogram(&format!("mps.collective.{name}.bytes_per_call"), "B"),
+                };
+                self.collectives.push((name, handles));
+                self.collectives.len() - 1
+            }
+        };
+        &self.collectives[idx].1
+    }
+
+    /// The wait-time histogram of the phase named `phase`.
+    fn phase_wait(&mut self, phase: &str) -> &Arc<obs::LogHistogram> {
+        let idx = match self.phase_waits.iter().position(|(n, _)| n == phase) {
+            Some(i) => i,
+            None => {
+                let hist = obs::global().log_histogram(&format!("mps.phase.{phase}.wait_s"), "s");
+                self.phase_waits.push((phase.to_string(), hist));
+                self.phase_waits.len() - 1
+            }
+        };
+        &self.phase_waits[idx].1
+    }
+}
+
+/// An open collective span, returned by [`RankCore::collective_begin`] and
+/// closed by [`RankCore::collective_end`]. Inactive (a no-op pair) when
+/// neither tracing nor metrics are enabled.
+pub struct CollScope {
+    name: &'static str,
+    active: bool,
+    msgs_before: f64,
+    bytes_before: f64,
+    t_start: f64,
+}
+
+/// What a finished rank hands back to its runtime.
+pub struct FinishedRank {
+    /// Workload counters (`Wc`, `Wm`, `M`, `B`, `T_IO`).
+    pub stats: Counters,
+    /// Coalesced activity log (synthetic per-kind segments in aggregate
+    /// mode).
+    pub log: SegmentLog,
+    /// Virtual finish time, seconds.
+    pub finish_s: f64,
+    /// Phase markers `(name, virtual time)`.
+    pub markers: Vec<(String, f64)>,
+    /// The rank's span track, when tracing was enabled.
+    pub track: Option<obs::TrackTrace>,
+}
+
+/// Index into the per-kind aggregation table (`SegmentKind` order).
+fn kind_index(kind: SegmentKind) -> usize {
+    match kind {
+        SegmentKind::Compute => 0,
+        SegmentKind::Memory => 1,
+        SegmentKind::Network => 2,
+        SegmentKind::Io => 3,
+        SegmentKind::Wait => 4,
+    }
+}
+
+const AGG_KINDS: [SegmentKind; 5] = [
+    SegmentKind::Compute,
+    SegmentKind::Memory,
+    SegmentKind::Network,
+    SegmentKind::Io,
+    SegmentKind::Wait,
+];
+
+/// The execution-agnostic state of one simulated rank.
+pub struct RankCore<'w> {
+    pub(crate) rank: usize,
+    pub(crate) size: usize,
+    pub(crate) world: &'w World,
+    pub(crate) clock: VirtualClock,
+    pub(crate) counters: Counters,
+    pub(crate) log: SegmentLog,
+    pub(crate) markers: Vec<(String, f64)>,
+    /// Span recorder, present only when `world.obs.trace` is set (and the
+    /// core runs in detail mode): every instrumented call site pays one
+    /// branch when disabled.
+    pub(crate) rec: Option<TrackRecorder>,
+    /// Cached metric handles, present only when `world.obs.metrics` is set.
+    pub(crate) metrics: Option<MpsMetrics>,
+    /// Per-kind device delta power `[compute, memory, network, io]` in
+    /// watts, precomputed so charge spans carry their energy.
+    pub(crate) delta_w: [f64; 4],
+    /// Detail mode: push every segment (thread runtime, small-`p` engine).
+    detail: bool,
+    /// Aggregate-mode per-kind `(wall_s, work_s)` sums, `SegmentKind` order.
+    agg: [(f64, f64); 5],
+}
+
+impl<'w> RankCore<'w> {
+    /// A fresh core for `rank` of `size` over `world`. `detail` selects
+    /// full segment/span logging; with it off, charges only accumulate
+    /// per-kind sums (and no span recorder is created).
+    #[must_use]
+    pub fn new(rank: usize, size: usize, world: &'w World, detail: bool) -> Self {
+        let node = &world.cluster.node;
+        let delta_w = [
+            node.cpu.delta_power(world.f_hz).raw(),
+            node.memory.power.delta().raw(),
+            node.nic.delta().raw(),
+            node.disk.delta().raw(),
+        ];
+        Self {
+            rank,
+            size,
+            world,
+            clock: VirtualClock::new(),
+            counters: Counters::default(),
+            log: SegmentLog::new(rank),
+            markers: Vec::new(),
+            rec: (detail && world.obs.trace).then(|| TrackRecorder::new(rank)),
+            metrics: world.obs.metrics.then(MpsMetrics::new),
+            delta_w,
+            detail,
+            agg: [(0.0, 0.0); 5],
+        }
+    }
+
+    /// This rank's id, `0..size`.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the run.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The world this rank runs in.
+    #[must_use]
+    pub fn world(&self) -> &World {
+        self.world
+    }
+
+    /// Current virtual time in seconds.
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.clock.now().raw()
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Charge `instructions` of on-chip computation (`Wc`); see
+    /// [`crate::Ctx::compute`].
+    pub fn compute(&mut self, instructions: f64) {
+        assert!(
+            instructions.is_finite() && instructions >= 0.0,
+            "instruction count must be non-negative, got {instructions}"
+        );
+        if instructions == 0.0 {
+            return;
+        }
+        self.counters.wc += instructions;
+        let dur = instructions * self.world.tc();
+        self.charge(SegmentKind::Compute, dur);
+    }
+
+    /// Charge `accesses` memory accesses against a working set of
+    /// `working_set_bytes`; see [`crate::Ctx::mem_access`] for the cache
+    /// model split.
+    pub fn mem_access(&mut self, accesses: f64, working_set_bytes: u64) {
+        assert!(
+            accesses.is_finite() && accesses >= 0.0,
+            "access count must be non-negative, got {accesses}"
+        );
+        if accesses == 0.0 {
+            return;
+        }
+        let node = &self.world.cluster.node;
+        // Compact rank placement: ranks fill nodes core by core, so up to
+        // `cores()` ranks contend for the node's shared cache levels.
+        let co_resident = self.size.min(node.cores());
+        let prof = node
+            .memory
+            .access_profile_concurrent(working_set_bytes, co_resident);
+
+        if let Some(metrics) = &self.metrics {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            {
+                metrics.mem_accesses.add(accesses as u64);
+                metrics.mem_dram.add((accesses * prof.dram_fraction) as u64);
+            }
+            metrics.cache_hit_ratio.set(1.0 - prof.dram_fraction);
+        }
+
+        // Off-chip share: memory workload at flat DRAM latency.
+        let dram_accesses = accesses * prof.dram_fraction;
+        if dram_accesses > 0.0 {
+            self.counters.wm += dram_accesses;
+            self.charge(
+                SegmentKind::Memory,
+                Seconds::new(dram_accesses * node.memory.dram_latency_s),
+            );
+        }
+
+        // On-chip share: compute time, slowed by DVFS like the core.
+        let f_scale = node.cpu.dvfs.nominal() / self.world.f_hz;
+        let on_chip_s = accesses * prof.on_chip_s_per_access * f_scale;
+        if on_chip_s > 0.0 {
+            self.counters.wc += on_chip_s / self.world.tc().raw();
+            self.charge(SegmentKind::Compute, Seconds::new(on_chip_s));
+        }
+    }
+
+    /// Charge a streaming sweep of `element_touches` elements; see
+    /// [`crate::Ctx::mem_stream`].
+    pub fn mem_stream(&mut self, element_touches: f64, working_set_bytes: u64) {
+        const LINE_ELEMS: f64 = 8.0; // 64-byte lines / 8-byte elements
+        self.mem_access(element_touches / LINE_ELEMS, working_set_bytes);
+    }
+
+    /// Charge `seconds` of flat local I/O.
+    pub fn io(&mut self, seconds: f64) {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "I/O time must be non-negative, got {seconds}"
+        );
+        if seconds == 0.0 {
+            return;
+        }
+        self.counters.io_s += seconds;
+        self.charge(SegmentKind::Io, Seconds::new(seconds));
+    }
+
+    /// Record a named phase marker at the current virtual time; with
+    /// tracing enabled also opens a top-level phase span.
+    pub fn phase(&mut self, name: &str) {
+        self.markers.push((name.to_string(), self.now()));
+        if let Some(rec) = &mut self.rec {
+            let t = self.clock.now().raw();
+            rec.begin_phase(name, t);
+        }
+    }
+
+    /// Push a device-busy segment of `work` seconds, advancing the wall
+    /// clock by `α · work`.
+    pub(crate) fn charge(&mut self, kind: SegmentKind, work: Seconds) {
+        let wall = self.world.alpha * work;
+        let start = self.now();
+        if self.detail {
+            self.log.push(Segment {
+                kind,
+                start_s: start,
+                wall_s: wall.raw(),
+                work_s: work.raw(),
+            });
+        } else {
+            let slot = &mut self.agg[kind_index(kind)];
+            slot.0 += wall.raw();
+            slot.1 += work.raw();
+        }
+        self.clock.advance(wall);
+        if let Some(rec) = &mut self.rec {
+            let (cat, delta_w) = match kind {
+                SegmentKind::Compute => (Category::Compute, self.delta_w[0]),
+                SegmentKind::Memory => (Category::Memory, self.delta_w[1]),
+                SegmentKind::Network => (Category::Network, self.delta_w[2]),
+                SegmentKind::Io => (Category::Io, self.delta_w[3]),
+                SegmentKind::Wait => (Category::Wait, 0.0),
+            };
+            let end = start + wall.raw();
+            rec.leaf(
+                cat.name(),
+                cat,
+                start,
+                end,
+                vec![
+                    ("work_s", FieldValue::Seconds(work)),
+                    (
+                        "energy_j",
+                        FieldValue::Joules(Joules::new(work.raw() * delta_w)),
+                    ),
+                ],
+            );
+        }
+    }
+
+    /// Push a wait (idle) segment of `dur` wall seconds. The clock must
+    /// already have been advanced past the wait.
+    pub(crate) fn log_wait(&mut self, dur: Seconds) {
+        if dur <= Seconds::ZERO {
+            return;
+        }
+        let end = self.now(); // clock already advanced by caller
+        if self.detail {
+            self.log.push(Segment {
+                kind: SegmentKind::Wait,
+                start_s: end - dur.raw(),
+                wall_s: dur.raw(),
+                work_s: 0.0,
+            });
+        } else {
+            self.agg[kind_index(SegmentKind::Wait)].0 += dur.raw();
+        }
+        if let Some(rec) = &mut self.rec {
+            rec.leaf(
+                Category::Wait.name(),
+                Category::Wait,
+                end - dur.raw(),
+                end,
+                vec![],
+            );
+        }
+        if let Some(metrics) = &mut self.metrics {
+            let phase = self
+                .markers
+                .last()
+                .map_or("none", |(name, _)| name.as_str());
+            metrics.phase_wait(phase).record(dur.raw());
+        }
+    }
+
+    /// Account one eager send of `bytes` payload with link time `t_net`:
+    /// bumps counters/metrics, charges the NIC-busy time, and returns the
+    /// message's arrival time (`start + t_net`, not overlap-squeezed).
+    pub fn account_send(&mut self, bytes: u64, t_net: Seconds) -> Seconds {
+        let start = self.clock.now();
+        self.counters.messages += 1.0;
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.counters.bytes += bytes as f64;
+        }
+        if let Some(metrics) = &self.metrics {
+            metrics.messages.inc();
+            metrics.bytes.add(bytes);
+        }
+        self.charge(SegmentKind::Network, t_net);
+        start + t_net
+    }
+
+    /// Account one receive of a message arriving at `arrival_s`: advance
+    /// the clock to the arrival (if it is in this rank's future) and log
+    /// the idle wait. Returns the waited duration.
+    pub fn account_recv(&mut self, arrival_s: f64) -> Seconds {
+        let waited = self.clock.advance_to(Seconds::new(arrival_s));
+        self.log_wait(waited);
+        waited
+    }
+
+    /// Open a collective span named `name`; close it with
+    /// [`RankCore::collective_end`]. With observability disabled the pair
+    /// is one branch.
+    pub fn collective_begin(&mut self, name: &'static str) -> CollScope {
+        if self.rec.is_none() && self.metrics.is_none() {
+            return CollScope {
+                name,
+                active: false,
+                msgs_before: 0.0,
+                bytes_before: 0.0,
+                t_start: 0.0,
+            };
+        }
+        let msgs_before = self.counters.messages;
+        let bytes_before = self.counters.bytes;
+        let t_start = self.clock.now().raw();
+        if let Some(rec) = &mut self.rec {
+            rec.enter(name, Category::Collective, t_start);
+        }
+        CollScope {
+            name,
+            active: true,
+            msgs_before,
+            bytes_before,
+            t_start,
+        }
+    }
+
+    /// Close a collective span, attributing the messages and bytes
+    /// generated since [`RankCore::collective_begin`] to its metrics.
+    pub fn collective_end(&mut self, scope: CollScope) {
+        if !scope.active {
+            return;
+        }
+        let msgs = self.counters.messages - scope.msgs_before;
+        let bytes = self.counters.bytes - scope.bytes_before;
+        if let Some(rec) = &mut self.rec {
+            let t = self.clock.now().raw();
+            rec.exit(
+                t,
+                vec![
+                    ("messages", FieldValue::F64(msgs)),
+                    ("bytes", FieldValue::F64(bytes)),
+                ],
+            );
+        }
+        if let Some(metrics) = &mut self.metrics {
+            let t_end = self.clock.now().raw();
+            let coll = metrics.collective(scope.name);
+            let [calls, messages, bytes_c] = &coll.counters;
+            calls.inc();
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            {
+                messages.add(msgs.max(0.0) as u64);
+                bytes_c.add(bytes.max(0.0) as u64);
+            }
+            coll.latency.record(t_end - scope.t_start);
+            coll.bytes_per_call.record(bytes.max(0.0));
+        }
+    }
+
+    /// Seal the core: coalesce (or, in aggregate mode, synthesize) the
+    /// activity log, close the span track, and hand back everything a
+    /// [`crate::RankOutcome`] needs.
+    #[must_use]
+    pub fn finish(mut self) -> FinishedRank {
+        let finish_s = self.clock.now().raw();
+        if !self.detail {
+            // One stacked segment per kind; the walls sum to the rank's
+            // finish time (every clock advance was a charge or a logged
+            // wait), so `SegmentLog::end_s()` — which the energy meter
+            // uses as the rank's span contribution — lands on `finish_s`.
+            let mut start = 0.0;
+            for kind in AGG_KINDS {
+                let (wall, work) = self.agg[kind_index(kind)];
+                if wall == 0.0 && work == 0.0 {
+                    continue;
+                }
+                self.log.push(Segment {
+                    kind,
+                    start_s: start,
+                    wall_s: wall,
+                    work_s: work,
+                });
+                start += wall;
+            }
+        }
+        self.log.coalesce();
+        let track = self.rec.take().map(|r| r.finish(finish_s));
+        FinishedRank {
+            stats: self.counters,
+            log: self.log,
+            finish_s,
+            markers: self.markers,
+            track,
+        }
+    }
+}

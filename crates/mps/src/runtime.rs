@@ -4,10 +4,11 @@ use std::collections::VecDeque;
 use std::sync::mpsc::channel;
 use std::sync::{Arc, Once};
 
-use simcluster::{ComponentEnergy, EnergyMeter, SegmentLog, VirtualClock};
+use simcluster::{ComponentEnergy, EnergyMeter, SegmentLog};
 
 use crate::ctx::Ctx;
 use crate::envelope::Envelope;
+use crate::rankcore::RankCore;
 use crate::registry::Registry;
 use crate::stats::Counters;
 use crate::trace::{CommLog, DeadlockInfo, RunError};
@@ -205,13 +206,6 @@ where
     let hockney = world.hockney();
     let program = &program;
     let registry = Arc::new(Registry::new(p));
-    let node = &world.cluster.node;
-    let delta_w = [
-        node.cpu.delta_power(world.f_hz).raw(),
-        node.memory.power.delta().raw(),
-        node.nic.delta().raw(),
-        node.disk.delta().raw(),
-    ];
 
     let mut outcomes: Vec<Option<RankOutcome<R>>> = (0..p).map(|_| None).collect();
     let mut aborted: Vec<CommLog> = Vec::new();
@@ -227,25 +221,16 @@ where
             let registry = Arc::clone(&registry);
             let handle = scope.spawn(move || {
                 let mut ctx = Ctx {
-                    rank,
-                    size: p,
-                    world,
-                    clock: VirtualClock::new(),
-                    counters: Counters::default(),
-                    log: SegmentLog::new(rank),
+                    core: RankCore::new(rank, p, world, true),
                     senders: my_senders,
                     receivers,
                     pending: (0..p).map(|_| VecDeque::new()).collect(),
                     coll_seq: 0,
-                    markers: Vec::new(),
                     hockney,
                     registry: Arc::clone(&registry),
                     comm: CommLog::new(rank),
                     vclock: vec![0; p],
                     last_probe: None,
-                    rec: world.obs.trace.then(|| obs::TrackRecorder::new(rank)),
-                    metrics: world.obs.metrics.then(crate::ctx::MpsMetrics::new),
-                    delta_w,
                 };
                 let result = program(&mut ctx);
                 registry.mark_finished(rank);
@@ -253,19 +238,16 @@ where
                     hook.rank_finished(rank);
                 }
                 ctx.drain_unconsumed();
-                let mut log = ctx.log;
-                log.coalesce();
-                let finish_s = ctx.clock.now().raw();
-                let track = ctx.rec.take().map(|r| r.finish(finish_s));
+                let fin = ctx.core.finish();
                 RankOutcome {
                     rank,
                     result,
-                    stats: ctx.counters,
-                    log,
+                    stats: fin.stats,
+                    log: fin.log,
                     comm: ctx.comm,
-                    finish_s,
-                    markers: ctx.markers,
-                    track,
+                    finish_s: fin.finish_s,
+                    markers: fin.markers,
+                    track: fin.track,
                 }
             });
             handles.push(handle);

@@ -1,0 +1,271 @@
+//! Controlled execution: thread-per-rank under a [`SchedulerHook`].
+//!
+//! The verify crate's `Controller` only decides at *quiescence* — every
+//! rank parked in `permit` or finished — and only grants operations that
+//! are enabled, so a granted rank must complete its operation without
+//! blocking. A cooperatively-multiplexed engine cannot satisfy that
+//! contract (a parked task never reaches quiescence from the controller's
+//! point of view), so when `world.sched` is set each rank task gets its
+//! own OS thread, exactly like the thread runtime — `p` is small in
+//! verification worlds. The hook protocol is reproduced call-for-call:
+//! `permit` before every point-to-point effect, `rank_finished` after the
+//! plan is exhausted, `Abort` grants unwinding the rank with its partial
+//! trace (surfaced as [`RunError::SchedulerAbort`]).
+//!
+//! Because the controller guarantees a granted receive's message is
+//! already deposited, a missing envelope here is a channel-model
+//! divergence and panics loudly rather than blocking.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use mps::{
+    CollScope, CommEvent, CommLog, CommOp, RankCore, RankOutcome, RunError, RunReport, SchedGrant,
+    SchedOp, SchedulerHook, World,
+};
+use netsim::Hockney;
+use obs::Timeline;
+use plan::{CommPlan, Step, TimedCursor};
+use simcluster::units::Seconds;
+
+use crate::task::SimEnvelope;
+use crate::{EngineConfig, EngineReport, EngineStats};
+
+/// How one controlled rank ended.
+enum RankEnd {
+    Done(Box<RankOutcome<()>>),
+    Aborted(CommLog),
+}
+
+pub(crate) fn run(
+    cfg: &EngineConfig,
+    world: &World,
+    p: usize,
+    plan: &CommPlan,
+) -> Result<EngineReport, RunError> {
+    let t0 = std::time::Instant::now();
+    let hook = world
+        .sched
+        .clone()
+        .expect("controlled mode requires a scheduler hook");
+    let inboxes: Vec<Mutex<VecDeque<SimEnvelope>>> =
+        (0..p).map(|_| Mutex::new(VecDeque::new())).collect();
+    let inboxes = &inboxes;
+    let hockney = world.hockney();
+
+    let mut ends: Vec<Option<(RankEnd, u64, u64)>> = (0..p).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for rank in 0..p {
+            let hook = Arc::clone(&hook);
+            handles.push(scope.spawn(move || {
+                (
+                    rank,
+                    run_rank(world, p, plan, rank, &hockney, &hook, inboxes),
+                )
+            }));
+        }
+        for handle in handles {
+            let (rank, end) = handle.join().expect("controlled rank panicked");
+            ends[rank] = Some(end);
+        }
+    });
+
+    let mut stats = EngineStats::default();
+    let mut outcomes = Vec::with_capacity(p);
+    let mut comm: Vec<CommLog> = (0..p).map(CommLog::new).collect();
+    let mut aborted = false;
+    for end in ends.into_iter().map(|e| e.expect("every rank reported")) {
+        let (end, steps, sends) = end;
+        stats.steps += steps;
+        stats.sends += sends;
+        match end {
+            RankEnd::Done(outcome) => {
+                comm[outcome.rank] = outcome.comm.clone();
+                outcomes.push(*outcome);
+            }
+            RankEnd::Aborted(log) => {
+                aborted = true;
+                let rank = log.rank;
+                comm[rank] = log;
+            }
+        }
+    }
+    stats.wall_s = t0.elapsed().as_secs_f64();
+    if aborted {
+        return Err(RunError::SchedulerAbort { comm });
+    }
+    outcomes.sort_by_key(|o| o.rank);
+    Ok(EngineReport {
+        report: RunReport {
+            ranks: outcomes,
+            f_hz: world.f_hz,
+        },
+        timeline: Timeline::new(cfg.timeline_capacity),
+        stats,
+    })
+}
+
+/// One rank's controlled execution, on its own thread.
+fn run_rank(
+    world: &World,
+    p: usize,
+    plan: &CommPlan,
+    rank: usize,
+    hockney: &Hockney,
+    hook: &Arc<dyn SchedulerHook>,
+    inboxes: &[Mutex<VecDeque<SimEnvelope>>],
+) -> (RankEnd, u64, u64) {
+    let mut core = RankCore::new(rank, p, world, true);
+    let mut cursor = TimedCursor::new(plan, p, rank);
+    let mut comm = CommLog::new(rank);
+    let mut vclock = vec![0u64; p];
+    let mut scopes: Vec<CollScope> = Vec::new();
+    let mut steps = 0u64;
+    let mut sends = 0u64;
+
+    while let Some(step) = cursor.next_step() {
+        steps += 1;
+        match step {
+            Step::Compute { instr } => core.compute(instr),
+            Step::MemStream { touches, ws } => core.mem_stream(touches, ws),
+            Step::MemAccess { accesses, ws } => core.mem_access(accesses, ws),
+            Step::Io { seconds } => core.io(seconds),
+            Step::Phase(name) => core.phase(&name),
+            Step::CollBegin(name) => scopes.push(core.collective_begin(name)),
+            Step::CollEnd => {
+                let scope = scopes.pop().expect("CollEnd without CollBegin");
+                core.collective_end(scope);
+            }
+            Step::Send {
+                to,
+                tag,
+                bytes,
+                concurrency,
+            } => {
+                match hook.permit(rank, SchedOp::Send { to, tag }) {
+                    SchedGrant::Proceed { .. } => {}
+                    SchedGrant::Abort => return (abort(rank, comm, inboxes), steps, sends),
+                }
+                let h = world.contention.effective(hockney, concurrency);
+                let t_net = Seconds::new(h.p2p(bytes));
+                let arrival = core.account_send(bytes, t_net);
+                vclock[rank] += 1;
+                comm.events.push(CommEvent {
+                    op: CommOp::Send { to },
+                    tag,
+                    bytes,
+                    time_s: core.now(),
+                    waited_s: 0.0,
+                    vc: vclock.clone(),
+                });
+                sends += 1;
+                inboxes[to]
+                    .lock()
+                    .expect("inbox lock intact")
+                    .push_back(SimEnvelope {
+                        src: rank,
+                        tag,
+                        arrival_s: arrival.raw(),
+                        bytes,
+                        vc: vclock.clone(),
+                    });
+            }
+            Step::Recv { from, tag } => {
+                match hook.permit(rank, SchedOp::Recv { from, tag }) {
+                    SchedGrant::Proceed { .. } => {}
+                    SchedGrant::Abort => return (abort(rank, comm, inboxes), steps, sends),
+                }
+                let env = take_envelope(&inboxes[rank], |e| e.src == from && e.tag == tag)
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "rank {rank}: controller granted recv(from {from}, tag {tag}) \
+                             with no deposited envelope"
+                        )
+                    });
+                consume(&mut core, &mut comm, &mut vclock, env);
+            }
+            Step::RecvAny { tag } => {
+                let source = match hook.permit(rank, SchedOp::RecvAny { tag }) {
+                    SchedGrant::Proceed { source } => source,
+                    SchedGrant::Abort => return (abort(rank, comm, inboxes), steps, sends),
+                };
+                let env = match source {
+                    Some(src) => take_envelope(&inboxes[rank], |e| e.src == src && e.tag == tag),
+                    None => take_envelope(&inboxes[rank], |e| e.tag == tag),
+                }
+                .unwrap_or_else(|| {
+                    panic!(
+                        "rank {rank}: controller granted recv_any(tag {tag}, source \
+                         {source:?}) with no deposited envelope"
+                    )
+                });
+                consume(&mut core, &mut comm, &mut vclock, env);
+            }
+        }
+    }
+    assert!(
+        scopes.is_empty(),
+        "rank {rank} finished inside a collective scope"
+    );
+    hook.rank_finished(rank);
+    {
+        let mut inbox = inboxes[rank].lock().expect("inbox lock intact");
+        while let Some(env) = inbox.pop_front() {
+            comm.unconsumed.push((env.src, env.tag, env.bytes));
+        }
+    }
+    let fin = core.finish();
+    (
+        RankEnd::Done(Box::new(RankOutcome {
+            rank,
+            result: (),
+            stats: fin.stats,
+            log: fin.log,
+            comm,
+            finish_s: fin.finish_s,
+            markers: fin.markers,
+            track: fin.track,
+        })),
+        steps,
+        sends,
+    )
+}
+
+/// Tear this rank down after an `Abort` grant: fold the undelivered inbox
+/// into the partial trace, exactly like the thread runtime's unwind path.
+fn abort(rank: usize, mut comm: CommLog, inboxes: &[Mutex<VecDeque<SimEnvelope>>]) -> RankEnd {
+    let mut inbox = inboxes[rank].lock().expect("inbox lock intact");
+    while let Some(env) = inbox.pop_front() {
+        comm.unconsumed.push((env.src, env.tag, env.bytes));
+    }
+    RankEnd::Aborted(comm)
+}
+
+/// Remove the first inbox envelope matching `pred` (per-source FIFO with
+/// tag skip, same as the engine's inbox scan).
+fn take_envelope(
+    inbox: &Mutex<VecDeque<SimEnvelope>>,
+    pred: impl Fn(&SimEnvelope) -> bool,
+) -> Option<SimEnvelope> {
+    let mut inbox = inbox.lock().expect("inbox lock intact");
+    let idx = inbox.iter().position(pred)?;
+    inbox.remove(idx)
+}
+
+/// The receive effect shared by sourced and wildcard receives.
+fn consume(core: &mut RankCore, comm: &mut CommLog, vclock: &mut [u64], env: SimEnvelope) {
+    let waited = core.account_recv(env.arrival_s);
+    for (mine, theirs) in vclock.iter_mut().zip(&env.vc) {
+        *mine = (*mine).max(*theirs);
+    }
+    vclock[core.rank()] += 1;
+    comm.events.push(CommEvent {
+        op: CommOp::Recv { from: env.src },
+        tag: env.tag,
+        bytes: env.bytes,
+        time_s: core.now(),
+        waited_s: waited.raw(),
+        vc: vclock.to_vec(),
+    });
+}

@@ -1,0 +1,239 @@
+//! # simrt — a discrete-event rank engine for large-`p` simulation
+//!
+//! The mps thread runtime gives every simulated rank an OS thread, which
+//! tops out around the host's thread limits long before the paper's
+//! `p = 1024+` scaling studies. This crate runs the *same* rank programs —
+//! [`plan::CommPlan`]s, streamed by [`plan::TimedCursor`] — as resumable
+//! state-machine tasks over a global virtual-time event queue, multiplexed
+//! on the caller thread or a [`pool`] of workers. One process simulates
+//! NPB FT/EP/CG at `p = 4096`.
+//!
+//! Accounting is shared with the thread runtime through [`mps::RankCore`],
+//! so per-collective message/byte counters, segment logs, energy, and span
+//! traces are **bit-identical** between the two runtimes at any `p` where
+//! both run (the differential tests in `tests/` pin this). At large `p`
+//! the engine drops to aggregate fidelity — per-kind work sums instead of
+//! full segment logs — which the energy model cannot distinguish.
+//!
+//! ```
+//! use plan::{CommPlan, Expr, Op, ReduceOp};
+//! use mps::World;
+//! use simcluster::system_g;
+//!
+//! let plan = CommPlan::new(
+//!     "allreduce",
+//!     vec![Op::AllReduce { elems: Expr::Const(128), op: ReduceOp::Sum }],
+//! );
+//! let world = World::new(system_g(), 2.8e9);
+//! let out = simrt::run_plan(&world, 1024, &plan);
+//! assert_eq!(out.report.ranks.len(), 1024);
+//! assert!(out.report.span() > 0.0);
+//! ```
+//!
+//! ## Execution modes
+//!
+//! * **Sequential** (default): a binary heap ordered by `(virtual resume
+//!   time, rank)`; one task runs until it blocks, its sends wake parked
+//!   receivers. Deterministic run-to-run.
+//! * **Superstep** ([`EngineConfig::with_pool`]): every runnable task is
+//!   advanced in parallel via [`pool::parallel_for_each_mut`], then all
+//!   sends are deposited in rank order. Bit-identical to sequential for
+//!   wildcard-free plans (wildcard plans silently fall back to
+//!   sequential, whose schedule is fixed).
+//! * **Controlled** (`world.sched` set): thread-per-rank under the
+//!   [`mps::SchedulerHook`] protocol, so the verify crate's schedule-space
+//!   explorer drives engine-backed runs unchanged.
+
+#![forbid(unsafe_code)]
+
+mod controlled;
+mod engine;
+mod task;
+
+use mps::{RunError, RunReport, World};
+use obs::Timeline;
+use plan::CommPlan;
+use pool::PoolConfig;
+
+/// With [`Detail::Auto`], runs at `p` up to this keep full per-segment
+/// logs, span tracks and comm traces; larger runs aggregate.
+pub const DETAIL_AUTO_MAX_P: usize = 64;
+
+/// Fidelity of per-rank logging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Detail {
+    /// Full detail up to [`DETAIL_AUTO_MAX_P`] ranks, aggregate above.
+    #[default]
+    Auto,
+    /// Always keep full segment logs, comm events and span tracks.
+    On,
+    /// Always aggregate: per-kind `(wall, work)` sums only — a few dozen
+    /// bytes per rank, the mode that makes `p = 4096` fit in memory.
+    Off,
+}
+
+/// Engine tuning knobs. The default — sequential, auto detail, no
+/// timeline — is right for tests and differential comparisons.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Per-rank logging fidelity.
+    pub detail: Detail,
+    /// Advance runnable tasks on a worker pool, one superstep per
+    /// barrier. `None` runs sequentially on the caller.
+    pub pool: Option<PoolConfig>,
+    /// Sample the engine timeline every this many steps (sequential) or
+    /// supersteps (pooled). `0` disables the timeline.
+    pub timeline_every: u64,
+    /// Ring capacity per timeline series.
+    pub timeline_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            detail: Detail::Auto,
+            pool: None,
+            timeline_every: 0,
+            timeline_capacity: 4096,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Set the logging fidelity.
+    #[must_use]
+    pub fn with_detail(mut self, detail: Detail) -> Self {
+        self.detail = detail;
+        self
+    }
+
+    /// Advance tasks in pooled supersteps with this pool configuration.
+    #[must_use]
+    pub fn with_pool(mut self, pool: PoolConfig) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Enable timeline sampling every `every` steps/supersteps.
+    #[must_use]
+    pub fn with_timeline_every(mut self, every: u64) -> Self {
+        self.timeline_every = every;
+        self
+    }
+
+    /// Resolve the effective detail flag for a run of `p` ranks.
+    fn resolve_detail(&self, p: usize) -> bool {
+        match self.detail {
+            Detail::Auto => p <= DETAIL_AUTO_MAX_P,
+            Detail::On => true,
+            Detail::Off => false,
+        }
+    }
+}
+
+/// Engine-side observations of one run.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Plan steps executed across all ranks.
+    pub steps: u64,
+    /// Point-to-point messages sent.
+    pub sends: u64,
+    /// Blocked tasks woken by a deposit.
+    pub wakes: u64,
+    /// Supersteps executed (pooled mode only).
+    pub supersteps: u64,
+    /// Host wall-clock time of the run, seconds.
+    pub wall_s: f64,
+}
+
+/// What an engine run produces: the runtime-shaped report, the engine's
+/// own counter timeline (virtual-time samples of queue occupancy), and
+/// host-side stats.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Per-rank outcomes, identical in shape (and — at matching detail —
+    /// in content) to an [`mps::try_run`] report.
+    pub report: RunReport<()>,
+    /// Engine timeline: `simrt.ready_tasks`, `simrt.blocked_tasks`,
+    /// `simrt.inflight_msgs`, sampled at virtual time. Empty unless
+    /// [`EngineConfig::timeline_every`] is set.
+    pub timeline: Timeline,
+    /// Host-side engine statistics.
+    pub stats: EngineStats,
+}
+
+impl EngineReport {
+    /// Assemble an [`obs::Trace`] named `name` from the run's span tracks
+    /// (when detail tracing was on) with the engine timeline attached as
+    /// counter tracks. `None` when there is nothing to emit.
+    #[must_use]
+    pub fn trace(&self, name: &str) -> Option<obs::Trace> {
+        let mut trace = match self.report.trace(name) {
+            Some(t) => t,
+            None => {
+                if self.timeline.series().iter().all(|s| s.samples.is_empty()) {
+                    return None;
+                }
+                let mut t = obs::Trace::new(name);
+                t.set_meta("ranks", &self.report.ranks.len().to_string());
+                t.set_meta("f_hz", &format!("{}", self.report.f_hz));
+                t
+            }
+        };
+        self.timeline.attach(&mut trace);
+        Some(trace)
+    }
+}
+
+/// Run `plan` on `p` simulated ranks over `world` with the default
+/// configuration.
+///
+/// # Panics
+/// Panics if the run deadlocks (use [`try_run_plan`] for the error value)
+/// or if the plan violates shape invariants (run `plan::analyze_plan`
+/// first).
+#[must_use]
+pub fn run_plan(world: &World, p: usize, plan: &CommPlan) -> EngineReport {
+    match try_run_plan(world, p, plan) {
+        Ok(out) => out,
+        Err(err) => panic!("simrt run failed: {err}"),
+    }
+}
+
+/// Like [`run_plan`], but a deadlocked plan returns
+/// [`RunError::Deadlock`] with the wait-for edges and per-rank partial
+/// traces.
+///
+/// # Errors
+/// [`RunError::Deadlock`] when every live task is parked on a receive no
+/// remaining send can satisfy; [`RunError::SchedulerAbort`] when an
+/// installed scheduler hook tears the run down.
+pub fn try_run_plan(world: &World, p: usize, plan: &CommPlan) -> Result<EngineReport, RunError> {
+    try_run_plan_with(&EngineConfig::default(), world, p, plan)
+}
+
+/// [`try_run_plan`] with explicit engine configuration.
+///
+/// Unlike the thread runtime there is no `p ≤ total_cores` cap: ranks are
+/// tasks, and `p` in the thousands is the point. When `world.sched` is
+/// set the engine switches to thread-per-rank controlled mode (see
+/// [`mps::SchedulerHook`]); `cfg.pool` and the timeline are ignored
+/// there.
+///
+/// # Errors
+/// See [`try_run_plan`].
+///
+/// # Panics
+/// Panics if `p == 0` or on plan shape violations.
+pub fn try_run_plan_with(
+    cfg: &EngineConfig,
+    world: &World,
+    p: usize,
+    plan: &CommPlan,
+) -> Result<EngineReport, RunError> {
+    assert!(p > 0, "need at least one rank");
+    if world.sched.is_some() {
+        return controlled::run(cfg, world, p, plan);
+    }
+    engine::run(cfg, world, p, plan)
+}

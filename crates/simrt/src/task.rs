@@ -1,0 +1,309 @@
+//! Rank tasks: one simulated rank as a resumable state machine.
+//!
+//! A [`RankTask`] couples an [`mps::RankCore`] (the execution-agnostic
+//! accounting state shared with the thread runtime) with a
+//! [`plan::TimedCursor`] (the rank's resumable program counter over the
+//! plan). [`RankTask::advance`] runs the rank until it blocks on a receive
+//! with no matching envelope buffered, or until its plan is exhausted —
+//! the engine then parks it and resumes it when a matching message is
+//! deposited.
+//!
+//! ## Why one inbox per task
+//!
+//! The thread runtime keeps one channel per ordered rank pair — `p²`
+//! channels, fine at `p ≤` a few hundred, fatal at `p = 4096` (16.7M
+//! `VecDeque`s). A task instead holds a *single* arrival-ordered inbox and
+//! matches receives by a linear `(src, tag)` scan. Because deposits
+//! preserve each sender's program order, the first `(src, tag)` match in
+//! arrival order is exactly the per-source-FIFO-with-tag-skip match the
+//! thread runtime performs, so the two transports consume identical
+//! message sequences. In-flight envelopes for the NPB collectives are
+//! bounded by ~`p`, so the scan is short in practice.
+
+use std::collections::VecDeque;
+
+use mps::{CollScope, CommEvent, CommLog, CommOp, RankCore, World};
+use netsim::Hockney;
+use plan::{CommPlan, Step, TimedCursor};
+use simcluster::units::Seconds;
+
+/// A message in flight between two rank tasks. The engine analogue of the
+/// thread runtime's envelope, minus the payload box: plans describe byte
+/// volumes, not values, so only the accounting fields travel.
+#[derive(Debug, Clone)]
+pub(crate) struct SimEnvelope {
+    /// Sending rank.
+    pub(crate) src: usize,
+    /// Message tag (user or internal-collective).
+    pub(crate) tag: u64,
+    /// Virtual arrival time: send start + full Hockney link time.
+    pub(crate) arrival_s: f64,
+    /// Payload bytes.
+    pub(crate) bytes: u64,
+    /// Sender's vector clock at the send; empty with detail off.
+    pub(crate) vc: Vec<u64>,
+}
+
+/// Why a task is not currently runnable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Blocked {
+    /// Runnable (or currently running).
+    No,
+    /// Parked on `recv(from, tag)` with no match buffered.
+    On {
+        /// Awaited source rank.
+        from: usize,
+        /// Awaited tag.
+        tag: u64,
+    },
+    /// Parked on a wildcard `recv_any(tag)`.
+    Any {
+        /// Awaited tag.
+        tag: u64,
+    },
+    /// The rank's plan is exhausted.
+    Done,
+}
+
+/// How one resume slice ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Paused {
+    /// Parked on a receive; resumable once a matching envelope arrives.
+    Blocked,
+    /// The plan is exhausted; the task will never run again.
+    Finished,
+}
+
+/// One simulated rank of the event engine.
+pub(crate) struct RankTask<'a> {
+    pub(crate) core: RankCore<'a>,
+    cursor: TimedCursor<'a>,
+    /// Arrival-ordered inbox; receives match by linear `(src, tag)` scan.
+    pub(crate) inbox: VecDeque<SimEnvelope>,
+    pub(crate) blocked: Blocked,
+    /// The step whose effect could not complete (a blocked receive),
+    /// re-executed first on resume.
+    pending: Option<Step>,
+    /// Open collective scopes, innermost last.
+    scopes: Vec<CollScope>,
+    vclock: Vec<u64>,
+    pub(crate) comm: CommLog,
+    /// Sends produced by the current resume slice, `(dst, envelope)`;
+    /// drained and deposited by the engine after the slice.
+    pub(crate) outbox: Vec<(usize, SimEnvelope)>,
+    /// Superstep-mode flag: advance this task in the next batch.
+    pub(crate) runnable: bool,
+    /// Steps executed so far (engine stats).
+    pub(crate) steps: u64,
+    /// Sends executed so far (engine stats).
+    pub(crate) sends: u64,
+    detail: bool,
+}
+
+impl<'a> RankTask<'a> {
+    pub(crate) fn new(
+        rank: usize,
+        p: usize,
+        world: &'a World,
+        plan: &'a CommPlan,
+        detail: bool,
+    ) -> Self {
+        Self {
+            core: RankCore::new(rank, p, world, detail),
+            cursor: TimedCursor::new(plan, p, rank),
+            inbox: VecDeque::new(),
+            blocked: Blocked::No,
+            pending: None,
+            scopes: Vec::new(),
+            vclock: if detail { vec![0; p] } else { Vec::new() },
+            comm: CommLog::new(rank),
+            outbox: Vec::new(),
+            runnable: true,
+            steps: 0,
+            sends: 0,
+            detail,
+        }
+    }
+
+    pub(crate) fn rank(&self) -> usize {
+        self.core.rank()
+    }
+
+    pub(crate) fn done(&self) -> bool {
+        matches!(self.blocked, Blocked::Done)
+    }
+
+    /// Would depositing `env` unblock this task?
+    pub(crate) fn wants(&self, env: &SimEnvelope) -> bool {
+        match self.blocked {
+            Blocked::On { from, tag } => env.src == from && env.tag == tag,
+            Blocked::Any { tag } => env.tag == tag,
+            Blocked::No | Blocked::Done => false,
+        }
+    }
+
+    /// Run the rank until it blocks or finishes. Work charges go straight
+    /// into the core; sends are buffered into [`RankTask::outbox`] for the
+    /// engine to deposit.
+    pub(crate) fn advance(&mut self, world: &World, hockney: &Hockney) -> Paused {
+        loop {
+            let step = match self.pending.take() {
+                Some(s) => s,
+                None => match self.cursor.next_step() {
+                    Some(s) => s,
+                    None => {
+                        assert!(
+                            self.scopes.is_empty(),
+                            "rank {} finished inside a collective scope",
+                            self.rank()
+                        );
+                        self.blocked = Blocked::Done;
+                        self.runnable = false;
+                        return Paused::Finished;
+                    }
+                },
+            };
+            match step {
+                Step::Compute { instr } => self.core.compute(instr),
+                Step::MemStream { touches, ws } => self.core.mem_stream(touches, ws),
+                Step::MemAccess { accesses, ws } => self.core.mem_access(accesses, ws),
+                Step::Io { seconds } => self.core.io(seconds),
+                Step::Phase(name) => self.core.phase(&name),
+                Step::CollBegin(name) => {
+                    let scope = self.core.collective_begin(name);
+                    self.scopes.push(scope);
+                }
+                Step::CollEnd => {
+                    let scope = self
+                        .scopes
+                        .pop()
+                        .expect("CollEnd without a matching CollBegin");
+                    self.core.collective_end(scope);
+                }
+                Step::Send {
+                    to,
+                    tag,
+                    bytes,
+                    concurrency,
+                } => self.execute_send(world, hockney, to, tag, bytes, concurrency),
+                Step::Recv { from, tag } => {
+                    match self
+                        .inbox
+                        .iter()
+                        .position(|e| e.src == from && e.tag == tag)
+                    {
+                        Some(i) => self.consume(i),
+                        None => {
+                            self.blocked = Blocked::On { from, tag };
+                            self.runnable = false;
+                            self.pending = Some(Step::Recv { from, tag });
+                            return Paused::Blocked;
+                        }
+                    }
+                }
+                Step::RecvAny { tag } => match self.inbox.iter().position(|e| e.tag == tag) {
+                    Some(i) => self.consume(i),
+                    None => {
+                        self.blocked = Blocked::Any { tag };
+                        self.runnable = false;
+                        self.pending = Some(Step::RecvAny { tag });
+                        return Paused::Blocked;
+                    }
+                },
+            }
+            self.steps += 1;
+        }
+    }
+
+    /// The effect of one send: the same accounting sequence as
+    /// `mps::Ctx::send_raw`, with the deposit deferred to the engine.
+    fn execute_send(
+        &mut self,
+        world: &World,
+        hockney: &Hockney,
+        to: usize,
+        tag: u64,
+        bytes: u64,
+        concurrency: usize,
+    ) {
+        let rank = self.rank();
+        assert!(to < self.core.size(), "send to rank {to} out of range");
+        assert!(to != rank, "self-sends are not allowed (rank {to})");
+        let h = world.contention.effective(hockney, concurrency);
+        let t_net = Seconds::new(h.p2p(bytes));
+        let arrival = self.core.account_send(bytes, t_net);
+        let vc = if self.detail {
+            self.vclock[rank] += 1;
+            self.comm.events.push(CommEvent {
+                op: CommOp::Send { to },
+                tag,
+                bytes,
+                time_s: self.core.now(),
+                waited_s: 0.0,
+                vc: self.vclock.clone(),
+            });
+            self.vclock.clone()
+        } else {
+            Vec::new()
+        };
+        self.sends += 1;
+        self.outbox.push((
+            to,
+            SimEnvelope {
+                src: rank,
+                tag,
+                arrival_s: arrival.raw(),
+                bytes,
+                vc,
+            },
+        ));
+    }
+
+    /// Consume the inbox envelope at `idx`: advance to its arrival, log
+    /// the wait, merge vector clocks, record the receive event.
+    fn consume(&mut self, idx: usize) {
+        let env = self.inbox.remove(idx).expect("index in range");
+        let waited = self.core.account_recv(env.arrival_s);
+        if self.detail {
+            for (mine, theirs) in self.vclock.iter_mut().zip(&env.vc) {
+                *mine = (*mine).max(*theirs);
+            }
+            let rank = self.rank();
+            self.vclock[rank] += 1;
+            self.comm.events.push(CommEvent {
+                op: CommOp::Recv { from: env.src },
+                tag: env.tag,
+                bytes: env.bytes,
+                time_s: self.core.now(),
+                waited_s: waited.raw(),
+                vc: self.vclock.clone(),
+            });
+        }
+    }
+
+    /// Fold everything still buffered into the trace's `unconsumed` list
+    /// (deadlock teardown; the analyzer infers tag mismatches from it).
+    pub(crate) fn drain_unconsumed(&mut self) {
+        while let Some(env) = self.inbox.pop_front() {
+            self.comm.unconsumed.push((env.src, env.tag, env.bytes));
+        }
+    }
+
+    /// Seal the task into the report entry the thread runtime would have
+    /// produced for this rank.
+    pub(crate) fn into_outcome(self) -> mps::RankOutcome<()> {
+        let RankTask { core, comm, .. } = self;
+        let rank = core.rank();
+        let fin = core.finish();
+        mps::RankOutcome {
+            rank,
+            result: (),
+            stats: fin.stats,
+            log: fin.log,
+            comm,
+            finish_s: fin.finish_s,
+            markers: fin.markers,
+            track: fin.track,
+        }
+    }
+}

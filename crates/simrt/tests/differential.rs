@@ -1,0 +1,233 @@
+//! Differential suite: the event engine must be *bit-identical* to the
+//! mps thread runtime on the NPB plans.
+//!
+//! Both runtimes execute the same [`plan::CommPlan`]s — the thread runtime
+//! through [`plan::lower`] (real channels, OS threads), the engine through
+//! [`plan::TimedCursor`] (state-machine tasks, virtual-time event queue) —
+//! over the same [`mps::RankCore`] accounting. For every kernel and every
+//! small `p` we require exact equality of per-collective counters,
+//! run-wide totals, per-rank finish times, spans, and metered energy. At
+//! `p` beyond the thread runtime's reach the engine is pinned against the
+//! static analyzer's whole-plan message/byte counts instead.
+
+use std::sync::{Mutex, OnceLock};
+
+use mps::World;
+use npb::{cg_plan, ep_plan, ft_plan, CgConfig, Class, EpConfig, FtConfig};
+use obs::ObsConfig;
+use plan::{analyze_plan, lower, CollKind, CommPlan, COLL_KINDS};
+use simrt::{Detail, EngineConfig};
+
+/// The metrics registry is process-global; serialize observed runs so
+/// counter deltas are attributable to one run at a time.
+fn registry_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+fn world() -> World {
+    World::new(simcluster::system_g(), 2.8e9).with_obs(ObsConfig::disabled().with_metrics(true))
+}
+
+/// `(calls, messages, bytes)` snapshot of every collective's counters.
+fn snapshot() -> [[u64; 3]; COLL_KINDS] {
+    let reg = obs::global();
+    let mut out = [[0u64; 3]; COLL_KINDS];
+    for (k, slot) in out.iter_mut().enumerate() {
+        let name = CollKind::ALL[k].scope_name();
+        *slot = [
+            reg.counter(&format!("mps.collective.{name}.calls")).get(),
+            reg.counter(&format!("mps.collective.{name}.messages"))
+                .get(),
+            reg.counter(&format!("mps.collective.{name}.bytes")).get(),
+        ];
+    }
+    out
+}
+
+fn delta(
+    before: &[[u64; 3]; COLL_KINDS],
+    after: &[[u64; 3]; COLL_KINDS],
+) -> [[u64; 3]; COLL_KINDS] {
+    let mut out = [[0u64; 3]; COLL_KINDS];
+    for k in 0..COLL_KINDS {
+        for f in 0..3 {
+            out[k][f] = after[k][f] - before[k][f];
+        }
+    }
+    out
+}
+
+struct Observed {
+    report: mps::RunReport<()>,
+    colls: [[u64; 3]; COLL_KINDS],
+}
+
+fn observe_thread(w: &World, p: usize, plan: &CommPlan) -> Observed {
+    let before = snapshot();
+    let report = mps::run(w, p, |ctx| lower(plan, ctx));
+    let colls = delta(&before, &snapshot());
+    Observed { report, colls }
+}
+
+fn observe_engine(w: &World, p: usize, plan: &CommPlan, cfg: &EngineConfig) -> Observed {
+    let before = snapshot();
+    let out = simrt::try_run_plan_with(cfg, w, p, plan).expect("engine run completes");
+    let colls = delta(&before, &snapshot());
+    Observed {
+        report: out.report,
+        colls,
+    }
+}
+
+/// Everything that must match bit-for-bit between the two runtimes.
+fn assert_identical(name: &str, thread: &Observed, engine: &Observed, w: &World) {
+    assert_eq!(thread.colls, engine.colls, "{name}: collective counters");
+    let tt = thread.report.total_counters();
+    let et = engine.report.total_counters();
+    assert_eq!(tt, et, "{name}: total counters");
+    assert_eq!(
+        thread.report.span(),
+        engine.report.span(),
+        "{name}: span bits"
+    );
+    for (a, b) in thread.report.ranks.iter().zip(&engine.report.ranks) {
+        assert_eq!(a.rank, b.rank, "{name}: rank order");
+        assert_eq!(a.finish_s, b.finish_s, "{name}: rank {} finish", a.rank);
+        assert_eq!(a.stats, b.stats, "{name}: rank {} counters", a.rank);
+        assert_eq!(
+            a.markers, b.markers,
+            "{name}: rank {} phase markers",
+            a.rank
+        );
+        assert_eq!(
+            a.comm.events.len(),
+            b.comm.events.len(),
+            "{name}: rank {} comm event count",
+            a.rank
+        );
+        for (ea, eb) in a.comm.events.iter().zip(&b.comm.events) {
+            assert_eq!(ea.op, eb.op, "{name}: rank {} comm op", a.rank);
+            assert_eq!(ea.tag, eb.tag, "{name}: rank {} comm tag", a.rank);
+            assert_eq!(ea.bytes, eb.bytes, "{name}: rank {} comm bytes", a.rank);
+            assert_eq!(ea.time_s, eb.time_s, "{name}: rank {} comm time", a.rank);
+            assert_eq!(
+                ea.waited_s, eb.waited_s,
+                "{name}: rank {} comm wait",
+                a.rank
+            );
+            assert_eq!(ea.vc, eb.vc, "{name}: rank {} vector clock", a.rank);
+        }
+    }
+    assert_eq!(
+        thread.report.energy(w),
+        engine.report.energy(w),
+        "{name}: metered energy"
+    );
+}
+
+fn plans() -> Vec<(&'static str, CommPlan)> {
+    vec![
+        ("ft", ft_plan(&FtConfig::class(Class::S))),
+        ("ep", ep_plan(&EpConfig::class(Class::S))),
+        ("cg", cg_plan(&CgConfig::class(Class::S))),
+    ]
+}
+
+#[test]
+fn engine_is_bit_identical_to_thread_runtime_on_npb() {
+    let _guard = registry_lock().lock().unwrap();
+    let w = world();
+    for (name, plan) in plans() {
+        for p in [2usize, 4, 8] {
+            let thread = observe_thread(&w, p, &plan);
+            let engine = observe_engine(&w, p, &plan, &EngineConfig::default());
+            assert_identical(&format!("{name} p={p}"), &thread, &engine, &w);
+        }
+    }
+}
+
+#[test]
+fn pooled_supersteps_are_bit_identical_to_sequential() {
+    let _guard = registry_lock().lock().unwrap();
+    let w = world();
+    for (name, plan) in plans() {
+        let sequential = observe_engine(&w, 8, &plan, &EngineConfig::default());
+        for threads in [1usize, 2, 4] {
+            let cfg = EngineConfig::default().with_pool(pool::PoolConfig::with_threads(threads));
+            let pooled = observe_engine(&w, 8, &plan, &cfg);
+            assert_identical(&format!("{name} pool={threads}"), &sequential, &pooled, &w);
+        }
+    }
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Aggregate fidelity cannot change what the energy meter sees: per-kind
+/// work sums and the span are preserved, and energy is linear in exactly
+/// those. (Energy is compared with a relative tolerance: summing work
+/// before multiplying by the power coefficients reassociates float adds,
+/// so the last ULP can differ.)
+#[test]
+fn aggregate_detail_preserves_energy_and_counters() {
+    let w = World::new(simcluster::system_g(), 2.8e9);
+    let plan = ft_plan(&FtConfig::class(Class::S));
+    let on = simrt::try_run_plan_with(
+        &EngineConfig::default().with_detail(Detail::On),
+        &w,
+        8,
+        &plan,
+    )
+    .expect("detail run");
+    let off = simrt::try_run_plan_with(
+        &EngineConfig::default().with_detail(Detail::Off),
+        &w,
+        8,
+        &plan,
+    )
+    .expect("aggregate run");
+    assert_eq!(on.report.span(), off.report.span(), "span bits");
+    assert_eq!(
+        on.report.total_counters(),
+        off.report.total_counters(),
+        "counter totals"
+    );
+    let (ea, eb) = (on.report.energy(&w), off.report.energy(&w));
+    assert!(close(ea.cpu_j.raw(), eb.cpu_j.raw()), "cpu: {ea:?} {eb:?}");
+    assert!(
+        close(ea.memory_j.raw(), eb.memory_j.raw()),
+        "memory: {ea:?} {eb:?}"
+    );
+    assert!(
+        close(ea.network_j.raw(), eb.network_j.raw()),
+        "network: {ea:?} {eb:?}"
+    );
+    assert!(
+        close(ea.disk_j.raw(), eb.disk_j.raw()),
+        "disk: {ea:?} {eb:?}"
+    );
+    assert!(
+        close(ea.other_j.raw(), eb.other_j.raw()),
+        "other: {ea:?} {eb:?}"
+    );
+}
+
+/// At `p` far beyond the thread runtime, the engine's dynamic message and
+/// byte totals must land exactly on the static analyzer's whole-plan
+/// counts (debug-build-sized `p`; the `large_p` suite covers 1024+).
+#[test]
+fn engine_matches_static_analysis_at_p_256() {
+    let plan = ft_plan(&FtConfig::class(Class::S));
+    let p = 256;
+    let analysis = analyze_plan(&plan, p);
+    assert!(analysis.clean(), "{:?}", analysis.findings);
+    let out = simrt::run_plan(&world(), p, &plan);
+    let totals = out.report.total_counters();
+    #[allow(clippy::cast_precision_loss)]
+    {
+        assert_eq!(totals.messages, analysis.total.messages as f64);
+        assert_eq!(totals.bytes, analysis.total.bytes as f64);
+    }
+}

@@ -1,0 +1,202 @@
+//! Explorer parity: the simrt event engine under the schedule-space
+//! model checker must be indistinguishable from the mps thread runtime.
+//!
+//! [`Explorer::explore_plan`] drives the thread runtime through the
+//! controller; [`Explorer::explore_plan_engine`] drives simrt's
+//! controlled mode through the *same* controller and DFS. Because the
+//! explorer reasons only about the scheduling observations (enabled sets,
+//! deliveries, outcomes), full parity — schedule counts, truncation, and
+//! the findings with their witnesses — certifies that the engine's
+//! channel model exposes exactly the thread runtime's schedule space.
+
+use plan::{CommPlan, Cond, Expr, Op, TagExpr};
+use proptest::prelude::*;
+use proptest::TestRng;
+use verify::programs::demo_world;
+use verify::{Explorer, VerifyFinding};
+
+#[allow(clippy::cast_possible_wrap)]
+fn send(to: usize, tag: u64, bytes: u64) -> Op {
+    Op::Send {
+        to: Expr::Const(to as i64),
+        tag: TagExpr::Expr(Expr::Const(tag as i64)),
+        bytes: Expr::Const(bytes as i64),
+    }
+}
+
+#[allow(clippy::cast_possible_wrap)]
+fn recv(from: usize, tag: u64) -> Op {
+    Op::Recv {
+        from: Expr::Const(from as i64),
+        tag: TagExpr::Expr(Expr::Const(tag as i64)),
+    }
+}
+
+#[allow(clippy::cast_possible_wrap)]
+fn per_rank(rank_ops: Vec<Vec<Op>>) -> CommPlan {
+    let body = rank_ops
+        .into_iter()
+        .enumerate()
+        .map(|(r, ops)| Op::IfElse {
+            cond: Cond::Eq(Expr::Rank, Expr::Const(r as i64)),
+            then: ops,
+            els: Vec::new(),
+        })
+        .collect();
+    CommPlan::new("parity", body)
+}
+
+fn explorer() -> Explorer {
+    Explorer {
+        max_schedules: 64,
+        max_depth: 10_000,
+    }
+}
+
+/// Compare two explorations structurally (findings carry witnesses, so
+/// Debug equality is full parity).
+fn assert_parity(plan: &CommPlan, p: usize) {
+    let world = demo_world();
+    let ex = explorer();
+    let threads = ex.explore_plan(&world, p, plan);
+    let engine = ex.explore_plan_engine(&world, p, plan);
+    assert_eq!(threads.schedules, engine.schedules, "schedule count");
+    assert_eq!(threads.truncated, engine.truncated, "truncation");
+    assert_eq!(
+        format!("{:?}", threads.findings),
+        format!("{:?}", engine.findings),
+        "findings + witnesses"
+    );
+}
+
+#[test]
+fn ring_certifies_on_both_runtimes() {
+    // 0 -> 1 -> 2 -> 0, forwarding a token: one schedule, no findings.
+    let plan = per_rank(vec![
+        vec![send(1, 1, 8), recv(2, 1)],
+        vec![recv(0, 1), send(2, 1, 8)],
+        vec![recv(1, 1), send(0, 1, 8)],
+    ]);
+    let world = demo_world();
+    let ex = explorer();
+    let engine = ex.explore_plan_engine(&world, 3, &plan);
+    assert!(engine.certified(), "{:?}", engine.findings);
+    assert_parity(&plan, 3);
+}
+
+#[test]
+fn deadlock_is_found_on_both_runtimes() {
+    // Mutual recv-before-send: every schedule deadlocks.
+    let plan = per_rank(vec![
+        vec![recv(1, 1), send(1, 2, 8)],
+        vec![recv(0, 2), send(0, 1, 8)],
+    ]);
+    let world = demo_world();
+    let engine = explorer().explore_plan_engine(&world, 2, &plan);
+    assert!(
+        engine
+            .findings
+            .iter()
+            .any(|f| matches!(f, VerifyFinding::Deadlock { .. })),
+        "{:?}",
+        engine.findings
+    );
+    assert_parity(&plan, 2);
+}
+
+#[test]
+fn tag_race_is_found_on_both_runtimes() {
+    // Two senders race into one wildcard receiver.
+    let plan = per_rank(vec![
+        vec![
+            Op::RecvAny {
+                tag: TagExpr::Expr(Expr::Const(3)),
+            },
+            Op::RecvAny {
+                tag: TagExpr::Expr(Expr::Const(3)),
+            },
+        ],
+        vec![send(0, 3, 8)],
+        vec![send(0, 3, 8)],
+    ]);
+    let world = demo_world();
+    let engine = explorer().explore_plan_engine(&world, 3, &plan);
+    assert!(
+        engine
+            .findings
+            .iter()
+            .any(|f| matches!(f, VerifyFinding::TagRace { .. })),
+        "{:?}",
+        engine.findings
+    );
+    assert_parity(&plan, 3);
+}
+
+/// Randomized parity sweep, same generator shape as the static/dynamic
+/// differential: matched pairs, orphan recvs, wildcards, shuffled per
+/// rank.
+fn random_plan(rng: &mut TestRng, p: usize) -> CommPlan {
+    let n_events = rng.next_in_u64(1, 6);
+    let mut rank_ops: Vec<Vec<Op>> = vec![Vec::new(); p];
+    for _ in 0..n_events {
+        let kind = rng.next_in_u64(0, 10);
+        let src = rng.next_in_u64(0, p as u64) as usize;
+        let mut dst = rng.next_in_u64(0, p as u64 - 1) as usize;
+        if dst >= src {
+            dst += 1;
+        }
+        let tag = rng.next_in_u64(0, 3);
+        let bytes = 8 * (1 + rng.next_in_u64(0, 4));
+        match kind {
+            0..=5 => {
+                rank_ops[src].push(send(dst, tag, bytes));
+                rank_ops[dst].push(recv(src, tag));
+            }
+            6 | 7 => rank_ops[dst].push(recv(src, tag)),
+            _ => {
+                rank_ops[src].push(send(dst, tag, bytes));
+                #[allow(clippy::cast_possible_wrap)]
+                rank_ops[dst].push(Op::RecvAny {
+                    tag: TagExpr::Expr(Expr::Const(tag as i64)),
+                });
+            }
+        }
+    }
+    for ops in &mut rank_ops {
+        for i in (1..ops.len()).rev() {
+            let j = rng.next_in_u64(0, i as u64 + 1) as usize;
+            ops.swap(i, j);
+        }
+    }
+    per_rank(rank_ops)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engine_exploration_matches_thread_exploration(seed in any::<u64>(), p in 2usize..=3) {
+        let mut rng = TestRng::new(seed);
+        let plan = random_plan(&mut rng, p);
+        let analysis = plan::analyze_plan(&plan, p);
+        // Plans that complete with leftover in-flight sends trip the
+        // runtimes' unconsumed-message debug_assert by design; the static
+        // checker owns that verdict.
+        let leftovers = analysis
+            .findings
+            .iter()
+            .any(|f| matches!(f, plan::PlanFinding::UnmatchedSend { .. }));
+        prop_assume!(!(analysis.completed && leftovers));
+
+        let world = demo_world();
+        let ex = explorer();
+        let threads = ex.explore_plan(&world, p, &plan);
+        let engine = ex.explore_plan_engine(&world, p, &plan);
+        prop_assert_eq!(threads.schedules, engine.schedules);
+        prop_assert_eq!(threads.truncated, engine.truncated);
+        prop_assert_eq!(
+            format!("{:?}", threads.findings),
+            format!("{:?}", engine.findings)
+        );
+    }
+}

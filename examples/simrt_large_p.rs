@@ -1,0 +1,56 @@
+//! Run NPB FT at thousand-rank scale on the simrt discrete-event engine —
+//! the scaling regime of the paper's Figs. 5–7, far beyond what
+//! thread-per-rank simulation can host — and print the per-collective
+//! counters cross-checked against the static plan analyzer.
+//!
+//! Run with: `cargo run --release --example simrt_large_p [p]`
+//! (default `p = 1024`; try 4096).
+
+use iso_energy_efficiency::mps::World;
+use iso_energy_efficiency::npb::{ft_plan, Class, FtConfig};
+use iso_energy_efficiency::plan::analyze_plan;
+use iso_energy_efficiency::simcluster::system_g;
+use iso_energy_efficiency::simrt::{self, Detail, EngineConfig};
+
+fn main() {
+    let p: usize = std::env::args()
+        .nth(1)
+        .map_or(1024, |a| a.parse().expect("p must be a positive integer"));
+    let cfg = FtConfig::class(Class::S);
+    let plan = ft_plan(&cfg);
+    let world = World::new(system_g(), 2.8e9);
+
+    // Certify the plan statically first: shape, matching, deadlock.
+    let analysis = analyze_plan(&plan, p);
+    assert!(analysis.clean(), "static findings: {:?}", analysis.findings);
+
+    println!("running FT class S on {p} simulated ranks (event engine, aggregate detail)...");
+    let engine_cfg = EngineConfig::default().with_detail(Detail::Off);
+    let out = simrt::try_run_plan_with(&engine_cfg, &world, p, &plan).expect("ft completes");
+
+    let totals = out.report.total_counters();
+    println!(
+        "done in {:.2}s wall: {} engine steps, {} sends, {} wakes",
+        out.stats.wall_s, out.stats.steps, out.stats.sends, out.stats.wakes
+    );
+    println!(
+        "virtual span {:.4}s, energy {:?}",
+        out.report.span(),
+        out.report.energy(&world)
+    );
+    #[allow(clippy::cast_precision_loss)]
+    {
+        assert_eq!(
+            totals.messages, analysis.total.messages as f64,
+            "dynamic message count must equal the static plan count"
+        );
+        assert_eq!(
+            totals.bytes, analysis.total.bytes as f64,
+            "dynamic byte count must equal the static plan count"
+        );
+    }
+    println!(
+        "counters match the static analysis: {} messages, {} bytes",
+        analysis.total.messages, analysis.total.bytes
+    );
+}

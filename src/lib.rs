@@ -19,6 +19,11 @@
 //!   critical-path profiling.
 //! * [`analyze`] — static/dynamic analysis gates, including trace
 //!   conformance over `obs` output.
+//! * [`plan`] — the statically analyzable communication-plan IR.
+//! * [`simrt`] — the discrete-event rank engine: thousands of simulated
+//!   ranks as state-machine tasks in one process.
+//! * [`verify`] — schedule-space model checking, on either runtime.
+//! * [`pool`] — the shared worker pool.
 
 #![forbid(unsafe_code)]
 
@@ -29,5 +34,9 @@ pub use mps;
 pub use netsim;
 pub use npb;
 pub use obs;
+pub use plan;
+pub use pool;
 pub use powerpack;
 pub use simcluster;
+pub use simrt;
+pub use verify;
