@@ -304,9 +304,9 @@ impl MachBox {
     #[must_use]
     pub fn over_frequencies(base: &MachineParams, f: Interval) -> Self {
         let mut b = Self::from_params(base);
-        b.tc = Interval::point(base.cpi) / f;
-        b.delta_pc = Interval::point(base.delta_pc.raw())
-            * (f / Interval::point(base.f_hz)).powf(base.gamma);
+        let (tc, dpc) = frequency_terms(base, f);
+        b.tc = tc;
+        b.delta_pc = dpc;
         b
     }
 
@@ -372,6 +372,85 @@ impl AppBox {
             return Some(Self::from_params(&app.app_params(n.lo, p)));
         }
         None
+    }
+}
+
+/// The two frequency-dependent machine enclosures of Eq. 20 — `tc = CPI/f`
+/// and `ΔPc = ΔPc_base · (f/f_base)^γ` — for every frequency in `f`.
+///
+/// These are the *only* machine terms the DVFS axis moves, which is what
+/// lets [`E1Factors`] cache everything else per column: one pair of
+/// intervals per frequency row re-certifies a whole column.
+#[must_use]
+pub fn frequency_terms(base: &MachineParams, f: Interval) -> (Interval, Interval) {
+    let tc = Interval::point(base.cpi) / f;
+    let dpc =
+        Interval::point(base.delta_pc.raw()) * (f / Interval::point(base.f_hz)).powf(base.gamma);
+    (tc, dpc)
+}
+
+/// The frequency-invariant factors of the `E1` enclosure (Eq. 13) for one
+/// `(MachBox, AppBox)` column — the interval-valued twin of the batch
+/// kernel's column factors in [`crate::batch`].
+///
+/// Grid certification only needs the `E1` enclosure (the degenerate
+/// predicate is on `E1` alone), so caching these seven intervals per
+/// column and re-evaluating [`E1Factors::e1`] against each row's
+/// [`frequency_terms`] replaces a full [`evaluate`] per box while
+/// producing the *identical* `E1` interval: the operation sequence below
+/// is the same as [`e1`]'s, with the loop-invariant subterms computed
+/// once. Interval arithmetic is deterministic, so the certify verdicts
+/// cannot change. Keep in lockstep with [`e1`] and [`crate::model::e1`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct E1Factors {
+    /// Overlap factor `α`.
+    pub alpha: Interval,
+    /// `Wc`.
+    pub wc: Interval,
+    /// `Wm·tm`.
+    pub mem_seq: Interval,
+    /// `T_IO`.
+    pub t_io: Interval,
+    /// Idle power `P_sys_idle`.
+    pub psys: Interval,
+    /// `(Wm·tm)·ΔPm`.
+    pub e_mem_seq: Interval,
+    /// `T_IO·ΔP_IO`.
+    pub e_io: Interval,
+}
+
+impl E1Factors {
+    /// Derive the factors from a box pair (ignores `m.tc`/`m.delta_pc` —
+    /// those arrive per row via [`frequency_terms`]).
+    #[must_use]
+    pub fn of(m: &MachBox, a: &AppBox) -> Self {
+        Self {
+            alpha: a.alpha,
+            wc: a.wc,
+            mem_seq: a.wm * m.tm,
+            t_io: a.t_io,
+            psys: m.p_sys_idle,
+            e_mem_seq: a.wm * m.tm * m.delta_pm,
+            e_io: a.t_io * m.delta_pio,
+        }
+    }
+
+    /// The `E1` enclosure at the given frequency terms — identical to
+    /// [`e1`] on the box with `tc`/`delta_pc` substituted.
+    #[must_use]
+    pub fn e1(&self, tc: Interval, dpc: Interval) -> Interval {
+        let x1 = self.wc * tc;
+        let t1 = self.alpha * (x1 + self.mem_seq + self.t_io);
+        t1 * self.psys + x1 * dpc + self.e_mem_seq + self.e_io
+    }
+
+    /// Proof that no point of the column×row box raises
+    /// [`ModelError::DegenerateBaseline`] (see
+    /// [`ModelEnclosure::baseline_certified`]).
+    #[must_use]
+    pub fn baseline_certified(&self, tc: Interval, dpc: Interval) -> bool {
+        let e1 = self.e1(tc, dpc);
+        e1.lo > 0.0 && e1.hi.is_finite()
     }
 }
 
@@ -557,8 +636,8 @@ pub fn certify_pf_grid(
     fs: &[f64],
 ) -> GridCertification {
     assert!(!ps.is_empty() && !fs.is_empty(), "empty grid");
-    let f_hull = Interval::hull(fs);
-    let hull_mach = MachBox::over_frequencies(base, f_hull);
+    let base_box = MachBox::from_params(base);
+    let (hull_tc, hull_dpc) = frequency_terms(base, Interval::hull(fs));
     let mut cert = GridCertification {
         interval_cells: 0,
         exact_cells: 0,
@@ -567,13 +646,14 @@ pub fn certify_pf_grid(
     for (j, &p) in ps.iter().enumerate() {
         let a_box =
             AppBox::of_model(app, Interval::point(n), p).expect("point workload always has a box");
-        if evaluate(&hull_mach, &a_box, p).baseline_certified() {
+        let inv = E1Factors::of(&base_box, &a_box);
+        if inv.baseline_certified(hull_tc, hull_dpc) {
             cert.interval_cells += fs.len();
             continue;
         }
         for (i, &f) in fs.iter().enumerate() {
-            let cell_mach = MachBox::over_frequencies(base, Interval::point(f));
-            if evaluate(&cell_mach, &a_box, p).baseline_certified() {
+            let (tc, dpc) = frequency_terms(base, Interval::point(f));
+            if inv.baseline_certified(tc, dpc) {
                 cert.interval_cells += 1;
                 continue;
             }
@@ -618,7 +698,8 @@ pub fn certify_pn_grid(
     };
     for (j, &p) in ps.iter().enumerate() {
         if let Some(a_box) = app.app_params_box(n_hull, p) {
-            if evaluate(&mach_box, &a_box, p).baseline_certified() {
+            let inv = E1Factors::of(&mach_box, &a_box);
+            if inv.baseline_certified(mach_box.tc, mach_box.delta_pc) {
                 cert.interval_cells += ns.len();
                 continue;
             }
@@ -626,7 +707,8 @@ pub fn certify_pn_grid(
         for (i, &n) in ns.iter().enumerate() {
             let a_box = AppBox::of_model(app, Interval::point(n), p)
                 .expect("point workload always has a box");
-            if evaluate(&mach_box, &a_box, p).baseline_certified() {
+            let inv = E1Factors::of(&mach_box, &a_box);
+            if inv.baseline_certified(mach_box.tc, mach_box.delta_pc) {
                 cert.interval_cells += 1;
                 continue;
             }
@@ -665,14 +747,15 @@ pub fn certify_frequency_probes(
         exact_cells: 0,
         degenerate: None,
     };
-    let hull_mach = MachBox::over_frequencies(base, Interval::hull(freqs));
-    if evaluate(&hull_mach, &a_box, p).baseline_certified() {
+    let inv = E1Factors::of(&MachBox::from_params(base), &a_box);
+    let (hull_tc, hull_dpc) = frequency_terms(base, Interval::hull(freqs));
+    if inv.baseline_certified(hull_tc, hull_dpc) {
         cert.interval_cells = freqs.len();
         return cert;
     }
     for (index, &f) in freqs.iter().enumerate() {
-        let cell_mach = MachBox::over_frequencies(base, Interval::point(f));
-        if evaluate(&cell_mach, &a_box, p).baseline_certified() {
+        let (tc, dpc) = frequency_terms(base, Interval::point(f));
+        if inv.baseline_certified(tc, dpc) {
             cert.interval_cells += 1;
             continue;
         }
@@ -814,5 +897,112 @@ mod tests {
         // Degenerate row second: row-major index jumps a full row.
         let cert = certify_pn_grid(&Thresh, &m, &[4, 16], &[1e7, 1e3]);
         assert_eq!(cert.degenerate.expect("row 1 degenerate").0, 2);
+    }
+
+    #[test]
+    fn e1_factors_are_in_lockstep_with_the_e1_mirror() {
+        // The factored path must produce the *identical* interval as the
+        // direct mirror — bit-for-bit on both endpoints — so the certify
+        // refactor cannot have changed any verdict.
+        let base = mach();
+        let fs = [1.6e9, 2.0e9, 2.4e9, 2.8e9];
+        let ft = FtModel::system_g();
+        for p in [1usize, 4, 64, 1024] {
+            let a_box = AppBox::of_model(&ft, Interval::point((1u64 << 20) as f64), p)
+                .expect("point workload always has a box");
+            let inv = E1Factors::of(&MachBox::from_params(&base), &a_box);
+            for f in [Interval::hull(&fs), Interval::point(2.0e9)] {
+                let (tc, dpc) = frequency_terms(&base, f);
+                let factored = inv.e1(tc, dpc);
+                let mirror = e1(&MachBox::over_frequencies(&base, f), &a_box);
+                assert_eq!(factored.lo.to_bits(), mirror.lo.to_bits(), "p={p}");
+                assert_eq!(factored.hi.to_bits(), mirror.hi.to_bits(), "p={p}");
+                assert_eq!(
+                    inv.baseline_certified(tc, dpc),
+                    mirror.lo > 0.0 && mirror.hi.is_finite(),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod factored_soundness {
+    //! Point-⊆-box soundness of the factored-invariant certification path
+    //! against the **batch kernel's** point results: any outward-rounding
+    //! regression introduced by sharing invariants across rows would show
+    //! up here as a fused point `E1` escaping its column enclosure.
+
+    use super::*;
+    use crate::apps::{AppModel, FtModel};
+    use crate::batch;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn factored_e1_enclosure_contains_batch_point_results(
+            f_lo in 1.2e9f64..2.2e9,
+            f_span in 1e8f64..1.2e9,
+            lg_n in 14u32..24,
+            lg_p in 0u32..11,
+            alpha in 0.5f64..=1.0,
+        ) {
+            let base = MachineParams::system_g(2.8e9);
+            let p = 1usize << lg_p;
+            let n = f64::from(1u32 << lg_n);
+            let ft = FtModel::system_g();
+            let mut a = ft.app_params(n, p);
+            a.alpha = alpha;
+            let a_box = AppBox::from_params(&a);
+            let inv = E1Factors::of(&MachBox::from_params(&base), &a_box);
+            let f_hi = f_lo + f_span;
+            let (hull_tc, hull_dpc) =
+                frequency_terms(&base, Interval::new(f_lo, f_hi));
+            let hull_e1 = inv.e1(hull_tc, hull_dpc);
+            for f in [f_lo, 0.5 * (f_lo + f_hi), f_hi] {
+                let point = batch::terms(&base.at_frequency(f), &a, p);
+                prop_assert!(
+                    hull_e1.contains(point.e1.raw()),
+                    "batch E1 {} at f={f} escapes hull enclosure {hull_e1}",
+                    point.e1.raw()
+                );
+                // Thin-frequency factored enclosure contains it too (the
+                // per-cell fallback of the certify loop).
+                let (tc, dpc) = frequency_terms(&base, Interval::point(f));
+                prop_assert!(inv.e1(tc, dpc).contains(point.e1.raw()));
+            }
+        }
+
+        #[test]
+        fn certified_boxes_never_contain_a_degenerate_batch_point(
+            f_lo in 1.2e9f64..2.2e9,
+            f_span in 1e8f64..1.2e9,
+            wc in 0.0f64..1e10,
+            lg_p in 0u32..8,
+        ) {
+            // Certification is a *proof*: whenever the factored path says
+            // a column is clean, the batch kernel must agree at every
+            // probed frequency — including wc = 0 columns, where the
+            // factored path must refuse to certify.
+            let base = MachineParams::system_g(2.8e9);
+            let p = 1usize << lg_p;
+            let a = AppParams::ideal(wc);
+            let inv = E1Factors::of(&MachBox::from_params(&base), &AppBox::from_params(&a));
+            let f_hi = f_lo + f_span;
+            let (tc, dpc) = frequency_terms(&base, Interval::new(f_lo, f_hi));
+            if inv.baseline_certified(tc, dpc) {
+                for f in [f_lo, 0.5 * (f_lo + f_hi), f_hi] {
+                    prop_assert!(
+                        batch::ee_point(&base.at_frequency(f), &a, p).is_ok(),
+                        "certified column has a degenerate batch point at f={f}"
+                    );
+                }
+            } else {
+                // ideal(0) has E1 = 0 exactly: the box must NOT certify.
+                prop_assert!(wc > 0.0 || !inv.baseline_certified(tc, dpc));
+            }
+        }
     }
 }

@@ -19,6 +19,14 @@
 //! (`tally × latency → Seconds`, `Seconds × Watts → Joules`), so a
 //! unit-mixing mistake in a formula is a compile error rather than a wrong
 //! curve.
+//!
+//! **Lockstep contract:** the batched columnar kernel ([`crate::batch`])
+//! and the interval mirrors ([`crate::interval`]) reproduce these
+//! formulas' exact association trees — the batch kernel is pinned
+//! *bit-identical* to this module by `tests/batch_equivalence.rs`, and
+//! the interval containment guarantee relies on structural matching.
+//! Any change to an expression here (even a re-association) must be made
+//! in all three places together.
 
 use std::error::Error;
 use std::fmt;

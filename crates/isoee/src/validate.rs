@@ -153,14 +153,27 @@ where
         measure_run(world, p, kernel)
     };
     let app = app_params_from(seq, &par);
+    // One fused batch evaluation per point (bit-identical to the three
+    // scalar calls, which each re-derive Ep/E1 from scratch); the scalar
+    // oracle stays reachable via ISOEE_SCALAR_SWEEP.
+    let (predicted_j, ee, eef) = if crate::scaling::scalar_sweep_forced() {
+        (
+            model::ep(mach, &app, p),
+            model::ee(mach, &app, p),
+            model::eef(mach, &app, p),
+        )
+    } else {
+        let ev = crate::batch::evaluate(mach, &app, p);
+        (ev.terms.ep, ev.ee, ev.eef)
+    };
     EvaluatedPoint {
         point: ValidationPoint {
             p,
-            predicted_j: model::ep(mach, &app, p),
+            predicted_j,
             measured_j: par.energy_j,
         },
-        ee: model::ee(mach, &app, p),
-        eef: model::eef(mach, &app, p),
+        ee,
+        eef,
     }
 }
 

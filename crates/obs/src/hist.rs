@@ -117,6 +117,31 @@ impl LogHistogram {
         &self.unit
     }
 
+    /// Zero every bucket and moment **in place**, back to the
+    /// [`LogHistogram::new`] state.
+    ///
+    /// In place matters: call sites cache their `Arc<LogHistogram>` handle
+    /// in a `OnceLock` (the sweep's eval-latency histogram, the pool's
+    /// task-latency histograms), so dropping and re-registering the entry
+    /// (`Registry::clear`) would orphan those handles — they would keep
+    /// recording into a histogram no snapshot reads. Resetting the shared
+    /// cells keeps every cached handle live.
+    ///
+    /// The reset is not atomic as a whole (each cell is cleared with a
+    /// relaxed store): quiesce recorders first, or a concurrent `record`
+    /// may be partially kept.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+        self.min_bits
+            .store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+        self.max_bits
+            .store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
+    }
+
     /// Bucket index for a value (non-finite values are rejected earlier).
     fn bucket_index(value: f64) -> usize {
         if value <= MIN_TRACKABLE {

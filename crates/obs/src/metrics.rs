@@ -256,11 +256,40 @@ impl Registry {
 
     /// Drop every registered metric (tests; the global registry is
     /// process-wide state).
+    ///
+    /// Prefer [`Registry::reset_values`] when any call site may have
+    /// cached a metric handle: `clear` removes the entries, so cached
+    /// `Arc`s keep recording into metrics no snapshot will ever read.
     pub fn clear(&self) {
         self.metrics
             .lock()
             .expect("metrics registry poisoned")
             .clear();
+    }
+
+    /// Zero every registered metric **in place**, keeping the entries and
+    /// their shared `Arc`s alive — cached handles (e.g. `OnceLock`-stored
+    /// histograms in hot paths) continue recording into the same cells.
+    ///
+    /// Used by benches to isolate cases from each other's warm-up: values
+    /// reset, registration state doesn't. Individual cells are cleared
+    /// with relaxed stores, so quiesce recorders first.
+    pub fn reset_values(&self) {
+        let metrics = self.metrics.lock().expect("metrics registry poisoned");
+        for metric in metrics.values() {
+            match metric {
+                Metric::Counter(c) => c.value.store(0, Ordering::Relaxed),
+                Metric::Gauge(g) => g.bits.store(0f64.to_bits(), Ordering::Relaxed),
+                Metric::Histogram(h) => {
+                    for b in &h.buckets {
+                        b.store(0, Ordering::Relaxed);
+                    }
+                    h.count.store(0, Ordering::Relaxed);
+                    h.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+                }
+                Metric::LogHist(h) => h.reset(),
+            }
+        }
     }
 
     /// Plain-text snapshot, one `name kind value` line per metric,
@@ -446,6 +475,34 @@ mod tests {
         let metrics = doc.get("metrics").unwrap().as_arr().unwrap();
         assert_eq!(metrics.len(), 3);
         assert_eq!(metrics[0].get("name").unwrap().as_str(), Some("a.gauge"));
+    }
+
+    #[test]
+    fn reset_values_keeps_cached_handles_live() {
+        let reg = Registry::new();
+        let c = reg.counter("evals");
+        let g = reg.gauge("speedup");
+        let h = reg.histogram("lat", &[1.0]);
+        let lh = reg.log_histogram("lat_s", "s");
+        c.add(7);
+        g.set(2.5);
+        h.observe(0.4);
+        lh.record(1e-6);
+        reg.reset_values();
+        // Values are zeroed...
+        assert_eq!(c.get(), 0);
+        assert!(g.get().abs() < 1e-12);
+        assert_eq!(h.count(), 0);
+        assert_eq!(lh.snapshot().count, 0);
+        // ...but the *same* cells stay registered: the cached handles and
+        // fresh lookups are the identical Arc, and recording through the
+        // old handle is visible to snapshots.
+        assert!(Arc::ptr_eq(&c, &reg.counter("evals")));
+        assert!(Arc::ptr_eq(&lh, &reg.log_histogram("lat_s", "s")));
+        c.inc();
+        lh.record(2e-6);
+        assert!(reg.snapshot_text().contains("evals counter 1"));
+        assert_eq!(reg.log_histograms()[0].1.snapshot().count, 1);
     }
 
     #[test]

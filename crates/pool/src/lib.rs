@@ -779,6 +779,33 @@ mod tests {
     }
 
     #[test]
+    fn cached_hist_handles_survive_in_place_reset() {
+        // The sweep bench resets metric values between cases
+        // (`Registry::reset_values` / `LogHistogram::reset`). The pool
+        // caches its histogram Arcs in a `OnceLock`, so the reset must be
+        // in place: the registry entry, the cached handle, and a fresh
+        // lookup must all remain the *same* allocation, and recording
+        // through the cached handle must stay visible to snapshots.
+        // (Only the pool's own histograms are reset here — the
+        // process-global counters stay untouched so the delta assertions
+        // in concurrent tests cannot race.)
+        let cfg = PoolConfig::with_threads(2);
+        let _ = parallel_map_indexed(&cfg, 64, |i| i); // force registration
+        let cached = std::sync::Arc::clone(&hists().task_latency);
+        cached.reset();
+        assert!(std::sync::Arc::ptr_eq(
+            &cached,
+            &obs::global().log_histogram("pool.task_latency_s", "s")
+        ));
+        let before = cached.snapshot().count;
+        let _ = parallel_map_indexed(&cfg, 64, |i| i);
+        assert!(
+            cached.snapshot().count > before,
+            "cached handle must keep recording after an in-place reset"
+        );
+    }
+
+    #[test]
     fn tasks_counter_advances_by_input_length() {
         // The counter is process-global; other tests bump it concurrently,
         // so assert a lower bound on the delta rather than equality.

@@ -17,7 +17,8 @@
 
 use isoee::apps::{AppModel, CgModel, EpModel, FtModel};
 use isoee::scaling::{
-    best_frequency_with, ee_surface_pf_with, ee_surface_pn_with, iso_ee_contour_with, PoolConfig,
+    best_frequency_with, ee_surface_pf_scalar_with, ee_surface_pf_with, ee_surface_pn_scalar_with,
+    ee_surface_pn_with, iso_ee_contour_with, PoolConfig,
 };
 use isoee::MachineParams;
 use mps::{Ctx, World};
@@ -79,6 +80,70 @@ fn pn_surfaces_are_bit_identical_across_thread_counts() {
             assert!(
                 par == seq,
                 "EE_{}(p, n) diverged at {t} threads",
+                app.name()
+            );
+        }
+    }
+}
+
+/// The batch kernel's row-chunked reduction at 1/2/8 pool threads against
+/// *both* oracles: the sequential batch path (ordering guarantee) and the
+/// sequential scalar path (kernel guarantee). One test spanning the full
+/// equivalence square, so a divergence pinpoints which contract broke.
+#[test]
+fn batch_path_matches_both_oracles_at_every_thread_count() {
+    let m = mach();
+    let ps = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+    for (app, n) in apps() {
+        let seq = ee_surface_pf_with(&PoolConfig::sequential(), app.as_ref(), &m, n, &ps, &DVFS)
+            .expect("sweep evaluates");
+        let scalar =
+            ee_surface_pf_scalar_with(&PoolConfig::sequential(), app.as_ref(), &m, n, &ps, &DVFS)
+                .expect("sweep evaluates");
+        assert!(
+            seq == scalar,
+            "sequential batch EE_{}(p, f) diverged from the scalar oracle",
+            app.name()
+        );
+        for t in [1usize, 2, 8] {
+            let par = ee_surface_pf_with(
+                &PoolConfig::with_threads(t),
+                app.as_ref(),
+                &m,
+                n,
+                &ps,
+                &DVFS,
+            )
+            .expect("sweep evaluates");
+            assert!(
+                par == seq,
+                "batch EE_{}(p, f) diverged from sequential batch at {t} threads",
+                app.name()
+            );
+            assert!(
+                par == scalar,
+                "batch EE_{}(p, f) diverged from the scalar oracle at {t} threads",
+                app.name()
+            );
+        }
+
+        let ns: Vec<f64> = (0..5).map(|k| n * f64::from(1u32 << k)).collect();
+        let seq = ee_surface_pn_with(&PoolConfig::sequential(), app.as_ref(), &m, &ps, &ns)
+            .expect("sweep evaluates");
+        let scalar =
+            ee_surface_pn_scalar_with(&PoolConfig::sequential(), app.as_ref(), &m, &ps, &ns)
+                .expect("sweep evaluates");
+        assert!(
+            seq == scalar,
+            "sequential batch EE_{}(p, n) diverged from the scalar oracle",
+            app.name()
+        );
+        for t in [1usize, 2, 8] {
+            let par = ee_surface_pn_with(&PoolConfig::with_threads(t), app.as_ref(), &m, &ps, &ns)
+                .expect("sweep evaluates");
+            assert!(
+                par == seq && par == scalar,
+                "batch EE_{}(p, n) diverged at {t} threads",
                 app.name()
             );
         }
