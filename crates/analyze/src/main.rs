@@ -35,6 +35,14 @@
 //!   `--plan-bad` seeds a deliberately deadlocking plan instead and
 //!   reports its findings as *unexpected* (exit 1), proving the gate
 //!   actually gates.
+//! * `--plan-symbolic` adds the *parametric* certification pass: the NPB
+//!   plans are certified matching/deadlock-free for **every** `p` in
+//!   their declared domains at once (`plan::certify_plan`), certificates
+//!   are dumped under `target/plan-certs/`, and two static power-cap
+//!   verdicts per plan (`isoee::power_cap_verdict`) prove a generous cap
+//!   holds for all `p` and a 2 kW cap is violated on a named `p` range.
+//!   `--plan-symbolic-bad` seeds a non-bijective shift plan the certifier
+//!   must refuse (exit 1 path).
 //! * `--bench-diff <OLD.json> <NEW.json>` switches to a dedicated mode:
 //!   the regression sentinel. Both snapshots (bench/2 documents with host
 //!   metadata, or bare PR-2 metric arrays) are compared with `obs::diff`;
@@ -65,7 +73,8 @@ use simcluster::{dori, system_g};
 use verify::{programs, witness_trace, BoxOutcome, BoxSearch, Explorer, VerifyFinding};
 
 const USAGE: &str = "usage: analyze [--verify] [--json] [--trace <file.json>] \
-                     [--plan] [--plan-ps <p,p,..>] [--plan-bad]\n\
+                     [--plan] [--plan-ps <p,p,..>] [--plan-bad] \
+                     [--plan-symbolic] [--plan-symbolic-bad]\n\
        analyze --bench-diff <OLD.json> <NEW.json> [--threshold <frac>] [--force] [--json]\n\
                      exit codes: 0 clean, 1 unexpected finding(s), 2 usage error\n\
                      (--bench-diff: 0 no regression, 1 regression(s), 2 usage/host mismatch)";
@@ -73,9 +82,28 @@ const USAGE: &str = "usage: analyze [--verify] [--json] [--trace <file.json>] \
 /// One recorded finding, for the `--json` document.
 struct Entry {
     pass: &'static str,
+    kind: &'static str,
     context: String,
     message: String,
     expected: bool,
+}
+
+/// The finding-kind vocabulary (documented in DESIGN.md): every finding a
+/// pass can emit carries a stable `kind` so downstream diffing keys on it.
+fn default_kind(pass: &'static str) -> &'static str {
+    match pass {
+        "model" => "model-invariant",
+        "comm" => "comm-graph",
+        "deadlock" => "deadlock",
+        "trace" | "perfetto" => "trace-conformance",
+        "pool" => "accounting",
+        "verify-explorer" => "schedule-space",
+        "verify-interval" => "interval-certification",
+        "plan" => "plan-static",
+        "plan-symbolic" => "symbolic-normalization",
+        "bench-diff" => "bench-regression",
+        _ => "finding",
+    }
 }
 
 /// Collects findings across passes and routes human output so that
@@ -103,6 +131,19 @@ impl Report {
     /// Record one finding. Expected findings (seeded bugs the checkers
     /// must fire on) don't count against the exit code.
     fn finding(&mut self, pass: &'static str, context: &str, message: String, expected: bool) {
+        self.finding_kind(pass, default_kind(pass), context, message, expected);
+    }
+
+    /// Record one finding with an explicit kind (the symbolic pass emits
+    /// several kinds; everything else uses its pass default).
+    fn finding_kind(
+        &mut self,
+        pass: &'static str,
+        kind: &'static str,
+        context: &str,
+        message: String,
+        expected: bool,
+    ) {
         if expected {
             self.progress(&format!("{pass} (expected) [{context}]: {message}"));
         } else {
@@ -110,6 +151,7 @@ impl Report {
         }
         self.entries.push(Entry {
             pass,
+            kind,
             context: context.to_string(),
             message,
             expected,
@@ -121,11 +163,13 @@ impl Report {
     }
 
     /// The machine-readable document: fixed key order (`schema`, `passes`,
-    /// `findings`, `unexpected`; each finding `pass`, `context`,
+    /// `findings`, `unexpected`; each finding `pass`, `kind`, `context`,
     /// `message`, `expected`) so downstream parsers may byte-diff it.
+    /// `analyze/2` added the per-finding `kind` field (see DESIGN.md for
+    /// the kind vocabulary).
     fn to_json(&self) -> String {
         use obs::json::quote;
-        let mut out = String::from("{\n  \"schema\": \"analyze/1\",\n  \"passes\": [");
+        let mut out = String::from("{\n  \"schema\": \"analyze/2\",\n  \"passes\": [");
         for (i, p) in self.passes.iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
@@ -136,8 +180,9 @@ impl Report {
         for (i, e) in self.entries.iter().enumerate() {
             out.push_str(if i > 0 { ",\n    " } else { "\n    " });
             out.push_str(&format!(
-                "{{\"pass\": {}, \"context\": {}, \"message\": {}, \"expected\": {}}}",
+                "{{\"pass\": {}, \"kind\": {}, \"context\": {}, \"message\": {}, \"expected\": {}}}",
                 quote(e.pass),
+                quote(e.kind),
                 quote(&e.context),
                 quote(&e.message),
                 e.expected
@@ -162,6 +207,8 @@ fn main() {
     let mut run_verify = false;
     let mut run_plan = false;
     let mut plan_bad = false;
+    let mut run_plan_symbolic = false;
+    let mut plan_symbolic_bad = false;
     let mut plan_ps: Vec<usize> = vec![4, 64, 1024];
     let mut trace_file: Option<(String, String)> = None;
     let mut bench_diff: Option<(String, String)> = None;
@@ -200,6 +247,11 @@ fn main() {
             "--plan-bad" => {
                 run_plan = true;
                 plan_bad = true;
+            }
+            "--plan-symbolic" => run_plan_symbolic = true,
+            "--plan-symbolic-bad" => {
+                run_plan_symbolic = true;
+                plan_symbolic_bad = true;
             }
             "--plan-ps" => {
                 let csv = args.next().unwrap_or_else(|| {
@@ -272,6 +324,9 @@ fn main() {
     }
     if run_plan {
         plan_pass(&mut report, &plan_ps, plan_bad);
+    }
+    if run_plan_symbolic {
+        plan_symbolic_pass(&mut report, plan_symbolic_bad);
     }
     if let Some((path, text)) = &trace_file {
         perfetto_file_pass(&mut report, path, text);
@@ -674,7 +729,212 @@ fn plan_pass(report: &mut Report, ps: &[usize], bad: bool) {
             false,
         );
     } else {
-        report.progress("plan pass: wildcard conservatism flagged as expected");
+        // The conservative verdict must carry its witness: which rank's
+        // which op first made the analysis inexact.
+        match wild_analysis.first_inexact {
+            Some(w) => report.progress(&format!(
+                "plan pass: wildcard conservatism flagged as expected (first inexact op: {w})"
+            )),
+            None => report.finding(
+                "plan",
+                "wildcard-probe p=3",
+                "inexact verdict without a first-inexact witness".into(),
+                false,
+            ),
+        }
+    }
+}
+
+/// The parametric certification pass (`--plan-symbolic`): certify the NPB
+/// plans for *every* `p` in their declared domains at once, dump the
+/// machine-checkable certificates under `target/plan-certs/`, and decide
+/// two static power-cap questions per plan — one generous cap that must
+/// accept for all admissible `p`, and the worked 2 kW cap that must be
+/// *rejected* with a witness naming the violating `p` range (System G
+/// idles at well over 2 kW once the world grows past a few dozen ranks).
+///
+/// `--plan-symbolic-bad` (`bad`) instead certifies a seeded skewed-shift
+/// plan whose offsets do not cancel; the certifier must refuse it with a
+/// normalization witness (exit 1 path for CI).
+fn plan_symbolic_pass(report: &mut Report, bad: bool) {
+    use plan::{certify_plan, Domain, Expr, Op, TagExpr};
+
+    report.begin("plan-symbolic");
+
+    if bad {
+        // Everyone sends right by 1 but expects from the left by 2: the
+        // k-th receiver is not the k-th sender's target at any p ≥ 3.
+        let skew = plan::CommPlan::new(
+            "seeded-skewed-shift",
+            vec![
+                Op::Send {
+                    to: (Expr::Rank + Expr::Const(1)) % Expr::P,
+                    tag: TagExpr::Expr(Expr::Const(9)),
+                    bytes: Expr::Const(64),
+                },
+                Op::Recv {
+                    from: (Expr::Rank + Expr::P - Expr::Const(2)) % Expr::P,
+                    tag: TagExpr::Expr(Expr::Const(9)),
+                },
+            ],
+        );
+        let cert = certify_plan(&skew, &Domain::at_least(3));
+        match &cert.failure {
+            Some(f) => {
+                report.finding_kind(
+                    "plan-symbolic",
+                    "symbolic-normalization",
+                    "seeded-skewed-shift",
+                    format!("certification refused: {f}"),
+                    false,
+                );
+            }
+            None => report.finding_kind(
+                "plan-symbolic",
+                "symbolic-normalization",
+                "seeded-skewed-shift",
+                "seeded non-bijective shift was NOT refused".into(),
+                false,
+            ),
+        }
+        return;
+    }
+
+    let mach = isoee::interval::MachBox::from_params(&MachineParams::system_g(2.8e9));
+    let class = npb::Class::S;
+    // FT/EP certify over all p ≥ 1; for the power-cap sweeps (which
+    // enumerate the domain) clamp to the paper-scale p ≤ 4096. CG's grid
+    // wants powers of two.
+    let plans = [
+        (
+            "ft",
+            npb::ft_plan(&npb::FtConfig::class(class)),
+            npb::ft_domain().with_max(4096),
+        ),
+        (
+            "ep",
+            npb::ep_plan(&npb::EpConfig::class(class)),
+            npb::ep_domain().with_max(4096),
+        ),
+        (
+            "cg",
+            npb::cg_plan(&npb::CgConfig::class(class)),
+            npb::cg_domain().with_max(4096),
+        ),
+    ];
+
+    let cert_dir = std::path::Path::new("target/plan-certs");
+    let dump = std::fs::create_dir_all(cert_dir).is_ok();
+
+    for (name, commplan, domain) in &plans {
+        let t0 = std::time::Instant::now();
+        let cert = certify_plan(commplan, domain);
+        let dt = t0.elapsed();
+        if cert.certified {
+            report.progress(&format!(
+                "plan-symbolic pass: {name} certified for all {} \
+                 ({} obligations, {} base cases, {dt:?})",
+                cert.domain,
+                cert.obligations.len(),
+                cert.base_ps.len(),
+            ));
+        } else {
+            let why = cert
+                .failure
+                .as_ref()
+                .map_or_else(|| "no witness".to_string(), ToString::to_string);
+            report.finding_kind(
+                "plan-symbolic",
+                "symbolic-normalization",
+                name,
+                format!("certification failed: {why}"),
+                false,
+            );
+            continue;
+        }
+
+        // Base-case soundness is part of the certificate; surface a
+        // finding if re-validation disagrees (a machine-check of the
+        // artifact itself).
+        if let Err(e) = cert.revalidate(commplan) {
+            report.finding_kind(
+                "plan-symbolic",
+                "symbolic-base-case",
+                name,
+                format!("certificate failed re-validation: {e}"),
+                false,
+            );
+        }
+
+        if dump {
+            let path = cert_dir.join(format!("{name}.json"));
+            if std::fs::write(&path, cert.to_json()).is_ok() {
+                report.progress(&format!("  certificate: {}", path.display()));
+            }
+        }
+
+        // Power-cap verdict 1: a generous facility cap (1 MW) accepts
+        // across the whole clamped domain.
+        let generous = 1.0e6;
+        let v = isoee::power_cap_verdict(&cert, &mach, generous);
+        match &v {
+            isoee::PowerCapVerdict::AcceptedForAll { ps_checked } => {
+                report.progress(&format!(
+                    "plan-symbolic pass: {name} under {generous:.0} W for all p \
+                     ({ps_checked} world sizes enclosed)"
+                ));
+            }
+            other => report.finding_kind(
+                "plan-symbolic",
+                "power-cap",
+                name,
+                format!("expected for-all-p accept under {generous:.0} W, got {other:?}"),
+                false,
+            ),
+        }
+
+        // Power-cap verdict 2: the worked 2 kW cap must be rejected with
+        // a violating range — System G's per-rank idle share alone busts
+        // 2 kW long before the domain max.
+        let cap = 2000.0;
+        let v = isoee::power_cap_verdict(&cert, &mach, cap);
+        match &v {
+            isoee::PowerCapVerdict::Rejected { from_p, to_p } => {
+                let to = to_p.map_or_else(|| "∞".to_string(), |p| p.to_string());
+                report.progress(&format!(
+                    "plan-symbolic pass: {name} over {cap:.0} W for p in [{from_p}, {to}] \
+                     (static rejection witness)"
+                ));
+            }
+            other => report.finding_kind(
+                "plan-symbolic",
+                "power-cap",
+                name,
+                format!("expected rejection under {cap:.0} W with a witness, got {other:?}"),
+                false,
+            ),
+        }
+    }
+
+    // Differential spot-check: the symbolic verdict must agree with the
+    // concrete checker at a few sampled world sizes per plan.
+    for (name, commplan, domain) in &plans {
+        for p in domain.sample(4, 0x5eed) {
+            let Ok(pu) = usize::try_from(p) else { continue };
+            let a = plan::analyze_plan(commplan, pu);
+            if !a.deadlock_free() {
+                report.finding_kind(
+                    "plan-symbolic",
+                    "symbolic-differential",
+                    name,
+                    format!("concrete checker disagrees with certificate at p={p}"),
+                    false,
+                );
+            }
+        }
+        report.progress(&format!(
+            "plan-symbolic pass: {name} spot-checked against the concrete checker"
+        ));
     }
 }
 

@@ -101,7 +101,7 @@ fn json_output_is_machine_readable_with_stable_field_order() {
     let doc = obs::json::parse(&stdout).expect("stdout parses as JSON");
     assert_eq!(
         doc.get("schema").and_then(obs::json::Json::as_str),
-        Some("analyze/1")
+        Some("analyze/2")
     );
     assert_eq!(
         doc.get("unexpected").and_then(obs::json::Json::as_num),
@@ -151,10 +151,83 @@ fn json_output_is_machine_readable_with_stable_field_order() {
         + stdout[findings_at..]
             .find("{\"pass\"")
             .expect("finding objects lead with pass");
+    let kind_at = stdout[first..].find("\"kind\"").expect("kind key");
     let ctx_at = stdout[first..].find("\"context\"").expect("context key");
     let msg_at = stdout[first..].find("\"message\"").expect("message key");
     let exp_at = stdout[first..].find("\"expected\"").expect("expected key");
-    assert!(ctx_at < msg_at && msg_at < exp_at);
+    assert!(kind_at < ctx_at && ctx_at < msg_at && msg_at < exp_at);
+
+    // Every finding carries a kind from the documented vocabulary.
+    for f in findings {
+        let kind = f.get("kind").and_then(obs::json::Json::as_str);
+        assert!(kind.is_some_and(|k| !k.is_empty()), "finding without kind");
+    }
+}
+
+#[test]
+fn wildcard_probe_names_the_first_inexact_op() {
+    // Satellite contract: the conservative RecvAny verdict carries a
+    // witness (rank + op index), surfaced on the plan pass's progress
+    // stream.
+    let out = run(&["--plan", "--plan-ps", "4"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("first inexact op: rank 0, op 0"),
+        "missing first-inexact witness in {stdout}"
+    );
+}
+
+#[test]
+fn plan_symbolic_certifies_and_emits_power_cap_verdicts() {
+    let out = run(&["--plan-symbolic", "--json"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let doc = obs::json::parse(&stdout).expect("stdout parses as JSON");
+    let passes = doc
+        .get("passes")
+        .and_then(obs::json::Json::as_arr)
+        .expect("passes array");
+    let names: Vec<&str> = passes.iter().filter_map(obs::json::Json::as_str).collect();
+    assert!(
+        names.contains(&"plan-symbolic"),
+        "missing plan-symbolic pass: {names:?}"
+    );
+    assert_eq!(
+        doc.get("unexpected").and_then(obs::json::Json::as_num),
+        Some(0.0),
+        "{stdout}"
+    );
+    // Progress (stderr under --json) reports the for-all-p certification
+    // and both cap verdicts with the violating range witness.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for plan in ["ft", "ep", "cg"] {
+        assert!(
+            stderr.contains(&format!("{plan} certified for all")),
+            "missing {plan} certification in {stderr}"
+        );
+    }
+    assert!(
+        stderr.contains("static rejection witness"),
+        "missing power-cap rejection witness in {stderr}"
+    );
+    // Certificates are dumped for CI to upload.
+    for plan in ["ft", "ep", "cg"] {
+        let text = std::fs::read_to_string(format!("target/plan-certs/{plan}.json"))
+            .expect("certificate dumped");
+        assert!(text.contains("\"certified\": true"), "{plan}: {text}");
+    }
+}
+
+#[test]
+fn seeded_skewed_shift_is_refused_with_exit_one() {
+    let out = run(&["--plan-symbolic-bad"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("certification refused"),
+        "expected a refusal witness in {stderr}"
+    );
 }
 
 /// Write a `bench/2` fixture with one gauge at `seq_ns` and return its path.

@@ -69,6 +69,7 @@ pub mod params;
 pub mod plancost;
 pub mod report;
 pub mod scaling;
+pub mod symcost;
 pub mod validate;
 
 pub use apps::{AppModel, CgModel, EpModel, FtModel};
@@ -86,4 +87,5 @@ pub use scaling::{
     ee_surface_pn_with, iso_ee_contour, iso_ee_contour_scalar_with, iso_ee_contour_with,
     iso_ee_workload, set_eval_timing, PoolConfig, Surface, SweepError,
 };
+pub use symcost::{power_cap_verdict, sym_app_box, sym_cost_bounds, PowerCapVerdict, SymPlanCost};
 pub use validate::{validate_kernel, ValidationPoint, ValidationSummary};

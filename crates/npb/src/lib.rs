@@ -40,4 +40,4 @@ pub use ft::{ft_kernel, FtConfig, FtResult};
 pub use is::{is_kernel, IsConfig, IsResult};
 pub use mg::{mg_kernel, MgConfig, MgResult};
 pub use num::C64;
-pub use plans::{cg_plan, ep_plan, ft_plan};
+pub use plans::{cg_domain, cg_plan, ep_domain, ep_plan, ft_domain, ft_plan};

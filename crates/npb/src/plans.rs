@@ -19,7 +19,7 @@
 
 use plan::{Cond, Expr, Op, ReduceOp, TagExpr};
 
-pub use plan::CommPlan;
+pub use plan::{CommPlan, Domain};
 
 use crate::cg::CgConfig;
 use crate::ep::EpConfig;
@@ -406,4 +406,29 @@ pub fn cg_plan(cfg: &CgConfig) -> CommPlan {
         body: outer,
     });
     CommPlan::new("npb:cg", body)
+}
+
+// ---------------------------------------------------------------------
+// Declared world-size domains
+// ---------------------------------------------------------------------
+
+/// The world sizes [`ft_plan`] is declared for: every `p ≥ 1` (the slab
+/// decomposition degenerates gracefully — `BlockLen` hands empty slabs to
+/// surplus ranks).
+#[must_use]
+pub fn ft_domain() -> Domain {
+    Domain::at_least(1)
+}
+
+/// The world sizes [`ep_plan`] is declared for: every `p ≥ 1`.
+#[must_use]
+pub fn ep_domain() -> Domain {
+    Domain::at_least(1)
+}
+
+/// The world sizes [`cg_plan`] is declared for: powers of two only (the
+/// kernel's 2-D process grid requires it).
+#[must_use]
+pub fn cg_domain() -> Domain {
+    Domain::pow2()
 }

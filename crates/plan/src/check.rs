@@ -165,6 +165,23 @@ impl fmt::Display for PlanFinding {
     }
 }
 
+/// Witness for a conservative verdict: where exactness was lost. Points
+/// at the first wildcard receive of the lowest rank that executed one (op
+/// indices count abstract comm ops in that rank's elaboration order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InexactWitness {
+    /// The lowest rank whose stream contains a wildcard receive.
+    pub rank: usize,
+    /// The emitted-op index of that rank's first wildcard receive.
+    pub op_index: u64,
+}
+
+impl fmt::Display for InexactWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank {}, op {}", self.rank, self.op_index)
+    }
+}
+
 /// The result of [`analyze_plan`].
 #[derive(Debug, Clone)]
 pub struct PlanAnalysis {
@@ -179,6 +196,9 @@ pub struct PlanAnalysis {
     /// `p > 2`); conservative verdicts prove deadlocks real but cannot
     /// prove their absence.
     pub exact: bool,
+    /// When `exact` is false: the first non-exact op (lowest rank with a
+    /// wildcard receive, and that rank's first wildcard op index).
+    pub first_inexact: Option<InexactWitness>,
     /// Whether every rank ran to completion.
     pub completed: bool,
     /// Abstract comm ops processed (a work metric for reports).
@@ -590,7 +610,8 @@ pub fn analyze_plan(plan: &CommPlan, p: usize) -> PlanAnalysis {
     let mut colls = [CollStats::default(); COLL_KINDS];
     let mut per_rank = Vec::with_capacity(p);
     let mut exact = checker.exact;
-    for c in &checker.cursors {
+    let mut first_inexact = None;
+    for (rank, c) in checker.cursors.iter().enumerate() {
         total.absorb(&c.cost);
         for (t, s) in colls.iter_mut().zip(&c.colls) {
             t.calls += s.calls;
@@ -602,6 +623,12 @@ pub fn analyze_plan(plan: &CommPlan, p: usize) -> PlanAnalysis {
         // first) still poisons exactness conservatively.
         if c.saw_wildcard && p > 2 {
             exact = false;
+            if first_inexact.is_none() {
+                first_inexact = Some(InexactWitness {
+                    rank,
+                    op_index: c.first_wildcard_op.unwrap_or(0),
+                });
+            }
         }
     }
 
@@ -610,6 +637,7 @@ pub fn analyze_plan(plan: &CommPlan, p: usize) -> PlanAnalysis {
         findings: checker.findings,
         findings_truncated: checker.findings_truncated,
         exact,
+        first_inexact,
         completed,
         steps: checker.steps,
         total,
@@ -828,10 +856,16 @@ mod tests {
         ];
         let a2 = analyze_plan(&CommPlan::new("w", body.clone()), 2);
         assert!(a2.exact && a2.deadlock_free(), "{:?}", a2.findings);
+        assert_eq!(a2.first_inexact, None);
         let a3 = analyze_plan(&CommPlan::new("w", body), 3);
         assert!(!a3.exact);
         assert!(!a3.deadlock_free(), "conservative verdicts never certify");
         assert!(a3.completed);
+        // The conservative verdict names the first non-exact op: rank 0's
+        // wildcard is its first (and only) comm op.
+        let w = a3.first_inexact.expect("witness for inexact verdict");
+        assert_eq!((w.rank, w.op_index), (0, 0));
+        assert_eq!(w.to_string(), "rank 0, op 0");
     }
 
     #[test]
@@ -869,6 +903,15 @@ mod tests {
             .findings
             .iter()
             .any(|f| matches!(f, PlanFinding::WildcardChoice { rank: 0, .. })));
+        // Rank 0 emits 4 barrier ops (2 dissemination rounds) before its
+        // first wildcard.
+        assert_eq!(
+            a.first_inexact,
+            Some(InexactWitness {
+                rank: 0,
+                op_index: 4
+            })
+        );
     }
 
     #[test]

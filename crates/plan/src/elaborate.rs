@@ -222,6 +222,11 @@ pub struct RankCursor<'p> {
     pub colls: [CollStats; COLL_KINDS],
     /// Whether a wildcard receive has been emitted.
     pub saw_wildcard: bool,
+    /// Abstract comm ops emitted so far (the op index of the *next* op).
+    pub emitted: u64,
+    /// Emitted-op index of the first wildcard receive, if any — the
+    /// witness for a conservative (`exact = false`) verdict.
+    pub first_wildcard_op: Option<u64>,
 }
 
 impl<'p> RankCursor<'p> {
@@ -245,6 +250,8 @@ impl<'p> RankCursor<'p> {
             cost: RankCost::default(),
             colls: [CollStats::default(); COLL_KINDS],
             saw_wildcard: false,
+            emitted: 0,
+            first_wildcard_op: None,
         }
     }
 
@@ -335,6 +342,17 @@ impl<'p> RankCursor<'p> {
     /// Advance to the next abstract comm op, accumulating cost events along
     /// the way. `Ok(None)` means the rank's program is complete.
     pub fn next_comm(&mut self) -> Result<Option<AOp>, ShapeIssue> {
+        let r = self.next_comm_inner();
+        if let Ok(Some(a)) = &r {
+            if matches!(a, AOp::RecvAny { .. }) && self.first_wildcard_op.is_none() {
+                self.first_wildcard_op = Some(self.emitted);
+            }
+            self.emitted += 1;
+        }
+        r
+    }
+
+    fn next_comm_inner(&mut self) -> Result<Option<AOp>, ShapeIssue> {
         loop {
             if let Some(a) = self.buffered.pop_front() {
                 return Ok(Some(a));

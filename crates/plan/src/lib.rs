@@ -49,13 +49,18 @@ mod elaborate;
 mod expr;
 mod ir;
 mod lower;
+mod symbolic;
 mod timed;
 
-pub use check::{analyze_plan, PlanAnalysis, PlanFinding, PlanWaitEdge};
+pub use check::{analyze_plan, InexactWitness, PlanAnalysis, PlanFinding, PlanWaitEdge};
 pub use elaborate::{AOp, CollKind, CollStats, RankCost, RankCursor, ShapeIssue, COLL_KINDS};
 pub use expr::{Cond, Env, EvalError, Expr};
 pub use ir::{CommPlan, Op, TagExpr};
 pub use lower::lower;
+pub use symbolic::{
+    certify_plan, certify_plan_with, CountRange, Domain, Obligation, ParametricCert, SymCounts,
+    SymFailure, DEFAULT_CUTOFF,
+};
 pub use timed::{Step, TimedCursor};
 // Re-export the runtime op vocabulary plans share with `mps`.
 pub use mps::{internal_tag, ReduceOp, USER_TAG_LIMIT};
